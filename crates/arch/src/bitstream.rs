@@ -1,0 +1,311 @@
+//! Configuration-memory model: the bitstream layout and concrete
+//! bitstreams.
+//!
+//! SRAM FPGAs are configured by a bitstream organized in *frames*, the
+//! smallest addressable units of configuration memory (on Virtex-5, a
+//! frame is 41 32-bit words and spans a column of tiles — partial
+//! reconfiguration rewrites whole frames). We model the same structure:
+//! every configuration bit of the device — LUT truth-table bits, BLE
+//! flip-flop bypass bits, local crossbar bits and one bit per routing
+//! switch (RRG edge) — has a fixed address, and addresses are grouped
+//! into per-column frames. The PConf machinery (crate `pfdbg-pconf`)
+//! overlays Boolean functions on these addresses; the DPR model diffing
+//! two bitstreams reports *frames* changed, which drives reconfiguration
+//! time.
+
+use crate::device::Device;
+use crate::rrg::{RRGraph, RRNode};
+use pfdbg_util::BitVec;
+
+/// A flat configuration-bit address.
+pub type BitAddr = usize;
+
+/// The static layout: how many bits, how they group into frames, and the
+/// address calculators.
+#[derive(Debug, Clone)]
+pub struct BitstreamLayout {
+    /// Total configuration bits.
+    pub n_bits: usize,
+    /// Bits per frame.
+    pub frame_bits: usize,
+    /// Frame index of each bit (same length as `n_bits` conceptually, but
+    /// computed arithmetically — bits are laid out column-major so one
+    /// frame never spans columns).
+    n_frames: usize,
+    /// Per-column base address of CLB bits.
+    clb_col_base: Vec<BitAddr>,
+    clb_bits_per_tile: usize,
+    clb_rows: usize,
+    /// Base address of the routing-switch region.
+    switch_base: BitAddr,
+    /// Column stride for switch bits (edges are binned by source-node x).
+    switch_col_base: Vec<BitAddr>,
+    /// Edge -> address (computed once; edges are irregular).
+    edge_addr: Vec<BitAddr>,
+}
+
+impl BitstreamLayout {
+    /// Build the layout for a device and its routing graph.
+    ///
+    /// `frame_bits` mimics a frame spanning one grid column of one
+    /// resource type; the Virtex-5 frame of 41×32 = 1312 bits is the
+    /// default granularity used by [`crate::icap::IcapModel`].
+    pub fn new(dev: &Device, rrg: &RRGraph, frame_bits: usize) -> Self {
+        assert!(frame_bits > 0);
+        let clb_bits = dev.spec.clb_config_bits();
+        let clb_rows = dev.height - 2;
+        let mut addr: BitAddr = 0;
+        // CLB columns x = 1..width-1.
+        let mut clb_col_base = Vec::with_capacity(dev.width.saturating_sub(2));
+        for _x in 1..dev.width - 1 {
+            clb_col_base.push(addr);
+            addr += clb_bits * clb_rows;
+        }
+        let switch_base = addr;
+
+        // Routing switches: group edges by the x coordinate of their
+        // source node so frames stay columnar.
+        let mut edges_by_col: Vec<Vec<u32>> = vec![Vec::new(); dev.width];
+        for node in 0..rrg.n_nodes() {
+            let id = RRNode(node as u32);
+            let x = rrg.node(id).x as usize;
+            for (e, _) in rrg.out_edges(id) {
+                edges_by_col[x].push(e);
+            }
+        }
+        let mut edge_addr = vec![0usize; rrg.n_edges()];
+        let mut switch_col_base = Vec::with_capacity(dev.width);
+        for col in &edges_by_col {
+            switch_col_base.push(addr);
+            for &e in col {
+                edge_addr[e as usize] = addr;
+                addr += 1;
+            }
+        }
+
+        let n_bits = addr;
+        let n_frames = n_bits.div_ceil(frame_bits);
+        BitstreamLayout {
+            n_bits,
+            frame_bits,
+            n_frames,
+            clb_col_base,
+            clb_bits_per_tile: clb_bits,
+            clb_rows,
+            switch_base,
+            switch_col_base,
+            edge_addr,
+        }
+    }
+
+    /// Number of frames.
+    pub fn n_frames(&self) -> usize {
+        self.n_frames
+    }
+
+    /// Frame index of an address.
+    pub fn frame_of(&self, addr: BitAddr) -> usize {
+        addr / self.frame_bits
+    }
+
+    /// Base address of the configuration bits of the CLB at grid `(x, y)`
+    /// (must be a CLB tile: `1 <= x < width-1`, `1 <= y < height-1`).
+    pub fn clb_base(&self, x: usize, y: usize) -> BitAddr {
+        let col = x.checked_sub(1).expect("x is a CLB column");
+        assert!(col < self.clb_col_base.len(), "x={x} not a CLB column");
+        let row = y.checked_sub(1).expect("y is a CLB row");
+        assert!(row < self.clb_rows, "y={y} not a CLB row");
+        self.clb_col_base[col] + row * self.clb_bits_per_tile
+    }
+
+    /// Address of truth-table bit `bit` of BLE `ble` in the CLB at `(x, y)`.
+    pub fn lut_bit(&self, x: usize, y: usize, ble: usize, bit: usize, k: usize) -> BitAddr {
+        let per_ble = (1usize << k) + 1;
+        self.clb_base(x, y) + ble * per_ble + bit
+    }
+
+    /// Address of the FF-bypass bit of BLE `ble`.
+    pub fn ff_bypass_bit(&self, x: usize, y: usize, ble: usize, k: usize) -> BitAddr {
+        let per_ble = (1usize << k) + 1;
+        self.clb_base(x, y) + ble * per_ble + (1 << k)
+    }
+
+    /// Address of the configuration bit of routing switch (RRG edge) `e`.
+    pub fn switch_bit(&self, e: u32) -> BitAddr {
+        self.edge_addr[e as usize]
+    }
+
+    /// First address of the routing-switch region.
+    pub fn switch_region_base(&self) -> BitAddr {
+        self.switch_base
+    }
+
+    /// Base address of the switch bits whose source nodes live in grid
+    /// column `x` (useful for columnar DPR reporting).
+    pub fn switch_col_base(&self, x: usize) -> BitAddr {
+        self.switch_col_base[x]
+    }
+
+    /// A zeroed bitstream of the right size.
+    pub fn empty_bitstream(&self) -> Bitstream {
+        Bitstream { bits: BitVec::zeros(self.n_bits) }
+    }
+}
+
+/// A concrete configuration bitstream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitstream {
+    bits: BitVec,
+}
+
+impl Bitstream {
+    /// Wrap raw bits as a bitstream (file I/O, tests).
+    pub fn from_bits(bits: BitVec) -> Self {
+        Bitstream { bits }
+    }
+
+    /// The backing words (LSB-first), for serialization.
+    pub fn words(&self) -> &[u64] {
+        self.bits.words()
+    }
+
+    /// Read one configuration bit.
+    pub fn get(&self, addr: BitAddr) -> bool {
+        self.bits.get(addr)
+    }
+
+    /// Write one configuration bit.
+    pub fn set(&mut self, addr: BitAddr, value: bool) {
+        self.bits.set(addr, value);
+    }
+
+    /// Total size in bits.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the bitstream has no bits.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Number of set bits (enabled switches + LUT ones).
+    pub fn count_ones(&self) -> usize {
+        self.bits.count_ones()
+    }
+
+    /// The set of *frames* on which `self` and `other` differ — the unit
+    /// of dynamic partial reconfiguration.
+    pub fn diff_frames(&self, other: &Bitstream, layout: &BitstreamLayout) -> Vec<usize> {
+        assert_eq!(self.len(), other.len(), "bitstream size mismatch");
+        let mut frames = Vec::new();
+        let mut current: Option<usize> = None;
+        // Word-level scan for speed; refine per bit only on differing words.
+        let a = self.bits.words();
+        let b = other.bits.words();
+        for (wi, (&wa, &wb)) in a.iter().zip(b).enumerate() {
+            let mut diff = wa ^ wb;
+            while diff != 0 {
+                let bit = diff.trailing_zeros() as usize;
+                diff &= diff - 1;
+                let addr = wi * 64 + bit;
+                let f = layout.frame_of(addr);
+                if current != Some(f) {
+                    if !frames.contains(&f) {
+                        frames.push(f);
+                    }
+                    current = Some(f);
+                }
+            }
+        }
+        frames.sort_unstable();
+        frames.dedup();
+        frames
+    }
+
+    /// Hamming distance to another bitstream.
+    pub fn distance(&self, other: &Bitstream) -> usize {
+        self.bits.hamming_distance(&other.bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::ArchSpec;
+    use crate::rrg::build_rrg;
+
+    fn setup() -> (Device, RRGraph, BitstreamLayout) {
+        let dev = Device::new(ArchSpec { channel_width: 8, ..Default::default() }, 3, 3);
+        let rrg = build_rrg(&dev);
+        let layout = BitstreamLayout::new(&dev, &rrg, 1312);
+        (dev, rrg, layout)
+    }
+
+    #[test]
+    fn addresses_are_unique_and_in_range() {
+        let (dev, rrg, layout) = setup();
+        let mut seen = std::collections::HashSet::new();
+        for (x, y) in dev.clb_tiles() {
+            for ble in 0..dev.spec.n_ble {
+                for bit in 0..(1 << dev.spec.k) {
+                    let a = layout.lut_bit(x, y, ble, bit, dev.spec.k);
+                    assert!(a < layout.n_bits);
+                    assert!(seen.insert(a), "duplicate address {a}");
+                }
+                let f = layout.ff_bypass_bit(x, y, ble, dev.spec.k);
+                assert!(seen.insert(f), "duplicate ff bit {f}");
+            }
+        }
+        for e in 0..rrg.n_edges() as u32 {
+            let a = layout.switch_bit(e);
+            assert!(a >= layout.switch_region_base());
+            assert!(a < layout.n_bits);
+            assert!(seen.insert(a), "switch bit collides {a}");
+        }
+    }
+
+    #[test]
+    fn frame_count_consistent() {
+        let (_, _, layout) = setup();
+        assert_eq!(layout.n_frames(), layout.n_bits.div_ceil(layout.frame_bits));
+        assert_eq!(layout.frame_of(0), 0);
+        assert_eq!(layout.frame_of(layout.frame_bits), 1);
+    }
+
+    #[test]
+    fn bitstream_set_get_roundtrip() {
+        let (_, _, layout) = setup();
+        let mut bs = layout.empty_bitstream();
+        assert_eq!(bs.count_ones(), 0);
+        bs.set(7, true);
+        bs.set(layout.n_bits - 1, true);
+        assert!(bs.get(7));
+        assert!(bs.get(layout.n_bits - 1));
+        assert_eq!(bs.count_ones(), 2);
+    }
+
+    #[test]
+    fn diff_frames_reports_touched_frames_only() {
+        let (_, _, layout) = setup();
+        let a = layout.empty_bitstream();
+        let mut b = a.clone();
+        // Flip two bits in the same frame, one in another.
+        b.set(1, true);
+        b.set(2, true);
+        b.set(3 * layout.frame_bits + 5, true);
+        let frames = b.diff_frames(&a, &layout);
+        assert_eq!(frames, vec![0, 3]);
+        assert_eq!(b.distance(&a), 3);
+        assert_eq!(a.diff_frames(&a.clone(), &layout), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn clb_base_rejects_non_clb_tiles() {
+        let (_, _, layout) = setup();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            layout.clb_base(0, 1)
+        }));
+        assert!(r.is_err(), "x=0 is the I/O ring, not a CLB column");
+    }
+}

@@ -1,0 +1,217 @@
+//! Island-style FPGA device model.
+//!
+//! The modeled device follows the classic VPR template the paper's tool
+//! flow (TPaR on top of VTR) targets: a `width × height` grid whose inner
+//! tiles are CLBs (clusters of `n_ble` basic logic elements, each a K-LUT
+//! plus an optional flip-flop), ringed by I/O tiles, with horizontal and
+//! vertical routing channels of `channel_width` unit-length wire segments
+//! between tiles, Wilton switch boxes at channel crossings and
+//! fraction-`fc` connection boxes into the logic-block pins.
+
+/// Architectural parameters of the modeled FPGA family.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArchSpec {
+    /// LUT input count.
+    pub k: usize,
+    /// BLEs (LUT+FF pairs) per CLB.
+    pub n_ble: usize,
+    /// CLB input pins (shared by all BLEs through the local crossbar).
+    pub clb_inputs: usize,
+    /// Routing wires per channel.
+    pub channel_width: usize,
+    /// Fraction of channel wires each input pin connects to (0..=1).
+    pub fc_in: f64,
+    /// Fraction of channel wires each output pin connects to (0..=1).
+    pub fc_out: f64,
+    /// I/O pads per perimeter tile.
+    pub io_capacity: usize,
+}
+
+impl Default for ArchSpec {
+    fn default() -> Self {
+        // K=6, N=4 with the VPR rule of thumb I = K/2 * (N+1).
+        ArchSpec {
+            k: 6,
+            n_ble: 4,
+            clb_inputs: 15,
+            channel_width: 24,
+            fc_in: 0.25,
+            fc_out: 0.25,
+            io_capacity: 4,
+        }
+    }
+}
+
+impl ArchSpec {
+    /// Number of channel wires an input pin connects to.
+    pub fn fc_in_abs(&self) -> usize {
+        ((self.channel_width as f64 * self.fc_in).ceil() as usize).max(1)
+    }
+
+    /// Number of channel wires an output pin connects to.
+    pub fn fc_out_abs(&self) -> usize {
+        ((self.channel_width as f64 * self.fc_out).ceil() as usize).max(1)
+    }
+
+    /// Configuration bits of one CLB: per BLE a `2^K` LUT table plus one
+    /// FF-bypass bit, plus the local input crossbar (modeled as one bit
+    /// per (pin, BLE-input) pair).
+    pub fn clb_config_bits(&self) -> usize {
+        let ble = (1usize << self.k) + 1;
+        let xbar = (self.clb_inputs + self.n_ble) * (self.n_ble * self.k);
+        self.n_ble * ble + xbar
+    }
+}
+
+/// What occupies a grid tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TileKind {
+    /// A logic cluster.
+    Clb,
+    /// An I/O tile (perimeter).
+    Io,
+    /// The four unusable corners.
+    Corner,
+}
+
+/// The concrete device: a spec instantiated on a grid.
+#[derive(Debug, Clone)]
+pub struct Device {
+    /// Architecture parameters.
+    pub spec: ArchSpec,
+    /// Grid width (tiles, including the I/O ring).
+    pub width: usize,
+    /// Grid height (tiles, including the I/O ring).
+    pub height: usize,
+}
+
+impl Device {
+    /// A device with the given *logic* grid size (CLB columns × rows); the
+    /// I/O ring adds one tile on each side.
+    pub fn new(spec: ArchSpec, clb_cols: usize, clb_rows: usize) -> Self {
+        assert!(clb_cols >= 1 && clb_rows >= 1, "device too small");
+        Device { spec, width: clb_cols + 2, height: clb_rows + 2 }
+    }
+
+    /// The smallest square device that fits `n_clbs` CLBs and `n_ios` I/O
+    /// pads, with `slack` fractional headroom (VPR-style auto-sizing).
+    pub fn auto_size(spec: ArchSpec, n_clbs: usize, n_ios: usize, slack: f64) -> Self {
+        let mut side = ((n_clbs as f64 * (1.0 + slack)).sqrt().ceil() as usize).max(1);
+        loop {
+            let io_slots = 4 * side * spec.io_capacity;
+            if io_slots >= n_ios && side * side >= n_clbs {
+                return Device::new(spec, side, side);
+            }
+            side += 1;
+        }
+    }
+
+    /// Tile kind at grid coordinates.
+    pub fn tile(&self, x: usize, y: usize) -> TileKind {
+        assert!(x < self.width && y < self.height, "tile out of range");
+        let on_x_edge = x == 0 || x == self.width - 1;
+        let on_y_edge = y == 0 || y == self.height - 1;
+        match (on_x_edge, on_y_edge) {
+            (true, true) => TileKind::Corner,
+            (false, false) => TileKind::Clb,
+            _ => TileKind::Io,
+        }
+    }
+
+    /// Number of CLB tiles.
+    pub fn n_clbs(&self) -> usize {
+        (self.width - 2) * (self.height - 2)
+    }
+
+    /// Number of I/O pad slots.
+    pub fn n_io_slots(&self) -> usize {
+        (2 * (self.width - 2) + 2 * (self.height - 2)) * self.spec.io_capacity
+    }
+
+    /// Total LUT capacity.
+    pub fn lut_capacity(&self) -> usize {
+        self.n_clbs() * self.spec.n_ble
+    }
+
+    /// All CLB coordinates, row-major.
+    pub fn clb_tiles(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let w = self.width;
+        let h = self.height;
+        (1..h - 1).flat_map(move |y| (1..w - 1).map(move |x| (x, y)))
+    }
+
+    /// All I/O coordinates.
+    pub fn io_tiles(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let w = self.width;
+        let h = self.height;
+        (0..w)
+            .flat_map(move |x| [(x, 0), (x, h - 1)])
+            .chain((1..h - 1).flat_map(move |y| [(0, y), (w - 1, y)]))
+            .filter(move |&(x, y)| {
+                !((x == 0 || x == w - 1) && (y == 0 || y == h - 1))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_is_consistent() {
+        let s = ArchSpec::default();
+        assert_eq!(s.k, 6);
+        assert!(s.fc_in_abs() >= 1 && s.fc_in_abs() <= s.channel_width);
+        assert!(s.clb_config_bits() > s.n_ble * (1 << s.k));
+    }
+
+    #[test]
+    fn tile_classification() {
+        let d = Device::new(ArchSpec::default(), 3, 2);
+        assert_eq!(d.width, 5);
+        assert_eq!(d.height, 4);
+        assert_eq!(d.tile(0, 0), TileKind::Corner);
+        assert_eq!(d.tile(4, 3), TileKind::Corner);
+        assert_eq!(d.tile(1, 0), TileKind::Io);
+        assert_eq!(d.tile(0, 1), TileKind::Io);
+        assert_eq!(d.tile(1, 1), TileKind::Clb);
+        assert_eq!(d.tile(3, 2), TileKind::Clb);
+        assert_eq!(d.n_clbs(), 6);
+    }
+
+    #[test]
+    fn io_tiles_enumerated_once() {
+        let d = Device::new(ArchSpec::default(), 4, 4);
+        let ios: Vec<_> = d.io_tiles().collect();
+        let unique: std::collections::HashSet<_> = ios.iter().copied().collect();
+        assert_eq!(ios.len(), unique.len(), "duplicate I/O tiles");
+        assert!(ios.iter().all(|&(x, y)| d.tile(x, y) == TileKind::Io));
+        // 4 sides × 4 tiles each
+        assert_eq!(ios.len(), 16);
+    }
+
+    #[test]
+    fn clb_tile_count_matches() {
+        let d = Device::new(ArchSpec::default(), 5, 3);
+        assert_eq!(d.clb_tiles().count(), d.n_clbs());
+        assert!(d.clb_tiles().all(|(x, y)| d.tile(x, y) == TileKind::Clb));
+    }
+
+    #[test]
+    fn auto_size_fits_demand() {
+        let spec = ArchSpec::default();
+        let d = Device::auto_size(spec, 100, 60, 0.2);
+        assert!(d.n_clbs() >= 100);
+        assert!(d.n_io_slots() >= 60);
+        // Should not be grossly oversized either.
+        assert!(d.n_clbs() <= 200, "auto_size overshoot: {}", d.n_clbs());
+    }
+
+    #[test]
+    fn auto_size_io_bound_designs() {
+        // Tiny logic, many pads: side must grow for the I/O ring.
+        let spec = ArchSpec { io_capacity: 2, ..Default::default() };
+        let d = Device::auto_size(spec, 1, 200, 0.0);
+        assert!(d.n_io_slots() >= 200);
+    }
+}

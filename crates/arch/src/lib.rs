@@ -1,0 +1,19 @@
+//! Island-style FPGA architecture model: the device grid, the
+//! routing-resource graph the router negotiates over, the configuration
+//! bitstream layout (frame-addressed, Virtex-style) and the ICAP
+//! reconfiguration-port timing model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitfile;
+pub mod bitstream;
+pub mod device;
+pub mod icap;
+pub mod rrg;
+
+pub use bitfile::{crc32, BitfileError};
+pub use bitstream::{BitAddr, Bitstream, BitstreamLayout};
+pub use device::{ArchSpec, Device, TileKind};
+pub use icap::{IcapModel, VIRTEX5_CONFIG_BITS, VIRTEX5_FRAME_BITS};
+pub use rrg::{build_rrg, RREdge, RRGraph, RRKind, RRNode, RRNodeData};

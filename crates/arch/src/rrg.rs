@@ -1,0 +1,465 @@
+//! The routing-resource graph (RRG).
+//!
+//! Every physical routing resource of the device — logic-block output and
+//! input pins, and the horizontal/vertical channel wire segments — is a
+//! node; every programmable switch (connection-box or switch-box pass
+//! transistor) is a directed edge pair. The PathFinder router negotiates
+//! over these nodes, and every *edge* corresponds to one configuration
+//! bit in the bitstream (a TCON, when that bit is a Boolean function of
+//! PConf parameters rather than a constant).
+
+use crate::device::{Device, TileKind};
+use pfdbg_util::{define_id, IdVec};
+
+define_id!(
+    /// A routing-resource node.
+    pub struct RRNode
+);
+
+/// Edge index into the graph's edge table — one per directed programmable
+/// switch.
+pub type RREdge = u32;
+
+/// What a routing-resource node is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RRKind {
+    /// Logic/IO block output pin `pin` at its tile.
+    OPin(u16),
+    /// Logic/IO block input pin `pin` at its tile.
+    IPin(u16),
+    /// Track `t` of the horizontal channel on the north edge of the tile.
+    ChanX(u16),
+    /// Track `t` of the vertical channel on the east edge of the tile.
+    ChanY(u16),
+}
+
+/// A node with its location.
+#[derive(Debug, Clone, Copy)]
+pub struct RRNodeData {
+    /// Resource type and index within the tile.
+    pub kind: RRKind,
+    /// Tile x.
+    pub x: u16,
+    /// Tile y.
+    pub y: u16,
+}
+
+/// The full routing-resource graph in CSR form.
+#[derive(Debug, Clone)]
+pub struct RRGraph {
+    nodes: IdVec<RRNode, RRNodeData>,
+    /// CSR offsets into `targets`.
+    offsets: Vec<u32>,
+    /// Edge targets; index into this array *is* the edge id.
+    targets: Vec<RRNode>,
+    /// Per-tile first OPin node and count, row-major over the grid.
+    opin_base: Vec<(RRNode, u16)>,
+    /// Per-tile first IPin node and count.
+    ipin_base: Vec<(RRNode, u16)>,
+    /// First ChanX node (tracks contiguous per tile) — see `chanx`.
+    chanx_base: RRNode,
+    /// First ChanY node.
+    chany_base: RRNode,
+    width: usize,
+    height: usize,
+    tracks: usize,
+}
+
+impl RRGraph {
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of directed edges (programmable switch configurations).
+    pub fn n_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Node data.
+    pub fn node(&self, id: RRNode) -> &RRNodeData {
+        &self.nodes[id]
+    }
+
+    /// Outgoing `(edge, target)` pairs.
+    pub fn out_edges(&self, id: RRNode) -> impl Iterator<Item = (RREdge, RRNode)> + '_ {
+        let lo = self.offsets[id.0 as usize] as usize;
+        let hi = self.offsets[id.0 as usize + 1] as usize;
+        (lo..hi).map(move |i| (i as RREdge, self.targets[i]))
+    }
+
+    /// Number of wire (channel) nodes.
+    pub fn n_wires(&self) -> usize {
+        self.nodes
+            .values()
+            .filter(|n| matches!(n.kind, RRKind::ChanX(_) | RRKind::ChanY(_)))
+            .count()
+    }
+
+    fn tile_index(&self, x: usize, y: usize) -> usize {
+        y * self.width + x
+    }
+
+    /// The `pin`-th output-pin node of tile `(x, y)`; `None` if the tile
+    /// has fewer output pins.
+    pub fn opin(&self, x: usize, y: usize, pin: usize) -> Option<RRNode> {
+        let (base, n) = self.opin_base[self.tile_index(x, y)];
+        (pin < n as usize).then(|| RRNode(base.0 + pin as u32))
+    }
+
+    /// The `pin`-th input-pin node of tile `(x, y)`.
+    pub fn ipin(&self, x: usize, y: usize, pin: usize) -> Option<RRNode> {
+        let (base, n) = self.ipin_base[self.tile_index(x, y)];
+        (pin < n as usize).then(|| RRNode(base.0 + pin as u32))
+    }
+
+    /// Number of input pins of tile `(x, y)`.
+    pub fn n_ipins(&self, x: usize, y: usize) -> usize {
+        self.ipin_base[self.tile_index(x, y)].1 as usize
+    }
+
+    /// Number of output pins of tile `(x, y)`.
+    pub fn n_opins(&self, x: usize, y: usize) -> usize {
+        self.opin_base[self.tile_index(x, y)].1 as usize
+    }
+
+    /// Track `t` of the horizontal channel north of tile `(x, y)`.
+    /// Channels exist for `y < height-1`.
+    pub fn chanx(&self, x: usize, y: usize, t: usize) -> Option<RRNode> {
+        if x >= self.width || y + 1 >= self.height || t >= self.tracks {
+            return None;
+        }
+        let idx = (y * self.width + x) * self.tracks + t;
+        Some(RRNode(self.chanx_base.0 + idx as u32))
+    }
+
+    /// Track `t` of the vertical channel east of tile `(x, y)`.
+    /// Channels exist for `x < width-1`.
+    pub fn chany(&self, x: usize, y: usize, t: usize) -> Option<RRNode> {
+        if x + 1 >= self.width || y >= self.height || t >= self.tracks {
+            return None;
+        }
+        let idx = (y * (self.width - 1) + x) * self.tracks + t;
+        Some(RRNode(self.chany_base.0 + idx as u32))
+    }
+
+    /// Manhattan distance between two nodes' tiles (admissible A*
+    /// heuristic for unit-cost wires).
+    pub fn distance(&self, a: RRNode, b: RRNode) -> u32 {
+        let na = &self.nodes[a];
+        let nb = &self.nodes[b];
+        na.x.abs_diff(nb.x) as u32 + na.y.abs_diff(nb.y) as u32
+    }
+}
+
+/// Build the routing-resource graph of a device.
+pub fn build_rrg(dev: &Device) -> RRGraph {
+    let w = dev.width;
+    let h = dev.height;
+    let tracks = dev.spec.channel_width;
+    let mut nodes: IdVec<RRNode, RRNodeData> = IdVec::new();
+    let mut opin_base = vec![(RRNode(0), 0u16); w * h];
+    let mut ipin_base = vec![(RRNode(0), 0u16); w * h];
+
+    // Pins per tile kind.
+    for y in 0..h {
+        for x in 0..w {
+            let (n_out, n_in) = match dev.tile(x, y) {
+                TileKind::Clb => (dev.spec.n_ble, dev.spec.clb_inputs),
+                TileKind::Io => (dev.spec.io_capacity, dev.spec.io_capacity),
+                TileKind::Corner => (0, 0),
+            };
+            let base_o = nodes.next_id();
+            for p in 0..n_out {
+                nodes.push(RRNodeData { kind: RRKind::OPin(p as u16), x: x as u16, y: y as u16 });
+            }
+            opin_base[y * w + x] = (base_o, n_out as u16);
+            let base_i = nodes.next_id();
+            for p in 0..n_in {
+                nodes.push(RRNodeData { kind: RRKind::IPin(p as u16), x: x as u16, y: y as u16 });
+            }
+            ipin_base[y * w + x] = (base_i, n_in as u16);
+        }
+    }
+
+    // Channel wires: ChanX for all x, y < h-1; ChanY for x < w-1, all y.
+    let chanx_base = nodes.next_id();
+    for y in 0..h - 1 {
+        for x in 0..w {
+            for t in 0..tracks {
+                nodes.push(RRNodeData { kind: RRKind::ChanX(t as u16), x: x as u16, y: y as u16 });
+            }
+        }
+    }
+    let chany_base = nodes.next_id();
+    for y in 0..h {
+        for x in 0..w - 1 {
+            for t in 0..tracks {
+                nodes.push(RRNodeData { kind: RRKind::ChanY(t as u16), x: x as u16, y: y as u16 });
+            }
+        }
+    }
+
+    let mut g = RRGraph {
+        nodes,
+        offsets: Vec::new(),
+        targets: Vec::new(),
+        opin_base,
+        ipin_base,
+        chanx_base,
+        chany_base,
+        width: w,
+        height: h,
+        tracks,
+    };
+
+    // Collect edges, then build CSR.
+    let mut edges: Vec<(RRNode, RRNode)> = Vec::new();
+    let both = |edges: &mut Vec<(RRNode, RRNode)>, a: RRNode, b: RRNode| {
+        edges.push((a, b));
+        edges.push((b, a));
+    };
+
+    // Switch boxes at each channel crossing (x, y): the corner shared by
+    // ChanX(x,y), ChanX(x+1,y), ChanY(x,y), ChanY(x,y+1). Wilton-style
+    // track permutations on turns, straight-through on the same track.
+    for y in 0..h - 1 {
+        for x in 0..w - 1 {
+            for t in 0..tracks {
+                let cx_l = g.chanx(x, y, t);
+                let cx_r = g.chanx(x + 1, y, t);
+                let cy_b = g.chany(x, y, t);
+                let cy_t = g.chany(x, y + 1, t);
+                // Straight.
+                if let (Some(a), Some(b)) = (cx_l, cx_r) {
+                    both(&mut edges, a, b);
+                }
+                if let (Some(a), Some(b)) = (cy_b, cy_t) {
+                    both(&mut edges, a, b);
+                }
+                // Turns with Wilton-like permutations. The ±1 rotations
+                // alone preserve track parity between X and Y wires
+                // (splitting the fabric into two disconnected halves), so
+                // two same-track turns are included per crossing as well.
+                let tp = (t + 1) % tracks;
+                let tm = (tracks - 1 + t) % tracks;
+                if let (Some(a), Some(b)) = (cx_l, g.chany(x, y, tp)) {
+                    both(&mut edges, a, b);
+                }
+                if let (Some(a), Some(b)) = (cx_l, g.chany(x, y + 1, tm)) {
+                    both(&mut edges, a, b);
+                }
+                if let (Some(a), Some(b)) = (cx_r, g.chany(x, y, tm)) {
+                    both(&mut edges, a, b);
+                }
+                if let (Some(a), Some(b)) = (cx_r, g.chany(x, y + 1, tp)) {
+                    both(&mut edges, a, b);
+                }
+                if let (Some(a), Some(b)) = (cx_l, cy_b) {
+                    both(&mut edges, a, b);
+                }
+                if let (Some(a), Some(b)) = (cx_r, cy_t) {
+                    both(&mut edges, a, b);
+                }
+            }
+        }
+    }
+
+    // Connection boxes. The four channels adjacent to tile (x, y):
+    // north ChanX(x, y), south ChanX(x, y-1), east ChanY(x, y),
+    // west ChanY(x-1, y).
+    let fc_in = dev.spec.fc_in_abs();
+    let fc_out = dev.spec.fc_out_abs();
+    for y in 0..h {
+        for x in 0..w {
+            if dev.tile(x, y) == TileKind::Corner {
+                continue;
+            }
+            let n_in = g.n_ipins(x, y);
+            let n_out = g.n_opins(x, y);
+            for pin in 0..n_in {
+                let ipin = g.ipin(x, y, pin).expect("pin in range");
+                // Spread pins over the four sides round-robin; connect to
+                // fc_in tracks with a pin-dependent offset so different
+                // pins reach different tracks.
+                let side = pin % 4;
+                for j in 0..fc_in {
+                    let t = (pin * 7 + j * (tracks / fc_in).max(1)) % tracks;
+                    if let Some(wire) = chan_on_side(&g, side, x, y, t) {
+                        edges.push((wire, ipin));
+                    }
+                }
+            }
+            for pin in 0..n_out {
+                let opin = g.opin(x, y, pin).expect("pin in range");
+                let side = (pin + 2) % 4;
+                for j in 0..fc_out {
+                    let t = (pin * 5 + j * (tracks / fc_out).max(1)) % tracks;
+                    if let Some(wire) = chan_on_side(&g, side, x, y, t) {
+                        edges.push((opin, wire));
+                    }
+                }
+                // Give output pins a second side so perimeter IOs always
+                // reach a channel.
+                let side2 = (pin + 1) % 4;
+                for j in 0..fc_out {
+                    let t = (pin * 5 + 3 + j * (tracks / fc_out).max(1)) % tracks;
+                    if let Some(wire) = chan_on_side(&g, side2, x, y, t) {
+                        edges.push((opin, wire));
+                    }
+                }
+            }
+            // Input pins likewise get a second side.
+            for pin in 0..n_in {
+                let ipin = g.ipin(x, y, pin).expect("pin in range");
+                let side2 = (pin + 2) % 4;
+                for j in 0..fc_in {
+                    let t = (pin * 7 + 3 + j * (tracks / fc_in).max(1)) % tracks;
+                    if let Some(wire) = chan_on_side(&g, side2, x, y, t) {
+                        edges.push((wire, ipin));
+                    }
+                }
+            }
+        }
+    }
+
+    // CSR.
+    let n = g.nodes.len();
+    let mut counts = vec![0u32; n + 1];
+    for &(from, _) in &edges {
+        counts[from.0 as usize + 1] += 1;
+    }
+    for i in 0..n {
+        counts[i + 1] += counts[i];
+    }
+    let mut targets = vec![RRNode(0); edges.len()];
+    let mut cursor = counts.clone();
+    for &(from, to) in &edges {
+        let slot = cursor[from.0 as usize] as usize;
+        targets[slot] = to;
+        cursor[from.0 as usize] += 1;
+    }
+    g.offsets = counts;
+    g.targets = targets;
+    g
+}
+
+// Helper used only during construction (before CSR exists — it only needs
+// coordinate math from the graph).
+fn chan_on_side(g: &RRGraph, side: usize, x: usize, y: usize, t: usize) -> Option<RRNode> {
+    match side {
+        0 => g.chanx(x, y, t),                      // north
+        1 => y.checked_sub(1).and_then(|ys| g.chanx(x, ys, t)), // south
+        2 => g.chany(x, y, t),                      // east
+        _ => x.checked_sub(1).and_then(|xs| g.chany(xs, y, t)), // west
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::ArchSpec;
+
+    fn small() -> (Device, RRGraph) {
+        let dev = Device::new(ArchSpec { channel_width: 8, ..Default::default() }, 4, 4);
+        let g = build_rrg(&dev);
+        (dev, g)
+    }
+
+    #[test]
+    fn node_lookups_are_consistent() {
+        let (dev, g) = small();
+        for (x, y) in dev.clb_tiles() {
+            assert_eq!(g.n_opins(x, y), dev.spec.n_ble);
+            assert_eq!(g.n_ipins(x, y), dev.spec.clb_inputs);
+            let o = g.opin(x, y, 0).unwrap();
+            let d = g.node(o);
+            assert_eq!((d.x as usize, d.y as usize), (x, y));
+            assert!(matches!(d.kind, RRKind::OPin(0)));
+            assert!(g.opin(x, y, dev.spec.n_ble).is_none());
+        }
+    }
+
+    #[test]
+    fn chan_coordinates_round_trip() {
+        let (_, g) = small();
+        let n = g.chanx(2, 3, 5).unwrap();
+        let d = g.node(n);
+        assert!(matches!(d.kind, RRKind::ChanX(5)));
+        assert_eq!((d.x, d.y), (2, 3));
+        let n2 = g.chany(1, 4, 7).unwrap();
+        let d2 = g.node(n2);
+        assert!(matches!(d2.kind, RRKind::ChanY(7)));
+        assert_eq!((d2.x, d2.y), (1, 4));
+    }
+
+    #[test]
+    fn chan_bounds_checked() {
+        let (dev, g) = small();
+        assert!(g.chanx(0, dev.height - 1, 0).is_none());
+        assert!(g.chany(dev.width - 1, 0, 0).is_none());
+        assert!(g.chanx(0, 0, dev.spec.channel_width).is_none());
+    }
+
+    #[test]
+    fn switch_boxes_connect_wires_bidirectionally() {
+        let (_, g) = small();
+        let a = g.chanx(1, 1, 0).unwrap();
+        let b = g.chanx(2, 1, 0).unwrap();
+        assert!(g.out_edges(a).any(|(_, t)| t == b), "straight X missing");
+        assert!(g.out_edges(b).any(|(_, t)| t == a), "reverse missing");
+    }
+
+    #[test]
+    fn every_opin_reaches_a_wire_and_every_ipin_is_reachable() {
+        let (dev, g) = small();
+        // OPins must have out edges; IPins must have in edges. Build an
+        // in-degree table from the CSR.
+        let mut indeg = vec![0usize; g.n_nodes()];
+        for id in 0..g.n_nodes() {
+            for (_, t) in g.out_edges(RRNode(id as u32)) {
+                indeg[t.0 as usize] += 1;
+            }
+        }
+        for (x, y) in dev.clb_tiles().chain(dev.io_tiles()) {
+            for p in 0..g.n_opins(x, y) {
+                let o = g.opin(x, y, p).unwrap();
+                assert!(g.out_edges(o).count() > 0, "opin {o:?} at ({x},{y}) dangling");
+            }
+            for p in 0..g.n_ipins(x, y) {
+                let i = g.ipin(x, y, p).unwrap();
+                assert!(indeg[i.0 as usize] > 0, "ipin {i:?} at ({x},{y}) unreachable");
+            }
+        }
+    }
+
+    #[test]
+    fn full_connectivity_opin_to_ipin() {
+        // BFS from one CLB opin must reach every ipin of a distant CLB.
+        let (_, g) = small();
+        let start = g.opin(1, 1, 0).unwrap();
+        let mut seen = vec![false; g.n_nodes()];
+        let mut queue = std::collections::VecDeque::new();
+        seen[start.0 as usize] = true;
+        queue.push_back(start);
+        while let Some(n) = queue.pop_front() {
+            for (_, t) in g.out_edges(n) {
+                if !seen[t.0 as usize] {
+                    seen[t.0 as usize] = true;
+                    queue.push_back(t);
+                }
+            }
+        }
+        let target = g.ipin(4, 4, 3).unwrap();
+        assert!(seen[target.0 as usize], "distant ipin unreachable");
+    }
+
+    #[test]
+    fn distance_is_manhattan() {
+        let (_, g) = small();
+        let a = g.chanx(1, 1, 0).unwrap();
+        let b = g.chanx(4, 3, 0).unwrap();
+        assert_eq!(g.distance(a, b), 3 + 2);
+    }
+}
+

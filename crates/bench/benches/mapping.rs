@@ -1,0 +1,77 @@
+//! Criterion benches for the technology mappers (the engines behind
+//! Table I): SimpleMap, the ABC-style priority-cuts baseline, and the
+//! parameterized TCONMap, at two circuit sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pfdbg_circuits::{generate, GenParams};
+use pfdbg_core::{instrument, prepare_instrumented, InstrumentConfig, PAPER_K};
+use pfdbg_map::{map, map_parameterized_network, MapperKind};
+use pfdbg_synth::synthesize;
+
+fn gen(n_gates: usize) -> pfdbg_netlist::Network {
+    generate(&GenParams {
+        n_inputs: (n_gates / 10).max(6),
+        n_outputs: (n_gates / 16).max(4),
+        n_gates,
+        depth: 8,
+        n_latches: n_gates / 20,
+        seed: 1234,
+    })
+}
+
+fn bench_conventional_mappers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("conventional_mappers");
+    for &size in &[100usize, 400] {
+        let design = gen(size);
+        let inst = instrument(
+            &design,
+            &InstrumentConfig { n_ports: 4, max_signals: None, coverage: 1 },
+        );
+        let mut conv = inst.network.clone();
+        let params: Vec<_> = conv.params().collect();
+        for p in params {
+            conv.set_param(p, false);
+        }
+        let aig = synthesize(&conv).expect("synthesis");
+        g.bench_with_input(BenchmarkId::new("simple_map", size), &aig, |b, aig| {
+            b.iter(|| map(aig, PAPER_K, MapperKind::Simple).lut_area())
+        });
+        g.bench_with_input(BenchmarkId::new("priority_cuts", size), &aig, |b, aig| {
+            b.iter(|| map(aig, PAPER_K, MapperKind::PriorityCuts).lut_area())
+        });
+    }
+    g.finish();
+}
+
+fn bench_tconmap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tconmap");
+    for &size in &[100usize, 400] {
+        let design = gen(size);
+        let (_, _, inst) = prepare_instrumented(
+            &design,
+            &InstrumentConfig { n_ports: 4, max_signals: None, coverage: 1 },
+            PAPER_K,
+        )
+        .expect("prepare");
+        g.bench_with_input(
+            BenchmarkId::new("map_parameterized_network", size),
+            &inst.network,
+            |b, nw| b.iter(|| map_parameterized_network(nw, PAPER_K).expect("map").stats.tcons),
+        );
+    }
+    g.finish();
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("synthesis");
+    for &size in &[100usize, 400] {
+        let design = gen(size);
+        g.bench_with_input(BenchmarkId::new("strash_balance_sweep", size), &design, |b, d| {
+            b.iter(|| synthesize(d).expect("synthesis").n_ands())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_conventional_mappers, bench_tconmap, bench_synthesis);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion benches for place & route (the §V.C.1 runtime claim:
+//! parameterized designs place & route faster because they are
+//! smaller): TPaR on the parameterized mapping vs the conventional
+//! mapping of the same instrumented design.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pfdbg_circuits::{generate, GenParams};
+use pfdbg_core::{instrument, prepare_instrumented, InstrumentConfig, PAPER_K};
+use pfdbg_map::{map, map_parameterized_network, MapperKind};
+use pfdbg_pr::{tpar, TparConfig};
+use pfdbg_synth::synthesize;
+
+fn small_design() -> pfdbg_netlist::Network {
+    generate(&GenParams {
+        n_inputs: 12,
+        n_outputs: 8,
+        n_gates: 80,
+        depth: 6,
+        n_latches: 4,
+        seed: 31,
+    })
+}
+
+fn bench_tpar(c: &mut Criterion) {
+    let design = small_design();
+
+    // Parameterized: mapped with TCONMap.
+    let (_, _, inst) = prepare_instrumented(
+        &design,
+        &InstrumentConfig { n_ports: 2, max_signals: None, coverage: 1 },
+        PAPER_K,
+    )
+    .expect("prepare");
+    let mp = map_parameterized_network(&inst.network, PAPER_K).expect("tconmap");
+
+    // Conventional: same instrumented design, muxes as LUTs.
+    let inst2 = instrument(
+        &design,
+        &InstrumentConfig { n_ports: 2, max_signals: None, coverage: 1 },
+    );
+    let mut conv = inst2.network.clone();
+    let params: Vec<_> = conv.params().collect();
+    for p in params {
+        conv.set_param(p, false);
+    }
+    let aig = synthesize(&conv).expect("synthesis");
+    let conv_mapping = map(&aig, PAPER_K, MapperKind::PriorityCuts);
+    let (conv_nw, conv_kinds) = conv_mapping.to_network(&aig);
+
+    let mut g = c.benchmark_group("place_and_route");
+    g.sample_size(10);
+    g.bench_function("parameterized", |b| {
+        b.iter(|| {
+            tpar(&mp.network, &mp.kinds, &TparConfig::default())
+                .expect("routes")
+                .stats
+                .wires_used
+        })
+    });
+    g.bench_function("conventional", |b| {
+        b.iter(|| {
+            tpar(&conv_nw, &conv_kinds, &TparConfig::default())
+                .expect("routes")
+                .stats
+                .wires_used
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tpar);
+criterion_main!(benches);

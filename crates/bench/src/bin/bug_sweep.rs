@@ -1,0 +1,119 @@
+//! Extension experiment: sweep randomly injected RTL bugs through the
+//! automated localization loop and report how many debugging turns (=
+//! specializations) each hunt takes — and how many *recompilations* the
+//! same hunt would cost with conventional preselected-signal
+//! instrumentation.
+//!
+//! Conventional model: a trace instrument with `n_ports` preselected
+//! signals can watch one fixed set; every time the hunt needs a signal
+//! outside the current set, the design must be re-instrumented and
+//! recompiled. The proposed flow needs zero recompiles by construction.
+
+use pfdbg_circuits::{generate, GenParams};
+use pfdbg_core::{instrument, localize, DebugSession, InstrumentConfig};
+use pfdbg_emu::{apply_static, injectable_nets, lockstep, Fault};
+use pfdbg_netlist::truth::gates;
+use pfdbg_util::stats::Accumulator;
+use pfdbg_util::table::Table;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let n_bugs = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20usize);
+    let design = generate(&GenParams {
+        n_inputs: 12,
+        n_outputs: 8,
+        n_gates: 90,
+        depth: 7,
+        n_latches: 0,
+        seed: 314,
+    });
+    let icfg = InstrumentConfig { n_ports: 2, max_signals: None, coverage: 1 };
+    let inst_template = instrument(&design, &icfg);
+    let clean = inst_template.network.clone();
+    let victims = injectable_nets(&clean);
+    eprintln!(
+        "sweeping {n_bugs} random WrongGate bugs over {} candidate nets...",
+        victims.len()
+    );
+
+    let wrong_tables = [gates::nand2(), gates::nor2(), gates::xnor2(), gates::or2()];
+    let mut rng = StdRng::seed_from_u64(2718);
+    let mut turns = Accumulator::new();
+    let mut conv_recompiles = Accumulator::new();
+    let mut exact_hits = 0usize;
+    let mut excited = 0usize;
+
+    for bug in 0..n_bugs {
+        let victim_id = victims[rng.gen_range(0..victims.len())];
+        let victim = clean.node(victim_id).name.clone();
+        let arity = clean.node(victim_id).fanins.len();
+        let table = wrong_tables[rng.gen_range(0..wrong_tables.len())].clone();
+        if table.nvars() != arity {
+            continue;
+        }
+        let faulty = match apply_static(
+            &clean,
+            &Fault::WrongGate { net: victim.clone(), table },
+        ) {
+            Ok(f) => f,
+            Err(_) => continue,
+        };
+        let report = lockstep(&clean, &faulty, 512, bug as u64).expect("lockstep");
+        // The engineer notices wrong *user* outputs; trace ports are the
+        // debug instrument, not the observable failure.
+        let Some((_, failing)) = report
+            .mismatches
+            .iter()
+            .find(|(_, name)| !name.starts_with('$'))
+            .cloned()
+        else {
+            continue; // this stimulus never excites the fault on a user output
+        };
+        excited += 1;
+        let mut session = DebugSession::new(inst_template.clone(), None);
+        let Ok(loc) = localize(&mut session, &clean, &faulty, &failing, 512, bug as u64)
+        else {
+            continue;
+        };
+        turns.add(loc.turns_used as f64);
+        if loc.suspect == victim {
+            exact_hits += 1;
+        }
+
+        // Conventional cost model: ports can watch `n_ports` signals at a
+        // time; greedily batch the observation sequence; every new batch
+        // beyond the first is a recompile.
+        let observed = loc.observations.len();
+        let batches = observed.div_ceil(icfg.n_ports);
+        conv_recompiles.add(batches.saturating_sub(1) as f64);
+    }
+
+    let mut t = Table::new(["quantity", "value"]);
+    t.row(["bugs excited by stimulus".to_string(), format!("{excited}/{n_bugs}")]);
+    t.row([
+        "exact localization".to_string(),
+        format!("{exact_hits}/{} excited", turns.count()),
+    ]);
+    t.row([
+        "debugging turns per hunt (mean)".to_string(),
+        format!("{:.1} (max {:.0})", turns.mean().unwrap_or(0.0), turns.max().unwrap_or(0.0)),
+    ]);
+    t.row([
+        "recompiles, proposed flow".to_string(),
+        "0 (specializations only)".to_string(),
+    ]);
+    t.row([
+        "recompiles, conventional flow (mean)".to_string(),
+        format!("{:.1} per hunt", conv_recompiles.mean().unwrap_or(0.0)),
+    ]);
+    println!("=== bug-localization sweep (extension experiment) ===");
+    print!("{}", t.render());
+    println!(
+        "\neach conventional recompile costs a full place&route (minutes–hours per the\n\
+         paper); each proposed turn costs ~50 us — the debug cycle the paper's Fig. 4 targets"
+    );
+}

@@ -1,0 +1,44 @@
+//! Regenerate **Fig. 3** — the area story: a conventional flow reserves
+//! dedicated LUT area for trace instrumentation and the mux network,
+//! while the proposed flow integrates the debug infrastructure into the
+//! (reconfigured) routing, leaving the logic array to the user circuit.
+
+use pfdbg_core::{compare_mappers, InstrumentConfig, PAPER_K};
+use pfdbg_util::table::BarChart;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "stereov.".into());
+    let nw = pfdbg_circuits::build(&name).unwrap_or_else(|| {
+        eprintln!("unknown benchmark {name}");
+        std::process::exit(1);
+    });
+    eprintln!("running Fig. 3 breakdown on {name}...");
+    let cmp = compare_mappers(&name, &nw, &InstrumentConfig::paper(), PAPER_K)
+        .expect("comparison");
+
+    let user = cmp.initial_luts as f64;
+    let conv_debug = (cmp.abc_luts.saturating_sub(cmp.initial_luts)) as f64;
+    let prop_debug = (cmp.proposed_luts.saturating_sub(cmp.initial_luts)) as f64;
+
+    println!("=== Fig. 3: LUT-area occupation, {name} ===\n");
+    println!("(a) conventional flow — dedicated area for debugging:");
+    let mut a = BarChart::new();
+    a.bar("user circuit          ", user);
+    a.bar("trace instr + muxes   ", conv_debug);
+    print!("{}", a.render(60));
+    println!(
+        "    debug overhead: {:.0}% of the user circuit\n",
+        100.0 * conv_debug / user.max(1.0)
+    );
+
+    println!("(b) proposed — debugging integrated in reconfigurable routing:");
+    let mut b = BarChart::new();
+    b.bar("user circuit          ", user);
+    b.bar("debug LUT overhead    ", prop_debug);
+    print!("{}", b.render(60));
+    println!(
+        "    debug LUT overhead: {:.0}% (plus {} TCONs living in the routing fabric)",
+        100.0 * prop_debug / user.max(1.0),
+        cmp.tcons
+    );
+}

@@ -1,0 +1,26 @@
+//! Regenerate **Fig. 7** — the area comparison of Table I as a bar
+//! chart (rendered as aligned text bars, one group per benchmark).
+
+use pfdbg_bench::run_suite_comparison;
+use pfdbg_util::table::BarChart;
+
+fn main() {
+    eprintln!("running Fig. 7 over the calibrated suite...");
+    let rows = run_suite_comparison();
+
+    println!("=== Fig. 7: area results in look-up tables (measured) ===\n");
+    for r in &rows {
+        let m = &r.measured;
+        let mut chart = BarChart::new();
+        chart.bar("Initial ", m.initial_luts as f64);
+        chart.bar("SimpleMap", m.sm_luts as f64);
+        chart.bar("ABC      ", m.abc_luts as f64);
+        chart.bar("Proposed ", m.proposed_luts as f64);
+        println!("{}:", m.name);
+        print!("{}", chart.render(60));
+        println!();
+    }
+
+    println!("(paper's Fig. 7 plots the same series from Table I; the shape to check:");
+    println!(" SM and ABC bars tower over Initial, Proposed stays at Initial's level)");
+}

@@ -1,0 +1,67 @@
+//! Regenerate **Table II** — logic-depth results after adding the
+//! debugging infrastructure, per mapper, next to the paper's numbers.
+
+use pfdbg_bench::run_suite_comparison;
+use pfdbg_util::table::Table;
+
+fn main() {
+    eprintln!("running Table II over the calibrated suite (8 benchmarks, parallel)...");
+    let rows = run_suite_comparison();
+
+    let mut t = Table::new([
+        "Benchmark",
+        "Golden",
+        "SimpleMap",
+        "ABC",
+        "Proposed",
+        "| paper:",
+        "Golden",
+        "SM",
+        "ABC",
+        "Prop",
+    ]);
+    for r in &rows {
+        let m = &r.measured;
+        let p = r.paper;
+        t.row([
+            m.name.clone(),
+            m.depth_golden.to_string(),
+            m.depth_sm.to_string(),
+            m.depth_abc.to_string(),
+            m.depth_proposed.to_string(),
+            "|".to_string(),
+            p.depth_golden.to_string(),
+            p.depth_sm.to_string(),
+            p.depth_abc.to_string(),
+            p.depth_proposed.to_string(),
+        ]);
+    }
+    println!("=== Table II: depth results (measured | paper) ===");
+    print!("{}", t.render());
+
+    let preserved = rows
+        .iter()
+        .filter(|r| r.measured.depth_proposed <= r.measured.depth_golden)
+        .count();
+    println!(
+        "\nproposed depth <= golden depth on {preserved}/{} benchmarks \
+         (paper: depth \"either remained the same or reduced\")",
+        rows.len()
+    );
+    let conv_worse = rows
+        .iter()
+        .filter(|r| {
+            r.measured.depth_sm > r.measured.depth_golden
+                || r.measured.depth_abc > r.measured.depth_golden
+        })
+        .count();
+    println!(
+        "a conventional mapper increases depth on {conv_worse}/{} benchmarks",
+        rows.len()
+    );
+
+    let csv_path = "target/table2.csv";
+    if std::fs::write(csv_path, t.to_csv()).is_ok() {
+        eprintln!("wrote {csv_path}");
+    }
+}

@@ -1,0 +1,107 @@
+//! Shared machinery for the benchmark harness: runs the paper's
+//! experiments over the calibrated suite and renders the tables and
+//! figures. Each `src/bin/*.rs` regenerates one artifact:
+//!
+//! | binary             | artifact |
+//! |--------------------|----------|
+//! | `table1`           | Table I — area in #LUTs |
+//! | `table2`           | Table II — logic depth |
+//! | `fig7`             | Fig. 7 — area bar chart |
+//! | `fig3`             | Fig. 3 — dedicated vs integrated debug area |
+//! | `compile_time`     | §V.C.1 — wires / CLBs / place&route runtime |
+//! | `runtime_overhead` | §V.C.2 — specialization vs reconfiguration, amortization |
+//! | `debug_cycle`      | Fig. 4 — conventional vs proposed debug-cycle latency |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pfdbg_circuits::{paper_row, PaperRow};
+use pfdbg_core::{compare_mappers, InstrumentConfig, MapperComparison, PAPER_K};
+use pfdbg_util::stats::geomean;
+
+/// One benchmark's measured and published rows side by side.
+pub struct TableRow {
+    /// Our measurement.
+    pub measured: MapperComparison,
+    /// The paper's published numbers.
+    pub paper: &'static PaperRow,
+}
+
+/// Run the Table I/II measurement over the calibrated suite, in parallel
+/// (one thread per benchmark).
+pub fn run_suite_comparison() -> Vec<TableRow> {
+    let suite = pfdbg_circuits::build_all();
+    let mut results: Vec<Option<TableRow>> = Vec::with_capacity(suite.len());
+    for _ in 0..suite.len() {
+        results.push(None);
+    }
+    crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for (name, nw) in &suite {
+            handles.push(s.spawn(move |_| {
+                let cmp = compare_mappers(name, nw, &InstrumentConfig::paper(), PAPER_K)
+                    .unwrap_or_else(|e| panic!("{name}: {e}"));
+                TableRow { measured: cmp, paper: paper_row(name).expect("known") }
+            }));
+        }
+        for (slot, h) in results.iter_mut().zip(handles) {
+            *slot = Some(h.join().expect("benchmark thread panicked"));
+        }
+    })
+    .expect("scope");
+    results.into_iter().map(|r| r.expect("filled")).collect()
+}
+
+/// The aggregate the paper headlines: geometric-mean reduction of the
+/// proposed mapping vs the best conventional mapper.
+pub fn mean_reduction(rows: &[TableRow]) -> f64 {
+    let ratios: Vec<f64> = rows.iter().map(|r| r.measured.reduction_factor()).collect();
+    geomean(&ratios).unwrap_or(f64::NAN)
+}
+
+/// Same aggregate over the paper's published numbers, for the
+/// paper-vs-measured comparison.
+pub fn paper_reduction(rows: &[TableRow]) -> f64 {
+    let ratios: Vec<f64> = rows
+        .iter()
+        .map(|r| {
+            r.paper.sm_luts.min(r.paper.abc_luts) as f64 / r.paper.proposed_luts.max(1) as f64
+        })
+        .collect();
+    geomean(&ratios).unwrap_or(f64::NAN)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_reduction_matches_published_claim() {
+        // Build rows with dummy measurements to exercise the aggregate
+        // over the published numbers alone.
+        let rows: Vec<TableRow> = pfdbg_circuits::PAPER_ROWS
+            .iter()
+            .map(|p| TableRow {
+                measured: MapperComparison {
+                    name: p.name.into(),
+                    gates: p.gates,
+                    initial_luts: p.initial_luts,
+                    sm_luts: p.sm_luts,
+                    abc_luts: p.abc_luts,
+                    proposed_luts: p.proposed_luts,
+                    tluts: p.tluts,
+                    tcons: p.tcons,
+                    depth_golden: p.depth_golden as u32,
+                    depth_sm: p.depth_sm as u32,
+                    depth_abc: p.depth_abc as u32,
+                    depth_proposed: p.depth_proposed as u32,
+                },
+                paper: p,
+            })
+            .collect();
+        let r = paper_reduction(&rows);
+        assert!((2.8..4.5).contains(&r), "paper geomean reduction {r}");
+        // measured == paper here, so both aggregates agree.
+        assert!((mean_reduction(&rows) - r).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,253 @@
+//! Random layered-DAG circuit generation.
+//!
+//! The ISCAS89 / VTR benchmark files the paper uses are not
+//! redistributable here, so the suite (see [`crate::suite`]) is built
+//! from a deterministic generator calibrated to each benchmark's
+//! published gate count, logic depth and sequential character. The
+//! generator produces layered DAGs with Rent-like locality: most fanins
+//! come from nearby levels, a few from far back — the structural
+//! properties technology mapping and place & route actually respond to.
+
+use pfdbg_netlist::truth::TruthTable;
+use pfdbg_netlist::{Network, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct GenParams {
+    /// Primary inputs.
+    pub n_inputs: usize,
+    /// Primary outputs.
+    pub n_outputs: usize,
+    /// 2-input gates to create.
+    pub n_gates: usize,
+    /// Gate-level logic depth to aim for (levels of 2-input gates).
+    pub depth: usize,
+    /// Latches (0 = purely combinational).
+    pub n_latches: usize,
+    /// RNG seed — same seed, same circuit.
+    pub seed: u64,
+}
+
+/// The 2-input gate menu. XOR-rich circuits map into more LUTs, matching
+/// arithmetic benchmarks; control benchmarks use more AND/OR.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateMix {
+    /// Probability of an XOR/XNOR gate.
+    pub xor: f64,
+    /// Probability of a NAND/NOR gate (vs. plain AND/OR for the rest).
+    pub nand: f64,
+}
+
+impl Default for GateMix {
+    fn default() -> Self {
+        GateMix { xor: 0.25, nand: 0.3 }
+    }
+}
+
+/// Generate a random circuit.
+pub fn generate(p: &GenParams) -> Network {
+    generate_with_mix(p, GateMix::default())
+}
+
+/// Generate with a specific gate mix.
+pub fn generate_with_mix(p: &GenParams, mix: GateMix) -> Network {
+    assert!(p.n_inputs >= 2, "need at least two inputs");
+    assert!(p.depth >= 1, "need at least one level");
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut nw = Network::new(format!("gen_{}", p.seed));
+
+    let inputs: Vec<NodeId> = (0..p.n_inputs).map(|i| nw.add_input(format!("pi{i}"))).collect();
+
+    // Latches are sources during generation; their data is wired at the
+    // end from late-level gates (forming state feedback).
+    let latches: Vec<NodeId> = (0..p.n_latches)
+        .map(|i| nw.add_latch(format!("lat{i}"), inputs[i % inputs.len()], false))
+        .collect();
+
+    // Distribute gates over levels: every level gets a base share; level
+    // occupancy shrinks slightly toward the output side (typical shape).
+    let mut level_sizes = vec![0usize; p.depth];
+    let mut remaining = p.n_gates;
+    // Reserve one gate per level so the depth target is reachable.
+    for s in level_sizes.iter_mut() {
+        *s = 1;
+        remaining = remaining.saturating_sub(1);
+    }
+    let mut weights: Vec<f64> = (0..p.depth)
+        .map(|l| 1.0 - 0.4 * (l as f64 / p.depth.max(1) as f64))
+        .collect();
+    let wsum: f64 = weights.iter().sum();
+    for w in &mut weights {
+        *w /= wsum;
+    }
+    for (l, w) in weights.iter().enumerate() {
+        let take = ((remaining as f64) * w).floor() as usize;
+        level_sizes[l] += take;
+    }
+    // Distribute any rounding remainder to early levels.
+    let assigned: usize = level_sizes.iter().sum();
+    for l in 0..p.n_gates.saturating_sub(assigned) {
+        level_sizes[l % p.depth] += 1;
+    }
+
+    // Per-level node pools.
+    let mut levels: Vec<Vec<NodeId>> = Vec::with_capacity(p.depth + 1);
+    let mut level0 = inputs.clone();
+    level0.extend(latches.iter().copied());
+    levels.push(level0);
+
+    let mut gate_idx = 0usize;
+    for l in 1..=p.depth {
+        let size = level_sizes[l - 1];
+        let mut this_level = Vec::with_capacity(size);
+        for g in 0..size {
+            // First fanin: from the immediately previous level (forces the
+            // level structure); the very first gate of the level *must*
+            // pick from level l-1 to guarantee depth.
+            let prev = &levels[l - 1];
+            let a = prev[rng.gen_range(0..prev.len())];
+            // Second fanin: geometric locality over earlier levels.
+            let b = loop {
+                let back = sample_back(&mut rng, l);
+                let pool = &levels[l - back];
+                let cand = pool[rng.gen_range(0..pool.len())];
+                if cand != a || levels.iter().map(Vec::len).sum::<usize>() < 3 {
+                    break cand;
+                }
+            };
+            let table = pick_gate(&mut rng, mix);
+            let id = nw.add_table(format!("g{}_{}", l, gate_idx + g), vec![a, b], table);
+            this_level.push(id);
+        }
+        gate_idx += size;
+        levels.push(this_level);
+    }
+
+    // Wire latch data from the deepest levels (state feedback).
+    for (i, &lat) in latches.iter().enumerate() {
+        let back = (i % 2).min(p.depth - 1);
+        let lvl = &levels[p.depth - back];
+        let d = lvl[rng.gen_range(0..lvl.len())];
+        nw.set_latch_data(lat, d);
+    }
+
+    // Outputs: prefer the last level, then random deep gates.
+    let last = levels.last().expect("at least one level");
+    for o in 0..p.n_outputs {
+        let driver = if o < last.len() {
+            last[o]
+        } else {
+            let l = rng.gen_range(1..=p.depth);
+            let pool = &levels[l];
+            pool[rng.gen_range(0..pool.len())]
+        };
+        nw.add_output(format!("po{o}"), driver);
+    }
+
+    nw
+}
+
+/// Geometric distribution over how many levels back a fanin reaches
+/// (1 = previous level), clamped to the available depth.
+fn sample_back(rng: &mut StdRng, level: usize) -> usize {
+    let mut back = 1;
+    while back < level && rng.gen::<f64>() < 0.3 {
+        back += 1;
+    }
+    back
+}
+
+fn pick_gate(rng: &mut StdRng, mix: GateMix) -> TruthTable {
+    use pfdbg_netlist::truth::gates::*;
+    let r: f64 = rng.gen();
+    if r < mix.xor {
+        if rng.gen() {
+            xor2()
+        } else {
+            xnor2()
+        }
+    } else if r < mix.xor + mix.nand {
+        if rng.gen() {
+            nand2()
+        } else {
+            nor2()
+        }
+    } else if rng.gen() {
+        and2()
+    } else {
+        or2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> GenParams {
+        GenParams { n_inputs: 10, n_outputs: 6, n_gates: 200, depth: 8, n_latches: 4, seed: 42 }
+    }
+
+    #[test]
+    fn generates_requested_size() {
+        let nw = generate(&params());
+        nw.validate().unwrap();
+        assert_eq!(nw.n_tables(), 200);
+        assert_eq!(nw.n_inputs(), 10);
+        assert_eq!(nw.n_outputs(), 6);
+        assert_eq!(nw.n_latches(), 4);
+    }
+
+    #[test]
+    fn depth_matches_target() {
+        for depth in [3usize, 8, 15] {
+            let p = GenParams { depth, ..params() };
+            let nw = generate(&p);
+            assert_eq!(nw.depth().unwrap() as usize, depth, "target {depth}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&params());
+        let b = generate(&params());
+        assert_eq!(pfdbg_netlist::blif::write(&a), pfdbg_netlist::blif::write(&b));
+        let c = generate(&GenParams { seed: 43, ..params() });
+        assert_ne!(pfdbg_netlist::blif::write(&a), pfdbg_netlist::blif::write(&c));
+    }
+
+    #[test]
+    fn combinational_when_no_latches() {
+        let p = GenParams { n_latches: 0, ..params() };
+        let nw = generate(&p);
+        assert_eq!(nw.n_latches(), 0);
+        nw.validate().unwrap();
+    }
+
+    #[test]
+    fn is_simulatable_and_blif_roundtrips() {
+        let nw = generate(&params());
+        let text = pfdbg_netlist::blif::write(&nw);
+        let back = pfdbg_netlist::blif::parse(&text).unwrap();
+        assert!(pfdbg_netlist::sim::comb_equivalent(&nw, &back, 16, 5).unwrap());
+    }
+
+    #[test]
+    fn gate_mix_changes_composition() {
+        let p = params();
+        let xor_heavy = generate_with_mix(&p, GateMix { xor: 0.9, nand: 0.05 });
+        let and_heavy = generate_with_mix(&p, GateMix { xor: 0.0, nand: 0.0 });
+        let count_xor = |nw: &Network| {
+            nw.nodes()
+                .filter(|(_, n)| {
+                    n.table().is_some_and(|t| {
+                        *t == pfdbg_netlist::truth::gates::xor2()
+                            || *t == pfdbg_netlist::truth::gates::xnor2()
+                    })
+                })
+                .count()
+        };
+        assert!(count_xor(&xor_heavy) > count_xor(&and_heavy) + 50);
+    }
+}

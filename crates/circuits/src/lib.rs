@@ -1,0 +1,15 @@
+//! Benchmark circuits: a deterministic random-circuit generator and the
+//! suite calibrated to the paper's eight ISCAS89/VTR benchmarks (with the
+//! published Table I/II numbers kept alongside for paper-vs-measured
+//! reporting).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod structured;
+pub mod suite;
+
+pub use gen::{generate, generate_with_mix, GateMix, GenParams};
+pub use structured::{array_multiplier, counter, lfsr, ripple_adder};
+pub use suite::{build, build_all, names, paper_row, PaperRow, PAPER_ROWS};

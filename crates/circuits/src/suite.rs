@@ -1,0 +1,173 @@
+//! The calibrated benchmark suite.
+//!
+//! One entry per benchmark of the paper's Tables I/II (ISCAS89 + VTR),
+//! generated to match the published `#Gate` count, logic-depth character
+//! and sequential/combinational nature. The published numbers are kept
+//! alongside so the harness can print paper-vs-measured for every row.
+
+use crate::gen::{generate_with_mix, GateMix, GenParams};
+use pfdbg_netlist::Network;
+
+/// Published per-benchmark numbers from the paper (Tables I and II).
+#[derive(Debug, Clone, Copy)]
+pub struct PaperRow {
+    /// Benchmark name as printed in the paper.
+    pub name: &'static str,
+    /// `#Gate` column of Table I.
+    pub gates: usize,
+    /// `Initial` (LUTs) column of Table I.
+    pub initial_luts: usize,
+    /// `SM` (SimpleMap) column of Table I.
+    pub sm_luts: usize,
+    /// `ABC` column of Table I.
+    pub abc_luts: usize,
+    /// `Proposed` total of Table I.
+    pub proposed_luts: usize,
+    /// Proposed TLUT count (parenthesized in Table I).
+    pub tluts: usize,
+    /// Proposed TCON count (parenthesized in Table I).
+    pub tcons: usize,
+    /// `Golden` depth column of Table II.
+    pub depth_golden: usize,
+    /// SimpleMap depth (Table II).
+    pub depth_sm: usize,
+    /// ABC depth (Table II).
+    pub depth_abc: usize,
+    /// Proposed depth (Table II).
+    pub depth_proposed: usize,
+}
+
+/// The paper's eight benchmarks (Tables I & II verbatim).
+pub const PAPER_ROWS: [PaperRow; 8] = [
+    PaperRow { name: "stereov.", gates: 215, initial_luts: 208, sm_luts: 553, abc_luts: 590, proposed_luts: 190, tluts: 8, tcons: 332, depth_golden: 4, depth_sm: 5, depth_abc: 5, depth_proposed: 4 },
+    PaperRow { name: "diffeq2", gates: 419, initial_luts: 422, sm_luts: 1719, abc_luts: 1819, proposed_luts: 325, tluts: 2, tcons: 712, depth_golden: 14, depth_sm: 15, depth_abc: 15, depth_proposed: 14 },
+    PaperRow { name: "diffeq1", gates: 582, initial_luts: 575, sm_luts: 2556, abc_luts: 2659, proposed_luts: 491, tluts: 4, tcons: 1065, depth_golden: 15, depth_sm: 15, depth_abc: 15, depth_proposed: 14 },
+    PaperRow { name: "clma", gates: 8381, initial_luts: 4461, sm_luts: 23694, abc_luts: 23219, proposed_luts: 7707, tluts: 1252, tcons: 7935, depth_golden: 11, depth_sm: 11, depth_abc: 11, depth_proposed: 11 },
+    PaperRow { name: "or1200", gates: 3136, initial_luts: 3084, sm_luts: 9769, abc_luts: 10958, proposed_luts: 3004, tluts: 9, tcons: 2986, depth_golden: 27, depth_sm: 28, depth_abc: 28, depth_proposed: 27 },
+    PaperRow { name: "frisc", gates: 6002, initial_luts: 2747, sm_luts: 11517, abc_luts: 11412, proposed_luts: 5881, tluts: 2333, tcons: 4910, depth_golden: 14, depth_sm: 14, depth_abc: 14, depth_proposed: 14 },
+    PaperRow { name: "s38417", gates: 6096, initial_luts: 3462, sm_luts: 20695, abc_luts: 21040, proposed_luts: 6204, tluts: 1495, tcons: 5597, depth_golden: 7, depth_sm: 8, depth_abc: 8, depth_proposed: 7 },
+    PaperRow { name: "s38584", gates: 6281, initial_luts: 2906, sm_luts: 20687, abc_luts: 21032, proposed_luts: 6204, tluts: 1495, tcons: 5597, depth_golden: 7, depth_sm: 8, depth_abc: 8, depth_proposed: 7 },
+];
+
+/// Generator calibration for one benchmark.
+struct Calibration {
+    params: GenParams,
+    mix: GateMix,
+}
+
+/// A 2-input-gate depth that typically maps to the target K=6 LUT depth
+/// (a K-LUT absorbs ~2.5 levels of 2-input logic).
+fn gate_depth_for_lut_depth(lut_depth: usize) -> usize {
+    ((lut_depth as f64) * 2.4).round() as usize
+}
+
+fn calibration(row: &PaperRow, seed: u64) -> Calibration {
+    // Sequential benchmarks: everything except stereovision-like video
+    // pipelines (modest state) — the ISCAS89 s-circuits are heavily
+    // sequential, the processors (or1200, frisc) moderately, the
+    // diffeq solvers lightly.
+    let (latch_frac, mix) = match row.name {
+        "stereov." => (0.05, GateMix { xor: 0.15, nand: 0.25 }),
+        "diffeq1" | "diffeq2" => (0.08, GateMix { xor: 0.45, nand: 0.15 }),
+        "clma" => (0.02, GateMix { xor: 0.10, nand: 0.35 }),
+        "or1200" | "frisc" => (0.10, GateMix { xor: 0.25, nand: 0.30 }),
+        "s38417" | "s38584" => (0.25, GateMix { xor: 0.10, nand: 0.35 }),
+        _ => (0.1, GateMix::default()),
+    };
+    let n_latches = ((row.gates as f64) * latch_frac) as usize;
+    let n_inputs = (row.gates / 35).clamp(8, 128);
+    let n_outputs = (row.gates / 50).clamp(4, 96);
+    Calibration {
+        params: GenParams {
+            n_inputs,
+            n_outputs,
+            n_gates: row.gates,
+            depth: gate_depth_for_lut_depth(row.depth_golden),
+            n_latches,
+            seed,
+        },
+        mix,
+    }
+}
+
+/// Benchmark names in paper order.
+pub fn names() -> Vec<&'static str> {
+    PAPER_ROWS.iter().map(|r| r.name).collect()
+}
+
+/// The paper's published row for a benchmark.
+pub fn paper_row(name: &str) -> Option<&'static PaperRow> {
+    PAPER_ROWS.iter().find(|r| r.name == name)
+}
+
+/// Build (generate) a benchmark by name. Deterministic.
+pub fn build(name: &str) -> Option<Network> {
+    let row = paper_row(name)?;
+    // Seed derived from the name so each benchmark is distinct but
+    // stable across runs.
+    let seed = name.bytes().fold(0xC0FFEEu64, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u64));
+    let cal = calibration(row, seed);
+    let mut nw = generate_with_mix(&cal.params, cal.mix);
+    nw.name = name.trim_end_matches('.').to_string();
+    Some(nw)
+}
+
+/// Build the whole suite in paper order.
+pub fn build_all() -> Vec<(&'static str, Network)> {
+    names().into_iter().map(|n| (n, build(n).expect("known name"))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_build_and_validate() {
+        for (name, nw) in build_all() {
+            nw.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+            let row = paper_row(name).unwrap();
+            assert_eq!(nw.n_tables(), row.gates, "{name} gate count");
+        }
+    }
+
+    #[test]
+    fn suite_is_deterministic() {
+        let a = build("clma").unwrap();
+        let b = build("clma").unwrap();
+        assert_eq!(pfdbg_netlist::blif::write(&a), pfdbg_netlist::blif::write(&b));
+    }
+
+    #[test]
+    fn sequential_character_matches() {
+        let s38417 = build("s38417").unwrap();
+        let stereov = build("stereov.").unwrap();
+        let frac = |nw: &Network| nw.n_latches() as f64 / nw.n_tables() as f64;
+        assert!(frac(&s38417) > 2.0 * frac(&stereov), "s38417 should be much more sequential");
+    }
+
+    #[test]
+    fn depth_scales_with_golden_depth() {
+        let shallow = build("stereov.").unwrap(); // golden 4
+        let deep = build("or1200").unwrap(); // golden 27
+        assert!(deep.depth().unwrap() > 3 * shallow.depth().unwrap());
+    }
+
+    #[test]
+    fn paper_rows_capture_table1_aggregate() {
+        // The paper claims ~3.5x average reduction vs conventional
+        // mappers; verify the published numbers actually say that (sanity
+        // on our transcription).
+        let ratios: Vec<f64> = PAPER_ROWS
+            .iter()
+            .map(|r| (r.sm_luts.min(r.abc_luts) as f64) / r.proposed_luts as f64)
+            .collect();
+        let geo = pfdbg_util::stats::geomean(&ratios).unwrap();
+        assert!(geo > 2.8 && geo < 4.5, "transcription off? geomean {geo}");
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(build("nonesuch").is_none());
+        assert!(paper_row("nonesuch").is_none());
+    }
+}

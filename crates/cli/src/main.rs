@@ -1,0 +1,333 @@
+//! `pfdbg` — command-line driver for the parameterized FPGA debugging
+//! flow.
+//!
+//! ```text
+//! pfdbg instrument <design.blif> [--ports N] [--coverage C] [--out inst.blif] [--par inst.par]
+//! pfdbg compare    <design.blif|@benchmark> [--k K] [--ports N] [--coverage C]
+//! pfdbg offline    <design.blif|@benchmark> [--k K] [--ports N]
+//! pfdbg observe    <design.blif|@benchmark> --signals s1,s2 [--cycles N]
+//! pfdbg rank       <design.blif|@benchmark> [--top N]
+//! pfdbg bench-list
+//! ```
+//!
+//! `@name` selects a generated benchmark from the calibrated suite
+//! (e.g. `@stereov.`, `@clma`).
+
+use pfdbg_core::{
+    compare_mappers, instrument, offline, prepare_instrumented, rank_signals, DebugSession,
+    InstrumentConfig, OfflineConfig, PAPER_K,
+};
+use pfdbg_netlist::{blif, Network};
+use pfdbg_pconf::OnlineReconfigurator;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("pfdbg: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        print_usage();
+        return Ok(());
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "instrument" => cmd_instrument(rest),
+        "compare" => cmd_compare(rest),
+        "offline" => cmd_offline(rest),
+        "observe" => cmd_observe(rest),
+        "rank" => cmd_rank(rest),
+        "localize" => cmd_localize(rest),
+        "bench-list" => {
+            for name in pfdbg_circuits::names() {
+                let row = pfdbg_circuits::paper_row(name).expect("known");
+                println!(
+                    "{name:10} {:>6} gates (paper: {:>5} initial LUTs)",
+                    row.gates, row.initial_luts
+                );
+            }
+            Ok(())
+        }
+        "--help" | "-h" | "help" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?} (try --help)")),
+    }
+}
+
+fn print_usage() {
+    println!(
+        "pfdbg — parameterized FPGA debugging flow\n\
+         \n\
+         usage:\n\
+         \x20 pfdbg instrument <design.blif> [--ports N] [--coverage C] [--out f.blif] [--par f.par]\n\
+         \x20 pfdbg compare    <design.blif|@bench> [--k K] [--ports N] [--coverage C]\n\
+         \x20 pfdbg offline    <design.blif|@bench> [--k K] [--ports N] [--dump-bitstream f.pfb]\n\
+         \x20 pfdbg observe    <design.blif|@bench> --signals s1,s2 [--cycles N]\n\
+         \x20 pfdbg rank       <design.blif|@bench> [--top N]\n\
+         \x20 pfdbg localize   <design.blif|@bench> [--bug <net>] [--cycles N]\n\
+         \x20 pfdbg bench-list\n\
+         \n\
+         `@name` uses a generated benchmark from the calibrated suite."
+    );
+}
+
+fn flag(rest: &[String], name: &str) -> Option<String> {
+    rest.iter().position(|a| a == name).and_then(|i| rest.get(i + 1).cloned())
+}
+
+fn flag_usize(rest: &[String], name: &str, default: usize) -> Result<usize, String> {
+    match flag(rest, name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("{name} expects a number, got {v:?}")),
+    }
+}
+
+fn load_design(rest: &[String]) -> Result<(String, Network), String> {
+    let path = rest
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("expected a design file or @benchmark")?;
+    if let Some(name) = path.strip_prefix('@') {
+        let nw = pfdbg_circuits::build(name)
+            .ok_or_else(|| format!("unknown benchmark {name:?} (see bench-list)"))?;
+        return Ok((name.to_string(), nw));
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let nw = if path.ends_with(".v") || path.ends_with(".sv") {
+        pfdbg_netlist::verilog::parse(&text).map_err(|e| e.to_string())?
+    } else {
+        blif::parse(&text).map_err(|e| e.to_string())?
+    };
+    Ok((path.clone(), nw))
+}
+
+fn icfg(rest: &[String]) -> Result<InstrumentConfig, String> {
+    Ok(InstrumentConfig {
+        n_ports: flag_usize(rest, "--ports", 4)?,
+        coverage: flag_usize(rest, "--coverage", 1)?,
+        max_signals: match flag(rest, "--max-signals") {
+            None => None,
+            Some(v) => {
+                Some(v.parse().map_err(|_| "--max-signals expects a number".to_string())?)
+            }
+        },
+    })
+}
+
+fn cmd_instrument(rest: &[String]) -> Result<(), String> {
+    let (name, nw) = load_design(rest)?;
+    let inst = instrument(&nw, &icfg(rest)?);
+    let blif_text = blif::write(&inst.network);
+    let par_text = inst.annotations.write();
+    match flag(rest, "--out") {
+        Some(path) => std::fs::write(&path, blif_text).map_err(|e| format!("{path}: {e}"))?,
+        None => print!("{blif_text}"),
+    }
+    if let Some(path) = flag(rest, "--par") {
+        std::fs::write(&path, par_text).map_err(|e| format!("{path}: {e}"))?;
+    }
+    eprintln!(
+        "instrumented {name}: {} observable signals, {} ports, {} parameters",
+        inst.observable().len(),
+        inst.ports.len(),
+        inst.n_params()
+    );
+    Ok(())
+}
+
+fn cmd_compare(rest: &[String]) -> Result<(), String> {
+    let (name, nw) = load_design(rest)?;
+    let k = flag_usize(rest, "--k", PAPER_K)?;
+    let mut cfg = icfg(rest)?;
+    if flag(rest, "--coverage").is_none() {
+        cfg.coverage = 2; // paper density by default for comparisons
+    }
+    let cmp = compare_mappers(&name, &nw, &cfg, k)?;
+    let mut t = pfdbg_util::table::Table::new([
+        "Benchmark",
+        "#Gate",
+        "Initial",
+        "SM",
+        "ABC",
+        "Proposed(TLUT/TCON)",
+    ]);
+    t.row([
+        cmp.name.clone(),
+        cmp.gates.to_string(),
+        cmp.initial_luts.to_string(),
+        cmp.sm_luts.to_string(),
+        cmp.abc_luts.to_string(),
+        format!("{}({}/{})", cmp.proposed_luts, cmp.tluts, cmp.tcons),
+    ]);
+    print!("{}", t.render());
+    println!(
+        "\ndepths: golden {} | SM {} | ABC {} | proposed {}   reduction {:.2}x",
+        cmp.depth_golden,
+        cmp.depth_sm,
+        cmp.depth_abc,
+        cmp.depth_proposed,
+        cmp.reduction_factor()
+    );
+    Ok(())
+}
+
+fn cmd_offline(rest: &[String]) -> Result<(), String> {
+    let (name, nw) = load_design(rest)?;
+    let k = flag_usize(rest, "--k", PAPER_K)?;
+    let (_, _, inst) = prepare_instrumented(&nw, &icfg(rest)?, k)?;
+    let off = offline(&inst, &OfflineConfig { k, ..Default::default() })?;
+    println!("offline generic stage for {name}:");
+    println!(
+        "  mapping: {} LUTs + {} TLUTs + {} TCONs, depth {}",
+        off.map_stats.luts, off.map_stats.tluts, off.map_stats.tcons, off.map_stats.depth
+    );
+    if let (Some(t), Some(scg), Some(layout)) = (&off.tpar, &off.scg, &off.layout) {
+        println!(
+            "  place&route: {} CLBs, {} nets ({} tunable), {} wires, {} switches, {:?}",
+            t.stats.n_clbs,
+            t.stats.n_nets,
+            t.stats.n_tunable_nets,
+            t.stats.wires_used,
+            t.stats.n_switches,
+            t.stats.runtime
+        );
+        println!(
+            "  bitstream: {} bits in {} frames; {} parameterized bits ({:.3}%)",
+            layout.n_bits,
+            layout.n_frames(),
+            scg.generalized().n_tunable(),
+            scg.generalized().tunable_fraction() * 100.0
+        );
+        if let Ok(timing) = pfdbg_pr::analyze_timing(
+            &off.mapped,
+            &off.kinds,
+            t,
+            &pfdbg_pr::DelayModel::default(),
+        ) {
+            println!(
+                "  timing: critical path {:.2} ns over {} LUT levels",
+                timing.critical_delay, timing.levels
+            );
+        }
+        let congestion = pfdbg_pr::analyze_congestion(
+            &t.packed,
+            &t.routed,
+            &t.rrg,
+            t.stats.channel_width,
+        );
+        println!(
+            "  congestion: peak channel {:.0}%, mean {:.0}%, tunable share {:.0}%",
+            congestion.peak_utilization * 100.0,
+            congestion.mean_utilization * 100.0,
+            congestion.tunable_share * 100.0
+        );
+        if let Some(path) = flag(rest, "--dump-bitstream") {
+            // The params=0 default specialization, as a loadable file.
+            let params = pfdbg_util::BitVec::zeros(scg.generalized().n_params);
+            let bs = scg.specialize(&params);
+            let bytes = pfdbg_arch::bitfile::write(&bs, layout.frame_bits);
+            std::fs::write(&path, &bytes).map_err(|e| format!("{path}: {e}"))?;
+            println!("  wrote default specialization to {path} ({} bytes)", bytes.len());
+        }
+    }
+    Ok(())
+}
+
+fn cmd_observe(rest: &[String]) -> Result<(), String> {
+    let (name, nw) = load_design(rest)?;
+    let signals_arg = flag(rest, "--signals").ok_or("--signals s1,s2,... is required")?;
+    let wanted: Vec<&str> = signals_arg.split(',').collect();
+    let cycles = flag_usize(rest, "--cycles", 32)?;
+    let k = flag_usize(rest, "--k", PAPER_K)?;
+
+    let (_, _, inst) = prepare_instrumented(&nw, &icfg(rest)?, k)?;
+    let off = offline(&inst, &OfflineConfig { k, ..Default::default() })?;
+    let online = match (off.scg, off.layout) {
+        (Some(scg), Some(layout)) => Some(OnlineReconfigurator::new(scg, layout, off.icap)),
+        _ => None,
+    };
+    let dut = inst.network.clone();
+    let mut session = DebugSession::new(inst, online);
+    let wf = session.observe(&dut, &wanted, cycles, 0xD0, &[])?;
+    println!("captured {} cycles of {name}:", wf.n_samples());
+    print!("{}", wf.render_ascii());
+    if let Some(turn) = session.turns().last() {
+        if let Some(stats) = &turn.stats {
+            println!(
+                "turn cost: {} bits / {} frames changed; eval {:?} + transfer {:?}",
+                stats.bits_changed, stats.frames_changed, stats.eval_time, stats.transfer_time
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_rank(rest: &[String]) -> Result<(), String> {
+    let (name, nw) = load_design(rest)?;
+    let top = flag_usize(rest, "--top", 20)?;
+    println!("top {top} debug-critical signals of {name}:");
+    for r in rank_signals(&nw).into_iter().take(top) {
+        println!("  {:<24} score {:.3}", r.name, r.score);
+    }
+    Ok(())
+}
+
+fn cmd_localize(rest: &[String]) -> Result<(), String> {
+    use pfdbg_emu::{apply_static, injectable_nets, lockstep, Fault};
+    use pfdbg_netlist::truth::gates;
+
+    let (name, nw) = load_design(rest)?;
+    let cycles = flag_usize(rest, "--cycles", 256)?;
+    let inst = instrument(&nw, &icfg(rest)?);
+    let clean = inst.network.clone();
+
+    // Pick (or accept) a victim net and break it.
+    let victim = match flag(rest, "--bug") {
+        Some(v) => v,
+        None => {
+            let nets = injectable_nets(&clean);
+            if nets.is_empty() {
+                return Err("design has no injectable nets".into());
+            }
+            clean.node(nets[nets.len() / 2]).name.clone()
+        }
+    };
+    let victim_id = clean.find(&victim).ok_or_else(|| format!("no net {victim}"))?;
+    let arity = clean.node(victim_id).fanins.len();
+    let table = match arity {
+        1 => gates::not1(),
+        2 => gates::nand2(),
+        n => return Err(format!("{victim} has arity {n}; pick a 1- or 2-input gate")),
+    };
+    let buggy = apply_static(&clean, &Fault::WrongGate { net: victim.clone(), table })?;
+    println!("injected a WrongGate bug at {victim} in {name}");
+
+    let report = lockstep(&clean, &buggy, cycles, 7)?;
+    let Some((cycle, output)) = report.first_divergence else {
+        println!("stimulus never excites the bug; try more --cycles");
+        return Ok(());
+    };
+    println!("output {output} diverges first at cycle {cycle}; localizing...");
+
+    let mut session = DebugSession::new(inst, None);
+    let loc = pfdbg_core::localize(&mut session, &clean, &buggy, &output, cycles, 7)?;
+    for (sig, bad) in &loc.observations {
+        println!("  turn: observed {sig:<20} -> {}", if *bad { "MISMATCH" } else { "ok" });
+    }
+    println!(
+        "suspect: {} ({} turns, 0 recompiles){}",
+        loc.suspect,
+        loc.turns_used,
+        if loc.suspect == victim { "  [exact hit]" } else { "" }
+    );
+    Ok(())
+}

@@ -1,0 +1,213 @@
+//! The conventional-flow baselines and the Table I / Table II
+//! measurement engine.
+//!
+//! For a given design the paper reports four implementations:
+//!
+//! * **Initial** — the design mapped without any debug instrumentation,
+//! * **SM** — the instrumented design mapped by SimpleMap, the mux
+//!   network paying full LUT price (selects become ordinary inputs),
+//! * **ABC** — same, mapped by the cut-based baseline,
+//! * **Proposed** — the instrumented design mapped by TCONMap, the mux
+//!   network dissolving into TLUTs/TCONs.
+//!
+//! Instrumentation happens on the *mapped* netlist (the paper's flow
+//! starts "with the synthesised benchmark (.blif netlist)"): the
+//! observable signals are the physical LUT/latch outputs, which is what
+//! keeps the proposed area close to the initial area — nothing new has
+//! to stay alive, only the existing wires get multiplexed.
+
+use crate::param::{instrument, InstrumentConfig, Instrumented};
+use pfdbg_map::{map, map_parameterized_network, MapperKind};
+use pfdbg_netlist::Network;
+use pfdbg_synth::synthesize;
+
+/// Area/depth measurements for one design (one row of Tables I and II).
+#[derive(Debug, Clone)]
+pub struct MapperComparison {
+    /// Design name.
+    pub name: String,
+    /// 2-input gate count of the input design.
+    pub gates: usize,
+    /// LUTs of the uninstrumented design ("Initial").
+    pub initial_luts: usize,
+    /// LUTs after instrumentation, SimpleMap.
+    pub sm_luts: usize,
+    /// LUTs after instrumentation, cut-based baseline ("ABC").
+    pub abc_luts: usize,
+    /// LUTs + TLUTs after instrumentation, TCONMap ("Proposed").
+    pub proposed_luts: usize,
+    /// TLUTs within the proposed mapping.
+    pub tluts: usize,
+    /// TCONs within the proposed mapping.
+    pub tcons: usize,
+    /// Depth of the uninstrumented mapping ("Golden").
+    pub depth_golden: u32,
+    /// Depth after instrumentation, SimpleMap.
+    pub depth_sm: u32,
+    /// Depth after instrumentation, ABC baseline.
+    pub depth_abc: u32,
+    /// Depth after instrumentation, TCONMap.
+    pub depth_proposed: u32,
+}
+
+impl MapperComparison {
+    /// The paper's headline ratio: best conventional mapper vs proposed.
+    pub fn reduction_factor(&self) -> f64 {
+        self.sm_luts.min(self.abc_luts) as f64 / self.proposed_luts.max(1) as f64
+    }
+}
+
+/// Map a design to the initial K-LUT network (the "Initial"/"Golden"
+/// implementation): synthesis plus depth-oriented cut mapping.
+pub fn initial_mapping(design: &Network, k: usize) -> Result<(Network, u32), String> {
+    let aig = synthesize(design)?;
+    let mapping = map(&aig, k, MapperKind::PriorityCuts);
+    let depth = mapping.depth(&aig);
+    let (nw, _) = mapping.to_network(&aig);
+    Ok((nw, depth))
+}
+
+/// Synthesize, map and instrument a design — the front half of the
+/// offline generic stage, shared by the comparisons and the full flow.
+pub fn prepare_instrumented(
+    design: &Network,
+    icfg: &InstrumentConfig,
+    k: usize,
+) -> Result<(Network, u32, Instrumented), String> {
+    let (initial, depth) = initial_mapping(design, k)?;
+    let inst = instrument(&initial, icfg);
+    Ok((initial, depth, inst))
+}
+
+/// Strip parameter markings so the instrumented netlist is mapped the
+/// conventional way (selects as ordinary inputs — the mux network costs
+/// LUTs).
+fn deparameterize(nw: &Network) -> Network {
+    let mut out = nw.clone();
+    let params: Vec<_> = out.params().collect();
+    for p in params {
+        out.set_param(p, false);
+    }
+    out
+}
+
+/// Measure one design with all four implementations.
+pub fn compare_mappers(
+    name: &str,
+    design: &Network,
+    icfg: &InstrumentConfig,
+    k: usize,
+) -> Result<MapperComparison, String> {
+    let (initial, depth_golden, inst) = prepare_instrumented(design, icfg, k)?;
+    let initial_luts = initial.n_tables();
+
+    // Conventional mappers see the selects as plain inputs and pay for
+    // the multiplexers in LUTs.
+    let conventional = deparameterize(&inst.network);
+    let aig_conv = synthesize(&conventional)?;
+    let sm = map(&aig_conv, k, MapperKind::Simple);
+    let abc = map(&aig_conv, k, MapperKind::PriorityCuts);
+
+    // Proposed: parameters honored; muxes dissolve into routing.
+    let proposed = map_parameterized_network(&inst.network, k)?;
+
+    Ok(MapperComparison {
+        name: name.to_string(),
+        gates: design.n_tables(),
+        initial_luts,
+        sm_luts: sm.lut_area(),
+        abc_luts: abc.lut_area(),
+        proposed_luts: proposed.stats.luts + proposed.stats.tluts,
+        tluts: proposed.stats.tluts,
+        tcons: proposed.stats.tcons,
+        depth_golden,
+        depth_sm: sm.depth(&aig_conv),
+        depth_abc: abc.depth(&aig_conv),
+        depth_proposed: proposed.stats.depth,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfdbg_circuits::{generate, GenParams};
+
+    use crate::param::PAPER_K;
+
+    fn medium_design() -> Network {
+        generate(&GenParams {
+            n_inputs: 12,
+            n_outputs: 8,
+            n_gates: 150,
+            depth: 8,
+            n_latches: 6,
+            seed: 7,
+        })
+    }
+
+    #[test]
+    fn proposed_beats_conventional_mappers() {
+        let nw = medium_design();
+        let cmp =
+            compare_mappers("gen150", &nw, &InstrumentConfig::paper(), PAPER_K).unwrap();
+        assert!(
+            cmp.proposed_luts < cmp.sm_luts && cmp.proposed_luts < cmp.abc_luts,
+            "{cmp:?}"
+        );
+        assert!(
+            cmp.reduction_factor() > 2.5,
+            "reduction too small: {} ({cmp:?})",
+            cmp.reduction_factor()
+        );
+        assert!(cmp.tcons > 0, "mux network should produce TCONs");
+    }
+
+    #[test]
+    fn proposed_area_close_to_initial() {
+        let nw = medium_design();
+        let cmp =
+            compare_mappers("gen150", &nw, &InstrumentConfig::paper(), PAPER_K).unwrap();
+        // The paper's key observation: instrumentation is nearly free in
+        // LUT area (Table I: proposed between 0.9x and ~1.8x initial).
+        let ratio = cmp.proposed_luts as f64 / cmp.initial_luts as f64;
+        assert!((0.5..1.8).contains(&ratio), "proposed/initial = {ratio} ({cmp:?})");
+        let conv_ratio = cmp.abc_luts as f64 / cmp.initial_luts as f64;
+        assert!(conv_ratio > ratio + 1.0, "conventional should be clearly worse: {cmp:?}");
+    }
+
+    #[test]
+    fn depth_preserved_by_proposed() {
+        let nw = medium_design();
+        let cmp =
+            compare_mappers("gen150", &nw, &InstrumentConfig::paper(), PAPER_K).unwrap();
+        assert!(
+            cmp.depth_proposed <= cmp.depth_golden + 1,
+            "proposed depth {} vs golden {}",
+            cmp.depth_proposed,
+            cmp.depth_golden
+        );
+        assert!(cmp.depth_sm >= cmp.depth_golden);
+    }
+
+    #[test]
+    fn tcon_count_tracks_observed_signals() {
+        // Mux trees over S signals need about S muxes per covering port;
+        // the TCON count must scale with the observed signal count.
+        let nw = medium_design();
+        let cmp =
+            compare_mappers("gen150", &nw, &InstrumentConfig::paper(), PAPER_K).unwrap();
+        assert!(
+            cmp.tcons >= cmp.initial_luts,
+            "too few TCONs for coverage-2 observability: {cmp:?}"
+        );
+    }
+
+    #[test]
+    fn comparison_is_deterministic() {
+        let nw = medium_design();
+        let a = compare_mappers("g", &nw, &InstrumentConfig::paper(), PAPER_K).unwrap();
+        let b = compare_mappers("g", &nw, &InstrumentConfig::paper(), PAPER_K).unwrap();
+        assert_eq!(a.proposed_luts, b.proposed_luts);
+        assert_eq!(a.sm_luts, b.sm_luts);
+    }
+}

@@ -1,0 +1,463 @@
+//! The offline **generic stage** (§IV.A): synthesis → signal
+//! parameterization (done beforehand by [`crate::param`]) → TCON
+//! technology mapping → TPaR place & route → generalized bitstream.
+//!
+//! Run once per design. Its product — a [`pfdbg_pconf::Scg`] over a
+//! generalized bitstream whose instrumentation bits are Boolean
+//! functions of the select parameters — is what makes every subsequent
+//! debugging turn a microsecond-scale specialization instead of an
+//! hours-scale recompilation.
+
+use crate::param::Instrumented;
+use pfdbg_arch::{BitstreamLayout, IcapModel, RRNode, VIRTEX5_CONFIG_BITS, VIRTEX5_FRAME_BITS};
+use pfdbg_map::{map_parameterized_network, ElemKind};
+use pfdbg_netlist::truth::TruthTable;
+use pfdbg_netlist::{Network, NodeId};
+use pfdbg_pconf::{Bdd, BddManager, GeneralizedBuilder, Scg};
+use pfdbg_pr::{tpar, TparConfig, TparResult};
+use pfdbg_util::FxHashMap;
+use std::time::Duration;
+
+/// Offline-stage settings.
+#[derive(Debug, Clone)]
+pub struct OfflineConfig {
+    /// LUT input count.
+    pub k: usize,
+    /// Place & route settings.
+    pub tpar: TparConfig,
+    /// Configuration frame size in bits.
+    pub frame_bits: usize,
+    /// Run place & route and build the generalized bitstream (skippable
+    /// for area-only experiments on large designs).
+    pub run_pr: bool,
+}
+
+impl Default for OfflineConfig {
+    fn default() -> Self {
+        OfflineConfig {
+            k: 6,
+            tpar: TparConfig::default(),
+            frame_bits: VIRTEX5_FRAME_BITS,
+            run_pr: true,
+        }
+    }
+}
+
+/// Mapping-level statistics of the generic stage.
+#[derive(Debug, Clone, Copy)]
+pub struct MapStats {
+    /// Plain LUTs.
+    pub luts: usize,
+    /// Tunable LUTs.
+    pub tluts: usize,
+    /// Tunable connections.
+    pub tcons: usize,
+    /// Logic depth in LUT levels.
+    pub depth: u32,
+}
+
+/// Everything the offline stage produces.
+pub struct OfflineResult {
+    /// The mapped (generalized) network with element kinds.
+    pub mapped: Network,
+    /// Element kind per mapped node.
+    pub kinds: FxHashMap<NodeId, ElemKind>,
+    /// Mapping statistics.
+    pub map_stats: MapStats,
+    /// Place & route result (when `run_pr`).
+    pub tpar: Option<TparResult>,
+    /// The SCG over the generalized bitstream (when `run_pr`).
+    pub scg: Option<Scg>,
+    /// The bitstream layout (when `run_pr`).
+    pub layout: Option<BitstreamLayout>,
+    /// Reconfiguration-port model calibrated to this device (full
+    /// reconfiguration = the paper's 176 ms).
+    pub icap: IcapModel,
+}
+
+/// Run the offline generic stage on an instrumented design (built over
+/// the initial mapped netlist — see
+/// [`crate::baseline::prepare_instrumented`]).
+pub fn offline(inst: &Instrumented, cfg: &OfflineConfig) -> Result<OfflineResult, String> {
+    // TCON technology mapping: selectors to routing, the rest through
+    // synthesis + parameter-aware cut mapping.
+    let mp = map_parameterized_network(&inst.network, cfg.k)?;
+    let map_stats = MapStats {
+        luts: mp.stats.luts,
+        tluts: mp.stats.tluts,
+        tcons: mp.stats.tcons,
+        depth: mp.stats.depth,
+    };
+    let (mapped, kinds) = (mp.network, mp.kinds);
+    mapped.validate()?;
+
+    if !cfg.run_pr {
+        return Ok(OfflineResult {
+            mapped,
+            kinds,
+            map_stats,
+            tpar: None,
+            scg: None,
+            layout: None,
+            icap: IcapModel::virtex5(),
+        });
+    }
+
+    // TPaR place & route.
+    let result = tpar(&mapped, &kinds, &cfg.tpar)?;
+
+    // Generalized bitstream.
+    let layout = BitstreamLayout::new(&result.device, &result.rrg, cfg.frame_bits);
+    let mut manager = BddManager::new();
+    let param_var = param_var_map(&mapped, &inst.annotations);
+    let mut builder = GeneralizedBuilder::new(&layout, inst.annotations.len());
+
+    write_lut_bits(&mapped, &kinds, &param_var, &result, &layout, cfg.k, &mut manager, &mut builder)?;
+    write_switch_bits(&mapped, &kinds, &param_var, &result, &layout, &mut manager, &mut builder)?;
+
+    let gbs = builder.build()?;
+    // Calibrate the port at *device* scale (a full Virtex-5 stream in
+    // 176 ms), not at design scale: the design occupies a region of the
+    // device, and partial reconfiguration pays per frame of the real
+    // part.
+    let icap = IcapModel::calibrated_to(VIRTEX5_CONFIG_BITS, Duration::from_millis(176));
+    let scg = Scg::new(manager, gbs);
+
+    Ok(OfflineResult {
+        mapped,
+        kinds,
+        map_stats,
+        tpar: Some(result),
+        scg: Some(scg),
+        layout: Some(layout),
+        icap,
+    })
+}
+
+/// Map each parameter *node* in the mapped network to its BDD variable
+/// (declaration order of the `.par` annotations).
+fn param_var_map(mapped: &Network, ann: &pfdbg_netlist::ParamAnnotations) -> FxHashMap<NodeId, u32> {
+    let index = ann.index_map();
+    let mut out = FxHashMap::default();
+    for (id, node) in mapped.nodes() {
+        if node.is_param {
+            if let Some(&v) = index.get(node.name.as_str()) {
+                out.insert(id, v as u32);
+            }
+        }
+    }
+    out
+}
+
+/// The selection condition under which TCON tree node `node` forwards the
+/// value of `source`: a Boolean function of the select parameters.
+pub fn tcon_condition(
+    nw: &Network,
+    kinds: &FxHashMap<NodeId, ElemKind>,
+    param_var: &FxHashMap<NodeId, u32>,
+    manager: &mut BddManager,
+    node: NodeId,
+    source: NodeId,
+) -> Bdd {
+    let is_tcon =
+        |id: NodeId| nw.node(id).is_table() && kinds.get(&id) == Some(&ElemKind::TCon);
+    if !is_tcon(node) {
+        return manager.constant(node == source);
+    }
+    let n = nw.node(node);
+    let table = n.table().expect("TCON is a table");
+    // Positions of parameter fanins and their BDD variables.
+    let param_positions: Vec<(usize, u32)> = n
+        .fanins
+        .iter()
+        .enumerate()
+        .filter_map(|(i, f)| param_var.get(f).map(|&v| (i, v)))
+        .collect();
+    let n_p = param_positions.len();
+    let mut cond = Bdd::FALSE;
+    for a in 0..(1usize << n_p) {
+        // Residual under this parameter assignment.
+        let mut residual = table.clone();
+        for (bit, &(pos, _)) in param_positions.iter().enumerate().rev() {
+            residual = residual.restrict(pos, (a >> bit) & 1 == 1);
+        }
+        // Which real fanin does it select?
+        let real_fanins: Vec<NodeId> = n
+            .fanins
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !param_positions.iter().any(|&(p, _)| p == *i))
+            .map(|(_, &f)| f)
+            .collect();
+        let selected = (0..residual.nvars())
+            .find(|&v| residual == TruthTable::var(residual.nvars(), v))
+            .map(|v| real_fanins[v]);
+        let Some(sel) = selected else { continue };
+        // Recurse into the selected fanin.
+        let sub = tcon_condition(nw, kinds, param_var, manager, sel, source);
+        if sub == Bdd::FALSE {
+            continue;
+        }
+        // Minterm of this assignment over the element's own parameters.
+        let mut mt = Bdd::TRUE;
+        for (bit, &(_, var)) in param_positions.iter().enumerate() {
+            let lit = manager.var(var);
+            let lit = if (a >> bit) & 1 == 1 { lit } else { manager.not(lit) };
+            mt = manager.and(mt, lit);
+        }
+        let term = manager.and(mt, sub);
+        cond = manager.or(cond, term);
+    }
+    cond
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_lut_bits(
+    mapped: &Network,
+    kinds: &FxHashMap<NodeId, ElemKind>,
+    param_var: &FxHashMap<NodeId, u32>,
+    result: &TparResult,
+    layout: &BitstreamLayout,
+    k: usize,
+    manager: &mut BddManager,
+    builder: &mut GeneralizedBuilder,
+) -> Result<(), String> {
+    // Find each cluster's placed tile.
+    for (ci, cluster) in result.packed.clusters.iter().enumerate() {
+        let block = result
+            .packed
+            .blocks
+            .iter()
+            .position(|b| matches!(b, pfdbg_pr::Block::Clb(c) if *c == ci))
+            .ok_or("cluster without block")?;
+        let loc = result.placement.locs[block];
+        let (x, y) = (loc.x as usize, loc.y as usize);
+        for (ble_idx, ble) in cluster.bles.iter().enumerate() {
+            // FF bypass: 1 = registered output.
+            builder.set_const(layout.ff_bypass_bit(x, y, ble_idx, k), ble.latch.is_some());
+            let Some(lut) = ble.lut else { continue };
+            let node = mapped.node(lut);
+            let table = node.table().expect("BLE LUT is a table");
+            match kinds.get(&lut) {
+                Some(ElemKind::TLut) => {
+                    // Parameter fanins fold into the configuration: each
+                    // physical truth-table row (over the real fanins) is a
+                    // Boolean function of the parameters.
+                    let param_positions: Vec<(usize, u32)> = node
+                        .fanins
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, f)| param_var.get(f).map(|&v| (i, v)))
+                        .collect();
+                    let n_p = param_positions.len();
+                    let real_n = table.nvars() - n_p;
+                    // For each physical row, OR the minterms of parameter
+                    // assignments under which that row is 1.
+                    let mut row_funcs: Vec<Bdd> = vec![Bdd::FALSE; 1 << real_n];
+                    for a in 0..(1usize << n_p) {
+                        let mut residual = table.clone();
+                        for (bit, &(pos, _)) in param_positions.iter().enumerate().rev() {
+                            residual = residual.restrict(pos, (a >> bit) & 1 == 1);
+                        }
+                        let mut mt = Bdd::TRUE;
+                        for (bit, &(_, var)) in param_positions.iter().enumerate() {
+                            let lit = manager.var(var);
+                            let lit =
+                                if (a >> bit) & 1 == 1 { lit } else { manager.not(lit) };
+                            mt = manager.and(mt, lit);
+                        }
+                        for (row, func) in row_funcs.iter_mut().enumerate() {
+                            if residual.bit(row) {
+                                *func = manager.or(*func, mt);
+                            }
+                        }
+                    }
+                    for (row, &f) in row_funcs.iter().enumerate() {
+                        builder.set_func(manager, layout.lut_bit(x, y, ble_idx, row, k), f);
+                    }
+                }
+                _ => {
+                    // Plain LUT: constant truth bits (rows beyond the
+                    // logical arity replicate, as the physical LUT ignores
+                    // unused pins).
+                    let phys = table.extend_to(k.max(table.nvars()));
+                    for row in 0..(1usize << k.min(phys.nvars())) {
+                        builder.set_const(layout.lut_bit(x, y, ble_idx, row, k), phys.bit(row));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn write_switch_bits(
+    mapped: &Network,
+    kinds: &FxHashMap<NodeId, ElemKind>,
+    param_var: &FxHashMap<NodeId, u32>,
+    result: &TparResult,
+    layout: &BitstreamLayout,
+    manager: &mut BddManager,
+    builder: &mut GeneralizedBuilder,
+) -> Result<(), String> {
+    // Edge lookup: (from, to) -> edge id.
+    let edge_id = |from: RRNode, to: RRNode| -> Option<u32> {
+        result.rrg.out_edges(from).find(|&(_, t)| t == to).map(|(e, _)| e)
+    };
+
+    // Accumulate per-edge functions (an edge can serve several
+    // alternatives of one net, or — for constant nets — be simply on).
+    let mut funcs: FxHashMap<u32, Bdd> = FxHashMap::default();
+    for nr in &result.routed.routes {
+        let net = &result.packed.nets[nr.net];
+        for branch in &nr.branches {
+            let cond = if net.tunable {
+                let source = net.source_nodes[branch.alternative];
+                tcon_condition(mapped, kinds, param_var, manager, net.driver, source)
+            } else {
+                Bdd::TRUE
+            };
+            for &(from, to) in &branch.edges {
+                let e = edge_id(from, to)
+                    .ok_or_else(|| format!("routed edge {from:?}->{to:?} not in RRG"))?;
+                let entry = funcs.entry(e).or_insert(Bdd::FALSE);
+                *entry = manager.or(*entry, cond);
+            }
+        }
+    }
+    for (e, f) in funcs {
+        builder.set_func(manager, layout.switch_bit(e), f);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::InstrumentConfig;
+    use pfdbg_netlist::truth::gates;
+    use pfdbg_util::BitVec;
+
+    fn small_design() -> Network {
+        // Large enough that the initial mapping keeps several LUTs (a
+        // single-output cone would collapse into one LUT, leaving nothing
+        // to multiplex).
+        pfdbg_circuits::generate(&pfdbg_circuits::GenParams {
+            n_inputs: 8,
+            n_outputs: 6,
+            n_gates: 40,
+            depth: 5,
+            n_latches: 2,
+            seed: 33,
+        })
+    }
+
+    #[test]
+    fn offline_produces_tcons_and_small_lut_area() {
+        let design = small_design();
+        let (initial, _, inst) =
+            crate::baseline::prepare_instrumented(&design, &InstrumentConfig { n_ports: 2, max_signals: None, coverage: 1 }, 6)
+                .unwrap();
+        let off = offline(&inst, &OfflineConfig { run_pr: false, ..Default::default() }).unwrap();
+        assert!(off.map_stats.tcons > 0, "mux trees must become TCONs: {:?}", off.map_stats);
+        // The instrumented LUT area stays close to the initial mapping.
+        assert!(
+            off.map_stats.luts + off.map_stats.tluts <= initial.n_tables() + 2,
+            "instrumentation leaked into LUTs: {:?} vs {}",
+            off.map_stats,
+            initial.n_tables()
+        );
+    }
+
+    #[test]
+    fn offline_with_pr_builds_generalized_bitstream() {
+        let design = small_design();
+        let (_, _, inst) = crate::baseline::prepare_instrumented(
+            &design,
+            &InstrumentConfig { n_ports: 1, max_signals: None, coverage: 1 },
+            6,
+        )
+        .unwrap();
+        let off = offline(&inst, &OfflineConfig::default()).unwrap();
+        let scg = off.scg.as_ref().expect("scg built");
+        assert!(scg.generalized().n_tunable() > 0, "no parameterized bits");
+        // Specialize for two different selections; bitstreams must differ
+        // (different signals route to the trace port).
+        let n = inst.annotations.len();
+        let mut p0 = BitVec::zeros(n);
+        let p1 = {
+            let mut v = BitVec::zeros(n);
+            v.set(0, true);
+            v
+        };
+        let b0 = scg.specialize(&p0);
+        let _ = &mut p0;
+        let b1 = scg.specialize(&p1);
+        assert_ne!(b0, b1, "different selections must differ in routing bits");
+        let _ = &mut p0;
+    }
+
+    #[test]
+    fn tcon_condition_matches_mux_semantics() {
+        // Build a 2:1 parameterized mux directly in a mapped-style
+        // network and check both selection conditions.
+        let mut nw = Network::new("m");
+        let d0 = nw.add_input("d0");
+        let d1 = nw.add_input("d1");
+        let s = nw.add_input("s");
+        nw.set_param(s, true);
+        let m = nw.add_table("m", vec![d0, d1, s], gates::mux21());
+        nw.add_output("y", m);
+        let mut kinds = FxHashMap::default();
+        kinds.insert(m, ElemKind::TCon);
+        let mut param_var = FxHashMap::default();
+        param_var.insert(s, 0u32);
+        let mut mgr = BddManager::new();
+        let c0 = tcon_condition(&nw, &kinds, &param_var, &mut mgr, m, d0);
+        let c1 = tcon_condition(&nw, &kinds, &param_var, &mut mgr, m, d1);
+        let zero: BitVec = [false].into_iter().collect();
+        let one: BitVec = [true].into_iter().collect();
+        assert!(mgr.eval(c0, &zero) && !mgr.eval(c0, &one));
+        assert!(!mgr.eval(c1, &zero) && mgr.eval(c1, &one));
+        // Conditions are mutually exclusive and exhaustive.
+        let both = mgr.and(c0, c1);
+        assert_eq!(both, Bdd::FALSE);
+        let either = mgr.or(c0, c1);
+        assert_eq!(either, Bdd::TRUE);
+    }
+
+    #[test]
+    fn tcon_condition_composes_through_trees() {
+        // 4:1 tree: m2 selects between m0 (d0/d1 by s0) and m1 (d2/d3 by
+        // s0) using s1.
+        let mut nw = Network::new("t");
+        let d: Vec<NodeId> = (0..4).map(|i| nw.add_input(format!("d{i}"))).collect();
+        let s0 = nw.add_input("s0");
+        let s1 = nw.add_input("s1");
+        nw.set_param(s0, true);
+        nw.set_param(s1, true);
+        let m0 = nw.add_table("m0", vec![d[0], d[1], s0], gates::mux21());
+        let m1 = nw.add_table("m1", vec![d[2], d[3], s0], gates::mux21());
+        let m2 = nw.add_table("m2", vec![m0, m1, s1], gates::mux21());
+        nw.add_output("y", m2);
+        let mut kinds = FxHashMap::default();
+        for m in [m0, m1, m2] {
+            kinds.insert(m, ElemKind::TCon);
+        }
+        let mut param_var = FxHashMap::default();
+        param_var.insert(s0, 0u32);
+        param_var.insert(s1, 1u32);
+        let mut mgr = BddManager::new();
+        for (i, &di) in d.iter().enumerate() {
+            let c = tcon_condition(&nw, &kinds, &param_var, &mut mgr, m2, di);
+            for v in 0..4usize {
+                let asg: BitVec = [(v & 1) == 1, (v & 2) == 2].into_iter().collect();
+                assert_eq!(
+                    mgr.eval(c, &asg),
+                    v == i,
+                    "source d{i}, select {v}"
+                );
+            }
+        }
+    }
+}

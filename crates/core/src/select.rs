@@ -1,0 +1,134 @@
+//! Critical-signal selection (the paper's §VI planned extension).
+//!
+//! Parameterizing *every* net maximizes visibility but also parameter
+//! count, router stress and compile time. This pass ranks internal nets
+//! by debugging value and keeps the top N. The ranking follows the
+//! signal-selection literature the paper cites (Hung & Wilton): signals
+//! that *restore* the most downstream state when observed are worth the
+//! most — approximated here by fanout (wide influence), fan-in cone size
+//! (summarizes much logic) and sequential adjacency (latch outputs carry
+//! state).
+
+use pfdbg_netlist::{Network, NodeId};
+use pfdbg_util::IdVec;
+
+/// A ranked signal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedSignal {
+    /// The node.
+    pub id: NodeId,
+    /// Net name.
+    pub name: String,
+    /// Composite score (higher = more valuable to observe).
+    pub score: f64,
+}
+
+/// Rank all observable signals, best first. Deterministic (ties broken
+/// by name).
+pub fn rank_signals(nw: &Network) -> Vec<RankedSignal> {
+    let fanouts = nw.fanout_counts();
+    let cones = cone_sizes(nw);
+    let depths = nw.depths().unwrap_or_else(|_| IdVec::filled(0, nw.n_nodes()));
+    let max_depth = depths.values().copied().max().unwrap_or(0).max(1) as f64;
+
+    let mut ranked: Vec<RankedSignal> = crate::param::observable_signals(nw)
+        .into_iter()
+        .map(|id| {
+            let node = nw.node(id);
+            let fanout = fanouts[id] as f64;
+            let cone = cones[id] as f64;
+            let state_bonus = if node.is_latch() { 4.0 } else { 0.0 };
+            // Mid-depth signals summarize both input and output behaviour.
+            let d = depths[id] as f64 / max_depth;
+            let centrality = 1.0 - (2.0 * d - 1.0).abs();
+            let score = fanout.ln_1p() * 2.0 + cone.ln_1p() + state_bonus + centrality;
+            RankedSignal { id, name: node.name.clone(), score }
+        })
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("finite scores")
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    ranked
+}
+
+/// The top `n` signal names by rank.
+pub fn select_critical(nw: &Network, n: usize) -> Vec<String> {
+    rank_signals(nw).into_iter().take(n).map(|r| r.name).collect()
+}
+
+/// Transitive fan-in cone size (table nodes only) per node, computed in
+/// one topological pass with saturation (exact counting would need sets;
+/// the saturated sum upper bound ranks identically for tree-like logic).
+fn cone_sizes(nw: &Network) -> IdVec<NodeId, u32> {
+    let order = nw.topo_order().unwrap_or_default();
+    let mut size: IdVec<NodeId, u32> = IdVec::filled(0, nw.n_nodes());
+    for id in order {
+        let node = nw.node(id);
+        if node.is_table() {
+            let mut s = 1u32;
+            for &f in &node.fanins {
+                s = s.saturating_add(size[f]);
+            }
+            size[id] = s.min(1_000_000);
+        }
+    }
+    size
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfdbg_netlist::truth::gates;
+
+    fn design() -> Network {
+        let mut nw = Network::new("d");
+        let a = nw.add_input("a");
+        let b = nw.add_input("b");
+        // hub: feeds three consumers.
+        let hub = nw.add_table("hub", vec![a, b], gates::and2());
+        let u1 = nw.add_table("u1", vec![hub, a], gates::or2());
+        let u2 = nw.add_table("u2", vec![hub, b], gates::xor2());
+        let u3 = nw.add_table("u3", vec![hub, u1], gates::and2());
+        let q = nw.add_latch("state", u3, false);
+        nw.add_output("o1", u2);
+        nw.add_output("o2", q);
+        nw
+    }
+
+    #[test]
+    fn high_fanout_and_state_rank_high() {
+        let nw = design();
+        let ranked = rank_signals(&nw);
+        let pos =
+            |name: &str| ranked.iter().position(|r| r.name == name).unwrap_or(usize::MAX);
+        // The hub (fanout 3) must outrank single-use leaves like u2.
+        assert!(pos("hub") < pos("u2"), "{ranked:?}");
+        // The latch gets the state bonus: top half.
+        assert!(pos("state") < ranked.len().div_ceil(2), "{ranked:?}");
+    }
+
+    #[test]
+    fn select_critical_truncates_deterministically() {
+        let nw = design();
+        let top2a = select_critical(&nw, 2);
+        let top2b = select_critical(&nw, 2);
+        assert_eq!(top2a, top2b);
+        assert_eq!(top2a.len(), 2);
+        let all = select_critical(&nw, 100);
+        assert_eq!(all.len(), 5); // hub, u1, u2, u3, state
+        assert_eq!(&all[..2], &top2a[..]);
+    }
+
+    #[test]
+    fn scores_are_finite_and_ordered() {
+        let nw = design();
+        let ranked = rank_signals(&nw);
+        for w in ranked.windows(2) {
+            assert!(w[0].score >= w[1].score);
+            assert!(w[0].score.is_finite());
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Fault injection: the bugs we hunt in the debugging experiments.
+//!
+//! The paper's use case is functional errors introduced at the RTL stage
+//! and chased on an FPGA emulator. We model the classic fault classes:
+//! a net stuck at a constant, a wrong gate function (the RTL bug), and a
+//! transient state bit-flip at a given cycle (exercises triggers and
+//! multi-turn debugging).
+
+use pfdbg_netlist::truth::TruthTable;
+use pfdbg_netlist::{Network, NodeId, NodeKind};
+
+/// A fault to inject into a design.
+#[derive(Debug, Clone)]
+pub enum Fault {
+    /// The named net is stuck at a constant value.
+    StuckAt {
+        /// Net name.
+        net: String,
+        /// The stuck value.
+        value: bool,
+    },
+    /// The named table node computes a wrong function.
+    WrongGate {
+        /// Net name of the gate output.
+        net: String,
+        /// The (buggy) replacement truth table — same arity.
+        table: TruthTable,
+    },
+    /// The named latch flips its state bit at the end of `cycle`.
+    BitFlip {
+        /// Latch net name.
+        net: String,
+        /// Cycle after which the state flips.
+        cycle: usize,
+    },
+}
+
+impl Fault {
+    /// The net this fault affects.
+    pub fn net(&self) -> &str {
+        match self {
+            Fault::StuckAt { net, .. } | Fault::WrongGate { net, .. } | Fault::BitFlip { net, .. } => {
+                net
+            }
+        }
+    }
+
+    /// Whether this fault mutates the netlist statically (vs. at run
+    /// time).
+    pub fn is_static(&self) -> bool {
+        !matches!(self, Fault::BitFlip { .. })
+    }
+}
+
+/// Apply a *static* fault, producing the faulty network. `BitFlip`s are
+/// runtime faults handled by the emulator and are returned unchanged
+/// (`Err` with an explanatory message for misuse).
+pub fn apply_static(nw: &Network, fault: &Fault) -> Result<Network, String> {
+    let mut out = nw.clone();
+    match fault {
+        Fault::StuckAt { net, value } => {
+            let victim = out.find(net).ok_or_else(|| format!("no net {net}"))?;
+            let name = out.fresh_name(&format!("$stuck_{net}"));
+            let konst = out.add_const(name, *value);
+            out.replace_uses(victim, konst);
+            Ok(out)
+        }
+        Fault::WrongGate { net, table } => {
+            let victim = out.find(net).ok_or_else(|| format!("no net {net}"))?;
+            let node = out.node(victim);
+            match &node.kind {
+                NodeKind::Table(old) => {
+                    if old.nvars() != table.nvars() {
+                        return Err(format!(
+                            "replacement arity {} != gate arity {}",
+                            table.nvars(),
+                            old.nvars()
+                        ));
+                    }
+                    let fanins = node.fanins.clone();
+                    let name = out.fresh_name(&format!("$buggy_{net}"));
+                    let buggy = out.add_table(name, fanins, table.clone());
+                    out.replace_uses(victim, buggy);
+                    Ok(out)
+                }
+                _ => Err(format!("{net} is not a gate")),
+            }
+        }
+        Fault::BitFlip { .. } => Err("BitFlip is a runtime fault; pass it to the emulator".into()),
+    }
+}
+
+/// Candidate nets for random fault injection: internal table nodes (not
+/// instrumentation artifacts whose names start with `$`).
+pub fn injectable_nets(nw: &Network) -> Vec<NodeId> {
+    nw.nodes()
+        .filter(|(_, n)| n.is_table() && !n.name.starts_with('$') && !n.is_param)
+        .map(|(id, _)| id)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfdbg_netlist::sim::comb_equivalent;
+    use pfdbg_netlist::truth::gates;
+
+    fn sample() -> Network {
+        let mut nw = Network::new("s");
+        let a = nw.add_input("a");
+        let b = nw.add_input("b");
+        let g = nw.add_table("g", vec![a, b], gates::and2());
+        let y = nw.add_table("y", vec![g, a], gates::xor2());
+        nw.add_output("y", y);
+        nw
+    }
+
+    #[test]
+    fn stuck_at_changes_function() {
+        let nw = sample();
+        let faulty = apply_static(&nw, &Fault::StuckAt { net: "g".into(), value: true }).unwrap();
+        faulty.validate().unwrap();
+        assert!(!comb_equivalent(&nw, &faulty, 32, 5).unwrap());
+    }
+
+    #[test]
+    fn wrong_gate_changes_function() {
+        let nw = sample();
+        let f = Fault::WrongGate { net: "g".into(), table: gates::or2() };
+        let faulty = apply_static(&nw, &f).unwrap();
+        faulty.validate().unwrap();
+        assert!(!comb_equivalent(&nw, &faulty, 32, 5).unwrap());
+    }
+
+    #[test]
+    fn wrong_gate_arity_checked() {
+        let nw = sample();
+        let f = Fault::WrongGate { net: "g".into(), table: gates::not1() };
+        assert!(apply_static(&nw, &f).is_err());
+    }
+
+    #[test]
+    fn unknown_net_rejected() {
+        let nw = sample();
+        assert!(apply_static(&nw, &Fault::StuckAt { net: "nope".into(), value: false }).is_err());
+    }
+
+    #[test]
+    fn bitflip_is_runtime_only() {
+        let nw = sample();
+        assert!(apply_static(&nw, &Fault::BitFlip { net: "q".into(), cycle: 3 }).is_err());
+        assert!(!Fault::BitFlip { net: "q".into(), cycle: 3 }.is_static());
+    }
+
+    #[test]
+    fn injectable_nets_skip_artifacts() {
+        let mut nw = sample();
+        let a = nw.find("a").unwrap();
+        nw.add_table("$mux0", vec![a], gates::buf1());
+        let nets = injectable_nets(&nw);
+        let names: Vec<&str> = nets.iter().map(|&id| nw.node(id).name.as_str()).collect();
+        assert!(names.contains(&"g"));
+        assert!(!names.contains(&"$mux0"));
+    }
+}

@@ -1,0 +1,14 @@
+//! FPGA emulation of netlists: cycle-accurate execution with trace
+//! capture and triggering, fault injection (the bugs under debug), and
+//! golden-model lockstep comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod emulator;
+pub mod fault;
+pub mod golden;
+
+pub use emulator::Emulator;
+pub use fault::{apply_static, injectable_nets, Fault};
+pub use golden::{golden_waveform, lockstep, LockstepReport};

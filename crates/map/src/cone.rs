@@ -1,0 +1,144 @@
+//! Truth tables of AIG cones over a cut's leaves.
+
+use pfdbg_netlist::truth::TruthTable;
+use pfdbg_synth::{Aig, AigKind, AigNode, Lit};
+use pfdbg_util::FxHashMap;
+
+/// Compute the function of `root` as a truth table over the given cut
+/// `leaves` (variable `i` of the table is `leaves[i]`).
+///
+/// Panics if the cone is not actually covered by the leaves (i.e. a
+/// source node other than the constant is reached that is not a leaf) —
+/// that would mean the cut is invalid.
+pub fn cone_table(aig: &Aig, root: AigNode, leaves: &[AigNode]) -> TruthTable {
+    let n = leaves.len();
+    assert!(n <= pfdbg_netlist::truth::MAX_VARS, "cut too wide for truth table");
+    let mut memo: FxHashMap<AigNode, TruthTable> = FxHashMap::default();
+    for (i, &l) in leaves.iter().enumerate() {
+        memo.insert(l, TruthTable::var(n, i));
+    }
+    memo.insert(AigNode(0), TruthTable::const0(n));
+    build(aig, root, n, &mut memo);
+    memo.remove(&root).expect("root built")
+}
+
+fn build(aig: &Aig, node: AigNode, _n: usize, memo: &mut FxHashMap<AigNode, TruthTable>) {
+    if memo.contains_key(&node) {
+        return;
+    }
+    // Iterative post-order to avoid recursion depth issues on deep cones.
+    let mut stack = vec![node];
+    while let Some(&top) = stack.last() {
+        if memo.contains_key(&top) {
+            stack.pop();
+            continue;
+        }
+        let (a, b) = match aig.node(top).kind {
+            AigKind::And(a, b) => (a, b),
+            ref k => panic!("cone reaches uncovered source {top:?} ({k:?})"),
+        };
+        let need_a = !memo.contains_key(&a.node());
+        let need_b = !memo.contains_key(&b.node());
+        if need_a {
+            stack.push(a.node());
+        }
+        if need_b {
+            stack.push(b.node());
+        }
+        if !need_a && !need_b {
+            stack.pop();
+            let ta = lit_table(&memo[&a.node()], a);
+            let tb = lit_table(&memo[&b.node()], b);
+            memo.insert(top, ta.and(&tb));
+        }
+    }
+}
+
+fn lit_table(t: &TruthTable, lit: Lit) -> TruthTable {
+    if lit.complemented() {
+        t.not()
+    } else {
+        t.clone()
+    }
+}
+
+/// Evaluate the function of an arbitrary literal over cut leaves
+/// (complemented roots supported).
+pub fn lit_cone_table(aig: &Aig, lit: Lit, leaves: &[AigNode]) -> TruthTable {
+    let base = cone_table(aig, lit.node(), leaves);
+    lit_table(&base, lit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn and_cone() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a", false);
+        let b = aig.add_input("b", false);
+        let y = aig.and(a, b);
+        let t = cone_table(&aig, y.node(), &[a.node(), b.node()]);
+        assert_eq!(t, pfdbg_netlist::truth::gates::and2());
+    }
+
+    #[test]
+    fn xor_cone_with_internal_nodes() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a", false);
+        let b = aig.add_input("b", false);
+        let y = aig.xor(a, b);
+        let t = lit_cone_table(&aig, y, &[a.node(), b.node()]);
+        assert_eq!(t, pfdbg_netlist::truth::gates::xor2());
+    }
+
+    #[test]
+    fn complemented_root() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a", false);
+        let b = aig.add_input("b", false);
+        let y = aig.and(a, b);
+        let t = lit_cone_table(&aig, y.not(), &[a.node(), b.node()]);
+        assert_eq!(t, pfdbg_netlist::truth::gates::nand2());
+    }
+
+    #[test]
+    fn leaf_cut_at_internal_node() {
+        // y = (a&b) & c, cut leaves = {ab, c} — the cone stops at ab.
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a", false);
+        let b = aig.add_input("b", false);
+        let c = aig.add_input("c", false);
+        let ab = aig.and(a, b);
+        let y = aig.and(ab, c);
+        let mut leaves = [ab.node(), c.node()];
+        leaves.sort();
+        let t = cone_table(&aig, y.node(), &leaves);
+        assert_eq!(t, pfdbg_netlist::truth::gates::and2());
+    }
+
+    #[test]
+    #[should_panic(expected = "uncovered source")]
+    fn invalid_cut_panics() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a", false);
+        let b = aig.add_input("b", false);
+        let y = aig.and(a, b);
+        // Leaves miss input b.
+        cone_table(&aig, y.node(), &[a.node()]);
+    }
+
+    #[test]
+    fn deep_chain_no_stack_overflow() {
+        let mut aig = Aig::new("deep");
+        let x = aig.add_input("x", false);
+        let one = aig.add_input("one", false);
+        let mut acc = x;
+        for _ in 0..50_000 {
+            acc = aig.and(acc, one);
+        }
+        let t = cone_table(&aig, acc.node(), &[x.node(), one.node()]);
+        assert_eq!(t, pfdbg_netlist::truth::gates::and2());
+    }
+}

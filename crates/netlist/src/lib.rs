@@ -1,0 +1,21 @@
+//! Logic-network representation for the parameterized FPGA debugging
+//! suite: truth tables, the network DAG, BLIF I/O, `.par` parameter
+//! annotations and bit-parallel simulation.
+//!
+//! Every stage of the reproduced flow (synthesis → signal parameterization
+//! → technology mapping → pack/place/route) consumes and produces the
+//! [`network::Network`] type defined here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blif;
+pub mod network;
+pub mod par;
+pub mod sim;
+pub mod truth;
+pub mod verilog;
+
+pub use network::{Network, Node, NodeId, NodeKind, OutputPort};
+pub use par::ParamAnnotations;
+pub use truth::TruthTable;

@@ -1,0 +1,207 @@
+//! `.par` parameter-annotation files.
+//!
+//! The paper's flow emits, next to the instrumented `.blif`, a `.par` file
+//! naming the nets that the mapper must treat as PConf *parameters*
+//! ("…produces a new .blif file and a .par file. The first remains as
+//! closely as possible to the original design, while the latter is used to
+//! give an indication to the mapper for which signals the PConf should be
+//! applied").
+//!
+//! Format (one directive per line, `#` comments):
+//!
+//! ```text
+//! # parameters for <design>
+//! param <net-name>
+//! group <group-name> <net-name> [<net-name>...]
+//! ```
+//!
+//! Groups record which parameters form one logical selector (e.g. the
+//! select bus of one trace-buffer mux tree) so the specialization stage
+//! can set them together.
+
+use pfdbg_util::FxHashMap;
+use std::fmt::Write as _;
+
+/// Parameter annotations: the parameter net names plus optional grouping.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParamAnnotations {
+    /// Parameter net names in declaration order.
+    pub params: Vec<String>,
+    /// Named groups of parameter nets (selector buses).
+    pub groups: Vec<(String, Vec<String>)>,
+}
+
+/// A `.par` parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, ".par error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParError {}
+
+impl ParamAnnotations {
+    /// Declare a parameter (idempotent).
+    pub fn add_param(&mut self, name: impl Into<String>) {
+        let name = name.into();
+        if !self.params.contains(&name) {
+            self.params.push(name);
+        }
+    }
+
+    /// Declare a group; members are added as parameters too.
+    pub fn add_group(&mut self, group: impl Into<String>, members: Vec<String>) {
+        for m in &members {
+            self.add_param(m.clone());
+        }
+        self.groups.push((group.into(), members));
+    }
+
+    /// Whether `name` is annotated as a parameter.
+    pub fn is_param(&self, name: &str) -> bool {
+        self.params.iter().any(|p| p == name)
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// No parameters at all?
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Index of each parameter name (its *parameter variable* number in
+    /// the PConf Boolean functions).
+    pub fn index_map(&self) -> FxHashMap<&str, usize> {
+        self.params.iter().enumerate().map(|(i, p)| (p.as_str(), i)).collect()
+    }
+
+    /// Serialize to the `.par` text format.
+    pub fn write(&self) -> String {
+        let mut out = String::new();
+        let grouped: std::collections::HashSet<&str> = self
+            .groups
+            .iter()
+            .flat_map(|(_, ms)| ms.iter().map(String::as_str))
+            .collect();
+        for p in &self.params {
+            if !grouped.contains(p.as_str()) {
+                let _ = writeln!(out, "param {p}");
+            }
+        }
+        for (g, ms) in &self.groups {
+            let _ = writeln!(out, "group {g} {}", ms.join(" "));
+        }
+        out
+    }
+
+    /// Parse the `.par` text format.
+    pub fn parse(text: &str) -> Result<Self, ParError> {
+        let mut ann = ParamAnnotations::default();
+        for (i, raw) in text.lines().enumerate() {
+            let line = i + 1;
+            let content = match raw.find('#') {
+                Some(p) => &raw[..p],
+                None => raw,
+            };
+            let mut toks = content.split_whitespace();
+            match toks.next() {
+                None => continue,
+                Some("param") => {
+                    let name = toks
+                        .next()
+                        .ok_or(ParError { line, message: "param needs a net name".into() })?;
+                    if toks.next().is_some() {
+                        return Err(ParError {
+                            line,
+                            message: "param takes exactly one net name".into(),
+                        });
+                    }
+                    ann.add_param(name);
+                }
+                Some("group") => {
+                    let gname = toks
+                        .next()
+                        .ok_or(ParError { line, message: "group needs a name".into() })?;
+                    let members: Vec<String> = toks.map(str::to_string).collect();
+                    if members.is_empty() {
+                        return Err(ParError {
+                            line,
+                            message: "group needs at least one member".into(),
+                        });
+                    }
+                    ann.add_group(gname, members);
+                }
+                Some(other) => {
+                    return Err(ParError {
+                        line,
+                        message: format!("unknown directive {other:?}"),
+                    })
+                }
+            }
+        }
+        Ok(ann)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut ann = ParamAnnotations::default();
+        ann.add_param("solo");
+        ann.add_group("mux0_sel", vec!["s0".into(), "s1".into()]);
+        let text = ann.write();
+        let back = ParamAnnotations::parse(&text).unwrap();
+        assert_eq!(ann, back);
+        assert!(back.is_param("solo"));
+        assert!(back.is_param("s1"));
+        assert_eq!(back.len(), 3);
+    }
+
+    #[test]
+    fn add_param_idempotent() {
+        let mut ann = ParamAnnotations::default();
+        ann.add_param("p");
+        ann.add_param("p");
+        assert_eq!(ann.len(), 1);
+    }
+
+    #[test]
+    fn index_map_is_declaration_order() {
+        let mut ann = ParamAnnotations::default();
+        ann.add_param("b");
+        ann.add_param("a");
+        let idx = ann.index_map();
+        assert_eq!(idx["b"], 0);
+        assert_eq!(idx["a"], 1);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let ann = ParamAnnotations::parse("# header\n\nparam x # trailing\n").unwrap();
+        assert_eq!(ann.params, vec!["x"]);
+    }
+
+    #[test]
+    fn errors_reported_with_lines() {
+        let e = ParamAnnotations::parse("param\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = ParamAnnotations::parse("bogus x\n").unwrap_err();
+        assert!(e.message.contains("unknown directive"));
+        let e = ParamAnnotations::parse("group g\n").unwrap_err();
+        assert!(e.message.contains("at least one member"));
+    }
+}

@@ -1,0 +1,378 @@
+//! Bit-parallel netlist simulation.
+//!
+//! Simulates 64 input vectors at a time (one per bit lane), which is both
+//! the standard trick for equivalence checking by random simulation and
+//! the engine the emulation crate builds on. Sequential state (latches) is
+//! carried between [`Simulator::step`] calls.
+
+use crate::network::{Network, NodeId, NodeKind};
+use pfdbg_util::IdVec;
+use std::collections::HashMap;
+
+/// A bit-parallel simulator over a [`Network`].
+///
+/// Each signal carries a 64-lane word: lane `k` of every signal together
+/// forms one independent simulation of the circuit.
+pub struct Simulator<'a> {
+    nw: &'a Network,
+    topo: Vec<NodeId>,
+    /// Current value of every node (this cycle).
+    values: IdVec<NodeId, u64>,
+    /// Latch state (value to present *this* cycle).
+    state: IdVec<NodeId, u64>,
+}
+
+impl<'a> Simulator<'a> {
+    /// Create a simulator; latches take their init values (replicated to
+    /// all 64 lanes). Fails if the network has a combinational cycle.
+    pub fn new(nw: &'a Network) -> Result<Self, NodeId> {
+        let topo = nw.topo_order()?;
+        let mut state: IdVec<NodeId, u64> = IdVec::filled(0, nw.n_nodes());
+        for (id, node) in nw.nodes() {
+            if let NodeKind::Latch { init } = node.kind {
+                state[id] = if init { !0 } else { 0 };
+            }
+        }
+        Ok(Simulator { nw, topo, values: IdVec::filled(0, nw.n_nodes()), state })
+    }
+
+    /// Reset all latches to their init values.
+    pub fn reset(&mut self) {
+        for (id, node) in self.nw.nodes() {
+            if let NodeKind::Latch { init } = node.kind {
+                self.state[id] = if init { !0 } else { 0 };
+            }
+        }
+    }
+
+    /// Evaluate one clock cycle: combinational settle with the given
+    /// primary-input words, then clock all latches.
+    ///
+    /// `inputs` maps each primary input node to its 64-lane word; missing
+    /// inputs default to 0.
+    pub fn step(&mut self, inputs: &HashMap<NodeId, u64>) {
+        self.settle(inputs);
+        // Clock: next state = current data input value.
+        let mut next: Vec<(NodeId, u64)> = Vec::new();
+        for (id, node) in self.nw.nodes() {
+            if node.is_latch() {
+                next.push((id, self.values[node.fanins[0]]));
+            }
+        }
+        for (id, v) in next {
+            self.state[id] = v;
+        }
+    }
+
+    /// Combinational evaluation only (no latch clocking).
+    pub fn settle(&mut self, inputs: &HashMap<NodeId, u64>) {
+        for &id in &self.topo {
+            let node = self.nw.node(id);
+            self.values[id] = match &node.kind {
+                NodeKind::Input => inputs.get(&id).copied().unwrap_or(0),
+                NodeKind::Const(v) => {
+                    if *v {
+                        !0
+                    } else {
+                        0
+                    }
+                }
+                NodeKind::Latch { .. } => self.state[id],
+                NodeKind::Table(t) => {
+                    // Evaluate the truth table lane-parallel via Shannon
+                    // muxing over the fanin words.
+                    eval_table_words(t, &node.fanins, &self.values)
+                }
+            };
+        }
+    }
+
+    /// The 64-lane word currently on `node` (after the last settle/step).
+    pub fn value(&self, node: NodeId) -> u64 {
+        self.values[node]
+    }
+
+    /// The single-lane boolean on `node` for lane `lane`.
+    pub fn value_lane(&self, node: NodeId, lane: usize) -> bool {
+        assert!(lane < 64);
+        (self.values[node] >> lane) & 1 == 1
+    }
+
+    /// Current latch state word.
+    pub fn latch_state(&self, latch: NodeId) -> u64 {
+        self.state[latch]
+    }
+
+    /// Force a latch's state word (used for fault injection in the
+    /// emulation layer).
+    pub fn set_latch_state(&mut self, latch: NodeId, word: u64) {
+        assert!(self.nw.node(latch).is_latch());
+        self.state[latch] = word;
+    }
+}
+
+/// Evaluate a truth table on 64-lane fanin words.
+fn eval_table_words(t: &crate::truth::TruthTable, fanins: &[NodeId], values: &IdVec<NodeId, u64>) -> u64 {
+    // For each lane, the fanin bits select a row. Doing this row-by-row
+    // would be 64 table lookups; instead use the standard bit-sliced
+    // approach: start from the full table and cofactor by each input word.
+    // out = OR over rows r of (table[r] * AND_i (fanin_i XNOR r_i)).
+    // For small arity (the common case, K<=6) iterate rows.
+    let mut out = 0u64;
+    for row in 0..t.n_rows() {
+        if !t.bit(row) {
+            continue;
+        }
+        let mut lanes = !0u64;
+        for (i, &f) in fanins.iter().enumerate() {
+            let w = values[f];
+            lanes &= if (row >> i) & 1 == 1 { w } else { !w };
+            if lanes == 0 {
+                break;
+            }
+        }
+        out |= lanes;
+    }
+    out
+}
+
+/// Check combinational equivalence of two networks by random simulation.
+///
+/// Both networks must have identically *named* inputs and outputs (order
+/// may differ). Latches are treated as cut points: each latch output is
+/// driven by a shared pseudo-random stimulus keyed by its name, and each
+/// latch data input is treated as an extra observed output — so next-state
+/// functions are compared too.
+///
+/// Runs `n_words` rounds of 64 random vectors. Returns `Ok(false)` on the
+/// first mismatch. Returns `Err` if interfaces differ or a cycle exists.
+pub fn comb_equivalent(
+    a: &Network,
+    b: &Network,
+    n_words: usize,
+    seed: u64,
+) -> Result<bool, String> {
+    let names_a = interface_names(a);
+    let names_b = interface_names(b);
+    if names_a != names_b {
+        return Err(format!(
+            "interface mismatch: {:?} vs {:?}",
+            names_a, names_b
+        ));
+    }
+
+    let mut sim_a = Simulator::new(a).map_err(|n| format!("cycle in a at {n:?}"))?;
+    let mut sim_b = Simulator::new(b).map_err(|n| format!("cycle in b at {n:?}"))?;
+
+    // Simple splitmix64 so this module stays dependency-free.
+    let mut rng_state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut next_word = move || {
+        rng_state = rng_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = rng_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+
+    for _ in 0..n_words {
+        // Shared stimulus per *name*.
+        let mut stim: HashMap<String, u64> = HashMap::new();
+        for name in &names_a.inputs {
+            stim.insert(name.clone(), next_word());
+        }
+        for name in &names_a.latches {
+            stim.insert(name.clone(), next_word());
+        }
+        let apply = |nw: &Network, sim: &mut Simulator, stim: &HashMap<String, u64>| {
+            let mut inputs = HashMap::new();
+            for id in nw.inputs() {
+                inputs.insert(id, stim[&nw.node(id).name]);
+            }
+            for id in nw.latches() {
+                sim.set_latch_state(id, stim[&nw.node(id).name]);
+            }
+            sim.settle(&inputs);
+        };
+        apply(a, &mut sim_a, &stim);
+        apply(b, &mut sim_b, &stim);
+
+        for port in a.outputs() {
+            let pb = b
+                .outputs()
+                .iter()
+                .find(|p| p.name == port.name)
+                .expect("interface checked");
+            if sim_a.value(port.driver) != sim_b.value(pb.driver) {
+                return Ok(false);
+            }
+        }
+        for la in a.latches() {
+            let name = &a.node(la).name;
+            let lb = b.find(name).expect("interface checked");
+            let da = a.node(la).fanins[0];
+            let db = b.node(lb).fanins[0];
+            if sim_a.value(da) != sim_b.value(db) {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+#[derive(PartialEq, Eq, Debug)]
+struct InterfaceNames {
+    inputs: Vec<String>,
+    outputs: Vec<String>,
+    latches: Vec<String>,
+}
+
+fn interface_names(nw: &Network) -> InterfaceNames {
+    let mut inputs: Vec<String> = nw.inputs().map(|id| nw.node(id).name.clone()).collect();
+    let mut outputs: Vec<String> = nw.outputs().iter().map(|p| p.name.clone()).collect();
+    let mut latches: Vec<String> = nw.latches().map(|id| nw.node(id).name.clone()).collect();
+    inputs.sort();
+    outputs.sort();
+    latches.sort();
+    InterfaceNames { inputs, outputs, latches }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Network;
+    use crate::truth::{gates, TruthTable};
+
+    fn xor_and() -> Network {
+        let mut nw = Network::new("t");
+        let a = nw.add_input("a");
+        let b = nw.add_input("b");
+        let c = nw.add_input("c");
+        let g1 = nw.add_table("g1", vec![a, b], gates::and2());
+        let y = nw.add_table("y", vec![g1, c], gates::xor2());
+        nw.add_output("y", y);
+        nw
+    }
+
+    #[test]
+    fn settle_computes_combinational_values() {
+        let nw = xor_and();
+        let mut sim = Simulator::new(&nw).unwrap();
+        let a = nw.find("a").unwrap();
+        let b = nw.find("b").unwrap();
+        let c = nw.find("c").unwrap();
+        let y = nw.find("y").unwrap();
+        let mut inputs = HashMap::new();
+        // Lanes: try all 8 combinations in lanes 0..8.
+        let mut wa = 0u64;
+        let mut wb = 0u64;
+        let mut wc = 0u64;
+        for lane in 0..8u64 {
+            if lane & 1 == 1 {
+                wa |= 1 << lane;
+            }
+            if lane & 2 == 2 {
+                wb |= 1 << lane;
+            }
+            if lane & 4 == 4 {
+                wc |= 1 << lane;
+            }
+        }
+        inputs.insert(a, wa);
+        inputs.insert(b, wb);
+        inputs.insert(c, wc);
+        let mut sim2 = Simulator::new(&nw).unwrap();
+        sim.settle(&inputs);
+        sim2.settle(&inputs);
+        for lane in 0..8 {
+            let va = lane & 1 == 1;
+            let vb = lane & 2 == 2;
+            let vc = lane & 4 == 4;
+            assert_eq!(sim.value_lane(y, lane), (va && vb) ^ vc, "lane {lane}");
+            assert_eq!(sim2.value_lane(y, lane), sim.value_lane(y, lane));
+        }
+    }
+
+    #[test]
+    fn latch_delays_by_one_cycle() {
+        let mut nw = Network::new("d");
+        let d = nw.add_input("d");
+        let q = nw.add_latch("q", d, false);
+        nw.add_output("q", q);
+        let mut sim = Simulator::new(&nw).unwrap();
+        let mut inputs = HashMap::new();
+        inputs.insert(d, !0u64);
+        sim.step(&inputs); // q shows init (0) during this cycle
+        assert_eq!(sim.value(q), 0);
+        sim.step(&inputs); // now q shows last cycle's d
+        assert_eq!(sim.value(q), !0);
+    }
+
+    #[test]
+    fn latch_init_respected() {
+        let mut nw = Network::new("i");
+        let d = nw.add_input("d");
+        let q = nw.add_latch("q", d, true);
+        nw.add_output("q", q);
+        let mut sim = Simulator::new(&nw).unwrap();
+        sim.settle(&HashMap::new());
+        assert_eq!(sim.value(q), !0);
+        sim.reset();
+        sim.settle(&HashMap::new());
+        assert_eq!(sim.value(q), !0);
+    }
+
+    #[test]
+    fn equivalence_accepts_same_function() {
+        let a = xor_and();
+        // Same function, structured differently: y = (a&b) XOR c built as
+        // a single 3-input table.
+        let mut b = Network::new("t2");
+        let ia = b.add_input("a");
+        let ib = b.add_input("b");
+        let ic = b.add_input("c");
+        let t = TruthTable::var(3, 0)
+            .and(&TruthTable::var(3, 1))
+            .xor(&TruthTable::var(3, 2));
+        let y = b.add_table("y", vec![ia, ib, ic], t);
+        b.add_output("y", y);
+        assert!(comb_equivalent(&a, &b, 32, 1).unwrap());
+    }
+
+    #[test]
+    fn equivalence_rejects_different_function() {
+        let a = xor_and();
+        let mut b = Network::new("t3");
+        let ia = b.add_input("a");
+        let ib = b.add_input("b");
+        let ic = b.add_input("c");
+        let g1 = b.add_table("g1", vec![ia, ib], gates::or2()); // OR not AND
+        let y = b.add_table("y", vec![g1, ic], gates::xor2());
+        b.add_output("y", y);
+        assert!(!comb_equivalent(&a, &b, 32, 1).unwrap());
+    }
+
+    #[test]
+    fn equivalence_checks_next_state_functions() {
+        let mk = |invert: bool| {
+            let mut nw = Network::new("seq");
+            let a = nw.add_input("a");
+            let q = nw.add_latch("q", a, false);
+            let t = if invert { gates::xnor2() } else { gates::xor2() };
+            let d = nw.add_table("d", vec![a, q], t);
+            nw.set_latch_data(q, d);
+            nw.add_output("out", q);
+            nw
+        };
+        assert!(comb_equivalent(&mk(false), &mk(false), 16, 9).unwrap());
+        assert!(!comb_equivalent(&mk(false), &mk(true), 16, 9).unwrap());
+    }
+
+    #[test]
+    fn equivalence_rejects_interface_mismatch() {
+        let a = xor_and();
+        let mut b = Network::new("t4");
+        let ia = b.add_input("a");
+        b.add_output("y", ia);
+        assert!(comb_equivalent(&a, &b, 4, 1).is_err());
+    }
+}

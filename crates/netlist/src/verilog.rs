@@ -1,0 +1,891 @@
+//! A structural-Verilog front end (synthesizable subset).
+//!
+//! The paper's flow starts from "a synthesizable design"; BLIF covers the
+//! benchmark files, and this module covers the common way small designs
+//! are actually written. Supported subset:
+//!
+//! ```verilog
+//! module top(input a, input b, input clk, output y);
+//!   wire t;
+//!   assign t = (a & b) | ~a ^ b;      // & | ^ ~ ?: () and constants
+//!   and g1(w, a, b);                  // gate primitives, n-ary
+//!   reg q;
+//!   always @(posedge clk) q <= t;     // non-blocking DFF
+//!   assign y = q ? a : b;
+//!   endmodule
+//! ```
+//!
+//! One module per file, scalar nets only (no vectors/parameters/instances
+//! — those belong to a real synthesis tool, which this subset does not
+//! pretend to replace). `clk` inputs referenced only in `@(posedge …)`
+//! are dropped from the netlist (our latch model is implicitly clocked).
+
+use crate::network::{Network, NodeId};
+use crate::truth::{gates, TruthTable};
+use pfdbg_util::FxHashMap;
+
+/// A Verilog parse/elaboration error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerilogError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for VerilogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Verilog error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for VerilogError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, VerilogError> {
+    Err(VerilogError { line, message: message.into() })
+}
+
+// ----------------------------------------------------------------------
+// Lexer
+// ----------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Number(bool), // 1'b0 / 1'b1 / 0 / 1
+    Sym(char),    // ( ) , ; = ~ & | ^ ? : @ < #
+    KwModule,
+    KwEndmodule,
+    KwInput,
+    KwOutput,
+    KwWire,
+    KwReg,
+    KwAssign,
+    KwAlways,
+    KwPosedge,
+    KwGate(&'static str), // and or nand nor xor xnor not buf
+    NonBlocking,          // <=
+}
+
+fn lex(text: &str) -> Result<Vec<(usize, Tok)>, VerilogError> {
+    let mut toks = Vec::new();
+    let mut line = 1usize;
+    let mut chars = text.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '/' => {
+                chars.next();
+                match chars.peek() {
+                    Some('/') => {
+                        for c in chars.by_ref() {
+                            if c == '\n' {
+                                line += 1;
+                                break;
+                            }
+                        }
+                    }
+                    Some('*') => {
+                        chars.next();
+                        let mut prev = ' ';
+                        for c in chars.by_ref() {
+                            if c == '\n' {
+                                line += 1;
+                            }
+                            if prev == '*' && c == '/' {
+                                break;
+                            }
+                            prev = c;
+                        }
+                    }
+                    _ => return err(line, "stray '/'"),
+                }
+            }
+            '<' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    toks.push((line, Tok::NonBlocking));
+                } else {
+                    return err(line, "'<' only valid as '<='");
+                }
+            }
+            '(' | ')' | ',' | ';' | '=' | '~' | '&' | '|' | '^' | '?' | ':' | '@' => {
+                chars.next();
+                toks.push((line, Tok::Sym(c)));
+            }
+            '0' | '1' => {
+                chars.next();
+                // Accept 0, 1, 1'b0, 1'b1.
+                if chars.peek() == Some(&'\'') {
+                    chars.next();
+                    let base = chars.next();
+                    let digit = chars.next();
+                    match (base, digit) {
+                        (Some('b' | 'B'), Some('0')) => toks.push((line, Tok::Number(false))),
+                        (Some('b' | 'B'), Some('1')) => toks.push((line, Tok::Number(true))),
+                        _ => return err(line, "only 1'b0 / 1'b1 literals supported"),
+                    }
+                } else {
+                    toks.push((line, Tok::Number(c == '1')));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut ident = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '$' {
+                        ident.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let tok = match ident.as_str() {
+                    "module" => Tok::KwModule,
+                    "endmodule" => Tok::KwEndmodule,
+                    "input" => Tok::KwInput,
+                    "output" => Tok::KwOutput,
+                    "wire" => Tok::KwWire,
+                    "reg" => Tok::KwReg,
+                    "assign" => Tok::KwAssign,
+                    "always" => Tok::KwAlways,
+                    "posedge" => Tok::KwPosedge,
+                    "and" => Tok::KwGate("and"),
+                    "or" => Tok::KwGate("or"),
+                    "nand" => Tok::KwGate("nand"),
+                    "nor" => Tok::KwGate("nor"),
+                    "xor" => Tok::KwGate("xor"),
+                    "xnor" => Tok::KwGate("xnor"),
+                    "not" => Tok::KwGate("not"),
+                    "buf" => Tok::KwGate("buf"),
+                    _ => Tok::Ident(ident),
+                };
+                toks.push((line, tok));
+            }
+            other => return err(line, format!("unexpected character {other:?}")),
+        }
+    }
+    Ok(toks)
+}
+
+// ----------------------------------------------------------------------
+// Expressions (per assign RHS): precedence ~ > & > ^ > | > ?:
+// ----------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Expr {
+    Net(usize, String),
+    Const(bool),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+    Mux(Box<Expr>, Box<Expr>, Box<Expr>), // cond ? t : e
+}
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn line(&self) -> usize {
+        self.toks.get(self.pos).or(self.toks.last()).map_or(0, |(l, _)| *l)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect_sym(&mut self, c: char) -> Result<(), VerilogError> {
+        let line = self.line();
+        match self.next() {
+            Some(Tok::Sym(s)) if s == c => Ok(()),
+            other => err(line, format!("expected {c:?}, got {other:?}")),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, VerilogError> {
+        let line = self.line();
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => err(line, format!("expected identifier, got {other:?}")),
+        }
+    }
+
+    // ternary is lowest precedence
+    fn parse_expr(&mut self) -> Result<Expr, VerilogError> {
+        let cond = self.parse_or()?;
+        if self.peek() == Some(&Tok::Sym('?')) {
+            self.next();
+            let t = self.parse_expr()?;
+            self.expect_sym(':')?;
+            let e = self.parse_expr()?;
+            return Ok(Expr::Mux(Box::new(cond), Box::new(t), Box::new(e)));
+        }
+        Ok(cond)
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, VerilogError> {
+        let mut lhs = self.parse_xor()?;
+        while self.peek() == Some(&Tok::Sym('|')) {
+            self.next();
+            let rhs = self.parse_xor()?;
+            lhs = Expr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_xor(&mut self) -> Result<Expr, VerilogError> {
+        let mut lhs = self.parse_and()?;
+        while self.peek() == Some(&Tok::Sym('^')) {
+            self.next();
+            let rhs = self.parse_and()?;
+            lhs = Expr::Xor(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, VerilogError> {
+        let mut lhs = self.parse_unary()?;
+        while self.peek() == Some(&Tok::Sym('&')) {
+            self.next();
+            let rhs = self.parse_unary()?;
+            lhs = Expr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, VerilogError> {
+        let line = self.line();
+        match self.next() {
+            Some(Tok::Sym('~')) => Ok(Expr::Not(Box::new(self.parse_unary()?))),
+            Some(Tok::Sym('(')) => {
+                let e = self.parse_expr()?;
+                self.expect_sym(')')?;
+                Ok(e)
+            }
+            Some(Tok::Ident(name)) => Ok(Expr::Net(line, name)),
+            Some(Tok::Number(v)) => Ok(Expr::Const(v)),
+            other => err(line, format!("unexpected token in expression: {other:?}")),
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Elaboration
+// ----------------------------------------------------------------------
+
+enum Item {
+    Assign { line: usize, lhs: String, rhs: Expr },
+    Gate { line: usize, kind: &'static str, out: String, ins: Vec<String> },
+    Dff { line: usize, q: String, d: Expr },
+}
+
+/// Parse and elaborate a structural-Verilog module into a [`Network`].
+pub fn parse(text: &str) -> Result<Network, VerilogError> {
+    let toks = lex(text)?;
+    let mut p = Parser { toks, pos: 0 };
+
+    // module <name> ( portlist ) ;
+    let line = p.line();
+    match p.next() {
+        Some(Tok::KwModule) => {}
+        other => return err(line, format!("expected 'module', got {other:?}")),
+    }
+    let module_name = p.expect_ident()?;
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    p.expect_sym('(')?;
+    // Port list: either ANSI style (input a, output y, ...) or plain
+    // names (with later input/output declarations).
+    let mut plain_ports: Vec<String> = Vec::new();
+    loop {
+        match p.peek() {
+            Some(Tok::Sym(')')) => {
+                p.next();
+                break;
+            }
+            Some(Tok::Sym(',')) => {
+                p.next();
+            }
+            Some(Tok::KwInput) => {
+                p.next();
+                inputs.push(p.expect_ident()?);
+            }
+            Some(Tok::KwOutput) => {
+                p.next();
+                outputs.push(p.expect_ident()?);
+            }
+            Some(Tok::KwWire | Tok::KwReg) => {
+                p.next(); // `input wire a` style
+            }
+            Some(Tok::Ident(_)) => {
+                plain_ports.push(p.expect_ident()?);
+            }
+            other => return err(p.line(), format!("bad port list near {other:?}")),
+        }
+    }
+    p.expect_sym(';')?;
+
+    // Body.
+    let mut regs: Vec<String> = Vec::new();
+    let mut items: Vec<Item> = Vec::new();
+    let mut gate_counter = 0usize;
+    loop {
+        let line = p.line();
+        match p.next() {
+            Some(Tok::KwEndmodule) => break,
+            None => return err(line, "missing endmodule"),
+            Some(Tok::KwInput) => {
+                inputs.push(p.expect_ident()?);
+                while p.peek() == Some(&Tok::Sym(',')) {
+                    p.next();
+                    inputs.push(p.expect_ident()?);
+                }
+                p.expect_sym(';')?;
+            }
+            Some(Tok::KwOutput) => {
+                outputs.push(p.expect_ident()?);
+                while p.peek() == Some(&Tok::Sym(',')) {
+                    p.next();
+                    outputs.push(p.expect_ident()?);
+                }
+                p.expect_sym(';')?;
+            }
+            Some(Tok::KwWire) => {
+                // Declarations carry no information we need (nets appear
+                // on use), but consume them.
+                p.expect_ident()?;
+                while p.peek() == Some(&Tok::Sym(',')) {
+                    p.next();
+                    p.expect_ident()?;
+                }
+                p.expect_sym(';')?;
+            }
+            Some(Tok::KwReg) => {
+                regs.push(p.expect_ident()?);
+                while p.peek() == Some(&Tok::Sym(',')) {
+                    p.next();
+                    regs.push(p.expect_ident()?);
+                }
+                p.expect_sym(';')?;
+            }
+            Some(Tok::KwAssign) => {
+                let lhs = p.expect_ident()?;
+                p.expect_sym('=')?;
+                let rhs = p.parse_expr()?;
+                p.expect_sym(';')?;
+                items.push(Item::Assign { line, lhs, rhs });
+            }
+            Some(Tok::KwGate(kind)) => {
+                // [instance name] ( out, in... ) ;
+                if matches!(p.peek(), Some(Tok::Ident(_))) {
+                    p.next(); // instance name, ignored
+                }
+                p.expect_sym('(')?;
+                let out = p.expect_ident()?;
+                let mut ins = Vec::new();
+                while p.peek() == Some(&Tok::Sym(',')) {
+                    p.next();
+                    ins.push(p.expect_ident()?);
+                }
+                p.expect_sym(')')?;
+                p.expect_sym(';')?;
+                if ins.is_empty() {
+                    return err(line, format!("{kind} gate needs inputs"));
+                }
+                gate_counter += 1;
+                let _ = gate_counter;
+                items.push(Item::Gate { line, kind, out, ins });
+            }
+            Some(Tok::KwAlways) => {
+                // always @(posedge <clk>) <q> <= <expr> ;
+                p.expect_sym('@')?;
+                p.expect_sym('(')?;
+                match p.next() {
+                    Some(Tok::KwPosedge) => {}
+                    other => return err(line, format!("expected posedge, got {other:?}")),
+                }
+                let _clk = p.expect_ident()?;
+                p.expect_sym(')')?;
+                let q = p.expect_ident()?;
+                match p.next() {
+                    Some(Tok::NonBlocking) => {}
+                    other => return err(line, format!("expected '<=', got {other:?}")),
+                }
+                let d = p.parse_expr()?;
+                p.expect_sym(';')?;
+                items.push(Item::Dff { line, q, d });
+            }
+            other => return err(line, format!("unexpected item {other:?}")),
+        }
+    }
+
+    if !plain_ports.is_empty() {
+        // Non-ANSI ports must all be declared input/output in the body.
+        for port in &plain_ports {
+            if !inputs.contains(port) && !outputs.contains(port) {
+                return err(0, format!("port {port} never declared input/output"));
+            }
+        }
+    }
+
+    // --- Elaborate.
+    let mut nw = Network::new(module_name);
+    let mut net: FxHashMap<String, NodeId> = FxHashMap::default();
+
+    // Clock inputs: inputs used only as always-clocks are dropped.
+    let clock_only: Vec<String> = {
+        let mut used: std::collections::HashSet<&str> = Default::default();
+        fn expr_nets<'a>(e: &'a Expr, out: &mut std::collections::HashSet<&'a str>) {
+            match e {
+                Expr::Net(_, n) => {
+                    out.insert(n);
+                }
+                Expr::Const(_) => {}
+                Expr::Not(a) => expr_nets(a, out),
+                Expr::And(a, b) | Expr::Or(a, b) | Expr::Xor(a, b) => {
+                    expr_nets(a, out);
+                    expr_nets(b, out);
+                }
+                Expr::Mux(c, t, e2) => {
+                    expr_nets(c, out);
+                    expr_nets(t, out);
+                    expr_nets(e2, out);
+                }
+            }
+        }
+        for item in &items {
+            match item {
+                Item::Assign { rhs, .. } => expr_nets(rhs, &mut used),
+                Item::Dff { d, .. } => expr_nets(d, &mut used),
+                Item::Gate { ins, .. } => {
+                    for i in ins {
+                        used.insert(i);
+                    }
+                }
+            }
+        }
+        inputs
+            .iter()
+            .filter(|i| !used.contains(i.as_str()) && !outputs.contains(*i))
+            .cloned()
+            .collect()
+    };
+
+    for i in &inputs {
+        if clock_only.contains(i) {
+            continue;
+        }
+        net.insert(i.clone(), nw.add_input(i.clone()));
+    }
+    // Registers first (placeholder data) so feedback elaborates.
+    for item in &items {
+        if let Item::Dff { line, q, .. } = item {
+            if net.contains_key(q) {
+                return err(*line, format!("{q} driven twice"));
+            }
+            if !regs.contains(q) {
+                return err(*line, format!("{q} assigned in always but not declared reg"));
+            }
+            let ph = nw.add_const(nw.fresh_name("$vph"), false);
+            net.insert(q.clone(), nw.add_latch(q.clone(), ph, false));
+        }
+    }
+
+    // Iteratively elaborate combinational items whose inputs are known
+    // (allows any declaration order; cycles are reported).
+    let mut pending: Vec<&Item> = items
+        .iter()
+        .filter(|i| !matches!(i, Item::Dff { .. }))
+        .collect();
+    while !pending.is_empty() {
+        let before = pending.len();
+        let mut still: Vec<&Item> = Vec::new();
+        for item in pending {
+            let ok = match item {
+                Item::Assign { line, lhs, rhs } => {
+                    if expr_ready(rhs, &net) {
+                        if net.contains_key(lhs) {
+                            return err(*line, format!("{lhs} driven twice"));
+                        }
+                        let id = build_expr(&mut nw, rhs, &net, lhs)?;
+                        // Give the result the declared net name: rename
+                        // the node when it was freshly built for this
+                        // assign; alias through a buffer when the RHS is
+                        // just another existing net.
+                        let id = if nw.node(id).name.starts_with(&format!("{lhs}$")) {
+                            nw.rename(id, lhs.clone());
+                            id
+                        } else if nw.find(lhs).is_none() && !nw.node(id).is_input() {
+                            if nw.node(id).name.starts_with('$') {
+                                nw.rename(id, lhs.clone());
+                                id
+                            } else {
+                                nw.add_table(
+                                    lhs.clone(),
+                                    vec![id],
+                                    crate::truth::gates::buf1(),
+                                )
+                            }
+                        } else {
+                            nw.add_table(lhs.clone(), vec![id], crate::truth::gates::buf1())
+                        };
+                        net.insert(lhs.clone(), id);
+                        true
+                    } else {
+                        false
+                    }
+                }
+                Item::Gate { line, kind, out, ins } => {
+                    if ins.iter().all(|i| net.contains_key(i)) {
+                        if net.contains_key(out) {
+                            return err(*line, format!("{out} driven twice"));
+                        }
+                        let id = build_gate(&mut nw, kind, out, ins, *line, &net)?;
+                        net.insert(out.clone(), id);
+                        true
+                    } else {
+                        false
+                    }
+                }
+                Item::Dff { .. } => true,
+            };
+            if !ok {
+                still.push(item);
+            }
+        }
+        if still.len() == before {
+            // Find an offending name for the error.
+            let what = match still[0] {
+                Item::Assign { line, lhs, .. } => (line, lhs.clone()),
+                Item::Gate { line, out, .. } => (line, out.clone()),
+                Item::Dff { line, q, .. } => (line, q.clone()),
+            };
+            return err(*what.0, format!("combinational cycle or undriven net feeding {}", what.1));
+        }
+        pending = still;
+    }
+
+    // Wire register data.
+    for item in &items {
+        if let Item::Dff { line, q, d } = item {
+            let data = build_expr(&mut nw, d, &net, &format!("{q}$next"))?;
+            let latch = net[q];
+            nw.set_latch_data(latch, data);
+            let _ = line;
+        }
+    }
+
+    for o in &outputs {
+        let driver = *net
+            .get(o)
+            .ok_or(VerilogError { line: 0, message: format!("output {o} never driven") })?;
+        nw.add_output(o.clone(), driver);
+    }
+    nw.sweep_dead();
+    Ok(nw)
+}
+
+fn expr_ready(e: &Expr, net: &FxHashMap<String, NodeId>) -> bool {
+    match e {
+        Expr::Net(_, n) => net.contains_key(n),
+        Expr::Const(_) => true,
+        Expr::Not(a) => expr_ready(a, net),
+        Expr::And(a, b) | Expr::Or(a, b) | Expr::Xor(a, b) => {
+            expr_ready(a, net) && expr_ready(b, net)
+        }
+        Expr::Mux(c, t, e2) => expr_ready(c, net) && expr_ready(t, net) && expr_ready(e2, net),
+    }
+}
+
+fn build_expr(
+    nw: &mut Network,
+    e: &Expr,
+    net: &FxHashMap<String, NodeId>,
+    hint: &str,
+) -> Result<NodeId, VerilogError> {
+    Ok(match e {
+        Expr::Net(line, n) => *net
+            .get(n)
+            .ok_or(VerilogError { line: *line, message: format!("undriven net {n}") })?,
+        Expr::Const(v) => {
+            let name = nw.fresh_name(if *v { "$vone" } else { "$vzero" });
+            nw.add_const(name, *v)
+        }
+        Expr::Not(a) => {
+            let ia = build_expr(nw, a, net, hint)?;
+            let name = nw.fresh_name(&format!("{hint}$n"));
+            nw.add_table(name, vec![ia], gates::not1())
+        }
+        Expr::And(a, b) => binop(nw, a, b, net, hint, gates::and2())?,
+        Expr::Or(a, b) => binop(nw, a, b, net, hint, gates::or2())?,
+        Expr::Xor(a, b) => binop(nw, a, b, net, hint, gates::xor2())?,
+        Expr::Mux(c, t, e2) => {
+            let ic = build_expr(nw, c, net, hint)?;
+            let it = build_expr(nw, t, net, hint)?;
+            let ie = build_expr(nw, e2, net, hint)?;
+            let name = nw.fresh_name(&format!("{hint}$m"));
+            // mux21 order: (d0, d1, sel) -> sel ? d1 : d0.
+            nw.add_table(name, vec![ie, it, ic], gates::mux21())
+        }
+    })
+}
+
+fn binop(
+    nw: &mut Network,
+    a: &Expr,
+    b: &Expr,
+    net: &FxHashMap<String, NodeId>,
+    hint: &str,
+    table: TruthTable,
+) -> Result<NodeId, VerilogError> {
+    let ia = build_expr(nw, a, net, hint)?;
+    let ib = build_expr(nw, b, net, hint)?;
+    let name = nw.fresh_name(&format!("{hint}$b"));
+    Ok(nw.add_table(name, vec![ia, ib], table))
+}
+
+fn build_gate(
+    nw: &mut Network,
+    kind: &str,
+    out: &str,
+    ins: &[String],
+    line: usize,
+    net: &FxHashMap<String, NodeId>,
+) -> Result<NodeId, VerilogError> {
+    let ids: Vec<NodeId> = ins.iter().map(|i| net[i]).collect();
+    let (base, invert): (TruthTable, bool) = match kind {
+        "and" => (gates::and2(), false),
+        "nand" => (gates::and2(), true),
+        "or" => (gates::or2(), false),
+        "nor" => (gates::or2(), true),
+        "xor" => (gates::xor2(), false),
+        "xnor" => (gates::xor2(), true),
+        "not" => {
+            if ids.len() != 1 {
+                return err(line, "not takes exactly one input");
+            }
+            return Ok(nw.add_table(out.to_string(), ids, gates::not1()));
+        }
+        "buf" => {
+            if ids.len() != 1 {
+                return err(line, "buf takes exactly one input");
+            }
+            return Ok(nw.add_table(out.to_string(), ids, gates::buf1()));
+        }
+        other => return err(line, format!("unknown gate {other}")),
+    };
+    // N-ary gates: left-fold the 2-input table, then optional inversion
+    // folded into the final node.
+    if ids.len() < 2 {
+        return err(line, format!("{kind} needs at least two inputs"));
+    }
+    let mut acc = ids[0];
+    for (i, &next) in ids[1..].iter().enumerate() {
+        let last = i == ids.len() - 2;
+        let table = if last && invert { base.not() } else { base.clone() };
+        let name = if last {
+            out.to_string()
+        } else {
+            nw.fresh_name(&format!("{out}$g{i}"))
+        };
+        acc = nw.add_table(name, vec![acc, next], table);
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+    use std::collections::HashMap;
+
+    fn eval_comb(nw: &Network, assign: &[(&str, bool)], out: &str) -> bool {
+        let mut sim = Simulator::new(nw).unwrap();
+        let inputs: HashMap<NodeId, u64> = assign
+            .iter()
+            .map(|(n, v)| (nw.find(n).unwrap(), if *v { 1 } else { 0 }))
+            .collect();
+        sim.settle(&inputs);
+        let port = nw.outputs().iter().find(|p| p.name == out).unwrap();
+        sim.value_lane(port.driver, 0)
+    }
+
+    #[test]
+    fn assign_with_precedence() {
+        let nw = parse(
+            "module m(input a, input b, input c, output y);\n\
+             assign y = a | b & ~c;\nendmodule\n",
+        )
+        .unwrap();
+        nw.validate().unwrap();
+        for v in 0..8u32 {
+            let (a, b, c) = (v & 1 == 1, v & 2 == 2, v & 4 == 4);
+            assert_eq!(
+                eval_comb(&nw, &[("a", a), ("b", b), ("c", c)], "y"),
+                a | (b & !c),
+                "v={v:03b}"
+            );
+        }
+    }
+
+    #[test]
+    fn ternary_and_parens() {
+        let nw = parse(
+            "module m(input s, input a, input b, output y);\n\
+             assign y = s ? (a ^ b) : ~a;\nendmodule\n",
+        )
+        .unwrap();
+        for v in 0..8u32 {
+            let (s, a, b) = (v & 1 == 1, v & 2 == 2, v & 4 == 4);
+            let expect = if s { a ^ b } else { !a };
+            assert_eq!(eval_comb(&nw, &[("s", s), ("a", a), ("b", b)], "y"), expect);
+        }
+    }
+
+    #[test]
+    fn gate_primitives_nary() {
+        let nw = parse(
+            "module m(input a, input b, input c, output y, output z);\n\
+             wire t;\n\
+             nand g1(t, a, b, c);\n\
+             buf g2(y, t);\n\
+             xnor g3(z, a, c);\nendmodule\n",
+        )
+        .unwrap();
+        for v in 0..8u32 {
+            let (a, b, c) = (v & 1 == 1, v & 2 == 2, v & 4 == 4);
+            assert_eq!(
+                eval_comb(&nw, &[("a", a), ("b", b), ("c", c)], "y"),
+                !(a && b && c)
+            );
+            assert_eq!(eval_comb(&nw, &[("a", a), ("b", b), ("c", c)], "z"), !(a ^ c));
+        }
+    }
+
+    #[test]
+    fn dff_with_feedback() {
+        let nw = parse(
+            "module t(input clk, input en, output q);\n\
+             reg q;\n\
+             always @(posedge clk) q <= q ^ en;\nendmodule\n",
+        )
+        .unwrap();
+        nw.validate().unwrap();
+        assert_eq!(nw.n_latches(), 1);
+        // clk is clock-only and must have been dropped.
+        assert!(nw.find("clk").is_none());
+        // Toggle behaviour.
+        let mut sim = Simulator::new(&nw).unwrap();
+        let en = nw.find("en").unwrap();
+        let q = nw.find("q").unwrap();
+        let mut ins = HashMap::new();
+        ins.insert(en, 1u64);
+        sim.step(&ins);
+        sim.settle(&ins);
+        assert_eq!(sim.value_lane(q, 0), true);
+        sim.step(&ins);
+        sim.settle(&ins);
+        assert_eq!(sim.value_lane(q, 0), false);
+    }
+
+    #[test]
+    fn out_of_order_items_elaborate() {
+        let nw = parse(
+            "module o(input a, input b, output y);\n\
+             assign y = t & a;\n\
+             assign t = a ^ b;\nendmodule\n",
+        )
+        .unwrap();
+        for v in 0..4u32 {
+            let (a, b) = (v & 1 == 1, v & 2 == 2);
+            assert_eq!(eval_comb(&nw, &[("a", a), ("b", b)], "y"), (a ^ b) & a);
+        }
+    }
+
+    #[test]
+    fn constants_and_literals() {
+        let nw = parse(
+            "module c(input a, output y, output z);\n\
+             assign y = a & 1'b1;\n\
+             assign z = a | 1;\nendmodule\n",
+        )
+        .unwrap();
+        assert!(eval_comb(&nw, &[("a", true)], "y"));
+        assert!(!eval_comb(&nw, &[("a", false)], "y"));
+        assert!(eval_comb(&nw, &[("a", false)], "z"));
+    }
+
+    #[test]
+    fn errors_are_located() {
+        let e = parse("module e(input a, output y);\nassign y = a &;\nendmodule\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = parse("module e(input a, output y);\nassign y = a;\nassign y = a;\nendmodule\n")
+            .unwrap_err();
+        assert!(e.message.contains("driven twice"));
+        let e = parse("module e(input a, output y);\nendmodule\n").unwrap_err();
+        assert!(e.message.contains("never driven"));
+    }
+
+    #[test]
+    fn combinational_loop_reported() {
+        let e = parse(
+            "module l(input a, output y);\n\
+             assign y = t | a;\n\
+             assign t = y & a;\nendmodule\n",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("cycle"), "{e}");
+    }
+
+    #[test]
+    fn comments_ignored() {
+        let nw = parse(
+            "module c(input a, output y); // ports\n\
+             /* block\n comment */ assign y = ~a;\nendmodule\n",
+        )
+        .unwrap();
+        assert!(eval_comb(&nw, &[("a", false)], "y"));
+    }
+
+    #[test]
+    fn non_ansi_ports() {
+        let nw = parse(
+            "module n(a, b, y);\ninput a, b;\noutput y;\nassign y = a & b;\nendmodule\n",
+        )
+        .unwrap();
+        assert!(eval_comb(&nw, &[("a", true), ("b", true)], "y"));
+    }
+
+    #[test]
+    fn whole_flow_accepts_verilog_design() {
+        // A tiny design through parse -> instrument-ready network.
+        let nw = parse(
+            "module top(input clk, input a, input b, output y);\n\
+             reg s0, s1;\n\
+             wire f;\n\
+             assign f = a ^ s1;\n\
+             always @(posedge clk) s0 <= f & b;\n\
+             always @(posedge clk) s1 <= s0 | a;\n\
+             assign y = s1 ^ s0;\nendmodule\n",
+        )
+        .unwrap();
+        nw.validate().unwrap();
+        assert_eq!(nw.n_latches(), 2);
+        assert_eq!(nw.n_inputs(), 2); // clk dropped
+    }
+}

@@ -1,0 +1,325 @@
+//! Reduced ordered binary decision diagrams over PConf parameters.
+//!
+//! A parameterized configuration expresses some bitstream bits as Boolean
+//! functions of *parameters*. Those functions are stored as BDDs in a
+//! shared manager: construction is hash-consed (canonical), so equality
+//! is pointer equality, and evaluation — the operation the online
+//! Specialized Configuration Generator performs per debugging turn — is
+//! a short walk from the root to a terminal, independent of how the
+//! function was built.
+
+use pfdbg_util::{BitVec, FxHashMap};
+
+/// A BDD reference (index into the manager's node table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bdd(u32);
+
+impl Bdd {
+    /// The constant false function.
+    pub const FALSE: Bdd = Bdd(0);
+    /// The constant true function.
+    pub const TRUE: Bdd = Bdd(1);
+
+    /// Is this a terminal?
+    pub fn is_const(self) -> bool {
+        self.0 < 2
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    var: u32,
+    lo: Bdd,
+    hi: Bdd,
+}
+
+/// The shared BDD manager. Variable order is the natural order of the
+/// parameter indices (selector buses are allocated contiguously, which
+/// keeps the mux-select functions linear in size).
+#[derive(Debug, Default)]
+pub struct BddManager {
+    nodes: Vec<Node>,
+    unique: FxHashMap<(u32, Bdd, Bdd), Bdd>,
+    and_cache: FxHashMap<(Bdd, Bdd), Bdd>,
+    not_cache: FxHashMap<Bdd, Bdd>,
+}
+
+impl BddManager {
+    /// A manager containing just the terminals.
+    pub fn new() -> Self {
+        let mut m = BddManager::default();
+        // Terminals occupy slots 0 and 1 with a sentinel var.
+        m.nodes.push(Node { var: u32::MAX, lo: Bdd::FALSE, hi: Bdd::FALSE });
+        m.nodes.push(Node { var: u32::MAX, lo: Bdd::TRUE, hi: Bdd::TRUE });
+        m
+    }
+
+    /// Number of live nodes (terminals included).
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn mk(&mut self, var: u32, lo: Bdd, hi: Bdd) -> Bdd {
+        if lo == hi {
+            return lo;
+        }
+        if let Some(&n) = self.unique.get(&(var, lo, hi)) {
+            return n;
+        }
+        let id = Bdd(self.nodes.len() as u32);
+        self.nodes.push(Node { var, lo, hi });
+        self.unique.insert((var, lo, hi), id);
+        id
+    }
+
+    /// The single-variable function `p_var`.
+    pub fn var(&mut self, var: u32) -> Bdd {
+        self.mk(var, Bdd::FALSE, Bdd::TRUE)
+    }
+
+    /// Constant.
+    pub fn constant(&self, v: bool) -> Bdd {
+        if v {
+            Bdd::TRUE
+        } else {
+            Bdd::FALSE
+        }
+    }
+
+    fn node(&self, b: Bdd) -> Node {
+        self.nodes[b.0 as usize]
+    }
+
+    /// Negation.
+    pub fn not(&mut self, f: Bdd) -> Bdd {
+        if f == Bdd::FALSE {
+            return Bdd::TRUE;
+        }
+        if f == Bdd::TRUE {
+            return Bdd::FALSE;
+        }
+        if let Some(&r) = self.not_cache.get(&f) {
+            return r;
+        }
+        let n = self.node(f);
+        let lo = self.not(n.lo);
+        let hi = self.not(n.hi);
+        let r = self.mk(n.var, lo, hi);
+        self.not_cache.insert(f, r);
+        r
+    }
+
+    /// Conjunction.
+    pub fn and(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        if f == Bdd::FALSE || g == Bdd::FALSE {
+            return Bdd::FALSE;
+        }
+        if f == Bdd::TRUE {
+            return g;
+        }
+        if g == Bdd::TRUE || f == g {
+            return f;
+        }
+        let key = if f <= g { (f, g) } else { (g, f) };
+        if let Some(&r) = self.and_cache.get(&key) {
+            return r;
+        }
+        let nf = self.node(f);
+        let ng = self.node(g);
+        let var = nf.var.min(ng.var);
+        let (f0, f1) = if nf.var == var { (nf.lo, nf.hi) } else { (f, f) };
+        let (g0, g1) = if ng.var == var { (ng.lo, ng.hi) } else { (g, g) };
+        let lo = self.and(f0, g0);
+        let hi = self.and(f1, g1);
+        let r = self.mk(var, lo, hi);
+        self.and_cache.insert(key, r);
+        r
+    }
+
+    /// Disjunction (De Morgan).
+    pub fn or(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let nf = self.not(f);
+        let ng = self.not(g);
+        let a = self.and(nf, ng);
+        self.not(a)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let ng = self.not(g);
+        let nf = self.not(f);
+        let a = self.and(f, ng);
+        let b = self.and(nf, g);
+        self.or(a, b)
+    }
+
+    /// If-then-else.
+    pub fn ite(&mut self, c: Bdd, t: Bdd, e: Bdd) -> Bdd {
+        let nc = self.not(c);
+        let a = self.and(c, t);
+        let b = self.and(nc, e);
+        self.or(a, b)
+    }
+
+    /// The conjunction of literals selecting exactly `value` on the
+    /// variable bus `vars` (a minterm — the workhorse for mux selects:
+    /// "this switch is on iff the selector equals k").
+    pub fn minterm(&mut self, vars: &[u32], value: usize) -> Bdd {
+        let mut acc = Bdd::TRUE;
+        // Build bottom-up in reverse variable order for linear size.
+        for (i, &v) in vars.iter().enumerate().rev() {
+            let lit = self.var(v);
+            let lit = if (value >> i) & 1 == 1 { lit } else { self.not(lit) };
+            acc = self.and(lit, acc);
+        }
+        acc
+    }
+
+    /// Evaluate under a parameter assignment (`assignment.get(var)`).
+    /// This is the SCG's inner loop: a root-to-terminal walk.
+    #[inline]
+    pub fn eval(&self, f: Bdd, assignment: &BitVec) -> bool {
+        let mut cur = f;
+        while !cur.is_const() {
+            let n = self.nodes[cur.0 as usize];
+            cur = if assignment.get(n.var as usize) { n.hi } else { n.lo };
+        }
+        cur == Bdd::TRUE
+    }
+
+    /// Number of decision nodes reachable from `f` (size of the function).
+    pub fn size(&self, f: Bdd) -> usize {
+        let mut seen: std::collections::HashSet<Bdd> = Default::default();
+        let mut stack = vec![f];
+        let mut count = 0;
+        while let Some(b) = stack.pop() {
+            if b.is_const() || !seen.insert(b) {
+                continue;
+            }
+            count += 1;
+            let n = self.node(b);
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        count
+    }
+
+    /// The support (variables the function depends on), ascending.
+    pub fn support(&self, f: Bdd) -> Vec<u32> {
+        let mut seen: std::collections::HashSet<Bdd> = Default::default();
+        let mut vars: std::collections::BTreeSet<u32> = Default::default();
+        let mut stack = vec![f];
+        while let Some(b) = stack.pop() {
+            if b.is_const() || !seen.insert(b) {
+                continue;
+            }
+            let n = self.node(b);
+            vars.insert(n.var);
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        vars.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assignment(bits: &[bool]) -> BitVec {
+        bits.iter().copied().collect()
+    }
+
+    #[test]
+    fn terminals_and_vars() {
+        let mut m = BddManager::new();
+        let p0 = m.var(0);
+        assert!(!m.eval(p0, &assignment(&[false])));
+        assert!(m.eval(p0, &assignment(&[true])));
+        assert!(m.eval(Bdd::TRUE, &assignment(&[false])));
+        assert!(!m.eval(Bdd::FALSE, &assignment(&[false])));
+    }
+
+    #[test]
+    fn hash_consing_canonicalizes() {
+        let mut m = BddManager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let ab1 = m.and(a, b);
+        let ba = m.and(b, a);
+        assert_eq!(ab1, ba);
+        let n_before = m.n_nodes();
+        let _again = m.and(a, b);
+        assert_eq!(m.n_nodes(), n_before, "no new nodes for a cached op");
+    }
+
+    #[test]
+    fn boolean_algebra() {
+        let mut m = BddManager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let na = m.not(a);
+        assert_eq!(m.and(a, na), Bdd::FALSE);
+        assert_eq!(m.or(a, na), Bdd::TRUE);
+        assert_eq!(m.xor(a, a), Bdd::FALSE);
+        let orab = m.or(a, b);
+        let not_orab = m.not(orab);
+        let nb = m.not(b);
+        let demorgan = m.and(na, nb);
+        assert_eq!(not_orab, demorgan);
+        // Double negation.
+        assert_eq!(m.not(na), a);
+    }
+
+    #[test]
+    fn ite_matches_mux() {
+        let mut m = BddManager::new();
+        let c = m.var(0);
+        let t = m.var(1);
+        let e = m.var(2);
+        let f = m.ite(c, t, e);
+        for bits in 0..8u32 {
+            let asg = assignment(&[bits & 1 == 1, bits & 2 == 2, bits & 4 == 4]);
+            let expect = if bits & 1 == 1 { bits & 2 == 2 } else { bits & 4 == 4 };
+            assert_eq!(m.eval(f, &asg), expect, "bits={bits:03b}");
+        }
+    }
+
+    #[test]
+    fn minterm_selects_exact_value() {
+        let mut m = BddManager::new();
+        let bus = [0u32, 1, 2];
+        let f = m.minterm(&bus, 5); // 0b101: p0=1, p1=0, p2=1
+        for v in 0..8usize {
+            let asg = assignment(&[v & 1 == 1, v & 2 == 2, v & 4 == 4]);
+            assert_eq!(m.eval(f, &asg), v == 5, "v={v}");
+        }
+        // Linear size.
+        assert_eq!(m.size(f), 3);
+    }
+
+    #[test]
+    fn support_reports_dependencies() {
+        let mut m = BddManager::new();
+        let a = m.var(3);
+        let b = m.var(7);
+        let f = m.xor(a, b);
+        assert_eq!(m.support(f), vec![3, 7]);
+        assert_eq!(m.support(Bdd::TRUE), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn exhaustive_equivalence_small() {
+        // (a & b) | (!a & c) via two different constructions.
+        let mut m = BddManager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        let f1 = m.ite(a, b, c);
+        let ab = m.and(a, b);
+        let na = m.not(a);
+        let nac = m.and(na, c);
+        let f2 = m.or(ab, nac);
+        assert_eq!(f1, f2, "canonical forms must coincide");
+    }
+}

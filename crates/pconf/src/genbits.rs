@@ -1,0 +1,150 @@
+//! Generalized (parameterized) bitstreams.
+//!
+//! The offline generic stage emits a bitstream in which most
+//! configuration bits are constants, but the bits implementing the
+//! debug instrumentation — TCON routing switches and TLUT truth-table
+//! bits — are Boolean functions of the PConf parameters. Evaluating all
+//! functions for a concrete parameter assignment (the job of the
+//! [`crate::scg`] module) yields an ordinary, loadable bitstream.
+
+use crate::bdd::{Bdd, BddManager};
+use pfdbg_arch::{BitAddr, Bitstream, BitstreamLayout};
+
+/// A bitstream whose bits may be Boolean functions of parameters.
+#[derive(Debug)]
+pub struct GeneralizedBitstream {
+    /// The constant part (tunable addresses hold their `params = 0`
+    /// default here, so `base` alone is already a valid configuration).
+    pub base: Bitstream,
+    /// The parameterized bits: `(address, function)`, sorted by address.
+    pub tunable: Vec<(BitAddr, Bdd)>,
+    /// Number of parameter variables.
+    pub n_params: usize,
+}
+
+impl GeneralizedBitstream {
+    /// Number of parameterized configuration bits.
+    pub fn n_tunable(&self) -> usize {
+        self.tunable.len()
+    }
+
+    /// Fraction of the configuration that is parameterized.
+    pub fn tunable_fraction(&self) -> f64 {
+        self.tunable.len() as f64 / self.base.len() as f64
+    }
+}
+
+/// Incremental builder used by the offline stage.
+pub struct Builder {
+    base: Bitstream,
+    tunable: Vec<(BitAddr, Bdd)>,
+    n_params: usize,
+}
+
+impl Builder {
+    /// Start from an all-zero bitstream for `layout`.
+    pub fn new(layout: &BitstreamLayout, n_params: usize) -> Self {
+        Builder { base: layout.empty_bitstream(), tunable: Vec::new(), n_params }
+    }
+
+    /// Set a constant configuration bit.
+    pub fn set_const(&mut self, addr: BitAddr, value: bool) {
+        self.base.set(addr, value);
+    }
+
+    /// Declare a parameterized bit. Constant functions degrade to
+    /// constant bits (no SCG work at run time).
+    pub fn set_func(&mut self, manager: &BddManager, addr: BitAddr, f: Bdd) {
+        match f {
+            Bdd::FALSE => self.base.set(addr, false),
+            Bdd::TRUE => self.base.set(addr, true),
+            _ => {
+                // Default (all-params-zero) value into the base so the
+                // base alone is a consistent configuration.
+                let zeros = pfdbg_util::BitVec::zeros(self.n_params);
+                self.base.set(addr, manager.eval(f, &zeros));
+                self.tunable.push((addr, f));
+            }
+        }
+    }
+
+    /// Finish: sort tunable bits by address, rejecting duplicates.
+    pub fn build(mut self) -> Result<GeneralizedBitstream, String> {
+        self.tunable.sort_by_key(|&(a, _)| a);
+        for w in self.tunable.windows(2) {
+            if w[0].0 == w[1].0 {
+                return Err(format!("address {} parameterized twice", w[0].0));
+            }
+        }
+        Ok(GeneralizedBitstream {
+            base: self.base,
+            tunable: self.tunable,
+            n_params: self.n_params,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfdbg_arch::{build_rrg, ArchSpec, Device};
+    use pfdbg_util::BitVec;
+
+    fn layout() -> BitstreamLayout {
+        let dev = Device::new(ArchSpec { channel_width: 8, ..Default::default() }, 2, 2);
+        let rrg = build_rrg(&dev);
+        BitstreamLayout::new(&dev, &rrg, 1312)
+    }
+
+    #[test]
+    fn constants_land_in_base() {
+        let l = layout();
+        let mut m = BddManager::new();
+        let mut b = Builder::new(&l, 4);
+        b.set_const(3, true);
+        b.set_func(&m, 5, Bdd::TRUE); // constant function folds away
+        let p = m.var(0);
+        b.set_func(&m, 9, p);
+        let g = b.build().unwrap();
+        assert!(g.base.get(3));
+        assert!(g.base.get(5));
+        assert_eq!(g.n_tunable(), 1);
+        // Base holds the params=0 default of the tunable bit.
+        assert!(!g.base.get(9));
+    }
+
+    #[test]
+    fn base_reflects_param_zero_default() {
+        let l = layout();
+        let mut m = BddManager::new();
+        let mut b = Builder::new(&l, 2);
+        let p0 = m.var(0);
+        let np0 = m.not(p0);
+        b.set_func(&m, 7, np0); // true when p0 = 0
+        let g = b.build().unwrap();
+        assert!(g.base.get(7), "default (params=0) evaluates not(p0)=1");
+        let _ = BitVec::zeros(2);
+    }
+
+    #[test]
+    fn duplicate_addresses_rejected() {
+        let l = layout();
+        let mut m = BddManager::new();
+        let mut b = Builder::new(&l, 2);
+        let p = m.var(0);
+        let q = m.var(1);
+        b.set_func(&m, 11, p);
+        b.set_func(&m, 11, q);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn tunable_fraction_is_small() {
+        let l = layout();
+        let m = BddManager::new();
+        let b = Builder::new(&l, 2);
+        let g = b.build().unwrap();
+        assert_eq!(g.tunable_fraction(), 0.0);
+        let _ = m;
+    }
+}

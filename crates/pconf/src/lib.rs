@@ -1,0 +1,16 @@
+//! Parameterized configurations (PConf): Boolean functions of parameters
+//! overlaid on the configuration bitstream, the generalized-bitstream
+//! representation, and the Specialized Configuration Generator that turns
+//! a parameter assignment into a loadable bitstream at debug time —
+//! avoiding recompilation entirely and reconfiguring only changed frames.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bdd;
+pub mod genbits;
+pub mod scg;
+
+pub use bdd::{Bdd, BddManager};
+pub use genbits::{Builder as GeneralizedBuilder, GeneralizedBitstream};
+pub use scg::{OnlineReconfigurator, Scg, TurnStats};

@@ -1,0 +1,199 @@
+//! Routing-congestion analysis.
+//!
+//! The paper's §VI flags congestion as the open problem of the approach:
+//! "our router will need further adaptations to support the congested
+//! regions", because the parameterized mux network puts many alternative
+//! routes into the same channels. This module quantifies that pressure:
+//! per-channel utilization, a hotspot list, and the share of demand
+//! caused by tunable nets — the numbers a congestion-aware router would
+//! act on.
+
+use crate::pack::PackedDesign;
+use crate::route::RoutedDesign;
+use pfdbg_arch::{RRGraph, RRKind, RRNode};
+use pfdbg_util::FxHashSet;
+
+/// Utilization of one routing channel (one tile edge's track bundle).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelUse {
+    /// Tile x of the channel.
+    pub x: u16,
+    /// Tile y.
+    pub y: u16,
+    /// Horizontal (ChanX) or vertical (ChanY).
+    pub horizontal: bool,
+    /// Tracks occupied.
+    pub used: u32,
+    /// Tracks occupied by tunable-net wiring.
+    pub tunable: u32,
+    /// Channel width.
+    pub capacity: u32,
+}
+
+impl ChannelUse {
+    /// Occupancy as a fraction of capacity.
+    pub fn utilization(&self) -> f64 {
+        self.used as f64 / self.capacity.max(1) as f64
+    }
+}
+
+/// The whole-design congestion picture.
+#[derive(Debug)]
+pub struct CongestionReport {
+    /// Per-channel usage (only channels with any use).
+    pub channels: Vec<ChannelUse>,
+    /// Peak channel utilization (0..=1).
+    pub peak_utilization: f64,
+    /// Mean utilization over *used* channels.
+    pub mean_utilization: f64,
+    /// Fraction of all occupied wire tracks that belong to tunable nets.
+    pub tunable_share: f64,
+}
+
+impl CongestionReport {
+    /// Channels above the given utilization threshold, worst first.
+    pub fn hotspots(&self, threshold: f64) -> Vec<&ChannelUse> {
+        let mut v: Vec<&ChannelUse> = self
+            .channels
+            .iter()
+            .filter(|c| c.utilization() >= threshold)
+            .collect();
+        v.sort_by(|a, b| b.utilization().partial_cmp(&a.utilization()).expect("finite"));
+        v
+    }
+}
+
+/// Analyze channel occupancy of a routed design.
+pub fn analyze(
+    design: &PackedDesign,
+    routed: &RoutedDesign,
+    rrg: &RRGraph,
+    channel_width: usize,
+) -> CongestionReport {
+    // Wire usage per net (each net's union counted once).
+    let mut used_by: Vec<(RRNode, bool)> = Vec::new();
+    for nr in &routed.routes {
+        let tunable = design.nets[nr.net].tunable;
+        let mut mine: FxHashSet<RRNode> = FxHashSet::default();
+        for b in &nr.branches {
+            for &(a, t) in &b.edges {
+                mine.insert(a);
+                mine.insert(t);
+            }
+        }
+        for n in mine {
+            if matches!(rrg.node(n).kind, RRKind::ChanX(_) | RRKind::ChanY(_)) {
+                used_by.push((n, tunable));
+            }
+        }
+    }
+
+    // Group by channel (x, y, orientation).
+    use std::collections::HashMap;
+    let mut map: HashMap<(u16, u16, bool), (u32, u32)> = HashMap::new();
+    let mut tunable_tracks = 0u64;
+    for (n, tunable) in used_by.iter().copied() {
+        let d = rrg.node(n);
+        let horizontal = matches!(d.kind, RRKind::ChanX(_));
+        let e = map.entry((d.x, d.y, horizontal)).or_insert((0, 0));
+        e.0 += 1;
+        if tunable {
+            e.1 += 1;
+            tunable_tracks += 1;
+        }
+    }
+
+    let mut channels: Vec<ChannelUse> = map
+        .into_iter()
+        .map(|((x, y, horizontal), (used, tunable))| ChannelUse {
+            x,
+            y,
+            horizontal,
+            used,
+            tunable,
+            capacity: channel_width as u32,
+        })
+        .collect();
+    channels.sort_by_key(|c| (c.y, c.x, c.horizontal));
+
+    let peak = channels.iter().map(ChannelUse::utilization).fold(0.0, f64::max);
+    let mean = if channels.is_empty() {
+        0.0
+    } else {
+        channels.iter().map(ChannelUse::utilization).sum::<f64>() / channels.len() as f64
+    };
+    let total_tracks: u64 = channels.iter().map(|c| c.used as u64).sum();
+    let tunable_share = if total_tracks == 0 {
+        0.0
+    } else {
+        tunable_tracks as f64 / total_tracks as f64
+    };
+    CongestionReport { channels, peak_utilization: peak, mean_utilization: mean, tunable_share }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pack::{Block, PRNet, SourceRef};
+    use crate::place::{place, PlaceConfig};
+    use crate::route::{route, RouteConfig};
+    use pfdbg_arch::{build_rrg, ArchSpec, Device};
+    use pfdbg_netlist::NodeId;
+
+    fn routed_fixture(tunable: bool) -> (PackedDesign, RoutedDesign, Device, RRGraph) {
+        let blocks = vec![Block::Clb(0), Block::Clb(1), Block::Clb(2)];
+        let clusters = vec![Default::default(); 3];
+        let nets = vec![PRNet {
+            name: "n".into(),
+            sources: if tunable {
+                vec![SourceRef { block: 0, ble: 0 }, SourceRef { block: 1, ble: 0 }]
+            } else {
+                vec![SourceRef { block: 0, ble: 0 }]
+            },
+            source_nodes: vec![NodeId(0); if tunable { 2 } else { 1 }],
+            driver: NodeId(0),
+            sinks: vec![2],
+            tunable,
+        }];
+        let design = PackedDesign { blocks, clusters, nets, n_tcons: 0 };
+        let dev = Device::new(ArchSpec { channel_width: 10, ..Default::default() }, 3, 3);
+        let rrg = build_rrg(&dev);
+        let placement = place(&design, &dev, &PlaceConfig::default()).unwrap();
+        let routed = route(&design, &placement, &dev, &rrg, &RouteConfig::default()).unwrap();
+        assert!(routed.success);
+        (design, routed, dev, rrg)
+    }
+
+    #[test]
+    fn report_covers_used_channels() {
+        let (design, routed, dev, rrg) = routed_fixture(false);
+        let report = analyze(&design, &routed, &rrg, dev.spec.channel_width);
+        assert!(!report.channels.is_empty());
+        assert!(report.peak_utilization > 0.0 && report.peak_utilization <= 1.0);
+        assert!(report.mean_utilization <= report.peak_utilization);
+        assert_eq!(report.tunable_share, 0.0);
+        // used tracks never exceed capacity on a successful routing.
+        for c in &report.channels {
+            assert!(c.used <= c.capacity, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn tunable_nets_show_in_the_share() {
+        let (design, routed, dev, rrg) = routed_fixture(true);
+        let report = analyze(&design, &routed, &rrg, dev.spec.channel_width);
+        assert!(report.tunable_share > 0.9, "only net is tunable: {report:?}");
+    }
+
+    #[test]
+    fn hotspots_sorted_and_filtered() {
+        let (design, routed, dev, rrg) = routed_fixture(true);
+        let report = analyze(&design, &routed, &rrg, dev.spec.channel_width);
+        let hot = report.hotspots(0.0);
+        assert_eq!(hot.len(), report.channels.len());
+        for w in hot.windows(2) {
+            assert!(w[0].utilization() >= w[1].utilization());
+        }
+        assert!(report.hotspots(1.1).is_empty());
+    }
+}

@@ -1,0 +1,26 @@
+//! TPaR: parameterization-aware pack, place and route.
+//!
+//! * [`mod@pack`] — TPack: VPack-style clustering; TCON elements dissolve
+//!   into *tunable nets* instead of consuming BLEs,
+//! * [`mod@place`] — TPlace: VPR-style simulated-annealing placement,
+//! * [`mod@route`] — TRoute: PathFinder negotiated congestion with
+//!   within-net sharing for tunable nets,
+//! * [`mod@tpar`] — the end-to-end driver with device auto-sizing and
+//!   channel-width retries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod congestion;
+pub mod pack;
+pub mod place;
+pub mod route;
+pub mod timing;
+pub mod tpar;
+
+pub use congestion::{analyze as analyze_congestion, ChannelUse, CongestionReport};
+pub use pack::{pack, Ble, Block, Cluster, PRNet, PackConfig, PackedDesign, SourceRef};
+pub use place::{place, Loc, PlaceConfig, Placement};
+pub use route::{route, BranchRoute, NetRoute, RouteConfig, RoutedDesign};
+pub use timing::{analyze as analyze_timing, DelayModel, TimingReport};
+pub use tpar::{place_parallel, tpar, TparConfig, TparResult, TparStats};

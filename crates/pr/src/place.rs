@@ -1,0 +1,475 @@
+//! TPlace: simulated-annealing placement (VPR-style).
+//!
+//! Blocks (CLBs and I/O pads) are assigned to grid slots minimizing the
+//! sum over nets of half-perimeter wirelength (HPWL) scaled by the
+//! standard fanout correction factor. The annealing schedule follows
+//! VPR: automatic initial temperature from move-cost statistics,
+//! adaptive cooling based on the acceptance rate, and a shrinking range
+//! limit. Tunable nets contribute the bounding box over *all* their
+//! alternative sources plus sinks — keeping the selectable signals close
+//! is exactly what lets them share routing.
+
+use crate::pack::{Block, PackedDesign};
+use pfdbg_arch::Device;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A grid location: tile plus sub-slot (BLE-irrelevant; sub distinguishes
+/// pad slots on I/O tiles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Loc {
+    /// Tile x.
+    pub x: u16,
+    /// Tile y.
+    pub y: u16,
+    /// Sub-slot within the tile (always 0 for CLBs; pad index for I/O).
+    pub sub: u16,
+}
+
+/// A placement: block index → location.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// Per-block location (same order as `PackedDesign::blocks`).
+    pub locs: Vec<Loc>,
+    /// Final bounding-box cost.
+    pub cost: f64,
+    /// Annealing moves attempted.
+    pub moves: usize,
+}
+
+/// Placement configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PlaceConfig {
+    /// RNG seed (deterministic placements for reproducible experiments).
+    pub seed: u64,
+    /// Moves per temperature step, per block (VPR's `inner_num` ≈ 10
+    /// scaled; we use `moves_per_block * n_blocks^(4/3)` overall).
+    pub effort: f64,
+}
+
+impl Default for PlaceConfig {
+    fn default() -> Self {
+        PlaceConfig { seed: 0xF00D, effort: 1.0 }
+    }
+}
+
+/// The classic VPR fanout correction for HPWL.
+fn crossing_factor(terminals: usize) -> f64 {
+    const Q: [f64; 46] = [
+        1.0, 1.0, 1.0, 1.0828, 1.1536, 1.2206, 1.2823, 1.3385, 1.3991, 1.4493, 1.4974, 1.5455,
+        1.5937, 1.6418, 1.6899, 1.7304, 1.7709, 1.8114, 1.8519, 1.8924, 1.9288, 1.9652, 2.0015,
+        2.0379, 2.0743, 2.1061, 2.1379, 2.1698, 2.2016, 2.2334, 2.2646, 2.2958, 2.3271, 2.3583,
+        2.3895, 2.4187, 2.4479, 2.4772, 2.5064, 2.5356, 2.5610, 2.5864, 2.6117, 2.6371, 2.6625,
+        2.6842,
+    ];
+    if terminals == 0 {
+        0.0
+    } else if terminals <= 45 {
+        Q[terminals]
+    } else {
+        2.6842 + 0.02616 * (terminals - 45) as f64
+    }
+}
+
+struct NetGeometry {
+    /// Block terminals (sources' blocks + sinks), deduplicated.
+    terminals: Vec<u32>,
+    weight: f64,
+}
+
+/// Run simulated-annealing placement.
+pub fn place(design: &PackedDesign, dev: &Device, cfg: &PlaceConfig) -> Result<Placement, String> {
+    let n_blocks = design.blocks.len();
+    let clb_slots: Vec<Loc> = dev
+        .clb_tiles()
+        .map(|(x, y)| Loc { x: x as u16, y: y as u16, sub: 0 })
+        .collect();
+    let io_slots: Vec<Loc> = dev
+        .io_tiles()
+        .flat_map(|(x, y)| {
+            (0..dev.spec.io_capacity).map(move |s| Loc { x: x as u16, y: y as u16, sub: s as u16 })
+        })
+        .collect();
+
+    let clb_blocks: Vec<usize> = (0..n_blocks)
+        .filter(|&b| matches!(design.blocks[b], Block::Clb(_)))
+        .collect();
+    let pad_blocks: Vec<usize> = (0..n_blocks)
+        .filter(|&b| !matches!(design.blocks[b], Block::Clb(_)))
+        .collect();
+    if clb_blocks.len() > clb_slots.len() {
+        return Err(format!(
+            "design needs {} CLBs but device has {}",
+            clb_blocks.len(),
+            clb_slots.len()
+        ));
+    }
+    if pad_blocks.len() > io_slots.len() {
+        return Err(format!(
+            "design needs {} pads but device has {}",
+            pad_blocks.len(),
+            io_slots.len()
+        ));
+    }
+
+    // Net geometries.
+    let nets: Vec<NetGeometry> = design
+        .nets
+        .iter()
+        .map(|n| {
+            let mut terminals: Vec<u32> = n.sources.iter().map(|s| s.block as u32).collect();
+            for &s in &n.sinks {
+                terminals.push(s as u32);
+            }
+            terminals.sort_unstable();
+            terminals.dedup();
+            let weight = crossing_factor(terminals.len());
+            NetGeometry { terminals, weight }
+        })
+        .collect();
+    // Nets touching each block.
+    let mut nets_of_block: Vec<Vec<u32>> = vec![Vec::new(); n_blocks];
+    for (ni, n) in nets.iter().enumerate() {
+        for &t in &n.terminals {
+            nets_of_block[t as usize].push(ni as u32);
+        }
+    }
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Initial placement: round-robin assignment.
+    let mut locs: Vec<Loc> = vec![Loc { x: 0, y: 0, sub: 0 }; n_blocks];
+    let mut slot_used_clb = vec![usize::MAX; clb_slots.len()];
+    let mut slot_used_io = vec![usize::MAX; io_slots.len()];
+    for (i, &b) in clb_blocks.iter().enumerate() {
+        locs[b] = clb_slots[i];
+        slot_used_clb[i] = b;
+    }
+    for (i, &b) in pad_blocks.iter().enumerate() {
+        locs[b] = io_slots[i];
+        slot_used_io[i] = b;
+    }
+
+    let bbox_cost = |ni: usize, locs: &[Loc]| -> f64 {
+        let n = &nets[ni];
+        let mut min_x = u16::MAX;
+        let mut max_x = 0u16;
+        let mut min_y = u16::MAX;
+        let mut max_y = 0u16;
+        for &t in &n.terminals {
+            let l = locs[t as usize];
+            min_x = min_x.min(l.x);
+            max_x = max_x.max(l.x);
+            min_y = min_y.min(l.y);
+            max_y = max_y.max(l.y);
+        }
+        if n.terminals.is_empty() {
+            return 0.0;
+        }
+        n.weight * ((max_x - min_x) as f64 + (max_y - min_y) as f64)
+    };
+
+    let total_cost =
+        |locs: &[Loc]| -> f64 { (0..nets.len()).map(|ni| bbox_cost(ni, locs)).sum() };
+    let mut cost = total_cost(&locs);
+
+    // Move generator: pick a random block; swap with a random slot of its
+    // class (occupied -> swap, free -> move) within the range limit.
+    let grid_span = dev.width.max(dev.height) as f64;
+    let mut range = grid_span;
+    let moves_per_temp =
+        ((cfg.effort * 10.0) * (n_blocks.max(8) as f64).powf(4.0 / 3.0)) as usize;
+
+    // Initial temperature: std-dev of random move deltas (VPR).
+    let movable: Vec<usize> = (0..n_blocks).collect();
+    if movable.is_empty() || nets.is_empty() {
+        return Ok(Placement { locs, cost, moves: 0 });
+    }
+
+    // Helper executing one random move attempt. Returns delta and undo
+    // closure state: (block_a, old_a, maybe block_b, old_b).
+    #[allow(clippy::too_many_arguments)]
+    fn attempt(
+        rng: &mut StdRng,
+        design: &PackedDesign,
+        clb_blocks: &[usize],
+        pad_blocks: &[usize],
+        clb_slots: &[Loc],
+        io_slots: &[Loc],
+        locs: &mut [Loc],
+        nets_of_block: &[Vec<u32>],
+        bbox: &dyn Fn(usize, &[Loc]) -> f64,
+        range: f64,
+    ) -> Option<(f64, usize, Loc, Option<(usize, Loc)>)> {
+        let use_clb = !clb_blocks.is_empty()
+            && (pad_blocks.is_empty() || rng.gen::<f64>() < 0.8);
+        let (blocks, slots) = if use_clb {
+            (clb_blocks, clb_slots)
+        } else {
+            (pad_blocks, io_slots)
+        };
+        if blocks.is_empty() {
+            return None;
+        }
+        let a = blocks[rng.gen_range(0..blocks.len())];
+        let la = locs[a];
+        // Candidate slot within range.
+        let slot = slots[rng.gen_range(0..slots.len())];
+        let dist = (slot.x as f64 - la.x as f64).abs() + (slot.y as f64 - la.y as f64).abs();
+        if dist > range || slot == la {
+            return None;
+        }
+        // Find occupant of the slot, if any.
+        let occupant = blocks
+            .iter()
+            .copied()
+            .find(|&b| locs[b] == slot && b != a);
+        // Affected nets.
+        let mut affected: Vec<u32> = nets_of_block[a].clone();
+        if let Some(b) = occupant {
+            affected.extend_from_slice(&nets_of_block[b]);
+        }
+        affected.sort_unstable();
+        affected.dedup();
+        let before: f64 = affected.iter().map(|&ni| bbox(ni as usize, locs)).sum();
+        let old_a = locs[a];
+        locs[a] = slot;
+        let undo_b = occupant.map(|b| {
+            let old_b = locs[b];
+            locs[b] = old_a;
+            (b, old_b)
+        });
+        let after: f64 = affected.iter().map(|&ni| bbox(ni as usize, locs)).sum();
+        let _ = design;
+        Some((after - before, a, old_a, undo_b))
+    }
+
+    let undo =
+        |locs: &mut [Loc], a: usize, old_a: Loc, b: Option<(usize, Loc)>| {
+            if let Some((bb, old_b)) = b {
+                locs[bb] = old_b;
+            }
+            locs[a] = old_a;
+        };
+
+    // Estimate initial temperature.
+    let mut deltas: Vec<f64> = Vec::new();
+    for _ in 0..(n_blocks.max(16)) {
+        if let Some((d, a, old_a, b)) = attempt(
+            &mut rng,
+            design,
+            &clb_blocks,
+            &pad_blocks,
+            &clb_slots,
+            &io_slots,
+            &mut locs,
+            &nets_of_block,
+            &bbox_cost,
+            range,
+        ) {
+            undo(&mut locs, a, old_a, b);
+            deltas.push(d);
+        }
+    }
+    let mut t = if deltas.is_empty() {
+        1.0
+    } else {
+        let mean = deltas.iter().sum::<f64>() / deltas.len() as f64;
+        let var =
+            deltas.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / deltas.len() as f64;
+        (20.0 * var.sqrt()).max(1.0)
+    };
+
+    let exit_t = 0.005 * cost.max(1.0) / (nets.len().max(1) as f64);
+    let mut total_moves = 0usize;
+    while t > exit_t {
+        let mut accepted = 0usize;
+        let mut attempted = 0usize;
+        for _ in 0..moves_per_temp {
+            let Some((delta, a, old_a, b)) = attempt(
+                &mut rng,
+                design,
+                &clb_blocks,
+                &pad_blocks,
+                &clb_slots,
+                &io_slots,
+                &mut locs,
+                &nets_of_block,
+                &bbox_cost,
+                range,
+            ) else {
+                continue;
+            };
+            attempted += 1;
+            total_moves += 1;
+            let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / t).exp();
+            if accept {
+                cost += delta;
+                accepted += 1;
+            } else {
+                undo(&mut locs, a, old_a, b);
+            }
+        }
+        let alpha = if attempted == 0 {
+            0.5
+        } else {
+            let r = accepted as f64 / attempted as f64;
+            // VPR's adaptive schedule.
+            if r > 0.96 {
+                0.5
+            } else if r > 0.8 {
+                0.9
+            } else if r > 0.15 {
+                0.95
+            } else {
+                0.8
+            }
+        };
+        // Shrink the range limit toward keeping acceptance near 0.44.
+        let r = if attempted == 0 { 0.0 } else { accepted as f64 / attempted as f64 };
+        range = (range * (1.0 - 0.44 + r)).clamp(1.0, grid_span);
+        t *= alpha;
+    }
+
+    // Recompute exactly to cancel floating-point drift accumulated by
+    // the incremental updates (and sanity-check the bookkeeping).
+    let exact = total_cost(&locs);
+    debug_assert!(
+        (exact - cost).abs() <= 1e-6 * exact.abs().max(1.0),
+        "incremental cost drifted: {cost} vs {exact}"
+    );
+    cost = exact;
+    Ok(Placement { locs, cost, moves: total_moves })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pack::{PRNet, SourceRef};
+    use pfdbg_arch::{ArchSpec, TileKind};
+
+    /// A synthetic packed design: `n` CLBs in a chain plus 2 pads.
+    fn chain_design(n: usize) -> PackedDesign {
+        let mut blocks = Vec::new();
+        let mut clusters = Vec::new();
+        for i in 0..n {
+            blocks.push(Block::Clb(i));
+            clusters.push(Default::default());
+        }
+        blocks.push(Block::InPad("in".into()));
+        blocks.push(Block::OutPad("out".into()));
+        let mut nets = Vec::new();
+        // in -> clb0 -> clb1 -> ... -> out
+        nets.push(PRNet {
+            name: "n_in".into(),
+            sources: vec![SourceRef { block: n, ble: 0 }],
+            source_nodes: vec![],
+                driver: pfdbg_netlist::NodeId(0),
+                sinks: vec![0],
+            tunable: false,
+        });
+        for i in 0..n - 1 {
+            nets.push(PRNet {
+                name: format!("n{i}"),
+                sources: vec![SourceRef { block: i, ble: 0 }],
+                source_nodes: vec![],
+                driver: pfdbg_netlist::NodeId(0),
+                sinks: vec![i + 1],
+                tunable: false,
+            });
+        }
+        nets.push(PRNet {
+            name: "n_out".into(),
+            sources: vec![SourceRef { block: n - 1, ble: 0 }],
+            source_nodes: vec![],
+                driver: pfdbg_netlist::NodeId(0),
+                sinks: vec![n + 1],
+            tunable: false,
+        });
+        PackedDesign { blocks, clusters, nets, n_tcons: 0 }
+    }
+
+    #[test]
+    fn placement_is_legal() {
+        let d = chain_design(12);
+        let dev = Device::new(ArchSpec::default(), 5, 5);
+        let p = place(&d, &dev, &PlaceConfig::default()).unwrap();
+        assert_eq!(p.locs.len(), d.blocks.len());
+        // CLBs on CLB tiles, pads on IO tiles; no slot double-booked.
+        let mut used = std::collections::HashSet::new();
+        for (b, loc) in p.locs.iter().enumerate() {
+            assert!(used.insert(*loc), "slot {loc:?} double-booked");
+            match d.blocks[b] {
+                Block::Clb(_) => {
+                    assert_eq!(dev.tile(loc.x as usize, loc.y as usize), TileKind::Clb)
+                }
+                _ => assert_eq!(dev.tile(loc.x as usize, loc.y as usize), TileKind::Io),
+            }
+        }
+    }
+
+    #[test]
+    fn annealing_beats_initial_assignment() {
+        let d = chain_design(24);
+        let dev = Device::new(ArchSpec::default(), 6, 6);
+        // Cost of the naive round-robin start: compute by placing with
+        // zero effort... instead compare against a random-seed variance:
+        let p1 = place(&d, &dev, &PlaceConfig { seed: 1, effort: 1.0 }).unwrap();
+        // A chain of 24 blocks on a 6x6 grid: optimal is ~1 per hop. The
+        // anneal should get within 3x of that.
+        let hops = d.nets.len() as f64;
+        assert!(
+            p1.cost < hops * 3.0,
+            "placement cost {} vs ideal ~{hops}",
+            p1.cost
+        );
+        assert!(p1.moves > 0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let d = chain_design(10);
+        let dev = Device::new(ArchSpec::default(), 4, 4);
+        let a = place(&d, &dev, &PlaceConfig { seed: 7, effort: 0.5 }).unwrap();
+        let b = place(&d, &dev, &PlaceConfig { seed: 7, effort: 0.5 }).unwrap();
+        assert_eq!(a.locs, b.locs);
+        assert_eq!(a.cost, b.cost);
+    }
+
+    #[test]
+    fn rejects_oversubscribed_device() {
+        let d = chain_design(30);
+        let dev = Device::new(ArchSpec::default(), 2, 2); // 4 CLB slots
+        assert!(place(&d, &dev, &PlaceConfig::default()).is_err());
+    }
+
+    #[test]
+    fn tunable_net_sources_pull_together() {
+        // One tunable net with 4 alternative sources and one sink: the
+        // cost function must include all sources in the bbox, so the
+        // anneal brings them near the sink.
+        let mut blocks = Vec::new();
+        let mut clusters = Vec::new();
+        for i in 0..5 {
+            blocks.push(Block::Clb(i));
+            clusters.push(Default::default());
+        }
+        let nets = vec![PRNet {
+            name: "tn".into(),
+            sources: (0..4).map(|b| SourceRef { block: b, ble: 0 }).collect(),
+            source_nodes: vec![],
+                driver: pfdbg_netlist::NodeId(0),
+                sinks: vec![4],
+            tunable: true,
+        }];
+        let d = PackedDesign { blocks, clusters, nets, n_tcons: 3 };
+        let dev = Device::new(ArchSpec::default(), 8, 8);
+        let p = place(&d, &dev, &PlaceConfig::default()).unwrap();
+        // Bounding box of all five blocks should be small.
+        let xs: Vec<u16> = p.locs.iter().map(|l| l.x).collect();
+        let ys: Vec<u16> = p.locs.iter().map(|l| l.y).collect();
+        let bbox = (xs.iter().max().unwrap() - xs.iter().min().unwrap()) as f64
+            + (ys.iter().max().unwrap() - ys.iter().min().unwrap()) as f64;
+        assert!(bbox <= 6.0, "tunable net spread out: bbox {bbox}");
+    }
+}

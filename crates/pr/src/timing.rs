@@ -1,0 +1,346 @@
+//! Static timing analysis over a placed-and-routed design.
+//!
+//! The paper's §V.B argues the proposed flow leaves the critical path
+//! delay at the original circuit's level (the debug infrastructure lives
+//! in routing and is inactive unless selected). This module computes
+//! routed critical paths so that claim can be checked quantitatively:
+//! arrival times propagate through LUT levels and the *actual routed
+//! wire lengths* of each net, with tunable nets contributing their
+//! worst-case selected alternative.
+
+use crate::pack::{Block, PackedDesign};
+use crate::route::RoutedDesign;
+use crate::tpar::TparResult;
+use pfdbg_arch::{RRGraph, RRKind, RRNode};
+use pfdbg_map::ElemKind;
+use pfdbg_netlist::{Network, NodeId};
+use pfdbg_util::FxHashMap;
+
+/// Delay model parameters (arbitrary but consistent units; the defaults
+/// approximate a 65 nm-era FPGA in nanoseconds).
+#[derive(Debug, Clone, Copy)]
+pub struct DelayModel {
+    /// LUT logic delay.
+    pub lut: f64,
+    /// One unit-length wire segment.
+    pub wire_segment: f64,
+    /// One programmable switch (switch box or connection box hop).
+    pub switch: f64,
+    /// Local intra-cluster feedback (crossbar) delay.
+    pub local: f64,
+    /// Flip-flop clock-to-Q plus setup allocation.
+    pub ff: f64,
+}
+
+impl Default for DelayModel {
+    fn default() -> Self {
+        DelayModel { lut: 0.8, wire_segment: 0.35, switch: 0.15, local: 0.25, ff: 0.5 }
+    }
+}
+
+/// One timing-path report.
+#[derive(Debug, Clone)]
+pub struct TimingReport {
+    /// Critical path delay in model units (ns by default).
+    pub critical_delay: f64,
+    /// LUT levels on the critical path.
+    pub levels: u32,
+    /// Net names on the critical path, source to sink.
+    pub path: Vec<String>,
+}
+
+/// Per-(net, sink-block) routed delay: wire segments + switches along the
+/// branch path that reaches the sink pin, worst case over alternatives.
+fn net_sink_delays(
+    packed: &PackedDesign,
+    routed: &RoutedDesign,
+    rrg: &RRGraph,
+    model: &DelayModel,
+) -> FxHashMap<(usize, usize), f64> {
+    let mut out: FxHashMap<(usize, usize), f64> = FxHashMap::default();
+    for nr in &routed.routes {
+        // For each branch (alternative), walk its edges accumulating the
+        // arrival delay per node, then read the delay at each sink pin.
+        for branch in &nr.branches {
+            let mut arrive: FxHashMap<RRNode, f64> = FxHashMap::default();
+            for &(from, to) in &branch.edges {
+                let base = arrive.get(&from).copied().unwrap_or(0.0);
+                let hop = model.switch
+                    + match rrg.node(to).kind {
+                        RRKind::ChanX(_) | RRKind::ChanY(_) => model.wire_segment,
+                        _ => 0.0,
+                    };
+                let t = base + hop;
+                let entry = arrive.entry(to).or_insert(t);
+                if *entry < t {
+                    *entry = t;
+                }
+            }
+            for (&sink_block, &pin) in &nr.sink_pins {
+                if let Some(&d) = arrive.get(&pin) {
+                    let key = (nr.net, sink_block);
+                    let entry = out.entry(key).or_insert(d);
+                    // Tunable nets: the slowest selectable source bounds
+                    // the timing closure.
+                    if *entry < d {
+                        *entry = d;
+                    }
+                }
+            }
+        }
+        let _ = packed;
+    }
+    out
+}
+
+/// Analyze the routed design's critical path.
+///
+/// `mapped`/`kinds` are the mapped network and element kinds that were
+/// packed (TCON nodes add no logic delay themselves — their cost *is*
+/// the routed wire they dissolve into, which the net delays capture).
+pub fn analyze(
+    mapped: &Network,
+    kinds: &FxHashMap<NodeId, ElemKind>,
+    result: &TparResult,
+    model: &DelayModel,
+) -> Result<TimingReport, String> {
+    let routed = &result.routed;
+    let rrg = &result.rrg;
+    let packed = &result.packed;
+    let sink_delay = net_sink_delays(packed, routed, rrg, model);
+
+    // Map each netlist node to its packed block (CLBs via clusters, pads
+    // via names) so net lookups work.
+    let mut block_of: FxHashMap<NodeId, usize> = FxHashMap::default();
+    for (bi, block) in packed.blocks.iter().enumerate() {
+        match block {
+            Block::Clb(ci) => {
+                for ble in &packed.clusters[*ci].bles {
+                    if let Some(l) = ble.lut {
+                        block_of.insert(l, bi);
+                    }
+                    if let Some(l) = ble.latch {
+                        block_of.insert(l, bi);
+                    }
+                }
+            }
+            Block::InPad(name) => {
+                if let Some(id) = mapped.find(name) {
+                    block_of.insert(id, bi);
+                }
+            }
+            Block::OutPad(_) => {}
+        }
+    }
+
+    // Net index by driver node.
+    let mut net_of_driver: FxHashMap<NodeId, usize> = FxHashMap::default();
+    for (ni, net) in packed.nets.iter().enumerate() {
+        net_of_driver.insert(net.driver, ni);
+    }
+
+    // Resolve the wire delay from `driver` (a netlist node) into
+    // `consumer_block`. TCON chains: the consumer sees the TCON tree's
+    // net; ordinary signals their own net. Missing entries (intra-cluster
+    // connections) cost the local crossbar delay.
+    let wire_delay = |driver: NodeId, consumer_block: Option<usize>| -> f64 {
+        let Some(cb) = consumer_block else { return model.local };
+        match net_of_driver.get(&driver) {
+            Some(&ni) => sink_delay
+                .get(&(ni, cb))
+                .copied()
+                .unwrap_or(model.local),
+            None => model.local,
+        }
+    };
+
+    // Arrival-time propagation in topological order.
+    let order = mapped.topo_order().map_err(|n| format!("cycle at {n:?}"))?;
+    let mut arrival: FxHashMap<NodeId, f64> = FxHashMap::default();
+    let mut level: FxHashMap<NodeId, u32> = FxHashMap::default();
+    let mut pred: FxHashMap<NodeId, NodeId> = FxHashMap::default();
+    for (id, node) in mapped.nodes() {
+        if node.is_latch() {
+            arrival.insert(id, model.ff);
+        }
+    }
+    for id in order {
+        let node = mapped.node(id);
+        if !node.is_table() {
+            continue;
+        }
+        let is_tcon = kinds.get(&id) == Some(&ElemKind::TCon);
+        let my_block = block_of.get(&id).copied();
+        let mut best = 0.0f64;
+        let mut best_pred = None;
+        let mut best_level = 0u32;
+        for &f in &node.fanins {
+            if mapped.node(f).is_param {
+                continue; // configuration, not a signal path
+            }
+            let a = arrival.get(&f).copied().unwrap_or(0.0)
+                + wire_delay(f, my_block);
+            if a >= best {
+                best = a;
+                best_pred = Some(f);
+                best_level = level.get(&f).copied().unwrap_or(0);
+            }
+        }
+        // TCONs are routing: their own delay is in the wire numbers.
+        let logic = if is_tcon { 0.0 } else { model.lut };
+        arrival.insert(id, best + logic);
+        level.insert(id, best_level + u32::from(!is_tcon));
+        if let Some(p) = best_pred {
+            pred.insert(id, p);
+        }
+    }
+
+    // Endpoints: primary outputs and latch data pins.
+    let mut worst: Option<(f64, NodeId)> = None;
+    let note = |d: f64, n: NodeId, worst: &mut Option<(f64, NodeId)>| {
+        if worst.map_or(true, |(w, _)| d > w) {
+            *worst = Some((d, n));
+        }
+    };
+    for port in mapped.outputs() {
+        let d = arrival.get(&port.driver).copied().unwrap_or(0.0);
+        note(d, port.driver, &mut worst);
+    }
+    for (_, node) in mapped.nodes() {
+        if node.is_latch() {
+            let f = node.fanins[0];
+            let d = arrival.get(&f).copied().unwrap_or(0.0) + model.ff;
+            note(d, f, &mut worst);
+        }
+    }
+    let Some((critical_delay, end)) = worst else {
+        return Err("design has no timing endpoints".into());
+    };
+
+    // Backtrace the critical path.
+    let mut path = Vec::new();
+    let mut cur = end;
+    loop {
+        path.push(mapped.node(cur).name.clone());
+        match pred.get(&cur) {
+            Some(&p) => cur = p,
+            None => break,
+        }
+    }
+    path.reverse();
+    Ok(TimingReport {
+        critical_delay,
+        levels: level.get(&end).copied().unwrap_or(0),
+        path,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpar::{tpar, TparConfig};
+    use pfdbg_map::{map, map_parameterized_network, MapperKind};
+    use pfdbg_synth::{synthesize, Aig, Lit};
+
+    fn chain_design(n: usize) -> Network {
+        // A LUT chain that cannot collapse (each stage has an extra
+        // primary output).
+        let mut aig = Aig::new("chain");
+        let mut prev = aig.add_input("x", false);
+        let extra: Vec<Lit> =
+            (0..n).map(|i| aig.add_input(format!("e{i}"), false)).collect();
+        for (i, &e) in extra.iter().enumerate() {
+            let nxt = aig.xor(prev, e);
+            aig.add_output(format!("tap{i}"), nxt);
+            prev = nxt;
+        }
+        aig.add_output("y", prev);
+        let mapping = map(&aig, 4, MapperKind::PriorityCuts);
+        mapping.to_network(&aig).0
+    }
+
+    #[test]
+    fn longer_chains_have_longer_critical_paths() {
+        let model = DelayModel::default();
+        let mut prev_delay = 0.0;
+        for n in [2usize, 6] {
+            let nw = chain_design(n);
+            let kinds = FxHashMap::default();
+            let result = tpar(&nw, &kinds, &TparConfig::default()).unwrap();
+            let report = analyze(&nw, &kinds, &result, &model).unwrap();
+            assert!(report.critical_delay > prev_delay, "n={n}: {report:?}");
+            assert!(!report.path.is_empty());
+            prev_delay = report.critical_delay;
+        }
+    }
+
+    #[test]
+    fn instrumentation_leaves_critical_path_at_logic_level() {
+        // Compare the plain design's critical delay with the
+        // parameterized-instrumented one: the mux network must not push
+        // it up by more than routing noise.
+        let design = pfdbg_circuits_like_design();
+        let kinds0 = FxHashMap::default();
+        let r0 = tpar(&design, &kinds0, &TparConfig::default()).unwrap();
+        let t0 = analyze(&design, &kinds0, &r0, &DelayModel::default()).unwrap();
+
+        // Instrument (mapped-netlist instrumentation, as in the flow).
+        let mut inst = design.clone();
+        let observed: Vec<NodeId> = inst
+            .nodes()
+            .filter(|(_, n)| n.is_table())
+            .map(|(id, _)| id)
+            .collect();
+        let s0 = inst.add_input("$sel_p0_b0");
+        inst.set_param(s0, true);
+        use pfdbg_netlist::truth::gates;
+        let m = inst.add_table(
+            "$mux_p0",
+            vec![observed[0], observed[1], s0],
+            gates::mux21(),
+        );
+        inst.add_output("$trace0", m);
+        let mp = map_parameterized_network(&inst, 4).unwrap();
+        let r1 = tpar(&mp.network, &mp.kinds, &TparConfig::default()).unwrap();
+        let t1 = analyze(&mp.network, &mp.kinds, &r1, &DelayModel::default()).unwrap();
+
+        assert!(
+            t1.critical_delay <= t0.critical_delay * 1.8 + 2.0,
+            "instrumented {:.2} vs plain {:.2}",
+            t1.critical_delay,
+            t0.critical_delay
+        );
+    }
+
+    fn pfdbg_circuits_like_design() -> Network {
+        let mut nw = Network::new("d");
+        use pfdbg_netlist::truth::gates;
+        let a = nw.add_input("a");
+        let b = nw.add_input("b");
+        let c = nw.add_input("c");
+        let g1 = nw.add_table("g1", vec![a, b], gates::and2());
+        let g2 = nw.add_table("g2", vec![g1, c], gates::xor2());
+        let g3 = nw.add_table("g3", vec![g2, a], gates::or2());
+        nw.add_output("y", g3);
+        nw
+    }
+
+    #[test]
+    fn tcon_nodes_add_no_logic_delay() {
+        // A pure selector between two inputs: critical delay is wires
+        // only (below one LUT + wire combination of a logic design).
+        let mut nw = Network::new("sel");
+        use pfdbg_netlist::truth::gates;
+        let a = nw.add_input("a");
+        let b = nw.add_input("b");
+        let s = nw.add_input("s");
+        nw.set_param(s, true);
+        let m = nw.add_table("m", vec![a, b, s], gates::mux21());
+        nw.add_output("$trace0", m);
+        let mp = map_parameterized_network(&nw, 4).unwrap();
+        assert_eq!(mp.stats.tcons, 1);
+        let result = tpar(&mp.network, &mp.kinds, &TparConfig::default()).unwrap();
+        let report = analyze(&mp.network, &mp.kinds, &result, &DelayModel::default()).unwrap();
+        assert_eq!(report.levels, 0, "{report:?}");
+    }
+}

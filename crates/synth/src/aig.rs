@@ -1,0 +1,671 @@
+//! And-Inverter Graphs (AIGs) with structural hashing.
+//!
+//! The synthesis front end mirrors ABC's: every combinational function is
+//! decomposed into 2-input AND nodes with complemented edges, hashed so
+//! that structurally identical nodes are shared, with constant folding at
+//! construction time. Sequential elements (latches) and primary I/O wrap
+//! the combinational core.
+
+use pfdbg_netlist::truth::TruthTable;
+use pfdbg_netlist::{Network, NodeId, NodeKind};
+use pfdbg_util::{define_id, FxHashMap, IdVec};
+
+define_id!(
+    /// An AIG node (variable). Node 0 is the constant-false node.
+    pub struct AigNode
+);
+
+/// A literal: an AIG node together with a complement flag, packed as
+/// `node*2 + complemented`. `Lit::FALSE` (= node 0 uncomplemented) is
+/// constant false, `Lit::TRUE` constant true.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(pub u32);
+
+impl Lit {
+    /// Constant false.
+    pub const FALSE: Lit = Lit(0);
+    /// Constant true.
+    pub const TRUE: Lit = Lit(1);
+
+    /// Make a literal from a node and complement flag.
+    #[inline]
+    pub fn new(node: AigNode, complement: bool) -> Lit {
+        Lit(node.0 * 2 + complement as u32)
+    }
+
+    /// The underlying node.
+    #[inline]
+    pub fn node(self) -> AigNode {
+        AigNode(self.0 / 2)
+    }
+
+    /// Whether the literal is complemented.
+    #[inline]
+    pub fn complemented(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The complement of this literal.
+    #[inline]
+    pub fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    /// Is this one of the two constant literals?
+    #[inline]
+    pub fn is_const(self) -> bool {
+        self.node() == AigNode(0)
+    }
+}
+
+impl std::fmt::Debug for Lit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if *self == Lit::FALSE {
+            write!(f, "0")
+        } else if *self == Lit::TRUE {
+            write!(f, "1")
+        } else {
+            write!(f, "{}n{}", if self.complemented() { "!" } else { "" }, self.node().0)
+        }
+    }
+}
+
+/// The content of an AIG node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AigKind {
+    /// The constant-false node (only node 0).
+    Const0,
+    /// Primary input. `is_param` marks PConf parameter inputs, which the
+    /// TCON mapper treats specially.
+    Input {
+        /// Whether this input is a PConf parameter.
+        is_param: bool,
+    },
+    /// A latch output; its next-state literal is stored via [`Aig::set_latch_next`].
+    Latch {
+        /// Power-up value.
+        init: bool,
+    },
+    /// 2-input AND of two literals (normalized: `fanin0 <= fanin1`).
+    And(Lit, Lit),
+}
+
+/// One AIG node record.
+#[derive(Debug, Clone)]
+pub struct AigEntry {
+    /// What the node is.
+    pub kind: AigKind,
+    /// Net name (inputs/latches keep their netlist names; ANDs get
+    /// generated names only when exported).
+    pub name: String,
+}
+
+/// An And-Inverter Graph.
+#[derive(Debug, Clone, Default)]
+pub struct Aig {
+    /// Model name.
+    pub name: String,
+    nodes: IdVec<AigNode, AigEntry>,
+    strash: FxHashMap<(Lit, Lit), AigNode>,
+    /// Primary outputs: (port name, literal).
+    pub outputs: Vec<(String, Lit)>,
+    /// Next-state functions per latch node.
+    latch_next: FxHashMap<AigNode, Lit>,
+}
+
+impl Aig {
+    /// An empty AIG (containing just the constant node).
+    pub fn new(name: impl Into<String>) -> Self {
+        let mut aig = Aig { name: name.into(), ..Default::default() };
+        aig.nodes.push(AigEntry { kind: AigKind::Const0, name: "$false".into() });
+        aig
+    }
+
+    /// Add a primary input.
+    pub fn add_input(&mut self, name: impl Into<String>, is_param: bool) -> Lit {
+        let id = self.nodes.push(AigEntry { kind: AigKind::Input { is_param }, name: name.into() });
+        Lit::new(id, false)
+    }
+
+    /// Add a latch; its next-state function defaults to constant 0 until
+    /// [`Aig::set_latch_next`] is called (allows feedback).
+    pub fn add_latch(&mut self, name: impl Into<String>, init: bool) -> Lit {
+        let id = self.nodes.push(AigEntry { kind: AigKind::Latch { init }, name: name.into() });
+        self.latch_next.insert(id, Lit::FALSE);
+        Lit::new(id, false)
+    }
+
+    /// Set a latch's next-state literal.
+    pub fn set_latch_next(&mut self, latch: Lit, next: Lit) {
+        assert!(!latch.complemented(), "latch handle must be uncomplemented");
+        assert!(
+            matches!(self.nodes[latch.node()].kind, AigKind::Latch { .. }),
+            "not a latch"
+        );
+        self.latch_next.insert(latch.node(), next);
+    }
+
+    /// The next-state literal of a latch node.
+    pub fn latch_next(&self, latch: AigNode) -> Lit {
+        self.latch_next[&latch]
+    }
+
+    /// AND of two literals, with constant folding and structural hashing.
+    pub fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        // Constant / trivial folding.
+        if a == Lit::FALSE || b == Lit::FALSE || a == b.not() {
+            return Lit::FALSE;
+        }
+        if a == Lit::TRUE {
+            return b;
+        }
+        if b == Lit::TRUE || a == b {
+            return a;
+        }
+        let (f0, f1) = if a <= b { (a, b) } else { (b, a) };
+        if let Some(&node) = self.strash.get(&(f0, f1)) {
+            return Lit::new(node, false);
+        }
+        let id = self.nodes.push(AigEntry {
+            kind: AigKind::And(f0, f1),
+            name: String::new(),
+        });
+        self.strash.insert((f0, f1), id);
+        Lit::new(id, false)
+    }
+
+    /// OR via De Morgan.
+    pub fn or(&mut self, a: Lit, b: Lit) -> Lit {
+        self.and(a.not(), b.not()).not()
+    }
+
+    /// XOR (3 AND nodes).
+    pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        let n_ab = self.and(a, b.not());
+        let n_ba = self.and(a.not(), b);
+        self.or(n_ab, n_ba)
+    }
+
+    /// 2:1 mux `sel ? t : e`.
+    pub fn mux(&mut self, sel: Lit, t: Lit, e: Lit) -> Lit {
+        let a = self.and(sel, t);
+        let b = self.and(sel.not(), e);
+        self.or(a, b)
+    }
+
+    /// Add a primary output.
+    pub fn add_output(&mut self, name: impl Into<String>, lit: Lit) {
+        self.outputs.push((name.into(), lit));
+    }
+
+    /// Node lookup.
+    pub fn node(&self, id: AigNode) -> &AigEntry {
+        &self.nodes[id]
+    }
+
+    /// Total node count including the constant node.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of AND nodes.
+    pub fn n_ands(&self) -> usize {
+        self.nodes.values().filter(|n| matches!(n.kind, AigKind::And(..))).count()
+    }
+
+    /// Number of primary inputs.
+    pub fn n_inputs(&self) -> usize {
+        self.nodes.values().filter(|n| matches!(n.kind, AigKind::Input { .. })).count()
+    }
+
+    /// Number of latches.
+    pub fn n_latches(&self) -> usize {
+        self.latch_next.len()
+    }
+
+    /// Iterate over all node ids in construction (= topological) order.
+    pub fn node_ids(&self) -> impl Iterator<Item = AigNode> {
+        self.nodes.ids()
+    }
+
+    /// Iterate over `(id, entry)`.
+    pub fn iter(&self) -> impl Iterator<Item = (AigNode, &AigEntry)> {
+        self.nodes.iter()
+    }
+
+    /// Latch node ids.
+    pub fn latch_ids(&self) -> impl Iterator<Item = AigNode> + '_ {
+        self.nodes
+            .iter()
+            .filter(|(_, n)| matches!(n.kind, AigKind::Latch { .. }))
+            .map(|(id, _)| id)
+    }
+
+    /// Input node ids.
+    pub fn input_ids(&self) -> impl Iterator<Item = AigNode> + '_ {
+        self.nodes
+            .iter()
+            .filter(|(_, n)| matches!(n.kind, AigKind::Input { .. }))
+            .map(|(id, _)| id)
+    }
+
+    /// Depth (AND levels) of every node. Inputs/latches/const are level 0.
+    pub fn levels(&self) -> IdVec<AigNode, u32> {
+        let mut level: IdVec<AigNode, u32> = IdVec::filled(0, self.nodes.len());
+        for (id, entry) in self.nodes.iter() {
+            if let AigKind::And(a, b) = entry.kind {
+                level[id] = 1 + level[a.node()].max(level[b.node()]);
+            }
+        }
+        level
+    }
+
+    /// Maximum level over outputs and latch next-state literals.
+    pub fn depth(&self) -> u32 {
+        let levels = self.levels();
+        let mut d = 0;
+        for (_, lit) in &self.outputs {
+            d = d.max(levels[lit.node()]);
+        }
+        for (_, &lit) in &self.latch_next {
+            d = d.max(levels[lit.node()]);
+        }
+        d
+    }
+
+    /// Fanout count of each node (uses in ANDs, outputs, latch next-state).
+    pub fn fanout_counts(&self) -> IdVec<AigNode, u32> {
+        let mut counts: IdVec<AigNode, u32> = IdVec::filled(0, self.nodes.len());
+        for entry in self.nodes.values() {
+            if let AigKind::And(a, b) = entry.kind {
+                counts[a.node()] += 1;
+                counts[b.node()] += 1;
+            }
+        }
+        for (_, lit) in &self.outputs {
+            counts[lit.node()] += 1;
+        }
+        for (_, &lit) in &self.latch_next {
+            counts[lit.node()] += 1;
+        }
+        counts
+    }
+
+    /// Attach a net name to a node if it does not have one yet (used to
+    /// carry user-visible signal names through synthesis so observed
+    /// signals stay identifiable after mapping).
+    pub fn name_node(&mut self, node: AigNode, name: &str) {
+        if self.nodes[node].name.is_empty() {
+            self.nodes[node].name = name.to_string();
+        }
+    }
+
+    /// Mark an input as a parameter after construction.
+    pub fn set_param(&mut self, input: AigNode, value: bool) {
+        match &mut self.nodes[input].kind {
+            AigKind::Input { is_param } => *is_param = value,
+            _ => panic!("set_param on non-input"),
+        }
+    }
+
+    /// Whether a node is a parameter input.
+    pub fn is_param(&self, node: AigNode) -> bool {
+        matches!(self.nodes[node].kind, AigKind::Input { is_param: true })
+    }
+}
+
+// ----------------------------------------------------------------------
+// Conversion: Network -> AIG
+// ----------------------------------------------------------------------
+
+/// Build an AIG from a [`Network`]; nodes marked `is_param` in the network
+/// become parameter inputs. Fails on combinational cycles.
+pub fn from_network(nw: &Network) -> Result<Aig, String> {
+    let order = nw.topo_order().map_err(|n| format!("combinational cycle at {n:?}"))?;
+    let mut aig = Aig::new(nw.name.clone());
+    let mut lit_of: IdVec<NodeId, Lit> = IdVec::filled(Lit::FALSE, nw.n_nodes());
+
+    // Create sources first so latch feedback can resolve.
+    for (id, node) in nw.nodes() {
+        match node.kind {
+            NodeKind::Input => {
+                lit_of[id] = aig.add_input(node.name.clone(), node.is_param);
+            }
+            NodeKind::Latch { init } => {
+                lit_of[id] = aig.add_latch(node.name.clone(), init);
+            }
+            NodeKind::Const(v) => {
+                lit_of[id] = if v { Lit::TRUE } else { Lit::FALSE };
+            }
+            NodeKind::Table(_) => {}
+        }
+    }
+
+    for id in order {
+        let node = nw.node(id);
+        if let NodeKind::Table(t) = &node.kind {
+            let fanin_lits: Vec<Lit> = node.fanins.iter().map(|&f| lit_of[f]).collect();
+            let lit = build_table(&mut aig, t, &fanin_lits);
+            // Preserve the net name when the node function landed on an
+            // uncomplemented fresh literal (complemented results would
+            // carry an inverted value under the original name).
+            if !lit.complemented() && !lit.is_const() {
+                aig.name_node(lit.node(), &node.name);
+            }
+            lit_of[id] = lit;
+        }
+    }
+
+    for (id, node) in nw.nodes() {
+        if node.is_latch() {
+            aig.set_latch_next(lit_of[id], lit_of[node.fanins[0]]);
+        }
+    }
+    for port in nw.outputs() {
+        aig.add_output(port.name.clone(), lit_of[port.driver]);
+    }
+    Ok(aig)
+}
+
+/// Build the AIG for a truth table applied to the given fanin literals,
+/// by Shannon expansion on the highest variable (memoization comes from
+/// strashing).
+fn build_table(aig: &mut Aig, t: &TruthTable, fanins: &[Lit]) -> Lit {
+    debug_assert_eq!(t.nvars(), fanins.len());
+    if t.is_const0() {
+        return Lit::FALSE;
+    }
+    if t.is_const1() {
+        return Lit::TRUE;
+    }
+    // Compact away non-support variables so the expansion variable is
+    // always the (depended-on) top variable of the compacted table.
+    let (t, support) = t.shrink_support();
+    let fanins: Vec<Lit> = support.iter().map(|&i| fanins[i]).collect();
+    let top = t.nvars() - 1;
+    let hi = t.restrict(top, true);
+    let lo = t.restrict(top, false);
+    let hi_lit = build_table(aig, &hi, &fanins[..top]);
+    let lo_lit = build_table(aig, &lo, &fanins[..top]);
+    aig.mux(fanins[top], hi_lit, lo_lit)
+}
+
+// ----------------------------------------------------------------------
+// Conversion: AIG -> Network (2-input gate netlist)
+// ----------------------------------------------------------------------
+
+/// Export an AIG as a gate-level [`Network`] of 2-input tables.
+/// Complemented edges are folded into the consuming gate's truth table;
+/// complemented outputs/latch inputs get explicit inverters.
+pub fn to_network(aig: &Aig) -> Network {
+    let mut nw = Network::new(aig.name.clone());
+    let mut id_of: IdVec<AigNode, Option<NodeId>> = IdVec::filled(None, aig.n_nodes());
+    let mut const_node: Option<NodeId> = None;
+
+    let get_const = |nw: &mut Network, const_node: &mut Option<NodeId>| -> NodeId {
+        *const_node.get_or_insert_with(|| nw.add_const(nw.fresh_name("$const0"), false))
+    };
+
+    for (id, entry) in aig.iter() {
+        match entry.kind {
+            AigKind::Const0 => {}
+            AigKind::Input { is_param } => {
+                let n = nw.add_input(entry.name.clone());
+                nw.set_param(n, is_param);
+                id_of[id] = Some(n);
+            }
+            AigKind::Latch { init } => {
+                // Placeholder data; rewired below.
+                let ph = get_const(&mut nw, &mut const_node);
+                id_of[id] = Some(nw.add_latch(entry.name.clone(), ph, init));
+            }
+            AigKind::And(a, b) => {
+                // Build the 2-var table and(x0^ca, x1^cb) over the *nodes*.
+                let mut t0 = TruthTable::var(2, 0);
+                if a.complemented() {
+                    t0 = t0.not();
+                }
+                let mut t1 = TruthTable::var(2, 1);
+                if b.complemented() {
+                    t1 = t1.not();
+                }
+                let table = t0.and(&t1);
+                let fa = resolve(&mut nw, aig, &mut id_of, a.node(), &mut const_node);
+                let fb = resolve(&mut nw, aig, &mut id_of, b.node(), &mut const_node);
+                let name = nw.fresh_name(&format!("$and{}", id.0));
+                id_of[id] = Some(nw.add_table(name, vec![fa, fb], table));
+            }
+        }
+    }
+
+    // Helper to materialize a literal (inserting an inverter if needed).
+    let materialize = |nw: &mut Network,
+                           id_of: &IdVec<AigNode, Option<NodeId>>,
+                           const_node: &mut Option<NodeId>,
+                           lit: Lit|
+     -> NodeId {
+        if lit == Lit::FALSE {
+            return match const_node {
+                Some(c) => *c,
+                None => {
+                    let c = nw.add_const(nw.fresh_name("$const0"), false);
+                    *const_node = Some(c);
+                    c
+                }
+            };
+        }
+        if lit == Lit::TRUE {
+            let name = nw.fresh_name("$const1");
+            return nw.add_const(name, true);
+        }
+        let base = id_of[lit.node()].expect("node materialized in topo order");
+        if lit.complemented() {
+            let name = nw.fresh_name(&format!("$inv{}", lit.node().0));
+            nw.add_table(name, vec![base], pfdbg_netlist::truth::gates::not1())
+        } else {
+            base
+        }
+    };
+
+    for (name, lit) in &aig.outputs {
+        let driver = materialize(&mut nw, &id_of, &mut const_node, *lit);
+        nw.add_output(name.clone(), driver);
+    }
+    for latch in aig.latch_ids() {
+        let next = aig.latch_next(latch);
+        let data = materialize(&mut nw, &id_of, &mut const_node, next);
+        let q = id_of[latch].expect("latch created");
+        nw.set_latch_data(q, data);
+    }
+    nw.sweep_dead();
+    nw
+}
+
+fn resolve(
+    nw: &mut Network,
+    _aig: &Aig,
+    id_of: &mut IdVec<AigNode, Option<NodeId>>,
+    node: AigNode,
+    const_node: &mut Option<NodeId>,
+) -> NodeId {
+    if node == AigNode(0) {
+        return match const_node {
+            Some(c) => *c,
+            None => {
+                let c = nw.add_const(nw.fresh_name("$const0"), false);
+                *const_node = Some(c);
+                c
+            }
+        };
+    }
+    id_of[node].expect("fanins precede uses in construction order")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfdbg_netlist::sim::comb_equivalent;
+    use pfdbg_netlist::truth::gates;
+
+    #[test]
+    fn literal_packing() {
+        let n = AigNode(5);
+        let l = Lit::new(n, true);
+        assert_eq!(l.node(), n);
+        assert!(l.complemented());
+        assert_eq!(l.not().not(), l);
+        assert_eq!(Lit::FALSE.not(), Lit::TRUE);
+        assert!(Lit::TRUE.is_const());
+    }
+
+    #[test]
+    fn constant_folding_rules() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a", false);
+        assert_eq!(aig.and(a, Lit::FALSE), Lit::FALSE);
+        assert_eq!(aig.and(a, Lit::TRUE), a);
+        assert_eq!(aig.and(a, a), a);
+        assert_eq!(aig.and(a, a.not()), Lit::FALSE);
+        assert_eq!(aig.n_ands(), 0);
+    }
+
+    #[test]
+    fn structural_hashing_shares_nodes() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a", false);
+        let b = aig.add_input("b", false);
+        let x = aig.and(a, b);
+        let y = aig.and(b, a); // commuted — must hash to the same node
+        assert_eq!(x, y);
+        assert_eq!(aig.n_ands(), 1);
+    }
+
+    #[test]
+    fn xor_and_mux_semantics_via_roundtrip() {
+        let mut aig = Aig::new("ops");
+        let a = aig.add_input("a", false);
+        let b = aig.add_input("b", false);
+        let s = aig.add_input("s", false);
+        let x = aig.xor(a, b);
+        let m = aig.mux(s, a, b);
+        aig.add_output("x", x);
+        aig.add_output("m", m);
+        let nw = to_network(&aig);
+        nw.validate().unwrap();
+
+        let mut golden = Network::new("ops");
+        let ga = golden.add_input("a");
+        let gb = golden.add_input("b");
+        let gs = golden.add_input("s");
+        let gx = golden.add_table("x", vec![ga, gb], gates::xor2());
+        // mux21 input order: (d0, d1, sel) with output = sel ? d1 : d0
+        let gm = golden.add_table("m", vec![gb, ga, gs], gates::mux21());
+        golden.add_output("x", gx);
+        golden.add_output("m", gm);
+        assert!(comb_equivalent(&nw, &golden, 32, 3).unwrap());
+    }
+
+    #[test]
+    fn network_round_trip_preserves_function() {
+        // (a&b)^c with a latch.
+        let mut nw = Network::new("rt");
+        let a = nw.add_input("a");
+        let b = nw.add_input("b");
+        let c = nw.add_input("c");
+        let g1 = nw.add_table("g1", vec![a, b], gates::and2());
+        let g2 = nw.add_table("g2", vec![g1, c], gates::xor2());
+        let q = nw.add_latch("q", g2, true);
+        let g3 = nw.add_table("g3", vec![q, a], gates::or2());
+        nw.add_output("y", g3);
+
+        let aig = from_network(&nw).unwrap();
+        assert_eq!(aig.n_latches(), 1);
+        let back = to_network(&aig);
+        back.validate().unwrap();
+        assert!(comb_equivalent(&nw, &back, 64, 11).unwrap());
+    }
+
+    #[test]
+    fn wide_table_decomposed() {
+        // A 5-input majority-ish function.
+        let mut nw = Network::new("wide");
+        let ins: Vec<NodeId> = (0..5).map(|i| nw.add_input(format!("i{i}"))).collect();
+        let mut t = TruthTable::const0(5);
+        for row in 0..32usize {
+            if row.count_ones() >= 3 {
+                // build via minterms using var tables
+                let mut cube = TruthTable::const1(5);
+                for v in 0..5 {
+                    let var = TruthTable::var(5, v);
+                    cube = cube.and(&if (row >> v) & 1 == 1 { var } else { var.not() });
+                }
+                t = t.or(&cube);
+            }
+        }
+        let y = nw.add_table("y", ins.clone(), t);
+        nw.add_output("y", y);
+        let aig = from_network(&nw).unwrap();
+        assert!(aig.n_ands() > 0);
+        let back = to_network(&aig);
+        assert!(comb_equivalent(&nw, &back, 64, 5).unwrap());
+    }
+
+    #[test]
+    fn params_survive_round_trip() {
+        let mut nw = Network::new("p");
+        let a = nw.add_input("a");
+        let p = nw.add_input("p");
+        nw.set_param(p, true);
+        let m = nw.add_table("m", vec![a, p], gates::and2());
+        nw.add_output("m", m);
+        let aig = from_network(&nw).unwrap();
+        let pn = aig
+            .input_ids()
+            .find(|&i| aig.node(i).name == "p")
+            .unwrap();
+        assert!(aig.is_param(pn));
+        let back = to_network(&aig);
+        let bp = back.find("p").unwrap();
+        assert!(back.node(bp).is_param);
+    }
+
+    #[test]
+    fn levels_and_depth() {
+        let mut aig = Aig::new("d");
+        let a = aig.add_input("a", false);
+        let b = aig.add_input("b", false);
+        let c = aig.add_input("c", false);
+        let ab = aig.and(a, b);
+        let abc = aig.and(ab, c);
+        aig.add_output("y", abc);
+        assert_eq!(aig.depth(), 2);
+        let lv = aig.levels();
+        assert_eq!(lv[ab.node()], 1);
+        assert_eq!(lv[abc.node()], 2);
+    }
+
+    #[test]
+    fn latch_feedback() {
+        let mut aig = Aig::new("fb");
+        let en = aig.add_input("en", false);
+        let q = aig.add_latch("q", false);
+        let next = aig.xor(q, en);
+        aig.set_latch_next(q, next);
+        aig.add_output("q", q);
+        let nw = to_network(&aig);
+        nw.validate().unwrap();
+        assert_eq!(nw.n_latches(), 1);
+    }
+
+    #[test]
+    fn const_output_network() {
+        let mut aig = Aig::new("c");
+        let a = aig.add_input("a", false);
+        let z = aig.and(a, a.not());
+        aig.add_output("never", z);
+        aig.add_output("always", z.not());
+        let nw = to_network(&aig);
+        nw.validate().unwrap();
+        assert_eq!(nw.n_outputs(), 2);
+    }
+}

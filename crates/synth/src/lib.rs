@@ -1,0 +1,12 @@
+//! Logic synthesis front end: And-Inverter Graphs with structural hashing,
+//! constant propagation, dangling-node cleanup and delay balancing — the
+//! role ABC plays in the VTR flow the paper builds on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aig;
+pub mod opt;
+
+pub use aig::{from_network, to_network, Aig, AigKind, AigNode, Lit};
+pub use opt::{balance, cleanup, synthesize};

@@ -1,0 +1,348 @@
+//! AIG optimization passes: dangling-node cleanup and delay-oriented
+//! balancing (the `strash; balance; sweep` recipe of an ABC-style
+//! synthesis front end — constant propagation and sharing happen
+//! automatically at construction thanks to strashing).
+
+use crate::aig::{Aig, AigKind, AigNode, Lit};
+use pfdbg_util::id::EntityId;
+use pfdbg_util::IdVec;
+
+/// Rebuild the AIG keeping only nodes reachable from primary outputs and
+/// latch next-state functions. Strash-dedups again as a side effect.
+pub fn cleanup(aig: &Aig) -> Aig {
+    let mut out = Aig::new(aig.name.clone());
+    let mut map: IdVec<AigNode, Option<Lit>> = IdVec::filled(None, aig.n_nodes());
+    map[AigNode(0)] = Some(Lit::FALSE);
+
+    // Sources keep identity (all inputs and latches survive: they are the
+    // circuit's interface even if currently unread).
+    for (id, entry) in aig.iter() {
+        match entry.kind {
+            AigKind::Input { is_param } => {
+                map[id] = Some(out.add_input(entry.name.clone(), is_param));
+            }
+            AigKind::Latch { init } => {
+                map[id] = Some(out.add_latch(entry.name.clone(), init));
+            }
+            _ => {}
+        }
+    }
+
+    // Mark reachable AND nodes.
+    let mut reachable: IdVec<AigNode, bool> = IdVec::filled(false, aig.n_nodes());
+    let mut stack: Vec<AigNode> = Vec::new();
+    let visit = |n: AigNode, reachable: &mut IdVec<AigNode, bool>, stack: &mut Vec<AigNode>| {
+        if !reachable[n] {
+            reachable[n] = true;
+            stack.push(n);
+        }
+    };
+    for (_, lit) in &aig.outputs {
+        visit(lit.node(), &mut reachable, &mut stack);
+    }
+    for latch in aig.latch_ids() {
+        visit(aig.latch_next(latch).node(), &mut reachable, &mut stack);
+    }
+    while let Some(n) = stack.pop() {
+        if let AigKind::And(a, b) = aig.node(n).kind {
+            if !reachable[a.node()] {
+                reachable[a.node()] = true;
+                stack.push(a.node());
+            }
+            if !reachable[b.node()] {
+                reachable[b.node()] = true;
+                stack.push(b.node());
+            }
+        }
+    }
+
+    // Rebuild reachable ANDs in construction (topological) order.
+    for (id, entry) in aig.iter() {
+        if let AigKind::And(a, b) = entry.kind {
+            if reachable[id] {
+                let fa = translate(&map, a);
+                let fb = translate(&map, b);
+                let lit = out.and(fa, fb);
+                if !lit.complemented() && !lit.is_const() && !entry.name.is_empty() {
+                    out.name_node(lit.node(), &entry.name);
+                }
+                map[id] = Some(lit);
+            }
+        }
+    }
+
+    for (name, lit) in &aig.outputs {
+        let l = translate(&map, *lit);
+        out.add_output(name.clone(), l);
+    }
+    for latch in aig.latch_ids() {
+        let next = translate(&map, aig.latch_next(latch));
+        let new_latch = map[latch].expect("latch mapped");
+        out.set_latch_next(new_latch, next);
+    }
+    out
+}
+
+fn translate(map: &IdVec<AigNode, Option<Lit>>, lit: Lit) -> Lit {
+    let base = map[lit.node()].expect("fanin mapped before use");
+    if lit.complemented() {
+        base.not()
+    } else {
+        base
+    }
+}
+
+/// Delay-oriented balancing: rebuild every multi-input conjunction as a
+/// balanced tree, pairing lowest-level operands first (the classic ABC
+/// `balance` pass). Never increases the AND count of a tree; usually
+/// reduces depth.
+pub fn balance(aig: &Aig) -> Aig {
+    let mut out = Aig::new(aig.name.clone());
+    let mut map: IdVec<AigNode, Option<Lit>> = IdVec::filled(None, aig.n_nodes());
+    map[AigNode(0)] = Some(Lit::FALSE);
+    for (id, entry) in aig.iter() {
+        match entry.kind {
+            AigKind::Input { is_param } => {
+                map[id] = Some(out.add_input(entry.name.clone(), is_param));
+            }
+            AigKind::Latch { init } => {
+                map[id] = Some(out.add_latch(entry.name.clone(), init));
+            }
+            _ => {}
+        }
+    }
+
+    let fanouts = aig.fanout_counts();
+
+    // Only "root" conjunctions are rebuilt: nodes that drive an output or
+    // latch, are shared (fanout >= 2), or are consumed complemented.
+    // Conjunction-internal nodes (fanout 1, used uncomplemented by another
+    // AND) are inlined by the leaf collection, so rebuilding them here
+    // would only create dangling duplicates.
+    let mut is_root: IdVec<AigNode, bool> = IdVec::filled(false, aig.n_nodes());
+    for (_, lit) in &aig.outputs {
+        is_root[lit.node()] = true;
+    }
+    for latch in aig.latch_ids() {
+        is_root[aig.latch_next(latch).node()] = true;
+    }
+    for (_, entry) in aig.iter() {
+        if let AigKind::And(a, b) = entry.kind {
+            for lit in [a, b] {
+                if lit.complemented() || fanouts[lit.node()] >= 2 {
+                    is_root[lit.node()] = true;
+                }
+            }
+        }
+    }
+
+    // Process root AND nodes in topological order; levels are tracked in
+    // the *new* AIG to drive pairing decisions.
+    let mut new_levels: Vec<u32> = vec![0; 1];
+    let level_of = |lit: Lit, levels: &Vec<u32>| -> u32 {
+        *levels.get(lit.node().index()).unwrap_or(&0)
+    };
+
+    for (id, entry) in aig.iter() {
+        if let AigKind::And(..) = entry.kind {
+            if !is_root[id] {
+                continue;
+            }
+            // Collect the conjunction's leaves: descend through
+            // uncomplemented AND fanins with fanout 1 (shared or
+            // complemented sub-conjunctions stay intact — sharing wins
+            // over restructuring).
+            let mut leaves: Vec<Lit> = Vec::new();
+            collect_conj_leaves(aig, Lit::new(id, false), &fanouts, true, &mut leaves);
+
+            // Translate leaves into the new AIG.
+            let mut ops: Vec<Lit> = leaves.iter().map(|&l| translate(&map, l)).collect();
+
+            // Pair lowest levels first.
+            ops.sort_by_key(|&l| std::cmp::Reverse(level_of(l, &new_levels)));
+            while ops.len() > 1 {
+                // Take the two lowest-level operands (at the back).
+                let a = ops.pop().expect("len>1");
+                let b = ops.pop().expect("len>1");
+                let r = out.and(a, b);
+                // Maintain new_levels for any fresh node.
+                let idx = r.node().index();
+                if idx >= new_levels.len() {
+                    new_levels.resize(idx + 1, 0);
+                    new_levels[idx] =
+                        1 + level_of(a, &new_levels).max(level_of(b, &new_levels));
+                }
+                // Insert r keeping the vector sorted descending by level.
+                let lv = level_of(r, &new_levels);
+                let pos = ops
+                    .binary_search_by_key(&std::cmp::Reverse(lv), |&l| {
+                        std::cmp::Reverse(level_of(l, &new_levels))
+                    })
+                    .unwrap_or_else(|p| p);
+                // binary_search on descending order via Reverse: find last
+                // position with level >= lv so pop() still takes minima.
+                ops.insert(pos, r);
+            }
+            let lit = ops.pop().unwrap_or(Lit::TRUE);
+            if !lit.complemented() && !lit.is_const() && !entry.name.is_empty() {
+                out.name_node(lit.node(), &entry.name);
+            }
+            map[id] = Some(lit);
+        }
+    }
+
+    for (name, lit) in &aig.outputs {
+        let l = translate(&map, *lit);
+        out.add_output(name.clone(), l);
+    }
+    for latch in aig.latch_ids() {
+        let next = translate(&map, aig.latch_next(latch));
+        let new_latch = map[latch].expect("latch mapped");
+        out.set_latch_next(new_latch, next);
+    }
+    out
+}
+
+/// Gather the multi-input conjunction rooted at `lit`. `root` marks the
+/// top call (the root itself is always expanded if it is an AND).
+fn collect_conj_leaves(
+    aig: &Aig,
+    lit: Lit,
+    fanouts: &IdVec<AigNode, u32>,
+    root: bool,
+    leaves: &mut Vec<Lit>,
+) {
+    if !lit.complemented() {
+        if let AigKind::And(a, b) = aig.node(lit.node()).kind {
+            if root || fanouts[lit.node()] <= 1 {
+                collect_conj_leaves(aig, a, fanouts, false, leaves);
+                collect_conj_leaves(aig, b, fanouts, false, leaves);
+                return;
+            }
+        }
+    }
+    leaves.push(lit);
+}
+
+/// The standard synthesis pipeline: strash (implicit), balance, cleanup.
+/// Returns the optimized AIG.
+pub fn synthesize(nw: &pfdbg_netlist::Network) -> Result<Aig, String> {
+    let aig = crate::aig::from_network(nw)?;
+    let balanced = balance(&aig);
+    Ok(cleanup(&balanced))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aig::to_network;
+    use pfdbg_netlist::sim::comb_equivalent;
+    use pfdbg_netlist::Network;
+
+    /// Long AND chain: a0 & a1 & ... & a7 built left-deep (depth 7).
+    fn chain(n: usize) -> Aig {
+        let mut aig = Aig::new("chain");
+        let inputs: Vec<Lit> = (0..n).map(|i| aig.add_input(format!("a{i}"), false)).collect();
+        let mut acc = inputs[0];
+        for &l in &inputs[1..] {
+            acc = aig.and(acc, l);
+        }
+        aig.add_output("y", acc);
+        aig
+    }
+
+    #[test]
+    fn balance_reduces_chain_depth() {
+        let aig = chain(8);
+        assert_eq!(aig.depth(), 7);
+        let b = balance(&aig);
+        assert_eq!(b.depth(), 3); // ceil(log2 8)
+        assert_eq!(b.n_ands(), 7); // same node count
+        // Function preserved.
+        let nw_a = to_network(&aig);
+        let nw_b = to_network(&b);
+        assert!(comb_equivalent(&nw_a, &nw_b, 64, 2).unwrap());
+    }
+
+    #[test]
+    fn balance_preserves_shared_subtrees() {
+        let mut aig = Aig::new("share");
+        let a = aig.add_input("a", false);
+        let b = aig.add_input("b", false);
+        let c = aig.add_input("c", false);
+        let ab = aig.and(a, b);
+        let y1 = aig.and(ab, c);
+        aig.add_output("ab", ab); // ab is shared (fanout 2)
+        aig.add_output("y1", y1);
+        let bal = balance(&aig);
+        let nw_a = to_network(&aig);
+        let nw_b = to_network(&bal);
+        assert!(comb_equivalent(&nw_a, &nw_b, 64, 3).unwrap());
+        // The shared node must not be duplicated: same AND count.
+        assert_eq!(bal.n_ands(), aig.n_ands());
+    }
+
+    #[test]
+    fn cleanup_drops_dangling() {
+        let mut aig = Aig::new("dangle");
+        let a = aig.add_input("a", false);
+        let b = aig.add_input("b", false);
+        let used = aig.and(a, b);
+        let _dead = aig.and(a, b.not());
+        aig.add_output("y", used);
+        assert_eq!(aig.n_ands(), 2);
+        let c = cleanup(&aig);
+        assert_eq!(c.n_ands(), 1);
+        assert_eq!(c.n_inputs(), 2); // interface preserved
+    }
+
+    #[test]
+    fn cleanup_keeps_latch_cones() {
+        let mut aig = Aig::new("l");
+        let a = aig.add_input("a", false);
+        let q = aig.add_latch("q", false);
+        let nx = aig.xor(q, a);
+        aig.set_latch_next(q, nx);
+        // no outputs
+        let c = cleanup(&aig);
+        assert_eq!(c.n_latches(), 1);
+        assert!(c.n_ands() >= 3); // xor = 3 ands
+    }
+
+    #[test]
+    fn synthesize_pipeline_equivalence() {
+        // A messy network: wide tables, redundancy.
+        let mut nw = Network::new("messy");
+        use pfdbg_netlist::truth::{gates, TruthTable};
+        let a = nw.add_input("a");
+        let b = nw.add_input("b");
+        let c = nw.add_input("c");
+        let d = nw.add_input("d");
+        let t1 = nw.add_table("t1", vec![a, b], gates::and2());
+        let t2 = nw.add_table("t2", vec![t1, c], gates::and2());
+        let t3 = nw.add_table("t3", vec![t2, d], gates::and2());
+        let wide = TruthTable::var(4, 0)
+            .xor(&TruthTable::var(4, 1))
+            .or(&TruthTable::var(4, 2).and(&TruthTable::var(4, 3)));
+        let t4 = nw.add_table("t4", vec![a, b, c, d], wide);
+        nw.add_output("y1", t3);
+        nw.add_output("y2", t4);
+        let aig = synthesize(&nw).unwrap();
+        let back = to_network(&aig);
+        assert!(comb_equivalent(&nw, &back, 64, 17).unwrap());
+    }
+
+    #[test]
+    fn balance_handles_complemented_and_const() {
+        let mut aig = Aig::new("cc");
+        let a = aig.add_input("a", false);
+        let b = aig.add_input("b", false);
+        let or = aig.or(a, b); // complemented AND internally
+        let z = aig.and(or, Lit::TRUE);
+        aig.add_output("y", z);
+        let bal = balance(&aig);
+        let nw_a = to_network(&aig);
+        let nw_b = to_network(&bal);
+        assert!(comb_equivalent(&nw_a, &nw_b, 32, 4).unwrap());
+    }
+}

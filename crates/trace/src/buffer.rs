@@ -1,0 +1,161 @@
+//! Embedded trace-buffer model.
+//!
+//! On-chip debug instruments record the values of a small set of signals
+//! into embedded block RAM during normal device operation. We model one
+//! trace buffer as a circular memory of `depth` samples × `width` signal
+//! ports. The debugging flow connects (via the parameterized multiplexer
+//! network) a chosen subset of user signals to the ports; the emulator
+//! pushes one sample per clock cycle; the engineer reads the capture
+//! back as a [`crate::waveform::Waveform`].
+
+use crate::waveform::Waveform;
+use pfdbg_util::BitVec;
+
+/// A circular on-chip trace memory.
+#[derive(Debug, Clone)]
+pub struct TraceBuffer {
+    width: usize,
+    depth: usize,
+    /// Sample ring: `depth` rows of `width` bits.
+    rows: Vec<BitVec>,
+    /// Next write slot.
+    head: usize,
+    /// Total samples ever written (saturating at usize::MAX).
+    written: usize,
+    /// Frozen (capture stopped by the trigger unit)?
+    frozen: bool,
+}
+
+impl TraceBuffer {
+    /// A buffer capturing `width` signals with `depth` samples of
+    /// history.
+    pub fn new(width: usize, depth: usize) -> Self {
+        assert!(width > 0 && depth > 0, "degenerate trace buffer");
+        TraceBuffer {
+            width,
+            depth,
+            rows: vec![BitVec::zeros(width); depth],
+            head: 0,
+            written: 0,
+            frozen: false,
+        }
+    }
+
+    /// Signals captured per sample.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Sample capacity.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Number of valid samples currently stored (≤ depth).
+    pub fn n_valid(&self) -> usize {
+        self.written.min(self.depth)
+    }
+
+    /// Whether capture is frozen.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    /// Record one sample (ignored while frozen). `sample[i]` is port `i`.
+    pub fn capture(&mut self, sample: &BitVec) {
+        assert_eq!(sample.len(), self.width, "sample width mismatch");
+        if self.frozen {
+            return;
+        }
+        self.rows[self.head] = sample.clone();
+        self.head = (self.head + 1) % self.depth;
+        self.written = self.written.saturating_add(1);
+    }
+
+    /// Stop capturing (the trigger fired and the post-trigger window
+    /// elapsed).
+    pub fn freeze(&mut self) {
+        self.frozen = true;
+    }
+
+    /// Clear and re-arm.
+    pub fn reset(&mut self) {
+        for r in &mut self.rows {
+            r.clear_bits();
+        }
+        self.head = 0;
+        self.written = 0;
+        self.frozen = false;
+    }
+
+    /// Read the capture back, oldest sample first, as a waveform over the
+    /// given port names (`names.len()` must equal `width`).
+    pub fn readback(&self, names: &[String]) -> Waveform {
+        assert_eq!(names.len(), self.width, "port name count mismatch");
+        let n = self.n_valid();
+        let start = if self.written >= self.depth { self.head } else { 0 };
+        let mut wf = Waveform::new(names.to_vec());
+        for i in 0..n {
+            let row = &self.rows[(start + i) % self.depth];
+            wf.push_sample(row);
+        }
+        wf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(bits: &[bool]) -> BitVec {
+        bits.iter().copied().collect()
+    }
+
+    #[test]
+    fn capture_and_readback_in_order() {
+        let mut tb = TraceBuffer::new(2, 4);
+        tb.capture(&sample(&[true, false]));
+        tb.capture(&sample(&[false, true]));
+        let wf = tb.readback(&["a".into(), "b".into()]);
+        assert_eq!(wf.n_samples(), 2);
+        assert_eq!(wf.value("a", 0), Some(true));
+        assert_eq!(wf.value("b", 0), Some(false));
+        assert_eq!(wf.value("a", 1), Some(false));
+        assert_eq!(wf.value("b", 1), Some(true));
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let mut tb = TraceBuffer::new(1, 3);
+        for i in 0..5 {
+            tb.capture(&sample(&[i % 2 == 0])); // T F T F T
+        }
+        assert_eq!(tb.n_valid(), 3);
+        let wf = tb.readback(&["s".into()]);
+        // Last three samples: T F T (i = 2, 3, 4).
+        assert_eq!(
+            (0..3).map(|i| wf.value("s", i).unwrap()).collect::<Vec<_>>(),
+            vec![true, false, true]
+        );
+    }
+
+    #[test]
+    fn freeze_stops_capture() {
+        let mut tb = TraceBuffer::new(1, 4);
+        tb.capture(&sample(&[true]));
+        tb.freeze();
+        tb.capture(&sample(&[false]));
+        assert_eq!(tb.n_valid(), 1);
+        assert!(tb.is_frozen());
+        tb.reset();
+        assert_eq!(tb.n_valid(), 0);
+        assert!(!tb.is_frozen());
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn wrong_sample_width_panics() {
+        let mut tb = TraceBuffer::new(2, 4);
+        tb.capture(&sample(&[true]));
+    }
+}

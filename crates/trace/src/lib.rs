@@ -1,0 +1,13 @@
+//! On-chip debug instruments: trace buffers (embedded capture memories),
+//! trigger units, and the waveforms read back from them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod trigger;
+pub mod waveform;
+
+pub use buffer::TraceBuffer;
+pub use trigger::{PortCond, TriggerUnit};
+pub use waveform::{Mismatch, Waveform};

@@ -1,0 +1,206 @@
+//! Trigger units.
+//!
+//! Commercial capture tools (ChipScope, SignalTap) pair trace buffers
+//! with trigger logic: capture runs continuously into the ring until a
+//! condition on the observed signals fires, then continues for a
+//! configurable post-trigger window and freezes. The paper notes that
+//! such tools allow changing trigger *conditions* at run time but not the
+//! trigger *signals* — which is exactly the limitation the parameterized
+//! mux network removes.
+
+use pfdbg_util::BitVec;
+
+/// A per-port condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortCond {
+    /// Don't care.
+    Any,
+    /// Match a level.
+    Level(bool),
+    /// Match a rising edge (previous 0, current 1).
+    Rising,
+    /// Match a falling edge.
+    Falling,
+}
+
+/// Trigger state machine: all port conditions must hold simultaneously
+/// `count` times (not necessarily consecutively) to fire; after firing,
+/// `post_trigger` further samples are allowed before the buffer should
+/// freeze.
+#[derive(Debug, Clone)]
+pub struct TriggerUnit {
+    conds: Vec<PortCond>,
+    /// Occurrences required to fire.
+    pub count: u32,
+    /// Samples to keep capturing after the trigger fires.
+    pub post_trigger: u32,
+    matches_seen: u32,
+    fired_at: Option<usize>,
+    remaining_post: u32,
+    prev: Option<BitVec>,
+    sample_idx: usize,
+}
+
+impl TriggerUnit {
+    /// A trigger over `width` ports, initially all-don't-care, firing on
+    /// the first match, freezing immediately after.
+    pub fn new(width: usize) -> Self {
+        TriggerUnit {
+            conds: vec![PortCond::Any; width],
+            count: 1,
+            post_trigger: 0,
+            matches_seen: 0,
+            fired_at: None,
+            remaining_post: 0,
+            prev: None,
+            sample_idx: 0,
+        }
+    }
+
+    /// Set the condition of one port. This is a *runtime* operation (no
+    /// recompilation): trigger condition registers are writable.
+    pub fn set_cond(&mut self, port: usize, cond: PortCond) {
+        self.conds[port] = cond;
+    }
+
+    /// Required match count before firing.
+    pub fn set_count(&mut self, count: u32) {
+        assert!(count >= 1);
+        self.count = count;
+    }
+
+    /// Post-trigger window length.
+    pub fn set_post_trigger(&mut self, samples: u32) {
+        self.post_trigger = samples;
+    }
+
+    /// Whether the trigger has fired.
+    pub fn fired(&self) -> bool {
+        self.fired_at.is_some()
+    }
+
+    /// Sample index at which the trigger fired.
+    pub fn fired_at(&self) -> Option<usize> {
+        self.fired_at
+    }
+
+    /// Re-arm (keep conditions).
+    pub fn rearm(&mut self) {
+        self.matches_seen = 0;
+        self.fired_at = None;
+        self.remaining_post = 0;
+        self.prev = None;
+        self.sample_idx = 0;
+    }
+
+    /// Feed one sample. Returns `true` if the capture should freeze
+    /// *after* this sample (trigger fired and post-trigger window
+    /// exhausted).
+    pub fn step(&mut self, sample: &BitVec) -> bool {
+        assert_eq!(sample.len(), self.conds.len(), "trigger width mismatch");
+        let idx = self.sample_idx;
+        self.sample_idx += 1;
+
+        if let Some(_at) = self.fired_at {
+            if self.remaining_post == 0 {
+                return true;
+            }
+            self.remaining_post -= 1;
+            self.prev = Some(sample.clone());
+            return self.remaining_post == 0;
+        }
+
+        let matched = self.conds.iter().enumerate().all(|(i, c)| match c {
+            PortCond::Any => true,
+            PortCond::Level(v) => sample.get(i) == *v,
+            PortCond::Rising => {
+                matches!(&self.prev, Some(p) if !p.get(i)) && sample.get(i)
+            }
+            PortCond::Falling => {
+                matches!(&self.prev, Some(p) if p.get(i)) && !sample.get(i)
+            }
+        });
+        if matched {
+            self.matches_seen += 1;
+            if self.matches_seen >= self.count {
+                self.fired_at = Some(idx);
+                self.remaining_post = self.post_trigger;
+                self.prev = Some(sample.clone());
+                return self.post_trigger == 0;
+            }
+        }
+        self.prev = Some(sample.clone());
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(bits: &[bool]) -> BitVec {
+        bits.iter().copied().collect()
+    }
+
+    #[test]
+    fn level_trigger_fires_immediately() {
+        let mut t = TriggerUnit::new(2);
+        t.set_cond(0, PortCond::Level(true));
+        t.set_cond(1, PortCond::Level(false));
+        assert!(!t.step(&s(&[false, false])));
+        assert!(t.step(&s(&[true, false])), "should freeze on the match");
+        assert_eq!(t.fired_at(), Some(1));
+    }
+
+    #[test]
+    fn rising_edge_requires_transition() {
+        let mut t = TriggerUnit::new(1);
+        t.set_cond(0, PortCond::Rising);
+        assert!(!t.step(&s(&[true])), "no previous sample: not an edge");
+        assert!(!t.step(&s(&[true])));
+        assert!(!t.step(&s(&[false])));
+        assert!(t.step(&s(&[true])));
+    }
+
+    #[test]
+    fn falling_edge() {
+        let mut t = TriggerUnit::new(1);
+        t.set_cond(0, PortCond::Falling);
+        assert!(!t.step(&s(&[true])));
+        assert!(t.step(&s(&[false])));
+    }
+
+    #[test]
+    fn count_requires_multiple_matches() {
+        let mut t = TriggerUnit::new(1);
+        t.set_cond(0, PortCond::Level(true));
+        t.set_count(3);
+        assert!(!t.step(&s(&[true])));
+        assert!(!t.step(&s(&[false])));
+        assert!(!t.step(&s(&[true])));
+        assert!(t.step(&s(&[true])));
+        assert_eq!(t.fired_at(), Some(3));
+    }
+
+    #[test]
+    fn post_trigger_window_delays_freeze() {
+        let mut t = TriggerUnit::new(1);
+        t.set_cond(0, PortCond::Level(true));
+        t.set_post_trigger(2);
+        assert!(!t.step(&s(&[true]))); // fires, window = 2
+        assert!(t.fired());
+        assert!(!t.step(&s(&[false]))); // window 1 left
+        assert!(t.step(&s(&[false]))); // window exhausted -> freeze
+    }
+
+    #[test]
+    fn rearm_resets_state() {
+        let mut t = TriggerUnit::new(1);
+        t.set_cond(0, PortCond::Level(true));
+        assert!(t.step(&s(&[true])));
+        t.rearm();
+        assert!(!t.fired());
+        assert!(!t.step(&s(&[false])));
+        assert!(t.step(&s(&[true])));
+    }
+}

@@ -1,0 +1,181 @@
+//! Captured waveforms: named bit series read back from trace buffers.
+
+use pfdbg_util::BitVec;
+use std::fmt::Write as _;
+
+/// A multi-signal waveform, sample-indexed from the oldest capture.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waveform {
+    names: Vec<String>,
+    /// One BitVec per *sample*, `names.len()` bits wide.
+    samples: Vec<BitVec>,
+}
+
+impl Waveform {
+    /// An empty waveform over the given signal names.
+    pub fn new(names: Vec<String>) -> Self {
+        Waveform { names, samples: Vec::new() }
+    }
+
+    /// Signal names.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Number of samples.
+    pub fn n_samples(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Append one sample row.
+    pub fn push_sample(&mut self, row: &BitVec) {
+        assert_eq!(row.len(), self.names.len(), "sample width mismatch");
+        self.samples.push(row.clone());
+    }
+
+    /// The value of signal `name` at sample `t`, or `None` if unknown.
+    pub fn value(&self, name: &str, t: usize) -> Option<bool> {
+        let idx = self.names.iter().position(|n| n == name)?;
+        self.samples.get(t).map(|row| row.get(idx))
+    }
+
+    /// The whole series of one signal.
+    pub fn series(&self, name: &str) -> Option<Vec<bool>> {
+        let idx = self.names.iter().position(|n| n == name)?;
+        Some(self.samples.iter().map(|row| row.get(idx)).collect())
+    }
+
+    /// Sample indices at which `self` and `other` differ on commonly
+    /// named signals (the debugging primitive: golden vs. captured).
+    pub fn mismatches(&self, other: &Waveform) -> Vec<Mismatch> {
+        let mut out = Vec::new();
+        for (i, name) in self.names.iter().enumerate() {
+            let Some(j) = other.names.iter().position(|n| n == name) else {
+                continue;
+            };
+            let n = self.samples.len().min(other.samples.len());
+            for t in 0..n {
+                let a = self.samples[t].get(i);
+                let b = other.samples[t].get(j);
+                if a != b {
+                    out.push(Mismatch { signal: name.clone(), sample: t, got: a, expected: b });
+                }
+            }
+        }
+        out.sort_by(|x, y| x.sample.cmp(&y.sample).then(x.signal.cmp(&y.signal)));
+        out
+    }
+
+    /// Render as ASCII timing diagram (one row per signal).
+    pub fn render_ascii(&self) -> String {
+        let name_w = self.names.iter().map(|n| n.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (i, name) in self.names.iter().enumerate() {
+            let _ = write!(out, "{name:<name_w$} ");
+            for row in &self.samples {
+                out.push(if row.get(i) { '█' } else { '_' });
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Dump in (a minimal subset of) VCD format.
+    pub fn to_vcd(&self, timescale_ns: u32) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "$timescale {timescale_ns}ns $end");
+        let _ = writeln!(out, "$scope module trace $end");
+        let ids: Vec<char> = (0..self.names.len())
+            .map(|i| char::from_u32(33 + i as u32).expect("printable id"))
+            .collect();
+        for (name, id) in self.names.iter().zip(&ids) {
+            let _ = writeln!(out, "$var wire 1 {id} {name} $end");
+        }
+        let _ = writeln!(out, "$upscope $end");
+        let _ = writeln!(out, "$enddefinitions $end");
+        let mut last: Vec<Option<bool>> = vec![None; self.names.len()];
+        for (t, row) in self.samples.iter().enumerate() {
+            let mut emitted_time = false;
+            for (i, id) in ids.iter().enumerate() {
+                let v = row.get(i);
+                if last[i] != Some(v) {
+                    if !emitted_time {
+                        let _ = writeln!(out, "#{t}");
+                        emitted_time = true;
+                    }
+                    let _ = writeln!(out, "{}{id}", u8::from(v));
+                    last[i] = Some(v);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One waveform discrepancy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mismatch {
+    /// Signal name.
+    pub signal: String,
+    /// Sample index.
+    pub sample: usize,
+    /// The captured value.
+    pub got: bool,
+    /// The reference value.
+    pub expected: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wf(names: &[&str], rows: &[&[bool]]) -> Waveform {
+        let mut w = Waveform::new(names.iter().map(|s| s.to_string()).collect());
+        for r in rows {
+            w.push_sample(&r.iter().copied().collect());
+        }
+        w
+    }
+
+    #[test]
+    fn value_and_series() {
+        let w = wf(&["a", "b"], &[&[true, false], &[false, false]]);
+        assert_eq!(w.value("a", 0), Some(true));
+        assert_eq!(w.value("b", 1), Some(false));
+        assert_eq!(w.value("c", 0), None);
+        assert_eq!(w.value("a", 5), None);
+        assert_eq!(w.series("a"), Some(vec![true, false]));
+    }
+
+    #[test]
+    fn mismatches_found_and_sorted() {
+        let a = wf(&["x", "y"], &[&[true, true], &[false, true]]);
+        let b = wf(&["y", "x"], &[&[true, true], &[false, false]]);
+        // a: x = T,F ; y = T,T. b: x = T,F? b names swapped: y=T,F x=T,F.
+        // x: a = [T, F], b = [T, F] -> equal.
+        // y: a = [T, T], b = [T, F] -> mismatch at t=1.
+        let ms = a.mismatches(&b);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].signal, "y");
+        assert_eq!(ms[0].sample, 1);
+        assert!(ms[0].got);
+        assert!(!ms[0].expected);
+    }
+
+    #[test]
+    fn ascii_render_shape() {
+        let w = wf(&["clk"], &[&[true], &[false], &[true]]);
+        let s = w.render_ascii();
+        assert_eq!(s, "clk █_█\n");
+    }
+
+    #[test]
+    fn vcd_emits_changes_only() {
+        let w = wf(&["s"], &[&[false], &[false], &[true]]);
+        let vcd = w.to_vcd(10);
+        assert!(vcd.contains("$var wire 1 ! s $end"));
+        assert!(vcd.contains("#0\n0!"));
+        assert!(!vcd.contains("#1"), "no change at t=1 should be emitted:\n{vcd}");
+        assert!(vcd.contains("#2\n1!"));
+    }
+}

@@ -1,0 +1,263 @@
+//! A compact bit vector.
+//!
+//! Used for LUT truth tables, configuration frames, signal-selection masks
+//! and visited sets. Bits are stored LSB-first in `u64` words.
+
+/// A growable, compact vector of bits.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// An empty bit vector.
+    pub fn new() -> Self {
+        BitVec { words: Vec::new(), len: 0 }
+    }
+
+    /// `n` bits, all zero.
+    pub fn zeros(n: usize) -> Self {
+        BitVec { words: vec![0; n.div_ceil(64)], len: n }
+    }
+
+    /// `n` bits, all one.
+    pub fn ones(n: usize) -> Self {
+        let mut v = BitVec { words: vec![!0u64; n.div_ceil(64)], len: n };
+        v.mask_tail();
+        v
+    }
+
+    /// Build from an iterator of bools.
+    pub fn from_bits<I: IntoIterator<Item = bool>>(bits: I) -> Self {
+        let mut v = BitVec::new();
+        for b in bits {
+            v.push(b);
+        }
+        v
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector holds no bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append a bit.
+    pub fn push(&mut self, bit: bool) {
+        let (w, b) = (self.len / 64, self.len % 64);
+        if w == self.words.len() {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[w] |= 1 << b;
+        }
+        self.len += 1;
+    }
+
+    /// Read bit `i`. Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of bounds (len {})", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Write bit `i`. Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, i: usize, bit: bool) {
+        assert!(i < self.len, "bit index {i} out of bounds (len {})", self.len);
+        let mask = 1u64 << (i % 64);
+        if bit {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// Flip bit `i`, returning its new value.
+    pub fn toggle(&mut self, i: usize) -> bool {
+        let v = !self.get(i);
+        self.set(i, v);
+        v
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Set all bits to zero, keeping the length.
+    pub fn clear_bits(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    /// Iterate over all bits.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Indices of all set bits, ascending.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// In-place bitwise XOR with `other`. Panics on length mismatch.
+    pub fn xor_with(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "BitVec length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a ^= b;
+        }
+    }
+
+    /// In-place bitwise OR with `other`. Panics on length mismatch.
+    pub fn or_with(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "BitVec length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place bitwise AND with `other`. Panics on length mismatch.
+    pub fn and_with(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "BitVec length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// Number of positions at which `self` and `other` differ.
+    pub fn hamming_distance(&self, other: &BitVec) -> usize {
+        assert_eq!(self.len, other.len, "BitVec length mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Borrow the backing words (LSB-first). The tail beyond `len` is zero.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Zero any bits beyond `len` in the last word.
+    fn mask_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BitVec[")?;
+        for b in self.iter() {
+            write!(f, "{}", if b { '1' } else { '0' })?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        BitVec::from_bits(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = BitVec::zeros(130);
+        assert_eq!(z.len(), 130);
+        assert_eq!(z.count_ones(), 0);
+        let o = BitVec::ones(130);
+        assert_eq!(o.count_ones(), 130);
+    }
+
+    #[test]
+    fn ones_masks_tail_word() {
+        let o = BitVec::ones(65);
+        // Backing storage must not contain stray set bits beyond len —
+        // hamming distances and equality rely on it.
+        assert_eq!(o.words()[1], 1);
+    }
+
+    #[test]
+    fn push_get_set_toggle() {
+        let mut v = BitVec::new();
+        for i in 0..100 {
+            v.push(i % 3 == 0);
+        }
+        assert!(v.get(0));
+        assert!(!v.get(1));
+        assert!(v.get(99));
+        v.set(1, true);
+        assert!(v.get(1));
+        assert!(!v.toggle(1));
+        assert!(!v.get(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        BitVec::zeros(3).get(3);
+    }
+
+    #[test]
+    fn iter_ones_matches_get() {
+        let v: BitVec = (0..200).map(|i| i % 7 == 0).collect();
+        let ones: Vec<usize> = v.iter_ones().collect();
+        let expected: Vec<usize> = (0..200).filter(|i| i % 7 == 0).collect();
+        assert_eq!(ones, expected);
+    }
+
+    #[test]
+    fn hamming_distance_counts_diffs() {
+        let a: BitVec = (0..150).map(|i| i % 2 == 0).collect();
+        let mut b = a.clone();
+        assert_eq!(a.hamming_distance(&b), 0);
+        b.set(0, false);
+        b.set(149, true);
+        assert_eq!(a.hamming_distance(&b), 2);
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        let a: BitVec = [true, true, false, false].into_iter().collect();
+        let b: BitVec = [true, false, true, false].into_iter().collect();
+        let mut x = a.clone();
+        x.xor_with(&b);
+        assert_eq!(x, [false, true, true, false].into_iter().collect());
+        let mut o = a.clone();
+        o.or_with(&b);
+        assert_eq!(o, [true, true, true, false].into_iter().collect());
+        let mut n = a.clone();
+        n.and_with(&b);
+        assert_eq!(n, [true, false, false, false].into_iter().collect());
+    }
+}

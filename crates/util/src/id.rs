@@ -1,0 +1,290 @@
+//! Strongly typed `u32` index newtypes and dense maps keyed by them.
+//!
+//! CAD data structures are graphs whose nodes are referred to by index.
+//! Raw `usize` indices make it far too easy to index the wrong arena
+//! (a net id into the node table, a routing-node id into the block table,
+//! …). Every arena in this workspace therefore uses its own id type,
+//! declared with [`crate::define_id!`], and its own [`IdVec`] storage.
+
+use std::fmt;
+use std::hash::Hash;
+use std::marker::PhantomData;
+
+/// Trait implemented by all id newtypes produced by [`crate::define_id!`].
+pub trait EntityId: Copy + Eq + Hash + Ord {
+    /// Construct from a raw index. Panics if `idx` overflows `u32`.
+    fn new(idx: usize) -> Self;
+    /// The raw index.
+    fn index(self) -> usize;
+}
+
+/// Declare a strongly typed `u32` id.
+///
+/// ```
+/// pfdbg_util::define_id!(
+///     /// A net in a netlist.
+///     pub struct NetId
+/// );
+/// let n = <NetId as pfdbg_util::id::EntityId>::new(7);
+/// assert_eq!(pfdbg_util::id::EntityId::index(n), 7);
+/// ```
+#[macro_export]
+macro_rules! define_id {
+    ($(#[$meta:meta])* pub struct $name:ident) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $crate::id::EntityId for $name {
+            #[inline]
+            fn new(idx: usize) -> Self {
+                debug_assert!(idx <= u32::MAX as usize, "id overflow");
+                $name(idx as u32)
+            }
+            #[inline]
+            fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl ::std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+
+        impl ::std::fmt::Display for $name {
+            fn fmt(&self, f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+    };
+}
+
+/// A dense vector keyed by an [`EntityId`] instead of `usize`.
+///
+/// This is a thin wrapper over `Vec<T>` that only accepts the matching id
+/// type at its indexing sites, making cross-arena indexing a type error.
+#[derive(Clone, PartialEq, Eq)]
+pub struct IdVec<I: EntityId, T> {
+    raw: Vec<T>,
+    _marker: PhantomData<fn(I)>,
+}
+
+impl<I: EntityId, T> IdVec<I, T> {
+    /// An empty map.
+    pub fn new() -> Self {
+        IdVec { raw: Vec::new(), _marker: PhantomData }
+    }
+
+    /// An empty map with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        IdVec { raw: Vec::with_capacity(cap), _marker: PhantomData }
+    }
+
+    /// A map of `n` copies of `value`.
+    pub fn filled(value: T, n: usize) -> Self
+    where
+        T: Clone,
+    {
+        IdVec { raw: vec![value; n], _marker: PhantomData }
+    }
+
+    /// Build from a raw vector; index `i` becomes id `I::new(i)`.
+    pub fn from_vec(raw: Vec<T>) -> Self {
+        IdVec { raw, _marker: PhantomData }
+    }
+
+    /// Append a value and return its id.
+    #[inline]
+    pub fn push(&mut self, value: T) -> I {
+        let id = I::new(self.raw.len());
+        self.raw.push(value);
+        id
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// Whether the map is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+
+    /// The id the *next* `push` will return.
+    #[inline]
+    pub fn next_id(&self) -> I {
+        I::new(self.raw.len())
+    }
+
+    /// Whether `id` is in bounds.
+    #[inline]
+    pub fn contains_id(&self, id: I) -> bool {
+        id.index() < self.raw.len()
+    }
+
+    /// Iterate over `(id, &value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (I, &T)> {
+        self.raw.iter().enumerate().map(|(i, v)| (I::new(i), v))
+    }
+
+    /// Iterate over `(id, &mut value)` pairs.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (I, &mut T)> {
+        self.raw.iter_mut().enumerate().map(|(i, v)| (I::new(i), v))
+    }
+
+    /// Iterate over all ids.
+    pub fn ids(&self) -> impl Iterator<Item = I> {
+        (0..self.raw.len()).map(I::new)
+    }
+
+    /// Iterate over values.
+    pub fn values(&self) -> std::slice::Iter<'_, T> {
+        self.raw.iter()
+    }
+
+    /// Iterate over values mutably.
+    pub fn values_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.raw.iter_mut()
+    }
+
+    /// Borrow the underlying slice.
+    pub fn as_slice(&self) -> &[T] {
+        &self.raw
+    }
+
+    /// Consume into the underlying vector.
+    pub fn into_vec(self) -> Vec<T> {
+        self.raw
+    }
+
+    /// Get without panicking.
+    #[inline]
+    pub fn get(&self, id: I) -> Option<&T> {
+        self.raw.get(id.index())
+    }
+
+    /// Get mutably without panicking.
+    #[inline]
+    pub fn get_mut(&mut self, id: I) -> Option<&mut T> {
+        self.raw.get_mut(id.index())
+    }
+
+    /// Clear all entries, keeping capacity.
+    pub fn clear(&mut self) {
+        self.raw.clear();
+    }
+
+    /// Grow to `n` entries, filling new slots with `value`.
+    pub fn resize(&mut self, n: usize, value: T)
+    where
+        T: Clone,
+    {
+        self.raw.resize(n, value);
+    }
+}
+
+impl<I: EntityId, T> Default for IdVec<I, T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<I: EntityId, T> std::ops::Index<I> for IdVec<I, T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, id: I) -> &T {
+        &self.raw[id.index()]
+    }
+}
+
+impl<I: EntityId, T> std::ops::IndexMut<I> for IdVec<I, T> {
+    #[inline]
+    fn index_mut(&mut self, id: I) -> &mut T {
+        &mut self.raw[id.index()]
+    }
+}
+
+impl<I: EntityId, T: fmt::Debug> fmt::Debug for IdVec<I, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.raw.iter().enumerate()).finish()
+    }
+}
+
+impl<I: EntityId, T> FromIterator<T> for IdVec<I, T> {
+    fn from_iter<It: IntoIterator<Item = T>>(iter: It) -> Self {
+        IdVec { raw: iter.into_iter().collect(), _marker: PhantomData }
+    }
+}
+
+impl<I: EntityId, T> IntoIterator for IdVec<I, T> {
+    type Item = T;
+    type IntoIter = std::vec::IntoIter<T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.raw.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    define_id!(
+        /// Test id.
+        pub struct TestId
+    );
+
+    #[test]
+    fn push_and_index_round_trip() {
+        let mut v: IdVec<TestId, &str> = IdVec::new();
+        let a = v.push("a");
+        let b = v.push("b");
+        assert_eq!(a, TestId(0));
+        assert_eq!(b, TestId(1));
+        assert_eq!(v[a], "a");
+        assert_eq!(v[b], "b");
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn next_id_matches_push() {
+        let mut v: IdVec<TestId, u32> = IdVec::new();
+        let predicted = v.next_id();
+        let actual = v.push(42);
+        assert_eq!(predicted, actual);
+    }
+
+    #[test]
+    fn iter_yields_ids_in_order() {
+        let v: IdVec<TestId, u32> = [10, 20, 30].into_iter().collect();
+        let pairs: Vec<_> = v.iter().map(|(i, &x)| (i.index(), x)).collect();
+        assert_eq!(pairs, vec![(0, 10), (1, 20), (2, 30)]);
+    }
+
+    #[test]
+    fn get_out_of_bounds_is_none() {
+        let v: IdVec<TestId, u32> = IdVec::new();
+        assert!(v.get(TestId(0)).is_none());
+        assert!(!v.contains_id(TestId(0)));
+    }
+
+    #[test]
+    fn filled_and_resize() {
+        let mut v: IdVec<TestId, u8> = IdVec::filled(7, 3);
+        assert_eq!(v.len(), 3);
+        assert!(v.values().all(|&x| x == 7));
+        v.resize(5, 9);
+        assert_eq!(v[TestId(4)], 9);
+    }
+
+    #[test]
+    fn display_and_debug_formats() {
+        let id = TestId(5);
+        assert_eq!(format!("{id}"), "5");
+        assert_eq!(format!("{id:?}"), "TestId(5)");
+    }
+}

@@ -1,0 +1,150 @@
+//! Summary statistics for the benchmark harness.
+//!
+//! The paper reports per-benchmark numbers plus aggregate claims
+//! ("3,5X smaller on average"). Averages over ratios are geometric means,
+//! so [`geomean`] is provided alongside the usual moments.
+
+/// Arithmetic mean. Returns `None` on an empty slice.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Geometric mean. Returns `None` on an empty slice or any non-positive
+/// entry (a ratio of zero would make the product degenerate).
+pub fn geomean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() || xs.iter().any(|&x| x <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = xs.iter().map(|x| x.ln()).sum();
+    Some((log_sum / xs.len() as f64).exp())
+}
+
+/// Population standard deviation. Returns `None` on an empty slice.
+pub fn stddev(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+    Some(var.sqrt())
+}
+
+/// `p`-th percentile (0..=100) by linear interpolation on the sorted data.
+/// Returns `None` on an empty slice or out-of-range `p`.
+pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
+    if xs.is_empty() || !(0.0..=100.0).contains(&p) {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Median (50th percentile).
+pub fn median(xs: &[f64]) -> Option<f64> {
+    percentile(xs, 50.0)
+}
+
+/// A running min/max/mean accumulator that avoids storing samples.
+#[derive(Debug, Clone, Default)]
+pub struct Accumulator {
+    n: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    /// A fresh accumulator.
+    pub fn new() -> Self {
+        Accumulator { n: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Feed one sample.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        self.sum += x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean of the samples, `None` if no samples.
+    pub fn mean(&self) -> Option<f64> {
+        if self.n == 0 {
+            None
+        } else {
+            Some(self.sum / self.n as f64)
+        }
+    }
+
+    /// Minimum sample, `None` if no samples.
+    pub fn min(&self) -> Option<f64> {
+        if self.n == 0 {
+            None
+        } else {
+            Some(self.min)
+        }
+    }
+
+    /// Maximum sample, `None` if no samples.
+    pub fn max(&self) -> Option<f64> {
+        if self.n == 0 {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), Some(5.0));
+        assert!((stddev(&xs).unwrap() - 2.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    fn geomean_of_ratios() {
+        // geomean(2, 8) = 4
+        assert!((geomean(&[2.0, 8.0]).unwrap() - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[1.0, 0.0]), None);
+        assert_eq!(geomean(&[]), None);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 100.0), Some(4.0));
+        assert_eq!(median(&xs), Some(2.5));
+        assert_eq!(percentile(&xs, 101.0), None);
+    }
+
+    #[test]
+    fn accumulator_tracks_extremes() {
+        let mut acc = Accumulator::new();
+        assert_eq!(acc.mean(), None);
+        for x in [3.0, 1.0, 2.0] {
+            acc.add(x);
+        }
+        assert_eq!(acc.count(), 3);
+        assert_eq!(acc.min(), Some(1.0));
+        assert_eq!(acc.max(), Some(3.0));
+        assert_eq!(acc.mean(), Some(2.0));
+    }
+}

@@ -1,0 +1,224 @@
+//! Aligned plain-text tables and horizontal bar charts.
+//!
+//! The benchmark harness regenerates the paper's tables (Table I, II) and
+//! figures (Fig. 7) as terminal output plus CSV. Doing this locally keeps
+//! the dependency set to the approved list.
+
+use std::fmt::Write as _;
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (names).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// An aligned text table with a header row.
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with the given column headers; the first column is
+    /// left-aligned, the rest right-aligned (the common benchmark layout).
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        let header: Vec<String> = header.into_iter().map(Into::into).collect();
+        let aligns = header
+            .iter()
+            .enumerate()
+            .map(|(i, _)| if i == 0 { Align::Left } else { Align::Right })
+            .collect();
+        Table { header, aligns, rows: Vec::new() }
+    }
+
+    /// Override a column's alignment.
+    pub fn align(mut self, col: usize, align: Align) -> Self {
+        self.aligns[col] = align;
+        self
+    }
+
+    /// Append a row. Panics if the cell count does not match the header.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row has {} cells, header has {}",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render with column separators and a header rule.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String], widths: &[usize], aligns: &[Align]| {
+            for i in 0..ncols {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                match aligns[i] {
+                    Align::Left => {
+                        let _ = write!(out, "{:<width$}", cells[i], width = widths[i]);
+                    }
+                    Align::Right => {
+                        let _ = write!(out, "{:>width$}", cells[i], width = widths[i]);
+                    }
+                }
+            }
+            out.push('\n');
+        };
+        emit(&mut out, &self.header, &widths, &self.aligns);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            emit(&mut out, row, &widths, &self.aligns);
+        }
+        out
+    }
+
+    /// Render as CSV (RFC-4180-ish: cells containing commas or quotes are
+    /// quoted, quotes doubled).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let emit_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                    out.push('"');
+                    out.push_str(&cell.replace('"', "\"\""));
+                    out.push('"');
+                } else {
+                    out.push_str(cell);
+                }
+            }
+            out.push('\n');
+        };
+        emit_row(&mut out, &self.header);
+        for row in &self.rows {
+            emit_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// A labelled horizontal bar chart rendered with unicode blocks — used for
+/// Fig.-7-style area plots in the terminal.
+#[derive(Debug, Clone, Default)]
+pub struct BarChart {
+    entries: Vec<(String, f64)>,
+}
+
+impl BarChart {
+    /// An empty chart.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one labelled bar. Negative values are clamped to zero.
+    pub fn bar<S: Into<String>>(&mut self, label: S, value: f64) {
+        self.entries.push((label.into(), value.max(0.0)));
+    }
+
+    /// Render with bars scaled so the maximum occupies `width` cells.
+    pub fn render(&self, width: usize) -> String {
+        let max = self
+            .entries
+            .iter()
+            .map(|(_, v)| *v)
+            .fold(0.0_f64, f64::max);
+        let label_w = self.entries.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (label, value) in &self.entries {
+            let cells = if max > 0.0 {
+                ((value / max) * width as f64).round() as usize
+            } else {
+                0
+            };
+            let _ = writeln!(
+                out,
+                "{label:<label_w$} |{} {value:.0}",
+                "#".repeat(cells),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_and_rules() {
+        let mut t = Table::new(["name", "luts"]);
+        t.row(["stereov", "208"]);
+        t.row(["clma", "8381"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Numbers right-aligned: the shorter number is padded on the left.
+        assert!(lines[2].ends_with("208"));
+        assert!(lines[3].ends_with("8381"));
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn csv_quotes_special_cells() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["x,y", "say \"hi\""]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,b\n\"x,y\",\"say \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    fn barchart_scales_to_width() {
+        let mut c = BarChart::new();
+        c.bar("a", 10.0);
+        c.bar("bb", 5.0);
+        let s = c.render(10);
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].contains(&"#".repeat(10)));
+        assert!(lines[1].contains(&"#".repeat(5)));
+        assert!(!lines[1].contains(&"#".repeat(6)));
+    }
+
+    #[test]
+    fn barchart_handles_all_zero() {
+        let mut c = BarChart::new();
+        c.bar("z", 0.0);
+        let s = c.render(10);
+        assert!(s.contains("z |"));
+        assert!(!s.contains('#'));
+    }
+}

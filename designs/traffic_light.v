@@ -1,0 +1,23 @@
+// A 2-bit Moore FSM: traffic light with a pedestrian request input.
+// States (s1 s0): 00 green, 01 yellow, 10 red, 11 red+walk.
+module traffic_light(input clk, input req, output green, output yellow, output red, output walk);
+  reg s0, s1;
+  wire go_yellow, in_green, in_yellow, in_red, in_walk;
+
+  assign in_green  = ~s1 & ~s0;
+  assign in_yellow = ~s1 &  s0;
+  assign in_red    =  s1 & ~s0;
+  assign in_walk   =  s1 &  s0;
+
+  assign go_yellow = in_green & req;
+
+  // next s0 = green&req | red (red -> walk)
+  always @(posedge clk) s0 <= go_yellow | in_red;
+  // next s1 = yellow | red (yellow -> red -> walk -> green)
+  always @(posedge clk) s1 <= in_yellow | in_red;
+
+  assign green  = in_green;
+  assign yellow = in_yellow;
+  assign red    = in_red | in_walk;
+  assign walk   = in_walk;
+endmodule

@@ -1,0 +1,74 @@
+//! Table-I-style area comparison on one benchmark: what full signal
+//! observability costs under the conventional mappers versus the
+//! parameterized TCONMap flow.
+//!
+//! ```text
+//! cargo run --release --example area_comparison [benchmark]
+//! ```
+
+use parameterized_fpga_debug::circuits;
+use parameterized_fpga_debug::core::{compare_mappers, InstrumentConfig, PAPER_K};
+use parameterized_fpga_debug::util::table::{BarChart, Table};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "diffeq1".to_string());
+    let design = circuits::build(&name).unwrap_or_else(|| {
+        eprintln!("unknown benchmark {name}; available: {:?}", circuits::names());
+        std::process::exit(1);
+    });
+
+    println!("measuring {name} with all four implementations (K={PAPER_K})...");
+    let cmp = compare_mappers(&name, &design, &InstrumentConfig::paper(), PAPER_K)
+        .expect("comparison");
+
+    let mut t = Table::new(["implementation", "LUTs", "depth", "notes"]);
+    t.row([
+        "Initial (no debug)".to_string(),
+        cmp.initial_luts.to_string(),
+        cmp.depth_golden.to_string(),
+        "".to_string(),
+    ]);
+    t.row([
+        "SimpleMap + muxes".to_string(),
+        cmp.sm_luts.to_string(),
+        cmp.depth_sm.to_string(),
+        "mux network pays LUTs".to_string(),
+    ]);
+    t.row([
+        "ABC + muxes".to_string(),
+        cmp.abc_luts.to_string(),
+        cmp.depth_abc.to_string(),
+        "mux network pays LUTs".to_string(),
+    ]);
+    t.row([
+        "Proposed (TCONMap)".to_string(),
+        cmp.proposed_luts.to_string(),
+        cmp.depth_proposed.to_string(),
+        format!("{} TLUTs, {} TCONs in routing", cmp.tluts, cmp.tcons),
+    ]);
+    print!("{}", t.render());
+
+    let mut chart = BarChart::new();
+    chart.bar("Initial  ", cmp.initial_luts as f64);
+    chart.bar("SimpleMap", cmp.sm_luts as f64);
+    chart.bar("ABC      ", cmp.abc_luts as f64);
+    chart.bar("Proposed ", cmp.proposed_luts as f64);
+    println!();
+    print!("{}", chart.render(60));
+
+    println!(
+        "\nreduction vs best conventional mapper: {:.2}x (paper average: ~3.5x)",
+        cmp.reduction_factor()
+    );
+    if let Some(paper) = circuits::paper_row(&name) {
+        println!(
+            "paper's row:  Initial {} | SM {} | ABC {} | Proposed {}({}/{})",
+            paper.initial_luts,
+            paper.sm_luts,
+            paper.abc_luts,
+            paper.proposed_luts,
+            paper.tluts,
+            paper.tcons
+        );
+    }
+}

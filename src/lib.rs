@@ -1,0 +1,22 @@
+//! Umbrella crate for the parameterized-FPGA-debugging suite: re-exports
+//! every sub-crate under one roof and hosts the runnable examples
+//! (`examples/`) and cross-crate integration tests (`tests/`).
+//!
+//! Reproduction of "Efficient Hardware Debugging using Parameterized
+//! FPGA Reconfiguration" (Kourfali & Stroobandt, IPDPSW 2016). See
+//! `README.md` for the tour and `EXPERIMENTS.md` for paper-vs-measured
+//! results.
+
+#![forbid(unsafe_code)]
+
+pub use pfdbg_arch as arch;
+pub use pfdbg_circuits as circuits;
+pub use pfdbg_core as core;
+pub use pfdbg_emu as emu;
+pub use pfdbg_map as map;
+pub use pfdbg_netlist as netlist;
+pub use pfdbg_pconf as pconf;
+pub use pfdbg_pr as pr;
+pub use pfdbg_synth as synth;
+pub use pfdbg_trace as trace;
+pub use pfdbg_util as util;
