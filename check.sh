@@ -1,0 +1,17 @@
+#!/bin/sh
+# Repository gate: formatting, lints, and the full test suite.
+# Usage: ./check.sh
+set -eu
+
+export CARGO_NET_OFFLINE=true
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test =="
+cargo test -q --workspace
+
+echo "all checks passed"

@@ -1,0 +1,244 @@
+//! Offline drop-in subset of the `criterion` 0.5 API.
+//!
+//! The build environment has no crates.io access, so the bench targets
+//! link against this minimal harness instead. It preserves criterion's
+//! call shape (`benchmark_group`, `bench_function`, `bench_with_input`,
+//! `Bencher::iter`, `criterion_group!`/`criterion_main!`) but replaces
+//! the statistical machinery with a simple timed loop: warm up briefly,
+//! run for ~`measurement_millis`, report mean time per iteration and
+//! throughput. Good enough for trend tracking; not for sub-percent
+//! comparisons.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness state.
+pub struct Criterion {
+    measurement_millis: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { measurement_millis: 250 }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\n== {name} ==");
+        BenchmarkGroup {
+            measurement_millis: self.measurement_millis,
+            _parent: self,
+            name,
+            current_throughput: None,
+        }
+    }
+
+    /// Benchmark directly on the harness (no group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) {
+        run_one(&format!("{id}"), self.measurement_millis, None, f);
+    }
+}
+
+/// Identifier combining a function name and a parameter.
+pub struct BenchmarkId {
+    rendered: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { rendered: format!("{function}/{parameter}") }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { rendered: format!("{parameter}") }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.rendered)
+    }
+}
+
+/// Declared throughput of one iteration, folded into the report.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    measurement_millis: u64,
+    current_throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Criterion compatibility: sample count maps onto measurement time
+    /// here (more samples → longer run).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.measurement_millis = (n as u64 * 10).clamp(50, 2000);
+        self
+    }
+
+    /// Set the per-iteration throughput used in the report.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.current_throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        run_one(
+            &format!("{}/{id}", self.name),
+            self.measurement_millis,
+            self.current_throughput.take(),
+            f,
+        );
+        self
+    }
+
+    /// Run one benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (report flushing is per-benchmark here).
+    pub fn finish(&mut self) {}
+}
+
+/// Timing callback handed to each benchmark closure.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly until the measurement budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warm-up iteration.
+        black_box(routine());
+        let start = Instant::now();
+        let mut n = 0u64;
+        loop {
+            black_box(routine());
+            n += 1;
+            if start.elapsed() >= self.budget {
+                break;
+            }
+        }
+        self.iters_done = n;
+        self.elapsed = start.elapsed();
+    }
+
+    /// Like [`Bencher::iter`] but drops outputs after timing stops (the
+    /// distinction matters for criterion's statistics, not here).
+    pub fn iter_with_large_drop<O, R: FnMut() -> O>(&mut self, routine: R) {
+        self.iter(routine);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    measurement_millis: u64,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        iters_done: 0,
+        elapsed: Duration::ZERO,
+        budget: Duration::from_millis(measurement_millis),
+    };
+    f(&mut b);
+    if b.iters_done == 0 {
+        eprintln!("{label:<48} (no iterations recorded)");
+        return;
+    }
+    let per_iter = b.elapsed.as_secs_f64() / b.iters_done as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!("  {:>12.0} elem/s", n as f64 / per_iter),
+        Some(Throughput::Bytes(n)) => format!("  {:>12.0} B/s", n as f64 / per_iter),
+        None => String::new(),
+    };
+    eprintln!("{label:<48} {:>12}  ({} iters){rate}", format_time(per_iter), b.iters_done);
+}
+
+fn format_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the declared groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Under `cargo test` the harness passes test-runner flags;
+            // benches only run when explicitly asked (`cargo bench`).
+            let args: Vec<String> = std::env::args().collect();
+            if args.iter().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("tiny");
+        g.sample_size(1);
+        g.throughput(Throughput::Elements(4));
+        g.bench_function("sum", |b| b.iter(|| (0..4u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("scaled", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs_benches() {
+        let mut c = Criterion { measurement_millis: 1 };
+        tiny_bench(&mut c);
+    }
+}

@@ -1,0 +1,76 @@
+//! Offline drop-in subset of the `crossbeam` 0.8 API.
+//!
+//! Only `crossbeam::thread::scope` / `Scope::spawn` / join are used in
+//! this workspace; since Rust 1.63 the standard library's
+//! [`std::thread::scope`] provides the same guarantees, so this stub is
+//! a thin adapter that preserves crossbeam's call shape (`scope`
+//! returning a `Result`, spawn closures receiving the scope).
+
+#![forbid(unsafe_code)]
+
+/// Scoped threads (adapter over [`std::thread::scope`]).
+pub mod thread {
+    use std::thread as stdthread;
+
+    /// A scope handle mirroring `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope stdthread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle mirroring `crossbeam::thread::ScopedJoinHandle`.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: stdthread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread and return its result (`Err` on panic).
+        pub fn join(self) -> stdthread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. As in crossbeam, the closure receives
+        /// the scope so it could spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner_scope = self.inner;
+            let handle = self.inner.spawn(move || {
+                let s = Scope { inner: inner_scope };
+                f(&s)
+            });
+            ScopedJoinHandle { inner: handle }
+        }
+    }
+
+    /// Create a scope for spawning threads that may borrow from the
+    /// enclosing stack frame. Unlike crossbeam this can never observe a
+    /// child panic as an `Err` (std propagates it), so the `Result` is
+    /// always `Ok` — kept for call-site compatibility.
+    pub fn scope<'env, F, R>(f: F) -> stdthread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(stdthread::scope(|s| {
+            let wrapper = Scope { inner: s };
+            f(&wrapper)
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = crate::thread::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
+            handles.into_iter().map(|h| h.join().expect("join")).sum()
+        })
+        .expect("scope");
+        assert_eq!(total, 100);
+    }
+}

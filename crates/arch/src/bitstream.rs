@@ -303,9 +303,7 @@ mod tests {
     #[test]
     fn clb_base_rejects_non_clb_tiles() {
         let (_, _, layout) = setup();
-        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            layout.clb_base(0, 1)
-        }));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| layout.clb_base(0, 1)));
         assert!(r.is_err(), "x=0 is the I/O ring, not a CLB column");
     }
 }

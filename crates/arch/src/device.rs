@@ -147,9 +147,7 @@ impl Device {
         (0..w)
             .flat_map(move |x| [(x, 0), (x, h - 1)])
             .chain((1..h - 1).flat_map(move |y| [(0, y), (w - 1, y)]))
-            .filter(move |&(x, y)| {
-                !((x == 0 || x == w - 1) && (y == 0 || y == h - 1))
-            })
+            .filter(move |&(x, y)| !((x == 0 || x == w - 1) && (y == 0 || y == h - 1)))
     }
 }
 

@@ -348,9 +348,9 @@ pub fn build_rrg(dev: &Device) -> RRGraph {
 // coordinate math from the graph).
 fn chan_on_side(g: &RRGraph, side: usize, x: usize, y: usize, t: usize) -> Option<RRNode> {
     match side {
-        0 => g.chanx(x, y, t),                      // north
+        0 => g.chanx(x, y, t),                                  // north
         1 => y.checked_sub(1).and_then(|ys| g.chanx(x, ys, t)), // south
-        2 => g.chany(x, y, t),                      // east
+        2 => g.chany(x, y, t),                                  // east
         _ => x.checked_sub(1).and_then(|xs| g.chany(xs, y, t)), // west
     }
 }
@@ -462,4 +462,3 @@ mod tests {
         assert_eq!(g.distance(a, b), 3 + 2);
     }
 }
-

@@ -49,9 +49,7 @@ fn bench_route_sharing(c: &mut Criterion) {
     let mut new_nets: Vec<PRNet> = Vec::new();
     for net in &exploded.nets {
         if net.tunable && net.sources.len() > 1 {
-            for (i, (&src, &node)) in
-                net.sources.iter().zip(&net.source_nodes).enumerate()
-            {
+            for (i, (&src, &node)) in net.sources.iter().zip(&net.source_nodes).enumerate() {
                 new_nets.push(PRNet {
                     name: format!("{}#{i}", net.name),
                     sources: vec![src],
@@ -190,11 +188,5 @@ fn bench_cut_budget(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_route_sharing,
-    bench_pconf_repr,
-    bench_dpr_diff,
-    bench_cut_budget
-);
+criterion_group!(benches, bench_route_sharing, bench_pconf_repr, bench_dpr_diff, bench_cut_budget);
 criterion_main!(benches);

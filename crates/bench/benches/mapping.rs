@@ -23,10 +23,8 @@ fn bench_conventional_mappers(c: &mut Criterion) {
     let mut g = c.benchmark_group("conventional_mappers");
     for &size in &[100usize, 400] {
         let design = gen(size);
-        let inst = instrument(
-            &design,
-            &InstrumentConfig { n_ports: 4, max_signals: None, coverage: 1 },
-        );
+        let inst =
+            instrument(&design, &InstrumentConfig { n_ports: 4, max_signals: None, coverage: 1 });
         let mut conv = inst.network.clone();
         let params: Vec<_> = conv.params().collect();
         for p in params {

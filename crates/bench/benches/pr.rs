@@ -34,10 +34,8 @@ fn bench_tpar(c: &mut Criterion) {
     let mp = map_parameterized_network(&inst.network, PAPER_K).expect("tconmap");
 
     // Conventional: same instrumented design, muxes as LUTs.
-    let inst2 = instrument(
-        &design,
-        &InstrumentConfig { n_ports: 2, max_signals: None, coverage: 1 },
-    );
+    let inst2 =
+        instrument(&design, &InstrumentConfig { n_ports: 2, max_signals: None, coverage: 1 });
     let mut conv = inst2.network.clone();
     let params: Vec<_> = conv.params().collect();
     for p in params {
@@ -51,18 +49,12 @@ fn bench_tpar(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("parameterized", |b| {
         b.iter(|| {
-            tpar(&mp.network, &mp.kinds, &TparConfig::default())
-                .expect("routes")
-                .stats
-                .wires_used
+            tpar(&mp.network, &mp.kinds, &TparConfig::default()).expect("routes").stats.wires_used
         })
     });
     g.bench_function("conventional", |b| {
         b.iter(|| {
-            tpar(&conv_nw, &conv_kinds, &TparConfig::default())
-                .expect("routes")
-                .stats
-                .wires_used
+            tpar(&conv_nw, &conv_kinds, &TparConfig::default()).expect("routes").stats.wires_used
         })
     });
     g.finish();

@@ -19,10 +19,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn main() {
-    let n_bugs = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(20usize);
+    let n_bugs = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20usize);
     let design = generate(&GenParams {
         n_inputs: 12,
         n_outputs: 8,
@@ -35,10 +32,7 @@ fn main() {
     let inst_template = instrument(&design, &icfg);
     let clean = inst_template.network.clone();
     let victims = injectable_nets(&clean);
-    eprintln!(
-        "sweeping {n_bugs} random WrongGate bugs over {} candidate nets...",
-        victims.len()
-    );
+    eprintln!("sweeping {n_bugs} random WrongGate bugs over {} candidate nets...", victims.len());
 
     let wrong_tables = [gates::nand2(), gates::nor2(), gates::xnor2(), gates::or2()];
     let mut rng = StdRng::seed_from_u64(2718);
@@ -55,28 +49,21 @@ fn main() {
         if table.nvars() != arity {
             continue;
         }
-        let faulty = match apply_static(
-            &clean,
-            &Fault::WrongGate { net: victim.clone(), table },
-        ) {
+        let faulty = match apply_static(&clean, &Fault::WrongGate { net: victim.clone(), table }) {
             Ok(f) => f,
             Err(_) => continue,
         };
         let report = lockstep(&clean, &faulty, 512, bug as u64).expect("lockstep");
         // The engineer notices wrong *user* outputs; trace ports are the
         // debug instrument, not the observable failure.
-        let Some((_, failing)) = report
-            .mismatches
-            .iter()
-            .find(|(_, name)| !name.starts_with('$'))
-            .cloned()
+        let Some((_, failing)) =
+            report.mismatches.iter().find(|(_, name)| !name.starts_with('$')).cloned()
         else {
             continue; // this stimulus never excites the fault on a user output
         };
         excited += 1;
         let mut session = DebugSession::new(inst_template.clone(), None);
-        let Ok(loc) = localize(&mut session, &clean, &faulty, &failing, 512, bug as u64)
-        else {
+        let Ok(loc) = localize(&mut session, &clean, &faulty, &failing, 512, bug as u64) else {
             continue;
         };
         turns.add(loc.turns_used as f64);
@@ -94,18 +81,12 @@ fn main() {
 
     let mut t = Table::new(["quantity", "value"]);
     t.row(["bugs excited by stimulus".to_string(), format!("{excited}/{n_bugs}")]);
-    t.row([
-        "exact localization".to_string(),
-        format!("{exact_hits}/{} excited", turns.count()),
-    ]);
+    t.row(["exact localization".to_string(), format!("{exact_hits}/{} excited", turns.count())]);
     t.row([
         "debugging turns per hunt (mean)".to_string(),
         format!("{:.1} (max {:.0})", turns.mean().unwrap_or(0.0), turns.max().unwrap_or(0.0)),
     ]);
-    t.row([
-        "recompiles, proposed flow".to_string(),
-        "0 (specializations only)".to_string(),
-    ]);
+    t.row(["recompiles, proposed flow".to_string(), "0 (specializations only)".to_string()]);
     t.row([
         "recompiles, conventional flow (mean)".to_string(),
         format!("{:.1} per hunt", conv_recompiles.mean().unwrap_or(0.0)),

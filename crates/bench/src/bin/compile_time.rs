@@ -15,9 +15,10 @@ use pfdbg_util::table::Table;
 use std::time::Instant;
 
 fn main() {
+    let obs = pfdbg_bench::obs_init();
     // A small design, as in the paper's early experiments; pass a
     // benchmark name (e.g. `stereov.`) to run one of the suite instead.
-    let arg = std::env::args().nth(1);
+    let arg = obs.rest().first().cloned();
     let (name, design) = match arg {
         Some(n) => {
             let nw = pfdbg_circuits::build(&n).unwrap_or_else(|| {
@@ -99,11 +100,10 @@ fn main() {
     ]);
     println!("=== §V.C.1 compile-time overhead, {name} ===");
     print!("{}", t.render());
-    println!(
-        "\n(whole parameterized offline stage incl. bitstream generation: {param_time:.2?})"
-    );
+    println!("\n(whole parameterized offline stage incl. bitstream generation: {param_time:.2?})");
     println!(
         "paper reference points (small designs): 5316 vs 15699 cables (~3x), \
          up to 4x fewer CLBs, up to 3x faster place & route"
     );
+    obs.finish();
 }

@@ -8,7 +8,9 @@
 //! proposed per-change cost is the measured SCG evaluation plus the
 //! modeled partial-reconfiguration transfer.
 
-use pfdbg_core::{offline, prepare_instrumented, DebugSession, InstrumentConfig, OfflineConfig, PAPER_K};
+use pfdbg_core::{
+    offline, prepare_instrumented, DebugSession, InstrumentConfig, OfflineConfig, PAPER_K,
+};
 use pfdbg_map::{map, MapperKind};
 use pfdbg_pconf::OnlineReconfigurator;
 use pfdbg_pr::{tpar, TparConfig};
@@ -17,6 +19,7 @@ use pfdbg_util::table::Table;
 use std::time::{Duration, Instant};
 
 fn main() {
+    let obs = pfdbg_bench::obs_init();
     let design = pfdbg_circuits::generate(&pfdbg_circuits::GenParams {
         n_inputs: 14,
         n_outputs: 10,
@@ -32,25 +35,19 @@ fn main() {
 
     // Proposed: one offline stage, then cheap turns.
     let t0 = Instant::now();
-    let off = offline(&inst, &OfflineConfig { k: PAPER_K, ..Default::default() })
-        .expect("offline");
+    let off = offline(&inst, &OfflineConfig { k: PAPER_K, ..Default::default() }).expect("offline");
     let offline_time = t0.elapsed();
     let scg = off.scg.expect("scg");
     let layout = off.layout.expect("layout");
     let online = OnlineReconfigurator::new(scg, layout, off.icap);
     let dut = inst.network.clone();
-    let observable: Vec<String> =
-        inst.observable().into_iter().map(str::to_string).collect();
+    let observable: Vec<String> = inst.observable().into_iter().map(str::to_string).collect();
     let mut session = DebugSession::new(inst, Some(online));
     // Measure a representative turn.
     session.observe(&dut, &[&observable[0]], 8, 1, &[]).expect("turn");
     session.observe(&dut, &[&observable[1]], 8, 2, &[]).expect("turn");
-    let turn_cost = session
-        .turns()
-        .last()
-        .and_then(|t| t.stats)
-        .map(|s| s.total())
-        .unwrap_or(Duration::ZERO);
+    let turn_cost =
+        session.turns().last().and_then(|t| t.stats).map(|s| s.total()).unwrap_or(Duration::ZERO);
 
     // Conventional: every signal change is a recompile (re-instrument +
     // re-place&route). Measure one compile of the conventional design.
@@ -69,7 +66,9 @@ fn main() {
     println!("=== Fig. 4: debug-cycle latency model ===");
     println!("offline generic stage (one-off):        {offline_time:.2?}");
     println!("proposed, per signal change:            {turn_cost:.2?}");
-    println!("conventional, per signal change:        {recompile:.2?} (measured P&R on this substrate)");
+    println!(
+        "conventional, per signal change:        {recompile:.2?} (measured P&R on this substrate)"
+    );
     println!(
         "                                        (real vendor compiles: minutes to hours per the paper)"
     );
@@ -95,4 +94,5 @@ fn main() {
         "\nthe offline stage amortizes after the first few turns; every further signal\n\
          change costs microseconds instead of a compile — the paper's Fig. 4(b) loop"
     );
+    obs.finish();
 }

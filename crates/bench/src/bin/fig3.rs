@@ -13,8 +13,7 @@ fn main() {
         std::process::exit(1);
     });
     eprintln!("running Fig. 3 breakdown on {name}...");
-    let cmp = compare_mappers(&name, &nw, &InstrumentConfig::paper(), PAPER_K)
-        .expect("comparison");
+    let cmp = compare_mappers(&name, &nw, &InstrumentConfig::paper(), PAPER_K).expect("comparison");
 
     let user = cmp.initial_luts as f64;
     let conv_debug = (cmp.abc_luts.saturating_sub(cmp.initial_luts)) as f64;

@@ -8,7 +8,9 @@
 //! once significantly more turns run between signal changes.
 
 use pfdbg_arch::icap::turns_equivalent;
-use pfdbg_core::{offline, prepare_instrumented, DebugSession, InstrumentConfig, OfflineConfig, PAPER_K};
+use pfdbg_core::{
+    offline, prepare_instrumented, DebugSession, InstrumentConfig, OfflineConfig, PAPER_K,
+};
 use pfdbg_pconf::OnlineReconfigurator;
 use pfdbg_util::stats::Accumulator;
 use pfdbg_util::table::Table;
@@ -17,6 +19,7 @@ use rand::{Rng, SeedableRng};
 use std::time::Duration;
 
 fn main() {
+    let obs = pfdbg_bench::obs_init();
     let design = pfdbg_circuits::generate(&pfdbg_circuits::GenParams {
         n_inputs: 14,
         n_outputs: 10,
@@ -28,14 +31,12 @@ fn main() {
     eprintln!("runtime-overhead experiment (offline stage first)...");
     let icfg = InstrumentConfig { n_ports: 4, max_signals: None, coverage: 1 };
     let (_, _, inst) = prepare_instrumented(&design, &icfg, PAPER_K).expect("prepare");
-    let observable: Vec<String> =
-        inst.observable().into_iter().map(str::to_string).collect();
-    let off = offline(&inst, &OfflineConfig { k: PAPER_K, ..Default::default() })
-        .expect("offline stage");
+    let observable: Vec<String> = inst.observable().into_iter().map(str::to_string).collect();
+    let off =
+        offline(&inst, &OfflineConfig { k: PAPER_K, ..Default::default() }).expect("offline stage");
     let scg = off.scg.expect("scg");
     let layout = off.layout.expect("layout");
-    let full_reconfig =
-        off.icap.full_reconfig(pfdbg_arch::VIRTEX5_CONFIG_BITS, layout.frame_bits);
+    let full_reconfig = off.icap.full_reconfig(pfdbg_arch::VIRTEX5_CONFIG_BITS, layout.frame_bits);
     let online = OnlineReconfigurator::new(scg, layout, off.icap);
     let dut = inst.network.clone();
     let mut session = DebugSession::new(inst, Some(online));
@@ -98,10 +99,10 @@ fn main() {
     // cost, at the paper's 400 MHz / 4 ticks-per-turn operating point?
     let spec = Duration::from_secs_f64(spec_us / 1e6);
     let equiv = turns_equivalent(spec, 400.0, 4);
+    println!("\namortization at 400 MHz, 4-tick debug loop: one specialization ≙ {equiv:.0} turns");
     println!(
-        "\namortization at 400 MHz, 4-tick debug loop: one specialization ≙ {equiv:.0} turns"
+        "(paper: 50 us ≙ 5000 turns; overhead amortized beyond that many turns per signal set)"
     );
-    println!("(paper: 50 us ≙ 5000 turns; overhead amortized beyond that many turns per signal set)");
     let mut amort = Table::new(["turns between signal changes", "specialization overhead"]);
     for turns_between in [100u64, 1_000, 5_000, 50_000, 500_000] {
         let run_time = turns_between as f64 * 4.0 / 400.0e6; // seconds of emulation
@@ -109,4 +110,5 @@ fn main() {
         amort.row([turns_between.to_string(), format!("{overhead:.1}% of wall time")]);
     }
     print!("{}", amort.render());
+    obs.finish();
 }

@@ -10,14 +10,8 @@ fn main() {
     eprintln!("running Table I over the calibrated suite (8 benchmarks, parallel)...");
     let rows = run_suite_comparison();
 
-    let mut measured = Table::new([
-        "Benchmark",
-        "#Gate",
-        "Initial",
-        "SM",
-        "ABC",
-        "Proposed(TLUT/TCON)",
-    ]);
+    let mut measured =
+        Table::new(["Benchmark", "#Gate", "Initial", "SM", "ABC", "Proposed(TLUT/TCON)"]);
     for r in &rows {
         let m = &r.measured;
         measured.row([
@@ -32,14 +26,8 @@ fn main() {
     println!("=== Table I (measured, this reproduction; K=4, coverage 2) ===");
     print!("{}", measured.render());
 
-    let mut paper = Table::new([
-        "Benchmark",
-        "#Gate",
-        "Initial",
-        "SM",
-        "ABC",
-        "Proposed(TLUT/TCON)",
-    ]);
+    let mut paper =
+        Table::new(["Benchmark", "#Gate", "Initial", "SM", "ABC", "Proposed(TLUT/TCON)"]);
     for r in &rows {
         let p = r.paper;
         paper.row([
@@ -59,7 +47,9 @@ fn main() {
         mean_reduction(&rows),
         paper_reduction(&rows)
     );
-    println!("(the paper reports \"approximately 3,5X smaller than with the conventional mappers\")");
+    println!(
+        "(the paper reports \"approximately 3,5X smaller than with the conventional mappers\")"
+    );
 
     // CSV for downstream tooling.
     let csv_path = "target/table1.csv";

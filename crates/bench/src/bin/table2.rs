@@ -39,10 +39,8 @@ fn main() {
     println!("=== Table II: depth results (measured | paper) ===");
     print!("{}", t.render());
 
-    let preserved = rows
-        .iter()
-        .filter(|r| r.measured.depth_proposed <= r.measured.depth_golden)
-        .count();
+    let preserved =
+        rows.iter().filter(|r| r.measured.depth_proposed <= r.measured.depth_golden).count();
     println!(
         "\nproposed depth <= golden depth on {preserved}/{} benchmarks \
          (paper: depth \"either remained the same or reduced\")",
@@ -55,10 +53,7 @@ fn main() {
                 || r.measured.depth_abc > r.measured.depth_golden
         })
         .count();
-    println!(
-        "a conventional mapper increases depth on {conv_worse}/{} benchmarks",
-        rows.len()
-    );
+    println!("a conventional mapper increases depth on {conv_worse}/{} benchmarks", rows.len());
 
     let csv_path = "target/table2.csv";
     if std::fs::write(csv_path, t.to_csv()).is_ok() {

@@ -19,6 +19,64 @@ use pfdbg_circuits::{paper_row, PaperRow};
 use pfdbg_core::{compare_mappers, InstrumentConfig, MapperComparison, PAPER_K};
 use pfdbg_util::stats::geomean;
 
+/// Observability flags shared by the `src/bin` experiment drivers: the
+/// same `--profile` / `--trace-out <f.jsonl>` pair the `pfdbg` CLI
+/// takes, feeding the same global [`pfdbg_obs`] registry.
+pub struct ObsFlags {
+    profile: bool,
+    trace_out: Option<String>,
+    rest: Vec<String>,
+}
+
+/// Scan the process arguments for `--profile` and `--trace-out`,
+/// enabling the observability layer when either is present. Call
+/// [`ObsFlags::finish`] at the end of `main`.
+pub fn obs_init() -> ObsFlags {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let profile = match args.iter().position(|a| a == "--profile") {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    };
+    let trace_out = args.iter().position(|a| a == "--trace-out").map(|i| {
+        args.remove(i);
+        if i < args.len() {
+            args.remove(i)
+        } else {
+            String::new()
+        }
+    });
+    let trace_out = trace_out.filter(|p| !p.is_empty());
+    if profile || trace_out.is_some() {
+        pfdbg_obs::set_enabled(true);
+    }
+    ObsFlags { profile, trace_out, rest: args }
+}
+
+impl ObsFlags {
+    /// The process arguments with the observability flags removed —
+    /// what the experiment driver should parse its positionals from.
+    pub fn rest(&self) -> &[String] {
+        &self.rest
+    }
+
+    /// Emit the span report and/or trace file requested on the command
+    /// line (a no-op when neither flag was given).
+    pub fn finish(&self) {
+        if self.profile {
+            eprint!("{}", pfdbg_obs::registry().render_tree());
+        }
+        if let Some(path) = &self.trace_out {
+            match std::fs::write(path, pfdbg_obs::registry().to_jsonl()) {
+                Ok(()) => pfdbg_obs::diag(&format!("wrote trace to {path}")),
+                Err(e) => pfdbg_obs::diag(&format!("{path}: {e}")),
+            }
+        }
+    }
+}
+
 /// One benchmark's measured and published rows side by side.
 pub struct TableRow {
     /// Our measurement.
@@ -64,9 +122,7 @@ pub fn mean_reduction(rows: &[TableRow]) -> f64 {
 pub fn paper_reduction(rows: &[TableRow]) -> f64 {
     let ratios: Vec<f64> = rows
         .iter()
-        .map(|r| {
-            r.paper.sm_luts.min(r.paper.abc_luts) as f64 / r.paper.proposed_luts.max(1) as f64
-        })
+        .map(|r| r.paper.sm_luts.min(r.paper.abc_luts) as f64 / r.paper.proposed_luts.max(1) as f64)
         .collect();
     geomean(&ratios).unwrap_or(f64::NAN)
 }

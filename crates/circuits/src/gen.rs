@@ -75,9 +75,8 @@ pub fn generate_with_mix(p: &GenParams, mix: GateMix) -> Network {
         *s = 1;
         remaining = remaining.saturating_sub(1);
     }
-    let mut weights: Vec<f64> = (0..p.depth)
-        .map(|l| 1.0 - 0.4 * (l as f64 / p.depth.max(1) as f64))
-        .collect();
+    let mut weights: Vec<f64> =
+        (0..p.depth).map(|l| 1.0 - 0.4 * (l as f64 / p.depth.max(1) as f64)).collect();
     let wsum: f64 = weights.iter().sum();
     for w in &mut weights {
         *w /= wsum;

@@ -79,8 +79,7 @@ pub fn lfsr(width: usize, taps: &[usize]) -> Network {
     let mut nw = Network::new(format!("lfsr{width}"));
     let en = nw.add_input("en");
     // Stage 0 seeds to 1 so the register is never all-zero.
-    let q: Vec<NodeId> =
-        (0..width).map(|i| nw.add_latch(format!("q{i}"), en, i == 0)).collect();
+    let q: Vec<NodeId> = (0..width).map(|i| nw.add_latch(format!("q{i}"), en, i == 0)).collect();
 
     // Feedback = XOR of taps.
     let mut fb = q[taps[0]];
@@ -111,14 +110,13 @@ pub fn counter(width: usize) -> Network {
     assert!(width >= 1);
     let mut nw = Network::new(format!("counter{width}"));
     let en = nw.add_input("en");
-    let q: Vec<NodeId> =
-        (0..width).map(|i| nw.add_latch(format!("q{i}"), en, false)).collect();
+    let q: Vec<NodeId> = (0..width).map(|i| nw.add_latch(format!("q{i}"), en, false)).collect();
     let mut carry = en;
-    for i in 0..width {
-        let d = nw.add_table(format!("d{i}"), vec![q[i], carry], gates::xor2());
-        nw.set_latch_data(q[i], d);
+    for (i, &qi) in q.iter().enumerate() {
+        let d = nw.add_table(format!("d{i}"), vec![qi, carry], gates::xor2());
+        nw.set_latch_data(qi, d);
         if i + 1 < width {
-            carry = nw.add_table(format!("cy{i}"), vec![q[i], carry], gates::and2());
+            carry = nw.add_table(format!("cy{i}"), vec![qi, carry], gates::and2());
         }
         nw.add_output(format!("q{i}"), q[i]);
     }
@@ -133,15 +131,10 @@ mod tests {
 
     fn drive_comb(nw: &Network, values: &[(&str, u64)]) -> HashMap<String, u64> {
         let mut sim = Simulator::new(nw).unwrap();
-        let inputs: HashMap<NodeId, u64> = values
-            .iter()
-            .map(|(n, v)| (nw.find(n).unwrap(), *v))
-            .collect();
+        let inputs: HashMap<NodeId, u64> =
+            values.iter().map(|(n, v)| (nw.find(n).unwrap(), *v)).collect();
         sim.settle(&inputs);
-        nw.outputs()
-            .iter()
-            .map(|p| (p.name.clone(), sim.value(p.driver)))
-            .collect()
+        nw.outputs().iter().map(|p| (p.name.clone(), sim.value(p.driver))).collect()
     }
 
     #[test]
@@ -190,8 +183,7 @@ mod tests {
                     values.push((format!("a{i}"), ((a >> i) & 1) * !0u64));
                     values.push((format!("b{i}"), ((b >> i) & 1) * !0u64));
                 }
-                let refs: Vec<(&str, u64)> =
-                    values.iter().map(|(s, v)| (s.as_str(), *v)).collect();
+                let refs: Vec<(&str, u64)> = values.iter().map(|(s, v)| (s.as_str(), *v)).collect();
                 let out = drive_comb(&nw, &refs);
                 let mut got = 0u64;
                 for i in 0..2 * n {

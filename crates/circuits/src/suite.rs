@@ -39,14 +39,118 @@ pub struct PaperRow {
 
 /// The paper's eight benchmarks (Tables I & II verbatim).
 pub const PAPER_ROWS: [PaperRow; 8] = [
-    PaperRow { name: "stereov.", gates: 215, initial_luts: 208, sm_luts: 553, abc_luts: 590, proposed_luts: 190, tluts: 8, tcons: 332, depth_golden: 4, depth_sm: 5, depth_abc: 5, depth_proposed: 4 },
-    PaperRow { name: "diffeq2", gates: 419, initial_luts: 422, sm_luts: 1719, abc_luts: 1819, proposed_luts: 325, tluts: 2, tcons: 712, depth_golden: 14, depth_sm: 15, depth_abc: 15, depth_proposed: 14 },
-    PaperRow { name: "diffeq1", gates: 582, initial_luts: 575, sm_luts: 2556, abc_luts: 2659, proposed_luts: 491, tluts: 4, tcons: 1065, depth_golden: 15, depth_sm: 15, depth_abc: 15, depth_proposed: 14 },
-    PaperRow { name: "clma", gates: 8381, initial_luts: 4461, sm_luts: 23694, abc_luts: 23219, proposed_luts: 7707, tluts: 1252, tcons: 7935, depth_golden: 11, depth_sm: 11, depth_abc: 11, depth_proposed: 11 },
-    PaperRow { name: "or1200", gates: 3136, initial_luts: 3084, sm_luts: 9769, abc_luts: 10958, proposed_luts: 3004, tluts: 9, tcons: 2986, depth_golden: 27, depth_sm: 28, depth_abc: 28, depth_proposed: 27 },
-    PaperRow { name: "frisc", gates: 6002, initial_luts: 2747, sm_luts: 11517, abc_luts: 11412, proposed_luts: 5881, tluts: 2333, tcons: 4910, depth_golden: 14, depth_sm: 14, depth_abc: 14, depth_proposed: 14 },
-    PaperRow { name: "s38417", gates: 6096, initial_luts: 3462, sm_luts: 20695, abc_luts: 21040, proposed_luts: 6204, tluts: 1495, tcons: 5597, depth_golden: 7, depth_sm: 8, depth_abc: 8, depth_proposed: 7 },
-    PaperRow { name: "s38584", gates: 6281, initial_luts: 2906, sm_luts: 20687, abc_luts: 21032, proposed_luts: 6204, tluts: 1495, tcons: 5597, depth_golden: 7, depth_sm: 8, depth_abc: 8, depth_proposed: 7 },
+    PaperRow {
+        name: "stereov.",
+        gates: 215,
+        initial_luts: 208,
+        sm_luts: 553,
+        abc_luts: 590,
+        proposed_luts: 190,
+        tluts: 8,
+        tcons: 332,
+        depth_golden: 4,
+        depth_sm: 5,
+        depth_abc: 5,
+        depth_proposed: 4,
+    },
+    PaperRow {
+        name: "diffeq2",
+        gates: 419,
+        initial_luts: 422,
+        sm_luts: 1719,
+        abc_luts: 1819,
+        proposed_luts: 325,
+        tluts: 2,
+        tcons: 712,
+        depth_golden: 14,
+        depth_sm: 15,
+        depth_abc: 15,
+        depth_proposed: 14,
+    },
+    PaperRow {
+        name: "diffeq1",
+        gates: 582,
+        initial_luts: 575,
+        sm_luts: 2556,
+        abc_luts: 2659,
+        proposed_luts: 491,
+        tluts: 4,
+        tcons: 1065,
+        depth_golden: 15,
+        depth_sm: 15,
+        depth_abc: 15,
+        depth_proposed: 14,
+    },
+    PaperRow {
+        name: "clma",
+        gates: 8381,
+        initial_luts: 4461,
+        sm_luts: 23694,
+        abc_luts: 23219,
+        proposed_luts: 7707,
+        tluts: 1252,
+        tcons: 7935,
+        depth_golden: 11,
+        depth_sm: 11,
+        depth_abc: 11,
+        depth_proposed: 11,
+    },
+    PaperRow {
+        name: "or1200",
+        gates: 3136,
+        initial_luts: 3084,
+        sm_luts: 9769,
+        abc_luts: 10958,
+        proposed_luts: 3004,
+        tluts: 9,
+        tcons: 2986,
+        depth_golden: 27,
+        depth_sm: 28,
+        depth_abc: 28,
+        depth_proposed: 27,
+    },
+    PaperRow {
+        name: "frisc",
+        gates: 6002,
+        initial_luts: 2747,
+        sm_luts: 11517,
+        abc_luts: 11412,
+        proposed_luts: 5881,
+        tluts: 2333,
+        tcons: 4910,
+        depth_golden: 14,
+        depth_sm: 14,
+        depth_abc: 14,
+        depth_proposed: 14,
+    },
+    PaperRow {
+        name: "s38417",
+        gates: 6096,
+        initial_luts: 3462,
+        sm_luts: 20695,
+        abc_luts: 21040,
+        proposed_luts: 6204,
+        tluts: 1495,
+        tcons: 5597,
+        depth_golden: 7,
+        depth_sm: 8,
+        depth_abc: 8,
+        depth_proposed: 7,
+    },
+    PaperRow {
+        name: "s38584",
+        gates: 6281,
+        initial_luts: 2906,
+        sm_luts: 20687,
+        abc_luts: 21032,
+        proposed_luts: 6204,
+        tluts: 1495,
+        tcons: 5597,
+        depth_golden: 7,
+        depth_sm: 8,
+        depth_abc: 8,
+        depth_proposed: 7,
+    },
 ];
 
 /// Generator calibration for one benchmark.

@@ -5,13 +5,19 @@
 //! pfdbg instrument <design.blif> [--ports N] [--coverage C] [--out inst.blif] [--par inst.par]
 //! pfdbg compare    <design.blif|@benchmark> [--k K] [--ports N] [--coverage C]
 //! pfdbg offline    <design.blif|@benchmark> [--k K] [--ports N]
-//! pfdbg observe    <design.blif|@benchmark> --signals s1,s2 [--cycles N]
+//! pfdbg observe    <design.blif|@benchmark> --signals s1,s2|auto [--cycles N]
 //! pfdbg rank       <design.blif|@benchmark> [--top N]
+//! pfdbg report     <trace.jsonl>
 //! pfdbg bench-list
 //! ```
 //!
 //! `@name` selects a generated benchmark from the calibrated suite
 //! (e.g. `@stereov.`, `@clma`).
+//!
+//! The global flags `--profile` (print the hierarchical span report on
+//! exit) and `--trace-out <file.jsonl>` (export every recorded event)
+//! switch the observability layer on; `pfdbg report` digests a trace
+//! file back into a summary.
 
 use pfdbg_core::{
     compare_mappers, instrument, offline, prepare_instrumented, rank_signals, DebugSession,
@@ -22,14 +28,62 @@ use pfdbg_pconf::OnlineReconfigurator;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let profile = take_switch(&mut args, "--profile");
+    let trace_out = take_valued(&mut args, "--trace-out");
+    if trace_out.is_none() && args.iter().any(|a| a == "--trace-out") {
+        pfdbg_obs::diag("--trace-out expects a file path");
+        return ExitCode::FAILURE;
+    }
+    if profile || trace_out.is_some() {
+        pfdbg_obs::set_enabled(true);
+    }
+
+    let result = run(&args);
+
+    // Result tables own stdout; the profile report is a diagnostic.
+    if profile {
+        eprint!("{}", pfdbg_obs::registry().render_tree());
+    }
+    let mut code = match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("pfdbg: {e}");
+            pfdbg_obs::diag(&e);
             ExitCode::FAILURE
         }
+    };
+    if let Some(path) = trace_out {
+        match std::fs::write(&path, pfdbg_obs::registry().to_jsonl()) {
+            Ok(()) => pfdbg_obs::diag(&format!("wrote trace to {path}")),
+            Err(e) => {
+                pfdbg_obs::diag(&format!("{path}: {e}"));
+                code = ExitCode::FAILURE;
+            }
+        }
     }
+    code
+}
+
+/// Remove a boolean flag from the argument list, reporting its presence.
+fn take_switch(args: &mut Vec<String>, name: &str) -> bool {
+    match args.iter().position(|a| a == name) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
+/// Remove a `--flag value` pair from the argument list.
+fn take_valued(args: &mut Vec<String>, name: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == name)?;
+    if i + 1 >= args.len() {
+        return None;
+    }
+    let v = args.remove(i + 1);
+    args.remove(i);
+    Some(v)
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -45,6 +99,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "observe" => cmd_observe(rest),
         "rank" => cmd_rank(rest),
         "localize" => cmd_localize(rest),
+        "report" => cmd_report(rest),
         "bench-list" => {
             for name in pfdbg_circuits::names() {
                 let row = pfdbg_circuits::paper_row(name).expect("known");
@@ -71,11 +126,13 @@ fn print_usage() {
          \x20 pfdbg instrument <design.blif> [--ports N] [--coverage C] [--out f.blif] [--par f.par]\n\
          \x20 pfdbg compare    <design.blif|@bench> [--k K] [--ports N] [--coverage C]\n\
          \x20 pfdbg offline    <design.blif|@bench> [--k K] [--ports N] [--dump-bitstream f.pfb]\n\
-         \x20 pfdbg observe    <design.blif|@bench> --signals s1,s2 [--cycles N]\n\
+         \x20 pfdbg observe    <design.blif|@bench> --signals s1,s2|auto [--cycles N]\n\
          \x20 pfdbg rank       <design.blif|@bench> [--top N]\n\
          \x20 pfdbg localize   <design.blif|@bench> [--bug <net>] [--cycles N]\n\
+         \x20 pfdbg report     <trace.jsonl>\n\
          \x20 pfdbg bench-list\n\
          \n\
+         global flags: --profile (span report on exit), --trace-out <f.jsonl>\n\
          `@name` uses a generated benchmark from the calibrated suite."
     );
 }
@@ -116,9 +173,7 @@ fn icfg(rest: &[String]) -> Result<InstrumentConfig, String> {
         coverage: flag_usize(rest, "--coverage", 1)?,
         max_signals: match flag(rest, "--max-signals") {
             None => None,
-            Some(v) => {
-                Some(v.parse().map_err(|_| "--max-signals expects a number".to_string())?)
-            }
+            Some(v) => Some(v.parse().map_err(|_| "--max-signals expects a number".to_string())?),
         },
     })
 }
@@ -135,12 +190,23 @@ fn cmd_instrument(rest: &[String]) -> Result<(), String> {
     if let Some(path) = flag(rest, "--par") {
         std::fs::write(&path, par_text).map_err(|e| format!("{path}: {e}"))?;
     }
-    eprintln!(
+    pfdbg_obs::diag(&format!(
         "instrumented {name}: {} observable signals, {} ports, {} parameters",
         inst.observable().len(),
         inst.ports.len(),
         inst.n_params()
-    );
+    ));
+    Ok(())
+}
+
+fn cmd_report(rest: &[String]) -> Result<(), String> {
+    let path = rest
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("expected a trace file (produced by --trace-out)")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let events = pfdbg_obs::parse_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+    print!("{}", pfdbg_obs::summarize(&events));
     Ok(())
 }
 
@@ -207,23 +273,16 @@ fn cmd_offline(rest: &[String]) -> Result<(), String> {
             scg.generalized().n_tunable(),
             scg.generalized().tunable_fraction() * 100.0
         );
-        if let Ok(timing) = pfdbg_pr::analyze_timing(
-            &off.mapped,
-            &off.kinds,
-            t,
-            &pfdbg_pr::DelayModel::default(),
-        ) {
+        if let Ok(timing) =
+            pfdbg_pr::analyze_timing(&off.mapped, &off.kinds, t, &pfdbg_pr::DelayModel::default())
+        {
             println!(
                 "  timing: critical path {:.2} ns over {} LUT levels",
                 timing.critical_delay, timing.levels
             );
         }
-        let congestion = pfdbg_pr::analyze_congestion(
-            &t.packed,
-            &t.routed,
-            &t.rrg,
-            t.stats.channel_width,
-        );
+        let congestion =
+            pfdbg_pr::analyze_congestion(&t.packed, &t.routed, &t.rrg, t.stats.channel_width);
         println!(
             "  congestion: peak channel {:.0}%, mean {:.0}%, tunable share {:.0}%",
             congestion.peak_utilization * 100.0,
@@ -244,12 +303,20 @@ fn cmd_offline(rest: &[String]) -> Result<(), String> {
 
 fn cmd_observe(rest: &[String]) -> Result<(), String> {
     let (name, nw) = load_design(rest)?;
-    let signals_arg = flag(rest, "--signals").ok_or("--signals s1,s2,... is required")?;
-    let wanted: Vec<&str> = signals_arg.split(',').collect();
+    let signals_arg = flag(rest, "--signals").ok_or("--signals s1,s2,...|auto is required")?;
     let cycles = flag_usize(rest, "--cycles", 32)?;
     let k = flag_usize(rest, "--k", PAPER_K)?;
 
     let (_, _, inst) = prepare_instrumented(&nw, &icfg(rest)?, k)?;
+    // `auto` observes the first signal of every trace port — a guaranteed
+    // feasible selection, useful for smoke runs and for discovering what
+    // the instrumented design can see.
+    let wanted: Vec<String> = if signals_arg == "auto" {
+        inst.ports.iter().filter_map(|p| p.signals.first().cloned()).collect()
+    } else {
+        signals_arg.split(',').map(str::to_string).collect()
+    };
+    let wanted: Vec<&str> = wanted.iter().map(String::as_str).collect();
     let off = offline(&inst, &OfflineConfig { k, ..Default::default() })?;
     let online = match (off.scg, off.layout) {
         (Some(scg), Some(layout)) => Some(OnlineReconfigurator::new(scg, layout, off.icap)),

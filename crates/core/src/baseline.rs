@@ -148,12 +148,8 @@ mod tests {
     #[test]
     fn proposed_beats_conventional_mappers() {
         let nw = medium_design();
-        let cmp =
-            compare_mappers("gen150", &nw, &InstrumentConfig::paper(), PAPER_K).unwrap();
-        assert!(
-            cmp.proposed_luts < cmp.sm_luts && cmp.proposed_luts < cmp.abc_luts,
-            "{cmp:?}"
-        );
+        let cmp = compare_mappers("gen150", &nw, &InstrumentConfig::paper(), PAPER_K).unwrap();
+        assert!(cmp.proposed_luts < cmp.sm_luts && cmp.proposed_luts < cmp.abc_luts, "{cmp:?}");
         assert!(
             cmp.reduction_factor() > 2.5,
             "reduction too small: {} ({cmp:?})",
@@ -165,8 +161,7 @@ mod tests {
     #[test]
     fn proposed_area_close_to_initial() {
         let nw = medium_design();
-        let cmp =
-            compare_mappers("gen150", &nw, &InstrumentConfig::paper(), PAPER_K).unwrap();
+        let cmp = compare_mappers("gen150", &nw, &InstrumentConfig::paper(), PAPER_K).unwrap();
         // The paper's key observation: instrumentation is nearly free in
         // LUT area (Table I: proposed between 0.9x and ~1.8x initial).
         let ratio = cmp.proposed_luts as f64 / cmp.initial_luts as f64;
@@ -178,8 +173,7 @@ mod tests {
     #[test]
     fn depth_preserved_by_proposed() {
         let nw = medium_design();
-        let cmp =
-            compare_mappers("gen150", &nw, &InstrumentConfig::paper(), PAPER_K).unwrap();
+        let cmp = compare_mappers("gen150", &nw, &InstrumentConfig::paper(), PAPER_K).unwrap();
         assert!(
             cmp.depth_proposed <= cmp.depth_golden + 1,
             "proposed depth {} vs golden {}",
@@ -194,8 +188,7 @@ mod tests {
         // Mux trees over S signals need about S muxes per covering port;
         // the TCON count must scale with the observed signal count.
         let nw = medium_design();
-        let cmp =
-            compare_mappers("gen150", &nw, &InstrumentConfig::paper(), PAPER_K).unwrap();
+        let cmp = compare_mappers("gen150", &nw, &InstrumentConfig::paper(), PAPER_K).unwrap();
         assert!(
             cmp.tcons >= cmp.initial_luts,
             "too few TCONs for coverage-2 observability: {cmp:?}"

@@ -79,17 +79,25 @@ pub struct OfflineResult {
 /// the initial mapped netlist — see
 /// [`crate::baseline::prepare_instrumented`]).
 pub fn offline(inst: &Instrumented, cfg: &OfflineConfig) -> Result<OfflineResult, String> {
+    let _offline_span = pfdbg_obs::span("offline");
     // TCON technology mapping: selectors to routing, the rest through
     // synthesis + parameter-aware cut mapping.
-    let mp = map_parameterized_network(&inst.network, cfg.k)?;
+    let mp = {
+        let _s = pfdbg_obs::span("offline.tconmap");
+        map_parameterized_network(&inst.network, cfg.k)?
+    };
     let map_stats = MapStats {
         luts: mp.stats.luts,
         tluts: mp.stats.tluts,
         tcons: mp.stats.tcons,
         depth: mp.stats.depth,
     };
+    record_map_stats(&map_stats);
     let (mapped, kinds) = (mp.network, mp.kinds);
-    mapped.validate()?;
+    {
+        let _s = pfdbg_obs::span("offline.validate");
+        mapped.validate()?;
+    }
 
     if !cfg.run_pr {
         return Ok(OfflineResult {
@@ -107,15 +115,48 @@ pub fn offline(inst: &Instrumented, cfg: &OfflineConfig) -> Result<OfflineResult
     let result = tpar(&mapped, &kinds, &cfg.tpar)?;
 
     // Generalized bitstream.
-    let layout = BitstreamLayout::new(&result.device, &result.rrg, cfg.frame_bits);
+    let layout = {
+        let _s = pfdbg_obs::span("offline.layout");
+        BitstreamLayout::new(&result.device, &result.rrg, cfg.frame_bits)
+    };
     let mut manager = BddManager::new();
     let param_var = param_var_map(&mapped, &inst.annotations);
     let mut builder = GeneralizedBuilder::new(&layout, inst.annotations.len());
 
-    write_lut_bits(&mapped, &kinds, &param_var, &result, &layout, cfg.k, &mut manager, &mut builder)?;
-    write_switch_bits(&mapped, &kinds, &param_var, &result, &layout, &mut manager, &mut builder)?;
+    {
+        let _s = pfdbg_obs::span("offline.lut_bits");
+        write_lut_bits(
+            &mapped,
+            &kinds,
+            &param_var,
+            &result,
+            &layout,
+            cfg.k,
+            &mut manager,
+            &mut builder,
+        )?;
+    }
+    {
+        let _s = pfdbg_obs::span("offline.switch_bits");
+        write_switch_bits(
+            &mapped,
+            &kinds,
+            &param_var,
+            &result,
+            &layout,
+            &mut manager,
+            &mut builder,
+        )?;
+    }
 
-    let gbs = builder.build()?;
+    let gbs = {
+        let _s = pfdbg_obs::span("offline.build_gbs");
+        builder.build()?
+    };
+    if pfdbg_obs::enabled() {
+        pfdbg_obs::gauge_set("bdd.nodes", manager.n_nodes() as f64);
+        pfdbg_obs::gauge_set("gbs.frames", layout.n_frames() as f64);
+    }
     // Calibrate the port at *device* scale (a full Virtex-5 stream in
     // 176 ms), not at design scale: the design occupies a region of the
     // device, and partial reconfiguration pays per frame of the real
@@ -134,9 +175,23 @@ pub fn offline(inst: &Instrumented, cfg: &OfflineConfig) -> Result<OfflineResult
     })
 }
 
+/// Fold the mapping summary into the observability registry.
+fn record_map_stats(stats: &MapStats) {
+    if !pfdbg_obs::enabled() {
+        return;
+    }
+    pfdbg_obs::gauge_set("map.luts", stats.luts as f64);
+    pfdbg_obs::gauge_set("map.tluts", stats.tluts as f64);
+    pfdbg_obs::gauge_set("map.tcons", stats.tcons as f64);
+    pfdbg_obs::gauge_set("map.depth", stats.depth as f64);
+}
+
 /// Map each parameter *node* in the mapped network to its BDD variable
 /// (declaration order of the `.par` annotations).
-fn param_var_map(mapped: &Network, ann: &pfdbg_netlist::ParamAnnotations) -> FxHashMap<NodeId, u32> {
+fn param_var_map(
+    mapped: &Network,
+    ann: &pfdbg_netlist::ParamAnnotations,
+) -> FxHashMap<NodeId, u32> {
     let index = ann.index_map();
     let mut out = FxHashMap::default();
     for (id, node) in mapped.nodes() {
@@ -159,8 +214,7 @@ pub fn tcon_condition(
     node: NodeId,
     source: NodeId,
 ) -> Bdd {
-    let is_tcon =
-        |id: NodeId| nw.node(id).is_table() && kinds.get(&id) == Some(&ElemKind::TCon);
+    let is_tcon = |id: NodeId| nw.node(id).is_table() && kinds.get(&id) == Some(&ElemKind::TCon);
     if !is_tcon(node) {
         return manager.constant(node == source);
     }
@@ -262,8 +316,7 @@ fn write_lut_bits(
                         let mut mt = Bdd::TRUE;
                         for (bit, &(_, var)) in param_positions.iter().enumerate() {
                             let lit = manager.var(var);
-                            let lit =
-                                if (a >> bit) & 1 == 1 { lit } else { manager.not(lit) };
+                            let lit = if (a >> bit) & 1 == 1 { lit } else { manager.not(lit) };
                             mt = manager.and(mt, lit);
                         }
                         for (row, func) in row_funcs.iter_mut().enumerate() {
@@ -355,9 +408,12 @@ mod tests {
     #[test]
     fn offline_produces_tcons_and_small_lut_area() {
         let design = small_design();
-        let (initial, _, inst) =
-            crate::baseline::prepare_instrumented(&design, &InstrumentConfig { n_ports: 2, max_signals: None, coverage: 1 }, 6)
-                .unwrap();
+        let (initial, _, inst) = crate::baseline::prepare_instrumented(
+            &design,
+            &InstrumentConfig { n_ports: 2, max_signals: None, coverage: 1 },
+            6,
+        )
+        .unwrap();
         let off = offline(&inst, &OfflineConfig { run_pr: false, ..Default::default() }).unwrap();
         assert!(off.map_stats.tcons > 0, "mux trees must become TCONs: {:?}", off.map_stats);
         // The instrumented LUT area stays close to the initial mapping.
@@ -452,11 +508,7 @@ mod tests {
             let c = tcon_condition(&nw, &kinds, &param_var, &mut mgr, m2, di);
             for v in 0..4usize {
                 let asg: BitVec = [(v & 1) == 1, (v & 2) == 2].into_iter().collect();
-                assert_eq!(
-                    mgr.eval(c, &asg),
-                    v == i,
-                    "source d{i}, select {v}"
-                );
+                assert_eq!(mgr.eval(c, &asg), v == i, "source d{i}, select {v}");
             }
         }
     }

@@ -24,9 +24,11 @@ pub mod param;
 pub mod select;
 
 pub use baseline::{compare_mappers, MapperComparison};
+pub use baseline::{initial_mapping, prepare_instrumented};
 pub use flow::{offline, tcon_condition, MapStats, OfflineConfig, OfflineResult};
 pub use localize::{localize, LocalizationResult};
 pub use online::{DebugSession, SelectionPlan, TurnRecord};
-pub use baseline::{initial_mapping, prepare_instrumented};
-pub use param::{instrument, observable_signals, InstrumentConfig, Instrumented, PortInfo, PAPER_K};
+pub use param::{
+    instrument, observable_signals, InstrumentConfig, Instrumented, PortInfo, PAPER_K,
+};
 pub use select::{rank_signals, select_critical, RankedSignal};

@@ -50,12 +50,8 @@ pub fn localize(
         .ok_or_else(|| format!("no output {failing_output}"))?;
     let start = port.driver;
 
-    let observable: Vec<String> = session
-        .instrumented()
-        .observable()
-        .into_iter()
-        .map(str::to_string)
-        .collect();
+    let observable: Vec<String> =
+        session.instrumented().observable().into_iter().map(str::to_string).collect();
     let is_observable = |nw: &Network, id: NodeId| {
         let name = nw.node(id).name.as_str();
         observable.binary_search_by(|p| p.as_str().cmp(name)).is_ok()
@@ -67,8 +63,8 @@ pub fn localize(
     // Verdict for one signal: observe through the trace network and
     // compare to the golden simulation.
     let verdict = |session: &mut DebugSession,
-                       observations: &mut Vec<(String, bool)>,
-                       name: &str|
+                   observations: &mut Vec<(String, bool)>,
+                   name: &str|
      -> Result<bool, String> {
         if let Some((_, bad)) = observations.iter().find(|(n, _)| n == name) {
             return Ok(*bad);
@@ -83,9 +79,7 @@ pub fn localize(
     // Starting point: the failing output's driver must mismatch.
     let mut current = start;
     if !is_observable(golden, current) {
-        return Err(format!(
-            "driver of {failing_output} is not observable"
-        ));
+        return Err(format!("driver of {failing_output} is not observable"));
     }
     let current_name = golden.node(current).name.clone();
     if !verdict(session, &mut observations, &current_name)? {
@@ -155,7 +149,8 @@ mod tests {
 
     fn run_localization(buggy_net: &str) -> LocalizationResult {
         let nw = design();
-        let inst = instrument(&nw, &InstrumentConfig { n_ports: 1, max_signals: None, coverage: 1 });
+        let inst =
+            instrument(&nw, &InstrumentConfig { n_ports: 1, max_signals: None, coverage: 1 });
         let clean = inst.network.clone();
         let faulty = apply_static(
             &clean,
@@ -191,7 +186,8 @@ mod tests {
     #[test]
     fn clean_design_reports_nothing_to_localize() {
         let nw = design();
-        let inst = instrument(&nw, &InstrumentConfig { n_ports: 1, max_signals: None, coverage: 1 });
+        let inst =
+            instrument(&nw, &InstrumentConfig { n_ports: 1, max_signals: None, coverage: 1 });
         let clean = inst.network.clone();
         let mut session = DebugSession::new(inst, None);
         let err = localize(&mut session, &clean, &clean.clone(), "y", 32, 7);

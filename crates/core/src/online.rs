@@ -84,9 +84,8 @@ impl DebugSession {
                 }
                 port.select_for(sig).map(|v| (p, v))
             });
-            let (p, v) = found.ok_or_else(|| {
-                format!("no free trace port can observe {sig} this turn")
-            })?;
+            let (p, v) =
+                found.ok_or_else(|| format!("no free trace port can observe {sig} this turn"))?;
             used_ports[p] = true;
             // Write the select value into the parameter bits.
             for (bit, name) in self.inst.ports[p].sel_params.iter().enumerate() {
@@ -120,6 +119,7 @@ impl DebugSession {
         seed: u64,
         runtime_faults: &[Fault],
     ) -> Result<Waveform, String> {
+        let _turn_span = pfdbg_obs::span("session.turn");
         let plan = self.plan(signals)?;
         let stats = self.online.as_mut().map(|o| o.apply(&plan.params));
         self.params = plan.params.clone();
@@ -150,19 +150,13 @@ impl DebugSession {
         let captured = emu.waveform();
 
         // Rename trace ports to the observed signal names.
-        let mut wf = Waveform::new(
-            plan.assignments.iter().map(|(_, _, s)| s.clone()).collect(),
-        );
+        let mut wf = Waveform::new(plan.assignments.iter().map(|(_, _, s)| s.clone()).collect());
         for t in 0..captured.n_samples() {
             let row: BitVec = plan
                 .assignments
                 .iter()
                 .enumerate()
-                .map(|(k, _)| {
-                    captured
-                        .value(port_names[k], t)
-                        .expect("port captured")
-                })
+                .map(|(k, _)| captured.value(port_names[k], t).expect("port captured"))
                 .collect();
             wf.push_sample(&row);
         }
@@ -177,10 +171,16 @@ impl DebugSession {
 
     /// Total modeled reconfiguration time spent across all turns.
     pub fn total_reconfig_time(&self) -> std::time::Duration {
-        self.turns
-            .iter()
-            .filter_map(|t| t.stats.map(|s| s.total()))
-            .sum()
+        self.turns.iter().filter_map(|t| t.stats.map(|s| s.total())).sum()
+    }
+
+    /// Total *modeled ICAP transfer* time across all turns — the
+    /// apples-to-apples quantity to compare against a modeled full
+    /// reconfiguration (it excludes the measured host-side SCG
+    /// evaluation wall time, which scales with the machine running the
+    /// model rather than with the device).
+    pub fn total_transfer_time(&self) -> std::time::Duration {
+        self.turns.iter().filter_map(|t| t.stats.map(|s| s.transfer_time)).sum()
     }
 }
 
@@ -206,7 +206,8 @@ mod tests {
 
     #[test]
     fn plan_assigns_distinct_ports() {
-        let inst = instrument(&design(), &InstrumentConfig { n_ports: 2, max_signals: None, coverage: 1 });
+        let inst =
+            instrument(&design(), &InstrumentConfig { n_ports: 2, max_signals: None, coverage: 1 });
         let session = DebugSession::new(inst, None);
         // Find two signals living on different ports.
         let ports = &session.instrumented().ports;
@@ -219,7 +220,8 @@ mod tests {
 
     #[test]
     fn plan_rejects_overcommitted_turn() {
-        let inst = instrument(&design(), &InstrumentConfig { n_ports: 1, max_signals: None, coverage: 1 });
+        let inst =
+            instrument(&design(), &InstrumentConfig { n_ports: 1, max_signals: None, coverage: 1 });
         let port0 = inst.ports[0].signals.clone();
         let session = DebugSession::new(inst, None);
         if port0.len() >= 2 {
@@ -231,7 +233,8 @@ mod tests {
     #[test]
     fn observe_matches_direct_simulation() {
         let nw = design();
-        let inst = instrument(&nw, &InstrumentConfig { n_ports: 2, max_signals: None, coverage: 1 });
+        let inst =
+            instrument(&nw, &InstrumentConfig { n_ports: 2, max_signals: None, coverage: 1 });
         let inst_nw = inst.network.clone();
         let mut session = DebugSession::new(inst, None);
         // Observe g2 through the mux network; compare against the golden
@@ -245,7 +248,8 @@ mod tests {
     #[test]
     fn turns_accumulate_without_recompilation() {
         let nw = design();
-        let inst = instrument(&nw, &InstrumentConfig { n_ports: 1, max_signals: None, coverage: 1 });
+        let inst =
+            instrument(&nw, &InstrumentConfig { n_ports: 1, max_signals: None, coverage: 1 });
         let inst_nw = inst.network.clone();
         let signals: Vec<String> = inst.ports[0].signals.clone();
         let mut session = DebugSession::new(inst, None);
@@ -260,7 +264,8 @@ mod tests {
     #[test]
     fn faulty_dut_shows_divergence_through_trace() {
         let nw = design();
-        let inst = instrument(&nw, &InstrumentConfig { n_ports: 1, max_signals: None, coverage: 1 });
+        let inst =
+            instrument(&nw, &InstrumentConfig { n_ports: 1, max_signals: None, coverage: 1 });
         let inst_nw = inst.network.clone();
         let faulty = apply_static(
             &inst_nw,

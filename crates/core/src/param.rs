@@ -87,11 +87,8 @@ impl Instrumented {
 
     /// All observable signal names (deduplicated across ports).
     pub fn observable(&self) -> Vec<&str> {
-        let mut v: Vec<&str> = self
-            .ports
-            .iter()
-            .flat_map(|p| p.signals.iter().map(String::as_str))
-            .collect();
+        let mut v: Vec<&str> =
+            self.ports.iter().flat_map(|p| p.signals.iter().map(String::as_str)).collect();
         v.sort_unstable();
         v.dedup();
         v
@@ -100,10 +97,7 @@ impl Instrumented {
     /// Find which port can observe `signal` and the select value:
     /// `(port index, select value)`.
     pub fn locate(&self, signal: &str) -> Option<(usize, usize)> {
-        self.ports
-            .iter()
-            .enumerate()
-            .find_map(|(i, p)| p.select_for(signal).map(|v| (i, v)))
+        self.ports.iter().enumerate().find_map(|(i, p)| p.select_for(signal).map(|v| (i, v)))
     }
 }
 
@@ -235,7 +229,8 @@ mod tests {
     #[test]
     fn instruments_all_internal_signals() {
         let nw = design();
-        let inst = instrument(&nw, &InstrumentConfig { n_ports: 2, max_signals: None, coverage: 1 });
+        let inst =
+            instrument(&nw, &InstrumentConfig { n_ports: 2, max_signals: None, coverage: 1 });
         inst.network.validate().unwrap();
         // g1, g2, g3, q observable.
         let obs = inst.observable();
@@ -274,15 +269,11 @@ mod tests {
     #[test]
     fn mux_tree_routes_selected_signal() {
         let nw = design();
-        let inst = instrument(&nw, &InstrumentConfig { n_ports: 1, max_signals: None, coverage: 1 });
+        let inst =
+            instrument(&nw, &InstrumentConfig { n_ports: 1, max_signals: None, coverage: 1 });
         let port = &inst.ports[0];
-        let trace_driver = inst
-            .network
-            .outputs()
-            .iter()
-            .find(|p| p.name == port.name)
-            .unwrap()
-            .driver;
+        let trace_driver =
+            inst.network.outputs().iter().find(|p| p.name == port.name).unwrap().driver;
 
         let mut sim = Simulator::new(&inst.network).unwrap();
         for (v, sig_name) in port.signals.iter().enumerate() {
@@ -305,18 +296,15 @@ mod tests {
             sim.settle(&inputs);
             let observed = sim.value(trace_driver);
             let target = inst.network.find(sig_name).unwrap();
-            assert_eq!(
-                observed,
-                sim.value(target),
-                "select {v} should observe {sig_name}"
-            );
+            assert_eq!(observed, sim.value(target), "select {v} should observe {sig_name}");
         }
     }
 
     #[test]
     fn annotations_group_per_port() {
         let nw = design();
-        let inst = instrument(&nw, &InstrumentConfig { n_ports: 2, max_signals: None, coverage: 1 });
+        let inst =
+            instrument(&nw, &InstrumentConfig { n_ports: 2, max_signals: None, coverage: 1 });
         assert_eq!(inst.annotations.groups.len(), 2);
         for port in &inst.ports {
             for p in &port.sel_params {
@@ -334,7 +322,8 @@ mod tests {
     #[test]
     fn max_signals_caps_observability() {
         let nw = design();
-        let inst = instrument(&nw, &InstrumentConfig { n_ports: 1, max_signals: Some(2), coverage: 1 });
+        let inst =
+            instrument(&nw, &InstrumentConfig { n_ports: 1, max_signals: Some(2), coverage: 1 });
         assert_eq!(inst.observable().len(), 2);
         // Fewer signals -> fewer select parameters.
         assert_eq!(inst.n_params(), 1);
@@ -343,7 +332,8 @@ mod tests {
     #[test]
     fn locate_finds_port_and_value() {
         let nw = design();
-        let inst = instrument(&nw, &InstrumentConfig { n_ports: 2, max_signals: None, coverage: 1 });
+        let inst =
+            instrument(&nw, &InstrumentConfig { n_ports: 2, max_signals: None, coverage: 1 });
         for s in ["g1", "g2", "g3", "q"] {
             let (p, v) = inst.locate(s).unwrap_or_else(|| panic!("{s} unlocatable"));
             assert_eq!(inst.ports[p].signals[v], s);

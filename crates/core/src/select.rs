@@ -46,10 +46,7 @@ pub fn rank_signals(nw: &Network) -> Vec<RankedSignal> {
         })
         .collect();
     ranked.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .expect("finite scores")
-            .then_with(|| a.name.cmp(&b.name))
+        b.score.partial_cmp(&a.score).expect("finite scores").then_with(|| a.name.cmp(&b.name))
     });
     ranked
 }
@@ -102,8 +99,7 @@ mod tests {
     fn high_fanout_and_state_rank_high() {
         let nw = design();
         let ranked = rank_signals(&nw);
-        let pos =
-            |name: &str| ranked.iter().position(|r| r.name == name).unwrap_or(usize::MAX);
+        let pos = |name: &str| ranked.iter().position(|r| r.name == name).unwrap_or(usize::MAX);
         // The hub (fanout 3) must outrank single-use leaves like u2.
         assert!(pos("hub") < pos("u2"), "{ranked:?}");
         // The latch gets the state bonus: top half.

@@ -139,15 +139,21 @@ impl<'a> Emulator<'a> {
     /// Run `n` cycles with seeded random primary-input stimulus. Returns
     /// the cycle at which capture froze, if it did.
     pub fn run_random(&mut self, n: usize, seed: u64) -> Option<usize> {
+        let _run_span = pfdbg_obs::span("emu.run");
+        let start_cycle = self.cycle;
         let mut rng = StdRng::seed_from_u64(seed);
         let inputs: Vec<NodeId> = self.nw.inputs().filter(|&i| !self.nw.node(i).is_param).collect();
+        let mut froze = None;
         for _ in 0..n {
             let stim: HashMap<NodeId, bool> = inputs.iter().map(|&i| (i, rng.gen())).collect();
             if self.step(&stim) {
-                return Some(self.cycle - 1);
+                froze = Some(self.cycle - 1);
+                break;
             }
         }
-        None
+        // One bulk update per run keeps the per-cycle path lock-free.
+        pfdbg_obs::counter_add("emu.cycles", (self.cycle - start_cycle) as u64);
+        froze
     }
 
     /// Read the capture back as a waveform named by the observed nets.

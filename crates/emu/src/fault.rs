@@ -39,9 +39,9 @@ impl Fault {
     /// The net this fault affects.
     pub fn net(&self) -> &str {
         match self {
-            Fault::StuckAt { net, .. } | Fault::WrongGate { net, .. } | Fault::BitFlip { net, .. } => {
-                net
-            }
+            Fault::StuckAt { net, .. }
+            | Fault::WrongGate { net, .. }
+            | Fault::BitFlip { net, .. } => net,
         }
     }
 

@@ -40,14 +40,10 @@ pub fn lockstep(
 
     // Shared inputs by name; DUT-only inputs (e.g. leftover parameters)
     // are driven to 0.
-    let g_inputs: Vec<(String, NodeId)> = golden
-        .inputs()
-        .map(|i| (golden.node(i).name.clone(), i))
-        .collect();
-    let d_input_of: HashMap<String, NodeId> = dut
-        .inputs()
-        .map(|i| (dut.node(i).name.clone(), i))
-        .collect();
+    let g_inputs: Vec<(String, NodeId)> =
+        golden.inputs().map(|i| (golden.node(i).name.clone(), i)).collect();
+    let d_input_of: HashMap<String, NodeId> =
+        dut.inputs().map(|i| (dut.node(i).name.clone(), i)).collect();
 
     // Output pairs by name.
     let mut out_pairs: Vec<(String, NodeId, NodeId)> = Vec::new();
@@ -83,11 +79,7 @@ pub fn lockstep(
         sim_g.step(&stim_g);
         sim_d.step(&stim_d);
     }
-    Ok(LockstepReport {
-        first_divergence: mismatches.first().cloned(),
-        mismatches,
-        cycles: n,
-    })
+    Ok(LockstepReport { first_divergence: mismatches.first().cloned(), mismatches, cycles: n })
 }
 
 /// Software-simulate `nw` for `n` cycles with the same seeded stimulus
@@ -109,10 +101,8 @@ pub fn golden_waveform(
     let mut rng = StdRng::seed_from_u64(seed);
     let mut wf = Waveform::new(signals.iter().map(|s| s.to_string()).collect());
     for _ in 0..n {
-        let stim: HashMap<NodeId, u64> = inputs
-            .iter()
-            .map(|&i| (i, if rng.gen::<bool>() { 1u64 } else { 0 }))
-            .collect();
+        let stim: HashMap<NodeId, u64> =
+            inputs.iter().map(|&i| (i, if rng.gen::<bool>() { 1u64 } else { 0 })).collect();
         sim.settle(&stim);
         let row: BitVec = ids.iter().map(|&id| sim.value_lane(id, 0)).collect();
         wf.push_sample(&row);
@@ -151,8 +141,7 @@ mod tests {
     fn faulty_design_diverges() {
         let nw = design();
         let faulty =
-            apply_static(&nw, &Fault::WrongGate { net: "g1".into(), table: gates::or2() })
-                .unwrap();
+            apply_static(&nw, &Fault::WrongGate { net: "g1".into(), table: gates::or2() }).unwrap();
         let report = lockstep(&nw, &faulty, 100, 9).unwrap();
         let (cycle, out) = report.first_divergence.expect("must diverge");
         assert_eq!(out, "y");

@@ -52,9 +52,7 @@ impl Cut {
 
     /// True if `self`'s leaves are a subset of `other`'s.
     fn dominates(&self, other: &Cut) -> bool {
-        if self.leaves.len() > other.leaves.len()
-            || self.signature & !other.signature != 0
-        {
+        if self.leaves.len() > other.leaves.len() || self.signature & !other.signature != 0 {
             return false;
         }
         // Both sorted: subset check by merge walk.
@@ -209,11 +207,8 @@ fn merge(
         }
     }
 
-    let n_params = if cfg.param_aware {
-        leaves.iter().filter(|&&l| aig.is_param(l)).count()
-    } else {
-        0
-    };
+    let n_params =
+        if cfg.param_aware { leaves.iter().filter(|&&l| aig.is_param(l)).count() } else { 0 };
     let n_real = leaves.len() - n_params;
     if n_real > cfg.k || n_params > cfg.max_params {
         return None;
@@ -384,17 +379,13 @@ mod tests {
         let cfg = CutConfig { k: 2, param_aware: true, max_params: 4, ..Default::default() };
         let db = enumerate(&aig, &cfg);
         let yn = y.node();
-        let found = db.cuts[yn].iter().any(|c| {
-            c.leaves.len() == 3 && c.n_params == 1 && c.n_real_leaves() == 2
-        });
+        let found = db.cuts[yn]
+            .iter()
+            .any(|c| c.leaves.len() == 3 && c.n_params == 1 && c.n_real_leaves() == 2);
         assert!(found, "param-extended cut missing: {:?}", db.cuts[yn]);
         // And its depth is 1 (params add no levels).
-        let best = db.cuts[yn]
-            .iter()
-            .filter(|c| c.leaves.len() == 3)
-            .map(|c| c.depth)
-            .min()
-            .expect("cut");
+        let best =
+            db.cuts[yn].iter().filter(|c| c.leaves.len() == 3).map(|c| c.depth).min().expect("cut");
         assert_eq!(best, 1);
 
         // Without param awareness the same cut is infeasible under k=2.

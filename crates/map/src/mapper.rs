@@ -169,16 +169,17 @@ pub(crate) fn build_mapping(
     let mut pos_refs: FxHashMap<AigNode, u32> = FxHashMap::default();
     let mut neg_refs: FxHashMap<AigNode, u32> = FxHashMap::default();
     {
-        let note = |lit: Lit, pos: &mut FxHashMap<AigNode, u32>, neg: &mut FxHashMap<AigNode, u32>| {
-            if lit.is_const() {
-                return;
-            }
-            if lit.complemented() {
-                *neg.entry(lit.node()).or_insert(0) += 1;
-            } else {
-                *pos.entry(lit.node()).or_insert(0) += 1;
-            }
-        };
+        let note =
+            |lit: Lit, pos: &mut FxHashMap<AigNode, u32>, neg: &mut FxHashMap<AigNode, u32>| {
+                if lit.is_const() {
+                    return;
+                }
+                if lit.complemented() {
+                    *neg.entry(lit.node()).or_insert(0) += 1;
+                } else {
+                    *pos.entry(lit.node()).or_insert(0) += 1;
+                }
+            };
         for (_, lit) in &aig.outputs {
             note(*lit, &mut pos_refs, &mut neg_refs);
         }
@@ -197,11 +198,7 @@ pub(crate) fn build_mapping(
                 table = table.flip_var(i);
             }
         }
-        let classified = if param_aware {
-            classify(aig, &table, &leaves)
-        } else {
-            Classified::Lut
-        };
+        let classified = if param_aware { classify(aig, &table, &leaves) } else { Classified::Lut };
         let kind = match classified {
             Classified::Lut | Classified::TLut => {
                 // Phase rule: build inverted when every endpoint use is
@@ -254,12 +251,8 @@ enum Classified {
 /// select and tie to rails, but not invert; TLUT if it depends on
 /// parameters otherwise; plain LUT if it does not depend on parameters.
 fn classify(aig: &Aig, table: &TruthTable, leaves: &[AigNode]) -> Classified {
-    let param_vars: Vec<usize> = leaves
-        .iter()
-        .enumerate()
-        .filter(|(_, &l)| aig.is_param(l))
-        .map(|(i, _)| i)
-        .collect();
+    let param_vars: Vec<usize> =
+        leaves.iter().enumerate().filter(|(_, &l)| aig.is_param(l)).map(|(i, _)| i).collect();
     if param_vars.is_empty() || !param_vars.iter().any(|&v| table.depends_on(v)) {
         return Classified::Lut;
     }
@@ -301,8 +294,7 @@ fn add_output_inverters(aig: &Aig, mapping: &mut Mapping) {
     let mut inverted: FxHashMap<AigNode, ()> = FxHashMap::default();
     let mut need: Vec<Lit> = Vec::new();
     // The effective polarity accounts for phase-flipped elements.
-    let effective_compl =
-        |lit: Lit| lit.complemented() ^ mapping.flipped.contains(&lit.node());
+    let effective_compl = |lit: Lit| lit.complemented() ^ mapping.flipped.contains(&lit.node());
     for (_, lit) in &aig.outputs {
         if effective_compl(*lit) && !lit.is_const() {
             need.push(*lit);

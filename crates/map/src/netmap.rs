@@ -84,8 +84,7 @@ pub fn map_parameterized_network(nw: &Network, k: usize) -> Result<MappedParam, 
     // --- Pass 1: TCON candidates — selector nodes consumed only by other
     // selectors or primary outputs (a selector feeding real logic cannot
     // live purely in routing, so it falls through to the TLUT path).
-    let mut selector: FxHashSet<NodeId> =
-        nw.node_ids().filter(|&id| is_selector(nw, id)).collect();
+    let mut selector: FxHashSet<NodeId> = nw.node_ids().filter(|&id| is_selector(nw, id)).collect();
     loop {
         let mut demote: Vec<NodeId> = Vec::new();
         for (id, node) in nw.nodes() {
@@ -109,10 +108,7 @@ pub fn map_parameterized_network(nw: &Network, k: usize) -> Result<MappedParam, 
     for &s in &selector {
         for &f in &nw.node(s).fanins {
             let fnode = nw.node(f);
-            if !fnode.is_param
-                && !selector.contains(&f)
-                && (fnode.is_table() || fnode.is_latch())
-            {
+            if !fnode.is_param && !selector.contains(&f) && (fnode.is_table() || fnode.is_latch()) {
                 keep_alive.insert(f);
             }
         }
@@ -151,17 +147,16 @@ pub fn map_parameterized_network(nw: &Network, k: usize) -> Result<MappedParam, 
                 .fanins
                 .iter()
                 .map(|f| {
-                    rest_id
-                        .get(f)
-                        .copied()
-                        .ok_or_else(|| format!("fanin {} of {} is a TCON feeding logic", nw.node(*f).name, node.name))
+                    rest_id.get(f).copied().ok_or_else(|| {
+                        format!(
+                            "fanin {} of {} is a TCON feeding logic",
+                            nw.node(*f).name,
+                            node.name
+                        )
+                    })
                 })
                 .collect::<Result<_, String>>()?;
-            let r = rest.add_table(
-                node.name.clone(),
-                fanins,
-                node.table().expect("table").clone(),
-            );
+            let r = rest.add_table(node.name.clone(), fanins, node.table().expect("table").clone());
             rest_id.insert(id, r);
         }
     }
@@ -319,10 +314,8 @@ pub fn map_parameterized_network(nw: &Network, k: usize) -> Result<MappedParam, 
 
     // Drop dangling placeholders, remapping the kind table.
     let (_, remap) = final_nw.sweep_dead();
-    let final_kinds: FxHashMap<NodeId, ElemKind> = final_kinds
-        .into_iter()
-        .filter_map(|(id, kind)| remap[id].map(|nid| (nid, kind)))
-        .collect();
+    let final_kinds: FxHashMap<NodeId, ElemKind> =
+        final_kinds.into_iter().filter_map(|(id, kind)| remap[id].map(|nid| (nid, kind))).collect();
 
     final_nw.validate()?;
     let luts = final_kinds.values().filter(|&&k| k == ElemKind::Lut).count();
@@ -337,10 +330,7 @@ pub fn map_parameterized_network(nw: &Network, k: usize) -> Result<MappedParam, 
 
 /// Logic depth of a mapped network where TCON nodes add no level and
 /// parameter inputs are configuration (depth 0, never on a path).
-pub fn depth_with_kinds(
-    nw: &Network,
-    kinds: &FxHashMap<NodeId, ElemKind>,
-) -> Result<u32, String> {
+pub fn depth_with_kinds(nw: &Network, kinds: &FxHashMap<NodeId, ElemKind>) -> Result<u32, String> {
     let order = nw.topo_order().map_err(|n| format!("cycle at {n:?}"))?;
     let mut depth: FxHashMap<NodeId, u32> = FxHashMap::default();
     for id in order {
@@ -445,11 +435,7 @@ mod tests {
         let nw = instrumented();
         let logic_depth = nw_depth_without_trace();
         let mp = map_parameterized_network(&nw, 6).unwrap();
-        assert_eq!(
-            mp.stats.depth, logic_depth,
-            "trace network changed the depth: {:?}",
-            mp.stats
-        );
+        assert_eq!(mp.stats.depth, logic_depth, "trace network changed the depth: {:?}", mp.stats);
     }
 
     fn nw_depth_without_trace() -> u32 {

@@ -33,9 +33,7 @@ pub fn simple_map(aig: &Aig, k: usize) -> Mapping {
                 let cand = leaves
                     .iter()
                     .copied()
-                    .filter(|&l| {
-                        matches!(aig.node(l).kind, AigKind::And(..)) && fanouts[l] == 1
-                    })
+                    .filter(|&l| matches!(aig.node(l).kind, AigKind::And(..)) && fanouts[l] == 1)
                     .max_by_key(|&l| levels[l]);
                 let Some(c) = cand else { break };
                 let (ca, cb) = match aig.node(c).kind {
@@ -139,10 +137,7 @@ mod tests {
             let (nw, _) = mapping.to_network(&aig);
             nw.validate().unwrap();
             let golden = aig_to_network(&aig);
-            assert!(
-                comb_equivalent(&golden, &nw, 64, seed).unwrap(),
-                "seed {seed} mismatch"
-            );
+            assert!(comb_equivalent(&golden, &nw, 64, seed).unwrap(), "seed {seed} mismatch");
         }
     }
 

@@ -267,8 +267,7 @@ pub fn parse(text: &str) -> Result<Network, BlifError> {
         let before = remaining.len();
         remaining.retain(|pn| {
             let (out, ins) = pn.signals.split_last().expect("nonempty");
-            let fanins: Option<Vec<NodeId>> =
-                ins.iter().map(|s| id_of.get(s).copied()).collect();
+            let fanins: Option<Vec<NodeId>> = ins.iter().map(|s| id_of.get(s).copied()).collect();
             match fanins {
                 Some(fanins) => {
                     let table = cover_to_table(&pn.rows, ins.len());
@@ -301,9 +300,7 @@ pub fn parse(text: &str) -> Result<Network, BlifError> {
     }
 
     for out in &outputs {
-        let driver = *id_of
-            .get(out)
-            .ok_or_else(|| err(0, format!("output {out} never driven")))?;
+        let driver = *id_of.get(out).ok_or_else(|| err(0, format!("output {out} never driven")))?;
         nw.add_output(out.clone(), driver);
     }
 
@@ -361,8 +358,7 @@ fn cover_to_table(rows: &[CoverRow], n_in: usize) -> TruthTable {
 pub fn write(nw: &Network) -> String {
     let mut out = String::new();
     let _ = writeln!(out, ".model {}", nw.name);
-    let input_names: Vec<&str> =
-        nw.inputs().map(|id| nw.node(id).name.as_str()).collect();
+    let input_names: Vec<&str> = nw.inputs().map(|id| nw.node(id).name.as_str()).collect();
     if !input_names.is_empty() {
         let _ = writeln!(out, ".inputs {}", input_names.join(" "));
     }
@@ -425,9 +421,7 @@ pub fn write(nw: &Network) -> String {
 fn row_pattern(row: usize, nvars: usize) -> String {
     // Variable 0 is written leftmost in BLIF input lists, and our tables
     // use LSB = variable 0, so emit bit i at position i.
-    (0..nvars)
-        .map(|i| if (row >> i) & 1 == 1 { '1' } else { '0' })
-        .collect()
+    (0..nvars).map(|i| if (row >> i) & 1 == 1 { '1' } else { '0' }).collect()
 }
 
 #[cfg(test)]

@@ -110,11 +110,7 @@ impl Network {
     // ------------------------------------------------------------------
 
     fn add_node(&mut self, node: Node) -> NodeId {
-        assert!(
-            !self.by_name.contains_key(&node.name),
-            "duplicate net name {:?}",
-            node.name
-        );
+        assert!(!self.by_name.contains_key(&node.name), "duplicate net name {:?}", node.name);
         let name = node.name.clone();
         let id = self.nodes.push(node);
         self.by_name.insert(name, id);
@@ -182,10 +178,7 @@ impl Network {
     /// Rename a node's net. Panics if the new name is taken.
     pub fn rename(&mut self, id: NodeId, new_name: impl Into<String>) {
         let new_name = new_name.into();
-        assert!(
-            !self.by_name.contains_key(&new_name),
-            "rename target {new_name:?} already exists"
-        );
+        assert!(!self.by_name.contains_key(&new_name), "rename target {new_name:?} already exists");
         let old = std::mem::replace(&mut self.nodes[id].name, new_name.clone());
         self.by_name.remove(&old);
         self.by_name.insert(new_name, id);

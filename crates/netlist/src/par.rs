@@ -89,11 +89,8 @@ impl ParamAnnotations {
     /// Serialize to the `.par` text format.
     pub fn write(&self) -> String {
         let mut out = String::new();
-        let grouped: std::collections::HashSet<&str> = self
-            .groups
-            .iter()
-            .flat_map(|(_, ms)| ms.iter().map(String::as_str))
-            .collect();
+        let grouped: std::collections::HashSet<&str> =
+            self.groups.iter().flat_map(|(_, ms)| ms.iter().map(String::as_str)).collect();
         for p in &self.params {
             if !grouped.contains(p.as_str()) {
                 let _ = writeln!(out, "param {p}");
@@ -143,10 +140,7 @@ impl ParamAnnotations {
                     ann.add_group(gname, members);
                 }
                 Some(other) => {
-                    return Err(ParError {
-                        line,
-                        message: format!("unknown directive {other:?}"),
-                    })
+                    return Err(ParError { line, message: format!("unknown directive {other:?}") })
                 }
             }
         }

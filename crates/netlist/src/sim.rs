@@ -112,7 +112,11 @@ impl<'a> Simulator<'a> {
 }
 
 /// Evaluate a truth table on 64-lane fanin words.
-fn eval_table_words(t: &crate::truth::TruthTable, fanins: &[NodeId], values: &IdVec<NodeId, u64>) -> u64 {
+fn eval_table_words(
+    t: &crate::truth::TruthTable,
+    fanins: &[NodeId],
+    values: &IdVec<NodeId, u64>,
+) -> u64 {
     // For each lane, the fanin bits select a row. Doing this row-by-row
     // would be 64 table lookups; instead use the standard bit-sliced
     // approach: start from the full table and cofactor by each input word.
@@ -155,10 +159,7 @@ pub fn comb_equivalent(
     let names_a = interface_names(a);
     let names_b = interface_names(b);
     if names_a != names_b {
-        return Err(format!(
-            "interface mismatch: {:?} vs {:?}",
-            names_a, names_b
-        ));
+        return Err(format!("interface mismatch: {:?} vs {:?}", names_a, names_b));
     }
 
     let mut sim_a = Simulator::new(a).map_err(|n| format!("cycle in a at {n:?}"))?;
@@ -197,11 +198,7 @@ pub fn comb_equivalent(
         apply(b, &mut sim_b, &stim);
 
         for port in a.outputs() {
-            let pb = b
-                .outputs()
-                .iter()
-                .find(|p| p.name == port.name)
-                .expect("interface checked");
+            let pb = b.outputs().iter().find(|p| p.name == port.name).expect("interface checked");
             if sim_a.value(port.driver) != sim_b.value(pb.driver) {
                 return Ok(false);
             }
@@ -330,9 +327,7 @@ mod tests {
         let ia = b.add_input("a");
         let ib = b.add_input("b");
         let ic = b.add_input("c");
-        let t = TruthTable::var(3, 0)
-            .and(&TruthTable::var(3, 1))
-            .xor(&TruthTable::var(3, 2));
+        let t = TruthTable::var(3, 0).and(&TruthTable::var(3, 1)).xor(&TruthTable::var(3, 2));
         let y = b.add_table("y", vec![ia, ib, ic], t);
         b.add_output("y", y);
         assert!(comb_equivalent(&a, &b, 32, 1).unwrap());

@@ -176,12 +176,7 @@ impl TruthTable {
 
     fn binary(&self, other: &Self, f: impl Fn(u64, u64) -> u64) -> Self {
         assert_eq!(self.nvars, other.nvars, "arity mismatch in binary op");
-        let words = self
-            .words
-            .iter()
-            .zip(&other.words)
-            .map(|(&a, &b)| f(a, b))
-            .collect::<Vec<_>>();
+        let words = self.words.iter().zip(&other.words).map(|(&a, &b)| f(a, b)).collect::<Vec<_>>();
         let mut t = TruthTable { nvars: self.nvars, words };
         t.words[0] &= Self::word_mask(self.nvars());
         t

@@ -508,10 +508,7 @@ pub fn parse(text: &str) -> Result<Network, VerilogError> {
 
     // Iteratively elaborate combinational items whose inputs are known
     // (allows any declaration order; cycles are reported).
-    let mut pending: Vec<&Item> = items
-        .iter()
-        .filter(|i| !matches!(i, Item::Dff { .. }))
-        .collect();
+    let mut pending: Vec<&Item> = items.iter().filter(|i| !matches!(i, Item::Dff { .. })).collect();
     while !pending.is_empty() {
         let before = pending.len();
         let mut still: Vec<&Item> = Vec::new();
@@ -535,11 +532,7 @@ pub fn parse(text: &str) -> Result<Network, VerilogError> {
                                 nw.rename(id, lhs.clone());
                                 id
                             } else {
-                                nw.add_table(
-                                    lhs.clone(),
-                                    vec![id],
-                                    crate::truth::gates::buf1(),
-                                )
+                                nw.add_table(lhs.clone(), vec![id], crate::truth::gates::buf1())
                             }
                         } else {
                             nw.add_table(lhs.clone(), vec![id], crate::truth::gates::buf1())
@@ -619,9 +612,9 @@ fn build_expr(
     hint: &str,
 ) -> Result<NodeId, VerilogError> {
     Ok(match e {
-        Expr::Net(line, n) => *net
-            .get(n)
-            .ok_or(VerilogError { line: *line, message: format!("undriven net {n}") })?,
+        Expr::Net(line, n) => {
+            *net.get(n).ok_or(VerilogError { line: *line, message: format!("undriven net {n}") })?
+        }
         Expr::Const(v) => {
             let name = nw.fresh_name(if *v { "$vone" } else { "$vzero" });
             nw.add_const(name, *v)
@@ -698,11 +691,7 @@ fn build_gate(
     for (i, &next) in ids[1..].iter().enumerate() {
         let last = i == ids.len() - 2;
         let table = if last && invert { base.not() } else { base.clone() };
-        let name = if last {
-            out.to_string()
-        } else {
-            nw.fresh_name(&format!("{out}$g{i}"))
-        };
+        let name = if last { out.to_string() } else { nw.fresh_name(&format!("{out}$g{i}")) };
         acc = nw.add_table(name, vec![acc, next], table);
     }
     Ok(acc)
@@ -716,10 +705,8 @@ mod tests {
 
     fn eval_comb(nw: &Network, assign: &[(&str, bool)], out: &str) -> bool {
         let mut sim = Simulator::new(nw).unwrap();
-        let inputs: HashMap<NodeId, u64> = assign
-            .iter()
-            .map(|(n, v)| (nw.find(n).unwrap(), if *v { 1 } else { 0 }))
-            .collect();
+        let inputs: HashMap<NodeId, u64> =
+            assign.iter().map(|(n, v)| (nw.find(n).unwrap(), if *v { 1 } else { 0 })).collect();
         sim.settle(&inputs);
         let port = nw.outputs().iter().find(|p| p.name == out).unwrap();
         sim.value_lane(port.driver, 0)
@@ -769,10 +756,7 @@ mod tests {
         .unwrap();
         for v in 0..8u32 {
             let (a, b, c) = (v & 1 == 1, v & 2 == 2, v & 4 == 4);
-            assert_eq!(
-                eval_comb(&nw, &[("a", a), ("b", b), ("c", c)], "y"),
-                !(a && b && c)
-            );
+            assert_eq!(eval_comb(&nw, &[("a", a), ("b", b), ("c", c)], "y"), !(a && b && c));
             assert_eq!(eval_comb(&nw, &[("a", a), ("b", b), ("c", c)], "z"), !(a ^ c));
         }
     }
@@ -797,10 +781,10 @@ mod tests {
         ins.insert(en, 1u64);
         sim.step(&ins);
         sim.settle(&ins);
-        assert_eq!(sim.value_lane(q, 0), true);
+        assert!(sim.value_lane(q, 0));
         sim.step(&ins);
         sim.settle(&ins);
-        assert_eq!(sim.value_lane(q, 0), false);
+        assert!(!sim.value_lane(q, 0));
     }
 
     #[test]
@@ -864,10 +848,9 @@ mod tests {
 
     #[test]
     fn non_ansi_ports() {
-        let nw = parse(
-            "module n(a, b, y);\ninput a, b;\noutput y;\nassign y = a & b;\nendmodule\n",
-        )
-        .unwrap();
+        let nw =
+            parse("module n(a, b, y);\ninput a, b;\noutput y;\nassign y = a & b;\nendmodule\n")
+                .unwrap();
         assert!(eval_comb(&nw, &[("a", true), ("b", true)], "y"));
     }
 

@@ -1,0 +1,288 @@
+//! Flat JSON Lines reading and writing — the `pfdbg-obs/1` schema.
+//!
+//! Each line is one JSON object whose values are strings, finite
+//! numbers, booleans, or null; nothing nests. That restriction keeps
+//! the writer *and* the parser small enough to live in a zero-dependency
+//! crate, and the same schema serves the observability export, `pfdbg
+//! report`, and the bench binaries.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A flat JSON scalar.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// A string.
+    Str(String),
+    /// A finite number (JSON has only doubles).
+    Num(f64),
+    /// A boolean.
+    Bool(bool),
+    /// Null.
+    Null,
+}
+
+/// One parsed line: an ordered field map.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Event {
+    /// Fields in key order.
+    pub fields: BTreeMap<String, JsonValue>,
+}
+
+impl Event {
+    /// String field, if present and a string.
+    pub fn str(&self, key: &str) -> Option<&str> {
+        match self.fields.get(key) {
+            Some(JsonValue::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric field, if present and a number.
+    pub fn num(&self, key: &str) -> Option<f64> {
+        match self.fields.get(key) {
+            Some(JsonValue::Num(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The `type` discriminator every schema line carries.
+    pub fn kind(&self) -> &str {
+        self.str("type").unwrap_or("")
+    }
+}
+
+/// Serialize one object; field order is preserved.
+pub fn write_object(fields: &[(&str, JsonValue)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_string(&mut out, k);
+        out.push(':');
+        match v {
+            JsonValue::Str(s) => write_string(&mut out, s),
+            JsonValue::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    let _ = write!(out, "{n}");
+                }
+            }
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Null => out.push_str("null"),
+        }
+    }
+    out.push('}');
+    out
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parse a whole JSONL document; blank lines are skipped. Errors carry
+/// the 1-based line number.
+pub fn parse_jsonl(text: &str) -> Result<Vec<Event>, String> {
+    let mut events = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let ev = parse_object(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        events.push(ev);
+    }
+    Ok(events)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_object(line: &str) -> Result<Event, String> {
+    let mut p = Parser { bytes: line.as_bytes(), pos: 0 };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut fields = BTreeMap::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.parse_string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = p.parse_value()?;
+            fields.insert(key, value);
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err("trailing characters after object".into());
+    }
+    Ok(Event { fields })
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next() {
+            Some(b) if b == want => Ok(()),
+            other => Err(format!("expected {:?}, got {other:?}", want as char)),
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'"') => Ok(JsonValue::Str(self.parse_string()?)),
+            Some(b't') => self.parse_literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.parse_literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.parse_literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            other => Err(format!("unexpected value start {other:?}")),
+        }
+    }
+
+    fn parse_literal(&mut self, lit: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("malformed literal (expected {lit})"))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        text.parse::<f64>().map(JsonValue::Num).map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        if self.pos + 4 > self.bytes.len() {
+                            return Err("truncated \\u escape".into());
+                        }
+                        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                            .map_err(|_| "non-ascii \\u escape".to_string())?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                        self.pos += 4;
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(b) => {
+                    // Re-decode the multi-byte UTF-8 sequence: try each
+                    // prefix length so a following multi-byte char can't
+                    // truncate this one.
+                    let s = &self.bytes[self.pos - 1..];
+                    let ch = (2..=s.len().min(4))
+                        .find_map(|n| std::str::from_utf8(&s[..n]).ok())
+                        .and_then(|t| t.chars().next())
+                        .ok_or_else(|| format!("invalid utf-8 at byte {b:#x}"))?;
+                    out.push(ch);
+                    self.pos += ch.len_utf8() - 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_round_trips() {
+        let line = write_object(&[
+            ("type", JsonValue::Str("span".into())),
+            ("name", JsonValue::Str("tpar.route \"q\"\n".into())),
+            ("dur_us", JsonValue::Num(1234.5)),
+            ("count", JsonValue::Num(42.0)),
+            ("open", JsonValue::Bool(false)),
+            ("parent", JsonValue::Null),
+        ]);
+        let events = parse_jsonl(&line).unwrap();
+        assert_eq!(events.len(), 1);
+        let e = &events[0];
+        assert_eq!(e.kind(), "span");
+        assert_eq!(e.str("name"), Some("tpar.route \"q\"\n"));
+        assert_eq!(e.num("dur_us"), Some(1234.5));
+        assert_eq!(e.num("count"), Some(42.0));
+        assert_eq!(e.fields.get("open"), Some(&JsonValue::Bool(false)));
+        assert_eq!(e.fields.get("parent"), Some(&JsonValue::Null));
+    }
+
+    #[test]
+    fn blank_lines_skipped_and_errors_located() {
+        let ok = "{\"type\":\"meta\"}\n\n{\"type\":\"counter\",\"value\":3}\n";
+        assert_eq!(parse_jsonl(ok).unwrap().len(), 2);
+        let err = parse_jsonl("{\"type\":\"meta\"}\n{broken\n").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn unicode_and_escapes_survive() {
+        let line = write_object(&[("text", JsonValue::Str("µs → done\t\"ok\"".into()))]);
+        let back = parse_jsonl(&line).unwrap();
+        assert_eq!(back[0].str("text"), Some("µs → done\t\"ok\""));
+    }
+}

@@ -1,0 +1,40 @@
+//! `pfdbg-obs` — the observability layer of the parameterized debugging
+//! flow.
+//!
+//! The paper's headline claims are *time* and *resource* numbers (≤ 50 µs
+//! SCG specialization, 176 ms full vs. partial reconfiguration, 3.5×
+//! smaller instrumentation), so the reproduction needs to see where the
+//! microseconds and LUTs go. This crate provides:
+//!
+//! * hierarchical **spans** — RAII guards recording wall time and
+//!   nesting ([`span`]);
+//! * named **counters** and **gauges** — BDD nodes, router iterations,
+//!   changed frames, ICAP bytes, … ([`counter_add`], [`gauge_set`]);
+//! * a global [`Registry`] rendering a human-readable span tree with
+//!   per-stage percentages ([`Registry::render_tree`]) and a
+//!   machine-readable **JSONL** event stream ([`Registry::to_jsonl`])
+//!   that [`parse_jsonl`] reads back for `pfdbg report`.
+//!
+//! The layer is **off by default**: every entry point first checks one
+//! relaxed atomic, so an un-profiled run pays a few nanoseconds per
+//! call site and allocates nothing. Thread safety is a plain
+//! `std::sync::Mutex` around the registry — contention only exists
+//! while profiling, which is not the measured configuration.
+//!
+//! No dependencies, by design: the JSON emitted and parsed here is the
+//! flat schema documented in the README ("Profiling a run"), written
+//! and read by ~100 lines of code in [`jsonl`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod jsonl;
+mod registry;
+mod report;
+
+pub use jsonl::{parse_jsonl, Event, JsonValue};
+pub use registry::{
+    counter_add, diag, enabled, gauge_set, registry, reset, set_enabled, span, CounterSnapshot,
+    Registry, SpanGuard, SpanRecord,
+};
+pub use report::{summarize, RunSummary};

@@ -1,0 +1,393 @@
+//! The global registry: span records, counters, gauges, diagnostics.
+
+use crate::jsonl;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Global on/off switch. Off (the default) makes every entry point a
+/// single relaxed atomic load — the "observability overhead when
+/// disabled" acceptance criterion hangs on this.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Is the observability layer recording?
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn recording on or off. Turning it on stamps a fresh epoch if the
+/// registry is empty so span offsets start near zero.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+    if on {
+        registry().restamp_if_empty();
+    }
+}
+
+/// One recorded span.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Stage name (e.g. `tpar.route`).
+    pub name: String,
+    /// Index of the enclosing span within the registry, if any.
+    pub parent: Option<usize>,
+    /// Nesting depth (roots are 0).
+    pub depth: usize,
+    /// Start offset from the registry epoch.
+    pub start: Duration,
+    /// Wall-clock duration; `None` while the span is still open.
+    pub dur: Option<Duration>,
+}
+
+/// One counter's current value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterSnapshot {
+    /// Counter name.
+    pub name: String,
+    /// Accumulated value.
+    pub value: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    epoch: Instant,
+    spans: Vec<SpanRecord>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    messages: Vec<(Duration, String)>,
+}
+
+/// The process-wide event sink. Obtain it through [`registry`]; most
+/// call sites use the free functions ([`span`], [`counter_add`],
+/// [`gauge_set`]) instead.
+#[derive(Debug)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+thread_local! {
+    /// Per-thread stack of open span indices — gives spans their parent
+    /// without cross-thread coordination.
+    static SPAN_STACK: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The global registry.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        inner: Mutex::new(Inner {
+            epoch: Instant::now(),
+            spans: Vec::new(),
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            messages: Vec::new(),
+        }),
+    })
+}
+
+/// Drop all recorded events and restart the epoch.
+pub fn reset() {
+    let mut g = registry().inner.lock().expect("obs registry poisoned");
+    g.epoch = Instant::now();
+    g.spans.clear();
+    g.counters.clear();
+    g.gauges.clear();
+    g.messages.clear();
+    SPAN_STACK.with(|s| s.borrow_mut().clear());
+}
+
+/// Open a span; it closes (and records its duration) when the returned
+/// guard drops. A no-op returning an inert guard while disabled.
+pub fn span(name: &str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { idx: None, opened: Instant::now() };
+    }
+    let reg = registry();
+    let mut g = reg.inner.lock().expect("obs registry poisoned");
+    let parent = SPAN_STACK.with(|s| s.borrow().last().copied());
+    let depth = parent.map_or(0, |p| g.spans[p].depth + 1);
+    let opened = Instant::now();
+    let start = opened.duration_since(g.epoch);
+    let idx = g.spans.len();
+    g.spans.push(SpanRecord { name: name.to_string(), parent, depth, start, dur: None });
+    drop(g);
+    SPAN_STACK.with(|s| s.borrow_mut().push(idx));
+    SpanGuard { idx: Some(idx), opened }
+}
+
+/// RAII handle closing its span on drop.
+#[must_use = "a span measures the scope of its guard; binding it to _ closes it immediately"]
+pub struct SpanGuard {
+    idx: Option<usize>,
+    opened: Instant,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(idx) = self.idx else { return };
+        let elapsed = self.opened.elapsed();
+        let reg = registry();
+        let mut g = reg.inner.lock().expect("obs registry poisoned");
+        if let Some(rec) = g.spans.get_mut(idx) {
+            rec.dur = Some(elapsed);
+        }
+        drop(g);
+        SPAN_STACK.with(|s| {
+            let mut st = s.borrow_mut();
+            if let Some(pos) = st.iter().rposition(|&i| i == idx) {
+                st.remove(pos);
+            }
+        });
+    }
+}
+
+/// Add `delta` to the named counter (creates it at zero).
+#[inline]
+pub fn counter_add(name: &str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut g = registry().inner.lock().expect("obs registry poisoned");
+    *g.counters.entry(name.to_string()).or_insert(0) += delta;
+}
+
+/// Set the named gauge to `value` (last write wins).
+#[inline]
+pub fn gauge_set(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    let mut g = registry().inner.lock().expect("obs registry poisoned");
+    g.gauges.insert(name.to_string(), value);
+}
+
+/// A diagnostic line: always printed to stderr (never stdout — result
+/// tables own stdout), and recorded as a timestamped event while the
+/// layer is enabled.
+pub fn diag(msg: &str) {
+    eprintln!("pfdbg: {msg}");
+    if !enabled() {
+        return;
+    }
+    let mut g = registry().inner.lock().expect("obs registry poisoned");
+    let at = g.epoch.elapsed();
+    g.messages.push((at, msg.to_string()));
+}
+
+impl Registry {
+    fn restamp_if_empty(&self) {
+        let mut g = self.inner.lock().expect("obs registry poisoned");
+        if g.spans.is_empty() && g.counters.is_empty() && g.gauges.is_empty() {
+            g.epoch = Instant::now();
+        }
+    }
+
+    /// Snapshot of all recorded spans, in open order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.inner.lock().expect("obs registry poisoned").spans.clone()
+    }
+
+    /// Snapshot of all counters, sorted by name.
+    pub fn counters(&self) -> Vec<CounterSnapshot> {
+        let g = self.inner.lock().expect("obs registry poisoned");
+        g.counters
+            .iter()
+            .map(|(name, &value)| CounterSnapshot { name: name.clone(), value })
+            .collect()
+    }
+
+    /// Current value of one counter (0 when absent) — test convenience.
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.inner.lock().expect("obs registry poisoned").counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Snapshot of all gauges, sorted by name.
+    pub fn gauges(&self) -> Vec<(String, f64)> {
+        let g = self.inner.lock().expect("obs registry poisoned");
+        g.gauges.iter().map(|(k, &v)| (k.clone(), v)).collect()
+    }
+
+    /// Render the hierarchical span report: one line per span with
+    /// wall time and percentage of the total (the sum of root spans),
+    /// then counters and gauges.
+    pub fn render_tree(&self) -> String {
+        let g = self.inner.lock().expect("obs registry poisoned");
+        let mut out = String::new();
+        let total: Duration =
+            g.spans.iter().filter(|s| s.parent.is_none()).filter_map(|s| s.dur).sum();
+        let _ = writeln!(out, "span tree (total {}):", fmt_dur(total));
+        // Children in recorded order, grouped under their parent.
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); g.spans.len()];
+        let mut roots = Vec::new();
+        for (i, s) in g.spans.iter().enumerate() {
+            match s.parent {
+                Some(p) => children[p].push(i),
+                None => roots.push(i),
+            }
+        }
+        let mut stack: Vec<usize> = roots.iter().rev().copied().collect();
+        while let Some(i) = stack.pop() {
+            let s = &g.spans[i];
+            let dur = s.dur.unwrap_or_default();
+            let pct =
+                if total.is_zero() { 0.0 } else { dur.as_secs_f64() / total.as_secs_f64() * 100.0 };
+            let indent = "  ".repeat(s.depth);
+            let label = format!("{indent}{}", s.name);
+            let open = if s.dur.is_none() { "  (open)" } else { "" };
+            let _ = writeln!(out, "  {label:<38} {:>12} {pct:>6.1}%{open}", fmt_dur(dur));
+            for &c in children[i].iter().rev() {
+                stack.push(c);
+            }
+        }
+        if !g.counters.is_empty() {
+            let _ = writeln!(out, "counters:");
+            for (k, v) in &g.counters {
+                let _ = writeln!(out, "  {k:<40} {v:>14}");
+            }
+        }
+        if !g.gauges.is_empty() {
+            let _ = writeln!(out, "gauges:");
+            for (k, v) in &g.gauges {
+                let _ = writeln!(out, "  {k:<40} {v:>14.3}");
+            }
+        }
+        out
+    }
+
+    /// Serialize every recorded event as JSON Lines (schema
+    /// `pfdbg-obs/1`, documented in the README). One object per line:
+    /// a `meta` header, then `span`, `counter`, `gauge`, and `message`
+    /// events.
+    pub fn to_jsonl(&self) -> String {
+        let g = self.inner.lock().expect("obs registry poisoned");
+        let mut out = String::new();
+        let total: Duration =
+            g.spans.iter().filter(|s| s.parent.is_none()).filter_map(|s| s.dur).sum();
+        out.push_str(&jsonl::write_object(&[
+            ("type", jsonl::JsonValue::Str("meta".into())),
+            ("schema", jsonl::JsonValue::Str("pfdbg-obs/1".into())),
+            ("total_us", jsonl::JsonValue::Num(total.as_secs_f64() * 1e6)),
+        ]));
+        out.push('\n');
+        for (i, s) in g.spans.iter().enumerate() {
+            let mut fields = vec![
+                ("type", jsonl::JsonValue::Str("span".into())),
+                ("id", jsonl::JsonValue::Num(i as f64)),
+                ("name", jsonl::JsonValue::Str(s.name.clone())),
+                ("depth", jsonl::JsonValue::Num(s.depth as f64)),
+                ("start_us", jsonl::JsonValue::Num(s.start.as_secs_f64() * 1e6)),
+                (
+                    "dur_us",
+                    match s.dur {
+                        Some(d) => jsonl::JsonValue::Num(d.as_secs_f64() * 1e6),
+                        None => jsonl::JsonValue::Null,
+                    },
+                ),
+            ];
+            if let Some(p) = s.parent {
+                fields.push(("parent", jsonl::JsonValue::Num(p as f64)));
+            }
+            out.push_str(&jsonl::write_object(&fields));
+            out.push('\n');
+        }
+        for (k, &v) in &g.counters {
+            out.push_str(&jsonl::write_object(&[
+                ("type", jsonl::JsonValue::Str("counter".into())),
+                ("name", jsonl::JsonValue::Str(k.clone())),
+                ("value", jsonl::JsonValue::Num(v as f64)),
+            ]));
+            out.push('\n');
+        }
+        for (k, &v) in &g.gauges {
+            out.push_str(&jsonl::write_object(&[
+                ("type", jsonl::JsonValue::Str("gauge".into())),
+                ("name", jsonl::JsonValue::Str(k.clone())),
+                ("value", jsonl::JsonValue::Num(v)),
+            ]));
+            out.push('\n');
+        }
+        for (at, msg) in &g.messages {
+            out.push_str(&jsonl::write_object(&[
+                ("type", jsonl::JsonValue::Str("message".into())),
+                ("at_us", jsonl::JsonValue::Num(at.as_secs_f64() * 1e6)),
+                ("text", jsonl::JsonValue::Str(msg.clone())),
+            ]));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+pub(crate) fn fmt_dur(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s < 1e-3 {
+        format!("{:.1} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{s:.3} s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The registry is global; tests touching it must not run
+    /// concurrently with each other. They are grouped into one test to
+    /// keep the harness's default parallelism safe.
+    #[test]
+    fn spans_counters_and_render() {
+        set_enabled(true);
+        reset();
+
+        {
+            let _root = span("offline");
+            {
+                let _child = span("tpar");
+                counter_add("route_iterations", 7);
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            {
+                let _child = span("genbits");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        gauge_set("bdd.nodes", 123.0);
+
+        let spans = registry().spans();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].name, "offline");
+        assert_eq!(spans[1].parent, Some(0));
+        assert_eq!(spans[2].parent, Some(0));
+        // Nesting is temporally consistent: children within the parent,
+        // durations monotone (parent ≥ sum of children).
+        let pd = spans[0].dur.unwrap();
+        let cd: Duration = spans[1].dur.unwrap() + spans[2].dur.unwrap();
+        assert!(pd >= cd, "parent {pd:?} < children {cd:?}");
+        assert!(spans[1].start >= spans[0].start);
+        assert_eq!(registry().counter_value("route_iterations"), 7);
+
+        let tree = registry().render_tree();
+        assert!(tree.contains("offline"), "{tree}");
+        assert!(tree.contains("tpar"), "{tree}");
+        assert!(tree.contains("route_iterations"), "{tree}");
+
+        // Disabled layer records nothing and returns inert guards.
+        set_enabled(false);
+        {
+            let _g = span("ignored");
+            counter_add("ignored", 1);
+        }
+        assert_eq!(registry().spans().len(), 3);
+        assert_eq!(registry().counter_value("ignored"), 0);
+
+        set_enabled(true);
+        reset();
+        set_enabled(false);
+    }
+}

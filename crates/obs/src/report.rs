@@ -1,0 +1,155 @@
+//! Summarizing an exported JSONL run — the engine behind
+//! `pfdbg report <file.jsonl>`.
+
+use crate::jsonl::Event;
+use crate::registry::fmt_dur;
+use std::fmt;
+use std::time::Duration;
+
+/// One stage (a span) of the summarized run.
+#[derive(Debug, Clone)]
+pub struct StageSummary {
+    /// Span name.
+    pub name: String,
+    /// Nesting depth.
+    pub depth: usize,
+    /// Wall-clock duration.
+    pub dur: Duration,
+    /// Share of the run total (0..=1); root spans sum to ≈ 1.
+    pub fraction: f64,
+}
+
+/// The digest of one exported run.
+#[derive(Debug, Clone, Default)]
+pub struct RunSummary {
+    /// Schema the file declared (empty when the meta line is missing).
+    pub schema: String,
+    /// Total duration (sum of root spans).
+    pub total: Duration,
+    /// Stages in recorded order.
+    pub stages: Vec<StageSummary>,
+    /// Counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Diagnostics captured during the run.
+    pub messages: Vec<String>,
+}
+
+/// Digest parsed JSONL events into a [`RunSummary`].
+pub fn summarize(events: &[Event]) -> RunSummary {
+    let mut summary = RunSummary::default();
+    let mut root_total = 0.0f64;
+    for e in events {
+        if e.kind() == "span" && e.num("depth") == Some(0.0) {
+            root_total += e.num("dur_us").unwrap_or(0.0);
+        }
+        if e.kind() == "meta" {
+            summary.schema = e.str("schema").unwrap_or("").to_string();
+        }
+    }
+    summary.total = Duration::from_secs_f64((root_total / 1e6).max(0.0));
+    for e in events {
+        match e.kind() {
+            "span" => {
+                let dur_us = e.num("dur_us").unwrap_or(0.0);
+                summary.stages.push(StageSummary {
+                    name: e.str("name").unwrap_or("?").to_string(),
+                    depth: e.num("depth").unwrap_or(0.0) as usize,
+                    dur: Duration::from_secs_f64((dur_us / 1e6).max(0.0)),
+                    fraction: if root_total > 0.0 { dur_us / root_total } else { 0.0 },
+                });
+            }
+            "counter" => {
+                summary.counters.push((
+                    e.str("name").unwrap_or("?").to_string(),
+                    e.num("value").unwrap_or(0.0) as u64,
+                ));
+            }
+            "gauge" => {
+                summary.gauges.push((
+                    e.str("name").unwrap_or("?").to_string(),
+                    e.num("value").unwrap_or(0.0),
+                ));
+            }
+            "message" => {
+                summary.messages.push(e.str("text").unwrap_or("").to_string());
+            }
+            _ => {}
+        }
+    }
+    summary.counters.sort();
+    summary.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+    summary
+}
+
+impl fmt::Display for RunSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "run summary ({}, total {}):",
+            if self.schema.is_empty() { "no schema line" } else { &self.schema },
+            fmt_dur(self.total)
+        )?;
+        for s in &self.stages {
+            let indent = "  ".repeat(s.depth);
+            writeln!(
+                f,
+                "  {:<38} {:>12} {:>6.1}%",
+                format!("{indent}{}", s.name),
+                fmt_dur(s.dur),
+                s.fraction * 100.0
+            )?;
+        }
+        if !self.counters.is_empty() {
+            writeln!(f, "counters:")?;
+            for (k, v) in &self.counters {
+                writeln!(f, "  {k:<40} {v:>14}")?;
+            }
+        }
+        if !self.gauges.is_empty() {
+            writeln!(f, "gauges:")?;
+            for (k, v) in &self.gauges {
+                writeln!(f, "  {k:<40} {v:>14.3}")?;
+            }
+        }
+        if !self.messages.is_empty() {
+            writeln!(f, "messages:")?;
+            for m in &self.messages {
+                writeln!(f, "  {m}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jsonl::parse_jsonl;
+
+    #[test]
+    fn summarize_computes_fractions() {
+        let text = "\
+{\"type\":\"meta\",\"schema\":\"pfdbg-obs/1\",\"total_us\":1000}
+{\"type\":\"span\",\"id\":0,\"name\":\"offline\",\"depth\":0,\"start_us\":0,\"dur_us\":1000}
+{\"type\":\"span\",\"id\":1,\"name\":\"tpar\",\"depth\":1,\"start_us\":10,\"dur_us\":600,\"parent\":0}
+{\"type\":\"counter\",\"name\":\"route_iterations\",\"value\":9}
+{\"type\":\"gauge\",\"name\":\"bdd.nodes\",\"value\":321}
+{\"type\":\"message\",\"at_us\":5,\"text\":\"hello\"}
+";
+        let events = parse_jsonl(text).unwrap();
+        let s = summarize(&events);
+        assert_eq!(s.schema, "pfdbg-obs/1");
+        assert_eq!(s.total, Duration::from_micros(1000));
+        assert_eq!(s.stages.len(), 2);
+        assert!((s.stages[0].fraction - 1.0).abs() < 1e-9);
+        assert!((s.stages[1].fraction - 0.6).abs() < 1e-9);
+        assert_eq!(s.counters, vec![("route_iterations".to_string(), 9)]);
+        assert_eq!(s.gauges.len(), 1);
+        assert_eq!(s.messages, vec!["hello".to_string()]);
+        let rendered = s.to_string();
+        assert!(rendered.contains("offline"), "{rendered}");
+        assert!(rendered.contains("60.0%"), "{rendered}");
+    }
+}

@@ -76,11 +76,17 @@ impl Builder {
                 return Err(format!("address {} parameterized twice", w[0].0));
             }
         }
-        Ok(GeneralizedBitstream {
+        let g = GeneralizedBitstream {
             base: self.base,
             tunable: self.tunable,
             n_params: self.n_params,
-        })
+        };
+        if pfdbg_obs::enabled() {
+            pfdbg_obs::gauge_set("gbs.tunable_bits", g.n_tunable() as f64);
+            pfdbg_obs::gauge_set("gbs.total_bits", g.base.len() as f64);
+            pfdbg_obs::gauge_set("gbs.params", g.n_params as f64);
+        }
+        Ok(g)
     }
 }
 

@@ -96,6 +96,19 @@ impl TurnStats {
     }
 }
 
+/// Fold one turn's costs into the observability registry.
+fn record_turn(stats: &TurnStats, frame_bits: usize) {
+    if !pfdbg_obs::enabled() {
+        return;
+    }
+    pfdbg_obs::counter_add("scg.turns", 1);
+    pfdbg_obs::counter_add("scg.bits_changed", stats.bits_changed as u64);
+    pfdbg_obs::counter_add("scg.frames_changed", stats.frames_changed as u64);
+    pfdbg_obs::counter_add("scg.icap_bytes", (stats.frames_changed * frame_bits / 8) as u64);
+    pfdbg_obs::gauge_set("scg.eval_us_last", stats.eval_time.as_secs_f64() * 1e6);
+    pfdbg_obs::gauge_set("scg.transfer_us_last", stats.transfer_time.as_secs_f64() * 1e6);
+}
+
 /// The online side: tracks the currently loaded configuration and applies
 /// specializations through the modeled ICAP.
 pub struct OnlineReconfigurator {
@@ -125,6 +138,7 @@ impl OnlineReconfigurator {
     /// One debugging turn: evaluate the new parameter assignment, rewrite
     /// the changed frames, report the costs.
     pub fn apply(&mut self, params: &BitVec) -> TurnStats {
+        let _turn_span = pfdbg_obs::span("scg.turn");
         let t0 = Instant::now();
         let changes = self.scg.specialize_diff(&self.current, params);
         let eval_time = t0.elapsed();
@@ -137,12 +151,14 @@ impl OnlineReconfigurator {
             self.current.set(addr, v);
         }
         let transfer_time = self.icap.partial_reconfig(frames.len(), self.layout.frame_bits);
-        TurnStats {
+        let stats = TurnStats {
             eval_time,
             bits_changed: changes.len(),
             frames_changed: frames.len(),
             transfer_time,
-        }
+        };
+        record_turn(&stats, self.layout.frame_bits);
+        stats
     }
 
     /// The modeled cost of a *full* reconfiguration of this device — the
@@ -269,9 +285,6 @@ mod tests {
         // Warm up, then measure.
         let _ = scg.specialize(&asg);
         let (_, t) = scg.specialize_timed(&asg);
-        assert!(
-            t < Duration::from_millis(5),
-            "5000-bit specialization took {t:?}"
-        );
+        assert!(t < Duration::from_millis(5), "5000-bit specialization took {t:?}");
     }
 }

@@ -53,11 +53,8 @@ pub struct CongestionReport {
 impl CongestionReport {
     /// Channels above the given utilization threshold, worst first.
     pub fn hotspots(&self, threshold: f64) -> Vec<&ChannelUse> {
-        let mut v: Vec<&ChannelUse> = self
-            .channels
-            .iter()
-            .filter(|c| c.utilization() >= threshold)
-            .collect();
+        let mut v: Vec<&ChannelUse> =
+            self.channels.iter().filter(|c| c.utilization() >= threshold).collect();
         v.sort_by(|a, b| b.utilization().partial_cmp(&a.utilization()).expect("finite"));
         v
     }
@@ -123,11 +120,8 @@ pub fn analyze(
         channels.iter().map(ChannelUse::utilization).sum::<f64>() / channels.len() as f64
     };
     let total_tracks: u64 = channels.iter().map(|c| c.used as u64).sum();
-    let tunable_share = if total_tracks == 0 {
-        0.0
-    } else {
-        tunable_tracks as f64 / total_tracks as f64
-    };
+    let tunable_share =
+        if total_tracks == 0 { 0.0 } else { tunable_tracks as f64 / total_tracks as f64 };
     CongestionReport { channels, peak_utilization: peak, mean_utilization: mean, tunable_share }
 }
 

@@ -125,9 +125,7 @@ pub fn pack(
     nw.topo_order().map_err(|n| format!("cycle at {n:?}"))?;
 
     let kind_of = |id: NodeId| kinds.get(&id).copied().unwrap_or(ElemKind::Lut);
-    let is_tcon = |id: NodeId| {
-        nw.node(id).is_table() && kind_of(id) == ElemKind::TCon
-    };
+    let is_tcon = |id: NodeId| nw.node(id).is_table() && kind_of(id) == ElemKind::TCon;
 
     // --- Step 1: form BLEs. A latch merges with its driving LUT when that
     // LUT feeds only the latch (and is not a TCON).
@@ -137,17 +135,15 @@ pub fn pack(
     for (id, node) in nw.nodes() {
         match node.kind {
             NodeKind::Table(_) if !is_tcon(id) => {
-                if !ble_of_node.contains_key(&id) {
+                ble_of_node.entry(id).or_insert_with(|| {
                     let b = bles.len();
                     bles.push(Ble { lut: Some(id), latch: None });
-                    ble_of_node.insert(id, b);
-                }
+                    b
+                });
             }
             NodeKind::Latch { .. } => {
                 let data = node.fanins[0];
-                let mergeable = nw.node(data).is_table()
-                    && !is_tcon(data)
-                    && fanouts[data] == 1;
+                let mergeable = nw.node(data).is_table() && !is_tcon(data) && fanouts[data] == 1;
                 if mergeable {
                     let b = *ble_of_node.entry(data).or_insert_with(|| {
                         bles.push(Ble { lut: Some(data), latch: None });
@@ -238,9 +234,8 @@ pub fn pack(
     // Simple VPack: seed = unclustered BLE with most inputs; then add the
     // BLE maximizing shared signals while pin-feasible.
     loop {
-        let seed = (0..n_bles)
-            .filter(|&i| !clustered[i])
-            .max_by_key(|&i| ble_inputs(&bles[i]).len());
+        let seed =
+            (0..n_bles).filter(|&i| !clustered[i]).max_by_key(|&i| ble_inputs(&bles[i]).len());
         let Some(seed) = seed else { break };
         clustered[seed] = true;
         let mut cluster = Cluster::default();
@@ -260,9 +255,8 @@ pub fn pack(
         };
         add_ble(&mut cluster, &mut produced, seed);
         // Locally produced signals do not consume input pins.
-        let effective_inputs = |c: &Cluster, p: &FxHashSet<NodeId>| {
-            c.inputs.iter().filter(|i| !p.contains(i)).count()
-        };
+        let effective_inputs =
+            |c: &Cluster, p: &FxHashSet<NodeId>| c.inputs.iter().filter(|i| !p.contains(i)).count();
 
         while cluster.bles.len() < cfg.n_ble {
             let mut best: Option<(usize, usize)> = None; // (gain, ble)
@@ -364,11 +358,8 @@ pub fn pack(
         if entry.sources.is_empty() {
             entry.name = nw.node(driver).name.clone();
             entry.tunable = tcon;
-            let alts = if tcon {
-                resolve(nw, driver, &is_tcon, &mut resolve_memo)
-            } else {
-                vec![driver]
-            };
+            let alts =
+                if tcon { resolve(nw, driver, &is_tcon, &mut resolve_memo) } else { vec![driver] };
             for a in alts {
                 let &ab = block_of_node
                     .get(&a)
@@ -440,10 +431,7 @@ pub fn pack(
         .collect();
     net_list.sort_by(|a, b| a.name.cmp(&b.name));
 
-    let n_tcons = nw
-        .node_ids()
-        .filter(|&id| is_tcon(id))
-        .count();
+    let n_tcons = nw.node_ids().filter(|&id| is_tcon(id)).count();
 
     Ok(PackedDesign { blocks, clusters, nets: net_list, n_tcons })
 }

@@ -80,10 +80,8 @@ struct NetGeometry {
 /// Run simulated-annealing placement.
 pub fn place(design: &PackedDesign, dev: &Device, cfg: &PlaceConfig) -> Result<Placement, String> {
     let n_blocks = design.blocks.len();
-    let clb_slots: Vec<Loc> = dev
-        .clb_tiles()
-        .map(|(x, y)| Loc { x: x as u16, y: y as u16, sub: 0 })
-        .collect();
+    let clb_slots: Vec<Loc> =
+        dev.clb_tiles().map(|(x, y)| Loc { x: x as u16, y: y as u16, sub: 0 }).collect();
     let io_slots: Vec<Loc> = dev
         .io_tiles()
         .flat_map(|(x, y)| {
@@ -91,12 +89,10 @@ pub fn place(design: &PackedDesign, dev: &Device, cfg: &PlaceConfig) -> Result<P
         })
         .collect();
 
-    let clb_blocks: Vec<usize> = (0..n_blocks)
-        .filter(|&b| matches!(design.blocks[b], Block::Clb(_)))
-        .collect();
-    let pad_blocks: Vec<usize> = (0..n_blocks)
-        .filter(|&b| !matches!(design.blocks[b], Block::Clb(_)))
-        .collect();
+    let clb_blocks: Vec<usize> =
+        (0..n_blocks).filter(|&b| matches!(design.blocks[b], Block::Clb(_))).collect();
+    let pad_blocks: Vec<usize> =
+        (0..n_blocks).filter(|&b| !matches!(design.blocks[b], Block::Clb(_))).collect();
     if clb_blocks.len() > clb_slots.len() {
         return Err(format!(
             "design needs {} CLBs but device has {}",
@@ -169,16 +165,14 @@ pub fn place(design: &PackedDesign, dev: &Device, cfg: &PlaceConfig) -> Result<P
         n.weight * ((max_x - min_x) as f64 + (max_y - min_y) as f64)
     };
 
-    let total_cost =
-        |locs: &[Loc]| -> f64 { (0..nets.len()).map(|ni| bbox_cost(ni, locs)).sum() };
+    let total_cost = |locs: &[Loc]| -> f64 { (0..nets.len()).map(|ni| bbox_cost(ni, locs)).sum() };
     let mut cost = total_cost(&locs);
 
     // Move generator: pick a random block; swap with a random slot of its
     // class (occupied -> swap, free -> move) within the range limit.
     let grid_span = dev.width.max(dev.height) as f64;
     let mut range = grid_span;
-    let moves_per_temp =
-        ((cfg.effort * 10.0) * (n_blocks.max(8) as f64).powf(4.0 / 3.0)) as usize;
+    let moves_per_temp = ((cfg.effort * 10.0) * (n_blocks.max(8) as f64).powf(4.0 / 3.0)) as usize;
 
     // Initial temperature: std-dev of random move deltas (VPR).
     let movable: Vec<usize> = (0..n_blocks).collect();
@@ -188,6 +182,8 @@ pub fn place(design: &PackedDesign, dev: &Device, cfg: &PlaceConfig) -> Result<P
 
     // Helper executing one random move attempt. Returns delta and undo
     // closure state: (block_a, old_a, maybe block_b, old_b).
+    /// `(delta cost, moved block, its old loc, swapped (block, old loc))`.
+    type MoveOutcome = (f64, usize, Loc, Option<(usize, Loc)>);
     #[allow(clippy::too_many_arguments)]
     fn attempt(
         rng: &mut StdRng,
@@ -200,14 +196,10 @@ pub fn place(design: &PackedDesign, dev: &Device, cfg: &PlaceConfig) -> Result<P
         nets_of_block: &[Vec<u32>],
         bbox: &dyn Fn(usize, &[Loc]) -> f64,
         range: f64,
-    ) -> Option<(f64, usize, Loc, Option<(usize, Loc)>)> {
-        let use_clb = !clb_blocks.is_empty()
-            && (pad_blocks.is_empty() || rng.gen::<f64>() < 0.8);
-        let (blocks, slots) = if use_clb {
-            (clb_blocks, clb_slots)
-        } else {
-            (pad_blocks, io_slots)
-        };
+    ) -> Option<MoveOutcome> {
+        let use_clb = !clb_blocks.is_empty() && (pad_blocks.is_empty() || rng.gen::<f64>() < 0.8);
+        let (blocks, slots) =
+            if use_clb { (clb_blocks, clb_slots) } else { (pad_blocks, io_slots) };
         if blocks.is_empty() {
             return None;
         }
@@ -220,10 +212,7 @@ pub fn place(design: &PackedDesign, dev: &Device, cfg: &PlaceConfig) -> Result<P
             return None;
         }
         // Find occupant of the slot, if any.
-        let occupant = blocks
-            .iter()
-            .copied()
-            .find(|&b| locs[b] == slot && b != a);
+        let occupant = blocks.iter().copied().find(|&b| locs[b] == slot && b != a);
         // Affected nets.
         let mut affected: Vec<u32> = nets_of_block[a].clone();
         if let Some(b) = occupant {
@@ -244,13 +233,12 @@ pub fn place(design: &PackedDesign, dev: &Device, cfg: &PlaceConfig) -> Result<P
         Some((after - before, a, old_a, undo_b))
     }
 
-    let undo =
-        |locs: &mut [Loc], a: usize, old_a: Loc, b: Option<(usize, Loc)>| {
-            if let Some((bb, old_b)) = b {
-                locs[bb] = old_b;
-            }
-            locs[a] = old_a;
-        };
+    let undo = |locs: &mut [Loc], a: usize, old_a: Loc, b: Option<(usize, Loc)>| {
+        if let Some((bb, old_b)) = b {
+            locs[bb] = old_b;
+        }
+        locs[a] = old_a;
+    };
 
     // Estimate initial temperature.
     let mut deltas: Vec<f64> = Vec::new();
@@ -275,8 +263,7 @@ pub fn place(design: &PackedDesign, dev: &Device, cfg: &PlaceConfig) -> Result<P
         1.0
     } else {
         let mean = deltas.iter().sum::<f64>() / deltas.len() as f64;
-        let var =
-            deltas.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / deltas.len() as f64;
+        let var = deltas.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / deltas.len() as f64;
         (20.0 * var.sqrt()).max(1.0)
     };
 
@@ -364,8 +351,8 @@ mod tests {
             name: "n_in".into(),
             sources: vec![SourceRef { block: n, ble: 0 }],
             source_nodes: vec![],
-                driver: pfdbg_netlist::NodeId(0),
-                sinks: vec![0],
+            driver: pfdbg_netlist::NodeId(0),
+            sinks: vec![0],
             tunable: false,
         });
         for i in 0..n - 1 {
@@ -382,8 +369,8 @@ mod tests {
             name: "n_out".into(),
             sources: vec![SourceRef { block: n - 1, ble: 0 }],
             source_nodes: vec![],
-                driver: pfdbg_netlist::NodeId(0),
-                sinks: vec![n + 1],
+            driver: pfdbg_netlist::NodeId(0),
+            sinks: vec![n + 1],
             tunable: false,
         });
         PackedDesign { blocks, clusters, nets, n_tcons: 0 }
@@ -418,11 +405,7 @@ mod tests {
         // A chain of 24 blocks on a 6x6 grid: optimal is ~1 per hop. The
         // anneal should get within 3x of that.
         let hops = d.nets.len() as f64;
-        assert!(
-            p1.cost < hops * 3.0,
-            "placement cost {} vs ideal ~{hops}",
-            p1.cost
-        );
+        assert!(p1.cost < hops * 3.0, "placement cost {} vs ideal ~{hops}", p1.cost);
         assert!(p1.moves > 0);
     }
 
@@ -458,8 +441,8 @@ mod tests {
             name: "tn".into(),
             sources: (0..4).map(|b| SourceRef { block: b, ble: 0 }).collect(),
             source_nodes: vec![],
-                driver: pfdbg_netlist::NodeId(0),
-                sinks: vec![4],
+            driver: pfdbg_netlist::NodeId(0),
+            sinks: vec![4],
             tunable: true,
         }];
         let d = PackedDesign { blocks, clusters, nets, n_tcons: 3 };

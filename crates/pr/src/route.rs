@@ -34,13 +34,7 @@ pub struct RouteConfig {
 
 impl Default for RouteConfig {
     fn default() -> Self {
-        RouteConfig {
-            max_iterations: 40,
-            pres_fac: 0.5,
-            pres_mult: 1.8,
-            hist_fac: 0.4,
-            astar: 1.0,
-        }
+        RouteConfig { max_iterations: 40, pres_fac: 0.5, pres_mult: 1.8, hist_fac: 0.4, astar: 1.0 }
     }
 }
 
@@ -150,9 +144,8 @@ pub fn route(
     // at one opin is when they carry the same physical signal (an
     // observed net tapped by both its ordinary fanout net and a tunable
     // trace net) — legitimate sharing, not a conflict.
-    let is_opin: Vec<bool> = (0..n_nodes)
-        .map(|i| matches!(rrg.node(RRNode(i as u32)).kind, RRKind::OPin(_)))
-        .collect();
+    let is_opin: Vec<bool> =
+        (0..n_nodes).map(|i| matches!(rrg.node(RRNode(i as u32)).kind, RRKind::OPin(_))).collect();
     let mut occ = vec![0u16; n_nodes]; // nets using each node
     let mut hist = vec![0f32; n_nodes];
     let mut pres_fac = cfg.pres_fac;
@@ -188,9 +181,7 @@ pub fn route(
             }
             set.clear();
         }
-        for r in &mut routes {
-            *r = None;
-        }
+        routes.fill(None);
 
         // Route nets, largest fanout first (harder nets earlier).
         let mut order: Vec<usize> = (0..n_nets).collect();
@@ -238,10 +229,7 @@ pub fn route(
                             crate::pack::Block::Clb(_) => (0..rrg.n_ipins(sx, sy))
                                 .filter_map(|p| rrg.ipin(sx, sy, p))
                                 .collect(),
-                            _ => rrg
-                                .ipin(sx, sy, loc.sub as usize)
-                                .into_iter()
-                                .collect(),
+                            _ => rrg.ipin(sx, sy, loc.sub as usize).into_iter().collect(),
                         }
                     };
                     if goals.is_empty() {
@@ -334,6 +322,11 @@ pub fn route(
                 hist[idx] += cfg.hist_fac * (occ[idx] - 1) as f32;
             }
         }
+        // Per-iteration congestion telemetry: total overflow events
+        // across all iterations plus the latest iteration's residue.
+        pfdbg_obs::counter_add("route.iterations", 1);
+        pfdbg_obs::counter_add("route.overflow", overused as u64);
+        pfdbg_obs::gauge_set("route.overused_last", overused as f64);
         if overused == 0 && all_ok {
             converged = true;
             break;
@@ -350,10 +343,8 @@ pub fn route(
         })
         .sum();
 
-    let routes: Vec<NetRoute> = routes
-        .into_iter()
-        .map(|r| r.expect("all nets attempted"))
-        .collect();
+    let routes: Vec<NetRoute> =
+        routes.into_iter().map(|r| r.expect("all nets attempted")).collect();
 
     Ok(RoutedDesign { routes, iterations, wires_used, success: converged })
 }
@@ -366,7 +357,8 @@ mod tests {
     use pfdbg_arch::{build_rrg, ArchSpec, Device};
 
     fn route_design(design: &PackedDesign, clb_side: usize) -> (RoutedDesign, Device) {
-        let dev = Device::new(ArchSpec { channel_width: 10, ..Default::default() }, clb_side, clb_side);
+        let dev =
+            Device::new(ArchSpec { channel_width: 10, ..Default::default() }, clb_side, clb_side);
         let rrg = build_rrg(&dev);
         let placement = place(design, &dev, &PlaceConfig::default()).unwrap();
         let routed = route(design, &placement, &dev, &rrg, &RouteConfig::default()).unwrap();
@@ -472,10 +464,7 @@ mod tests {
             clusters: vec![Default::default(), Default::default(), Default::default()],
             nets: vec![PRNet {
                 name: "tn".into(),
-                sources: vec![
-                    SourceRef { block: 0, ble: 0 },
-                    SourceRef { block: 1, ble: 0 },
-                ],
+                sources: vec![SourceRef { block: 0, ble: 0 }, SourceRef { block: 1, ble: 0 }],
                 source_nodes: vec![],
                 driver: pfdbg_netlist::NodeId(0),
                 sinks: vec![2],

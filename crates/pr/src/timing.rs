@@ -146,10 +146,7 @@ pub fn analyze(
     let wire_delay = |driver: NodeId, consumer_block: Option<usize>| -> f64 {
         let Some(cb) = consumer_block else { return model.local };
         match net_of_driver.get(&driver) {
-            Some(&ni) => sink_delay
-                .get(&(ni, cb))
-                .copied()
-                .unwrap_or(model.local),
+            Some(&ni) => sink_delay.get(&(ni, cb)).copied().unwrap_or(model.local),
             None => model.local,
         }
     };
@@ -178,8 +175,7 @@ pub fn analyze(
             if mapped.node(f).is_param {
                 continue; // configuration, not a signal path
             }
-            let a = arrival.get(&f).copied().unwrap_or(0.0)
-                + wire_delay(f, my_block);
+            let a = arrival.get(&f).copied().unwrap_or(0.0) + wire_delay(f, my_block);
             if a >= best {
                 best = a;
                 best_pred = Some(f);
@@ -198,7 +194,7 @@ pub fn analyze(
     // Endpoints: primary outputs and latch data pins.
     let mut worst: Option<(f64, NodeId)> = None;
     let note = |d: f64, n: NodeId, worst: &mut Option<(f64, NodeId)>| {
-        if worst.map_or(true, |(w, _)| d > w) {
+        if worst.is_none_or(|(w, _)| d > w) {
             *worst = Some((d, n));
         }
     };
@@ -228,11 +224,7 @@ pub fn analyze(
         }
     }
     path.reverse();
-    Ok(TimingReport {
-        critical_delay,
-        levels: level.get(&end).copied().unwrap_or(0),
-        path,
-    })
+    Ok(TimingReport { critical_delay, levels: level.get(&end).copied().unwrap_or(0), path })
 }
 
 #[cfg(test)]
@@ -240,15 +232,14 @@ mod tests {
     use super::*;
     use crate::tpar::{tpar, TparConfig};
     use pfdbg_map::{map, map_parameterized_network, MapperKind};
-    use pfdbg_synth::{synthesize, Aig, Lit};
+    use pfdbg_synth::{Aig, Lit};
 
     fn chain_design(n: usize) -> Network {
         // A LUT chain that cannot collapse (each stage has an extra
         // primary output).
         let mut aig = Aig::new("chain");
         let mut prev = aig.add_input("x", false);
-        let extra: Vec<Lit> =
-            (0..n).map(|i| aig.add_input(format!("e{i}"), false)).collect();
+        let extra: Vec<Lit> = (0..n).map(|i| aig.add_input(format!("e{i}"), false)).collect();
         for (i, &e) in extra.iter().enumerate() {
             let nxt = aig.xor(prev, e);
             aig.add_output(format!("tap{i}"), nxt);
@@ -286,19 +277,12 @@ mod tests {
 
         // Instrument (mapped-netlist instrumentation, as in the flow).
         let mut inst = design.clone();
-        let observed: Vec<NodeId> = inst
-            .nodes()
-            .filter(|(_, n)| n.is_table())
-            .map(|(id, _)| id)
-            .collect();
+        let observed: Vec<NodeId> =
+            inst.nodes().filter(|(_, n)| n.is_table()).map(|(id, _)| id).collect();
         let s0 = inst.add_input("$sel_p0_b0");
         inst.set_param(s0, true);
         use pfdbg_netlist::truth::gates;
-        let m = inst.add_table(
-            "$mux_p0",
-            vec![observed[0], observed[1], s0],
-            gates::mux21(),
-        );
+        let m = inst.add_table("$mux_p0", vec![observed[0], observed[1], s0], gates::mux21());
         inst.add_output("$trace0", m);
         let mp = map_parameterized_network(&inst, 4).unwrap();
         let r1 = tpar(&mp.network, &mp.kinds, &TparConfig::default()).unwrap();

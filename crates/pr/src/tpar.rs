@@ -127,16 +127,27 @@ pub fn tpar(
     cfg: &TparConfig,
 ) -> Result<TparResult, String> {
     let t0 = Instant::now();
-    let pack_cfg = PackConfig { n_ble: cfg.arch.n_ble, clb_inputs: cfg.arch.clb_inputs };
-    let packed = pack(nw, kinds, pack_cfg)?;
+    let _tpar_span = pfdbg_obs::span("tpar");
+    let packed = {
+        let _s = pfdbg_obs::span("tpar.pack");
+        let pack_cfg = PackConfig { n_ble: cfg.arch.n_ble, clb_inputs: cfg.arch.clb_inputs };
+        pack(nw, kinds, pack_cfg)?
+    };
 
     let mut arch = cfg.arch;
     let mut last_err = String::from("routing never attempted");
     for retry in 0..=cfg.max_width_retries {
-        let device = Device::auto_size(arch, packed.n_clbs().max(1), packed.n_pads(), cfg.device_slack);
+        let device =
+            Device::auto_size(arch, packed.n_clbs().max(1), packed.n_pads(), cfg.device_slack);
         let rrg = build_rrg(&device);
-        let placement = place_parallel(&packed, &device, &cfg.place, cfg.place_chains)?;
-        let routed = route(&packed, &placement, &device, &rrg, &cfg.route)?;
+        let placement = {
+            let _s = pfdbg_obs::span("tpar.place");
+            place_parallel(&packed, &device, &cfg.place, cfg.place_chains)?
+        };
+        let routed = {
+            let _s = pfdbg_obs::span("tpar.route");
+            route(&packed, &placement, &device, &rrg, &cfg.route)?
+        };
         if routed.success {
             let stats = TparStats {
                 n_clbs: packed.n_clbs(),
@@ -148,15 +159,29 @@ pub fn tpar(
                 runtime: t0.elapsed(),
                 route_iterations: routed.iterations,
             };
+            record_tpar_stats(&stats, retry);
             return Ok(TparResult { packed, device, rrg, placement, routed, stats });
         }
-        last_err = format!(
-            "unroutable at channel width {} (retry {retry})",
-            arch.channel_width
-        );
+        pfdbg_obs::counter_add("tpar.width_retries", 1);
+        last_err = format!("unroutable at channel width {} (retry {retry})", arch.channel_width);
         arch.channel_width = (arch.channel_width * 3).div_ceil(2);
     }
     Err(last_err)
+}
+
+/// Fold the successful attempt's summary into the observability layer.
+fn record_tpar_stats(stats: &TparStats, retries: usize) {
+    if !pfdbg_obs::enabled() {
+        return;
+    }
+    pfdbg_obs::gauge_set("tpar.clbs", stats.n_clbs as f64);
+    pfdbg_obs::gauge_set("tpar.nets", stats.n_nets as f64);
+    pfdbg_obs::gauge_set("tpar.tunable_nets", stats.n_tunable_nets as f64);
+    pfdbg_obs::gauge_set("tpar.wires_used", stats.wires_used as f64);
+    pfdbg_obs::gauge_set("tpar.switches", stats.n_switches as f64);
+    pfdbg_obs::gauge_set("tpar.channel_width", stats.channel_width as f64);
+    pfdbg_obs::gauge_set("tpar.route_iterations", stats.route_iterations as f64);
+    pfdbg_obs::gauge_set("tpar.retries", retries as f64);
 }
 
 #[cfg(test)]

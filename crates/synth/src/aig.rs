@@ -47,6 +47,7 @@ impl Lit {
 
     /// The complement of this literal.
     #[inline]
+    #[allow(clippy::should_implement_trait)] // `lit.not()` reads as AIG complementation at every call site
     pub fn not(self) -> Lit {
         Lit(self.0 ^ 1)
     }
@@ -138,10 +139,7 @@ impl Aig {
     /// Set a latch's next-state literal.
     pub fn set_latch_next(&mut self, latch: Lit, next: Lit) {
         assert!(!latch.complemented(), "latch handle must be uncomplemented");
-        assert!(
-            matches!(self.nodes[latch.node()].kind, AigKind::Latch { .. }),
-            "not a latch"
-        );
+        assert!(matches!(self.nodes[latch.node()].kind, AigKind::Latch { .. }), "not a latch");
         self.latch_next.insert(latch.node(), next);
     }
 
@@ -166,10 +164,7 @@ impl Aig {
         if let Some(&node) = self.strash.get(&(f0, f1)) {
             return Lit::new(node, false);
         }
-        let id = self.nodes.push(AigEntry {
-            kind: AigKind::And(f0, f1),
-            name: String::new(),
-        });
+        let id = self.nodes.push(AigEntry { kind: AigKind::And(f0, f1), name: String::new() });
         self.strash.insert((f0, f1), id);
         Lit::new(id, false)
     }
@@ -235,18 +230,12 @@ impl Aig {
 
     /// Latch node ids.
     pub fn latch_ids(&self) -> impl Iterator<Item = AigNode> + '_ {
-        self.nodes
-            .iter()
-            .filter(|(_, n)| matches!(n.kind, AigKind::Latch { .. }))
-            .map(|(id, _)| id)
+        self.nodes.iter().filter(|(_, n)| matches!(n.kind, AigKind::Latch { .. })).map(|(id, _)| id)
     }
 
     /// Input node ids.
     pub fn input_ids(&self) -> impl Iterator<Item = AigNode> + '_ {
-        self.nodes
-            .iter()
-            .filter(|(_, n)| matches!(n.kind, AigKind::Input { .. }))
-            .map(|(id, _)| id)
+        self.nodes.iter().filter(|(_, n)| matches!(n.kind, AigKind::Input { .. })).map(|(id, _)| id)
     }
 
     /// Depth (AND levels) of every node. Inputs/latches/const are level 0.
@@ -267,7 +256,7 @@ impl Aig {
         for (_, lit) in &self.outputs {
             d = d.max(levels[lit.node()]);
         }
-        for (_, &lit) in &self.latch_next {
+        for &lit in self.latch_next.values() {
             d = d.max(levels[lit.node()]);
         }
         d
@@ -285,7 +274,7 @@ impl Aig {
         for (_, lit) in &self.outputs {
             counts[lit.node()] += 1;
         }
-        for (_, &lit) in &self.latch_next {
+        for &lit in self.latch_next.values() {
             counts[lit.node()] += 1;
         }
         counts
@@ -440,9 +429,9 @@ pub fn to_network(aig: &Aig) -> Network {
 
     // Helper to materialize a literal (inserting an inverter if needed).
     let materialize = |nw: &mut Network,
-                           id_of: &IdVec<AigNode, Option<NodeId>>,
-                           const_node: &mut Option<NodeId>,
-                           lit: Lit|
+                       id_of: &IdVec<AigNode, Option<NodeId>>,
+                       const_node: &mut Option<NodeId>,
+                       lit: Lit|
      -> NodeId {
         if lit == Lit::FALSE {
             return match const_node {
@@ -619,10 +608,7 @@ mod tests {
         let m = nw.add_table("m", vec![a, p], gates::and2());
         nw.add_output("m", m);
         let aig = from_network(&nw).unwrap();
-        let pn = aig
-            .input_ids()
-            .find(|&i| aig.node(i).name == "p")
-            .unwrap();
+        let pn = aig.input_ids().find(|&i| aig.node(i).name == "p").unwrap();
         assert!(aig.is_param(pn));
         let back = to_network(&aig);
         let bp = back.find("p").unwrap();

@@ -139,9 +139,8 @@ pub fn balance(aig: &Aig) -> Aig {
     // Process root AND nodes in topological order; levels are tracked in
     // the *new* AIG to drive pairing decisions.
     let mut new_levels: Vec<u32> = vec![0; 1];
-    let level_of = |lit: Lit, levels: &Vec<u32>| -> u32 {
-        *levels.get(lit.node().index()).unwrap_or(&0)
-    };
+    let level_of =
+        |lit: Lit, levels: &Vec<u32>| -> u32 { *levels.get(lit.node().index()).unwrap_or(&0) };
 
     for (id, entry) in aig.iter() {
         if let AigKind::And(..) = entry.kind {
@@ -169,8 +168,7 @@ pub fn balance(aig: &Aig) -> Aig {
                 let idx = r.node().index();
                 if idx >= new_levels.len() {
                     new_levels.resize(idx + 1, 0);
-                    new_levels[idx] =
-                        1 + level_of(a, &new_levels).max(level_of(b, &new_levels));
+                    new_levels[idx] = 1 + level_of(a, &new_levels).max(level_of(b, &new_levels));
                 }
                 // Insert r keeping the vector sorted descending by level.
                 let lv = level_of(r, &new_levels);
@@ -258,7 +256,7 @@ mod tests {
         let b = balance(&aig);
         assert_eq!(b.depth(), 3); // ceil(log2 8)
         assert_eq!(b.n_ands(), 7); // same node count
-        // Function preserved.
+                                   // Function preserved.
         let nw_a = to_network(&aig);
         let nw_b = to_network(&b);
         assert!(comb_equivalent(&nw_a, &nw_b, 64, 2).unwrap());

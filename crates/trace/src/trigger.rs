@@ -113,12 +113,8 @@ impl TriggerUnit {
         let matched = self.conds.iter().enumerate().all(|(i, c)| match c {
             PortCond::Any => true,
             PortCond::Level(v) => sample.get(i) == *v,
-            PortCond::Rising => {
-                matches!(&self.prev, Some(p) if !p.get(i)) && sample.get(i)
-            }
-            PortCond::Falling => {
-                matches!(&self.prev, Some(p) if p.get(i)) && !sample.get(i)
-            }
+            PortCond::Rising => matches!(&self.prev, Some(p) if !p.get(i)) && sample.get(i),
+            PortCond::Falling => matches!(&self.prev, Some(p) if p.get(i)) && !sample.get(i),
         });
         if matched {
             self.matches_seen += 1;

@@ -147,11 +147,7 @@ impl BitVec {
     /// Number of positions at which `self` and `other` differ.
     pub fn hamming_distance(&self, other: &BitVec) -> usize {
         assert_eq!(self.len, other.len, "BitVec length mismatch");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a ^ b).count_ones() as usize)
-            .sum()
+        self.words.iter().zip(&other.words).map(|(a, b)| (a ^ b).count_ones() as usize).sum()
     }
 
     /// Borrow the backing words (LSB-first). The tail beyond `len` is zero.

@@ -31,13 +31,14 @@ pub fn stddev(xs: &[f64]) -> Option<f64> {
 }
 
 /// `p`-th percentile (0..=100) by linear interpolation on the sorted data.
-/// Returns `None` on an empty slice or out-of-range `p`.
+/// Returns `None` on an empty slice, out-of-range `p`, or NaN input (a
+/// NaN has no rank, so no percentile is well defined).
 pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
-    if xs.is_empty() || !(0.0..=100.0).contains(&p) {
+    if xs.is_empty() || !(0.0..=100.0).contains(&p) || xs.iter().any(|x| x.is_nan()) {
         return None;
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaNs rejected above"));
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
@@ -133,6 +134,14 @@ mod tests {
         assert_eq!(percentile(&xs, 100.0), Some(4.0));
         assert_eq!(median(&xs), Some(2.5));
         assert_eq!(percentile(&xs, 101.0), None);
+    }
+
+    #[test]
+    fn percentile_rejects_nan_instead_of_panicking() {
+        assert_eq!(percentile(&[1.0, f64::NAN, 3.0], 50.0), None);
+        assert_eq!(percentile(&[f64::NAN], 0.0), None);
+        // Infinities still sort fine.
+        assert_eq!(percentile(&[f64::NEG_INFINITY, 0.0, f64::INFINITY], 50.0), Some(0.0));
     }
 
     #[test]

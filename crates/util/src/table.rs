@@ -143,24 +143,12 @@ impl BarChart {
 
     /// Render with bars scaled so the maximum occupies `width` cells.
     pub fn render(&self, width: usize) -> String {
-        let max = self
-            .entries
-            .iter()
-            .map(|(_, v)| *v)
-            .fold(0.0_f64, f64::max);
+        let max = self.entries.iter().map(|(_, v)| *v).fold(0.0_f64, f64::max);
         let label_w = self.entries.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
         let mut out = String::new();
         for (label, value) in &self.entries {
-            let cells = if max > 0.0 {
-                ((value / max) * width as f64).round() as usize
-            } else {
-                0
-            };
-            let _ = writeln!(
-                out,
-                "{label:<label_w$} |{} {value:.0}",
-                "#".repeat(cells),
-            );
+            let cells = if max > 0.0 { ((value / max) * width as f64).round() as usize } else { 0 };
+            let _ = writeln!(out, "{label:<label_w$} |{} {value:.0}", "#".repeat(cells),);
         }
         out
     }

@@ -18,8 +18,8 @@ fn main() {
     });
 
     println!("measuring {name} with all four implementations (K={PAPER_K})...");
-    let cmp = compare_mappers(&name, &design, &InstrumentConfig::paper(), PAPER_K)
-        .expect("comparison");
+    let cmp =
+        compare_mappers(&name, &design, &InstrumentConfig::paper(), PAPER_K).expect("comparison");
 
     let mut t = Table::new(["implementation", "LUTs", "depth", "notes"]);
     t.row([

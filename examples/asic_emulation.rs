@@ -22,18 +22,12 @@ fn main() {
         n_latches: 6,
         seed: 5,
     });
-    let inst = instrument(
-        &design,
-        &InstrumentConfig { n_ports: 2, max_signals: None, coverage: 1 },
-    );
+    let inst =
+        instrument(&design, &InstrumentConfig { n_ports: 2, max_signals: None, coverage: 1 });
     let nw = &inst.network;
 
     // A transient fault (single-event upset style) flips a state bit.
-    let latch_name = nw
-        .latches()
-        .map(|id| nw.node(id).name.clone())
-        .next()
-        .expect("has latches");
+    let latch_name = nw.latches().map(|id| nw.node(id).name.clone()).next().expect("has latches");
     println!("emulating with a transient bit-flip on {latch_name} at cycle 40\n");
 
     // Conventional-instrument part: watch two signals with a trigger.
@@ -67,11 +61,7 @@ fn main() {
     }
 
     let wf = emu.waveform();
-    println!(
-        "captured {} samples of [{}]:",
-        wf.n_samples(),
-        wf.names().join(", ")
-    );
+    println!("captured {} samples of [{}]:", wf.n_samples(), wf.names().join(", "));
     print!("{}", wf.render_ascii());
 
     // Dump a VCD snippet (what you would load into a wave viewer).

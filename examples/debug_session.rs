@@ -24,10 +24,8 @@ fn main() {
     });
 
     // Instrument every internal net (the paper's full-visibility mode).
-    let inst = instrument(
-        &design,
-        &InstrumentConfig { n_ports: 2, max_signals: None, coverage: 1 },
-    );
+    let inst =
+        instrument(&design, &InstrumentConfig { n_ports: 2, max_signals: None, coverage: 1 });
     let clean = inst.network.clone();
     println!(
         "instrumented {} signals over {} ports ({} parameters)",
@@ -39,11 +37,9 @@ fn main() {
     // A bug sneaks in: one gate computes the wrong function.
     let victims = injectable_nets(&clean);
     let victim = clean.node(victims[victims.len() / 2]).name.clone();
-    let buggy = apply_static(
-        &clean,
-        &Fault::WrongGate { net: victim.clone(), table: gates::nor2() },
-    )
-    .expect("fault injection");
+    let buggy =
+        apply_static(&clean, &Fault::WrongGate { net: victim.clone(), table: gates::nor2() })
+            .expect("fault injection");
     println!("(injected a WrongGate fault at {victim} — pretend we don't know that)\n");
 
     // Step 1: emulation vs golden model shows failing outputs.
@@ -52,12 +48,14 @@ fn main() {
         println!("the bug is not excited by this stimulus — ship it? (no!)");
         return;
     };
-    println!("output {output} first diverges at cycle {cycle} ({} total mismatches)", report.mismatches.len());
+    println!(
+        "output {output} first diverges at cycle {cycle} ({} total mismatches)",
+        report.mismatches.len()
+    );
 
     // Step 2: localize by re-selecting observed signals turn after turn.
     let mut session = DebugSession::new(inst, None);
-    let result =
-        localize(&mut session, &clean, &buggy, &output, 256, 9).expect("localization");
+    let result = localize(&mut session, &clean, &buggy, &output, 256, 9).expect("localization");
 
     println!("\nlocalization transcript:");
     for (sig, bad) in &result.observations {

@@ -19,7 +19,12 @@ use parameterized_fpga_debug::pconf::OnlineReconfigurator;
 fn main() {
     // 1. A small design: a 4-bit ripple adder with a registered output.
     let design = build_adder(4);
-    println!("design: {} gates, {} inputs, {} outputs", design.n_tables(), design.n_inputs(), design.n_outputs());
+    println!(
+        "design: {} gates, {} inputs, {} outputs",
+        design.n_tables(),
+        design.n_inputs(),
+        design.n_outputs()
+    );
 
     // 2. Offline generic stage — run ONCE. All internal signals become
     //    observable through parameterized multiplexers.
@@ -32,8 +37,8 @@ fn main() {
         inst.ports.len(),
         inst.n_params()
     );
-    let off = offline(&inst, &OfflineConfig { k: PAPER_K, ..Default::default() })
-        .expect("offline stage");
+    let off =
+        offline(&inst, &OfflineConfig { k: PAPER_K, ..Default::default() }).expect("offline stage");
     println!(
         "mapping: {} LUTs + {} TLUTs + {} TCONs (initial design: {} LUTs — debugging is ~free)",
         off.map_stats.luts,
@@ -56,9 +61,7 @@ fn main() {
     let mut session = DebugSession::new(inst, Some(online));
 
     for (turn, sig) in observable.iter().take(3).enumerate() {
-        let wf = session
-            .observe(&dut, &[sig], 16, 42 + turn as u64, &[])
-            .expect("debugging turn");
+        let wf = session.observe(&dut, &[sig], 16, 42 + turn as u64, &[]).expect("debugging turn");
         let stats = session.turns().last().and_then(|t| t.stats).expect("stats");
         println!(
             "\nturn {turn}: observing {sig:12} | {} bits / {} frames changed | eval {:?} + transfer {:?}",

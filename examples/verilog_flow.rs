@@ -11,8 +11,8 @@ use parameterized_fpga_debug::emu::Fault;
 use parameterized_fpga_debug::netlist::verilog;
 
 fn main() {
-    let src = std::fs::read_to_string("designs/traffic_light.v")
-        .expect("run from the repository root");
+    let src =
+        std::fs::read_to_string("designs/traffic_light.v").expect("run from the repository root");
     let fsm = verilog::parse(&src).expect("synthesizable subset");
     println!(
         "parsed {}: {} gates, {} state bits, {} outputs",
@@ -33,25 +33,20 @@ fn main() {
     let mut session = DebugSession::new(inst, None);
 
     // Healthy run: watch the state decoder.
-    let wf = session
-        .observe(&dut, &["in_green"], 16, 3, &[])
-        .expect("turn 1");
+    let wf = session.observe(&dut, &["in_green"], 16, 3, &[]).expect("turn 1");
     println!("healthy run, in_green:");
     print!("{}", wf.render_ascii());
 
     // A single-event upset flips state bit s1 at cycle 5: the FSM jumps
     // states. Same stimulus, new signal selection — still no recompile.
     let upset = Fault::BitFlip { net: "s1".into(), cycle: 5 };
-    let wf_bad = session
-        .observe(&dut, &["in_green"], 16, 3, std::slice::from_ref(&upset))
-        .expect("turn 2");
+    let wf_bad =
+        session.observe(&dut, &["in_green"], 16, 3, std::slice::from_ref(&upset)).expect("turn 2");
     println!("\nwith an SEU on s1 at cycle 5, in_green:");
     print!("{}", wf_bad.render_ascii());
 
     // Drill into the raw state bit on the next turn.
-    let wf_state = session
-        .observe(&dut, &["s1"], 16, 3, &[upset])
-        .expect("turn 3");
+    let wf_state = session.observe(&dut, &["s1"], 16, 3, &[upset]).expect("turn 3");
     println!("\nstate bit s1 under the same upset:");
     print!("{}", wf_state.render_ascii());
 

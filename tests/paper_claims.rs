@@ -22,20 +22,13 @@ fn table1_shape_small_benchmarks() {
         );
         // Proposed stays at the initial design's scale.
         let vs_initial = cmp.proposed_luts as f64 / cmp.initial_luts as f64;
-        assert!(
-            (0.5..2.0).contains(&vs_initial),
-            "{name}: proposed {}x initial",
-            vs_initial
-        );
+        assert!((0.5..2.0).contains(&vs_initial), "{name}: proposed {}x initial", vs_initial);
         // TCON counts scale with signal count, like the paper's column.
         assert!(cmp.tcons >= cmp.initial_luts, "{name}: too few TCONs ({cmp:?})");
         ratios.push(cmp.reduction_factor());
     }
     let geo = geomean(&ratios).unwrap();
-    assert!(
-        geo > 2.5,
-        "geomean reduction {geo:.2} — paper reports ~3.5x"
-    );
+    assert!(geo > 2.5, "geomean reduction {geo:.2} — paper reports ~3.5x");
 }
 
 /// Table II on the small benchmarks: the proposed flow preserves logic
@@ -72,11 +65,8 @@ fn runtime_claims() {
     let ratio = full.as_secs_f64() / partial.as_secs_f64();
     assert!(ratio > 1000.0, "only {ratio:.0}x faster");
 
-    let turns = parameterized_fpga_debug::arch::icap::turns_equivalent(
-        Duration::from_micros(50),
-        400.0,
-        4,
-    );
+    let turns =
+        parameterized_fpga_debug::arch::icap::turns_equivalent(Duration::from_micros(50), 400.0, 4);
     assert!((turns - 5000.0).abs() < 1.0, "paper's 5000-turn equivalence");
 }
 
