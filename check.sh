@@ -14,4 +14,28 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test -q --workspace
 
+echo "== serve smoke test =="
+# Start the debug service on an ephemeral port, drive it with a small
+# serve_load run, and check for a clean shutdown plus a non-empty
+# latency report.
+cargo build -q -p pfdbg-cli -p pfdbg-bench --bin pfdbg --bin serve_load
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+./target/debug/pfdbg serve @stereov. --store-dir "$SMOKE_DIR/store" \
+    --port-file "$SMOKE_DIR/port" >"$SMOKE_DIR/serve.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 100); do
+    [ -s "$SMOKE_DIR/port" ] && break
+    sleep 0.1
+done
+[ -s "$SMOKE_DIR/port" ] || { echo "serve never published its port"; cat "$SMOKE_DIR/serve.log"; exit 1; }
+PORT=$(cat "$SMOKE_DIR/port")
+./target/debug/serve_load --addr "127.0.0.1:$PORT" --threads 8 --requests 10 \
+    --out "$SMOKE_DIR/BENCH_serve.json" --shutdown
+wait "$SERVE_PID"
+[ -s "$SMOKE_DIR/BENCH_serve.json" ] || { echo "BENCH_serve.json is empty"; exit 1; }
+grep -q '"failures":0' "$SMOKE_DIR/BENCH_serve.json" || { echo "serve smoke saw failed requests"; exit 1; }
+cp "$SMOKE_DIR/BENCH_serve.json" BENCH_serve.json
+echo "serve smoke ok: $(cat BENCH_serve.json)"
+
 echo "all checks passed"

@@ -150,6 +150,64 @@ impl BitstreamLayout {
     pub fn empty_bitstream(&self) -> Bitstream {
         Bitstream { bits: BitVec::zeros(self.n_bits) }
     }
+
+    /// Decompose into plain serializable fields (see [`LayoutRaw`]).
+    pub fn to_raw(&self) -> LayoutRaw {
+        LayoutRaw {
+            n_bits: self.n_bits,
+            frame_bits: self.frame_bits,
+            clb_col_base: self.clb_col_base.clone(),
+            clb_bits_per_tile: self.clb_bits_per_tile,
+            clb_rows: self.clb_rows,
+            switch_base: self.switch_base,
+            switch_col_base: self.switch_col_base.clone(),
+            edge_addr: self.edge_addr.clone(),
+        }
+    }
+
+    /// Rebuild a layout from [`BitstreamLayout::to_raw`] output.
+    pub fn from_raw(raw: LayoutRaw) -> Result<Self, String> {
+        if raw.frame_bits == 0 {
+            return Err("layout with zero frame_bits".into());
+        }
+        if let Some(&a) = raw.edge_addr.iter().find(|&&a| a >= raw.n_bits) {
+            return Err(format!("edge address {a} beyond the {}-bit layout", raw.n_bits));
+        }
+        Ok(BitstreamLayout {
+            n_bits: raw.n_bits,
+            frame_bits: raw.frame_bits,
+            n_frames: raw.n_bits.div_ceil(raw.frame_bits),
+            clb_col_base: raw.clb_col_base,
+            clb_bits_per_tile: raw.clb_bits_per_tile,
+            clb_rows: raw.clb_rows,
+            switch_base: raw.switch_base,
+            switch_col_base: raw.switch_col_base,
+            edge_addr: raw.edge_addr,
+        })
+    }
+}
+
+/// The plain-data image of a [`BitstreamLayout`] — every field public,
+/// nothing derived, so an external serializer (the artifact store) can
+/// persist a layout without re-running device construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayoutRaw {
+    /// Total configuration bits.
+    pub n_bits: usize,
+    /// Bits per frame.
+    pub frame_bits: usize,
+    /// Per-column base address of CLB bits.
+    pub clb_col_base: Vec<BitAddr>,
+    /// Configuration bits per CLB tile.
+    pub clb_bits_per_tile: usize,
+    /// Number of CLB rows.
+    pub clb_rows: usize,
+    /// First address of the routing-switch region.
+    pub switch_base: BitAddr,
+    /// Per-column base address of switch bits.
+    pub switch_col_base: Vec<BitAddr>,
+    /// Routing-switch address per RRG edge.
+    pub edge_addr: Vec<BitAddr>,
 }
 
 /// A concrete configuration bitstream.

@@ -13,7 +13,7 @@ pub mod icap;
 pub mod rrg;
 
 pub use bitfile::{crc32, BitfileError};
-pub use bitstream::{BitAddr, Bitstream, BitstreamLayout};
+pub use bitstream::{BitAddr, Bitstream, BitstreamLayout, LayoutRaw};
 pub use device::{ArchSpec, Device, TileKind};
 pub use icap::{IcapModel, VIRTEX5_CONFIG_BITS, VIRTEX5_FRAME_BITS};
 pub use rrg::{build_rrg, RREdge, RRGraph, RRKind, RRNode, RRNodeData};

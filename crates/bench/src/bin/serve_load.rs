@@ -1,0 +1,230 @@
+//! Load generator for the `pfdbg-serve` debug service: N client
+//! threads, each with its own session, hammering `select` requests and
+//! reporting throughput plus p50/p99 specialization-request latency
+//! into `BENCH_serve.json`.
+//!
+//! ```text
+//! serve_load [--addr host:port] [--threads N] [--requests N] [--out f.json] [--shutdown]
+//! ```
+//!
+//! Without `--addr` it spins up an in-process server over a generated
+//! design (worker pool sized to the thread count) and shuts it down at
+//! the end; with `--addr` it drives an external `pfdbg serve` instance,
+//! and `--shutdown` additionally stops that server once the run is done
+//! (the pattern `check.sh` uses for its smoke test).
+
+use pfdbg_core::{offline, prepare_instrumented, InstrumentConfig, OfflineConfig};
+use pfdbg_obs::jsonl::{write_object, JsonValue};
+use pfdbg_serve::session::Engine;
+use pfdbg_serve::{Server, ServerConfig, SessionManager};
+use pfdbg_util::stats::percentile;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn flag(rest: &[String], name: &str) -> Option<String> {
+    rest.iter().position(|a| a == name).and_then(|i| rest.get(i + 1).cloned())
+}
+
+fn flag_usize(rest: &[String], name: &str, default: usize) -> usize {
+    flag(rest, name).map_or(default, |v| {
+        v.parse().unwrap_or_else(|_| panic!("{name} expects a number, got {v:?}"))
+    })
+}
+
+fn build_engine() -> Engine {
+    let design = pfdbg_circuits::generate(&pfdbg_circuits::GenParams {
+        n_inputs: 8,
+        n_outputs: 6,
+        n_gates: 40,
+        depth: 5,
+        n_latches: 2,
+        seed: 33,
+    });
+    let (_, _, inst) = prepare_instrumented(
+        &design,
+        &InstrumentConfig { n_ports: 2, max_signals: None, coverage: 1 },
+        6,
+    )
+    .expect("instrument");
+    let off = offline(&inst, &OfflineConfig::default()).expect("offline");
+    Engine::new(inst, off.scg.expect("scg"), off.layout.expect("layout"), off.icap)
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(stream), writer })
+    }
+
+    /// One request line out, one reply line in; `Ok(reply)` even for
+    /// protocol-level errors (the caller checks `"ok"`).
+    fn roundtrip(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(format!("{line}\n").as_bytes())?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply)?;
+        Ok(reply)
+    }
+}
+
+fn is_ok(reply: &str) -> bool {
+    pfdbg_obs::jsonl::parse_jsonl(reply)
+        .ok()
+        .and_then(|evs| evs.into_iter().next())
+        .is_some_and(|ev| ev.fields.get("ok") == Some(&JsonValue::Bool(true)))
+}
+
+/// Per-thread result: select latencies (ms) and the failure count.
+struct ThreadStats {
+    latencies_ms: Vec<f64>,
+    failures: usize,
+}
+
+fn drive_session(addr: &str, thread_id: usize, requests: usize) -> ThreadStats {
+    let mut stats = ThreadStats { latencies_ms: Vec::with_capacity(requests), failures: 0 };
+    let mut c = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("thread {thread_id}: connect failed: {e}");
+            stats.failures = requests + 1;
+            return stats;
+        }
+    };
+    let session = format!("load-{thread_id}");
+    let n_params = match c.roundtrip(&format!("{{\"op\":\"open\",\"session\":\"{session}\"}}")) {
+        Ok(reply) if is_ok(&reply) => pfdbg_obs::jsonl::parse_jsonl(&reply)
+            .ok()
+            .and_then(|evs| evs.first().and_then(|ev| ev.num("n_params")))
+            .map(|n| n as usize)
+            .unwrap_or(0),
+        _ => {
+            eprintln!("thread {thread_id}: open failed");
+            stats.failures = requests + 1;
+            return stats;
+        }
+    };
+    for turn in 0..requests {
+        // A mix of repeated and fresh parameter vectors so the run
+        // exercises both the LRU hit path and real specializations.
+        let params: String = (0..n_params)
+            .map(|i| if (i + thread_id + turn % 7).is_multiple_of(3) { '1' } else { '0' })
+            .collect();
+        let line = format!(
+            "{{\"op\":\"select\",\"session\":\"{session}\",\"params\":\"{params}\",\"id\":\"{thread_id}-{turn}\"}}"
+        );
+        let t0 = Instant::now();
+        match c.roundtrip(&line) {
+            Ok(reply) if is_ok(&reply) => {
+                stats.latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+            }
+            Ok(reply) => {
+                eprintln!("thread {thread_id} turn {turn}: error reply: {}", reply.trim());
+                stats.failures += 1;
+            }
+            Err(e) => {
+                eprintln!("thread {thread_id} turn {turn}: io error: {e}");
+                stats.failures += 1;
+            }
+        }
+    }
+    if let Ok(reply) = c.roundtrip(&format!("{{\"op\":\"close\",\"session\":\"{session}\"}}")) {
+        if !is_ok(&reply) {
+            stats.failures += 1;
+        }
+    }
+    stats
+}
+
+fn main() {
+    let obs = pfdbg_bench::obs_init();
+    let rest = obs.rest().to_vec();
+    let threads = flag_usize(&rest, "--threads", 8);
+    let requests = flag_usize(&rest, "--requests", 50);
+    let out = flag(&rest, "--out").unwrap_or_else(|| "BENCH_serve.json".into());
+    let external = flag(&rest, "--addr");
+    let send_shutdown = rest.iter().any(|a| a == "--shutdown");
+
+    // Worker-per-connection: the pool must be at least as large as the
+    // client thread count or connections queue behind busy workers.
+    let handle = if external.is_none() {
+        eprintln!("serve_load: compiling design and starting in-process server...");
+        let manager = SessionManager::new(Arc::new(build_engine()), 64);
+        let cfg = ServerConfig { workers: threads.max(8), ..ServerConfig::default() };
+        Some(Server::start(manager, cfg).expect("server start"))
+    } else {
+        None
+    };
+    let addr = external
+        .clone()
+        .unwrap_or_else(|| handle.as_ref().expect("in-process").local_addr().to_string());
+    eprintln!("serve_load: {threads} threads x {requests} selects against {addr}");
+
+    let t0 = Instant::now();
+    let results: Vec<ThreadStats> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let addr = addr.clone();
+                s.spawn(move || drive_session(&addr, t, requests))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    let elapsed = t0.elapsed();
+
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut failures = 0usize;
+    for r in &results {
+        latencies.extend_from_slice(&r.latencies_ms);
+        failures += r.failures;
+    }
+    let total = latencies.len();
+    let throughput = total as f64 / elapsed.as_secs_f64().max(1e-9);
+    let p50 = percentile(&latencies, 50.0).unwrap_or(f64::NAN);
+    let p99 = percentile(&latencies, 99.0).unwrap_or(f64::NAN);
+    let mean = if total > 0 { latencies.iter().sum::<f64>() / total as f64 } else { f64::NAN };
+
+    println!("=== serve_load: {threads} concurrent sessions ===");
+    println!("requests ok:  {total}");
+    println!("failures:     {failures}");
+    println!("elapsed:      {elapsed:.2?}");
+    println!("throughput:   {throughput:.0} req/s");
+    println!("latency:      p50 {p50:.3} ms | p99 {p99:.3} ms | mean {mean:.3} ms");
+
+    let json = write_object(&[
+        ("bench", JsonValue::Str("serve_load".into())),
+        ("threads", JsonValue::Num(threads as f64)),
+        ("requests_per_thread", JsonValue::Num(requests as f64)),
+        ("requests_ok", JsonValue::Num(total as f64)),
+        ("failures", JsonValue::Num(failures as f64)),
+        ("elapsed_s", JsonValue::Num(elapsed.as_secs_f64())),
+        ("throughput_rps", JsonValue::Num(throughput)),
+        ("p50_ms", JsonValue::Num(p50)),
+        ("p99_ms", JsonValue::Num(p99)),
+        ("mean_ms", JsonValue::Num(mean)),
+        ("in_process", JsonValue::Bool(external.is_none())),
+    ]);
+    std::fs::write(&out, format!("{json}\n")).unwrap_or_else(|e| panic!("{out}: {e}"));
+    eprintln!("serve_load: wrote {out}");
+
+    if let Some(handle) = handle {
+        handle.shutdown();
+    } else if send_shutdown {
+        match Client::connect(&addr).and_then(|mut c| c.roundtrip("{\"op\":\"shutdown\"}")) {
+            Ok(reply) if is_ok(&reply) => eprintln!("serve_load: server shutdown requested"),
+            other => eprintln!("serve_load: shutdown request failed: {other:?}"),
+        }
+    }
+    obs.finish();
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -8,11 +8,20 @@
 //! pfdbg observe    <design.blif|@benchmark> --signals s1,s2|auto [--cycles N]
 //! pfdbg rank       <design.blif|@benchmark> [--top N]
 //! pfdbg report     <trace.jsonl>
+//! pfdbg serve      <design.blif|@benchmark> [--addr H:P|--port P] [--workers N] [--port-file f]
+//! pfdbg client     <host:port> [--request '<json>'] [--shutdown]
 //! pfdbg bench-list
 //! ```
 //!
 //! `@name` selects a generated benchmark from the calibrated suite
 //! (e.g. `@stereov.`, `@clma`).
+//!
+//! Commands that run the offline flow (`offline`, `observe`, `serve`)
+//! go through the content-addressed artifact store by default
+//! (`.pfdbg-store/` in the working directory): the first compile of a
+//! design stores its generalized bitstream, and every later run on the
+//! same inputs is a cache hit that skips synth/map/TPaR entirely.
+//! `--store-dir <dir>` relocates the store, `--no-store` bypasses it.
 //!
 //! The global flags `--profile` (print the hierarchical span report on
 //! exit) and `--trace-out <file.jsonl>` (export every recorded event)
@@ -25,6 +34,7 @@ use pfdbg_core::{
 };
 use pfdbg_netlist::{blif, Network};
 use pfdbg_pconf::OnlineReconfigurator;
+use pfdbg_store::{ArtifactStore, CacheOutcome};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -100,6 +110,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "rank" => cmd_rank(rest),
         "localize" => cmd_localize(rest),
         "report" => cmd_report(rest),
+        "serve" => cmd_serve(rest),
+        "client" => cmd_client(rest),
         "bench-list" => {
             for name in pfdbg_circuits::names() {
                 let row = pfdbg_circuits::paper_row(name).expect("known");
@@ -130,9 +142,12 @@ fn print_usage() {
          \x20 pfdbg rank       <design.blif|@bench> [--top N]\n\
          \x20 pfdbg localize   <design.blif|@bench> [--bug <net>] [--cycles N]\n\
          \x20 pfdbg report     <trace.jsonl>\n\
+         \x20 pfdbg serve      <design.blif|@bench> [--addr H:P|--port P] [--workers N] [--cache N] [--port-file f]\n\
+         \x20 pfdbg client     <host:port> [--request '<json>'] [--shutdown]\n\
          \x20 pfdbg bench-list\n\
          \n\
          global flags: --profile (span report on exit), --trace-out <f.jsonl>\n\
+         store flags (offline/observe/serve): --store-dir <dir> (default .pfdbg-store), --no-store\n\
          `@name` uses a generated benchmark from the calibrated suite."
     );
 }
@@ -165,6 +180,17 @@ fn load_design(rest: &[String]) -> Result<(String, Network), String> {
         blif::parse(&text).map_err(|e| e.to_string())?
     };
     Ok((path.clone(), nw))
+}
+
+/// The artifact store selected by `--store-dir <dir>` / `--no-store`.
+/// Defaults to `.pfdbg-store` in the working directory; `None` means
+/// the flow runs uncached.
+fn store_from_flags(rest: &[String]) -> Result<Option<ArtifactStore>, String> {
+    if rest.iter().any(|a| a == "--no-store") {
+        return Ok(None);
+    }
+    let dir = flag(rest, "--store-dir").unwrap_or_else(|| ".pfdbg-store".into());
+    ArtifactStore::open(dir).map(Some)
 }
 
 fn icfg(rest: &[String]) -> Result<InstrumentConfig, String> {
@@ -246,11 +272,59 @@ fn cmd_compare(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Write the params=0 default specialization as a loadable file when
+/// `--dump-bitstream` asks for one (shared by the cold and cached
+/// offline paths).
+fn dump_bitstream(
+    rest: &[String],
+    scg: &pfdbg_pconf::Scg,
+    layout: &pfdbg_arch::BitstreamLayout,
+) -> Result<(), String> {
+    if let Some(path) = flag(rest, "--dump-bitstream") {
+        let params = pfdbg_util::BitVec::zeros(scg.generalized().n_params);
+        let bs = scg.specialize(&params);
+        let bytes = pfdbg_arch::bitfile::write(&bs, layout.frame_bits);
+        std::fs::write(&path, &bytes).map_err(|e| format!("{path}: {e}"))?;
+        println!("  wrote default specialization to {path} ({} bytes)", bytes.len());
+    }
+    Ok(())
+}
+
 fn cmd_offline(rest: &[String]) -> Result<(), String> {
     let (name, nw) = load_design(rest)?;
     let k = flag_usize(rest, "--k", PAPER_K)?;
     let (_, _, inst) = prepare_instrumented(&nw, &icfg(rest)?, k)?;
-    let off = offline(&inst, &OfflineConfig { k, ..Default::default() })?;
+    let cfg = OfflineConfig { k, ..Default::default() };
+    let store = store_from_flags(rest)?;
+
+    // Cache hit: the artifact carries everything the summary (and
+    // --dump-bitstream) needs; the detailed place & route statistics
+    // only exist on a fresh compile.
+    if let Some(store) = &store {
+        let key = ArtifactStore::fingerprint(&inst, &cfg);
+        match store.load(&key) {
+            Ok(Some(d)) => {
+                println!("offline generic stage for {name} (cached artifact {key}):");
+                println!(
+                    "  mapping: {} LUTs + {} TLUTs + {} TCONs, depth {}",
+                    d.map_stats.luts, d.map_stats.tluts, d.map_stats.tcons, d.map_stats.depth
+                );
+                println!(
+                    "  bitstream: {} bits in {} frames; {} parameterized bits ({:.3}%)",
+                    d.layout.n_bits,
+                    d.layout.n_frames(),
+                    d.scg.generalized().n_tunable(),
+                    d.scg.generalized().tunable_fraction() * 100.0
+                );
+                println!("  (cache hit — run with --no-store for full place&route detail)");
+                return dump_bitstream(rest, &d.scg, &d.layout);
+            }
+            Ok(None) => {}
+            Err(e) => pfdbg_obs::diag(&format!("discarding invalid artifact: {e}")),
+        }
+    }
+
+    let off = offline(&inst, &cfg)?;
     println!("offline generic stage for {name}:");
     println!(
         "  mapping: {} LUTs + {} TLUTs + {} TCONs, depth {}",
@@ -289,14 +363,13 @@ fn cmd_offline(rest: &[String]) -> Result<(), String> {
             congestion.mean_utilization * 100.0,
             congestion.tunable_share * 100.0
         );
-        if let Some(path) = flag(rest, "--dump-bitstream") {
-            // The params=0 default specialization, as a loadable file.
-            let params = pfdbg_util::BitVec::zeros(scg.generalized().n_params);
-            let bs = scg.specialize(&params);
-            let bytes = pfdbg_arch::bitfile::write(&bs, layout.frame_bits);
-            std::fs::write(&path, &bytes).map_err(|e| format!("{path}: {e}"))?;
-            println!("  wrote default specialization to {path} ({} bytes)", bytes.len());
-        }
+        dump_bitstream(rest, scg, layout)?;
+    }
+    if let (Some(store), Some(scg), Some(layout)) = (&store, &off.scg, &off.layout) {
+        let key = ArtifactStore::fingerprint(&inst, &cfg);
+        let path = store
+            .save(&key, &pfdbg_store::Artifact::capture(&inst, &off.map_stats, layout, scg))?;
+        pfdbg_obs::diag(&format!("stored compiled artifact at {}", path.display()));
     }
     Ok(())
 }
@@ -317,10 +390,23 @@ fn cmd_observe(rest: &[String]) -> Result<(), String> {
         signals_arg.split(',').map(str::to_string).collect()
     };
     let wanted: Vec<&str> = wanted.iter().map(String::as_str).collect();
-    let off = offline(&inst, &OfflineConfig { k, ..Default::default() })?;
-    let online = match (off.scg, off.layout) {
-        (Some(scg), Some(layout)) => Some(OnlineReconfigurator::new(scg, layout, off.icap)),
-        _ => None,
+    let cfg = OfflineConfig { k, ..Default::default() };
+    let online = match store_from_flags(rest)? {
+        Some(store) => {
+            let (d, outcome) = store.offline_cached(&inst, &cfg)?;
+            pfdbg_obs::diag(match outcome {
+                CacheOutcome::Hit => "artifact store: hit (offline flow skipped)",
+                CacheOutcome::Miss => "artifact store: miss (compiled and stored)",
+            });
+            Some(OnlineReconfigurator::new(d.scg, d.layout, d.icap))
+        }
+        None => {
+            let off = offline(&inst, &cfg)?;
+            match (off.scg, off.layout) {
+                (Some(scg), Some(layout)) => Some(OnlineReconfigurator::new(scg, layout, off.icap)),
+                _ => None,
+            }
+        }
     };
     let dut = inst.network.clone();
     let mut session = DebugSession::new(inst, online);
@@ -397,4 +483,114 @@ fn cmd_localize(rest: &[String]) -> Result<(), String> {
         if loc.suspect == victim { "  [exact hit]" } else { "" }
     );
     Ok(())
+}
+
+fn cmd_serve(rest: &[String]) -> Result<(), String> {
+    use pfdbg_serve::session::Engine;
+    use pfdbg_serve::{Server, ServerConfig, SessionManager};
+    use std::sync::Arc;
+
+    let (name, nw) = load_design(rest)?;
+    let k = flag_usize(rest, "--k", PAPER_K)?;
+    let (_, _, inst) = prepare_instrumented(&nw, &icfg(rest)?, k)?;
+    let cfg = OfflineConfig { k, ..Default::default() };
+    let (scg, layout, icap) = match store_from_flags(rest)? {
+        Some(store) => {
+            let (d, outcome) = store.offline_cached(&inst, &cfg)?;
+            pfdbg_obs::diag(match outcome {
+                CacheOutcome::Hit => "artifact store: hit (offline flow skipped)",
+                CacheOutcome::Miss => "artifact store: miss (compiled and stored)",
+            });
+            (d.scg, d.layout, d.icap)
+        }
+        None => {
+            let off = offline(&inst, &cfg)?;
+            let scg = off.scg.ok_or("offline flow produced no SCG")?;
+            let layout = off.layout.ok_or("offline flow produced no layout")?;
+            (scg, layout, off.icap)
+        }
+    };
+
+    let n_params = inst.annotations.len();
+    let workers = flag_usize(rest, "--workers", 8)?;
+    let cache = flag_usize(rest, "--cache", 64)?;
+    let addr = match (flag(rest, "--addr"), flag(rest, "--port")) {
+        (Some(a), _) => a,
+        (None, Some(p)) => format!("127.0.0.1:{p}"),
+        (None, None) => "127.0.0.1:0".into(),
+    };
+    let manager = SessionManager::new(Arc::new(Engine::new(inst, scg, layout, icap)), cache);
+    let handle = Server::start(
+        manager,
+        ServerConfig { addr, workers, cache_capacity: cache, ..ServerConfig::default() },
+    )?;
+    let local = handle.local_addr();
+    println!("pfdbg serve: {name} ({n_params} params) on {local}, {workers} workers");
+    println!("stop with: pfdbg client {local} --shutdown");
+    if let Some(path) = flag(rest, "--port-file") {
+        std::fs::write(&path, format!("{}\n", local.port())).map_err(|e| format!("{path}: {e}"))?;
+    }
+    handle.wait();
+    println!("pfdbg serve: stopped");
+    Ok(())
+}
+
+fn cmd_client(rest: &[String]) -> Result<(), String> {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    let addr = rest
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("expected a server address (host:port)")?;
+    let stream = TcpStream::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+    let _ = stream.set_nodelay(true);
+    let mut writer = stream.try_clone().map_err(|e| format!("{addr}: {e}"))?;
+    let mut reader = BufReader::new(stream);
+
+    // One request line out, one reply line in; prints the reply and
+    // reports whether the server said ok.
+    let mut roundtrip = |line: &str| -> Result<bool, String> {
+        writer
+            .write_all(format!("{line}\n").as_bytes())
+            .and_then(|()| writer.flush())
+            .map_err(|e| format!("send: {e}"))?;
+        let mut reply = String::new();
+        reader.read_line(&mut reply).map_err(|e| format!("recv: {e}"))?;
+        if reply.is_empty() {
+            return Err("server closed the connection".into());
+        }
+        print!("{reply}");
+        let events = pfdbg_obs::parse_jsonl(&reply).map_err(|e| format!("bad reply: {e}"))?;
+        Ok(events.first().and_then(|ev| ev.fields.get("ok"))
+            == Some(&pfdbg_obs::jsonl::JsonValue::Bool(true)))
+    };
+
+    let mut requests: Vec<String> = Vec::new();
+    if let Some(r) = flag(rest, "--request") {
+        requests.push(r);
+    }
+    if rest.iter().any(|a| a == "--shutdown") {
+        requests.push("{\"op\":\"shutdown\"}".into());
+    }
+    if requests.is_empty() {
+        // Interactive mode: JSONL requests on stdin, replies on stdout.
+        for line in std::io::stdin().lock().lines() {
+            let line = line.map_err(|e| format!("stdin: {e}"))?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            roundtrip(&line)?;
+        }
+        return Ok(());
+    }
+    let mut all_ok = true;
+    for r in &requests {
+        all_ok &= roundtrip(r)?;
+    }
+    if all_ok {
+        Ok(())
+    } else {
+        Err("server replied with an error".into())
+    }
 }

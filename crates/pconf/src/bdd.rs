@@ -24,6 +24,20 @@ impl Bdd {
     pub fn is_const(self) -> bool {
         self.0 < 2
     }
+
+    /// The node-table index backing this reference (for serialization —
+    /// only meaningful together with the manager that produced it).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuild a reference from a node-table index previously obtained
+    /// via [`Bdd::index`]. The caller is responsible for pairing it with
+    /// a manager in which that index exists (deserializers validate
+    /// this via [`BddManager::n_nodes`]).
+    pub fn from_index(index: u32) -> Bdd {
+        Bdd(index)
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -57,6 +71,48 @@ impl BddManager {
     /// Number of live nodes (terminals included).
     pub fn n_nodes(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Export every decision node as `(var, lo, hi)` index triples,
+    /// skipping the two terminals (slots 0 and 1). Together with
+    /// [`Bdd::index`] this is the whole persistent state of a manager.
+    pub fn export_nodes(&self) -> Vec<(u32, u32, u32)> {
+        self.nodes.iter().skip(2).map(|n| (n.var, n.lo.0, n.hi.0)).collect()
+    }
+
+    /// Rebuild a manager from [`BddManager::export_nodes`] output.
+    /// Validates the structural invariants a well-formed table obeys
+    /// (children precede parents, no redundant or duplicate nodes), so a
+    /// corrupted serialization cannot produce a manager that walks out
+    /// of bounds or breaks canonicity.
+    pub fn from_exported(nodes: &[(u32, u32, u32)]) -> Result<Self, String> {
+        let mut m = BddManager::new();
+        for (i, &(var, lo, hi)) in nodes.iter().enumerate() {
+            let id = (i + 2) as u32;
+            if var == u32::MAX {
+                return Err(format!("BDD node {id} uses the terminal sentinel variable"));
+            }
+            if lo >= id || hi >= id {
+                return Err(format!("BDD node {id} references a later node"));
+            }
+            if lo == hi {
+                return Err(format!("BDD node {id} is redundant (lo == hi)"));
+            }
+            for child in [lo, hi] {
+                if child >= 2 {
+                    let cvar = m.nodes[child as usize].var;
+                    if cvar <= var {
+                        return Err(format!("BDD node {id} breaks variable order"));
+                    }
+                }
+            }
+            let (lo, hi) = (Bdd(lo), Bdd(hi));
+            if m.unique.insert((var, lo, hi), Bdd(id)).is_some() {
+                return Err(format!("BDD node {id} duplicates an earlier node"));
+            }
+            m.nodes.push(Node { var, lo, hi });
+        }
+        Ok(m)
     }
 
     fn mk(&mut self, var: u32, lo: Bdd, hi: Bdd) -> Bdd {
@@ -306,6 +362,42 @@ mod tests {
         let f = m.xor(a, b);
         assert_eq!(m.support(f), vec![3, 7]);
         assert_eq!(m.support(Bdd::TRUE), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn export_import_preserves_functions() {
+        let mut m = BddManager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        let ab = m.and(a, b);
+        let f = m.ite(ab, c, b);
+        let back = BddManager::from_exported(&m.export_nodes()).unwrap();
+        assert_eq!(back.n_nodes(), m.n_nodes());
+        for bits in 0..8u32 {
+            let asg = assignment(&[bits & 1 == 1, bits & 2 == 2, bits & 4 == 4]);
+            assert_eq!(back.eval(f, &asg), m.eval(f, &asg), "bits={bits:03b}");
+        }
+        // The rebuilt unique table keeps hash-consing canonical: the
+        // same construction lands on the same indices.
+        let mut back = back;
+        let a2 = back.var(0);
+        let b2 = back.var(1);
+        assert_eq!(back.and(a2, b2), ab);
+    }
+
+    #[test]
+    fn from_exported_rejects_corruption() {
+        // Forward reference.
+        assert!(BddManager::from_exported(&[(0, 1, 5)]).is_err());
+        // Redundant node.
+        assert!(BddManager::from_exported(&[(0, 1, 1)]).is_err());
+        // Variable order violation: parent var not above child var.
+        assert!(BddManager::from_exported(&[(3, 0, 1), (3, 0, 2)]).is_err());
+        // Duplicate node.
+        assert!(BddManager::from_exported(&[(0, 0, 1), (0, 0, 1)]).is_err());
+        // Terminal sentinel as a variable.
+        assert!(BddManager::from_exported(&[(u32::MAX, 0, 1)]).is_err());
     }
 
     #[test]

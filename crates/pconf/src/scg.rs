@@ -23,12 +23,24 @@ use std::time::{Duration, Instant};
 pub struct Scg {
     manager: BddManager,
     gbs: GeneralizedBitstream,
+    /// `param_deps[v]` = indices into `gbs.tunable` whose function
+    /// depends on parameter `v` — the inverted support index that makes
+    /// incremental specialization skip unaffected functions.
+    param_deps: Vec<Vec<u32>>,
 }
 
 impl Scg {
     /// Wrap a generalized bitstream and the manager holding its BDDs.
     pub fn new(manager: BddManager, gbs: GeneralizedBitstream) -> Self {
-        Scg { manager, gbs }
+        let mut param_deps = vec![Vec::new(); gbs.n_params];
+        for (i, &(_, f)) in gbs.tunable.iter().enumerate() {
+            for v in manager.support(f) {
+                if (v as usize) < gbs.n_params {
+                    param_deps[v as usize].push(i as u32);
+                }
+            }
+        }
+        Scg { manager, gbs, param_deps }
     }
 
     /// The generalized bitstream.
@@ -41,15 +53,34 @@ impl Scg {
         &self.manager
     }
 
+    fn check_params(&self, params: &BitVec) -> Result<(), String> {
+        if params.len() != self.gbs.n_params {
+            return Err(format!(
+                "parameter count mismatch: got {}, design has {}",
+                params.len(),
+                self.gbs.n_params
+            ));
+        }
+        Ok(())
+    }
+
     /// Evaluate all parameter functions under `params`, producing a fully
-    /// specialized bitstream.
+    /// specialized bitstream. Panics on a parameter-count mismatch; use
+    /// [`Scg::try_specialize`] where the parameters come from an
+    /// untrusted source (a service request, a file).
     pub fn specialize(&self, params: &BitVec) -> Bitstream {
-        assert_eq!(params.len(), self.gbs.n_params, "parameter count mismatch");
+        self.try_specialize(params).expect("parameter count mismatch")
+    }
+
+    /// Fallible [`Scg::specialize`]: a wrong parameter count is an
+    /// error, not a panic.
+    pub fn try_specialize(&self, params: &BitVec) -> Result<Bitstream, String> {
+        self.check_params(params)?;
         let mut out = self.gbs.base.clone();
         for &(addr, f) in &self.gbs.tunable {
             out.set(addr, self.manager.eval(f, params));
         }
-        out
+        Ok(out)
     }
 
     /// Like [`Scg::specialize`] but also measures the pure evaluation
@@ -64,7 +95,16 @@ impl Scg {
     /// evaluates the tunable bits and returns the changed addresses (the
     /// DPR write set). The constant part never changes between turns.
     pub fn specialize_diff(&self, current: &Bitstream, params: &BitVec) -> Vec<(usize, bool)> {
-        assert_eq!(params.len(), self.gbs.n_params, "parameter count mismatch");
+        self.try_specialize_diff(current, params).expect("parameter count mismatch")
+    }
+
+    /// Fallible [`Scg::specialize_diff`].
+    pub fn try_specialize_diff(
+        &self,
+        current: &Bitstream,
+        params: &BitVec,
+    ) -> Result<Vec<(usize, bool)>, String> {
+        self.check_params(params)?;
         let mut changes = Vec::new();
         for &(addr, f) in &self.gbs.tunable {
             let v = self.manager.eval(f, params);
@@ -72,7 +112,81 @@ impl Scg {
                 changes.push((addr, v));
             }
         }
-        changes
+        Ok(changes)
+    }
+
+    /// Indices into the tunable list whose function can change when the
+    /// parameters move from `prev` to `next` (ascending, deduplicated).
+    fn affected_tunables(&self, prev: &BitVec, next: &BitVec) -> Vec<u32> {
+        let mut mask = BitVec::zeros(self.gbs.tunable.len());
+        for v in 0..self.gbs.n_params {
+            if prev.get(v) != next.get(v) {
+                for &i in &self.param_deps[v] {
+                    mask.set(i as usize, true);
+                }
+            }
+        }
+        mask.iter_ones().map(|i| i as u32).collect()
+    }
+
+    /// Incremental specialization for consecutive debugging turns: given
+    /// the previous parameter assignment and the bitstream it produced,
+    /// re-evaluate only the functions whose support intersects the
+    /// changed parameters. Most turns flip one port's select bus, so
+    /// this touches a small slice of the tunable list instead of all of
+    /// it. The result is bit-identical to `try_specialize(params)`.
+    pub fn specialize_from(
+        &self,
+        prev_params: &BitVec,
+        prev_bits: &Bitstream,
+        params: &BitVec,
+    ) -> Result<Bitstream, String> {
+        self.check_params(prev_params)?;
+        self.check_params(params)?;
+        if prev_bits.len() != self.gbs.base.len() {
+            return Err(format!(
+                "bitstream size mismatch: got {}, layout has {}",
+                prev_bits.len(),
+                self.gbs.base.len()
+            ));
+        }
+        let mut out = prev_bits.clone();
+        for i in self.affected_tunables(prev_params, params) {
+            let (addr, f) = self.gbs.tunable[i as usize];
+            out.set(addr, self.manager.eval(f, params));
+        }
+        Ok(out)
+    }
+
+    /// Incremental [`Scg::try_specialize_diff`]: `current` must be the
+    /// specialization of `prev_params` (as maintained by
+    /// [`OnlineReconfigurator`]), so only functions affected by the
+    /// parameter change need re-evaluation to find the DPR write set.
+    pub fn specialize_diff_from(
+        &self,
+        prev_params: &BitVec,
+        current: &Bitstream,
+        params: &BitVec,
+    ) -> Result<Vec<(usize, bool)>, String> {
+        self.check_params(prev_params)?;
+        self.check_params(params)?;
+        let affected = self.affected_tunables(prev_params, params);
+        if pfdbg_obs::enabled() {
+            pfdbg_obs::counter_add("scg.funcs_evaluated", affected.len() as u64);
+            pfdbg_obs::counter_add(
+                "scg.funcs_skipped",
+                (self.gbs.tunable.len() - affected.len()) as u64,
+            );
+        }
+        let mut changes = Vec::new();
+        for i in affected {
+            let (addr, f) = self.gbs.tunable[i as usize];
+            let v = self.manager.eval(f, params);
+            if current.get(addr) != v {
+                changes.push((addr, v));
+            }
+        }
+        Ok(changes)
     }
 }
 
@@ -116,13 +230,17 @@ pub struct OnlineReconfigurator {
     layout: BitstreamLayout,
     icap: IcapModel,
     current: Bitstream,
+    /// The parameters `current` was specialized for — the base state of
+    /// the incremental [`Scg::specialize_diff_from`] fast path.
+    last_params: BitVec,
 }
 
 impl OnlineReconfigurator {
     /// Load the base (params = 0) configuration as the starting state.
     pub fn new(scg: Scg, layout: BitstreamLayout, icap: IcapModel) -> Self {
         let current = scg.generalized().base.clone();
-        OnlineReconfigurator { scg, layout, icap, current }
+        let last_params = BitVec::zeros(scg.generalized().n_params);
+        OnlineReconfigurator { scg, layout, icap, current, last_params }
     }
 
     /// The currently loaded bitstream.
@@ -136,11 +254,20 @@ impl OnlineReconfigurator {
     }
 
     /// One debugging turn: evaluate the new parameter assignment, rewrite
-    /// the changed frames, report the costs.
+    /// the changed frames, report the costs. Consecutive turns take the
+    /// incremental path — only functions whose support intersects the
+    /// changed parameters are re-evaluated.
     pub fn apply(&mut self, params: &BitVec) -> TurnStats {
+        self.try_apply(params).expect("parameter count mismatch")
+    }
+
+    /// Fallible [`OnlineReconfigurator::apply`]: a malformed parameter
+    /// vector is an error reply, not a process abort — the contract the
+    /// debug service relies on.
+    pub fn try_apply(&mut self, params: &BitVec) -> Result<TurnStats, String> {
         let _turn_span = pfdbg_obs::span("scg.turn");
         let t0 = Instant::now();
-        let changes = self.scg.specialize_diff(&self.current, params);
+        let changes = self.scg.specialize_diff_from(&self.last_params, &self.current, params)?;
         let eval_time = t0.elapsed();
 
         let mut frames: Vec<usize> =
@@ -150,6 +277,7 @@ impl OnlineReconfigurator {
         for &(addr, v) in &changes {
             self.current.set(addr, v);
         }
+        self.last_params = params.clone();
         let transfer_time = self.icap.partial_reconfig(frames.len(), self.layout.frame_bits);
         let stats = TurnStats {
             eval_time,
@@ -158,7 +286,7 @@ impl OnlineReconfigurator {
             transfer_time,
         };
         record_turn(&stats, self.layout.frame_bits);
-        stats
+        Ok(stats)
     }
 
     /// The modeled cost of a *full* reconfiguration of this device — the
@@ -262,6 +390,64 @@ mod tests {
         );
         let frame_fraction = stats.frames_changed as f64 / layout_frames(&online);
         assert!(frame_fraction < 0.4, "rewrote {frame_fraction} of all frames");
+    }
+
+    #[test]
+    fn try_specialize_rejects_wrong_parameter_count() {
+        let (_, scg) = setup();
+        assert!(scg.try_specialize(&params(&[true])).is_err(), "too few params");
+        assert!(scg.try_specialize(&params(&[true, false, true])).is_err(), "too many params");
+        assert!(scg.try_specialize(&params(&[true, false])).is_ok());
+        let cur = scg.specialize(&params(&[false, false]));
+        assert!(scg.try_specialize_diff(&cur, &params(&[true])).is_err());
+    }
+
+    #[test]
+    fn try_apply_surfaces_errors_without_state_change() {
+        let (layout, scg) = setup();
+        let mut online = OnlineReconfigurator::new(scg, layout, IcapModel::virtex5());
+        let before = online.current().clone();
+        assert!(online.try_apply(&params(&[true])).is_err());
+        assert_eq!(online.current(), &before, "failed turn must not mutate state");
+        // The reconfigurator still works afterwards.
+        assert!(online.try_apply(&params(&[true, false])).is_ok());
+    }
+
+    #[test]
+    fn incremental_specialization_matches_full() {
+        let (_, scg) = setup();
+        let mut prev = params(&[false, false]);
+        let mut bits = scg.specialize(&prev);
+        // Walk all four assignments in Gray-code order; the incremental
+        // result must be bit-identical to the from-scratch one.
+        for next in [[true, false], [true, true], [false, true], [false, false]] {
+            let next = params(&next);
+            let inc = scg.specialize_from(&prev, &bits, &next).unwrap();
+            assert_eq!(inc, scg.specialize(&next), "incremental diverged at {next:?}");
+            prev = next;
+            bits = inc;
+        }
+    }
+
+    #[test]
+    fn incremental_diff_matches_full_diff() {
+        let (_, scg) = setup();
+        let prev = params(&[false, true]);
+        let cur = scg.specialize(&prev);
+        let next = params(&[true, true]);
+        let full = scg.specialize_diff(&cur, &next);
+        let inc = scg.specialize_diff_from(&prev, &cur, &next).unwrap();
+        assert_eq!(full, inc);
+        // No parameter change -> no work, no changes.
+        assert!(scg.specialize_diff_from(&prev, &cur, &prev).unwrap().is_empty());
+    }
+
+    #[test]
+    fn specialize_from_rejects_wrong_bitstream_size() {
+        let (_, scg) = setup();
+        let prev = params(&[false, false]);
+        let wrong = Bitstream::from_bits(pfdbg_util::BitVec::zeros(8));
+        assert!(scg.specialize_from(&prev, &wrong, &params(&[true, false])).is_err());
     }
 
     #[test]

@@ -1,0 +1,22 @@
+//! Concurrent debug service over the online specialization stage.
+//!
+//! `pfdbg-serve` exposes a compiled design (a shared SCG plus layout
+//! and reconfiguration-port model) to many clients at once: a
+//! `std::net` TCP server with a fixed worker pool, a line-delimited
+//! JSON protocol (the flat JSONL schema from `pfdbg-obs`), a session
+//! manager running one [`pfdbg_core::DebugSession`]-style state per
+//! client session, and an LRU cache of specialized frame-sets keyed by
+//! parameter vector. Requests carry deadlines; failures become error
+//! replies, never server panics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lru;
+pub mod protocol;
+pub mod server;
+pub mod session;
+
+pub use protocol::{Reply, Request};
+pub use server::{Server, ServerConfig, ServerHandle};
+pub use session::SessionManager;

@@ -1,0 +1,270 @@
+//! The line-delimited JSON wire protocol.
+//!
+//! One request per line, one reply per line, both in the flat JSONL
+//! schema of `pfdbg-obs` (string/number/bool/null values, no nesting).
+//! Parameter vectors travel as bit strings (`"0110"`, LSB first —
+//! parameter 0 is the first character) since the schema has no arrays.
+//!
+//! Requests:
+//!
+//! ```text
+//! {"op":"ping"}
+//! {"op":"open","session":"s1"}
+//! {"op":"select","session":"s1","params":"0110"}
+//! {"op":"select","session":"s1","signals":"g2,g7","deadline_ms":50}
+//! {"op":"close","session":"s1"}
+//! {"op":"stats"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Every reply carries `ok` plus the echoed `op` and, when the request
+//! had one, its `id`. Failures are `{"ok":false,"error":...}` — a
+//! malformed line never kills the connection, let alone the server.
+
+use pfdbg_obs::jsonl::{parse_jsonl, JsonValue};
+use pfdbg_util::BitVec;
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Create a session.
+    Open {
+        /// Client-chosen session name.
+        session: String,
+    },
+    /// One debugging turn: specialize for a parameter vector or a
+    /// signal selection.
+    Select {
+        /// Session name.
+        session: String,
+        /// Explicit parameter bits (LSB first), mutually exclusive
+        /// with `signals`.
+        params: Option<BitVec>,
+        /// Signal names to observe, mapped to parameters server-side.
+        signals: Vec<String>,
+        /// Processing budget in milliseconds.
+        deadline_ms: Option<f64>,
+    },
+    /// Drop a session.
+    Close {
+        /// Session name.
+        session: String,
+    },
+    /// Server statistics.
+    Stats,
+    /// Stop the server (when the server allows it).
+    Shutdown,
+}
+
+/// A request line's identity, echoed into the reply.
+#[derive(Debug, Clone, Default)]
+pub struct RequestMeta {
+    /// The `op` string (also present on parse errors when available).
+    pub op: String,
+    /// The optional client-side correlation `id`.
+    pub id: Option<String>,
+}
+
+/// Parse a parameter bit string (`"0110"`, LSB first).
+pub fn parse_param_bits(s: &str) -> Result<BitVec, String> {
+    let mut v = BitVec::zeros(s.len());
+    for (i, c) in s.chars().enumerate() {
+        match c {
+            '0' => {}
+            '1' => v.set(i, true),
+            other => return Err(format!("parameter strings are 0/1 only, got {other:?}")),
+        }
+    }
+    Ok(v)
+}
+
+/// Render a parameter vector as its wire bit string.
+pub fn param_bits_string(v: &BitVec) -> String {
+    (0..v.len()).map(|i| if v.get(i) { '1' } else { '0' }).collect()
+}
+
+/// Parse one request line. Returns the request plus its meta; on error
+/// the meta still carries whatever `op`/`id` could be recovered so the
+/// error reply can echo them.
+pub fn parse_request(line: &str) -> (Result<Request, String>, RequestMeta) {
+    let mut meta = RequestMeta::default();
+    let ev = match parse_jsonl(line) {
+        Ok(mut events) if events.len() == 1 => events.remove(0),
+        Ok(_) => return (Err("expected exactly one object per line".into()), meta),
+        Err(e) => return (Err(format!("malformed JSON: {e}")), meta),
+    };
+    meta.op = ev.str("op").unwrap_or("").to_string();
+    meta.id = ev.str("id").map(str::to_string);
+    let session = |key: &str| -> Result<String, String> {
+        match ev.str(key) {
+            Some(s) if !s.is_empty() => Ok(s.to_string()),
+            _ => Err(format!("{} requires a non-empty \"session\"", meta.op)),
+        }
+    };
+    let req = match meta.op.as_str() {
+        "ping" => Ok(Request::Ping),
+        "open" => session("session").map(|session| Request::Open { session }),
+        "close" => session("session").map(|session| Request::Close { session }),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        "select" => (|| {
+            let session = session("session")?;
+            let params = match ev.str("params") {
+                Some(s) => Some(parse_param_bits(s)?),
+                None => None,
+            };
+            let signals: Vec<String> = ev
+                .str("signals")
+                .map(|s| {
+                    s.split(',')
+                        .map(str::trim)
+                        .filter(|t| !t.is_empty())
+                        .map(String::from)
+                        .collect()
+                })
+                .unwrap_or_default();
+            if params.is_some() != signals.is_empty() {
+                return Err("select takes exactly one of \"params\" or \"signals\"".into());
+            }
+            let deadline_ms = ev.num("deadline_ms");
+            if deadline_ms.is_some_and(|d| !d.is_finite() || d < 0.0) {
+                return Err("deadline_ms must be a non-negative number".into());
+            }
+            Ok(Request::Select { session, params, signals, deadline_ms })
+        })(),
+        "" => Err("missing \"op\"".into()),
+        other => Err(format!("unknown op {other:?}")),
+    };
+    (req, meta)
+}
+
+/// Reply builder: assembles one flat JSON line.
+#[derive(Debug, Default)]
+pub struct Reply {
+    fields: Vec<(&'static str, JsonValue)>,
+}
+
+impl Reply {
+    /// A success reply echoing the request meta.
+    pub fn ok(meta: &RequestMeta) -> Reply {
+        let mut r = Reply { fields: vec![("ok", JsonValue::Bool(true))] };
+        r.echo(meta);
+        r
+    }
+
+    /// An error reply echoing the request meta.
+    pub fn error(meta: &RequestMeta, message: &str) -> Reply {
+        let mut r = Reply {
+            fields: vec![
+                ("ok", JsonValue::Bool(false)),
+                ("error", JsonValue::Str(message.to_string())),
+            ],
+        };
+        r.echo(meta);
+        r
+    }
+
+    fn echo(&mut self, meta: &RequestMeta) {
+        if !meta.op.is_empty() {
+            self.fields.push(("op", JsonValue::Str(meta.op.clone())));
+        }
+        if let Some(id) = &meta.id {
+            self.fields.push(("id", JsonValue::Str(id.clone())));
+        }
+    }
+
+    /// Add a string field.
+    pub fn str(mut self, key: &'static str, value: impl Into<String>) -> Reply {
+        self.fields.push((key, JsonValue::Str(value.into())));
+        self
+    }
+
+    /// Add a numeric field.
+    pub fn num(mut self, key: &'static str, value: f64) -> Reply {
+        self.fields.push((key, JsonValue::Num(value)));
+        self
+    }
+
+    /// Serialize as one JSON line (no trailing newline).
+    pub fn render(&self) -> String {
+        let borrowed: Vec<(&str, JsonValue)> =
+            self.fields.iter().map(|(k, v)| (*k, v.clone())).collect();
+        pfdbg_obs::jsonl::write_object(&borrowed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_request_set() {
+        let (r, m) = parse_request("{\"op\":\"ping\"}");
+        assert_eq!(r.unwrap(), Request::Ping);
+        assert_eq!(m.op, "ping");
+        let (r, _) = parse_request("{\"op\":\"open\",\"session\":\"s1\"}");
+        assert_eq!(r.unwrap(), Request::Open { session: "s1".into() });
+        let (r, m) = parse_request(
+            "{\"op\":\"select\",\"session\":\"s1\",\"params\":\"0110\",\"id\":\"7\"}",
+        );
+        match r.unwrap() {
+            Request::Select { session, params, signals, deadline_ms } => {
+                assert_eq!(session, "s1");
+                let p = params.unwrap();
+                assert_eq!(param_bits_string(&p), "0110");
+                assert!(signals.is_empty());
+                assert!(deadline_ms.is_none());
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert_eq!(m.id.as_deref(), Some("7"));
+        let (r, _) = parse_request("{\"op\":\"select\",\"session\":\"s\",\"signals\":\"g2, g7\"}");
+        match r.unwrap() {
+            Request::Select { signals, .. } => assert_eq!(signals, vec!["g2", "g7"]),
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_requests_with_context() {
+        let (r, _) = parse_request("not json at all");
+        assert!(r.unwrap_err().contains("malformed JSON"));
+        let (r, m) = parse_request("{\"op\":\"teleport\",\"id\":\"x\"}");
+        assert!(r.unwrap_err().contains("unknown op"));
+        assert_eq!(m.id.as_deref(), Some("x"));
+        let (r, _) = parse_request("{\"op\":\"select\",\"session\":\"s\"}");
+        assert!(r.unwrap_err().contains("exactly one of"));
+        let (r, _) = parse_request(
+            "{\"op\":\"select\",\"session\":\"s\",\"params\":\"01\",\"signals\":\"a\"}",
+        );
+        assert!(r.unwrap_err().contains("exactly one of"));
+        let (r, _) = parse_request("{\"op\":\"select\",\"session\":\"s\",\"params\":\"01x\"}");
+        assert!(r.unwrap_err().contains("0/1"));
+        let (r, _) = parse_request("{\"op\":\"open\"}");
+        assert!(r.unwrap_err().contains("session"));
+    }
+
+    #[test]
+    fn replies_render_flat_json() {
+        let meta = RequestMeta { op: "select".into(), id: Some("42".into()) };
+        let line = Reply::ok(&meta).num("bits_changed", 3.0).str("cache", "hit").render();
+        let back = pfdbg_obs::jsonl::parse_jsonl(&line).unwrap();
+        assert_eq!(back[0].str("op"), Some("select"));
+        assert_eq!(back[0].str("id"), Some("42"));
+        assert_eq!(back[0].num("bits_changed"), Some(3.0));
+        let err = Reply::error(&meta, "no such session").render();
+        let back = pfdbg_obs::jsonl::parse_jsonl(&err).unwrap();
+        assert_eq!(back[0].fields.get("ok"), Some(&JsonValue::Bool(false)));
+        assert_eq!(back[0].str("error"), Some("no such session"));
+    }
+
+    #[test]
+    fn param_bits_round_trip() {
+        let v = parse_param_bits("10011").unwrap();
+        assert!(v.get(0) && !v.get(1) && v.get(3) && v.get(4));
+        assert_eq!(param_bits_string(&v), "10011");
+        assert_eq!(param_bits_string(&parse_param_bits("").unwrap()), "");
+    }
+}

@@ -1,0 +1,330 @@
+//! The TCP front end: acceptor, fixed worker pool, graceful shutdown.
+//!
+//! Pure `std::net` — no async runtime. The acceptor thread pushes
+//! connections onto a queue; each of the N pool workers owns one
+//! connection at a time and serves its line-delimited requests until
+//! the client disconnects. Reads carry a short timeout so workers
+//! notice a shutdown even mid-connection, and the shutdown path wakes
+//! the acceptor with a self-connect instead of relying on platform
+//! accept-interruption behavior.
+
+use crate::protocol::{param_bits_string, parse_request, Reply, Request, RequestMeta};
+use crate::session::SessionManager;
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Server settings.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker thread count (each owns one connection at a time, so this
+    /// bounds concurrent clients).
+    pub workers: usize,
+    /// Default per-request deadline when the request names none.
+    pub default_deadline_ms: f64,
+    /// Honor `{"op":"shutdown"}` from clients (handy for smoke tests
+    /// and load generators; disable for long-lived servers).
+    pub allow_remote_shutdown: bool,
+    /// LRU capacity for specialized bitstreams.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 8,
+            default_deadline_ms: 1000.0,
+            allow_remote_shutdown: true,
+            cache_capacity: 64,
+        }
+    }
+}
+
+struct Shared {
+    sessions: SessionManager,
+    cfg: ServerConfig,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_cv: Condvar,
+    stop: AtomicBool,
+}
+
+/// A running server.
+pub struct Server;
+
+/// Handle to a running server: its address and the shutdown control.
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start serving in background threads; returns once the
+    /// listener is live (so the caller can read the actual port).
+    pub fn start(sessions: SessionManager, cfg: ServerConfig) -> Result<ServerHandle, String> {
+        let listener =
+            TcpListener::bind(&cfg.addr).map_err(|e| format!("cannot bind {}: {e}", cfg.addr))?;
+        let local_addr = listener.local_addr().map_err(|e| format!("no local addr: {e}"))?;
+        let workers = cfg.workers.max(1);
+        let shared = Arc::new(Shared {
+            sessions,
+            cfg,
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+        });
+
+        let mut threads = Vec::with_capacity(workers + 1);
+        {
+            let shared = shared.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("pfdbg-accept".into())
+                    .spawn(move || accept_loop(&listener, &shared))
+                    .map_err(|e| format!("cannot spawn acceptor: {e}"))?,
+            );
+        }
+        for i in 0..workers {
+            let shared = shared.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("pfdbg-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .map_err(|e| format!("cannot spawn worker: {e}"))?,
+            );
+        }
+        Ok(ServerHandle { local_addr, shared, threads })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when 0 was requested).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Has shutdown been requested (locally or by a client)?
+    pub fn stopping(&self) -> bool {
+        self.shared.stop.load(Ordering::SeqCst)
+    }
+
+    /// The session manager (for post-run statistics).
+    pub fn sessions(&self) -> &SessionManager {
+        &self.shared.sessions
+    }
+
+    /// Request shutdown and join every thread. Idempotent with a
+    /// client-initiated shutdown.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Wake the acceptor: it blocks in accept(), so connect to it.
+        let _ = TcpStream::connect(self.local_addr);
+        self.shared.queue_cv.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        pfdbg_obs::counter_add("serve.shutdowns", 1);
+    }
+
+    /// Block until a client-initiated shutdown stops the server, then
+    /// join the threads.
+    pub fn wait(mut self) {
+        while !self.shared.stop.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        // Same wake-up dance as a local shutdown: the acceptor blocks in
+        // accept() and must be poked loose with a connection.
+        let _ = TcpStream::connect(self.local_addr);
+        self.shared.queue_cv.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match stream {
+            Ok(s) => {
+                pfdbg_obs::counter_add("serve.connections", 1);
+                let mut q = shared.queue.lock().expect("conn queue");
+                q.push_back(s);
+                shared.queue_cv.notify_one();
+            }
+            Err(_) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+        }
+    }
+    shared.queue_cv.notify_all();
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let conn = {
+            let mut q = shared.queue.lock().expect("conn queue");
+            loop {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(c) = q.pop_front() {
+                    break c;
+                }
+                let (guard, _) = shared
+                    .queue_cv
+                    .wait_timeout(q, Duration::from_millis(100))
+                    .expect("conn queue");
+                q = guard;
+            }
+        };
+        serve_connection(conn, shared);
+    }
+}
+
+fn serve_connection(stream: TcpStream, shared: &Shared) {
+    let _s = pfdbg_obs::span("serve.connection");
+    // Short read timeout: lets the worker poll the stop flag while the
+    // client is idle. No Nagle: replies are single small writes and
+    // coalescing them behind delayed ACKs costs tens of ms per turn.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client closed
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(_) => return,
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = handle_line(&line, shared);
+        let stop_after = matches!(reply, LineOutcome::Shutdown(_));
+        let mut rendered = match &reply {
+            LineOutcome::Reply(r) | LineOutcome::Shutdown(r) => r.render(),
+        };
+        rendered.push('\n');
+        if writer.write_all(rendered.as_bytes()).is_err() || writer.flush().is_err() {
+            return;
+        }
+        if stop_after {
+            shared.stop.store(true, Ordering::SeqCst);
+            shared.queue_cv.notify_all();
+            return;
+        }
+    }
+}
+
+enum LineOutcome {
+    Reply(Reply),
+    Shutdown(Reply),
+}
+
+fn handle_line(line: &str, shared: &Shared) -> LineOutcome {
+    let _s = pfdbg_obs::span("serve.request");
+    pfdbg_obs::counter_add("serve.requests", 1);
+    let started = Instant::now();
+    let (req, meta) = parse_request(line);
+    let req = match req {
+        Ok(r) => r,
+        Err(e) => {
+            pfdbg_obs::counter_add("serve.errors", 1);
+            return LineOutcome::Reply(Reply::error(&meta, &e));
+        }
+    };
+    match handle_request(req, &meta, started, shared) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            pfdbg_obs::counter_add("serve.errors", 1);
+            LineOutcome::Reply(Reply::error(&meta, &e))
+        }
+    }
+}
+
+fn handle_request(
+    req: Request,
+    meta: &RequestMeta,
+    started: Instant,
+    shared: &Shared,
+) -> Result<LineOutcome, String> {
+    let sessions = &shared.sessions;
+    let reply = match req {
+        Request::Ping => Reply::ok(meta),
+        Request::Open { session } => {
+            let n = sessions.open(&session)?;
+            Reply::ok(meta).str("session", session).num("n_params", n as f64)
+        }
+        Request::Close { session } => {
+            sessions.close(&session)?;
+            Reply::ok(meta).str("session", session)
+        }
+        Request::Stats => {
+            let (turns, hits, misses) = sessions.stats();
+            Reply::ok(meta)
+                .num("sessions", sessions.n_sessions() as f64)
+                .num("turns", turns as f64)
+                .num("cache_hits", hits as f64)
+                .num("cache_misses", misses as f64)
+        }
+        Request::Shutdown => {
+            if !shared.cfg.allow_remote_shutdown {
+                return Err("remote shutdown is disabled".into());
+            }
+            return Ok(LineOutcome::Shutdown(Reply::ok(meta)));
+        }
+        Request::Select { session, params, signals, deadline_ms } => {
+            let deadline = Duration::from_secs_f64(
+                deadline_ms.unwrap_or(shared.cfg.default_deadline_ms) / 1e3,
+            );
+            let params = match params {
+                Some(p) => p,
+                None => sessions.plan(&session, &signals)?,
+            };
+            let outcome = sessions.select(&session, &params)?;
+            if started.elapsed() > deadline {
+                pfdbg_obs::counter_add("serve.deadline_misses", 1);
+                return Err(format!(
+                    "deadline exceeded: {:.1} ms spent, {:.1} ms allowed",
+                    started.elapsed().as_secs_f64() * 1e3,
+                    deadline.as_secs_f64() * 1e3
+                ));
+            }
+            Reply::ok(meta)
+                .str("session", session)
+                .str("params", param_bits_string(&outcome.params))
+                .num("turn", outcome.turn as f64)
+                .num("bits_changed", outcome.bits_changed as f64)
+                .num("frames_changed", outcome.frames_changed as f64)
+                .num("eval_us", outcome.eval_us)
+                .num("transfer_us", outcome.transfer_us)
+                .str("cache", if outcome.cache_hit { "hit" } else { "miss" })
+        }
+    };
+    Ok(LineOutcome::Reply(reply))
+}

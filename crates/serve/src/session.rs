@@ -1,0 +1,241 @@
+//! Session state: many concurrent debugging sessions over one shared
+//! compiled design.
+//!
+//! The expensive, read-only products of the offline flow (SCG, layout,
+//! ICAP model, instrumented netlist) are shared behind `Arc`; each
+//! session owns only its parameter assignment and currently loaded
+//! bitstream, so turns from different clients proceed independently.
+//! A shared LRU of specialized bitstreams (keyed by parameter vector)
+//! short-circuits repeated selections across *all* sessions.
+
+use crate::lru::LruCache;
+use crate::protocol::param_bits_string;
+use pfdbg_arch::{Bitstream, BitstreamLayout, IcapModel};
+use pfdbg_core::Instrumented;
+use pfdbg_pconf::Scg;
+use pfdbg_util::{BitVec, FxHashMap};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// The shared compiled design a server instance runs against.
+pub struct Engine {
+    /// Instrumented design (for signal → parameter planning).
+    pub inst: Arc<Instrumented>,
+    /// The SCG over the generalized bitstream.
+    pub scg: Arc<Scg>,
+    /// Bitstream layout (frame geometry).
+    pub layout: BitstreamLayout,
+    /// Reconfiguration-port model.
+    pub icap: IcapModel,
+}
+
+impl Engine {
+    /// Bundle the offline products for serving.
+    pub fn new(inst: Instrumented, scg: Scg, layout: BitstreamLayout, icap: IcapModel) -> Engine {
+        Engine { inst: Arc::new(inst), scg: Arc::new(scg), layout, icap }
+    }
+
+    /// Number of PConf parameters.
+    pub fn n_params(&self) -> usize {
+        self.inst.annotations.len()
+    }
+}
+
+/// One client session: the parameters it last selected and the
+/// configuration currently loaded on its (modeled) device.
+struct SessionState {
+    params: BitVec,
+    bits: Bitstream,
+    turns: usize,
+}
+
+/// The result of one specialization turn.
+#[derive(Debug, Clone)]
+pub struct TurnOutcome {
+    /// The parameter vector that was applied.
+    pub params: BitVec,
+    /// Configuration bits that changed.
+    pub bits_changed: usize,
+    /// Frames rewritten via DPR.
+    pub frames_changed: usize,
+    /// Host-side evaluation/lookup wall time in microseconds.
+    pub eval_us: f64,
+    /// Modeled ICAP transfer time in microseconds.
+    pub transfer_us: f64,
+    /// Whether the specialized bitstream came from the LRU cache.
+    pub cache_hit: bool,
+    /// Turn number within the session (0-based).
+    pub turn: usize,
+}
+
+/// Manages the session table and the shared specialization cache.
+pub struct SessionManager {
+    engine: Arc<Engine>,
+    sessions: Mutex<FxHashMap<String, SessionState>>,
+    cache: Mutex<LruCache<String, Arc<Bitstream>>>,
+    turns_total: Mutex<u64>,
+}
+
+impl SessionManager {
+    /// A manager over `engine` with an LRU of `cache_capacity`
+    /// specialized bitstreams.
+    pub fn new(engine: Arc<Engine>, cache_capacity: usize) -> SessionManager {
+        SessionManager {
+            engine,
+            sessions: Mutex::new(FxHashMap::default()),
+            cache: Mutex::new(LruCache::new(cache_capacity)),
+            turns_total: Mutex::new(0),
+        }
+    }
+
+    /// The shared engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Active session count.
+    pub fn n_sessions(&self) -> usize {
+        self.sessions.lock().expect("session table").len()
+    }
+
+    /// Total turns served plus the cache's `(hits, misses)`.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        let turns = *self.turns_total.lock().expect("turn counter");
+        let (h, m) = self.cache.lock().expect("cache").stats();
+        (turns, h, m)
+    }
+
+    /// Create a session; starts at the base configuration (params = 0),
+    /// exactly like [`pfdbg_pconf::OnlineReconfigurator::new`].
+    pub fn open(&self, name: &str) -> Result<usize, String> {
+        let mut table = self.sessions.lock().expect("session table");
+        if table.contains_key(name) {
+            return Err(format!("session {name:?} already exists"));
+        }
+        let n = self.engine.n_params();
+        table.insert(
+            name.to_string(),
+            SessionState {
+                params: BitVec::zeros(n),
+                bits: self.engine.scg.generalized().base.clone(),
+                turns: 0,
+            },
+        );
+        pfdbg_obs::counter_add("serve.sessions_opened", 1);
+        Ok(n)
+    }
+
+    /// Drop a session.
+    pub fn close(&self, name: &str) -> Result<(), String> {
+        let mut table = self.sessions.lock().expect("session table");
+        table.remove(name).map(|_| ()).ok_or_else(|| format!("no such session {name:?}"))
+    }
+
+    /// Map a signal selection to a parameter vector against the current
+    /// session parameters (each selected signal claims one free trace
+    /// port; unrelated ports keep their previous selection).
+    pub fn plan(&self, session: &str, signals: &[String]) -> Result<BitVec, String> {
+        let table = self.sessions.lock().expect("session table");
+        let state = table.get(session).ok_or_else(|| format!("no such session {session:?}"))?;
+        let inst = &self.engine.inst;
+        let mut used = vec![false; inst.ports.len()];
+        let mut params = state.params.clone();
+        for sig in signals {
+            let found = inst.ports.iter().enumerate().find_map(|(p, port)| {
+                if used[p] {
+                    return None;
+                }
+                port.select_for(sig).map(|v| (p, v))
+            });
+            let (p, v) =
+                found.ok_or_else(|| format!("no free trace port can observe {sig} this turn"))?;
+            used[p] = true;
+            for (bit, name) in inst.ports[p].sel_params.iter().enumerate() {
+                let idx = inst
+                    .annotations
+                    .params
+                    .iter()
+                    .position(|q| q == name)
+                    .ok_or_else(|| format!("select parameter {name} not annotated"))?;
+                params.set(idx, (v >> bit) & 1 == 1);
+            }
+        }
+        Ok(params)
+    }
+
+    /// One debugging turn: specialize the session for `params` and
+    /// account the partial-reconfiguration cost. The hot path is
+    /// incremental ([`Scg::specialize_from`]) and cache-assisted; the
+    /// session state only changes on success.
+    pub fn select(&self, session: &str, params: &BitVec) -> Result<TurnOutcome, String> {
+        let _s = pfdbg_obs::span("serve.select");
+        let t0 = Instant::now();
+        let engine = &self.engine;
+        if !self.sessions.lock().expect("session table").contains_key(session) {
+            return Err(format!("no such session {session:?}"));
+        }
+        if params.len() != engine.n_params() {
+            return Err(format!(
+                "parameter count mismatch: got {}, design has {}",
+                params.len(),
+                engine.n_params()
+            ));
+        }
+        let key = param_bits_string(params);
+
+        let cached = self.cache.lock().expect("cache").get(&key).cloned();
+        let (new_bits, cache_hit) = match cached {
+            Some(bits) => (bits, true),
+            None => {
+                // Miss: incremental specialization from this session's
+                // current state, then publish for everyone. Copy the
+                // state out first — BDD evaluation must not run under
+                // the session-table lock.
+                let (prev_params, prev_bits) = {
+                    let table = self.sessions.lock().expect("session table");
+                    let state =
+                        table.get(session).ok_or_else(|| format!("no such session {session:?}"))?;
+                    (state.params.clone(), state.bits.clone())
+                };
+                let bits = engine.scg.specialize_from(&prev_params, &prev_bits, params)?;
+                let bits = Arc::new(bits);
+                self.cache.lock().expect("cache").put(key, bits.clone());
+                (bits, false)
+            }
+        };
+        pfdbg_obs::counter_add(if cache_hit { "serve.cache_hit" } else { "serve.cache_miss" }, 1);
+
+        // Diff against the session's loaded configuration: only tunable
+        // addresses can differ between two specializations.
+        let mut table = self.sessions.lock().expect("session table");
+        let state = table.get_mut(session).ok_or_else(|| format!("no such session {session:?}"))?;
+        let mut frames: Vec<usize> = Vec::new();
+        let mut bits_changed = 0usize;
+        for &(addr, _) in &engine.scg.generalized().tunable {
+            if state.bits.get(addr) != new_bits.get(addr) {
+                bits_changed += 1;
+                frames.push(engine.layout.frame_of(addr));
+            }
+        }
+        frames.sort_unstable();
+        frames.dedup();
+        let eval_us = t0.elapsed().as_secs_f64() * 1e6;
+        let transfer = engine.icap.partial_reconfig(frames.len(), engine.layout.frame_bits);
+        state.bits = (*new_bits).clone();
+        state.params = params.clone();
+        state.turns += 1;
+        let turn = state.turns - 1;
+        drop(table);
+        *self.turns_total.lock().expect("turn counter") += 1;
+        pfdbg_obs::counter_add("serve.turns", 1);
+        Ok(TurnOutcome {
+            params: params.clone(),
+            bits_changed,
+            frames_changed: frames.len(),
+            eval_us,
+            transfer_us: transfer.as_secs_f64() * 1e6,
+            cache_hit,
+            turn,
+        })
+    }
+}

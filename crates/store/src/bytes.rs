@@ -1,0 +1,291 @@
+//! Minimal little-endian binary encoding primitives.
+//!
+//! The artifact format is hand-rolled (no serde — see DESIGN.md §6), in
+//! the same spirit as the flat JSONL writer in `pfdbg-obs`: a writer
+//! that appends fixed-width little-endian scalars and length-prefixed
+//! byte runs, and a reader that refuses to read past the end instead of
+//! panicking. Every multi-byte integer is 64-bit on the wire so the
+//! format is identical across platforms.
+
+/// An append-only byte sink.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        ByteWriter { buf: Vec::new() }
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a 32-bit little-endian integer.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a 64-bit little-endian integer.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `usize` as 64 bits.
+    pub fn size(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Append a length-prefixed byte run.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.size(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
+    /// Append a length-prefixed list of strings.
+    pub fn str_list(&mut self, v: &[String]) {
+        self.size(v.len());
+        for s in v {
+            self.str(s);
+        }
+    }
+
+    /// Append a length-prefixed list of `usize` values.
+    pub fn size_list(&mut self, v: &[usize]) {
+        self.size(v.len());
+        for &x in v {
+            self.size(x);
+        }
+    }
+
+    /// Append a length-prefixed list of `u64` words.
+    pub fn u64_list(&mut self, v: &[u64]) {
+        self.size(v.len());
+        for &x in v {
+            self.u64(x);
+        }
+    }
+}
+
+/// A bounds-checked byte cursor; every read that would pass the end is
+/// an error ("truncated"), never a panic.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// A hard ceiling on decoded collection lengths. A corrupted length
+/// prefix must produce an error, not a multi-gigabyte allocation.
+const MAX_LEN: usize = 1 << 32;
+
+impl<'a> ByteReader<'a> {
+    /// Read from the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        ByteReader { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.remaining() < n {
+            return Err(format!(
+                "truncated: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.remaining()
+            ));
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a 32-bit little-endian integer.
+    pub fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Read a 64-bit little-endian integer.
+    pub fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Read a `usize` stored as 64 bits.
+    pub fn size(&mut self) -> Result<usize, String> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| format!("size {v} does not fit this platform"))
+    }
+
+    fn len_prefix(&mut self) -> Result<usize, String> {
+        let n = self.size()?;
+        if n > MAX_LEN {
+            return Err(format!("implausible length prefix {n}"));
+        }
+        Ok(n)
+    }
+
+    /// Read a length-prefixed byte run.
+    pub fn bytes(&mut self) -> Result<&'a [u8], String> {
+        let n = self.len_prefix()?;
+        self.take(n)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, String> {
+        let b = self.bytes()?;
+        String::from_utf8(b.to_vec()).map_err(|e| format!("invalid UTF-8: {e}"))
+    }
+
+    /// Read a length-prefixed list of strings.
+    pub fn str_list(&mut self) -> Result<Vec<String>, String> {
+        let n = self.len_prefix()?;
+        let mut out = Vec::with_capacity(n.min(self.remaining()));
+        for _ in 0..n {
+            out.push(self.str()?);
+        }
+        Ok(out)
+    }
+
+    /// Read a length-prefixed list of `usize` values.
+    pub fn size_list(&mut self) -> Result<Vec<usize>, String> {
+        let n = self.len_prefix()?;
+        let mut out = Vec::with_capacity(n.min(self.remaining() / 8 + 1));
+        for _ in 0..n {
+            out.push(self.size()?);
+        }
+        Ok(out)
+    }
+
+    /// Read a length-prefixed list of `u64` words.
+    pub fn u64_list(&mut self) -> Result<Vec<u64>, String> {
+        let n = self.len_prefix()?;
+        let mut out = Vec::with_capacity(n.min(self.remaining() / 8 + 1));
+        for _ in 0..n {
+            out.push(self.u64()?);
+        }
+        Ok(out)
+    }
+
+    /// Assert the input is fully consumed (a longer-than-expected file
+    /// is as suspicious as a shorter one).
+    pub fn finish(self) -> Result<(), String> {
+        if self.remaining() != 0 {
+            return Err(format!("{} trailing bytes after payload", self.remaining()));
+        }
+        Ok(())
+    }
+}
+
+/// 64-bit content checksum over a byte run (FxHash over 8-byte words —
+/// not cryptographic, but catches the truncations and bit flips a local
+/// cache is exposed to).
+pub fn checksum(bytes: &[u8]) -> u64 {
+    use std::hash::Hasher;
+    let mut h = pfdbg_util::hash::FxHasher::default();
+    h.write(bytes);
+    h.write_u64(bytes.len() as u64);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        let mut w = ByteWriter::new();
+        w.u8(7);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 1);
+        w.size(12345);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.size().unwrap(), 12345);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let mut w = ByteWriter::new();
+        w.str("hello µs");
+        w.str_list(&["a".into(), "".into(), "ccc".into()]);
+        w.size_list(&[1, 0, 99]);
+        w.u64_list(&[u64::MAX, 0]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.str().unwrap(), "hello µs");
+        assert_eq!(r.str_list().unwrap(), vec!["a", "", "ccc"]);
+        assert_eq!(r.size_list().unwrap(), vec![1, 0, 99]);
+        assert_eq!(r.u64_list().unwrap(), vec![u64::MAX, 0]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_an_error() {
+        let mut w = ByteWriter::new();
+        w.str("some payload");
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            assert!(r.str().is_err(), "cut at {cut} must fail");
+        }
+        let mut r = ByteReader::new(&bytes);
+        r.str().unwrap();
+        assert!(r.u8().is_err(), "reading past the end must fail");
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut w = ByteWriter::new();
+        w.u8(1);
+        let mut bytes = w.into_bytes();
+        bytes.push(0);
+        let mut r = ByteReader::new(&bytes);
+        r.u8().unwrap();
+        assert!(r.finish().is_err());
+    }
+
+    #[test]
+    fn implausible_length_prefix_rejected() {
+        let mut w = ByteWriter::new();
+        w.u64(u64::MAX); // absurd length prefix
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(r.bytes().is_err());
+    }
+
+    #[test]
+    fn checksum_detects_flips() {
+        let data = b"the generalized bitstream".to_vec();
+        let c = checksum(&data);
+        assert_eq!(c, checksum(&data), "deterministic");
+        let mut flipped = data.clone();
+        flipped[3] ^= 0x10;
+        assert_ne!(c, checksum(&flipped));
+        assert_ne!(c, checksum(&data[..data.len() - 1]));
+    }
+}

@@ -1,0 +1,162 @@
+//! Integration tests for the artifact store: format round-trip under
+//! randomized designs, corruption rejection, and the cache-hit speedup
+//! that is the store's reason to exist.
+
+use pfdbg_core::{prepare_instrumented, InstrumentConfig, OfflineConfig};
+use pfdbg_store::{Artifact, ArtifactStore, CacheOutcome, CompiledDesign};
+use pfdbg_util::BitVec;
+use proptest::prelude::*;
+use std::time::Instant;
+
+fn compile(seed: u64, n_gates: usize) -> (pfdbg_core::Instrumented, CompiledDesign) {
+    let design = pfdbg_circuits::generate(&pfdbg_circuits::GenParams {
+        n_inputs: 8,
+        n_outputs: 6,
+        n_gates,
+        depth: if n_gates > 100 { 7 } else { 5 },
+        n_latches: 2,
+        seed,
+    });
+    let (_, _, inst) = prepare_instrumented(
+        &design,
+        &InstrumentConfig { n_ports: 2, max_signals: None, coverage: 1 },
+        6,
+    )
+    .unwrap();
+    let off = pfdbg_core::offline(&inst, &OfflineConfig::default()).unwrap();
+    let scg = off.scg.unwrap();
+    let layout = off.layout.unwrap();
+    let design = CompiledDesign {
+        inst: inst.clone(),
+        map_stats: off.map_stats,
+        scg,
+        layout,
+        icap: off.icap,
+    };
+    (inst, design)
+}
+
+fn some_param_vectors(n: usize) -> Vec<BitVec> {
+    let mut out = vec![BitVec::zeros(n)];
+    for i in 0..n.min(4) {
+        let mut v = BitVec::zeros(n);
+        v.set(i, true);
+        out.push(v);
+    }
+    out.push((0..n).map(|i| i % 2 == 0).collect());
+    out.push((0..n).map(|_| true).collect());
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4, ..Default::default() })]
+
+    /// The decoded artifact must be field-identical, and the
+    /// instantiated SCG must specialize bit-identically to the original
+    /// for a spread of parameter vectors.
+    #[test]
+    fn round_trip_preserves_specializations(seed in 1u64..1000, n_gates in 30usize..60) {
+        let (_, compiled) = compile(seed, n_gates);
+        let artifact =
+            Artifact::capture(&compiled.inst, &compiled.map_stats, &compiled.layout, &compiled.scg);
+        let bytes = artifact.to_bytes();
+        let back = Artifact::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(&back, &artifact);
+        let restored = back.instantiate().unwrap();
+        prop_assert_eq!(restored.layout.n_bits, compiled.layout.n_bits);
+        prop_assert_eq!(restored.inst.annotations, compiled.inst.annotations.clone());
+        let n = compiled.inst.annotations.len();
+        for p in some_param_vectors(n) {
+            prop_assert_eq!(restored.scg.specialize(&p), compiled.scg.specialize(&p));
+        }
+    }
+}
+
+/// Any single corrupted byte and any truncation must be rejected with
+/// an error — never a panic, never a silently wrong artifact.
+#[test]
+fn corrupted_and_truncated_artifacts_rejected() {
+    let (_, compiled) = compile(7, 40);
+    let artifact =
+        Artifact::capture(&compiled.inst, &compiled.map_stats, &compiled.layout, &compiled.scg);
+    let bytes = artifact.to_bytes();
+    assert!(Artifact::from_bytes(&bytes).is_ok());
+
+    // Truncations: sample cut points across the whole file.
+    for cut in (0..bytes.len()).step_by((bytes.len() / 64).max(1)) {
+        assert!(Artifact::from_bytes(&bytes[..cut]).is_err(), "cut at {cut} accepted");
+    }
+    // Bit flips: header bytes and sampled payload bytes.
+    for pos in (0..bytes.len()).step_by((bytes.len() / 97).max(1)) {
+        let mut bad = bytes.clone();
+        bad[pos] ^= 0x41;
+        assert!(Artifact::from_bytes(&bad).is_err(), "flip at {pos} accepted");
+    }
+    // Trailing garbage.
+    let mut long = bytes.clone();
+    long.extend_from_slice(b"xx");
+    assert!(Artifact::from_bytes(&long).is_err());
+    // Wrong version.
+    let mut wrong_version = bytes.clone();
+    wrong_version[4] = 99;
+    let err = Artifact::from_bytes(&wrong_version).unwrap_err();
+    assert!(err.contains("format"), "{err}");
+}
+
+/// The tentpole claim: the second compile of the same design is a cache
+/// hit and at least 100x faster than the offline flow it skips.
+#[test]
+fn second_compile_is_a_cache_hit_and_100x_faster() {
+    let dir = std::env::temp_dir().join(format!("pfdbg-store-test-{}", std::process::id()));
+    let store = ArtifactStore::open(&dir).unwrap();
+    // A mid-size design at production placement effort (multiple
+    // annealing chains, higher move budget): the offline flow cost
+    // scales with that effort while the artifact — and therefore the
+    // hit cost — does not, which is exactly the asymmetry the store
+    // exploits.
+    let (inst, _) = compile(21, 160);
+    let mut cfg = OfflineConfig::default();
+    cfg.tpar.place_chains = 2;
+    cfg.tpar.place.effort = 3.0;
+
+    let t0 = Instant::now();
+    let (first, outcome1) = store.offline_cached(&inst, &cfg).unwrap();
+    let miss_time = t0.elapsed();
+    assert_eq!(outcome1, CacheOutcome::Miss);
+
+    let t1 = Instant::now();
+    let (second, outcome2) = store.offline_cached(&inst, &cfg).unwrap();
+    let hit_time = t1.elapsed();
+    assert_eq!(outcome2, CacheOutcome::Hit);
+
+    // Identical results either way.
+    let n = inst.annotations.len();
+    for p in some_param_vectors(n) {
+        assert_eq!(first.scg.specialize(&p), second.scg.specialize(&p));
+    }
+    assert!(
+        hit_time.as_secs_f64() * 100.0 < miss_time.as_secs_f64(),
+        "cache hit not >=100x faster: miss {miss_time:?}, hit {hit_time:?}"
+    );
+
+    // A different configuration is a different fingerprint -> miss.
+    let other_cfg = OfflineConfig { k: 5, ..OfflineConfig::default() };
+    assert_ne!(
+        ArtifactStore::fingerprint(&inst, &cfg),
+        ArtifactStore::fingerprint(&inst, &other_cfg)
+    );
+
+    // A damaged cache entry degrades to a recompile, not a failure.
+    let key = ArtifactStore::fingerprint(&inst, &cfg);
+    let path = store.path_for(&key);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&path, &bytes).unwrap();
+    let (_, outcome3) = store.offline_cached(&inst, &cfg).unwrap();
+    assert_eq!(outcome3, CacheOutcome::Miss, "corrupt entry must recompile");
+    let (_, outcome4) = store.offline_cached(&inst, &cfg).unwrap();
+    assert_eq!(outcome4, CacheOutcome::Hit, "recompile must repair the entry");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -37,6 +37,26 @@ impl BitVec {
         v
     }
 
+    /// Rebuild from backing words (the inverse of [`BitVec::words`],
+    /// for deserialization). Fails if the word count doesn't match the
+    /// length or the tail beyond `len` holds stray set bits — both are
+    /// signs of a corrupted source.
+    pub fn from_words(words: Vec<u64>, len: usize) -> Result<Self, String> {
+        if words.len() != len.div_ceil(64) {
+            return Err(format!("{} words cannot back {len} bits", words.len()));
+        }
+        let v = BitVec { words, len };
+        let tail = len % 64;
+        if tail != 0 {
+            if let Some(&last) = v.words.last() {
+                if last & !((1u64 << tail) - 1) != 0 {
+                    return Err("set bits beyond the vector length".into());
+                }
+            }
+        }
+        Ok(v)
+    }
+
     /// Number of bits.
     #[inline]
     pub fn len(&self) -> usize {
