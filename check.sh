@@ -11,8 +11,15 @@ cargo fmt --all -- --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== cargo test =="
-cargo test -q --workspace
+echo "== cargo test (PFDBG_THREADS=1) =="
+PFDBG_THREADS=1 cargo test -q --workspace
+
+echo "== cargo test (PFDBG_THREADS=8) =="
+# Same suite under the parallel thread policy: every pfdbg-par path
+# (cut enumeration, speculative routing, sharded BDD construction and
+# SCG specialization) must stay bit-identical to the serial results the
+# tests assert.
+PFDBG_THREADS=8 cargo test -q --workspace
 
 echo "== serve smoke test =="
 # Start the debug service on an ephemeral port, drive it with a small

@@ -6,19 +6,96 @@
 //!
 //! Paper's findings on small designs: ~3x fewer cables (5316 vs 15699),
 //! up to 4x fewer CLBs, and up to 3x faster place & route.
+//!
+//! On top of the paper experiment, this driver measures the
+//! **pfdbg-par** thread-pool layer: the whole offline flow runs
+//! `--runs` times serially (1 thread) and `--runs` times with
+//! `--par-threads` workers, and the per-stage medians (mapping,
+//! placement, routing, generalized-bitstream construction) land in
+//! `BENCH_compile.json` together with the speedups. The parallel flow
+//! is bit-identical to the serial one (asserted in the tier-1 suite);
+//! the speedup you see depends on how many hardware threads the host
+//! actually has — recorded as `host_threads`.
+//!
+//! ```text
+//! compile_time [design] [--runs N] [--par-threads N] [--out f.json]
+//! ```
 
 use pfdbg_core::{offline, prepare_instrumented, InstrumentConfig, OfflineConfig, PAPER_K};
 use pfdbg_map::{map, MapperKind};
+use pfdbg_obs::jsonl::{write_object, JsonValue};
+use pfdbg_obs::SpanRecord;
 use pfdbg_pr::{tpar, TparConfig};
 use pfdbg_synth::synthesize;
+use pfdbg_util::stats::percentile;
 use pfdbg_util::table::Table;
 use std::time::Instant;
 
+fn flag(rest: &[String], name: &str) -> Option<String> {
+    rest.iter().position(|a| a == name).and_then(|i| rest.get(i + 1).cloned())
+}
+
+fn flag_usize(rest: &[String], name: &str, default: usize) -> usize {
+    flag(rest, name).map_or(default, |v| {
+        v.parse().unwrap_or_else(|_| panic!("{name} expects a number, got {v:?}"))
+    })
+}
+
+/// The benchmark stages, named by the spans the offline flow emits.
+const STAGES: [(&str, &[&str]); 5] = [
+    ("map", &["offline.tconmap"]),
+    ("place", &["tpar.place"]),
+    ("route", &["tpar.route"]),
+    ("genbits", &["offline.lut_bits", "offline.switch_bits", "offline.build_gbs"]),
+    ("total", &["offline"]),
+];
+
+/// Sum the closed durations of every span whose name is in `names`.
+fn stage_ms(spans: &[SpanRecord], names: &[&str]) -> f64 {
+    spans
+        .iter()
+        .filter(|s| names.contains(&s.name.as_str()))
+        .filter_map(|s| s.dur)
+        .map(|d| d.as_secs_f64() * 1e3)
+        .sum()
+}
+
+/// Run the offline flow `runs` times at `threads` workers; per stage,
+/// the median wall-clock milliseconds across runs.
+fn time_offline(
+    inst: &pfdbg_core::Instrumented,
+    runs: usize,
+    threads: usize,
+) -> Vec<(&'static str, f64)> {
+    let mut per_stage: Vec<Vec<f64>> = vec![Vec::with_capacity(runs); STAGES.len()];
+    for run in 0..runs {
+        pfdbg_obs::reset();
+        offline(inst, &OfflineConfig { k: PAPER_K, threads, ..Default::default() })
+            .unwrap_or_else(|e| panic!("offline (run {run}, {threads} threads): {e}"));
+        let spans = pfdbg_obs::registry().spans();
+        for (slot, (_, names)) in per_stage.iter_mut().zip(STAGES.iter()) {
+            slot.push(stage_ms(&spans, names));
+        }
+    }
+    STAGES
+        .iter()
+        .zip(per_stage)
+        .map(|(&(name, _), times)| (name, percentile(&times, 50.0).unwrap_or(f64::NAN)))
+        .collect()
+}
+
 fn main() {
     let obs = pfdbg_bench::obs_init();
+    let rest = obs.rest().to_vec();
     // A small design, as in the paper's early experiments; pass a
-    // benchmark name (e.g. `stereov.`) to run one of the suite instead.
-    let arg = obs.rest().first().cloned();
+    // benchmark name (e.g. `clma`) to run one of the suite instead.
+    // `diffeq1` is the default: the largest suite member whose offline
+    // flow finishes in about a second per run, so the multi-run speedup
+    // measurement stays cheap everywhere.
+    let arg = rest.first().filter(|a| !a.starts_with("--")).cloned();
+    let runs = flag_usize(&rest, "--runs", 5).max(1);
+    let par_threads = flag_usize(&rest, "--par-threads", 8).max(2);
+    let out = flag(&rest, "--out").unwrap_or_else(|| "BENCH_compile.json".into());
     let (name, design) = match arg {
         Some(n) => {
             let nw = pfdbg_circuits::build(&n).unwrap_or_else(|| {
@@ -27,17 +104,7 @@ fn main() {
             });
             (n, nw)
         }
-        None => (
-            "gen120".to_string(),
-            pfdbg_circuits::generate(&pfdbg_circuits::GenParams {
-                n_inputs: 14,
-                n_outputs: 10,
-                n_gates: 120,
-                depth: 7,
-                n_latches: 8,
-                seed: 2024,
-            }),
-        ),
+        None => ("diffeq1".to_string(), pfdbg_circuits::build("diffeq1").expect("suite member")),
     };
     eprintln!("compile-time experiment on {name}...");
 
@@ -105,5 +172,57 @@ fn main() {
         "paper reference points (small designs): 5316 vs 15699 cables (~3x), \
          up to 4x fewer CLBs, up to 3x faster place & route"
     );
+
+    // Serial-vs-parallel offline flow (pfdbg-par layer). Spans carry the
+    // per-stage timing, so the observability layer must be on for the
+    // measured runs regardless of --profile.
+    let was_enabled = pfdbg_obs::enabled();
+    pfdbg_obs::set_enabled(true);
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!(
+        "timing offline flow: {runs} serial runs, then {runs} runs at {par_threads} threads \
+         (host has {host_threads} hardware threads)..."
+    );
+    let serial = time_offline(&inst, runs, 1);
+    let parallel = time_offline(&inst, runs, par_threads);
+    pfdbg_obs::reset();
+    pfdbg_obs::set_enabled(was_enabled);
+
+    let mut pt = Table::new(["stage", "serial (median ms)", "parallel (median ms)", "speedup"]);
+    let mut stage_fields: Vec<(String, f64)> = Vec::new();
+    for ((stage, s_ms), (_, p_ms)) in serial.iter().zip(parallel.iter()) {
+        let speedup = s_ms / p_ms.max(1e-9);
+        pt.row([
+            stage.to_string(),
+            format!("{s_ms:.2}"),
+            format!("{p_ms:.2}"),
+            format!("{speedup:.2}x"),
+        ]);
+        stage_fields.push((format!("{stage}_serial_ms"), *s_ms));
+        stage_fields.push((format!("{stage}_parallel_ms"), *p_ms));
+        stage_fields.push((format!("{stage}_speedup"), speedup));
+    }
+    println!("\n=== offline flow, serial vs {par_threads} threads ({runs}-run medians) ===");
+    print!("{}", pt.render());
+    if host_threads < par_threads {
+        println!(
+            "note: host exposes only {host_threads} hardware thread(s); \
+             speedups above are bounded by that, not by the flow"
+        );
+    }
+
+    let mut fields: Vec<(&str, JsonValue)> = vec![
+        ("bench", JsonValue::Str("compile_time".into())),
+        ("design", JsonValue::Str(name.clone())),
+        ("runs", JsonValue::Num(runs as f64)),
+        ("parallel_threads", JsonValue::Num(par_threads as f64)),
+        ("host_threads", JsonValue::Num(host_threads as f64)),
+    ];
+    for (k, v) in &stage_fields {
+        fields.push((k.as_str(), JsonValue::Num(*v)));
+    }
+    let json = write_object(&fields);
+    std::fs::write(&out, format!("{json}\n")).unwrap_or_else(|e| panic!("{out}: {e}"));
+    eprintln!("compile_time: wrote {out}");
     obs.finish();
 }

@@ -180,6 +180,20 @@ fn main() {
     });
     let elapsed = t0.elapsed();
 
+    // The server reports how many worker threads its SCG uses per
+    // specialization (the sharded evaluation pool) — recorded alongside
+    // the load numbers so runs at different `--threads` are comparable.
+    let specialize_threads = Client::connect(&addr)
+        .ok()
+        .and_then(|mut c| c.roundtrip("{\"op\":\"stats\"}").ok())
+        .filter(|reply| is_ok(reply))
+        .and_then(|reply| {
+            pfdbg_obs::jsonl::parse_jsonl(&reply)
+                .ok()
+                .and_then(|evs| evs.first().and_then(|ev| ev.num("specialize_threads")))
+        })
+        .unwrap_or(f64::NAN);
+
     let mut latencies: Vec<f64> = Vec::new();
     let mut failures = 0usize;
     for r in &results {
@@ -210,6 +224,7 @@ fn main() {
         ("p50_ms", JsonValue::Num(p50)),
         ("p99_ms", JsonValue::Num(p99)),
         ("mean_ms", JsonValue::Num(mean)),
+        ("specialize_threads", JsonValue::Num(specialize_threads)),
         ("in_process", JsonValue::Bool(external.is_none())),
     ]);
     std::fs::write(&out, format!("{json}\n")).unwrap_or_else(|e| panic!("{out}: {e}"));

@@ -45,6 +45,24 @@ fn main() -> ExitCode {
         pfdbg_obs::diag("--trace-out expects a file path");
         return ExitCode::FAILURE;
     }
+    // Global thread override: every parallel stage (mapping, routing,
+    // generalized-bitstream construction, SCG specialization shards)
+    // resolves its 0=auto thread count through this policy.
+    match take_valued(&mut args, "--threads") {
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) => pfdbg_util::par::set_threads(n),
+            Err(_) => {
+                pfdbg_obs::diag(&format!("--threads expects a number, got {v:?}"));
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            if args.iter().any(|a| a == "--threads") {
+                pfdbg_obs::diag("--threads expects a number");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     if profile || trace_out.is_some() {
         pfdbg_obs::set_enabled(true);
     }
@@ -146,7 +164,8 @@ fn print_usage() {
          \x20 pfdbg client     <host:port> [--request '<json>'] [--shutdown]\n\
          \x20 pfdbg bench-list\n\
          \n\
-         global flags: --profile (span report on exit), --trace-out <f.jsonl>\n\
+         global flags: --profile (span report on exit), --trace-out <f.jsonl>,\n\
+         \x20 --threads N (worker threads for map/route/genbits/specialize; also PFDBG_THREADS)\n\
          store flags (offline/observe/serve): --store-dir <dir> (default .pfdbg-store), --no-store\n\
          `@name` uses a generated benchmark from the calibrated suite."
     );

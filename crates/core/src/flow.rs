@@ -10,13 +10,30 @@
 
 use crate::param::Instrumented;
 use pfdbg_arch::{BitstreamLayout, IcapModel, RRNode, VIRTEX5_CONFIG_BITS, VIRTEX5_FRAME_BITS};
-use pfdbg_map::{map_parameterized_network, ElemKind};
+use pfdbg_map::{map_parameterized_network_with, ElemKind};
 use pfdbg_netlist::truth::TruthTable;
 use pfdbg_netlist::{Network, NodeId};
 use pfdbg_pconf::{Bdd, BddManager, GeneralizedBuilder, Scg};
 use pfdbg_pr::{tpar, TparConfig, TparResult};
-use pfdbg_util::FxHashMap;
+use pfdbg_util::{par, FxHashMap};
 use std::time::Duration;
+
+/// TLUT tasks per BDD-construction shard. Fixed — independent of the
+/// thread count — so the shard-local managers and the shard-order merge
+/// produce an identical merged node table at every thread count.
+const TLUT_SHARD: usize = 8;
+
+/// Routed nets per switch-bit BDD shard (same fixed-shard rule).
+const NET_SHARD: usize = 16;
+
+/// A shard-local BDD node table as exported by
+/// [`BddManager::export_nodes`]: `(var, lo, hi)` triples, terminals
+/// omitted.
+type ShardNodes = Vec<(u32, u32, u32)>;
+
+/// One switch-bit shard's product: the exported node table plus
+/// `(edge id, shard-local function index)` pairs in first-touch order.
+type SwitchShard = Result<(ShardNodes, Vec<(u32, u32)>), String>;
 
 /// Offline-stage settings.
 #[derive(Debug, Clone)]
@@ -30,6 +47,11 @@ pub struct OfflineConfig {
     /// Run place & route and build the generalized bitstream (skippable
     /// for area-only experiments on large designs).
     pub run_pr: bool,
+    /// Worker threads for the parallel stages (mapping, routing,
+    /// generalized-bitstream construction); 0 = global
+    /// [`pfdbg_util::par::threads`] policy. The offline products are
+    /// identical at every thread count.
+    pub threads: usize,
 }
 
 impl Default for OfflineConfig {
@@ -39,6 +61,7 @@ impl Default for OfflineConfig {
             tpar: TparConfig::default(),
             frame_bits: VIRTEX5_FRAME_BITS,
             run_pr: true,
+            threads: 0,
         }
     }
 }
@@ -84,7 +107,7 @@ pub fn offline(inst: &Instrumented, cfg: &OfflineConfig) -> Result<OfflineResult
     // synthesis + parameter-aware cut mapping.
     let mp = {
         let _s = pfdbg_obs::span("offline.tconmap");
-        map_parameterized_network(&inst.network, cfg.k)?
+        map_parameterized_network_with(&inst.network, cfg.k, cfg.threads)?
     };
     let map_stats = MapStats {
         luts: mp.stats.luts,
@@ -111,8 +134,13 @@ pub fn offline(inst: &Instrumented, cfg: &OfflineConfig) -> Result<OfflineResult
         });
     }
 
-    // TPaR place & route.
-    let result = tpar(&mapped, &kinds, &cfg.tpar)?;
+    // TPaR place & route (the router inherits the flow-level thread
+    // count unless the caller pinned one explicitly).
+    let mut tpar_cfg = cfg.tpar;
+    if tpar_cfg.route.threads == 0 {
+        tpar_cfg.route.threads = cfg.threads;
+    }
+    let result = tpar(&mapped, &kinds, &tpar_cfg)?;
 
     // Generalized bitstream.
     let layout = {
@@ -132,6 +160,7 @@ pub fn offline(inst: &Instrumented, cfg: &OfflineConfig) -> Result<OfflineResult
             &result,
             &layout,
             cfg.k,
+            cfg.threads,
             &mut manager,
             &mut builder,
         )?;
@@ -144,6 +173,7 @@ pub fn offline(inst: &Instrumented, cfg: &OfflineConfig) -> Result<OfflineResult
             &param_var,
             &result,
             &layout,
+            cfg.threads,
             &mut manager,
             &mut builder,
         )?;
@@ -162,7 +192,8 @@ pub fn offline(inst: &Instrumented, cfg: &OfflineConfig) -> Result<OfflineResult
     // device, and partial reconfiguration pays per frame of the real
     // part.
     let icap = IcapModel::calibrated_to(VIRTEX5_CONFIG_BITS, Duration::from_millis(176));
-    let scg = Scg::new(manager, gbs);
+    let mut scg = Scg::new(manager, gbs);
+    scg.set_threads(cfg.threads);
 
     Ok(OfflineResult {
         mapped,
@@ -265,6 +296,55 @@ pub fn tcon_condition(
     cond
 }
 
+/// Build the per-row parameter functions of one tunable LUT: each
+/// physical truth-table row (over the real fanins) is the OR of the
+/// minterms of parameter assignments under which that row reads 1.
+fn tlut_row_funcs(
+    mapped: &Network,
+    param_var: &FxHashMap<NodeId, u32>,
+    lut: NodeId,
+    manager: &mut BddManager,
+) -> Vec<Bdd> {
+    let node = mapped.node(lut);
+    let table = node.table().expect("BLE LUT is a table");
+    let param_positions: Vec<(usize, u32)> = node
+        .fanins
+        .iter()
+        .enumerate()
+        .filter_map(|(i, f)| param_var.get(f).map(|&v| (i, v)))
+        .collect();
+    let n_p = param_positions.len();
+    let real_n = table.nvars() - n_p;
+    let mut row_funcs: Vec<Bdd> = vec![Bdd::FALSE; 1 << real_n];
+    for a in 0..(1usize << n_p) {
+        let mut residual = table.clone();
+        for (bit, &(pos, _)) in param_positions.iter().enumerate().rev() {
+            residual = residual.restrict(pos, (a >> bit) & 1 == 1);
+        }
+        let mut mt = Bdd::TRUE;
+        for (bit, &(_, var)) in param_positions.iter().enumerate() {
+            let lit = manager.var(var);
+            let lit = if (a >> bit) & 1 == 1 { lit } else { manager.not(lit) };
+            mt = manager.and(mt, lit);
+        }
+        for (row, func) in row_funcs.iter_mut().enumerate() {
+            if residual.bit(row) {
+                *func = manager.or(*func, mt);
+            }
+        }
+    }
+    row_funcs
+}
+
+/// One tunable-LUT BDD-construction task: the placed BLE position and
+/// the mapped LUT node whose rows become parameter functions.
+struct TlutTask {
+    x: usize,
+    y: usize,
+    ble: usize,
+    lut: NodeId,
+}
+
 #[allow(clippy::too_many_arguments)]
 fn write_lut_bits(
     mapped: &Network,
@@ -273,10 +353,14 @@ fn write_lut_bits(
     result: &TparResult,
     layout: &BitstreamLayout,
     k: usize,
+    threads: usize,
     manager: &mut BddManager,
     builder: &mut GeneralizedBuilder,
 ) -> Result<(), String> {
-    // Find each cluster's placed tile.
+    // Pass 1 (serial, cheap): constant bits, plus the list of tunable
+    // LUTs whose row functions need BDD construction. Task order is the
+    // cluster/BLE iteration order — deterministic.
+    let mut tasks: Vec<TlutTask> = Vec::new();
     for (ci, cluster) in result.packed.clusters.iter().enumerate() {
         let block = result
             .packed
@@ -294,40 +378,9 @@ fn write_lut_bits(
             let table = node.table().expect("BLE LUT is a table");
             match kinds.get(&lut) {
                 Some(ElemKind::TLut) => {
-                    // Parameter fanins fold into the configuration: each
-                    // physical truth-table row (over the real fanins) is a
-                    // Boolean function of the parameters.
-                    let param_positions: Vec<(usize, u32)> = node
-                        .fanins
-                        .iter()
-                        .enumerate()
-                        .filter_map(|(i, f)| param_var.get(f).map(|&v| (i, v)))
-                        .collect();
-                    let n_p = param_positions.len();
-                    let real_n = table.nvars() - n_p;
-                    // For each physical row, OR the minterms of parameter
-                    // assignments under which that row is 1.
-                    let mut row_funcs: Vec<Bdd> = vec![Bdd::FALSE; 1 << real_n];
-                    for a in 0..(1usize << n_p) {
-                        let mut residual = table.clone();
-                        for (bit, &(pos, _)) in param_positions.iter().enumerate().rev() {
-                            residual = residual.restrict(pos, (a >> bit) & 1 == 1);
-                        }
-                        let mut mt = Bdd::TRUE;
-                        for (bit, &(_, var)) in param_positions.iter().enumerate() {
-                            let lit = manager.var(var);
-                            let lit = if (a >> bit) & 1 == 1 { lit } else { manager.not(lit) };
-                            mt = manager.and(mt, lit);
-                        }
-                        for (row, func) in row_funcs.iter_mut().enumerate() {
-                            if residual.bit(row) {
-                                *func = manager.or(*func, mt);
-                            }
-                        }
-                    }
-                    for (row, &f) in row_funcs.iter().enumerate() {
-                        builder.set_func(manager, layout.lut_bit(x, y, ble_idx, row, k), f);
-                    }
+                    // Parameter fanins fold into the configuration;
+                    // deferred to the sharded BDD pass below.
+                    tasks.push(TlutTask { x, y, ble: ble_idx, lut });
                 }
                 _ => {
                     // Plain LUT: constant truth bits (rows beyond the
@@ -341,15 +394,50 @@ fn write_lut_bits(
             }
         }
     }
+
+    // Pass 2: build row functions in fixed-size shards, each in its own
+    // `BddManager`, then merge shard node tables serially in shard order
+    // (see [`BddManager::import_nodes`]). Fixed shards mean the merged
+    // node table is identical at every thread count.
+    let shard_results: Vec<(ShardNodes, Vec<Vec<u32>>)> =
+        par::map_shards(threads, tasks.len(), TLUT_SHARD, |range| {
+            let mut local = BddManager::new();
+            let rows: Vec<Vec<u32>> = tasks[range]
+                .iter()
+                .map(|t| {
+                    tlut_row_funcs(mapped, param_var, t.lut, &mut local)
+                        .iter()
+                        .map(|f| f.index())
+                        .collect()
+                })
+                .collect();
+            (local.export_nodes(), rows)
+        });
+    for ((nodes, per_task), range) in
+        shard_results.iter().zip(par::shard_ranges(tasks.len(), TLUT_SHARD))
+    {
+        let trans = manager.import_nodes(nodes);
+        for (t, rows) in tasks[range].iter().zip(per_task) {
+            for (row, &fi) in rows.iter().enumerate() {
+                builder.set_func(
+                    manager,
+                    layout.lut_bit(t.x, t.y, t.ble, row, k),
+                    trans[fi as usize],
+                );
+            }
+        }
+    }
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn write_switch_bits(
     mapped: &Network,
     kinds: &FxHashMap<NodeId, ElemKind>,
     param_var: &FxHashMap<NodeId, u32>,
     result: &TparResult,
     layout: &BitstreamLayout,
+    threads: usize,
     manager: &mut BddManager,
     builder: &mut GeneralizedBuilder,
 ) -> Result<(), String> {
@@ -360,24 +448,63 @@ fn write_switch_bits(
 
     // Accumulate per-edge functions (an edge can serve several
     // alternatives of one net, or — for constant nets — be simply on).
-    let mut funcs: FxHashMap<u32, Bdd> = FxHashMap::default();
-    for nr in &result.routed.routes {
-        let net = &result.packed.nets[nr.net];
-        for branch in &nr.branches {
-            let cond = if net.tunable {
-                let source = net.source_nodes[branch.alternative];
-                tcon_condition(mapped, kinds, param_var, manager, net.driver, source)
-            } else {
-                Bdd::TRUE
-            };
-            for &(from, to) in &branch.edges {
-                let e = edge_id(from, to)
-                    .ok_or_else(|| format!("routed edge {from:?}->{to:?} not in RRG"))?;
-                let entry = funcs.entry(e).or_insert(Bdd::FALSE);
-                *entry = manager.or(*entry, cond);
+    // Nets are sharded with a fixed shard size; each shard builds its
+    // `tcon_condition` BDDs in a local manager and reports its edges in
+    // first-touch order, so the shard-order merge below is identical at
+    // every thread count.
+    let routes = &result.routed.routes;
+    let shard_results: Vec<SwitchShard> =
+        par::map_shards(threads, routes.len(), NET_SHARD, |range| {
+            let mut local = BddManager::new();
+            let mut order: Vec<u32> = Vec::new();
+            let mut acc: FxHashMap<u32, Bdd> = FxHashMap::default();
+            for nr in &routes[range] {
+                let net = &result.packed.nets[nr.net];
+                for branch in &nr.branches {
+                    let cond = if net.tunable {
+                        let source = net.source_nodes[branch.alternative];
+                        tcon_condition(mapped, kinds, param_var, &mut local, net.driver, source)
+                    } else {
+                        Bdd::TRUE
+                    };
+                    for &(from, to) in &branch.edges {
+                        let e = edge_id(from, to)
+                            .ok_or_else(|| format!("routed edge {from:?}->{to:?} not in RRG"))?;
+                        let entry = acc.entry(e).or_insert_with(|| {
+                            order.push(e);
+                            Bdd::FALSE
+                        });
+                        *entry = local.or(*entry, cond);
+                    }
+                }
+            }
+            let pairs = order.iter().map(|&e| (e, acc[&e].index())).collect();
+            Ok((local.export_nodes(), pairs))
+        });
+
+    // Serial merge in shard order; cross-shard edge collisions OR in
+    // shard order too. Final writes are sorted by edge id so builder
+    // insertion order is canonical.
+    let mut funcs: Vec<(u32, Bdd)> = Vec::new();
+    let mut idx_of: FxHashMap<u32, usize> = FxHashMap::default();
+    for shard in shard_results {
+        let (nodes, pairs) = shard?;
+        let trans = manager.import_nodes(&nodes);
+        for (e, fi) in pairs {
+            let f = trans[fi as usize];
+            match idx_of.entry(e) {
+                std::collections::hash_map::Entry::Occupied(slot) => {
+                    let i = *slot.get();
+                    funcs[i].1 = manager.or(funcs[i].1, f);
+                }
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(funcs.len());
+                    funcs.push((e, f));
+                }
             }
         }
     }
+    funcs.sort_unstable_by_key(|&(e, _)| e);
     for (e, f) in funcs {
         builder.set_func(manager, layout.switch_bit(e), f);
     }
@@ -451,6 +578,57 @@ mod tests {
         let b1 = scg.specialize(&p1);
         assert_ne!(b0, b1, "different selections must differ in routing bits");
         let _ = &mut p0;
+    }
+
+    #[test]
+    fn parallel_offline_is_bit_identical_to_serial() {
+        // The whole offline flow — mapping, routing, sharded BDD
+        // construction — must produce identical products at every
+        // thread count: same tunable-bit count, same merged BDD node
+        // table size, and byte-identical specialized bitstreams.
+        let design = small_design();
+        let (_, _, inst) = crate::baseline::prepare_instrumented(
+            &design,
+            &InstrumentConfig { n_ports: 2, max_signals: None, coverage: 1 },
+            6,
+        )
+        .unwrap();
+        let run = |threads: usize| {
+            offline(&inst, &OfflineConfig { threads, ..Default::default() }).unwrap()
+        };
+        let base = run(1);
+        let base_scg = base.scg.as_ref().unwrap();
+        let n = inst.annotations.len();
+        let params: Vec<BitVec> = (0..4)
+            .map(|i| {
+                let mut v = BitVec::zeros(n);
+                if i > 0 {
+                    v.set((i - 1) % n.max(1), true);
+                }
+                v
+            })
+            .collect();
+        for threads in [2, 8] {
+            let off = run(threads);
+            let scg = off.scg.as_ref().unwrap();
+            assert_eq!(
+                scg.generalized().n_tunable(),
+                base_scg.generalized().n_tunable(),
+                "tunable count differs at {threads} threads"
+            );
+            assert_eq!(
+                scg.manager().n_nodes(),
+                base_scg.manager().n_nodes(),
+                "BDD node count differs at {threads} threads"
+            );
+            for p in &params {
+                assert_eq!(
+                    scg.specialize(p),
+                    base_scg.specialize(p),
+                    "bitstream differs at {threads} threads"
+                );
+            }
+        }
     }
 
     #[test]

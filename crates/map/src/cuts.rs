@@ -14,7 +14,7 @@
 //! [`pfdbg_netlist::truth::MAX_VARS`].
 
 use pfdbg_synth::{Aig, AigKind, AigNode};
-use pfdbg_util::IdVec;
+use pfdbg_util::{par, IdVec};
 
 /// One cut: sorted leaf nodes plus cached costs.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,11 +89,21 @@ pub struct CutConfig {
     pub max_params: usize,
     /// Primary cost: minimize depth (true) or area flow (false).
     pub depth_oriented: bool,
+    /// Worker threads for enumeration (0 = [`pfdbg_util::par::threads`]
+    /// policy). Results are identical at every thread count.
+    pub threads: usize,
 }
 
 impl Default for CutConfig {
     fn default() -> Self {
-        CutConfig { k: 6, priority: 8, param_aware: false, max_params: 0, depth_oriented: true }
+        CutConfig {
+            k: 6,
+            priority: 8,
+            param_aware: false,
+            max_params: 0,
+            depth_oriented: true,
+            threads: 0,
+        }
     }
 }
 
@@ -109,6 +119,14 @@ pub struct CutDb {
 }
 
 /// Enumerate priority cuts for every node of `aig`.
+///
+/// Cuts of an AND node depend only on its fanins' cuts, so nodes are
+/// processed level by level (level = 1 + max fanin level): within a
+/// level every node is independent and the batch is fanned out over
+/// [`pfdbg_util::par`], with results written back in node-id order.
+/// The decomposition is purely topological, so the database is
+/// identical at every thread count (threads = 1 skips the level pass
+/// and runs the classic single sweep).
 pub fn enumerate(aig: &Aig, cfg: &CutConfig) -> CutDb {
     assert!(cfg.k >= 2 && cfg.k <= 8, "unsupported LUT size {}", cfg.k);
     assert!(
@@ -121,39 +139,78 @@ pub fn enumerate(aig: &Aig, cfg: &CutConfig) -> CutDb {
     let fanouts = aig.fanout_counts();
     let est_refs: IdVec<AigNode, f32> =
         IdVec::from_vec(fanouts.values().map(|&f| (f as f32).max(1.0)).collect());
+    let workers = par::resolve(cfg.threads);
 
+    if workers == 1 {
+        for (id, _) in aig.iter() {
+            let (node_cuts, depth) = compute_node(aig, id, cfg, &cuts, &best_depth, &est_refs);
+            cuts[id] = node_cuts;
+            best_depth[id] = depth;
+        }
+        return CutDb { cuts, best_depth, est_refs };
+    }
+
+    // Group nodes by topological level; `aig.iter()` is topologically
+    // ordered, so fanin levels are known when a node is reached.
+    let mut level: IdVec<AigNode, u32> = IdVec::filled(0, n);
+    let mut by_level: Vec<Vec<AigNode>> = Vec::new();
     for (id, entry) in aig.iter() {
-        match entry.kind {
-            AigKind::Const0 | AigKind::Input { .. } | AigKind::Latch { .. } => {
-                let is_param = aig.is_param(id);
-                cuts[id] = vec![Cut::trivial(id, is_param)];
-                best_depth[id] = 0;
-            }
-            AigKind::And(a, b) => {
-                let mut merged: Vec<Cut> = Vec::with_capacity(cfg.priority * cfg.priority);
-                // The trivial cut is always available (keeps mapping
-                // derivable even if all merges exceed K).
-                let na = a.node();
-                let nb = b.node();
-                for ca in &cuts[na] {
-                    for cb in &cuts[nb] {
-                        if let Some(c) = merge(aig, ca, cb, cfg, &best_depth, &est_refs) {
-                            merged.push(c);
-                        }
-                    }
-                }
-                sort_cuts(&mut merged, cfg);
-                filter_dominated(&mut merged);
-                merged.truncate(cfg.priority);
-                // Record best depth before appending the trivial cut
-                // (the trivial cut has no meaningful depth of its own).
-                best_depth[id] = merged.first().map_or(u32::MAX, |c| c.depth);
-                merged.push(Cut::trivial(id, false));
-                cuts[id] = merged;
-            }
+        let lv = match entry.kind {
+            AigKind::And(a, b) => 1 + level[a.node()].max(level[b.node()]),
+            _ => 0,
+        };
+        level[id] = lv;
+        if by_level.len() <= lv as usize {
+            by_level.resize(lv as usize + 1, Vec::new());
+        }
+        by_level[lv as usize].push(id);
+    }
+    for nodes in &by_level {
+        let results = par::map_in(workers, nodes, |&id| {
+            compute_node(aig, id, cfg, &cuts, &best_depth, &est_refs)
+        });
+        for (&id, (node_cuts, depth)) in nodes.iter().zip(results) {
+            cuts[id] = node_cuts;
+            best_depth[id] = depth;
         }
     }
     CutDb { cuts, best_depth, est_refs }
+}
+
+/// The cuts and best depth of one node, reading only fanin state.
+fn compute_node(
+    aig: &Aig,
+    id: AigNode,
+    cfg: &CutConfig,
+    cuts: &IdVec<AigNode, Vec<Cut>>,
+    best_depth: &IdVec<AigNode, u32>,
+    est_refs: &IdVec<AigNode, f32>,
+) -> (Vec<Cut>, u32) {
+    match aig.node(id).kind {
+        AigKind::Const0 | AigKind::Input { .. } | AigKind::Latch { .. } => {
+            (vec![Cut::trivial(id, aig.is_param(id))], 0)
+        }
+        AigKind::And(a, b) => {
+            let mut merged: Vec<Cut> = Vec::with_capacity(cfg.priority * cfg.priority);
+            // The trivial cut is always available (keeps mapping
+            // derivable even if all merges exceed K).
+            for ca in &cuts[a.node()] {
+                for cb in &cuts[b.node()] {
+                    if let Some(c) = merge(aig, ca, cb, cfg, best_depth, est_refs) {
+                        merged.push(c);
+                    }
+                }
+            }
+            sort_cuts(&mut merged, cfg);
+            filter_dominated(&mut merged);
+            merged.truncate(cfg.priority);
+            // Record best depth before appending the trivial cut
+            // (the trivial cut has no meaningful depth of its own).
+            let depth = merged.first().map_or(u32::MAX, |c| c.depth);
+            merged.push(Cut::trivial(id, false));
+            (merged, depth)
+        }
+    }
 }
 
 /// Merge two fanin cuts into a candidate cut of the parent, enforcing the

@@ -16,7 +16,7 @@
 //!    physical wires;
 //! 3. stitches the selector nodes back on top of the mapped logic.
 
-use crate::mapper::{map, ElemKind, MapperKind};
+use crate::mapper::{ElemKind, MapperKind};
 use pfdbg_netlist::truth::TruthTable;
 use pfdbg_netlist::{Network, NodeId, NodeKind};
 use pfdbg_synth::synthesize;
@@ -79,6 +79,17 @@ fn is_selector(nw: &Network, id: NodeId) -> bool {
 
 /// Map an instrumented network, honoring its parameter annotations.
 pub fn map_parameterized_network(nw: &Network, k: usize) -> Result<MappedParam, String> {
+    map_parameterized_network_with(nw, k, 0)
+}
+
+/// [`map_parameterized_network`] with an explicit worker-thread count
+/// (0 = global [`pfdbg_util::par::threads`] policy); the result is
+/// identical at every thread count.
+pub fn map_parameterized_network_with(
+    nw: &Network,
+    k: usize,
+    threads: usize,
+) -> Result<MappedParam, String> {
     nw.validate()?;
 
     // --- Pass 1: TCON candidates — selector nodes consumed only by other
@@ -205,7 +216,7 @@ pub fn map_parameterized_network(nw: &Network, k: usize) -> Result<MappedParam, 
         (rest.clone(), kinds)
     } else {
         let aig = synthesize(&rest)?;
-        let mapping = map(&aig, k, MapperKind::TconMap);
+        let mapping = crate::mapper::map_with(&aig, k, MapperKind::TconMap, threads);
         mapping.to_network(&aig)
     };
 

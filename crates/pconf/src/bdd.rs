@@ -115,6 +115,28 @@ impl BddManager {
         Ok(m)
     }
 
+    /// Merge another manager's exported node table
+    /// ([`BddManager::export_nodes`]) into this one, hash-consing along
+    /// the way. Returns the translation table: entry `i` is the [`Bdd`]
+    /// in `self` for index `i` in the source manager (terminals at 0
+    /// and 1), so any root exported as [`Bdd::index`] can be remapped
+    /// with `trans[idx as usize]`.
+    ///
+    /// Because `mk` dedupes against the unique table, importing shards
+    /// whose node sets union to a serial manager's node set — in the
+    /// same shard order at every thread count — reproduces the serial
+    /// manager's node table exactly.
+    pub fn import_nodes(&mut self, nodes: &[(u32, u32, u32)]) -> Vec<Bdd> {
+        let mut trans = Vec::with_capacity(nodes.len() + 2);
+        trans.push(Bdd::FALSE);
+        trans.push(Bdd::TRUE);
+        for &(var, lo, hi) in nodes {
+            let (lo, hi) = (trans[lo as usize], trans[hi as usize]);
+            trans.push(self.mk(var, lo, hi));
+        }
+        trans
+    }
+
     fn mk(&mut self, var: u32, lo: Bdd, hi: Bdd) -> Bdd {
         if lo == hi {
             return lo;
@@ -384,6 +406,41 @@ mod tests {
         let a2 = back.var(0);
         let b2 = back.var(1);
         assert_eq!(back.and(a2, b2), ab);
+    }
+
+    #[test]
+    fn import_nodes_merges_and_dedupes() {
+        // Two shard managers build overlapping functions; importing both
+        // into one manager dedupes shared structure and preserves
+        // semantics through the translation tables.
+        let mut s1 = BddManager::new();
+        let a1 = s1.var(0);
+        let b1 = s1.var(1);
+        let f1 = s1.and(a1, b1);
+        let mut s2 = BddManager::new();
+        let a2 = s2.var(0);
+        let b2 = s2.var(1);
+        let g2 = s2.or(a2, b2);
+        let h2 = s2.and(a2, b2); // same function as shard 1's f1
+
+        let mut merged = BddManager::new();
+        let t1 = merged.import_nodes(&s1.export_nodes());
+        let t2 = merged.import_nodes(&s2.export_nodes());
+        let f = t1[f1.index() as usize];
+        let g = t2[g2.index() as usize];
+        let h = t2[h2.index() as usize];
+        assert_eq!(f, h, "identical functions from different shards must unify");
+        for bits in 0..4u32 {
+            let asg = assignment(&[bits & 1 == 1, bits & 2 == 2]);
+            assert_eq!(merged.eval(f, &asg), s1.eval(f1, &asg));
+            assert_eq!(merged.eval(g, &asg), s2.eval(g2, &asg));
+        }
+        // Merging into a fresh manager in the same order reproduces the
+        // same node table (canonical internal ids).
+        let mut merged2 = BddManager::new();
+        merged2.import_nodes(&s1.export_nodes());
+        merged2.import_nodes(&s2.export_nodes());
+        assert_eq!(merged2.export_nodes(), merged.export_nodes());
     }
 
     #[test]

@@ -14,8 +14,15 @@
 use crate::bdd::BddManager;
 use crate::genbits::GeneralizedBitstream;
 use pfdbg_arch::{Bitstream, BitstreamLayout, IcapModel};
-use pfdbg_util::BitVec;
+use pfdbg_util::{par, BitVec};
 use std::time::{Duration, Instant};
+
+/// Tunable-bit shard size for parallel evaluation. Fixed — never a
+/// function of the thread count — so the work decomposition (and hence
+/// every result) is identical at every thread count. Evaluations are a
+/// few hundred nanoseconds each, so shards must be coarse for the fork
+/// to pay off; below ~2 shards the loops stay serial.
+const EVAL_SHARD: usize = 1024;
 
 /// The SCG: owns the parameter functions and produces specialized
 /// bitstreams. (In the paper this runs on an embedded processor next to
@@ -27,6 +34,9 @@ pub struct Scg {
     /// depends on parameter `v` — the inverted support index that makes
     /// incremental specialization skip unaffected functions.
     param_deps: Vec<Vec<u32>>,
+    /// Worker threads for sharded evaluation (0 = global
+    /// [`pfdbg_util::par::threads`] policy).
+    threads: usize,
 }
 
 impl Scg {
@@ -40,7 +50,19 @@ impl Scg {
                 }
             }
         }
-        Scg { manager, gbs, param_deps }
+        Scg { manager, gbs, param_deps, threads: 0 }
+    }
+
+    /// Set the worker-thread count for sharded evaluation (0 = global
+    /// [`pfdbg_util::par::threads`] policy). Specialization results are
+    /// identical at every thread count.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads;
+    }
+
+    /// The effective evaluation thread count.
+    pub fn effective_threads(&self) -> usize {
+        par::resolve(self.threads)
     }
 
     /// The generalized bitstream.
@@ -51,6 +73,33 @@ impl Scg {
     /// Borrow the BDD manager.
     pub fn manager(&self) -> &BddManager {
         &self.manager
+    }
+
+    /// Evaluate the tunable functions at `indices` (indices into
+    /// `gbs.tunable`) under `params`, returning `(addr, value)` pairs in
+    /// index order. Shards of [`EVAL_SHARD`] functions fan out over the
+    /// thread pool; the shard structure depends only on the index count,
+    /// so the output is identical at every thread count.
+    fn eval_tunables(&self, indices: &[u32], params: &BitVec) -> Vec<(usize, bool)> {
+        let eval_one = |&i: &u32| {
+            let (addr, f) = self.gbs.tunable[i as usize];
+            (addr, self.manager.eval(f, params))
+        };
+        let workers = par::resolve(self.threads);
+        if workers <= 1 || indices.len() < 2 * EVAL_SHARD {
+            return indices.iter().map(eval_one).collect();
+        }
+        par::map_shards(workers, indices.len(), EVAL_SHARD, |r| {
+            indices[r].iter().map(eval_one).collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
+    /// All tunable indices, ascending.
+    fn all_tunables(&self) -> Vec<u32> {
+        (0..self.gbs.tunable.len() as u32).collect()
     }
 
     fn check_params(&self, params: &BitVec) -> Result<(), String> {
@@ -77,8 +126,8 @@ impl Scg {
     pub fn try_specialize(&self, params: &BitVec) -> Result<Bitstream, String> {
         self.check_params(params)?;
         let mut out = self.gbs.base.clone();
-        for &(addr, f) in &self.gbs.tunable {
-            out.set(addr, self.manager.eval(f, params));
+        for (addr, v) in self.eval_tunables(&self.all_tunables(), params) {
+            out.set(addr, v);
         }
         Ok(out)
     }
@@ -106,8 +155,7 @@ impl Scg {
     ) -> Result<Vec<(usize, bool)>, String> {
         self.check_params(params)?;
         let mut changes = Vec::new();
-        for &(addr, f) in &self.gbs.tunable {
-            let v = self.manager.eval(f, params);
+        for (addr, v) in self.eval_tunables(&self.all_tunables(), params) {
             if current.get(addr) != v {
                 changes.push((addr, v));
             }
@@ -151,9 +199,9 @@ impl Scg {
             ));
         }
         let mut out = prev_bits.clone();
-        for i in self.affected_tunables(prev_params, params) {
-            let (addr, f) = self.gbs.tunable[i as usize];
-            out.set(addr, self.manager.eval(f, params));
+        let affected = self.affected_tunables(prev_params, params);
+        for (addr, v) in self.eval_tunables(&affected, params) {
+            out.set(addr, v);
         }
         Ok(out)
     }
@@ -178,14 +226,15 @@ impl Scg {
                 (self.gbs.tunable.len() - affected.len()) as u64,
             );
         }
-        let mut changes = Vec::new();
-        for i in affected {
-            let (addr, f) = self.gbs.tunable[i as usize];
-            let v = self.manager.eval(f, params);
-            if current.get(addr) != v {
-                changes.push((addr, v));
-            }
-        }
+        let mut changes: Vec<(usize, bool)> = self
+            .eval_tunables(&affected, params)
+            .into_iter()
+            .filter(|&(addr, v)| current.get(addr) != v)
+            .collect();
+        // The DPR write set is contractually sorted by bit index — keep
+        // that invariant explicit rather than inherited from the shard
+        // concatenation order.
+        changes.sort_unstable_by_key(|&(addr, _)| addr);
         Ok(changes)
     }
 }
@@ -450,10 +499,9 @@ mod tests {
         assert!(scg.specialize_from(&prev, &wrong, &params(&[true, false])).is_err());
     }
 
-    #[test]
-    fn eval_time_is_microseconds_scale() {
-        // Even thousands of tunable bits evaluate in far under a
-        // millisecond — the paper's 50 µs bound is conservative.
+    /// A large synthetic SCG (thousands of tunables — enough to engage
+    /// the sharded evaluation path).
+    fn large_scg() -> Scg {
         let dev = Device::new(ArchSpec { channel_width: 8, ..Default::default() }, 4, 4);
         let rrg = build_rrg(&dev);
         let layout = BitstreamLayout::new(&dev, &rrg, 1312);
@@ -466,11 +514,69 @@ mod tests {
             let f = if i % 3 == 0 { m.and(v1, v2) } else { m.or(v1, v2) };
             b.set_func(&m, i, f);
         }
-        let scg = Scg::new(m, b.build().unwrap());
-        let asg: BitVec = (0..n_params).map(|i| i % 3 == 0).collect();
+        Scg::new(m, b.build().unwrap())
+    }
+
+    #[test]
+    fn eval_time_is_microseconds_scale() {
+        // Even thousands of tunable bits evaluate in far under a
+        // millisecond — the paper's 50 µs bound is conservative.
+        let scg = large_scg();
+        let asg: BitVec = (0..16).map(|i| i % 3 == 0).collect();
         // Warm up, then measure.
         let _ = scg.specialize(&asg);
         let (_, t) = scg.specialize_timed(&asg);
         assert!(t < Duration::from_millis(5), "5000-bit specialization took {t:?}");
+    }
+
+    #[test]
+    fn sharded_specialization_matches_serial() {
+        // 5000 tunables exceed 2 * EVAL_SHARD, so threads > 1 really
+        // takes the sharded path; every product must be bit-identical to
+        // the serial evaluation.
+        let mut scg = large_scg();
+        let asg: BitVec = (0..16).map(|i| i % 3 == 0).collect();
+        let prev: BitVec = BitVec::zeros(16);
+        scg.set_threads(1);
+        let serial_bits = scg.specialize(&asg);
+        let serial_base = scg.specialize(&prev);
+        let serial_diff = scg.specialize_diff(&serial_base, &asg);
+        let serial_from = scg.specialize_from(&prev, &serial_base, &asg).unwrap();
+        let serial_diff_from = scg.specialize_diff_from(&prev, &serial_base, &asg).unwrap();
+        for threads in [2usize, 8] {
+            scg.set_threads(threads);
+            assert_eq!(scg.specialize(&asg), serial_bits, "threads={threads}");
+            assert_eq!(scg.specialize_diff(&serial_base, &asg), serial_diff, "threads={threads}");
+            assert_eq!(
+                scg.specialize_from(&prev, &serial_base, &asg).unwrap(),
+                serial_from,
+                "threads={threads}"
+            );
+            assert_eq!(
+                scg.specialize_diff_from(&prev, &serial_base, &asg).unwrap(),
+                serial_diff_from,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn diff_from_is_sorted_by_bit_index() {
+        // Regression: the DPR write set must come back ascending by bit
+        // address at every thread count, independent of shard completion
+        // order.
+        let mut scg = large_scg();
+        let prev: BitVec = BitVec::zeros(16);
+        let base = scg.specialize(&prev);
+        let next: BitVec = (0..16).map(|i| i % 2 == 0).collect();
+        for threads in [1usize, 2, 8] {
+            scg.set_threads(threads);
+            let diff = scg.specialize_diff_from(&prev, &base, &next).unwrap();
+            assert!(!diff.is_empty(), "expected changes for {next:?}");
+            assert!(
+                diff.windows(2).all(|w| w[0].0 < w[1].0),
+                "diff not strictly ascending at threads={threads}"
+            );
+        }
     }
 }

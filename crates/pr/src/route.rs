@@ -30,11 +30,22 @@ pub struct RouteConfig {
     pub hist_fac: f32,
     /// A* weight on the Manhattan-distance heuristic (1.0 = admissible).
     pub astar: f32,
+    /// Worker threads for speculative per-net routing (0 = global
+    /// [`pfdbg_util::par::threads`] policy). The result is bit-identical
+    /// to the serial router at every thread count.
+    pub threads: usize,
 }
 
 impl Default for RouteConfig {
     fn default() -> Self {
-        RouteConfig { max_iterations: 40, pres_fac: 0.5, pres_mult: 1.8, hist_fac: 0.4, astar: 1.0 }
+        RouteConfig {
+            max_iterations: 40,
+            pres_fac: 0.5,
+            pres_mult: 1.8,
+            hist_fac: 0.4,
+            astar: 1.0,
+            threads: 0,
+        }
     }
 }
 
@@ -108,9 +119,221 @@ impl Ord for HeapItem {
     }
 }
 
+/// Scratch arrays for one net-routing worker: A* state with epoch
+/// stamping plus the per-net touched-node tracker used to validate
+/// speculative routes.
+struct NetScratch {
+    cost_to: Vec<f32>,
+    parent: Vec<RRNode>,
+    epoch: Vec<u32>,
+    cur_epoch: u32,
+    /// Stamped with `touch_stamp` the first time a node's congestion
+    /// state becomes visible to the current net's searches.
+    touched_mark: Vec<u32>,
+    touch_stamp: u32,
+}
+
+impl NetScratch {
+    fn new(n_nodes: usize) -> NetScratch {
+        NetScratch {
+            cost_to: vec![f32::INFINITY; n_nodes],
+            parent: vec![RRNode(u32::MAX); n_nodes],
+            epoch: vec![0; n_nodes],
+            cur_epoch: 0,
+            touched_mark: vec![0; n_nodes],
+            touch_stamp: 0,
+        }
+    }
+}
+
+/// One net's routing attempt plus the evidence needed to commit it.
+struct NetAttempt {
+    route: NetRoute,
+    /// Union of RRG nodes the route occupies.
+    used: FxHashSet<RRNode>,
+    /// Every node whose congestion state the searches read (epoch-stamped
+    /// nodes): a speculative route is valid iff none of these is occupied
+    /// by an earlier net at commit time.
+    touched: Vec<RRNode>,
+    /// All sinks reached?
+    ok: bool,
+}
+
+fn base_cost(kind: RRKind) -> f32 {
+    match kind {
+        RRKind::ChanX(_) | RRKind::ChanY(_) => 1.0,
+        RRKind::IPin(_) => 0.95,
+        RRKind::OPin(_) => 1.0,
+    }
+}
+
+/// Route one net against the congestion state `occ`/`hist`, touching no
+/// shared state: occupancy updates are the caller's job (the serial
+/// commit). This is the exact per-net body of the classic serial
+/// PathFinder inner loop — heap ties break on node id, so the search is
+/// fully deterministic given (`occ`, `hist`, `pres_fac`).
+#[allow(clippy::too_many_arguments)]
+fn route_one_net(
+    design: &PackedDesign,
+    placement: &Placement,
+    rrg: &RRGraph,
+    cfg: &RouteConfig,
+    src_pins: &[RRNode],
+    is_opin: &[bool],
+    occ: &[u16],
+    hist: &[f32],
+    pres_fac: f32,
+    ni: usize,
+    scratch: &mut NetScratch,
+) -> Result<NetAttempt, String> {
+    let net = &design.nets[ni];
+    let mut net_route = NetRoute {
+        net: ni,
+        branches: Vec::with_capacity(net.sources.len()),
+        sink_pins: FxHashMap::default(),
+    };
+    let mut net_used: FxHashSet<RRNode> = FxHashSet::default();
+    let mut touched: Vec<RRNode> = Vec::new();
+    scratch.touch_stamp += 1;
+    let mut ok = true;
+
+    for (alt, &src) in src_pins.iter().enumerate() {
+        // The tree of this alternative starts at its opin.
+        let mut tree: FxHashSet<RRNode> = FxHashSet::default();
+        tree.insert(src);
+        net_used.insert(src);
+        let mut edges: Vec<(RRNode, RRNode)> = Vec::new();
+
+        // Sinks, nearest first.
+        let mut sinks: Vec<usize> = net.sinks.clone();
+        let src_data = rrg.node(src);
+        sinks.sort_by_key(|&b| {
+            let l = placement.locs[b];
+            (l.x as i32 - src_data.x as i32).abs() + (l.y as i32 - src_data.y as i32).abs()
+        });
+
+        for &sink_block in &sinks {
+            let loc = placement.locs[sink_block];
+            let (sx, sy) = (loc.x as usize, loc.y as usize);
+            // Goal pins: the already chosen pin for this sink, or
+            // any input pin of the tile (pads use their sub pin).
+            let goals: Vec<RRNode> = if let Some(&p) = net_route.sink_pins.get(&sink_block) {
+                vec![p]
+            } else {
+                match design.blocks[sink_block] {
+                    crate::pack::Block::Clb(_) => {
+                        (0..rrg.n_ipins(sx, sy)).filter_map(|p| rrg.ipin(sx, sy, p)).collect()
+                    }
+                    _ => rrg.ipin(sx, sy, loc.sub as usize).into_iter().collect(),
+                }
+            };
+            if goals.is_empty() {
+                return Err(format!("sink block {sink_block} has no input pins"));
+            }
+            let goal_set: FxHashSet<RRNode> = goals.iter().copied().collect();
+
+            // Dijkstra/A* from the whole current tree.
+            scratch.cur_epoch += 1;
+            let cur_epoch = scratch.cur_epoch;
+            let mut heap: BinaryHeap<HeapItem> = BinaryHeap::new();
+            for &t in tree.iter() {
+                scratch.cost_to[t.index()] = 0.0;
+                scratch.epoch[t.index()] = cur_epoch;
+                scratch.parent[t.index()] = t;
+                if scratch.touched_mark[t.index()] != scratch.touch_stamp {
+                    scratch.touched_mark[t.index()] = scratch.touch_stamp;
+                    touched.push(t);
+                }
+                let h = cfg.astar * rrg.distance(t, goals[0]) as f32;
+                heap.push(HeapItem { priority: h, cost: 0.0, node: t });
+            }
+            let mut found: Option<RRNode> = None;
+            while let Some(HeapItem { cost, node, .. }) = heap.pop() {
+                if scratch.epoch[node.index()] == cur_epoch && cost > scratch.cost_to[node.index()]
+                {
+                    continue;
+                }
+                if goal_set.contains(&node) {
+                    found = Some(node);
+                    break;
+                }
+                for (_, next) in rrg.out_edges(node) {
+                    let nd = rrg.node(next);
+                    // IPins other than goals are dead ends for
+                    // this connection; skip cheaply.
+                    if matches!(nd.kind, RRKind::IPin(_)) && !goal_set.contains(&next) {
+                        continue;
+                    }
+                    if matches!(nd.kind, RRKind::OPin(_)) {
+                        continue; // cannot route *through* an opin
+                    }
+                    let idx = next.index();
+                    // This node's congestion state is now visible to the
+                    // search: record it for speculative validation.
+                    if scratch.touched_mark[idx] != scratch.touch_stamp {
+                        scratch.touched_mark[idx] = scratch.touch_stamp;
+                        touched.push(next);
+                    }
+                    // Present congestion: the net's own nodes are
+                    // free (sharing within the net).
+                    let over = if net_used.contains(&next) {
+                        0.0
+                    } else {
+                        let o = occ[idx] as f32 + 1.0 - 1.0; // cap = 1
+                        o.max(0.0)
+                    };
+                    let c = cost + base_cost(nd.kind) * (1.0 + hist[idx]) * (1.0 + pres_fac * over);
+                    if scratch.epoch[idx] != cur_epoch || c < scratch.cost_to[idx] {
+                        scratch.epoch[idx] = cur_epoch;
+                        scratch.cost_to[idx] = c;
+                        scratch.parent[idx] = node;
+                        let h = cfg.astar * rrg.distance(next, goals[0]) as f32;
+                        heap.push(HeapItem { priority: c + h, cost: c, node: next });
+                    }
+                }
+            }
+            let Some(hit) = found else {
+                ok = false;
+                continue;
+            };
+            // Backtrace into the tree.
+            let mut cur = hit;
+            let mut path = vec![cur];
+            while scratch.parent[cur.index()] != cur {
+                cur = scratch.parent[cur.index()];
+                path.push(cur);
+            }
+            path.reverse();
+            for w in path.windows(2) {
+                edges.push((w[0], w[1]));
+            }
+            for &n in &path {
+                tree.insert(n);
+                net_used.insert(n);
+            }
+            net_route.sink_pins.insert(sink_block, hit);
+        }
+        net_route.branches.push(BranchRoute { alternative: alt, edges });
+    }
+    let _ = is_opin; // occupancy handling lives in the commit
+    Ok(NetAttempt { route: net_route, used: net_used, touched, ok })
+}
+
 /// Route a placed design. Pin assignment: the driver uses the output pin
 /// of its BLE (or pad); each sink may use any input pin of its tile, the
 /// router picks one under congestion.
+///
+/// With `cfg.threads > 1` each negotiated-congestion round routes nets
+/// *speculatively* in parallel against the post-rip-up state (occupancy
+/// is all zeros after the rip-up), recording every node whose congestion
+/// each search read. Routes are then committed serially in the serial
+/// net order; a speculative route is accepted iff none of its touched
+/// nodes is occupied by an earlier-committed net — in that case the
+/// serial search would have seen the exact same costs (ties break on
+/// node id), so the route is identical by construction. Otherwise the
+/// net is re-routed serially against the current occupancy. The result
+/// is therefore bit-identical to the serial router at every thread
+/// count.
 pub fn route(
     design: &PackedDesign,
     placement: &Placement,
@@ -120,6 +343,7 @@ pub fn route(
 ) -> Result<RoutedDesign, String> {
     let n_nodes = rrg.n_nodes();
     let n_nets = design.nets.len();
+    let workers = pfdbg_util::par::resolve(cfg.threads);
 
     // Source opin per (net, alternative); sink tiles per net.
     let mut source_pins: Vec<Vec<RRNode>> = Vec::with_capacity(n_nets);
@@ -154,19 +378,10 @@ pub fn route(
     let mut used: Vec<FxHashSet<RRNode>> = vec![FxHashSet::default(); n_nets];
     let mut routes: Vec<Option<NetRoute>> = (0..n_nets).map(|_| None).collect();
 
-    // Search state with epoch stamping.
-    let mut cost_to: Vec<f32> = vec![f32::INFINITY; n_nodes];
-    let mut parent: Vec<RRNode> = vec![RRNode(u32::MAX); n_nodes];
-    let mut epoch: Vec<u32> = vec![0; n_nodes];
-    let mut cur_epoch = 0u32;
-
-    let base_cost = |kind: RRKind| -> f32 {
-        match kind {
-            RRKind::ChanX(_) | RRKind::ChanY(_) => 1.0,
-            RRKind::IPin(_) => 0.95,
-            RRKind::OPin(_) => 1.0,
-        }
-    };
+    let mut scratch = NetScratch::new(n_nodes);
+    // Occupancy snapshot for speculative routing: after the rip-up the
+    // live occupancy is identically zero, so a zero vector stands in.
+    let zero_occ = vec![0u16; n_nodes];
 
     let mut converged = false;
     let mut iterations = 0;
@@ -189,129 +404,70 @@ pub fn route(
             std::cmp::Reverse(design.nets[ni].sinks.len() * design.nets[ni].sources.len())
         });
 
+        // Speculative round: every net routed against the clean
+        // post-rip-up state, in parallel, with per-worker scratch.
+        let speculative: Vec<Option<Result<NetAttempt, String>>> = if workers > 1 && n_nets > 1 {
+            pfdbg_util::par::map_init_in(
+                workers,
+                &order,
+                || NetScratch::new(n_nodes),
+                |sc, &ni| {
+                    Some(route_one_net(
+                        design,
+                        placement,
+                        rrg,
+                        cfg,
+                        &source_pins[ni],
+                        &is_opin,
+                        &zero_occ,
+                        &hist,
+                        pres_fac,
+                        ni,
+                        sc,
+                    ))
+                },
+            )
+        } else {
+            (0..order.len()).map(|_| None).collect()
+        };
+
+        // Serial commit in net order: accept a speculative route only if
+        // no node its searches touched is already occupied.
         let mut all_ok = true;
-        for &ni in &order {
-            let net = &design.nets[ni];
-            let mut net_route = NetRoute {
-                net: ni,
-                branches: Vec::with_capacity(net.sources.len()),
-                sink_pins: FxHashMap::default(),
+        for (spec, &ni) in speculative.into_iter().zip(order.iter()) {
+            let attempt = match spec {
+                Some(Ok(a)) if a.touched.iter().all(|&t| occ[t.index()] == 0) => {
+                    pfdbg_obs::counter_add("route.spec_commit", 1);
+                    a
+                }
+                Some(Err(e)) => return Err(e),
+                other => {
+                    if other.is_some() {
+                        pfdbg_obs::counter_add("route.spec_retry", 1);
+                    }
+                    route_one_net(
+                        design,
+                        placement,
+                        rrg,
+                        cfg,
+                        &source_pins[ni],
+                        &is_opin,
+                        &occ,
+                        &hist,
+                        pres_fac,
+                        ni,
+                        &mut scratch,
+                    )?
+                }
             };
-            let net_used = &mut used[ni];
-
-            for (alt, &src) in source_pins[ni].iter().enumerate() {
-                // The tree of this alternative starts at its opin.
-                let mut tree: FxHashSet<RRNode> = FxHashSet::default();
-                tree.insert(src);
-                if net_used.insert(src) && !is_opin[src.index()] {
-                    occ[src.index()] += 1;
+            for &n in &attempt.used {
+                if !is_opin[n.index()] {
+                    occ[n.index()] += 1;
                 }
-                let mut edges: Vec<(RRNode, RRNode)> = Vec::new();
-
-                // Sinks, nearest first.
-                let mut sinks: Vec<usize> = net.sinks.clone();
-                let src_data = rrg.node(src);
-                sinks.sort_by_key(|&b| {
-                    let l = placement.locs[b];
-                    (l.x as i32 - src_data.x as i32).abs() + (l.y as i32 - src_data.y as i32).abs()
-                });
-
-                for &sink_block in &sinks {
-                    let loc = placement.locs[sink_block];
-                    let (sx, sy) = (loc.x as usize, loc.y as usize);
-                    // Goal pins: the already chosen pin for this sink, or
-                    // any input pin of the tile (pads use their sub pin).
-                    let goals: Vec<RRNode> = if let Some(&p) = net_route.sink_pins.get(&sink_block)
-                    {
-                        vec![p]
-                    } else {
-                        match design.blocks[sink_block] {
-                            crate::pack::Block::Clb(_) => (0..rrg.n_ipins(sx, sy))
-                                .filter_map(|p| rrg.ipin(sx, sy, p))
-                                .collect(),
-                            _ => rrg.ipin(sx, sy, loc.sub as usize).into_iter().collect(),
-                        }
-                    };
-                    if goals.is_empty() {
-                        return Err(format!("sink block {sink_block} has no input pins"));
-                    }
-                    let goal_set: FxHashSet<RRNode> = goals.iter().copied().collect();
-
-                    // Dijkstra/A* from the whole current tree.
-                    cur_epoch += 1;
-                    let mut heap: BinaryHeap<HeapItem> = BinaryHeap::new();
-                    for &t in tree.iter() {
-                        cost_to[t.index()] = 0.0;
-                        epoch[t.index()] = cur_epoch;
-                        parent[t.index()] = t;
-                        let h = cfg.astar * rrg.distance(t, goals[0]) as f32;
-                        heap.push(HeapItem { priority: h, cost: 0.0, node: t });
-                    }
-                    let mut found: Option<RRNode> = None;
-                    while let Some(HeapItem { cost, node, .. }) = heap.pop() {
-                        if epoch[node.index()] == cur_epoch && cost > cost_to[node.index()] {
-                            continue;
-                        }
-                        if goal_set.contains(&node) {
-                            found = Some(node);
-                            break;
-                        }
-                        for (_, next) in rrg.out_edges(node) {
-                            let nd = rrg.node(next);
-                            // IPins other than goals are dead ends for
-                            // this connection; skip cheaply.
-                            if matches!(nd.kind, RRKind::IPin(_)) && !goal_set.contains(&next) {
-                                continue;
-                            }
-                            if matches!(nd.kind, RRKind::OPin(_)) {
-                                continue; // cannot route *through* an opin
-                            }
-                            let idx = next.index();
-                            // Present congestion: the net's own nodes are
-                            // free (sharing within the net).
-                            let over = if net_used.contains(&next) {
-                                0.0
-                            } else {
-                                let o = occ[idx] as f32 + 1.0 - 1.0; // cap = 1
-                                o.max(0.0)
-                            };
-                            let c = cost
-                                + base_cost(nd.kind) * (1.0 + hist[idx]) * (1.0 + pres_fac * over);
-                            if epoch[idx] != cur_epoch || c < cost_to[idx] {
-                                epoch[idx] = cur_epoch;
-                                cost_to[idx] = c;
-                                parent[idx] = node;
-                                let h = cfg.astar * rrg.distance(next, goals[0]) as f32;
-                                heap.push(HeapItem { priority: c + h, cost: c, node: next });
-                            }
-                        }
-                    }
-                    let Some(hit) = found else {
-                        all_ok = false;
-                        continue;
-                    };
-                    // Backtrace into the tree.
-                    let mut cur = hit;
-                    let mut path = vec![cur];
-                    while parent[cur.index()] != cur {
-                        cur = parent[cur.index()];
-                        path.push(cur);
-                    }
-                    path.reverse();
-                    for w in path.windows(2) {
-                        edges.push((w[0], w[1]));
-                    }
-                    for &n in &path {
-                        tree.insert(n);
-                        if net_used.insert(n) && !is_opin[n.index()] {
-                            occ[n.index()] += 1;
-                        }
-                    }
-                    net_route.sink_pins.insert(sink_block, hit);
-                }
-                net_route.branches.push(BranchRoute { alternative: alt, edges });
             }
-            routes[ni] = Some(net_route);
+            all_ok &= attempt.ok;
+            used[ni] = attempt.used;
+            routes[ni] = Some(attempt.route);
         }
 
         // Check for overuse.
@@ -481,6 +637,47 @@ mod tests {
         for b in &nr.branches {
             let last_targets: FxHashSet<RRNode> = b.edges.iter().map(|&(_, t)| t).collect();
             assert!(last_targets.contains(&pin), "alternative misses shared pin");
+        }
+    }
+
+    #[test]
+    fn parallel_routing_is_bit_identical_to_serial() {
+        // The congested all-to-all design: plenty of speculative
+        // conflicts, so both the commit and the serial-retry paths run.
+        let mut nets = Vec::new();
+        for i in 0..8usize {
+            nets.push(PRNet {
+                name: format!("n{i}"),
+                sources: vec![SourceRef { block: i, ble: 0 }],
+                source_nodes: vec![],
+                driver: pfdbg_netlist::NodeId(0),
+                sinks: vec![(i + 3) % 8, (i + 5) % 8],
+                tunable: false,
+            });
+        }
+        let d = simple_design(8, nets);
+        let dev = Device::new(ArchSpec { channel_width: 10, ..Default::default() }, 3, 3);
+        let rrg = build_rrg(&dev);
+        let placement = place(&d, &dev, &PlaceConfig::default()).unwrap();
+        let serial =
+            route(&d, &placement, &dev, &rrg, &RouteConfig { threads: 1, ..Default::default() })
+                .unwrap();
+        for threads in [2usize, 8] {
+            let par =
+                route(&d, &placement, &dev, &rrg, &RouteConfig { threads, ..Default::default() })
+                    .unwrap();
+            assert_eq!(par.iterations, serial.iterations, "threads={threads}");
+            assert_eq!(par.wires_used, serial.wires_used, "threads={threads}");
+            assert_eq!(par.success, serial.success);
+            for (a, b) in par.routes.iter().zip(serial.routes.iter()) {
+                assert_eq!(a.net, b.net);
+                assert_eq!(a.sink_pins, b.sink_pins, "threads={threads} net={}", a.net);
+                assert_eq!(a.branches.len(), b.branches.len());
+                for (ba, bb) in a.branches.iter().zip(b.branches.iter()) {
+                    assert_eq!(ba.alternative, bb.alternative);
+                    assert_eq!(ba.edges, bb.edges, "threads={threads} net={}", a.net);
+                }
+            }
         }
     }
 

@@ -291,6 +291,7 @@ fn handle_request(
                 .num("turns", turns as f64)
                 .num("cache_hits", hits as f64)
                 .num("cache_misses", misses as f64)
+                .num("specialize_threads", sessions.engine().scg.effective_threads() as f64)
         }
         Request::Shutdown => {
             if !shared.cfg.allow_remote_shutdown {

@@ -11,6 +11,9 @@
 //!   SipHash is needlessly slow),
 //! * [`bitvec`] — a compact, fixed-width bit vector used for truth tables,
 //!   configuration frames and signal-selection masks,
+//! * [`par`] — a zero-dependency scoped-thread data-parallel layer
+//!   (chunked work queue, deterministic merge order, `PFDBG_THREADS`
+//!   policy) driving the offline flow's hot paths,
 //! * [`stats`] — summary statistics (mean/geomean/percentiles) used by the
 //!   benchmark harness,
 //! * [`table`] — an aligned plain-text table writer used to regenerate the
@@ -22,6 +25,7 @@
 pub mod bitvec;
 pub mod hash;
 pub mod id;
+pub mod par;
 pub mod stats;
 pub mod table;
 
