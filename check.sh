@@ -21,6 +21,14 @@ echo "== cargo test (PFDBG_THREADS=8) =="
 # tests assert.
 PFDBG_THREADS=8 cargo test -q --workspace
 
+echo "== chaos pass (PFDBG_ICAP_FAULT_RATE=0.05) =="
+# The chaos suites again with a 5% injected ICAP fault rate layered on
+# top of their built-in sweeps: every committed turn must stay
+# bit-identical to the fault-free golden run, and every rollback must
+# leave session state untouched.
+PFDBG_ICAP_FAULT_RATE=0.05 cargo test -q --test chaos
+PFDBG_ICAP_FAULT_RATE=0.05 cargo test -q -p pfdbg-serve --test chaos --test proto_fuzz
+
 echo "== serve smoke test =="
 # Start the debug service on an ephemeral port, drive it with a small
 # serve_load run, and check for a clean shutdown plus a non-empty

@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! serve_load [--addr host:port] [--threads N] [--requests N] [--out f.json] [--shutdown]
+//!            [--icap-fault-rate R] [--icap-seed S]
 //! ```
 //!
 //! Without `--addr` it spins up an in-process server over a generated
@@ -28,6 +29,12 @@ fn flag(rest: &[String], name: &str) -> Option<String> {
 }
 
 fn flag_usize(rest: &[String], name: &str, default: usize) -> usize {
+    flag(rest, name).map_or(default, |v| {
+        v.parse().unwrap_or_else(|_| panic!("{name} expects a number, got {v:?}"))
+    })
+}
+
+fn flag_f64(rest: &[String], name: &str, default: f64) -> f64 {
     flag(rest, name).map_or(default, |v| {
         v.parse().unwrap_or_else(|_| panic!("{name} expects a number, got {v:?}"))
     })
@@ -152,12 +159,24 @@ fn main() {
     let out = flag(&rest, "--out").unwrap_or_else(|| "BENCH_serve.json".into());
     let external = flag(&rest, "--addr");
     let send_shutdown = rest.iter().any(|a| a == "--shutdown");
+    let fault_rate = flag_f64(&rest, "--icap-fault-rate", 0.0);
+    let fault_seed = flag_usize(&rest, "--icap-seed", 0x1CAB_FA17) as u64;
 
     // Worker-per-connection: the pool must be at least as large as the
     // client thread count or connections queue behind busy workers.
     let handle = if external.is_none() {
         eprintln!("serve_load: compiling design and starting in-process server...");
-        let manager = SessionManager::new(Arc::new(build_engine()), 64);
+        // Chaos knobs apply only to the in-process server (an external
+        // one configures its own faults via `pfdbg serve` flags).
+        let fault = (fault_rate > 0.0)
+            .then(|| pfdbg_emu::IcapFaultConfig::uniform(fault_rate, fault_seed))
+            .or_else(pfdbg_emu::IcapFaultConfig::from_env);
+        let manager = SessionManager::with_chaos(
+            Arc::new(build_engine()),
+            64,
+            fault,
+            pfdbg_pconf::CommitPolicy::default(),
+        );
         let cfg = ServerConfig { workers: threads.max(8), ..ServerConfig::default() };
         Some(Server::start(manager, cfg).expect("server start"))
     } else {
@@ -181,18 +200,21 @@ fn main() {
     let elapsed = t0.elapsed();
 
     // The server reports how many worker threads its SCG uses per
-    // specialization (the sharded evaluation pool) — recorded alongside
-    // the load numbers so runs at different `--threads` are comparable.
-    let specialize_threads = Client::connect(&addr)
+    // specialization, plus the fault-tolerance totals (retries,
+    // degradations, rollbacks) — recorded alongside the load numbers so
+    // runs at different `--threads` or fault rates are comparable.
+    let server_stats = Client::connect(&addr)
         .ok()
         .and_then(|mut c| c.roundtrip("{\"op\":\"stats\"}").ok())
         .filter(|reply| is_ok(reply))
         .and_then(|reply| {
-            pfdbg_obs::jsonl::parse_jsonl(&reply)
-                .ok()
-                .and_then(|evs| evs.first().and_then(|ev| ev.num("specialize_threads")))
-        })
-        .unwrap_or(f64::NAN);
+            pfdbg_obs::jsonl::parse_jsonl(&reply).ok().and_then(|evs| evs.into_iter().next())
+        });
+    let stat = |field: &str| server_stats.as_ref().and_then(|ev| ev.num(field)).unwrap_or(f64::NAN);
+    let specialize_threads = stat("specialize_threads");
+    let icap_retries = stat("icap_retries");
+    let icap_degradations = stat("icap_degradations");
+    let icap_rollbacks = stat("icap_rollbacks");
 
     let mut latencies: Vec<f64> = Vec::new();
     let mut failures = 0usize;
@@ -225,6 +247,10 @@ fn main() {
         ("p99_ms", JsonValue::Num(p99)),
         ("mean_ms", JsonValue::Num(mean)),
         ("specialize_threads", JsonValue::Num(specialize_threads)),
+        ("icap_fault_rate", JsonValue::Num(fault_rate)),
+        ("icap_retries", JsonValue::Num(icap_retries)),
+        ("icap_degradations", JsonValue::Num(icap_degradations)),
+        ("icap_rollbacks", JsonValue::Num(icap_rollbacks)),
         ("in_process", JsonValue::Bool(external.is_none())),
     ]);
     std::fs::write(&out, format!("{json}\n")).unwrap_or_else(|e| panic!("{out}: {e}"));

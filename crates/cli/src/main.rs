@@ -157,10 +157,12 @@ fn print_usage() {
          \x20 pfdbg compare    <design.blif|@bench> [--k K] [--ports N] [--coverage C]\n\
          \x20 pfdbg offline    <design.blif|@bench> [--k K] [--ports N] [--dump-bitstream f.pfb]\n\
          \x20 pfdbg observe    <design.blif|@bench> --signals s1,s2|auto [--cycles N]\n\
+         \x20                  [--icap-fault-rate R] [--icap-seed S] [--max-retries N]\n\
          \x20 pfdbg rank       <design.blif|@bench> [--top N]\n\
          \x20 pfdbg localize   <design.blif|@bench> [--bug <net>] [--cycles N]\n\
          \x20 pfdbg report     <trace.jsonl>\n\
          \x20 pfdbg serve      <design.blif|@bench> [--addr H:P|--port P] [--workers N] [--cache N] [--port-file f]\n\
+         \x20                  [--icap-fault-rate R] [--icap-seed S] [--max-retries N]\n\
          \x20 pfdbg client     <host:port> [--request '<json>'] [--shutdown]\n\
          \x20 pfdbg bench-list\n\
          \n\
@@ -180,6 +182,54 @@ fn flag_usize(rest: &[String], name: &str, default: usize) -> Result<usize, Stri
         None => Ok(default),
         Some(v) => v.parse().map_err(|_| format!("{name} expects a number, got {v:?}")),
     }
+}
+
+fn flag_f64(rest: &[String], name: &str, default: f64) -> Result<f64, String> {
+    match flag(rest, name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("{name} expects a number, got {v:?}")),
+    }
+}
+
+/// Chaos knobs shared by `observe` and `serve`: an ICAP fault-injection
+/// config (explicit `--icap-fault-rate`, falling back to
+/// `PFDBG_ICAP_FAULT_RATE`) and the commit retry policy.
+fn chaos_from_flags(
+    rest: &[String],
+) -> Result<(Option<pfdbg_emu::IcapFaultConfig>, pfdbg_pconf::CommitPolicy), String> {
+    let rate = flag_f64(rest, "--icap-fault-rate", 0.0)?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!("--icap-fault-rate expects a rate in [0, 1], got {rate}"));
+    }
+    let seed = flag_usize(rest, "--icap-seed", 0x1CAB_FA17)? as u64;
+    let defaults = pfdbg_pconf::CommitPolicy::default();
+    let policy = pfdbg_pconf::CommitPolicy {
+        max_retries: flag_usize(rest, "--max-retries", defaults.max_retries as usize)? as u32,
+        ..defaults
+    };
+    let fault = if rate > 0.0 {
+        Some(pfdbg_emu::IcapFaultConfig::uniform(rate, seed))
+    } else {
+        pfdbg_emu::IcapFaultConfig::from_env()
+    };
+    Ok((fault, policy))
+}
+
+/// Assemble an [`OnlineReconfigurator`] over a reliable in-memory
+/// channel, or over a fault-injecting one when chaos is configured.
+fn build_online(
+    scg: pfdbg_pconf::Scg,
+    layout: pfdbg_arch::BitstreamLayout,
+    icap: pfdbg_arch::IcapModel,
+    fault: Option<pfdbg_emu::IcapFaultConfig>,
+    policy: pfdbg_pconf::CommitPolicy,
+) -> OnlineReconfigurator {
+    let mem = pfdbg_pconf::MemoryIcap::new(scg.generalized().base.clone(), layout.frame_bits);
+    let channel: Box<dyn pfdbg_pconf::IcapChannel> = match fault {
+        Some(cfg) => Box::new(pfdbg_emu::FaultyIcap::new(mem, cfg)),
+        None => Box::new(mem),
+    };
+    OnlineReconfigurator::with_channel(scg, layout, icap, channel, policy)
 }
 
 fn load_design(rest: &[String]) -> Result<(String, Network), String> {
@@ -410,6 +460,7 @@ fn cmd_observe(rest: &[String]) -> Result<(), String> {
     };
     let wanted: Vec<&str> = wanted.iter().map(String::as_str).collect();
     let cfg = OfflineConfig { k, ..Default::default() };
+    let (fault, policy) = chaos_from_flags(rest)?;
     let online = match store_from_flags(rest)? {
         Some(store) => {
             let (d, outcome) = store.offline_cached(&inst, &cfg)?;
@@ -417,12 +468,14 @@ fn cmd_observe(rest: &[String]) -> Result<(), String> {
                 CacheOutcome::Hit => "artifact store: hit (offline flow skipped)",
                 CacheOutcome::Miss => "artifact store: miss (compiled and stored)",
             });
-            Some(OnlineReconfigurator::new(d.scg, d.layout, d.icap))
+            Some(build_online(d.scg, d.layout, d.icap, fault, policy))
         }
         None => {
             let off = offline(&inst, &cfg)?;
             match (off.scg, off.layout) {
-                (Some(scg), Some(layout)) => Some(OnlineReconfigurator::new(scg, layout, off.icap)),
+                (Some(scg), Some(layout)) => {
+                    Some(build_online(scg, layout, off.icap, fault, policy))
+                }
                 _ => None,
             }
         }
@@ -435,8 +488,15 @@ fn cmd_observe(rest: &[String]) -> Result<(), String> {
     if let Some(turn) = session.turns().last() {
         if let Some(stats) = &turn.stats {
             println!(
-                "turn cost: {} bits / {} frames changed; eval {:?} + transfer {:?}",
-                stats.bits_changed, stats.frames_changed, stats.eval_time, stats.transfer_time
+                "turn cost: {} bits / {} frames changed; eval {:?} + transfer {:?} + verify {:?} \
+                 ({} retries, {} degradations)",
+                stats.bits_changed,
+                stats.frames_changed,
+                stats.eval_time,
+                stats.transfer_time,
+                stats.verify_time,
+                stats.retries,
+                stats.degradations
             );
         }
     }
@@ -538,7 +598,13 @@ fn cmd_serve(rest: &[String]) -> Result<(), String> {
         (None, Some(p)) => format!("127.0.0.1:{p}"),
         (None, None) => "127.0.0.1:0".into(),
     };
-    let manager = SessionManager::new(Arc::new(Engine::new(inst, scg, layout, icap)), cache);
+    let (fault, policy) = chaos_from_flags(rest)?;
+    let manager = SessionManager::with_chaos(
+        Arc::new(Engine::new(inst, scg, layout, icap)),
+        cache,
+        fault,
+        policy,
+    );
     let handle = Server::start(
         manager,
         ServerConfig { addr, workers, cache_capacity: cache, ..ServerConfig::default() },

@@ -10,10 +10,14 @@
 
 use crate::param::Instrumented;
 use pfdbg_arch::{BitstreamLayout, IcapModel, RRNode, VIRTEX5_CONFIG_BITS, VIRTEX5_FRAME_BITS};
+use pfdbg_emu::{FaultyIcap, IcapFaultConfig};
 use pfdbg_map::{map_parameterized_network_with, ElemKind};
 use pfdbg_netlist::truth::TruthTable;
 use pfdbg_netlist::{Network, NodeId};
-use pfdbg_pconf::{Bdd, BddManager, GeneralizedBuilder, Scg};
+use pfdbg_pconf::{
+    Bdd, BddManager, CommitPolicy, GeneralizedBuilder, IcapChannel, MemoryIcap,
+    OnlineReconfigurator, Scg,
+};
 use pfdbg_pr::{tpar, TparConfig, TparResult};
 use pfdbg_util::{par, FxHashMap};
 use std::time::Duration;
@@ -96,6 +100,34 @@ pub struct OfflineResult {
     /// Reconfiguration-port model calibrated to this device (full
     /// reconfiguration = the paper's 176 ms).
     pub icap: IcapModel,
+}
+
+impl OfflineResult {
+    /// Consume the offline products into an [`OnlineReconfigurator`]
+    /// over a reliable in-memory channel. `None` when the stage ran
+    /// with `run_pr = false` (no SCG or layout to go online with).
+    pub fn into_online(self) -> Option<OnlineReconfigurator> {
+        self.into_online_chaos(None, CommitPolicy::default())
+    }
+
+    /// Like [`OfflineResult::into_online`], but the reconfiguration
+    /// transport injects faults per `fault` (None = reliable) and the
+    /// commit engine retries per `policy` — the chaos entry point the
+    /// `--icap-fault-rate` knobs feed.
+    pub fn into_online_chaos(
+        self,
+        fault: Option<IcapFaultConfig>,
+        policy: CommitPolicy,
+    ) -> Option<OnlineReconfigurator> {
+        let scg = self.scg?;
+        let layout = self.layout?;
+        let mem = MemoryIcap::new(scg.generalized().base.clone(), layout.frame_bits);
+        let channel: Box<dyn IcapChannel> = match fault {
+            Some(cfg) => Box::new(FaultyIcap::new(mem, cfg)),
+            None => Box::new(mem),
+        };
+        Some(OnlineReconfigurator::with_channel(scg, layout, self.icap, channel, policy))
+    }
 }
 
 /// Run the offline generic stage on an instrumented design (built over

@@ -121,8 +121,14 @@ impl DebugSession {
     ) -> Result<Waveform, String> {
         let _turn_span = pfdbg_obs::span("session.turn");
         let plan = self.plan(signals)?;
-        let stats = self.online.as_mut().map(|o| o.apply(&plan.params));
-        self.params = plan.params.clone();
+        // Transactional turn: the reconfiguration commits (with retries
+        // and escalation) *before* any session state advances. A failed
+        // commit rolls the reconfigurator back and leaves `params` and
+        // the turn log exactly as they were.
+        let stats = match self.online.as_mut() {
+            Some(o) => Some(o.try_apply(&plan.params)?),
+            None => None,
+        };
 
         // Emulate the specialized design: trace ports observed, select
         // parameters held at the planned values. Trace ports are output
@@ -141,7 +147,7 @@ impl DebugSession {
             .collect::<Result<_, String>>()?;
         let mut emu = Emulator::new(dut, &port_names, cycles.max(1))?;
         for (i, pname) in self.inst.annotations.params.iter().enumerate() {
-            emu.set_sticky_by_name(pname, self.params.get(i))?;
+            emu.set_sticky_by_name(pname, plan.params.get(i))?;
         }
         for f in runtime_faults {
             emu.add_runtime_fault(f)?;
@@ -161,6 +167,7 @@ impl DebugSession {
             wf.push_sample(&row);
         }
 
+        self.params = plan.params;
         self.turns.push(TurnRecord {
             turn: self.turns.len(),
             signals: signals.iter().map(|s| s.to_string()).collect(),

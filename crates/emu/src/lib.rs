@@ -8,7 +8,9 @@
 pub mod emulator;
 pub mod fault;
 pub mod golden;
+pub mod icap;
 
 pub use emulator::Emulator;
 pub use fault::{apply_static, injectable_nets, Fault};
 pub use golden::{golden_waveform, lockstep, LockstepReport};
+pub use icap::{FaultyIcap, IcapFaultConfig};

@@ -1,0 +1,489 @@
+//! Fault-tolerant reconfiguration transport: the [`IcapChannel`]
+//! abstraction and the transactional frame-commit engine.
+//!
+//! Earlier revisions modeled the HWICAP as an infallible wire: a frame
+//! write always landed, so the reconfigurator's `current` bitstream and
+//! the fabric's configuration memory could never disagree. Real
+//! configuration ports drop writes, corrupt frames and stall — and a
+//! debug overlay that silently diverges from what the session believes
+//! is worse than no overlay at all. This module makes the transport
+//! explicit and fallible:
+//!
+//! * [`IcapChannel`] is the write/readback interface to configuration
+//!   memory. Frame writes can fail; readback is the ground truth.
+//! * [`MemoryIcap`] is the reliable in-memory device model. The fault
+//!   injector wrapping it with transient errors lives in `pfdbg-emu`
+//!   (`FaultyIcap`), next to the design-fault machinery.
+//! * [`commit_frames`] is the transactional commit: per-frame CRC,
+//!   post-write readback-verify, bounded retry with backoff, and
+//!   graceful degradation — partial diff → full rewrite of the tunable
+//!   region → full reconfiguration — with every escalation counted
+//!   through `pfdbg-obs`. Either every frame of the write set verifies
+//!   (commit) or the caller rolls back its session state.
+
+use pfdbg_arch::{bitfile, Bitstream, IcapModel};
+use std::time::Duration;
+
+/// A transport-level failure of one frame write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IcapError {
+    /// The port rejected the write (transient bus error); nothing was
+    /// written.
+    WriteFailed,
+    /// The port did not accept data within its timeout; nothing was
+    /// written.
+    Stalled,
+}
+
+impl std::fmt::Display for IcapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IcapError::WriteFailed => write!(f, "frame write rejected"),
+            IcapError::Stalled => write!(f, "configuration port stalled"),
+        }
+    }
+}
+
+/// An ICAP-like configuration port with explicit, fallible frame
+/// writes and (reliable) frame readback.
+///
+/// Frame data travels as LSB-first packed `u64` words covering the
+/// frame's bits (the last frame of a device may be shorter than
+/// `frame_bits`). Readback is modeled reliable: on real hardware reads
+/// go through the same port, but they do not mutate configuration
+/// memory, and the per-frame CRC cross-check in [`commit_frames`]
+/// catches a corrupted readback the same way it catches a corrupted
+/// write — by failing verification and retrying.
+pub trait IcapChannel: Send {
+    /// Bits per frame.
+    fn frame_bits(&self) -> usize;
+    /// Total configuration bits behind the port.
+    fn n_bits(&self) -> usize;
+    /// Number of frames (last one possibly partial).
+    fn n_frames(&self) -> usize {
+        self.n_bits().div_ceil(self.frame_bits().max(1))
+    }
+    /// Write one frame. May fail transiently; may also *silently*
+    /// corrupt (the contract readback-verify exists to police).
+    fn write_frame(&mut self, frame: usize, data: &[u64]) -> Result<(), IcapError>;
+    /// Read one frame back from configuration memory.
+    fn read_frame(&self, frame: usize) -> Vec<u64>;
+}
+
+/// Number of bits frame `frame` holds in a device of `n_bits`.
+pub fn frame_len_bits(n_bits: usize, frame_bits: usize, frame: usize) -> usize {
+    let base = frame * frame_bits;
+    frame_bits.min(n_bits.saturating_sub(base))
+}
+
+/// Extract frame `frame` of `bs` as LSB-first packed words.
+pub fn frame_words(bs: &Bitstream, frame_bits: usize, frame: usize) -> Vec<u64> {
+    let base = frame * frame_bits;
+    let len = frame_len_bits(bs.len(), frame_bits, frame);
+    let mut words = vec![0u64; len.div_ceil(64)];
+    for i in 0..len {
+        if bs.get(base + i) {
+            words[i / 64] |= 1u64 << (i % 64);
+        }
+    }
+    words
+}
+
+/// CRC-32 of a frame's packed words — the per-frame integrity check
+/// appended to every write and recomputed over the readback.
+pub fn frame_crc(words: &[u64]) -> u32 {
+    let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+    bitfile::crc32(&bytes)
+}
+
+/// The reliable in-memory configuration port: every write lands, every
+/// readback reflects memory. This is the channel [`crate::OnlineReconfigurator`]
+/// uses by default, and the inner device `pfdbg-emu`'s fault injector
+/// wraps.
+pub struct MemoryIcap {
+    mem: Bitstream,
+    frame_bits: usize,
+}
+
+impl MemoryIcap {
+    /// A port over configuration memory pre-loaded with `initial` (the
+    /// base configuration shifted in at power-up, before any debug
+    /// turn).
+    pub fn new(initial: Bitstream, frame_bits: usize) -> Self {
+        assert!(frame_bits > 0, "frame_bits must be positive");
+        MemoryIcap { mem: initial, frame_bits }
+    }
+
+    /// The configuration memory behind the port.
+    pub fn memory(&self) -> &Bitstream {
+        &self.mem
+    }
+}
+
+impl IcapChannel for MemoryIcap {
+    fn frame_bits(&self) -> usize {
+        self.frame_bits
+    }
+
+    fn n_bits(&self) -> usize {
+        self.mem.len()
+    }
+
+    fn write_frame(&mut self, frame: usize, data: &[u64]) -> Result<(), IcapError> {
+        if frame >= self.n_frames() {
+            return Err(IcapError::WriteFailed);
+        }
+        let base = frame * self.frame_bits;
+        let len = frame_len_bits(self.mem.len(), self.frame_bits, frame);
+        for i in 0..len {
+            let bit = data.get(i / 64).is_some_and(|w| (w >> (i % 64)) & 1 == 1);
+            self.mem.set(base + i, bit);
+        }
+        Ok(())
+    }
+
+    fn read_frame(&self, frame: usize) -> Vec<u64> {
+        frame_words(&self.mem, self.frame_bits, frame)
+    }
+}
+
+/// Read the entire configuration memory back through the port — the
+/// ground truth the chaos suite compares against the fault-free golden
+/// specialization.
+pub fn readback_all(channel: &dyn IcapChannel) -> Bitstream {
+    let mut bits = pfdbg_util::BitVec::zeros(channel.n_bits());
+    for frame in 0..channel.n_frames() {
+        let base = frame * channel.frame_bits();
+        let len = frame_len_bits(channel.n_bits(), channel.frame_bits(), frame);
+        let words = channel.read_frame(frame);
+        for i in 0..len {
+            if words.get(i / 64).is_some_and(|w| (w >> (i % 64)) & 1 == 1) {
+                bits.set(base + i, true);
+            }
+        }
+    }
+    Bitstream::from_bits(bits)
+}
+
+/// Retry and escalation policy for one transactional commit.
+#[derive(Debug, Clone, Copy)]
+pub struct CommitPolicy {
+    /// Write attempts per frame *per escalation level* before giving
+    /// up on that level (so a frame gets `max_retries + 1` tries).
+    pub max_retries: u32,
+    /// Modeled backoff added before retry `n` as `backoff * n`.
+    pub backoff: Duration,
+    /// Modeled cost of one port stall (timeout spent waiting before
+    /// the write is retried).
+    pub stall_penalty: Duration,
+}
+
+impl Default for CommitPolicy {
+    fn default() -> Self {
+        CommitPolicy {
+            max_retries: 3,
+            backoff: Duration::from_micros(2),
+            stall_penalty: Duration::from_micros(20),
+        }
+    }
+}
+
+/// What one transactional commit cost and survived.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CommitStats {
+    /// Frames that verified (including re-verification after an
+    /// escalation rewrote them).
+    pub frames_verified: usize,
+    /// Total frame-write attempts issued.
+    pub writes_attempted: usize,
+    /// Re-attempts after a failed write or failed verification.
+    pub retries: u32,
+    /// Writes the port rejected outright.
+    pub write_errors: u32,
+    /// Writes the port stalled on.
+    pub stalls: u32,
+    /// Readbacks whose CRC/bit compare failed (silent corruption
+    /// caught by verification).
+    pub crc_mismatches: u32,
+    /// Escalation levels entered: 0 = clean partial diff, 1 = full
+    /// rewrite of the tunable region, 2 = full reconfiguration.
+    pub degradations: u32,
+    /// Modeled forward transfer time (frame writes, command overheads,
+    /// retried writes) — comparable to the paper's partial-DPR cost.
+    pub transfer_time: Duration,
+    /// Modeled verification overhead (readbacks, backoff, stall
+    /// timeouts) on top of the forward transfers.
+    pub verify_time: Duration,
+}
+
+/// Write one frame until it verifies or the per-level retry budget is
+/// spent. Returns whether the frame verified.
+fn write_frame_verified(
+    channel: &mut dyn IcapChannel,
+    icap: &IcapModel,
+    target: &Bitstream,
+    frame: usize,
+    policy: &CommitPolicy,
+    stats: &mut CommitStats,
+) -> bool {
+    let frame_bits = channel.frame_bits();
+    let words = frame_words(target, frame_bits, frame);
+    let crc = frame_crc(&words);
+    let write_cost = icap.partial_reconfig(1, frame_bits) - icap.command_overhead;
+    let readback_cost =
+        icap.partial_reconfig(1, frame_bits) - icap.command_overhead - icap.per_frame_overhead;
+    for attempt in 0..=policy.max_retries {
+        if attempt > 0 {
+            stats.retries += 1;
+            stats.verify_time += policy.backoff * attempt;
+        }
+        stats.writes_attempted += 1;
+        stats.transfer_time += write_cost;
+        match channel.write_frame(frame, &words) {
+            Err(IcapError::WriteFailed) => {
+                stats.write_errors += 1;
+                pfdbg_obs::counter_add("icap.write_errors", 1);
+                continue;
+            }
+            Err(IcapError::Stalled) => {
+                stats.stalls += 1;
+                stats.verify_time += policy.stall_penalty;
+                pfdbg_obs::counter_add("icap.stalls", 1);
+                continue;
+            }
+            Ok(()) => {}
+        }
+        // Readback-verify: CRC first (what hardware streams back),
+        // then the full bit compare that makes the model airtight.
+        stats.verify_time += readback_cost;
+        let back = channel.read_frame(frame);
+        if frame_crc(&back) == crc && back == words {
+            stats.frames_verified += 1;
+            return true;
+        }
+        stats.crc_mismatches += 1;
+        pfdbg_obs::counter_add("icap.crc_mismatches", 1);
+    }
+    false
+}
+
+/// Transactionally push `target` through the port.
+///
+/// Escalation ladder, each level with a fresh per-frame retry budget:
+///
+/// 1. **Partial diff** — write only `changed_frames`.
+/// 2. **Full-frame rewrite** — rewrite `changed_frames` plus the whole
+///    `region_frames` set (every frame holding a tunable bit), wiping
+///    out any corruption verification could not localize.
+/// 3. **Full reconfiguration** — rewrite every frame of the device.
+///
+/// `Ok` means every frame of the final write set verified against its
+/// CRC and readback; the caller may commit its view of the device.
+/// `Err` carries the stats spent plus a message; the device may hold
+/// arbitrary content in the attempted frames and the caller must roll
+/// back and force a resync on the next turn.
+pub fn commit_frames(
+    channel: &mut dyn IcapChannel,
+    icap: &IcapModel,
+    target: &Bitstream,
+    changed_frames: &[usize],
+    region_frames: &[usize],
+    policy: &CommitPolicy,
+) -> Result<CommitStats, (CommitStats, String)> {
+    let mut stats = CommitStats::default();
+    if changed_frames.is_empty() {
+        return Ok(stats);
+    }
+    let full_frame_set: Vec<usize> = {
+        let mut v: Vec<usize> = changed_frames.iter().chain(region_frames).copied().collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let all_frames: Vec<usize> = (0..channel.n_frames()).collect();
+    let levels: [&[usize]; 3] = [changed_frames, &full_frame_set, &all_frames];
+    let mut last_failed = 0usize;
+    for (level, set) in levels.iter().enumerate() {
+        if level > 0 {
+            stats.degradations += 1;
+            pfdbg_obs::counter_add("icap.degradations", 1);
+            pfdbg_obs::counter_add(
+                if level == 1 { "icap.escalations_region" } else { "icap.escalations_full" },
+                1,
+            );
+        }
+        stats.transfer_time += icap.command_overhead;
+        let mut ok = true;
+        last_failed = 0;
+        for &frame in *set {
+            if !write_frame_verified(channel, icap, target, frame, policy, &mut stats) {
+                ok = false;
+                last_failed += 1;
+            }
+        }
+        if ok {
+            if pfdbg_obs::enabled() {
+                pfdbg_obs::counter_add("icap.retries", stats.retries as u64);
+            }
+            return Ok(stats);
+        }
+    }
+    Err((
+        stats,
+        format!(
+            "{last_failed} frame(s) failed verification even under full reconfiguration \
+             ({} write attempts, {} retries)",
+            stats.writes_attempted, stats.retries
+        ),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfdbg_util::BitVec;
+
+    fn stream(n: usize, ones: &[usize]) -> Bitstream {
+        let mut b = Bitstream::from_bits(BitVec::zeros(n));
+        for &i in ones {
+            b.set(i, true);
+        }
+        b
+    }
+
+    #[test]
+    fn memory_icap_write_read_roundtrip() {
+        let mut ch = MemoryIcap::new(stream(300, &[]), 128);
+        assert_eq!(ch.n_frames(), 3);
+        let target = stream(300, &[1, 130, 131, 299]);
+        for f in 0..3 {
+            let words = frame_words(&target, 128, f);
+            ch.write_frame(f, &words).unwrap();
+            assert_eq!(ch.read_frame(f), words);
+        }
+        assert_eq!(readback_all(&ch), target);
+    }
+
+    #[test]
+    fn last_partial_frame_has_short_length() {
+        assert_eq!(frame_len_bits(300, 128, 0), 128);
+        assert_eq!(frame_len_bits(300, 128, 2), 44);
+        let bs = stream(300, &[299]);
+        let w = frame_words(&bs, 128, 2);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0] >> 43, 1);
+    }
+
+    #[test]
+    fn crc_distinguishes_corruption() {
+        let a = frame_crc(&[0xDEAD_BEEF, 0x1234]);
+        let b = frame_crc(&[0xDEAD_BEEF, 0x1235]);
+        assert_ne!(a, b);
+        assert_eq!(a, frame_crc(&[0xDEAD_BEEF, 0x1234]));
+    }
+
+    #[test]
+    fn out_of_range_frame_write_fails() {
+        let mut ch = MemoryIcap::new(stream(256, &[]), 128);
+        assert_eq!(ch.write_frame(2, &[0]), Err(IcapError::WriteFailed));
+    }
+
+    #[test]
+    fn commit_over_reliable_channel_is_exact_and_clean() {
+        let icap = IcapModel::virtex5();
+        let mut ch = MemoryIcap::new(stream(400, &[]), 100);
+        let target = stream(400, &[5, 105, 399]);
+        let stats =
+            commit_frames(&mut ch, &icap, &target, &[0, 1, 3], &[0, 1], &Default::default())
+                .unwrap();
+        assert_eq!(stats.frames_verified, 3);
+        assert_eq!(stats.retries, 0);
+        assert_eq!(stats.degradations, 0);
+        assert!(stats.transfer_time > Duration::ZERO);
+        // Frame 2 was not in the write set and stays untouched.
+        assert_eq!(readback_all(&ch), target);
+    }
+
+    #[test]
+    fn empty_write_set_costs_nothing() {
+        let icap = IcapModel::virtex5();
+        let mut ch = MemoryIcap::new(stream(256, &[7]), 128);
+        let stats =
+            commit_frames(&mut ch, &icap, &stream(256, &[7]), &[], &[0], &Default::default())
+                .unwrap();
+        assert_eq!(stats.writes_attempted, 0);
+        assert_eq!(stats.transfer_time, Duration::ZERO);
+    }
+
+    /// A channel that fails the first `fail_first` write attempts, then
+    /// behaves; lets the tests drive every escalation level
+    /// deterministically.
+    struct Flaky {
+        inner: MemoryIcap,
+        fail_first: usize,
+        seen: usize,
+    }
+
+    impl IcapChannel for Flaky {
+        fn frame_bits(&self) -> usize {
+            self.inner.frame_bits()
+        }
+        fn n_bits(&self) -> usize {
+            self.inner.n_bits()
+        }
+        fn write_frame(&mut self, frame: usize, data: &[u64]) -> Result<(), IcapError> {
+            self.seen += 1;
+            if self.seen <= self.fail_first {
+                return Err(IcapError::WriteFailed);
+            }
+            self.inner.write_frame(frame, data)
+        }
+        fn read_frame(&self, frame: usize) -> Vec<u64> {
+            self.inner.read_frame(frame)
+        }
+    }
+
+    #[test]
+    fn transient_failures_retry_to_success() {
+        let icap = IcapModel::virtex5();
+        let mut ch =
+            Flaky { inner: MemoryIcap::new(stream(256, &[]), 128), fail_first: 2, seen: 0 };
+        let target = stream(256, &[3, 200]);
+        let stats =
+            commit_frames(&mut ch, &icap, &target, &[0, 1], &[0, 1], &Default::default()).unwrap();
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.write_errors, 2);
+        assert_eq!(stats.degradations, 0, "retries absorb transients without escalating");
+        assert_eq!(readback_all(&ch), target);
+        assert!(stats.verify_time > Duration::ZERO, "backoff and readback are accounted");
+    }
+
+    #[test]
+    fn persistent_failure_escalates_then_recovers() {
+        let icap = IcapModel::virtex5();
+        // Fail the whole level-0 budget for the first frame (4 attempts)
+        // so the commit must degrade, then succeed.
+        let mut ch =
+            Flaky { inner: MemoryIcap::new(stream(256, &[]), 128), fail_first: 4, seen: 0 };
+        let target = stream(256, &[3]);
+        let stats =
+            commit_frames(&mut ch, &icap, &target, &[0], &[0, 1], &Default::default()).unwrap();
+        assert_eq!(stats.degradations, 1, "one escalation to the region rewrite");
+        assert_eq!(readback_all(&ch), target);
+    }
+
+    #[test]
+    fn unrecoverable_failure_reports_rollback() {
+        let icap = IcapModel::virtex5();
+        let mut ch = Flaky {
+            inner: MemoryIcap::new(stream(256, &[]), 128),
+            fail_first: usize::MAX,
+            seen: 0,
+        };
+        let target = stream(256, &[3]);
+        let err = commit_frames(&mut ch, &icap, &target, &[0], &[0], &Default::default());
+        let (stats, msg) = err.expect_err("a dead port cannot commit");
+        assert_eq!(stats.degradations, 2, "both escalation levels were attempted");
+        assert!(msg.contains("full reconfiguration"), "{msg}");
+    }
+}

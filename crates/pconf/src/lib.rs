@@ -9,8 +9,10 @@
 
 pub mod bdd;
 pub mod genbits;
+pub mod icap;
 pub mod scg;
 
 pub use bdd::{Bdd, BddManager};
 pub use genbits::{Builder as GeneralizedBuilder, GeneralizedBitstream};
+pub use icap::{CommitPolicy, CommitStats, IcapChannel, IcapError, MemoryIcap};
 pub use scg::{OnlineReconfigurator, Scg, TurnStats};

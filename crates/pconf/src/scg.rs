@@ -13,6 +13,7 @@
 
 use crate::bdd::BddManager;
 use crate::genbits::GeneralizedBitstream;
+use crate::icap::{commit_frames, CommitPolicy, IcapChannel, MemoryIcap};
 use pfdbg_arch::{Bitstream, BitstreamLayout, IcapModel};
 use pfdbg_util::{par, BitVec};
 use std::time::{Duration, Instant};
@@ -248,14 +249,25 @@ pub struct TurnStats {
     pub bits_changed: usize,
     /// Frames rewritten via DPR.
     pub frames_changed: usize,
-    /// Modeled ICAP transfer time for those frames.
+    /// Modeled ICAP transfer time for those frames (forward writes,
+    /// including any retried or escalated ones).
     pub transfer_time: Duration,
+    /// Modeled readback-verify overhead (readbacks, retry backoff,
+    /// stall timeouts) on top of the forward transfer.
+    pub verify_time: Duration,
+    /// Frame writes re-attempted after a transport error or a failed
+    /// verification.
+    pub retries: u32,
+    /// Escalation levels the commit degraded through (0 = clean
+    /// partial diff, 1 = tunable-region rewrite, 2 = full
+    /// reconfiguration).
+    pub degradations: u32,
 }
 
 impl TurnStats {
-    /// Total turn latency (evaluation + transfer).
+    /// Total turn latency (evaluation + transfer + verification).
     pub fn total(&self) -> Duration {
-        self.eval_time + self.transfer_time
+        self.eval_time + self.transfer_time + self.verify_time
     }
 }
 
@@ -268,12 +280,21 @@ fn record_turn(stats: &TurnStats, frame_bits: usize) {
     pfdbg_obs::counter_add("scg.bits_changed", stats.bits_changed as u64);
     pfdbg_obs::counter_add("scg.frames_changed", stats.frames_changed as u64);
     pfdbg_obs::counter_add("scg.icap_bytes", (stats.frames_changed * frame_bits / 8) as u64);
+    pfdbg_obs::counter_add("scg.icap_retries", stats.retries as u64);
+    pfdbg_obs::counter_add("scg.icap_degradations", stats.degradations as u64);
     pfdbg_obs::gauge_set("scg.eval_us_last", stats.eval_time.as_secs_f64() * 1e6);
     pfdbg_obs::gauge_set("scg.transfer_us_last", stats.transfer_time.as_secs_f64() * 1e6);
 }
 
 /// The online side: tracks the currently loaded configuration and applies
-/// specializations through the modeled ICAP.
+/// specializations transactionally through an [`IcapChannel`].
+///
+/// Turns are atomic: `current`/`last_params` advance only after every
+/// written frame passed readback-verify through the channel. If the
+/// commit exhausts its retry and escalation budget, the turn rolls back
+/// — the session state is unchanged — and the next turn starts with a
+/// full resync, because the fabric's configuration memory may hold
+/// arbitrary content in the frames the failed commit touched.
 pub struct OnlineReconfigurator {
     scg: Scg,
     layout: BitstreamLayout,
@@ -282,19 +303,71 @@ pub struct OnlineReconfigurator {
     /// The parameters `current` was specialized for — the base state of
     /// the incremental [`Scg::specialize_diff_from`] fast path.
     last_params: BitVec,
+    /// The (possibly faulty) reconfiguration transport.
+    channel: Box<dyn IcapChannel>,
+    policy: CommitPolicy,
+    /// Frames containing at least one tunable bit — the escalation set
+    /// of the full-frame rewrite level.
+    region_frames: Vec<usize>,
+    /// A previous turn rolled back, so configuration memory is not
+    /// trusted: the next commit rewrites every frame.
+    needs_resync: bool,
 }
 
 impl OnlineReconfigurator {
-    /// Load the base (params = 0) configuration as the starting state.
+    /// Load the base (params = 0) configuration as the starting state,
+    /// over a reliable in-memory channel.
     pub fn new(scg: Scg, layout: BitstreamLayout, icap: IcapModel) -> Self {
-        let current = scg.generalized().base.clone();
-        let last_params = BitVec::zeros(scg.generalized().n_params);
-        OnlineReconfigurator { scg, layout, icap, current, last_params }
+        let channel = Box::new(MemoryIcap::new(scg.generalized().base.clone(), layout.frame_bits));
+        Self::with_channel(scg, layout, icap, channel, CommitPolicy::default())
     }
 
-    /// The currently loaded bitstream.
+    /// Like [`OnlineReconfigurator::new`] but over an explicit channel
+    /// (e.g. `pfdbg-emu`'s fault-injecting `FaultyIcap`) and retry
+    /// policy. The channel's memory must start at the base
+    /// configuration.
+    pub fn with_channel(
+        scg: Scg,
+        layout: BitstreamLayout,
+        icap: IcapModel,
+        channel: Box<dyn IcapChannel>,
+        policy: CommitPolicy,
+    ) -> Self {
+        let current = scg.generalized().base.clone();
+        let last_params = BitVec::zeros(scg.generalized().n_params);
+        let mut region_frames: Vec<usize> =
+            scg.generalized().tunable.iter().map(|&(addr, _)| layout.frame_of(addr)).collect();
+        region_frames.sort_unstable();
+        region_frames.dedup();
+        OnlineReconfigurator {
+            scg,
+            layout,
+            icap,
+            current,
+            last_params,
+            channel,
+            policy,
+            region_frames,
+            needs_resync: false,
+        }
+    }
+
+    /// The currently loaded bitstream (the session's *belief* — equal to
+    /// the device readback after every committed turn).
     pub fn current(&self) -> &Bitstream {
         &self.current
+    }
+
+    /// Read the device's configuration memory back through the channel —
+    /// the ground truth `current` must match after a commit.
+    pub fn readback(&self) -> Bitstream {
+        crate::icap::readback_all(self.channel.as_ref())
+    }
+
+    /// Whether the next turn will rewrite the whole device because a
+    /// rolled-back commit left configuration memory untrusted.
+    pub fn needs_resync(&self) -> bool {
+        self.needs_resync
     }
 
     /// Borrow the SCG.
@@ -306,13 +379,19 @@ impl OnlineReconfigurator {
     /// the changed frames, report the costs. Consecutive turns take the
     /// incremental path — only functions whose support intersects the
     /// changed parameters are re-evaluated.
+    ///
+    /// Panics on a parameter-count mismatch or an unrecoverable
+    /// transport failure; use [`OnlineReconfigurator::try_apply`] when
+    /// either is survivable.
     pub fn apply(&mut self, params: &BitVec) -> TurnStats {
-        self.try_apply(params).expect("parameter count mismatch")
+        self.try_apply(params).expect("reconfiguration turn failed")
     }
 
     /// Fallible [`OnlineReconfigurator::apply`]: a malformed parameter
-    /// vector is an error reply, not a process abort — the contract the
-    /// debug service relies on.
+    /// vector or an exhausted ICAP retry budget is an error reply, not a
+    /// process abort — the contract the debug service relies on. On
+    /// error the turn rolls back: `current`, `last_params` and the turn
+    /// accounting are unchanged.
     pub fn try_apply(&mut self, params: &BitVec) -> Result<TurnStats, String> {
         let _turn_span = pfdbg_obs::span("scg.turn");
         let t0 = Instant::now();
@@ -323,19 +402,47 @@ impl OnlineReconfigurator {
             changes.iter().map(|&(addr, _)| self.layout.frame_of(addr)).collect();
         frames.sort_unstable();
         frames.dedup();
+
+        // Stage the target configuration without touching `current`.
+        let mut staged = self.current.clone();
         for &(addr, v) in &changes {
-            self.current.set(addr, v);
+            staged.set(addr, v);
         }
-        self.last_params = params.clone();
-        let transfer_time = self.icap.partial_reconfig(frames.len(), self.layout.frame_bits);
-        let stats = TurnStats {
-            eval_time,
-            bits_changed: changes.len(),
-            frames_changed: frames.len(),
-            transfer_time,
-        };
-        record_turn(&stats, self.layout.frame_bits);
-        Ok(stats)
+        // After a rollback the device content is untrusted: resync every
+        // frame regardless of how small this turn's diff is.
+        let write_set: Vec<usize> =
+            if self.needs_resync { (0..self.layout.n_frames()).collect() } else { frames.clone() };
+
+        match commit_frames(
+            self.channel.as_mut(),
+            &self.icap,
+            &staged,
+            &write_set,
+            &self.region_frames,
+            &self.policy,
+        ) {
+            Ok(commit) => {
+                self.current = staged;
+                self.last_params = params.clone();
+                self.needs_resync = false;
+                let stats = TurnStats {
+                    eval_time,
+                    bits_changed: changes.len(),
+                    frames_changed: frames.len(),
+                    transfer_time: commit.transfer_time,
+                    verify_time: commit.verify_time,
+                    retries: commit.retries,
+                    degradations: commit.degradations,
+                };
+                record_turn(&stats, self.layout.frame_bits);
+                Ok(stats)
+            }
+            Err((commit, msg)) => {
+                self.needs_resync = true;
+                pfdbg_obs::counter_add("icap.rollbacks", 1);
+                Err(format!("reconfiguration rolled back after {} retries: {msg}", commit.retries))
+            }
+        }
     }
 
     /// The modeled cost of a *full* reconfiguration of this device — the
@@ -558,6 +665,80 @@ mod tests {
                 "threads={threads}"
             );
         }
+    }
+
+    #[test]
+    fn committed_turns_match_device_readback() {
+        let (layout, scg) = setup();
+        let mut online = OnlineReconfigurator::new(scg, layout, IcapModel::virtex5());
+        for p in [[true, false], [true, true], [false, true]] {
+            online.apply(&params(&p));
+            assert_eq!(
+                &online.readback(),
+                online.current(),
+                "belief and fabric diverged after a committed turn"
+            );
+        }
+    }
+
+    /// A channel whose writes always fail — forces every turn into a
+    /// rollback.
+    struct DeadIcap {
+        n_bits: usize,
+        frame_bits: usize,
+    }
+
+    impl crate::icap::IcapChannel for DeadIcap {
+        fn frame_bits(&self) -> usize {
+            self.frame_bits
+        }
+        fn n_bits(&self) -> usize {
+            self.n_bits
+        }
+        fn write_frame(&mut self, _: usize, _: &[u64]) -> Result<(), crate::icap::IcapError> {
+            Err(crate::icap::IcapError::WriteFailed)
+        }
+        fn read_frame(&self, _: usize) -> Vec<u64> {
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn exhausted_retries_roll_back_and_flag_resync() {
+        let (layout, scg) = setup();
+        let dead = Box::new(DeadIcap { n_bits: layout.n_bits, frame_bits: layout.frame_bits });
+        let mut online = OnlineReconfigurator::with_channel(
+            scg,
+            layout,
+            IcapModel::virtex5(),
+            dead,
+            crate::icap::CommitPolicy { max_retries: 1, ..Default::default() },
+        );
+        let before = online.current().clone();
+        let before_params = online.last_params.clone();
+        let err = online.try_apply(&params(&[true, true]));
+        assert!(err.unwrap_err().contains("rolled back"));
+        assert_eq!(online.current(), &before, "rollback must not advance the bitstream");
+        assert_eq!(online.last_params, before_params, "rollback must not advance params");
+        assert!(online.needs_resync(), "a failed commit leaves the fabric untrusted");
+        // A no-change turn still forces the resync write set, which the
+        // dead channel keeps failing.
+        assert!(online.try_apply(&params(&[false, false])).is_err());
+    }
+
+    #[test]
+    fn resync_after_rollback_rewrites_everything_then_recovers() {
+        let (layout, scg) = setup();
+        let mut online = OnlineReconfigurator::new(scg, layout, IcapModel::virtex5());
+        online.apply(&params(&[true, false]));
+        // Simulate a rollback flag without an actual failure: the next
+        // turn must rewrite every frame and clear the flag.
+        online.needs_resync = true;
+        let stats = online.apply(&params(&[true, true]));
+        assert!(!online.needs_resync());
+        assert_eq!(&online.readback(), online.current());
+        // The resync wrote all frames even though the diff was tiny.
+        assert!(stats.transfer_time >= online.icap.partial_reconfig(1, online.layout.frame_bits));
     }
 
     #[test]

@@ -19,4 +19,4 @@ pub mod session;
 
 pub use protocol::{Reply, Request};
 pub use server::{Server, ServerConfig, ServerHandle};
-pub use session::SessionManager;
+pub use session::{IcapTotals, SessionManager, TurnOutcome};

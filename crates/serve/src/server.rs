@@ -286,12 +286,16 @@ fn handle_request(
         }
         Request::Stats => {
             let (turns, hits, misses) = sessions.stats();
+            let icap = sessions.icap_totals();
             Reply::ok(meta)
                 .num("sessions", sessions.n_sessions() as f64)
                 .num("turns", turns as f64)
                 .num("cache_hits", hits as f64)
                 .num("cache_misses", misses as f64)
                 .num("specialize_threads", sessions.engine().scg.effective_threads() as f64)
+                .num("icap_retries", icap.retries as f64)
+                .num("icap_degradations", icap.degradations as f64)
+                .num("icap_rollbacks", icap.rollbacks as f64)
         }
         Request::Shutdown => {
             if !shared.cfg.allow_remote_shutdown {
@@ -300,22 +304,21 @@ fn handle_request(
             return Ok(LineOutcome::Shutdown(Reply::ok(meta)));
         }
         Request::Select { session, params, signals, deadline_ms } => {
-            let deadline = Duration::from_secs_f64(
-                deadline_ms.unwrap_or(shared.cfg.default_deadline_ms) / 1e3,
-            );
+            // `try_from_secs_f64`, not `from_secs_f64`: the parser
+            // rejects NaN and negatives, but a huge finite value (say
+            // 1e300 ms) would still panic the worker in the infallible
+            // constructor. Out-of-range budgets are protocol errors.
+            let ms = deadline_ms.unwrap_or(shared.cfg.default_deadline_ms);
+            let deadline = Duration::try_from_secs_f64(ms / 1e3)
+                .map_err(|_| format!("deadline_ms out of range: {ms}"))?;
             let params = match params {
                 Some(p) => p,
                 None => sessions.plan(&session, &signals)?,
             };
-            let outcome = sessions.select(&session, &params)?;
-            if started.elapsed() > deadline {
-                pfdbg_obs::counter_add("serve.deadline_misses", 1);
-                return Err(format!(
-                    "deadline exceeded: {:.1} ms spent, {:.1} ms allowed",
-                    started.elapsed().as_secs_f64() * 1e3,
-                    deadline.as_secs_f64() * 1e3
-                ));
-            }
+            // The deadline is enforced inside the transactional select,
+            // *before* the commit: a missed deadline never leaves a
+            // half-applied turn behind.
+            let outcome = sessions.select_within(&session, &params, Some((started, deadline)))?;
             Reply::ok(meta)
                 .str("session", session)
                 .str("params", param_bits_string(&outcome.params))
@@ -324,6 +327,9 @@ fn handle_request(
                 .num("frames_changed", outcome.frames_changed as f64)
                 .num("eval_us", outcome.eval_us)
                 .num("transfer_us", outcome.transfer_us)
+                .num("verify_us", outcome.verify_us)
+                .num("retries", outcome.retries as f64)
+                .num("degradations", outcome.degradations as f64)
                 .str("cache", if outcome.cache_hit { "hit" } else { "miss" })
         }
     };

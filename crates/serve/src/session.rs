@@ -3,19 +3,32 @@
 //!
 //! The expensive, read-only products of the offline flow (SCG, layout,
 //! ICAP model, instrumented netlist) are shared behind `Arc`; each
-//! session owns only its parameter assignment and currently loaded
-//! bitstream, so turns from different clients proceed independently.
-//! A shared LRU of specialized bitstreams (keyed by parameter vector)
-//! short-circuits repeated selections across *all* sessions.
+//! session owns only its parameter assignment, its (possibly faulty)
+//! reconfiguration channel, and the currently loaded bitstream, so
+//! turns from different clients proceed independently. A shared LRU of
+//! specialized bitstreams (keyed by parameter vector) short-circuits
+//! repeated selections across *all* sessions.
+//!
+//! Turns are **transactional**: the specialized bitstream is committed
+//! through [`pfdbg_pconf::icap::commit_frames`] (per-frame CRC,
+//! readback-verify, bounded retry, escalation) before any session
+//! state, turn counter, or cache entry advances. A deadline miss or an
+//! exhausted retry budget leaves the session exactly as it was — the
+//! only residue of a rollback is `needs_resync`, which makes the next
+//! commit rewrite every frame because configuration memory is no
+//! longer trusted.
 
 use crate::lru::LruCache;
 use crate::protocol::param_bits_string;
 use pfdbg_arch::{Bitstream, BitstreamLayout, IcapModel};
 use pfdbg_core::Instrumented;
+use pfdbg_emu::{FaultyIcap, IcapFaultConfig};
+use pfdbg_pconf::icap::{commit_frames, readback_all, CommitPolicy, IcapChannel, MemoryIcap};
 use pfdbg_pconf::Scg;
 use pfdbg_util::{BitVec, FxHashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The shared compiled design a server instance runs against.
 pub struct Engine {
@@ -41,12 +54,17 @@ impl Engine {
     }
 }
 
-/// One client session: the parameters it last selected and the
-/// configuration currently loaded on its (modeled) device.
+/// One client session: the parameters it last selected, the
+/// configuration currently loaded on its (modeled) device, and the
+/// channel those frames travel over.
 struct SessionState {
     params: BitVec,
     bits: Bitstream,
     turns: usize,
+    channel: Box<dyn IcapChannel>,
+    /// A previous turn rolled back; the next commit rewrites every
+    /// frame because configuration memory is untrusted.
+    needs_resync: bool,
 }
 
 /// The result of one specialization turn.
@@ -60,12 +78,31 @@ pub struct TurnOutcome {
     pub frames_changed: usize,
     /// Host-side evaluation/lookup wall time in microseconds.
     pub eval_us: f64,
-    /// Modeled ICAP transfer time in microseconds.
+    /// Modeled ICAP transfer time in microseconds (forward writes).
     pub transfer_us: f64,
+    /// Modeled verification time in microseconds (readbacks, retry
+    /// backoff, stall penalties).
+    pub verify_us: f64,
+    /// Frame writes retried before the commit verified.
+    pub retries: u32,
+    /// Escalations (partial diff → full-frame rewrite → full
+    /// reconfiguration) this turn needed.
+    pub degradations: u32,
     /// Whether the specialized bitstream came from the LRU cache.
     pub cache_hit: bool,
     /// Turn number within the session (0-based).
     pub turn: usize,
+}
+
+/// Running totals of the fault-tolerance machinery, served by `stats`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IcapTotals {
+    /// Frame-write retries across all sessions.
+    pub retries: u64,
+    /// Escalations across all sessions.
+    pub degradations: u64,
+    /// Turns that rolled back after exhausting every escalation level.
+    pub rollbacks: u64,
 }
 
 /// Manages the session table and the shared specialization cache.
@@ -74,17 +111,53 @@ pub struct SessionManager {
     sessions: Mutex<FxHashMap<String, SessionState>>,
     cache: Mutex<LruCache<String, Arc<Bitstream>>>,
     turns_total: Mutex<u64>,
+    fault: Option<IcapFaultConfig>,
+    policy: CommitPolicy,
+    /// Frames containing at least one tunable bit — the escalation set
+    /// of the full-frame-rewrite level, shared by every session.
+    region_frames: Vec<usize>,
+    icap_retries: AtomicU64,
+    icap_degradations: AtomicU64,
+    icap_rollbacks: AtomicU64,
 }
 
 impl SessionManager {
     /// A manager over `engine` with an LRU of `cache_capacity`
-    /// specialized bitstreams.
+    /// specialized bitstreams and a reliable transport.
     pub fn new(engine: Arc<Engine>, cache_capacity: usize) -> SessionManager {
+        Self::with_chaos(engine, cache_capacity, None, CommitPolicy::default())
+    }
+
+    /// Like [`SessionManager::new`], but each session's channel injects
+    /// faults per `fault` (None = reliable) and commits retry per
+    /// `policy`. Every session derives its own deterministic fault
+    /// seed from `fault.seed` and the session name.
+    pub fn with_chaos(
+        engine: Arc<Engine>,
+        cache_capacity: usize,
+        fault: Option<IcapFaultConfig>,
+        policy: CommitPolicy,
+    ) -> SessionManager {
+        let mut region_frames: Vec<usize> = engine
+            .scg
+            .generalized()
+            .tunable
+            .iter()
+            .map(|&(addr, _)| engine.layout.frame_of(addr))
+            .collect();
+        region_frames.sort_unstable();
+        region_frames.dedup();
         SessionManager {
             engine,
             sessions: Mutex::new(FxHashMap::default()),
             cache: Mutex::new(LruCache::new(cache_capacity)),
             turns_total: Mutex::new(0),
+            fault,
+            policy,
+            region_frames,
+            icap_retries: AtomicU64::new(0),
+            icap_degradations: AtomicU64::new(0),
+            icap_rollbacks: AtomicU64::new(0),
         }
     }
 
@@ -105,6 +178,15 @@ impl SessionManager {
         (turns, h, m)
     }
 
+    /// Running retry/degradation/rollback totals.
+    pub fn icap_totals(&self) -> IcapTotals {
+        IcapTotals {
+            retries: self.icap_retries.load(Ordering::Relaxed),
+            degradations: self.icap_degradations.load(Ordering::Relaxed),
+            rollbacks: self.icap_rollbacks.load(Ordering::Relaxed),
+        }
+    }
+
     /// Create a session; starts at the base configuration (params = 0),
     /// exactly like [`pfdbg_pconf::OnlineReconfigurator::new`].
     pub fn open(&self, name: &str) -> Result<usize, String> {
@@ -113,12 +195,23 @@ impl SessionManager {
             return Err(format!("session {name:?} already exists"));
         }
         let n = self.engine.n_params();
+        let base = self.engine.scg.generalized().base.clone();
+        let mem = MemoryIcap::new(base.clone(), self.engine.layout.frame_bits);
+        let channel: Box<dyn IcapChannel> = match self.fault {
+            Some(cfg) => Box::new(FaultyIcap::new(
+                mem,
+                IcapFaultConfig { seed: session_seed(cfg.seed, name), ..cfg },
+            )),
+            None => Box::new(mem),
+        };
         table.insert(
             name.to_string(),
             SessionState {
                 params: BitVec::zeros(n),
-                bits: self.engine.scg.generalized().base.clone(),
+                bits: base,
                 turns: 0,
+                channel,
+                needs_resync: false,
             },
         );
         pfdbg_obs::counter_add("serve.sessions_opened", 1);
@@ -129,6 +222,22 @@ impl SessionManager {
     pub fn close(&self, name: &str) -> Result<(), String> {
         let mut table = self.sessions.lock().expect("session table");
         table.remove(name).map(|_| ()).ok_or_else(|| format!("no such session {name:?}"))
+    }
+
+    /// Read a session's device configuration memory back through its
+    /// channel — the ground truth the committed state must match.
+    pub fn readback(&self, session: &str) -> Result<Bitstream, String> {
+        let table = self.sessions.lock().expect("session table");
+        let state = table.get(session).ok_or_else(|| format!("no such session {session:?}"))?;
+        Ok(readback_all(state.channel.as_ref()))
+    }
+
+    /// A session's `(params, turns, needs_resync)` — the state the
+    /// transactional-turn tests pin down.
+    pub fn session_state(&self, session: &str) -> Result<(BitVec, usize, bool), String> {
+        let table = self.sessions.lock().expect("session table");
+        let state = table.get(session).ok_or_else(|| format!("no such session {session:?}"))?;
+        Ok((state.params.clone(), state.turns, state.needs_resync))
     }
 
     /// Map a signal selection to a parameter vector against the current
@@ -163,11 +272,28 @@ impl SessionManager {
         Ok(params)
     }
 
-    /// One debugging turn: specialize the session for `params` and
-    /// account the partial-reconfiguration cost. The hot path is
-    /// incremental ([`Scg::specialize_from`]) and cache-assisted; the
-    /// session state only changes on success.
+    /// One debugging turn with no deadline — see
+    /// [`SessionManager::select_within`].
     pub fn select(&self, session: &str, params: &BitVec) -> Result<TurnOutcome, String> {
+        self.select_within(session, params, None)
+    }
+
+    /// One debugging turn: specialize the session for `params`, commit
+    /// the changed frames transactionally, and account the cost. The
+    /// hot path is incremental ([`Scg::specialize_from`]) and
+    /// cache-assisted.
+    ///
+    /// The deadline (when given as `(request start, budget)`) is
+    /// checked *before* the commit: a missed deadline is a pure error —
+    /// no turn counter advances, no cache entry is published, no frame
+    /// is written. Likewise an exhausted retry budget rolls the turn
+    /// back, leaving only `needs_resync` behind.
+    pub fn select_within(
+        &self,
+        session: &str,
+        params: &BitVec,
+        deadline: Option<(Instant, Duration)>,
+    ) -> Result<TurnOutcome, String> {
         let _s = pfdbg_obs::span("serve.select");
         let t0 = Instant::now();
         let engine = &self.engine;
@@ -188,9 +314,10 @@ impl SessionManager {
             Some(bits) => (bits, true),
             None => {
                 // Miss: incremental specialization from this session's
-                // current state, then publish for everyone. Copy the
-                // state out first — BDD evaluation must not run under
-                // the session-table lock.
+                // current state. Copy the state out first — BDD
+                // evaluation must not run under the session-table lock.
+                // Publication to the shared LRU waits until the commit
+                // verifies: an aborted turn must leave no trace.
                 let (prev_params, prev_bits) = {
                     let table = self.sessions.lock().expect("session table");
                     let state =
@@ -198,9 +325,7 @@ impl SessionManager {
                     (state.params.clone(), state.bits.clone())
                 };
                 let bits = engine.scg.specialize_from(&prev_params, &prev_bits, params)?;
-                let bits = Arc::new(bits);
-                self.cache.lock().expect("cache").put(key, bits.clone());
-                (bits, false)
+                (Arc::new(bits), false)
             }
         };
         pfdbg_obs::counter_add(if cache_hit { "serve.cache_hit" } else { "serve.cache_miss" }, 1);
@@ -219,23 +344,79 @@ impl SessionManager {
         }
         frames.sort_unstable();
         frames.dedup();
+
+        // Deadline gate: all state mutation lies beyond this point.
+        if let Some((started, budget)) = deadline {
+            if started.elapsed() > budget {
+                pfdbg_obs::counter_add("serve.deadline_misses", 1);
+                return Err(format!(
+                    "deadline exceeded: {:.1} ms spent, {:.1} ms allowed",
+                    started.elapsed().as_secs_f64() * 1e3,
+                    budget.as_secs_f64() * 1e3
+                ));
+            }
+        }
         let eval_us = t0.elapsed().as_secs_f64() * 1e6;
-        let transfer = engine.icap.partial_reconfig(frames.len(), engine.layout.frame_bits);
-        state.bits = (*new_bits).clone();
-        state.params = params.clone();
-        state.turns += 1;
-        let turn = state.turns - 1;
-        drop(table);
-        *self.turns_total.lock().expect("turn counter") += 1;
-        pfdbg_obs::counter_add("serve.turns", 1);
-        Ok(TurnOutcome {
-            params: params.clone(),
-            bits_changed,
-            frames_changed: frames.len(),
-            eval_us,
-            transfer_us: transfer.as_secs_f64() * 1e6,
-            cache_hit,
-            turn,
-        })
+
+        // A rolled-back turn left configuration memory untrusted: the
+        // recovery commit rewrites every frame, not just the diff.
+        let write_set: Vec<usize> = if state.needs_resync {
+            (0..engine.layout.n_frames()).collect()
+        } else {
+            frames.clone()
+        };
+        match commit_frames(
+            state.channel.as_mut(),
+            &engine.icap,
+            &new_bits,
+            &write_set,
+            &self.region_frames,
+            &self.policy,
+        ) {
+            Ok(commit) => {
+                state.bits = (*new_bits).clone();
+                state.params = params.clone();
+                state.needs_resync = false;
+                state.turns += 1;
+                let turn = state.turns - 1;
+                drop(table);
+                if !cache_hit {
+                    self.cache.lock().expect("cache").put(key, new_bits.clone());
+                }
+                self.icap_retries.fetch_add(commit.retries as u64, Ordering::Relaxed);
+                self.icap_degradations.fetch_add(commit.degradations as u64, Ordering::Relaxed);
+                *self.turns_total.lock().expect("turn counter") += 1;
+                pfdbg_obs::counter_add("serve.turns", 1);
+                Ok(TurnOutcome {
+                    params: params.clone(),
+                    bits_changed,
+                    frames_changed: frames.len(),
+                    eval_us,
+                    transfer_us: commit.transfer_time.as_secs_f64() * 1e6,
+                    verify_us: commit.verify_time.as_secs_f64() * 1e6,
+                    retries: commit.retries,
+                    degradations: commit.degradations,
+                    cache_hit,
+                    turn,
+                })
+            }
+            Err((commit, msg)) => {
+                state.needs_resync = true;
+                drop(table);
+                self.icap_retries.fetch_add(commit.retries as u64, Ordering::Relaxed);
+                self.icap_degradations.fetch_add(commit.degradations as u64, Ordering::Relaxed);
+                self.icap_rollbacks.fetch_add(1, Ordering::Relaxed);
+                pfdbg_obs::counter_add("serve.rollbacks", 1);
+                Err(format!("reconfiguration rolled back: {msg}"))
+            }
+        }
     }
+}
+
+/// A session's private fault seed: deterministic in the configured
+/// seed and the session name (FNV-1a), so chaos runs reproduce while
+/// sessions still see independent fault patterns.
+fn session_seed(base: u64, name: &str) -> u64 {
+    name.bytes()
+        .fold(base ^ 0xcbf2_9ce4_8422_2325, |h, b| (h ^ b as u64).wrapping_mul(0x0100_0000_01b3))
 }
