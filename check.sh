@@ -29,14 +29,24 @@ echo "== chaos pass (PFDBG_ICAP_FAULT_RATE=0.05) =="
 PFDBG_ICAP_FAULT_RATE=0.05 cargo test -q --test chaos
 PFDBG_ICAP_FAULT_RATE=0.05 cargo test -q -p pfdbg-serve --test chaos --test proto_fuzz
 
+echo "== scrub pass (PFDBG_SEU_RATE=0.02) =="
+# The scrubbing suites under a 2% per-frame upset rate: the bombarded
+# 200-turn session must end bit-identical to the PConf golden oracle at
+# 1/2/8 evaluation threads, and with transport faults layered on top
+# every trace window must still match the fault-free golden emulator.
+PFDBG_SEU_RATE=0.02 cargo test -q -p pfdbg-serve --test scrub
+PFDBG_SEU_RATE=0.02 PFDBG_ICAP_FAULT_RATE=0.02 cargo test -q --test chaos
+
 echo "== serve smoke test =="
-# Start the debug service on an ephemeral port, drive it with a small
-# serve_load run, and check for a clean shutdown plus a non-empty
-# latency report.
+# Start the debug service on an ephemeral port — with SEU injection and
+# the background scrubber enabled — drive it with a small serve_load
+# run, and check for a clean shutdown plus a non-empty latency report
+# carrying the scrub counters.
 cargo build -q -p pfdbg-cli -p pfdbg-bench --bin pfdbg --bin serve_load
 SMOKE_DIR=$(mktemp -d)
 trap 'rm -rf "$SMOKE_DIR"' EXIT
 ./target/debug/pfdbg serve @stereov. --store-dir "$SMOKE_DIR/store" \
+    --seu-rate 0.02 --scrub-interval 50 \
     --port-file "$SMOKE_DIR/port" >"$SMOKE_DIR/serve.log" 2>&1 &
 SERVE_PID=$!
 for _ in $(seq 100); do
@@ -50,6 +60,8 @@ PORT=$(cat "$SMOKE_DIR/port")
 wait "$SERVE_PID"
 [ -s "$SMOKE_DIR/BENCH_serve.json" ] || { echo "BENCH_serve.json is empty"; exit 1; }
 grep -q '"failures":0' "$SMOKE_DIR/BENCH_serve.json" || { echo "serve smoke saw failed requests"; exit 1; }
+# Presence only, not a value: scrub pass counts are timing-dependent.
+grep -q '"scrub_passes"' "$SMOKE_DIR/BENCH_serve.json" || { echo "scrub counters missing from bench report"; exit 1; }
 cp "$SMOKE_DIR/BENCH_serve.json" BENCH_serve.json
 echo "serve smoke ok: $(cat BENCH_serve.json)"
 

@@ -6,6 +6,7 @@
 //! ```text
 //! serve_load [--addr host:port] [--threads N] [--requests N] [--out f.json] [--shutdown]
 //!            [--icap-fault-rate R] [--icap-seed S]
+//!            [--seu-rate R] [--seu-seed S] [--scrub-interval-ms MS]
 //! ```
 //!
 //! Without `--addr` it spins up an in-process server over a generated
@@ -161,6 +162,9 @@ fn main() {
     let send_shutdown = rest.iter().any(|a| a == "--shutdown");
     let fault_rate = flag_f64(&rest, "--icap-fault-rate", 0.0);
     let fault_seed = flag_usize(&rest, "--icap-seed", 0x1CAB_FA17) as u64;
+    let seu_rate = flag_f64(&rest, "--seu-rate", 0.0);
+    let seu_seed = flag_usize(&rest, "--seu-seed", 0x5EED_05E0) as u64;
+    let scrub_interval_ms = flag_f64(&rest, "--scrub-interval-ms", 0.0);
 
     // Worker-per-connection: the pool must be at least as large as the
     // client thread count or connections queue behind busy workers.
@@ -171,13 +175,19 @@ fn main() {
         let fault = (fault_rate > 0.0)
             .then(|| pfdbg_emu::IcapFaultConfig::uniform(fault_rate, fault_seed))
             .or_else(pfdbg_emu::IcapFaultConfig::from_env);
-        let manager = SessionManager::with_chaos(
+        let seu = (seu_rate > 0.0)
+            .then_some(pfdbg_emu::SeuConfig { rate: seu_rate, burst: 2, seed: seu_seed })
+            .or_else(pfdbg_emu::SeuConfig::from_env);
+        let manager = SessionManager::with_chaos_scrub(
             Arc::new(build_engine()),
             64,
             fault,
             pfdbg_pconf::CommitPolicy::default(),
+            seu,
+            pfdbg_pconf::ScrubPolicy::default(),
         );
-        let cfg = ServerConfig { workers: threads.max(8), ..ServerConfig::default() };
+        let cfg =
+            ServerConfig { workers: threads.max(8), scrub_interval_ms, ..ServerConfig::default() };
         Some(Server::start(manager, cfg).expect("server start"))
     } else {
         None
@@ -215,6 +225,11 @@ fn main() {
     let icap_retries = stat("icap_retries");
     let icap_degradations = stat("icap_degradations");
     let icap_rollbacks = stat("icap_rollbacks");
+    let scrub_passes = stat("scrub_passes");
+    let scrub_upsets_detected = stat("scrub_upsets_detected");
+    let scrub_repairs = stat("scrub_repairs");
+    let scrub_quarantined = stat("scrub_quarantined");
+    let seu_bits_injected = stat("seu_bits_injected");
 
     let mut latencies: Vec<f64> = Vec::new();
     let mut failures = 0usize;
@@ -251,6 +266,13 @@ fn main() {
         ("icap_retries", JsonValue::Num(icap_retries)),
         ("icap_degradations", JsonValue::Num(icap_degradations)),
         ("icap_rollbacks", JsonValue::Num(icap_rollbacks)),
+        ("seu_rate", JsonValue::Num(seu_rate)),
+        ("scrub_interval_ms", JsonValue::Num(scrub_interval_ms)),
+        ("scrub_passes", JsonValue::Num(scrub_passes)),
+        ("scrub_upsets_detected", JsonValue::Num(scrub_upsets_detected)),
+        ("scrub_repairs", JsonValue::Num(scrub_repairs)),
+        ("scrub_quarantined", JsonValue::Num(scrub_quarantined)),
+        ("seu_bits_injected", JsonValue::Num(seu_bits_injected)),
         ("in_process", JsonValue::Bool(external.is_none())),
     ]);
     std::fs::write(&out, format!("{json}\n")).unwrap_or_else(|e| panic!("{out}: {e}"));

@@ -8,6 +8,7 @@
 //! pfdbg observe    <design.blif|@benchmark> --signals s1,s2|auto [--cycles N]
 //! pfdbg rank       <design.blif|@benchmark> [--top N]
 //! pfdbg report     <trace.jsonl>
+//! pfdbg scrub      <design.blif|@benchmark> [--turns N] [--scrub-every N] [--seu-rate R]
 //! pfdbg serve      <design.blif|@benchmark> [--addr H:P|--port P] [--workers N] [--port-file f]
 //! pfdbg client     <host:port> [--request '<json>'] [--shutdown]
 //! pfdbg bench-list
@@ -128,6 +129,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "rank" => cmd_rank(rest),
         "localize" => cmd_localize(rest),
         "report" => cmd_report(rest),
+        "scrub" => cmd_scrub(rest),
         "serve" => cmd_serve(rest),
         "client" => cmd_client(rest),
         "bench-list" => {
@@ -161,8 +163,11 @@ fn print_usage() {
          \x20 pfdbg rank       <design.blif|@bench> [--top N]\n\
          \x20 pfdbg localize   <design.blif|@bench> [--bug <net>] [--cycles N]\n\
          \x20 pfdbg report     <trace.jsonl>\n\
+         \x20 pfdbg scrub      <design.blif|@bench> [--turns N] [--scrub-every N]\n\
+         \x20                  [--seu-rate R] [--seu-seed S] [--seu-burst B] [--icap-fault-rate R]\n\
          \x20 pfdbg serve      <design.blif|@bench> [--addr H:P|--port P] [--workers N] [--cache N] [--port-file f]\n\
          \x20                  [--icap-fault-rate R] [--icap-seed S] [--max-retries N]\n\
+         \x20                  [--scrub-interval MS] [--seu-rate R] [--seu-seed S] [--seu-burst B]\n\
          \x20 pfdbg client     <host:port> [--request '<json>'] [--shutdown]\n\
          \x20 pfdbg bench-list\n\
          \n\
@@ -213,6 +218,27 @@ fn chaos_from_flags(
         pfdbg_emu::IcapFaultConfig::from_env()
     };
     Ok((fault, policy))
+}
+
+/// SEU knobs shared by `scrub` and `serve`: an explicit `--seu-rate`
+/// (with `--seu-seed`/`--seu-burst`) wins, `PFDBG_SEU_RATE` is the
+/// fallback, and an explicit rate of 0 disables injection even when the
+/// environment is set.
+fn seu_from_flags(rest: &[String]) -> Result<Option<pfdbg_emu::SeuConfig>, String> {
+    let Some(rate) = flag(rest, "--seu-rate") else {
+        return Ok(pfdbg_emu::SeuConfig::from_env());
+    };
+    let rate: f64 =
+        rate.parse().map_err(|_| format!("--seu-rate expects a number, got {rate:?}"))?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!("--seu-rate expects a rate in [0, 1], got {rate}"));
+    }
+    if rate == 0.0 {
+        return Ok(None);
+    }
+    let seed = flag_usize(rest, "--seu-seed", 0x5EED_05E0)? as u64;
+    let burst = flag_usize(rest, "--seu-burst", 1)?.max(1);
+    Ok(Some(pfdbg_emu::SeuConfig { rate, burst, seed }))
 }
 
 /// Assemble an [`OnlineReconfigurator`] over a reliable in-memory
@@ -564,6 +590,99 @@ fn cmd_localize(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_scrub(rest: &[String]) -> Result<(), String> {
+    use pfdbg_pconf::{ScrubPolicy, Scrubber};
+
+    let (name, nw) = load_design(rest)?;
+    let k = flag_usize(rest, "--k", PAPER_K)?;
+    let turns = flag_usize(rest, "--turns", 50)?;
+    let scrub_every = flag_usize(rest, "--scrub-every", 5)?.max(1);
+    let (_, _, inst) = prepare_instrumented(&nw, &icfg(rest)?, k)?;
+    let cfg = OfflineConfig { k, ..Default::default() };
+    let (scg, layout, icap) = match store_from_flags(rest)? {
+        Some(store) => {
+            let (d, _) = store.offline_cached(&inst, &cfg)?;
+            (d.scg, d.layout, d.icap)
+        }
+        None => {
+            let off = offline(&inst, &cfg)?;
+            let scg = off.scg.ok_or("offline flow produced no SCG")?;
+            let layout = off.layout.ok_or("offline flow produced no layout")?;
+            (scg, layout, off.icap)
+        }
+    };
+
+    let (fault, policy) = chaos_from_flags(rest)?;
+    // A scrub demo with nothing to scrub is pointless: default the
+    // upset rate up when neither the flag nor the environment set one.
+    let seu = seu_from_flags(rest)?.unwrap_or(pfdbg_emu::SeuConfig {
+        rate: 0.02,
+        burst: 2,
+        seed: 0x5EED_05E0,
+    });
+    let n_params = inst.annotations.len();
+    let mem = pfdbg_pconf::MemoryIcap::new(scg.generalized().base.clone(), layout.frame_bits);
+    let seu_ch = pfdbg_emu::SeuIcap::new(mem, seu);
+    let channel: Box<dyn pfdbg_pconf::IcapChannel> = match fault {
+        Some(f) => Box::new(pfdbg_emu::FaultyIcap::new(seu_ch, f)),
+        None => Box::new(seu_ch),
+    };
+    let mut online = OnlineReconfigurator::with_channel(scg, layout, icap, channel, policy);
+    let mut scrubber = Scrubber::new(ScrubPolicy { commit: policy, ..ScrubPolicy::default() });
+
+    println!(
+        "scrub demo on {name}: {turns} turns, SEU rate {} (burst {}, seed {:#x}), \
+         scrub every {scrub_every} turns",
+        seu.rate, seu.burst, seu.seed
+    );
+    let mut rollbacks = 0usize;
+    for t in 0..turns {
+        // Walk a deterministic parameter schedule: toggle one select
+        // bit per turn, like an engineer cycling through signals.
+        let mut params = online.params().clone();
+        if n_params > 0 {
+            let bit = t % n_params;
+            params.set(bit, !params.get(bit));
+        }
+        online.tick();
+        if online.try_apply(&params).is_err() {
+            rollbacks += 1;
+        }
+        if (t + 1) % scrub_every == 0 {
+            let r = online.scrub(&mut scrubber)?;
+            if r.upset_frames > 0 {
+                println!(
+                    "  turn {:>4}: {} upset frames ({} bits) — {} repaired, {} quarantined",
+                    t + 1,
+                    r.upset_frames,
+                    r.upset_bits,
+                    r.repaired_frames,
+                    r.quarantined_frames
+                );
+            }
+        }
+    }
+    let _ = online.scrub(&mut scrubber)?;
+    let totals = scrubber.totals();
+    println!(
+        "scrubbed: {} passes, {} upset frames ({} bits), {} repaired, {} quarantined, {} rollbacks",
+        totals.passes,
+        totals.upset_frames,
+        totals.upset_bits,
+        totals.repaired_frames,
+        scrubber.quarantined().len(),
+        rollbacks
+    );
+    println!("health: {}", scrubber.health().as_str());
+    let undetected = online.undetected_divergence(&scrubber);
+    if undetected.is_empty() {
+        println!("undetected divergence: none — device matches the PConf golden oracle");
+        Ok(())
+    } else {
+        Err(format!("undetected divergence in frames {undetected:?}"))
+    }
+}
+
 fn cmd_serve(rest: &[String]) -> Result<(), String> {
     use pfdbg_serve::session::Engine;
     use pfdbg_serve::{Server, ServerConfig, SessionManager};
@@ -599,15 +718,25 @@ fn cmd_serve(rest: &[String]) -> Result<(), String> {
         (None, None) => "127.0.0.1:0".into(),
     };
     let (fault, policy) = chaos_from_flags(rest)?;
-    let manager = SessionManager::with_chaos(
+    let seu = seu_from_flags(rest)?;
+    let scrub_interval_ms = flag_f64(rest, "--scrub-interval", 0.0)?;
+    let manager = SessionManager::with_chaos_scrub(
         Arc::new(Engine::new(inst, scg, layout, icap)),
         cache,
         fault,
         policy,
+        seu,
+        pfdbg_pconf::ScrubPolicy { commit: policy, ..Default::default() },
     );
     let handle = Server::start(
         manager,
-        ServerConfig { addr, workers, cache_capacity: cache, ..ServerConfig::default() },
+        ServerConfig {
+            addr,
+            workers,
+            cache_capacity: cache,
+            scrub_interval_ms,
+            ..ServerConfig::default()
+        },
     )?;
     let local = handle.local_addr();
     println!("pfdbg serve: {name} ({n_params} params) on {local}, {workers} workers");

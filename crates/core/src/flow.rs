@@ -10,7 +10,7 @@
 
 use crate::param::Instrumented;
 use pfdbg_arch::{BitstreamLayout, IcapModel, RRNode, VIRTEX5_CONFIG_BITS, VIRTEX5_FRAME_BITS};
-use pfdbg_emu::{FaultyIcap, IcapFaultConfig};
+use pfdbg_emu::{FaultyIcap, IcapFaultConfig, SeuConfig, SeuIcap};
 use pfdbg_map::{map_parameterized_network_with, ElemKind};
 use pfdbg_netlist::truth::TruthTable;
 use pfdbg_netlist::{Network, NodeId};
@@ -119,12 +119,29 @@ impl OfflineResult {
         fault: Option<IcapFaultConfig>,
         policy: CommitPolicy,
     ) -> Option<OnlineReconfigurator> {
+        self.into_online_with(fault, policy, None)
+    }
+
+    /// The full chaos entry point: transport faults on the write path
+    /// (`fault`) *and* single-event upsets striking configuration
+    /// memory between turns (`seu`). SEUs wrap the reliable device
+    /// model directly and transport faults wrap outside, so upset
+    /// injection always lands while repair writes still suffer — the
+    /// two injectors stay independent and separately seeded.
+    pub fn into_online_with(
+        self,
+        fault: Option<IcapFaultConfig>,
+        policy: CommitPolicy,
+        seu: Option<SeuConfig>,
+    ) -> Option<OnlineReconfigurator> {
         let scg = self.scg?;
         let layout = self.layout?;
         let mem = MemoryIcap::new(scg.generalized().base.clone(), layout.frame_bits);
-        let channel: Box<dyn IcapChannel> = match fault {
-            Some(cfg) => Box::new(FaultyIcap::new(mem, cfg)),
-            None => Box::new(mem),
+        let channel: Box<dyn IcapChannel> = match (seu, fault) {
+            (Some(s), Some(f)) => Box::new(FaultyIcap::new(SeuIcap::new(mem, s), f)),
+            (Some(s), None) => Box::new(SeuIcap::new(mem, s)),
+            (None, Some(f)) => Box::new(FaultyIcap::new(mem, f)),
+            (None, None) => Box::new(mem),
         };
         Some(OnlineReconfigurator::with_channel(scg, layout, self.icap, channel, policy))
     }

@@ -67,6 +67,18 @@ impl DebugSession {
         &self.params
     }
 
+    /// The online reconfigurator, when the session drives a device.
+    pub fn online(&self) -> Option<&OnlineReconfigurator> {
+        self.online.as_ref()
+    }
+
+    /// Mutable access to the reconfigurator — how a caller ticks
+    /// modeled time between turns or runs scrub passes against the
+    /// session's device (see `pfdbg_pconf::scrub`).
+    pub fn online_mut(&mut self) -> Option<&mut OnlineReconfigurator> {
+        self.online.as_mut()
+    }
+
     /// Plan a selection: map each requested signal to a free port and
     /// compute the parameter assignment. Fails if a signal is not
     /// observable or more signals are requested than ports exist (that

@@ -137,6 +137,12 @@ impl<C: IcapChannel> IcapChannel for FaultyIcap<C> {
     fn read_frame(&self, frame: usize) -> Vec<u64> {
         self.inner.read_frame(frame)
     }
+
+    fn tick(&mut self) -> usize {
+        // Transport faults strike writes, not time: forward the tick so
+        // a wrapped SEU injector underneath still takes its upsets.
+        self.inner.tick()
+    }
 }
 
 #[cfg(test)]

@@ -68,6 +68,14 @@ pub trait IcapChannel: Send {
     fn write_frame(&mut self, frame: usize, data: &[u64]) -> Result<(), IcapError>;
     /// Read one frame back from configuration memory.
     fn read_frame(&self, frame: usize) -> Vec<u64>;
+    /// Advance the device's between-turn clock by one step. On an ideal
+    /// device configuration memory is inert between writes, so the
+    /// default is a no-op; emulated fabrics override this to take their
+    /// single-event upsets here (`pfdbg-emu`'s `SeuIcap`). Returns the
+    /// number of configuration bits that flipped during the step.
+    fn tick(&mut self) -> usize {
+        0
+    }
 }
 
 /// Number of bits frame `frame` holds in a device of `n_bits`.
@@ -171,8 +179,18 @@ pub struct CommitPolicy {
     /// Write attempts per frame *per escalation level* before giving
     /// up on that level (so a frame gets `max_retries + 1` tries).
     pub max_retries: u32,
-    /// Modeled backoff added before retry `n` as `backoff * n`.
+    /// Minimum modeled backoff before a retry. Each retry sleeps a
+    /// decorrelated-jitter amount in `[backoff, backoff_cap]` — see
+    /// [`Backoff`].
     pub backoff: Duration,
+    /// Upper bound on one jittered backoff sleep.
+    pub backoff_cap: Duration,
+    /// Seed of the jitter generator. Deterministic: the same seed
+    /// replays the same backoff schedule, so chaos runs stay
+    /// reproducible. Concurrent sessions should derive distinct seeds
+    /// (the serve layer salts this with the session name) so they do
+    /// not retry in lockstep against a stalling device.
+    pub jitter_seed: u64,
     /// Modeled cost of one port stall (timeout spent waiting before
     /// the write is retried).
     pub stall_penalty: Duration,
@@ -183,8 +201,56 @@ impl Default for CommitPolicy {
         CommitPolicy {
             max_retries: 3,
             backoff: Duration::from_micros(2),
+            backoff_cap: Duration::from_micros(64),
+            jitter_seed: 0,
             stall_penalty: Duration::from_micros(20),
         }
+    }
+}
+
+/// SplitMix64 step — the whole PRNG the jittered backoff needs, inline
+/// because `pfdbg-pconf` deliberately has no `rand` dependency.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Decorrelated-jitter backoff: each sleep is drawn uniformly from
+/// `[base, min(cap, prev * 3)]`. Unlike the old deterministic
+/// `backoff * attempt` ramp, two sessions hammering a stalling port
+/// with different seeds spread their retries out instead of colliding
+/// on every attempt — while a fixed seed still replays the exact same
+/// schedule for reproducible chaos runs.
+pub(crate) struct Backoff {
+    base_ns: u64,
+    cap_ns: u64,
+    prev_ns: u64,
+    state: u64,
+}
+
+impl Backoff {
+    /// A fresh schedule for one commit (or one scrub repair). `salt`
+    /// decorrelates schedules sharing a policy seed — e.g. per frame.
+    pub(crate) fn new(policy: &CommitPolicy, salt: u64) -> Self {
+        let base_ns = (policy.backoff.as_nanos() as u64).max(1);
+        Backoff {
+            base_ns,
+            cap_ns: (policy.backoff_cap.as_nanos() as u64).max(base_ns),
+            prev_ns: base_ns,
+            state: policy.jitter_seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// The next modeled sleep of the schedule.
+    pub(crate) fn next(&mut self) -> Duration {
+        let hi = self.prev_ns.saturating_mul(3).clamp(self.base_ns, self.cap_ns);
+        let span = hi - self.base_ns + 1;
+        let sleep = self.base_ns + splitmix64(&mut self.state) % span;
+        self.prev_ns = sleep;
+        Duration::from_nanos(sleep)
     }
 }
 
@@ -217,13 +283,15 @@ pub struct CommitStats {
 }
 
 /// Write one frame until it verifies or the per-level retry budget is
-/// spent. Returns whether the frame verified.
-fn write_frame_verified(
+/// spent. Returns whether the frame verified. Shared with the scrubber
+/// (`crate::scrub`), whose repairs are single-frame commits.
+pub(crate) fn write_frame_verified(
     channel: &mut dyn IcapChannel,
     icap: &IcapModel,
     target: &Bitstream,
     frame: usize,
     policy: &CommitPolicy,
+    backoff: &mut Backoff,
     stats: &mut CommitStats,
 ) -> bool {
     let frame_bits = channel.frame_bits();
@@ -235,7 +303,7 @@ fn write_frame_verified(
     for attempt in 0..=policy.max_retries {
         if attempt > 0 {
             stats.retries += 1;
-            stats.verify_time += policy.backoff * attempt;
+            stats.verify_time += backoff.next();
         }
         stats.writes_attempted += 1;
         stats.transfer_time += write_cost;
@@ -302,6 +370,7 @@ pub fn commit_frames(
     };
     let all_frames: Vec<usize> = (0..channel.n_frames()).collect();
     let levels: [&[usize]; 3] = [changed_frames, &full_frame_set, &all_frames];
+    let mut backoff = Backoff::new(policy, 0);
     let mut last_failed = 0usize;
     for (level, set) in levels.iter().enumerate() {
         if level > 0 {
@@ -316,7 +385,8 @@ pub fn commit_frames(
         let mut ok = true;
         last_failed = 0;
         for &frame in *set {
-            if !write_frame_verified(channel, icap, target, frame, policy, &mut stats) {
+            if !write_frame_verified(channel, icap, target, frame, policy, &mut backoff, &mut stats)
+            {
                 ok = false;
                 last_failed += 1;
             }
@@ -470,6 +540,57 @@ mod tests {
             commit_frames(&mut ch, &icap, &target, &[0], &[0, 1], &Default::default()).unwrap();
         assert_eq!(stats.degradations, 1, "one escalation to the region rewrite");
         assert_eq!(readback_all(&ch), target);
+    }
+
+    #[test]
+    fn jittered_backoff_is_bounded_and_seeded() {
+        let policy = CommitPolicy {
+            backoff: Duration::from_micros(2),
+            backoff_cap: Duration::from_micros(64),
+            jitter_seed: 42,
+            ..Default::default()
+        };
+        let schedule = |seed: u64, salt: u64| -> Vec<Duration> {
+            let mut b = Backoff::new(&CommitPolicy { jitter_seed: seed, ..policy }, salt);
+            (0..32).map(|_| b.next()).collect()
+        };
+        let a = schedule(42, 0);
+        assert_eq!(a, schedule(42, 0), "same seed must replay the same schedule");
+        assert_ne!(a, schedule(43, 0), "different seeds must decorrelate");
+        assert_ne!(a, schedule(42, 1), "different salts must decorrelate");
+        for &sleep in &a {
+            assert!(sleep >= policy.backoff, "sleep {sleep:?} under the base");
+            assert!(sleep <= policy.backoff_cap, "sleep {sleep:?} over the cap");
+        }
+        // The schedule actually jitters: not every sleep is identical.
+        assert!(a.iter().any(|&s| s != a[0]), "no jitter in {a:?}");
+    }
+
+    #[test]
+    fn degenerate_backoff_policy_stays_sane() {
+        // base == cap pins every sleep; zero base clamps to 1 ns.
+        let pinned = CommitPolicy {
+            backoff: Duration::from_micros(5),
+            backoff_cap: Duration::from_micros(5),
+            ..Default::default()
+        };
+        let mut b = Backoff::new(&pinned, 0);
+        assert_eq!(b.next(), Duration::from_micros(5));
+        assert_eq!(b.next(), Duration::from_micros(5));
+        let zero = CommitPolicy {
+            backoff: Duration::ZERO,
+            backoff_cap: Duration::ZERO,
+            ..Default::default()
+        };
+        let mut b = Backoff::new(&zero, 0);
+        assert_eq!(b.next(), Duration::from_nanos(1));
+    }
+
+    #[test]
+    fn default_tick_is_inert() {
+        let mut ch = MemoryIcap::new(stream(256, &[3]), 128);
+        assert_eq!(ch.tick(), 0);
+        assert_eq!(readback_all(&ch), stream(256, &[3]), "a tick must not move memory");
     }
 
     #[test]

@@ -11,8 +11,10 @@ pub mod bdd;
 pub mod genbits;
 pub mod icap;
 pub mod scg;
+pub mod scrub;
 
 pub use bdd::{Bdd, BddManager};
 pub use genbits::{Builder as GeneralizedBuilder, GeneralizedBitstream};
 pub use icap::{CommitPolicy, CommitStats, IcapChannel, IcapError, MemoryIcap};
 pub use scg::{OnlineReconfigurator, Scg, TurnStats};
+pub use scrub::{ScrubHealth, ScrubPolicy, ScrubReport, ScrubTotals, Scrubber};

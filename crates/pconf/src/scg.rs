@@ -14,6 +14,7 @@
 use crate::bdd::BddManager;
 use crate::genbits::GeneralizedBitstream;
 use crate::icap::{commit_frames, CommitPolicy, IcapChannel, MemoryIcap};
+use crate::scrub::ScrubReport;
 use pfdbg_arch::{Bitstream, BitstreamLayout, IcapModel};
 use pfdbg_util::{par, BitVec};
 use std::time::{Duration, Instant};
@@ -373,6 +374,45 @@ impl OnlineReconfigurator {
     /// Borrow the SCG.
     pub fn scg(&self) -> &Scg {
         &self.scg
+    }
+
+    /// The parameters the loaded bitstream was specialized for.
+    pub fn params(&self) -> &BitVec {
+        &self.last_params
+    }
+
+    /// Advance the device's between-turn clock by one step — on an
+    /// emulated fabric this is where single-event upsets strike (a
+    /// no-op over the default reliable channel). Returns the number of
+    /// configuration bits that flipped.
+    pub fn tick(&mut self) -> usize {
+        self.channel.tick()
+    }
+
+    /// One scrub pass against the PConf golden oracle for the current
+    /// parameters (see [`crate::scrub`]). Quarantined frames arm
+    /// `needs_resync`, so the session degrades visibly instead of
+    /// serving trace data through a frame that refuses to heal.
+    pub fn scrub(&mut self, scrubber: &mut crate::scrub::Scrubber) -> Result<ScrubReport, String> {
+        let report = scrubber.scrub_with_scg(
+            self.channel.as_mut(),
+            &self.icap,
+            &self.scg,
+            &self.last_params,
+        )?;
+        if report.quarantined_frames > 0 {
+            self.needs_resync = true;
+        }
+        Ok(report)
+    }
+
+    /// Frames the scrubber vouches for that in fact diverge from the
+    /// golden specialization of the current parameters — must be empty
+    /// after every scrubbed run (the zero-undetected-divergence
+    /// invariant).
+    pub fn undetected_divergence(&self, scrubber: &crate::scrub::Scrubber) -> Vec<usize> {
+        let golden = self.scg.specialize(&self.last_params);
+        scrubber.undetected_divergence(self.channel.as_ref(), &golden)
     }
 
     /// One debugging turn: evaluate the new parameter assignment, rewrite

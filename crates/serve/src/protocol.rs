@@ -12,10 +12,17 @@
 //! {"op":"open","session":"s1"}
 //! {"op":"select","session":"s1","params":"0110"}
 //! {"op":"select","session":"s1","signals":"g2,g7","deadline_ms":50}
+//! {"op":"health","session":"s1"}
+//! {"op":"scrub","session":"s1"}
 //! {"op":"close","session":"s1"}
 //! {"op":"stats"}
 //! {"op":"shutdown"}
 //! ```
+//!
+//! `health` reports a session's scrub status (verdict, upset/repair
+//! totals, quarantined frames as a comma-joined index list since the
+//! schema has no arrays); `scrub` runs one on-demand scrub pass against
+//! the PConf golden oracle and returns its report.
 //!
 //! Every reply carries `ok` plus the echoed `op` and, when the request
 //! had one, its `id`. Failures are `{"ok":false,"error":...}` — a
@@ -49,6 +56,16 @@ pub enum Request {
     },
     /// Drop a session.
     Close {
+        /// Session name.
+        session: String,
+    },
+    /// A session's scrub status: verdict, totals, quarantine set.
+    Health {
+        /// Session name.
+        session: String,
+    },
+    /// Run one on-demand scrub pass on a session.
+    Scrub {
         /// Session name.
         session: String,
     },
@@ -107,6 +124,8 @@ pub fn parse_request(line: &str) -> (Result<Request, String>, RequestMeta) {
         "ping" => Ok(Request::Ping),
         "open" => session("session").map(|session| Request::Open { session }),
         "close" => session("session").map(|session| Request::Close { session }),
+        "health" => session("session").map(|session| Request::Health { session }),
+        "scrub" => session("session").map(|session| Request::Scrub { session }),
         "stats" => Ok(Request::Stats),
         "shutdown" => Ok(Request::Shutdown),
         "select" => (|| {
@@ -187,6 +206,12 @@ impl Reply {
         self
     }
 
+    /// Add a boolean field.
+    pub fn bool(mut self, key: &'static str, value: bool) -> Reply {
+        self.fields.push((key, JsonValue::Bool(value)));
+        self
+    }
+
     /// Serialize as one JSON line (no trailing newline).
     pub fn render(&self) -> String {
         let borrowed: Vec<(&str, JsonValue)> =
@@ -225,6 +250,12 @@ mod tests {
             Request::Select { signals, .. } => assert_eq!(signals, vec!["g2", "g7"]),
             other => panic!("wrong parse: {other:?}"),
         }
+        let (r, _) = parse_request("{\"op\":\"health\",\"session\":\"s1\"}");
+        assert_eq!(r.unwrap(), Request::Health { session: "s1".into() });
+        let (r, _) = parse_request("{\"op\":\"scrub\",\"session\":\"s1\"}");
+        assert_eq!(r.unwrap(), Request::Scrub { session: "s1".into() });
+        let (r, _) = parse_request("{\"op\":\"health\"}");
+        assert!(r.unwrap_err().contains("session"));
     }
 
     #[test]
@@ -258,6 +289,11 @@ mod tests {
         let back = pfdbg_obs::jsonl::parse_jsonl(&err).unwrap();
         assert_eq!(back[0].fields.get("ok"), Some(&JsonValue::Bool(false)));
         assert_eq!(back[0].str("error"), Some("no such session"));
+        let meta = RequestMeta { op: "health".into(), id: None };
+        let line = Reply::ok(&meta).bool("needs_resync", true).str("quarantine", "3,7").render();
+        let back = pfdbg_obs::jsonl::parse_jsonl(&line).unwrap();
+        assert_eq!(back[0].fields.get("needs_resync"), Some(&JsonValue::Bool(true)));
+        assert_eq!(back[0].str("quarantine"), Some("3,7"));
     }
 
     #[test]

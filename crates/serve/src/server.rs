@@ -32,6 +32,11 @@ pub struct ServerConfig {
     pub allow_remote_shutdown: bool,
     /// LRU capacity for specialized bitstreams.
     pub cache_capacity: usize,
+    /// Background scrub interval in milliseconds; `0` (or anything
+    /// non-finite/non-positive) disables the scrubber thread. Each
+    /// interval the scrubber walks every session, skipping — never
+    /// blocking — any with a select in flight.
+    pub scrub_interval_ms: f64,
 }
 
 impl Default for ServerConfig {
@@ -42,6 +47,7 @@ impl Default for ServerConfig {
             default_deadline_ms: 1000.0,
             allow_remote_shutdown: true,
             cache_capacity: 64,
+            scrub_interval_ms: 0.0,
         }
     }
 }
@@ -97,6 +103,16 @@ impl Server {
                     .name(format!("pfdbg-worker-{i}"))
                     .spawn(move || worker_loop(&shared))
                     .map_err(|e| format!("cannot spawn worker: {e}"))?,
+            );
+        }
+        let interval = shared.cfg.scrub_interval_ms;
+        if interval.is_finite() && interval > 0.0 {
+            let shared = shared.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("pfdbg-scrub".into())
+                    .spawn(move || scrub_loop(&shared))
+                    .map_err(|e| format!("cannot spawn scrubber: {e}"))?,
             );
         }
         Ok(ServerHandle { local_addr, shared, threads })
@@ -168,6 +184,35 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
         }
     }
     shared.queue_cv.notify_all();
+}
+
+/// The background scrubber: every `scrub_interval_ms` walk the session
+/// table and scrub each session that is not mid-select. Sleeps in short
+/// steps so shutdown is never delayed by a long interval, and uses the
+/// non-blocking scrub so an in-flight turn is skipped, not raced —
+/// the next interval catches up.
+fn scrub_loop(shared: &Shared) {
+    let interval = Duration::from_secs_f64(shared.cfg.scrub_interval_ms / 1e3);
+    let step = interval.min(Duration::from_millis(50));
+    loop {
+        let mut slept = Duration::ZERO;
+        while slept < interval {
+            if shared.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            std::thread::sleep(step);
+            slept += step;
+        }
+        for name in shared.sessions.session_names() {
+            if shared.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            // A vanished session (closed since the snapshot) is a
+            // harmless error; a busy one returns Ok(None) and waits
+            // for the next interval.
+            let _ = shared.sessions.try_scrub_session(&name);
+        }
+    }
 }
 
 fn worker_loop(shared: &Shared) {
@@ -287,6 +332,7 @@ fn handle_request(
         Request::Stats => {
             let (turns, hits, misses) = sessions.stats();
             let icap = sessions.icap_totals();
+            let scrub = sessions.scrub_stats();
             Reply::ok(meta)
                 .num("sessions", sessions.n_sessions() as f64)
                 .num("turns", turns as f64)
@@ -296,6 +342,41 @@ fn handle_request(
                 .num("icap_retries", icap.retries as f64)
                 .num("icap_degradations", icap.degradations as f64)
                 .num("icap_rollbacks", icap.rollbacks as f64)
+                .num("scrub_passes", scrub.passes as f64)
+                .num("scrub_upsets_detected", scrub.upsets_detected as f64)
+                .num("scrub_bits_upset", scrub.bits_upset as f64)
+                .num("scrub_repairs", scrub.repairs as f64)
+                .num("scrub_quarantined", scrub.quarantined as f64)
+                .num("seu_bits_injected", scrub.seu_bits_injected as f64)
+        }
+        Request::Health { session } => {
+            let h = sessions.health(&session)?;
+            Reply::ok(meta)
+                .str("session", session)
+                .str("verdict", h.verdict.as_str())
+                .num("scrubs", h.scrubs as f64)
+                .num("upsets_detected", h.upsets_detected as f64)
+                .num("bits_upset", h.bits_upset as f64)
+                .num("frames_repaired", h.frames_repaired as f64)
+                .num("quarantined", h.quarantine.len() as f64)
+                .str(
+                    "quarantine",
+                    h.quarantine.iter().map(|f| f.to_string()).collect::<Vec<_>>().join(","),
+                )
+                .bool("needs_resync", h.needs_resync)
+                .num("turns", h.turns as f64)
+        }
+        Request::Scrub { session } => {
+            let r = sessions.scrub_session(&session)?;
+            Reply::ok(meta)
+                .str("session", session)
+                .num("frames_checked", r.frames_checked as f64)
+                .num("upset_frames", r.upset_frames as f64)
+                .num("upset_bits", r.upset_bits as f64)
+                .num("repaired_frames", r.repaired_frames as f64)
+                .num("failed_frames", r.failed_frames as f64)
+                .num("quarantined_frames", r.quarantined_frames as f64)
+                .num("scrub_us", r.scrub_time.as_secs_f64() * 1e6)
         }
         Request::Shutdown => {
             if !shared.cfg.allow_remote_shutdown {

@@ -17,17 +17,30 @@
 //! only residue of a rollback is `needs_resync`, which makes the next
 //! commit rewrite every frame because configuration memory is no
 //! longer trusted.
+//!
+//! Each session is guarded by its **own** mutex (the table only maps
+//! names to `Arc<Mutex<SessionState>>`), so a long commit in one
+//! session never blocks another — and the background scrubber can
+//! `try_lock` a session and *skip* it when a select is in flight
+//! instead of racing the commit (see [`SessionManager::try_scrub_session`]).
+//!
+//! Between turns a session's device is not assumed bit-perfect: every
+//! select first ticks the channel (where an emulated fabric takes its
+//! SEUs), and scrub passes diff readback against the PConf golden
+//! oracle, repairing or quarantining divergent frames
+//! ([`SessionManager::scrub_session`], surfaced by the `health` verb).
 
 use crate::lru::LruCache;
 use crate::protocol::param_bits_string;
 use pfdbg_arch::{Bitstream, BitstreamLayout, IcapModel};
 use pfdbg_core::Instrumented;
-use pfdbg_emu::{FaultyIcap, IcapFaultConfig};
+use pfdbg_emu::{FaultyIcap, IcapFaultConfig, SeuConfig, SeuIcap};
 use pfdbg_pconf::icap::{commit_frames, readback_all, CommitPolicy, IcapChannel, MemoryIcap};
+use pfdbg_pconf::scrub::{ScrubHealth, ScrubPolicy, ScrubReport, Scrubber};
 use pfdbg_pconf::Scg;
 use pfdbg_util::{BitVec, FxHashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, TryLockError};
 use std::time::{Duration, Instant};
 
 /// The shared compiled design a server instance runs against.
@@ -55,16 +68,22 @@ impl Engine {
 }
 
 /// One client session: the parameters it last selected, the
-/// configuration currently loaded on its (modeled) device, and the
-/// channel those frames travel over.
+/// configuration currently loaded on its (modeled) device, the channel
+/// those frames travel over, and the scrubber that keeps the device
+/// honest between turns.
 struct SessionState {
     params: BitVec,
     bits: Bitstream,
     turns: usize,
     channel: Box<dyn IcapChannel>,
-    /// A previous turn rolled back; the next commit rewrites every
-    /// frame because configuration memory is untrusted.
+    /// A previous turn rolled back (or a scrub quarantined a frame);
+    /// the next commit rewrites every frame because configuration
+    /// memory is untrusted.
     needs_resync: bool,
+    scrubber: Scrubber,
+    /// Per-session commit policy (the jitter seed is salted with the
+    /// session name so concurrent sessions never retry in lockstep).
+    policy: CommitPolicy,
 }
 
 /// The result of one specialization turn.
@@ -105,20 +124,68 @@ pub struct IcapTotals {
     pub rollbacks: u64,
 }
 
+/// Running totals of the scrubbing machinery, served by `stats` and
+/// `BENCH_serve.json`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScrubStats {
+    /// Scrub passes completed across all sessions.
+    pub passes: u64,
+    /// Divergent (upset) frames detected.
+    pub upsets_detected: u64,
+    /// Divergent bits detected.
+    pub bits_upset: u64,
+    /// Frames repaired back to the golden oracle.
+    pub repairs: u64,
+    /// Frames quarantined as stuck.
+    pub quarantined: u64,
+    /// Configuration bits the emulated fabric flipped via injected
+    /// SEUs (0 on a reliable device).
+    pub seu_bits_injected: u64,
+}
+
+/// One session's scrub status, served by the `health` verb.
+#[derive(Debug, Clone)]
+pub struct HealthReport {
+    /// Clean, or degraded because frames are quarantined.
+    pub verdict: ScrubHealth,
+    /// Scrub passes run on this session.
+    pub scrubs: u64,
+    /// Upset frames detected over the session's lifetime.
+    pub upsets_detected: u64,
+    /// Upset bits detected over the session's lifetime.
+    pub bits_upset: u64,
+    /// Frames repaired back to golden.
+    pub frames_repaired: u64,
+    /// Quarantined frame indices (ascending).
+    pub quarantine: Vec<usize>,
+    /// Whether the next commit will rewrite the whole device.
+    pub needs_resync: bool,
+    /// Turns served so far.
+    pub turns: usize,
+}
+
 /// Manages the session table and the shared specialization cache.
 pub struct SessionManager {
     engine: Arc<Engine>,
-    sessions: Mutex<FxHashMap<String, SessionState>>,
+    sessions: Mutex<FxHashMap<String, Arc<Mutex<SessionState>>>>,
     cache: Mutex<LruCache<String, Arc<Bitstream>>>,
     turns_total: Mutex<u64>,
     fault: Option<IcapFaultConfig>,
+    seu: Option<SeuConfig>,
     policy: CommitPolicy,
+    scrub_policy: ScrubPolicy,
     /// Frames containing at least one tunable bit — the escalation set
     /// of the full-frame-rewrite level, shared by every session.
     region_frames: Vec<usize>,
     icap_retries: AtomicU64,
     icap_degradations: AtomicU64,
     icap_rollbacks: AtomicU64,
+    scrub_passes: AtomicU64,
+    scrub_upsets: AtomicU64,
+    scrub_bits_upset: AtomicU64,
+    scrub_repairs: AtomicU64,
+    scrub_quarantined: AtomicU64,
+    seu_bits_injected: AtomicU64,
 }
 
 impl SessionManager {
@@ -138,6 +205,24 @@ impl SessionManager {
         fault: Option<IcapFaultConfig>,
         policy: CommitPolicy,
     ) -> SessionManager {
+        Self::with_chaos_scrub(engine, cache_capacity, fault, policy, None, ScrubPolicy::default())
+    }
+
+    /// The full chaos constructor: transport faults on the write path
+    /// (`fault`), single-event upsets striking each session's
+    /// configuration memory between turns (`seu`), and the scrub
+    /// policy sessions repair themselves under. SEU injection is never
+    /// read from the environment here — callers (CLI, bench, tests)
+    /// decide, so a stray `PFDBG_SEU_RATE` cannot silently corrupt a
+    /// manager built for reliable devices.
+    pub fn with_chaos_scrub(
+        engine: Arc<Engine>,
+        cache_capacity: usize,
+        fault: Option<IcapFaultConfig>,
+        policy: CommitPolicy,
+        seu: Option<SeuConfig>,
+        scrub_policy: ScrubPolicy,
+    ) -> SessionManager {
         let mut region_frames: Vec<usize> = engine
             .scg
             .generalized()
@@ -153,11 +238,19 @@ impl SessionManager {
             cache: Mutex::new(LruCache::new(cache_capacity)),
             turns_total: Mutex::new(0),
             fault,
+            seu,
             policy,
+            scrub_policy,
             region_frames,
             icap_retries: AtomicU64::new(0),
             icap_degradations: AtomicU64::new(0),
             icap_rollbacks: AtomicU64::new(0),
+            scrub_passes: AtomicU64::new(0),
+            scrub_upsets: AtomicU64::new(0),
+            scrub_bits_upset: AtomicU64::new(0),
+            scrub_repairs: AtomicU64::new(0),
+            scrub_quarantined: AtomicU64::new(0),
+            seu_bits_injected: AtomicU64::new(0),
         }
     }
 
@@ -169,6 +262,13 @@ impl SessionManager {
     /// Active session count.
     pub fn n_sessions(&self) -> usize {
         self.sessions.lock().expect("session table").len()
+    }
+
+    /// Names of the active sessions — the background scrubber's work
+    /// list. A snapshot: sessions may open or close afterwards, and
+    /// scrubbing a vanished name is a harmless error.
+    pub fn session_names(&self) -> Vec<String> {
+        self.sessions.lock().expect("session table").keys().cloned().collect()
     }
 
     /// Total turns served plus the cache's `(hits, misses)`.
@@ -187,6 +287,18 @@ impl SessionManager {
         }
     }
 
+    /// Running scrub/SEU totals across all sessions.
+    pub fn scrub_stats(&self) -> ScrubStats {
+        ScrubStats {
+            passes: self.scrub_passes.load(Ordering::Relaxed),
+            upsets_detected: self.scrub_upsets.load(Ordering::Relaxed),
+            bits_upset: self.scrub_bits_upset.load(Ordering::Relaxed),
+            repairs: self.scrub_repairs.load(Ordering::Relaxed),
+            quarantined: self.scrub_quarantined.load(Ordering::Relaxed),
+            seu_bits_injected: self.seu_bits_injected.load(Ordering::Relaxed),
+        }
+    }
+
     /// Create a session; starts at the base configuration (params = 0),
     /// exactly like [`pfdbg_pconf::OnlineReconfigurator::new`].
     pub fn open(&self, name: &str) -> Result<usize, String> {
@@ -197,22 +309,40 @@ impl SessionManager {
         let n = self.engine.n_params();
         let base = self.engine.scg.generalized().base.clone();
         let mem = MemoryIcap::new(base.clone(), self.engine.layout.frame_bits);
-        let channel: Box<dyn IcapChannel> = match self.fault {
-            Some(cfg) => Box::new(FaultyIcap::new(
-                mem,
-                IcapFaultConfig { seed: session_seed(cfg.seed, name), ..cfg },
+        // SEUs strike the device model itself; transport faults wrap
+        // outside, so both injectors run together yet independently —
+        // each with a per-session seed derived from its configured one.
+        let seu = self.seu.map(|cfg| SeuConfig { seed: session_seed(cfg.seed, name), ..cfg });
+        let channel: Box<dyn IcapChannel> = match (seu, self.fault) {
+            (Some(s), Some(f)) => Box::new(FaultyIcap::new(
+                SeuIcap::new(mem, s),
+                IcapFaultConfig { seed: session_seed(f.seed, name), ..f },
             )),
-            None => Box::new(mem),
+            (Some(s), None) => Box::new(SeuIcap::new(mem, s)),
+            (None, Some(f)) => Box::new(FaultyIcap::new(
+                mem,
+                IcapFaultConfig { seed: session_seed(f.seed, name), ..f },
+            )),
+            (None, None) => Box::new(mem),
+        };
+        // Decorrelate the retry jitter per session too — the whole
+        // point of the jittered backoff is that concurrent sessions do
+        // not hammer a stalling port in lockstep.
+        let policy = CommitPolicy {
+            jitter_seed: session_seed(self.policy.jitter_seed, name),
+            ..self.policy
         };
         table.insert(
             name.to_string(),
-            SessionState {
+            Arc::new(Mutex::new(SessionState {
                 params: BitVec::zeros(n),
                 bits: base,
                 turns: 0,
                 channel,
                 needs_resync: false,
-            },
+                scrubber: Scrubber::new(self.scrub_policy),
+                policy,
+            })),
         );
         pfdbg_obs::counter_add("serve.sessions_opened", 1);
         Ok(n)
@@ -224,31 +354,58 @@ impl SessionManager {
         table.remove(name).map(|_| ()).ok_or_else(|| format!("no such session {name:?}"))
     }
 
+    /// The session's own lock, cloned out of the table so callers never
+    /// hold the table lock while working on one session.
+    fn session_arc(&self, name: &str) -> Result<Arc<Mutex<SessionState>>, String> {
+        self.sessions
+            .lock()
+            .expect("session table")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| format!("no such session {name:?}"))
+    }
+
     /// Read a session's device configuration memory back through its
     /// channel — the ground truth the committed state must match.
     pub fn readback(&self, session: &str) -> Result<Bitstream, String> {
-        let table = self.sessions.lock().expect("session table");
-        let state = table.get(session).ok_or_else(|| format!("no such session {session:?}"))?;
+        let arc = self.session_arc(session)?;
+        let state = arc.lock().expect("session");
         Ok(readback_all(state.channel.as_ref()))
     }
 
     /// A session's `(params, turns, needs_resync)` — the state the
     /// transactional-turn tests pin down.
     pub fn session_state(&self, session: &str) -> Result<(BitVec, usize, bool), String> {
-        let table = self.sessions.lock().expect("session table");
-        let state = table.get(session).ok_or_else(|| format!("no such session {session:?}"))?;
+        let arc = self.session_arc(session)?;
+        let state = arc.lock().expect("session");
         Ok((state.params.clone(), state.turns, state.needs_resync))
+    }
+
+    /// A session's scrub status — the `health` verb's payload.
+    pub fn health(&self, session: &str) -> Result<HealthReport, String> {
+        let arc = self.session_arc(session)?;
+        let state = arc.lock().expect("session");
+        let totals = state.scrubber.totals();
+        Ok(HealthReport {
+            verdict: state.scrubber.health(),
+            scrubs: totals.passes,
+            upsets_detected: totals.upset_frames,
+            bits_upset: totals.upset_bits,
+            frames_repaired: totals.repaired_frames,
+            quarantine: state.scrubber.quarantined().iter().copied().collect(),
+            needs_resync: state.needs_resync,
+            turns: state.turns,
+        })
     }
 
     /// Map a signal selection to a parameter vector against the current
     /// session parameters (each selected signal claims one free trace
     /// port; unrelated ports keep their previous selection).
     pub fn plan(&self, session: &str, signals: &[String]) -> Result<BitVec, String> {
-        let table = self.sessions.lock().expect("session table");
-        let state = table.get(session).ok_or_else(|| format!("no such session {session:?}"))?;
+        let arc = self.session_arc(session)?;
+        let mut params = arc.lock().expect("session").params.clone();
         let inst = &self.engine.inst;
         let mut used = vec![false; inst.ports.len()];
-        let mut params = state.params.clone();
         for sig in signals {
             let found = inst.ports.iter().enumerate().find_map(|(p, port)| {
                 if used[p] {
@@ -297,9 +454,7 @@ impl SessionManager {
         let _s = pfdbg_obs::span("serve.select");
         let t0 = Instant::now();
         let engine = &self.engine;
-        if !self.sessions.lock().expect("session table").contains_key(session) {
-            return Err(format!("no such session {session:?}"));
-        }
+        let arc = self.session_arc(session)?;
         if params.len() != engine.n_params() {
             return Err(format!(
                 "parameter count mismatch: got {}, design has {}",
@@ -307,24 +462,31 @@ impl SessionManager {
                 engine.n_params()
             ));
         }
-        let key = param_bits_string(params);
+        // The session's own lock serializes this turn against the
+        // background scrubber and any concurrent client sharing the
+        // session; other sessions proceed untouched.
+        let mut guard = arc.lock().expect("session");
+        let state = &mut *guard;
 
+        // Between-turn time passes before the turn touches the device:
+        // the emulated fabric takes its SEUs now (no-op on a reliable
+        // channel). Upsets in frames this turn does not write persist
+        // until a scrub pass catches them.
+        let flipped = state.channel.tick();
+        if flipped > 0 {
+            self.seu_bits_injected.fetch_add(flipped as u64, Ordering::Relaxed);
+        }
+
+        let key = param_bits_string(params);
         let cached = self.cache.lock().expect("cache").get(&key).cloned();
         let (new_bits, cache_hit) = match cached {
             Some(bits) => (bits, true),
             None => {
                 // Miss: incremental specialization from this session's
-                // current state. Copy the state out first — BDD
-                // evaluation must not run under the session-table lock.
-                // Publication to the shared LRU waits until the commit
-                // verifies: an aborted turn must leave no trace.
-                let (prev_params, prev_bits) = {
-                    let table = self.sessions.lock().expect("session table");
-                    let state =
-                        table.get(session).ok_or_else(|| format!("no such session {session:?}"))?;
-                    (state.params.clone(), state.bits.clone())
-                };
-                let bits = engine.scg.specialize_from(&prev_params, &prev_bits, params)?;
+                // current state. Publication to the shared LRU waits
+                // until the commit verifies: an aborted turn must leave
+                // no trace.
+                let bits = engine.scg.specialize_from(&state.params, &state.bits, params)?;
                 (Arc::new(bits), false)
             }
         };
@@ -332,8 +494,6 @@ impl SessionManager {
 
         // Diff against the session's loaded configuration: only tunable
         // addresses can differ between two specializations.
-        let mut table = self.sessions.lock().expect("session table");
-        let state = table.get_mut(session).ok_or_else(|| format!("no such session {session:?}"))?;
         let mut frames: Vec<usize> = Vec::new();
         let mut bits_changed = 0usize;
         for &(addr, _) in &engine.scg.generalized().tunable {
@@ -371,7 +531,7 @@ impl SessionManager {
             &new_bits,
             &write_set,
             &self.region_frames,
-            &self.policy,
+            &state.policy,
         ) {
             Ok(commit) => {
                 state.bits = (*new_bits).clone();
@@ -379,7 +539,7 @@ impl SessionManager {
                 state.needs_resync = false;
                 state.turns += 1;
                 let turn = state.turns - 1;
-                drop(table);
+                drop(guard);
                 if !cache_hit {
                     self.cache.lock().expect("cache").put(key, new_bits.clone());
                 }
@@ -402,7 +562,7 @@ impl SessionManager {
             }
             Err((commit, msg)) => {
                 state.needs_resync = true;
-                drop(table);
+                drop(guard);
                 self.icap_retries.fetch_add(commit.retries as u64, Ordering::Relaxed);
                 self.icap_degradations.fetch_add(commit.degradations as u64, Ordering::Relaxed);
                 self.icap_rollbacks.fetch_add(1, Ordering::Relaxed);
@@ -410,6 +570,65 @@ impl SessionManager {
                 Err(format!("reconfiguration rolled back: {msg}"))
             }
         }
+    }
+
+    /// One scrub pass for `session` against the PConf-evaluated golden
+    /// frames for its current parameter vector. Blocks until the
+    /// session is free (its lock serializes scrubs against selects);
+    /// the background thread uses [`SessionManager::try_scrub_session`]
+    /// instead so it pauses rather than queueing behind a busy session.
+    pub fn scrub_session(&self, session: &str) -> Result<ScrubReport, String> {
+        let arc = self.session_arc(session)?;
+        let mut guard = arc.lock().expect("session");
+        self.scrub_locked(&mut guard)
+    }
+
+    /// Non-blocking [`SessionManager::scrub_session`]: `Ok(None)` when
+    /// the session is busy with an in-flight select — the scrub is
+    /// skipped, never raced. The next interval catches up.
+    pub fn try_scrub_session(&self, session: &str) -> Result<Option<ScrubReport>, String> {
+        let arc = self.session_arc(session)?;
+        let outcome = match arc.try_lock() {
+            Ok(mut guard) => Ok(Some(self.scrub_locked(&mut guard)?)),
+            Err(TryLockError::WouldBlock) => {
+                pfdbg_obs::counter_add("scrub.skipped_busy", 1);
+                Ok(None)
+            }
+            Err(TryLockError::Poisoned(_)) => Err("session lock poisoned".into()),
+        };
+        outcome
+    }
+
+    fn scrub_locked(&self, state: &mut SessionState) -> Result<ScrubReport, String> {
+        let _s = pfdbg_obs::span("serve.scrub");
+        let t0 = Instant::now();
+        let engine = &self.engine;
+        // Destructure so the scrubber and the channel borrow disjoint
+        // fields of the same guarded state.
+        let SessionState { scrubber, channel, params, needs_resync, .. } = state;
+        let report =
+            scrubber.scrub_with_scg(channel.as_mut(), &engine.icap, &engine.scg, params)?;
+        if report.repaired_frames > 0 {
+            // A repair rewrote device frames behind the cached
+            // specialization's back: drop the entry for this vector so
+            // the next select re-verifies through a fresh specialize
+            // instead of trusting it.
+            self.cache.lock().expect("cache").remove(&param_bits_string(params));
+        }
+        if report.quarantined_frames > 0 {
+            // A frame refuses to heal: stop trusting the device. The
+            // next commit rewrites everything (and will keep failing on
+            // a truly stuck frame — degraded, loudly, rather than
+            // serving corrupt trace data).
+            *needs_resync = true;
+        }
+        self.scrub_passes.fetch_add(1, Ordering::Relaxed);
+        self.scrub_upsets.fetch_add(report.upset_frames as u64, Ordering::Relaxed);
+        self.scrub_bits_upset.fetch_add(report.upset_bits as u64, Ordering::Relaxed);
+        self.scrub_repairs.fetch_add(report.repaired_frames as u64, Ordering::Relaxed);
+        self.scrub_quarantined.fetch_add(report.quarantined_frames as u64, Ordering::Relaxed);
+        pfdbg_obs::gauge_set("serve.scrub_ms_last", t0.elapsed().as_secs_f64() * 1e3);
+        Ok(report)
     }
 }
 

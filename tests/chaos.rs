@@ -12,8 +12,8 @@
 //! pass sets 0.05 across this whole suite).
 
 use pfdbg_core::{offline, prepare_instrumented, DebugSession, OfflineConfig, OfflineResult};
-use pfdbg_emu::IcapFaultConfig;
-use pfdbg_pconf::{CommitPolicy, OnlineReconfigurator};
+use pfdbg_emu::{IcapFaultConfig, SeuConfig};
+use pfdbg_pconf::{CommitPolicy, OnlineReconfigurator, ScrubPolicy, Scrubber};
 use pfdbg_util::BitVec;
 
 fn compiled() -> (pfdbg_core::Instrumented, OfflineResult) {
@@ -162,6 +162,65 @@ fn debug_session_observe_is_transactional() {
     let mut session2 = DebugSession::new(inst2, Some(online2));
     session2.observe(&dut2, &[&signal2], 8, 1, &[]).expect("reliable turn");
     assert_eq!(session2.turns().len(), 1);
+}
+
+#[test]
+fn combined_write_faults_and_seus_keep_trace_windows_golden() {
+    // Both adversaries at once: transport faults harass commit writes
+    // while SEUs corrupt configuration memory between turns. Defaults
+    // sweep a modest combined rate; PFDBG_ICAP_FAULT_RATE and
+    // PFDBG_SEU_RATE (the check.sh combined-chaos pass) override.
+    let fault =
+        IcapFaultConfig::from_env().unwrap_or_else(|| IcapFaultConfig::uniform(0.05, 0xFA11));
+    let seu = SeuConfig::from_env().unwrap_or(SeuConfig { rate: 0.02, burst: 2, seed: 0x5E0D });
+    let (inst, off) = compiled();
+    let online =
+        off.into_online_with(Some(fault), CommitPolicy::default(), Some(seu)).expect("scg");
+    let dut = inst.network.clone();
+    let signals: Vec<String> =
+        inst.ports.iter().flat_map(|p| p.signals.iter().rev().take(2).cloned()).collect();
+    let mut session = DebugSession::new(inst, Some(online));
+    let mut scrubber = Scrubber::new(ScrubPolicy::default());
+
+    let mut observed = 0usize;
+    for (i, sig) in signals.iter().enumerate() {
+        // Time passes between turns: the fabric takes its upsets first.
+        session.online_mut().expect("online").tick();
+        match session.observe(&dut, &[sig.as_str()], 12, 40 + i as u64, &[]) {
+            Ok(wf) => {
+                observed += 1;
+                // Every served trace window must match the fault-free
+                // golden emulator bit for bit.
+                let gold = pfdbg_emu::golden_waveform(&dut, &[sig.as_str()], 12, 40 + i as u64)
+                    .expect("golden sim");
+                assert_eq!(wf.series(sig), gold.series(sig), "turn {i}: trace diverged");
+            }
+            Err(msg) => assert!(msg.contains("rolled back"), "unexpected failure: {msg}"),
+        }
+        // A scrub pass between turns repairs whatever the upsets broke
+        // (transport faults can make a repair fail — that is what the
+        // fail streak and the next pass are for).
+        let online = session.online_mut().expect("online");
+        let _ = online.scrub(&mut scrubber).expect("scrub evaluates golden frames");
+    }
+    assert!(observed > 0, "no turn ever committed under combined chaos");
+
+    // Converge the scrubber (a few percent of repair writes fail per
+    // pass), then nothing may diverge from the golden oracle without
+    // being quarantined — and nothing should be quarantined.
+    let online = session.online_mut().expect("online");
+    for _ in 0..8 {
+        let r = online.scrub(&mut scrubber).expect("scrub");
+        if r.failed_frames == 0 && r.quarantined_frames == 0 {
+            break;
+        }
+    }
+    assert!(scrubber.quarantined().is_empty(), "light chaos must not quarantine");
+    assert_eq!(
+        online.undetected_divergence(&scrubber),
+        Vec::<usize>::new(),
+        "no injected upset may survive undetected"
+    );
 }
 
 #[test]
