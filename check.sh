@@ -56,13 +56,72 @@ done
 [ -s "$SMOKE_DIR/port" ] || { echo "serve never published its port"; cat "$SMOKE_DIR/serve.log"; exit 1; }
 PORT=$(cat "$SMOKE_DIR/port")
 ./target/debug/serve_load --addr "127.0.0.1:$PORT" --threads 8 --requests 10 \
-    --out "$SMOKE_DIR/BENCH_serve.json" --shutdown
-wait "$SERVE_PID"
+    --out "$SMOKE_DIR/BENCH_serve.json"
 [ -s "$SMOKE_DIR/BENCH_serve.json" ] || { echo "BENCH_serve.json is empty"; exit 1; }
 grep -q '"failures":0' "$SMOKE_DIR/BENCH_serve.json" || { echo "serve smoke saw failed requests"; exit 1; }
 # Presence only, not a value: scrub pass counts are timing-dependent.
 grep -q '"scrub_passes"' "$SMOKE_DIR/BENCH_serve.json" || { echo "scrub counters missing from bench report"; exit 1; }
+# The load report must carry the bucketized latency distribution (tail
+# percentile and non-empty bucket string) plus the server-side
+# specialize percentiles from the always-on histogram.
+grep -q '"hist_p999_ms"' "$SMOKE_DIR/BENCH_serve.json" || { echo "latency histogram p999 missing"; exit 1; }
+grep -q '"hist_buckets":"[0-9]' "$SMOKE_DIR/BENCH_serve.json" || { echo "latency histogram buckets missing"; exit 1; }
+grep -q '"specialize_p99_us"' "$SMOKE_DIR/BENCH_serve.json" || { echo "server specialize p99 missing"; exit 1; }
+
+# Fleet telemetry verbs against the live server: the metrics registry
+# must expose the specialize histogram and SLO burn, a session's flight
+# recorder must replay its turns, and `pfdbg top` must render a frame.
+OPEN=$(./target/debug/pfdbg client "127.0.0.1:$PORT" --request '{"op":"open","session":"smoke"}')
+N=$(echo "$OPEN" | sed -n 's/.*"n_params":\([0-9]*\).*/\1/p')
+[ -n "$N" ] || { echo "open reply lacks n_params: $OPEN"; exit 1; }
+./target/debug/pfdbg client "127.0.0.1:$PORT" \
+    --request "{\"op\":\"select\",\"session\":\"smoke\",\"params\":\"$(printf "%0${N}d" 0)\"}" >/dev/null
+METRICS=$(./target/debug/pfdbg client "127.0.0.1:$PORT" --request '{"op":"metrics"}')
+echo "$METRICS" | grep -q 'scg.specialize_us' || { echo "metrics verb lacks the specialize histogram"; exit 1; }
+echo "$METRICS" | grep -q 'slo.specialize_us' || { echo "metrics verb lacks SLO burn lines"; exit 1; }
+echo "$METRICS" | grep -qF '\"busy\":false' || { echo "metrics verb lacks per-session rows"; exit 1; }
+./target/debug/pfdbg client "127.0.0.1:$PORT" --request '{"op":"dump","session":"smoke"}' \
+    | grep -q 'turn_start' || { echo "flight dump lacks the recorded turn"; exit 1; }
+./target/debug/pfdbg top "127.0.0.1:$PORT" --iters 1 --no-clear \
+    | grep -q '^SESSION' || { echo "pfdbg top rendered no session table"; exit 1; }
+./target/debug/pfdbg client "127.0.0.1:$PORT" --shutdown >/dev/null
+wait "$SERVE_PID"
 cp "$SMOKE_DIR/BENCH_serve.json" BENCH_serve.json
 echo "serve smoke ok: $(cat BENCH_serve.json)"
+
+echo "== flight-recorder quarantine smoke =="
+# A server with a dead write path (every repair fails) under full SEU
+# bombardment: the background scrubber must quarantine stuck frames and
+# leave an automatic flight-recorder dump whose events end in the
+# quarantine verdict, retrievable via the session-less `dump` verb.
+./target/debug/pfdbg serve @stereov. --store-dir "$SMOKE_DIR/store" \
+    --icap-fault-rate 1.0 --max-retries 0 --seu-rate 1.0 --scrub-interval 20 \
+    --port-file "$SMOKE_DIR/qport" >"$SMOKE_DIR/qserve.log" 2>&1 &
+QSERVE_PID=$!
+for _ in $(seq 100); do
+    [ -s "$SMOKE_DIR/qport" ] && break
+    sleep 0.1
+done
+[ -s "$SMOKE_DIR/qport" ] || { echo "chaos serve never published its port"; cat "$SMOKE_DIR/qserve.log"; exit 1; }
+QPORT=$(cat "$SMOKE_DIR/qport")
+QOPEN=$(./target/debug/pfdbg client "127.0.0.1:$QPORT" --request '{"op":"open","session":"doomed"}')
+QN=$(echo "$QOPEN" | sed -n 's/.*"n_params":\([0-9]*\).*/\1/p')
+ZEROS=$(printf "%0${QN}d" 0)
+DUMP=""
+for _ in $(seq 100); do
+    # The all-zeros select commits trivially over the dead port but
+    # ticks the SEU channel, keeping upsets landing between scrub passes.
+    ./target/debug/pfdbg client "127.0.0.1:$QPORT" \
+        --request "{\"op\":\"select\",\"session\":\"doomed\",\"params\":\"$ZEROS\"}" >/dev/null 2>&1 || true
+    DUMP=$(./target/debug/pfdbg client "127.0.0.1:$QPORT" --request '{"op":"dump"}' 2>/dev/null || true)
+    echo "$DUMP" | grep -q '"ok":true' && break
+    sleep 0.1
+done
+echo "$DUMP" | grep -q '"source":"auto"' || { echo "no automatic flight dump after quarantine"; cat "$SMOKE_DIR/qserve.log"; exit 1; }
+echo "$DUMP" | grep -q 'quarantine' || { echo "flight dump lacks the quarantine event: $DUMP"; exit 1; }
+echo "$DUMP" | grep -q 'scrub_pass' || { echo "flight dump lacks the scrub passes: $DUMP"; exit 1; }
+./target/debug/pfdbg client "127.0.0.1:$QPORT" --shutdown >/dev/null || true
+wait "$QSERVE_PID" || true
+echo "quarantine smoke ok"
 
 echo "all checks passed"

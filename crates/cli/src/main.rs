@@ -132,6 +132,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "scrub" => cmd_scrub(rest),
         "serve" => cmd_serve(rest),
         "client" => cmd_client(rest),
+        "top" => cmd_top(rest),
         "bench-list" => {
             for name in pfdbg_circuits::names() {
                 let row = pfdbg_circuits::paper_row(name).expect("known");
@@ -169,6 +170,7 @@ fn print_usage() {
          \x20                  [--icap-fault-rate R] [--icap-seed S] [--max-retries N]\n\
          \x20                  [--scrub-interval MS] [--seu-rate R] [--seu-seed S] [--seu-burst B]\n\
          \x20 pfdbg client     <host:port> [--request '<json>'] [--shutdown]\n\
+         \x20 pfdbg top        <host:port> [--interval MS] [--iters N] [--no-clear]\n\
          \x20 pfdbg bench-list\n\
          \n\
          global flags: --profile (span report on exit), --trace-out <f.jsonl>,\n\
@@ -806,5 +808,154 @@ fn cmd_client(rest: &[String]) -> Result<(), String> {
         Ok(())
     } else {
         Err("server replied with an error".into())
+    }
+}
+
+/// `pfdbg top` — a live fleet dashboard over the `metrics` verb: polls
+/// the server, parses the embedded registry JSONL, and renders fleet
+/// counters, latency percentiles, SLO burn, and a per-session table
+/// (with turns/s derived from successive polls). `--iters N` bounds the
+/// number of refreshes (for scripts); `--no-clear` appends frames
+/// instead of redrawing in place.
+fn cmd_top(rest: &[String]) -> Result<(), String> {
+    use std::collections::BTreeMap;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    let addr = rest
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("expected a server address (host:port)")?;
+    let interval_ms = flag_f64(rest, "--interval", 1000.0)?;
+    let iters = flag_usize(rest, "--iters", 0)?;
+    let clear = !rest.iter().any(|a| a == "--no-clear");
+
+    let stream = TcpStream::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+    let _ = stream.set_nodelay(true);
+    let mut writer = stream.try_clone().map_err(|e| format!("{addr}: {e}"))?;
+    let mut reader = BufReader::new(stream);
+
+    // Previous poll's per-session turn counters, for turns/s.
+    let mut prev: Option<(std::time::Instant, BTreeMap<String, f64>)> = None;
+    let mut round = 0usize;
+    loop {
+        writer
+            .write_all(b"{\"op\":\"metrics\"}\n")
+            .and_then(|()| writer.flush())
+            .map_err(|e| format!("send: {e}"))?;
+        let mut reply = String::new();
+        reader.read_line(&mut reply).map_err(|e| format!("recv: {e}"))?;
+        if reply.is_empty() {
+            return Err("server closed the connection".into());
+        }
+        let events = pfdbg_obs::parse_jsonl(&reply).map_err(|e| format!("bad reply: {e}"))?;
+        let ev = events.first().ok_or("empty reply")?;
+        if ev.fields.get("ok") != Some(&pfdbg_obs::jsonl::JsonValue::Bool(true)) {
+            return Err(format!("server error: {}", ev.str("error").unwrap_or("unknown")));
+        }
+        let body = ev.str("metrics").ok_or("reply lacks a metrics field")?;
+        let registry = pfdbg_obs::parse_jsonl(body).map_err(|e| format!("bad registry: {e}"))?;
+        let now = std::time::Instant::now();
+        let elapsed =
+            prev.as_ref().map(|(t0, counts)| (now.duration_since(*t0).as_secs_f64(), counts));
+        render_top(addr, &registry, elapsed, clear);
+
+        let mut counts = BTreeMap::new();
+        for e in &registry {
+            if e.kind() == "session" {
+                if let (Some(name), Some(turns)) = (e.str("name"), e.num("turns")) {
+                    counts.insert(name.to_string(), turns);
+                }
+            }
+        }
+        prev = Some((now, counts));
+        round += 1;
+        if iters != 0 && round >= iters {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_secs_f64((interval_ms / 1e3).max(0.0)));
+    }
+}
+
+/// One `pfdbg top` frame from a parsed registry snapshot.
+fn render_top(
+    addr: &str,
+    registry: &[pfdbg_obs::jsonl::Event],
+    prev: Option<(f64, &std::collections::BTreeMap<String, f64>)>,
+    clear: bool,
+) {
+    let find = |kind: &str, name: &str| {
+        registry.iter().find(|e| e.kind() == kind && e.str("name") == Some(name))
+    };
+    let counter = |name: &str| find("counter", name).and_then(|e| e.num("value")).unwrap_or(0.0);
+    let p99 = |name: &str| find("hist", name).and_then(|e| e.num("p99_us")).unwrap_or(0.0);
+    let slo = |name: &str| {
+        find("slo", name)
+            .map_or((0.0, 0.0), |e| (e.num("burned").unwrap_or(0.0), e.num("total").unwrap_or(0.0)))
+    };
+
+    if clear {
+        print!("\x1b[2J\x1b[H");
+    }
+    let sessions: Vec<_> = registry.iter().filter(|e| e.kind() == "session").collect();
+    println!("pfdbg top — {addr} ({} sessions)", sessions.len());
+    let hits = counter("serve.cache_hits");
+    let misses = counter("serve.cache_misses");
+    let hit_pct = if hits + misses > 0.0 { 100.0 * hits / (hits + misses) } else { 0.0 };
+    println!(
+        "fleet  {:>8} req  {:>8} turns  cache {hit_pct:5.1}%  retries {}  rollbacks {}",
+        counter("serve.requests"),
+        counter("serve.turns"),
+        counter("serve.retries"),
+        counter("serve.rollbacks"),
+    );
+    println!(
+        "lat    specialize p99 {:9.1} µs  turn p99 {:9.1} µs  request p99 {:9.1} µs",
+        p99("scg.specialize_us"),
+        p99("serve.turn_us"),
+        p99("serve.request_us"),
+    );
+    let (sb, st) = slo("slo.specialize_us");
+    let (tb, tt) = slo("slo.turn_us");
+    let (cb, ct) = slo("slo.scrub_interval_us");
+    println!(
+        "slo    specialize {sb:.0}/{st:.0} burned  turn {tb:.0}/{tt:.0}  scrub {cb:.0}/{ct:.0}"
+    );
+    println!(
+        "scrub  {} passes  {} frames repaired  {} quarantined",
+        counter("scrub.passes"),
+        counter("scrub.repaired_frames"),
+        counter("scrub.quarantined_frames"),
+    );
+    println!();
+    println!(
+        "{:<16} {:>8} {:>8} {:<10} {:>6} {:>7} {:>6} {:>7}",
+        "SESSION", "TURNS", "TURNS/S", "HEALTH", "RESYNC", "SCRUBS", "QUAR", "EVENTS"
+    );
+    for s in &sessions {
+        let name = s.str("name").unwrap_or("?");
+        if s.fields.get("busy") == Some(&pfdbg_obs::jsonl::JsonValue::Bool(true)) {
+            println!("{name:<16} (busy — mid-commit, skipped this poll)");
+            continue;
+        }
+        let turns = s.num("turns").unwrap_or(0.0);
+        let rate = prev
+            .and_then(|(dt, counts)| {
+                let before = counts.get(name)?;
+                (dt > 0.0).then(|| (turns - before).max(0.0) / dt)
+            })
+            .map_or("-".to_string(), |r| format!("{r:.1}"));
+        println!(
+            "{name:<16} {turns:>8} {rate:>8} {:<10} {:>6} {:>7} {:>6} {:>7}",
+            s.str("health").unwrap_or("?"),
+            if s.fields.get("needs_resync") == Some(&pfdbg_obs::jsonl::JsonValue::Bool(true)) {
+                "yes"
+            } else {
+                "no"
+            },
+            s.num("scrubs").unwrap_or(0.0),
+            s.num("quarantined").unwrap_or(0.0),
+            s.num("flight_events").unwrap_or(0.0),
+        );
     }
 }

@@ -14,6 +14,7 @@ use pfdbg_emu::{FaultyIcap, IcapFaultConfig, SeuConfig, SeuIcap};
 use pfdbg_map::{map_parameterized_network_with, ElemKind};
 use pfdbg_netlist::truth::TruthTable;
 use pfdbg_netlist::{Network, NodeId};
+use pfdbg_obs::LazyHistogram;
 use pfdbg_pconf::{
     Bdd, BddManager, CommitPolicy, GeneralizedBuilder, IcapChannel, MemoryIcap,
     OnlineReconfigurator, Scg,
@@ -21,6 +22,10 @@ use pfdbg_pconf::{
 use pfdbg_pr::{tpar, TparConfig, TparResult};
 use pfdbg_util::{par, FxHashMap};
 use std::time::Duration;
+
+// Always-on compile telemetry: wall time per offline run, so a fleet
+// serving many designs sees compile latency without enabling profiling.
+static OFFLINE_US: LazyHistogram = LazyHistogram::new("flow.offline_us");
 
 /// TLUT tasks per BDD-construction shard. Fixed — independent of the
 /// thread count — so the shard-local managers and the shard-order merge
@@ -152,6 +157,13 @@ impl OfflineResult {
 /// [`crate::baseline::prepare_instrumented`]).
 pub fn offline(inst: &Instrumented, cfg: &OfflineConfig) -> Result<OfflineResult, String> {
     let _offline_span = pfdbg_obs::span("offline");
+    let offline_t0 = std::time::Instant::now();
+    let result = offline_inner(inst, cfg);
+    OFFLINE_US.record_duration(offline_t0.elapsed());
+    result
+}
+
+fn offline_inner(inst: &Instrumented, cfg: &OfflineConfig) -> Result<OfflineResult, String> {
     // TCON technology mapping: selectors to routing, the rest through
     // synthesis + parameter-aware cut mapping.
     let mp = {

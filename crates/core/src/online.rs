@@ -11,9 +11,16 @@
 use crate::param::Instrumented;
 use pfdbg_emu::{Emulator, Fault};
 use pfdbg_netlist::Network;
+use pfdbg_obs::{LazyCounter, LazyHistogram};
 use pfdbg_pconf::{OnlineReconfigurator, TurnStats};
 use pfdbg_trace::Waveform;
 use pfdbg_util::BitVec;
+
+// Always-on session telemetry (single-process `DebugSession` turns, as
+// opposed to the `serve.*` fleet counters): one histogram of end-to-end
+// turn wall time plus the turn count, live without profiling.
+static TURNS: LazyCounter = LazyCounter::new("session.turns");
+static TURN_US: LazyHistogram = LazyHistogram::new("session.turn_us");
 
 /// One debugging turn's record.
 #[derive(Debug)]
@@ -132,6 +139,7 @@ impl DebugSession {
         runtime_faults: &[Fault],
     ) -> Result<Waveform, String> {
         let _turn_span = pfdbg_obs::span("session.turn");
+        let turn_t0 = std::time::Instant::now();
         let plan = self.plan(signals)?;
         // Transactional turn: the reconfiguration commits (with retries
         // and escalation) *before* any session state advances. A failed
@@ -185,6 +193,8 @@ impl DebugSession {
             signals: signals.iter().map(|s| s.to_string()).collect(),
             stats,
         });
+        TURNS.add(1);
+        TURN_US.record_duration(turn_t0.elapsed());
         Ok(wf)
     }
 

@@ -1,0 +1,244 @@
+//! Per-session flight recorders: fixed-size rings of structured events.
+//!
+//! A [`FlightRecorder`] is the black box of one debug session: every
+//! turn start/commit/rollback, retry, degradation, SEU strike, scrub
+//! repair, deadline miss, and quarantine drops one fixed-size
+//! [`FlightEvent`] into a bounded ring — O(1) per event, no allocation
+//! after construction, oldest events evicted first. When a session
+//! quarantines a frame or arms `needs_resync`, the serve layer dumps
+//! the ring as JSONL (`flight` kind) so the failing turn sequence can
+//! be reconstructed post-mortem; the `dump` protocol verb exposes the
+//! same ring on demand.
+//!
+//! The recorder is intentionally *not* concurrent: it lives inside the
+//! session state that is already serialized by the session's own mutex,
+//! so `record` is plain field writes with no atomics at all.
+
+use crate::jsonl::{write_object, JsonValue};
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// What happened. Each kind documents the meaning of the generic
+/// `value` payload; `turn` is always the session's turn counter at the
+/// time of the event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightKind {
+    /// A select began; `value` = SEU bits the between-turn tick flipped.
+    TurnStart,
+    /// A turn committed; `value` = configuration bits changed.
+    TurnCommit,
+    /// A turn rolled back (commit exhausted its escalation ladder);
+    /// `value` = retries spent. Arms `needs_resync`.
+    TurnRollback,
+    /// A commit needed retries; `value` = retry count.
+    Retry,
+    /// A commit escalated (partial diff → full-frame → full reconfig);
+    /// `value` = escalation levels entered.
+    Degradation,
+    /// The deadline gate rejected the turn; `value` = elapsed µs.
+    DeadlineMiss,
+    /// The between-turn tick flipped configuration bits;
+    /// `value` = flipped bit count.
+    SeuStrike,
+    /// A scrub pass completed; `value` = upset frames found.
+    ScrubPass,
+    /// A scrub repaired frames; `value` = repaired frame count.
+    ScrubRepair,
+    /// A scrub quarantined stuck frames; `value` = frames quarantined.
+    /// Arms `needs_resync` and triggers an automatic dump.
+    Quarantine,
+    /// A recovery commit rewrote the whole device; `value` = frames
+    /// written.
+    Resync,
+}
+
+impl FlightKind {
+    /// Wire name of the kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FlightKind::TurnStart => "turn_start",
+            FlightKind::TurnCommit => "turn_commit",
+            FlightKind::TurnRollback => "turn_rollback",
+            FlightKind::Retry => "retry",
+            FlightKind::Degradation => "degradation",
+            FlightKind::DeadlineMiss => "deadline_miss",
+            FlightKind::SeuStrike => "seu_strike",
+            FlightKind::ScrubPass => "scrub_pass",
+            FlightKind::ScrubRepair => "scrub_repair",
+            FlightKind::Quarantine => "quarantine",
+            FlightKind::Resync => "resync",
+        }
+    }
+
+    /// Parse a wire name back into a kind.
+    pub fn parse(s: &str) -> Option<FlightKind> {
+        Some(match s {
+            "turn_start" => FlightKind::TurnStart,
+            "turn_commit" => FlightKind::TurnCommit,
+            "turn_rollback" => FlightKind::TurnRollback,
+            "retry" => FlightKind::Retry,
+            "degradation" => FlightKind::Degradation,
+            "deadline_miss" => FlightKind::DeadlineMiss,
+            "seu_strike" => FlightKind::SeuStrike,
+            "scrub_pass" => FlightKind::ScrubPass,
+            "scrub_repair" => FlightKind::ScrubRepair,
+            "quarantine" => FlightKind::Quarantine,
+            "resync" => FlightKind::Resync,
+            _ => return None,
+        })
+    }
+}
+
+/// One fixed-size recorded event.
+#[derive(Debug, Clone, Copy)]
+pub struct FlightEvent {
+    /// Monotone sequence number (never reused, survives eviction).
+    pub seq: u64,
+    /// Offset from the recorder's epoch (its construction instant).
+    pub at: Duration,
+    /// What happened.
+    pub kind: FlightKind,
+    /// The session's turn counter when the event fired.
+    pub turn: u64,
+    /// Kind-specific payload — see [`FlightKind`].
+    pub value: u64,
+}
+
+/// A bounded ring of [`FlightEvent`]s.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    epoch: Instant,
+    next_seq: u64,
+    cap: usize,
+    ring: VecDeque<FlightEvent>,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining the last `cap` events (at least 1).
+    pub fn new(cap: usize) -> FlightRecorder {
+        let cap = cap.max(1);
+        FlightRecorder {
+            epoch: Instant::now(),
+            next_seq: 0,
+            cap,
+            ring: VecDeque::with_capacity(cap),
+        }
+    }
+
+    /// Record one event — O(1), evicting the oldest when full.
+    pub fn record(&mut self, kind: FlightKind, turn: u64, value: u64) {
+        if self.ring.len() == self.cap {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(FlightEvent {
+            seq: self.next_seq,
+            at: self.epoch.elapsed(),
+            kind,
+            turn,
+            value,
+        });
+        self.next_seq += 1;
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &FlightEvent> {
+        self.ring.iter()
+    }
+
+    /// Retained event count.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Has nothing been recorded (or everything evicted)?
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Events ever recorded, including evicted ones.
+    pub fn total_recorded(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Events evicted from the ring.
+    pub fn dropped(&self) -> u64 {
+        self.next_seq - self.ring.len() as u64
+    }
+
+    /// Serialize the ring as JSONL `flight` events, oldest first:
+    /// `{"type":"flight","seq":N,"at_us":T,"event":"turn_commit","turn":K,"value":V}`.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.ring {
+            out.push_str(&write_object(&[
+                ("type", JsonValue::Str("flight".into())),
+                ("seq", JsonValue::Num(e.seq as f64)),
+                ("at_us", JsonValue::Num(e.at.as_secs_f64() * 1e6)),
+                ("event", JsonValue::Str(e.kind.as_str().into())),
+                ("turn", JsonValue::Num(e.turn as f64)),
+                ("value", JsonValue::Num(e.value as f64)),
+            ]));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest_and_keeps_sequence() {
+        let mut fr = FlightRecorder::new(4);
+        assert!(fr.is_empty());
+        for i in 0..10u64 {
+            fr.record(FlightKind::TurnCommit, i, i * 2);
+        }
+        assert_eq!(fr.len(), 4);
+        assert_eq!(fr.total_recorded(), 10);
+        assert_eq!(fr.dropped(), 6);
+        let seqs: Vec<u64> = fr.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        let turns: Vec<u64> = fr.events().map(|e| e.turn).collect();
+        assert_eq!(turns, vec![6, 7, 8, 9]);
+        // Timestamps are monotone.
+        let ats: Vec<Duration> = fr.events().map(|e| e.at).collect();
+        assert!(ats.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn kinds_round_trip_their_wire_names() {
+        for kind in [
+            FlightKind::TurnStart,
+            FlightKind::TurnCommit,
+            FlightKind::TurnRollback,
+            FlightKind::Retry,
+            FlightKind::Degradation,
+            FlightKind::DeadlineMiss,
+            FlightKind::SeuStrike,
+            FlightKind::ScrubPass,
+            FlightKind::ScrubRepair,
+            FlightKind::Quarantine,
+            FlightKind::Resync,
+        ] {
+            assert_eq!(FlightKind::parse(kind.as_str()), Some(kind));
+        }
+        assert_eq!(FlightKind::parse("warp_core_breach"), None);
+    }
+
+    #[test]
+    fn jsonl_dump_parses_back() {
+        let mut fr = FlightRecorder::new(8);
+        fr.record(FlightKind::TurnStart, 3, 0);
+        fr.record(FlightKind::SeuStrike, 3, 2);
+        fr.record(FlightKind::Quarantine, 3, 1);
+        let text = fr.to_jsonl();
+        let events = crate::jsonl::parse_jsonl(&text).expect("dump parses");
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].str("event"), Some("turn_start"));
+        assert_eq!(events[2].str("event"), Some("quarantine"));
+        assert_eq!(events[2].num("turn"), Some(3.0));
+        assert_eq!(events[2].num("value"), Some(1.0));
+    }
+}

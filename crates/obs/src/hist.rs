@@ -1,0 +1,329 @@
+//! Lock-free log-linear latency histograms (HDR-style).
+//!
+//! A [`Histogram`] covers ~1 ns to >10 s of latency with fixed
+//! log-linear buckets: each power-of-two range is split into
+//! [`SUB_BUCKETS`] linear sub-buckets, bounding the relative width of
+//! any bucket to `1/SUB_BUCKETS` (6.25%) and the error of a reported
+//! percentile — the midpoint of the selected bucket — to half that.
+//! Recording is a single relaxed `fetch_add` on one atomic bucket:
+//! no locks, no allocation, safe to call from every serve worker at
+//! once. Count, percentiles, and the mean are derived from a bucket
+//! snapshot at read time, so a record costs exactly one atomic RMW.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Linear sub-buckets per power-of-two range (must be a power of two).
+pub const SUB_BUCKETS: u64 = 16;
+const SUB_BITS: u32 = SUB_BUCKETS.trailing_zeros();
+
+/// Largest distinguishable value in nanoseconds (`2^34` ns ≈ 17 s,
+/// comfortably past the 10 s design range). Larger values clamp into
+/// the final bucket instead of overflowing.
+pub const MAX_TRACKABLE_NS: u64 = 1 << 34;
+
+/// Bucket count: `SUB_BUCKETS` exact unit buckets for values below
+/// `SUB_BUCKETS`, then `SUB_BUCKETS` per power of two up to the clamp,
+/// whose own bucket is the last slot.
+const N_BUCKETS: usize =
+    ((34 - SUB_BITS as usize) * SUB_BUCKETS as usize) + SUB_BUCKETS as usize + 1;
+
+fn bucket_index(v: u64) -> usize {
+    let v = v.min(MAX_TRACKABLE_NS);
+    if v < SUB_BUCKETS {
+        v as usize
+    } else {
+        let e = 63 - v.leading_zeros();
+        let sub = ((v >> (e - SUB_BITS)) & (SUB_BUCKETS - 1)) as usize;
+        (e - SUB_BITS) as usize * SUB_BUCKETS as usize + SUB_BUCKETS as usize + sub
+    }
+}
+
+/// Inclusive lower bound (ns) of bucket `i`.
+fn bucket_lo(i: usize) -> u64 {
+    if i < SUB_BUCKETS as usize {
+        i as u64
+    } else {
+        let g = (i - SUB_BUCKETS as usize) / SUB_BUCKETS as usize;
+        let sub = ((i - SUB_BUCKETS as usize) % SUB_BUCKETS as usize) as u64;
+        (SUB_BUCKETS + sub) << g
+    }
+}
+
+/// Exclusive upper bound (ns) of bucket `i`.
+fn bucket_hi(i: usize) -> u64 {
+    if i + 1 < N_BUCKETS {
+        bucket_lo(i + 1)
+    } else {
+        u64::MAX
+    }
+}
+
+/// A fixed-bucket concurrent latency histogram. All operations take
+/// `&self`; the type is `Sync` and is usually shared as a `&'static`
+/// handle through the metrics hub ([`crate::metrics::LazyHistogram`])
+/// or owned directly by a harness (e.g. `serve_load`).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram { buckets: (0..N_BUCKETS).map(|_| AtomicU64::new(0)).collect() }
+    }
+
+    /// Record one value in nanoseconds — a single relaxed `fetch_add`.
+    #[inline]
+    pub fn record(&self, ns: u64) {
+        self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a [`Duration`].
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Record a value given in (possibly fractional) microseconds.
+    #[inline]
+    pub fn record_us(&self, us: f64) {
+        if us.is_finite() && us >= 0.0 {
+            self.record((us * 1e3) as u64);
+        }
+    }
+
+    /// Fold another histogram's counts into this one.
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Zero every bucket (test isolation / registry reset).
+    pub fn clear(&self) {
+        for b in self.buckets.iter() {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time copy of the bucket counts.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot { counts: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect() }
+    }
+
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The `p`-th percentile (0..=100) in nanoseconds — see
+    /// [`HistSnapshot::percentile_ns`].
+    pub fn percentile_ns(&self, p: f64) -> Option<f64> {
+        self.snapshot().percentile_ns(p)
+    }
+
+    /// The `p`-th percentile in microseconds.
+    pub fn percentile_us(&self, p: f64) -> Option<f64> {
+        self.percentile_ns(p).map(|ns| ns / 1e3)
+    }
+}
+
+/// An immutable copy of a histogram's buckets, with the derived
+/// statistics computed over a consistent view.
+#[derive(Debug, Clone)]
+pub struct HistSnapshot {
+    counts: Vec<u64>,
+}
+
+impl HistSnapshot {
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Approximate mean in nanoseconds (bucket midpoints), `None` when
+    /// empty.
+    pub fn mean_ns(&self) -> Option<f64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let sum: f64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| n as f64 * midpoint(i))
+            .sum();
+        Some(sum / total as f64)
+    }
+
+    /// The bucket `[lo, hi)` (ns) holding the sample of nearest rank
+    /// `ceil(p/100 · count)` — the exact bound the percentile estimate
+    /// lives in. `None` when empty or `p` is out of range.
+    pub fn percentile_bounds_ns(&self, p: f64) -> Option<(u64, u64)> {
+        if !(0.0..=100.0).contains(&p) {
+            return None;
+        }
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((p / 100.0 * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &n) in self.counts.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some((bucket_lo(i), bucket_hi(i)));
+            }
+        }
+        None
+    }
+
+    /// Nearest-rank `p`-th percentile (0..=100) in nanoseconds: the
+    /// midpoint of the bucket holding the rank-`ceil(p/100 · count)`
+    /// sample, matching `pfdbg_util::stats::percentile`'s rank
+    /// definition to within half a bucket width (≤ ~3.2% relative).
+    pub fn percentile_ns(&self, p: f64) -> Option<f64> {
+        let (lo, hi) = self.percentile_bounds_ns(p)?;
+        if hi - lo <= 1 {
+            Some(lo as f64) // exact unit-width bucket
+        } else {
+            Some((lo + hi) as f64 / 2.0)
+        }
+    }
+
+    /// Nearest-rank percentile in microseconds.
+    pub fn percentile_us(&self, p: f64) -> Option<f64> {
+        self.percentile_ns(p).map(|ns| ns / 1e3)
+    }
+
+    /// Non-empty buckets as `(lo_ns, count)` pairs, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (bucket_lo(i), n))
+            .collect()
+    }
+
+    /// Compact wire form of the non-empty buckets:
+    /// `"lo_ns:count;lo_ns:count;..."` — flat-schema friendly (the
+    /// JSONL dialect has no arrays).
+    pub fn buckets_string(&self) -> String {
+        self.nonzero_buckets()
+            .iter()
+            .map(|(lo, n)| format!("{lo}:{n}"))
+            .collect::<Vec<_>>()
+            .join(";")
+    }
+}
+
+fn midpoint(i: usize) -> f64 {
+    let lo = bucket_lo(i);
+    let hi = bucket_hi(i);
+    if hi - lo <= 1 {
+        lo as f64
+    } else {
+        (lo + hi) as f64 / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_are_monotone_and_cover_the_range() {
+        let mut prev_hi = 0u64;
+        for i in 0..N_BUCKETS {
+            let (lo, hi) = (bucket_lo(i), bucket_hi(i));
+            assert!(lo < hi, "bucket {i}: [{lo}, {hi})");
+            assert_eq!(lo, prev_hi, "bucket {i} leaves a gap");
+            if i + 1 < N_BUCKETS {
+                prev_hi = hi;
+            }
+        }
+        assert_eq!(bucket_lo(N_BUCKETS - 1), MAX_TRACKABLE_NS);
+        // Every value lands in the bucket whose bounds contain it.
+        for v in [0, 1, 15, 16, 17, 31, 32, 1000, 123_456, 1 << 33, MAX_TRACKABLE_NS, u64::MAX] {
+            let i = bucket_index(v);
+            let clamped = v.min(MAX_TRACKABLE_NS);
+            assert!(
+                bucket_lo(i) <= clamped && clamped < bucket_hi(i),
+                "{v} -> bucket {i} [{}, {})",
+                bucket_lo(i),
+                bucket_hi(i)
+            );
+        }
+    }
+
+    #[test]
+    fn relative_bucket_width_is_bounded() {
+        for i in SUB_BUCKETS as usize..N_BUCKETS - 1 {
+            let (lo, hi) = (bucket_lo(i), bucket_hi(i));
+            let rel = (hi - lo) as f64 / lo as f64;
+            assert!(rel <= 1.0 / SUB_BUCKETS as f64 + 1e-12, "bucket {i}: width {rel}");
+        }
+    }
+
+    #[test]
+    fn percentiles_track_known_distributions() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v * 1000); // 1 µs .. 1 ms
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.percentile_ns(50.0).unwrap();
+        let p99 = h.percentile_ns(99.0).unwrap();
+        let p999 = h.percentile_ns(99.9).unwrap();
+        assert!((p50 - 500_000.0).abs() / 500_000.0 < 0.05, "p50 {p50}");
+        assert!((p99 - 990_000.0).abs() / 990_000.0 < 0.05, "p99 {p99}");
+        assert!((p999 - 999_000.0).abs() / 999_000.0 < 0.05, "p999 {p999}");
+        assert!(p50 <= p99 && p99 <= p999);
+        let mean = h.snapshot().mean_ns().unwrap();
+        assert!((mean - 500_500.0).abs() / 500_500.0 < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn merge_and_clear() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in [10u64, 100, 1000] {
+            a.record(v);
+            b.record(v * 2);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 6);
+        assert!(a.snapshot().buckets_string().contains(':'));
+        a.clear();
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.percentile_ns(50.0), None);
+        assert_eq!(a.snapshot().buckets_string(), "");
+    }
+
+    #[test]
+    fn overflow_clamps_instead_of_panicking() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record_duration(Duration::from_secs(3600));
+        h.record_us(f64::NAN); // ignored
+        h.record_us(-1.0); // ignored
+        assert_eq!(h.count(), 2);
+        let (lo, hi) = h.snapshot().percentile_bounds_ns(100.0).unwrap();
+        assert_eq!(lo, MAX_TRACKABLE_NS);
+        assert_eq!(hi, u64::MAX);
+    }
+}

@@ -15,11 +15,18 @@
 //!   machine-readable **JSONL** event stream ([`Registry::to_jsonl`])
 //!   that [`parse_jsonl`] reads back for `pfdbg report`.
 //!
-//! The layer is **off by default**: every entry point first checks one
-//! relaxed atomic, so an un-profiled run pays a few nanoseconds per
-//! call site and allocates nothing. Thread safety is a plain
-//! `std::sync::Mutex` around the registry — contention only exists
+//! The profiling layer (spans, the legacy counter/gauge entry points)
+//! is **off by default**: every entry point first checks one relaxed
+//! atomic, so an un-profiled run pays a few nanoseconds per call site
+//! and allocates nothing. Spans remain mutex-guarded — they only exist
 //! while profiling, which is not the measured configuration.
+//!
+//! On top of it sits the **always-on** fleet-telemetry layer
+//! ([`metrics`], [`hist`], [`flight`]): lock-free sharded counters,
+//! HDR-style log-linear [`Histogram`]s recorded with a single atomic
+//! `fetch_add`, [`Slo`] budgets with burn accounting, and per-session
+//! [`FlightRecorder`] rings — cheap enough for the serve hot path, so
+//! p99s and post-mortems exist even when nobody asked for a profile.
 //!
 //! No dependencies, by design: the JSON emitted and parsed here is the
 //! flat schema documented in the README ("Profiling a run"), written
@@ -28,11 +35,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod flight;
+pub mod hist;
 pub mod jsonl;
+pub mod metrics;
 mod registry;
 mod report;
 
+pub use flight::{FlightEvent, FlightKind, FlightRecorder};
+pub use hist::{HistSnapshot, Histogram};
 pub use jsonl::{parse_jsonl, Event, JsonValue};
+pub use metrics::{hub, Counter, Gauge, LazyCounter, LazyHistogram, LazySlo, MetricsHub, Slo};
 pub use registry::{
     counter_add, diag, enabled, gauge_set, registry, reset, set_enabled, span, CounterSnapshot,
     Registry, SpanGuard, SpanRecord,

@@ -1,8 +1,16 @@
 //! The global registry: span records, counters, gauges, diagnostics.
+//!
+//! Since the metrics hub landed ([`crate::metrics`]), counters and
+//! gauges live in its lock-free atomic cells; this module keeps the
+//! legacy `counter_add`/`gauge_set` entry points (still gated on
+//! [`enabled`]) but their data path is an atomic `fetch_add`/store —
+//! no registry mutex is ever taken for a counter or gauge update.
+//! Spans and diagnostic messages remain mutex-guarded here: they are
+//! profiling-mode-only and allocation-heavy by nature.
 
 use crate::jsonl;
+use crate::metrics::hub;
 use std::cell::RefCell;
-use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -56,8 +64,6 @@ pub struct CounterSnapshot {
 struct Inner {
     epoch: Instant,
     spans: Vec<SpanRecord>,
-    counters: BTreeMap<String, u64>,
-    gauges: BTreeMap<String, f64>,
     messages: Vec<(Duration, String)>,
 }
 
@@ -79,24 +85,19 @@ thread_local! {
 pub fn registry() -> &'static Registry {
     static REGISTRY: OnceLock<Registry> = OnceLock::new();
     REGISTRY.get_or_init(|| Registry {
-        inner: Mutex::new(Inner {
-            epoch: Instant::now(),
-            spans: Vec::new(),
-            counters: BTreeMap::new(),
-            gauges: BTreeMap::new(),
-            messages: Vec::new(),
-        }),
+        inner: Mutex::new(Inner { epoch: Instant::now(), spans: Vec::new(), messages: Vec::new() }),
     })
 }
 
-/// Drop all recorded events and restart the epoch.
+/// Drop all recorded events (including every hub metric's data — the
+/// registered names persist) and restart the epoch.
 pub fn reset() {
     let mut g = registry().inner.lock().expect("obs registry poisoned");
     g.epoch = Instant::now();
     g.spans.clear();
-    g.counters.clear();
-    g.gauges.clear();
     g.messages.clear();
+    drop(g);
+    hub().zero_all();
     SPAN_STACK.with(|s| s.borrow_mut().clear());
 }
 
@@ -145,24 +146,26 @@ impl Drop for SpanGuard {
     }
 }
 
-/// Add `delta` to the named counter (creates it at zero).
+/// Add `delta` to the named counter (creates it at zero). The update
+/// is a relaxed atomic `fetch_add` through the metrics hub — no lock
+/// is taken on the data path, so concurrent writers never lose
+/// updates or serialize on a registry mutex.
 #[inline]
 pub fn counter_add(name: &str, delta: u64) {
     if !enabled() {
         return;
     }
-    let mut g = registry().inner.lock().expect("obs registry poisoned");
-    *g.counters.entry(name.to_string()).or_insert(0) += delta;
+    hub().counter_add(name, delta);
 }
 
-/// Set the named gauge to `value` (last write wins).
+/// Set the named gauge to `value` (last write wins). Like
+/// [`counter_add`], the store is atomic through the metrics hub.
 #[inline]
 pub fn gauge_set(name: &str, value: f64) {
     if !enabled() {
         return;
     }
-    let mut g = registry().inner.lock().expect("obs registry poisoned");
-    g.gauges.insert(name.to_string(), value);
+    hub().gauge_set(name, value);
 }
 
 /// A diagnostic line: always printed to stderr (never stdout — result
@@ -181,7 +184,7 @@ pub fn diag(msg: &str) {
 impl Registry {
     fn restamp_if_empty(&self) {
         let mut g = self.inner.lock().expect("obs registry poisoned");
-        if g.spans.is_empty() && g.counters.is_empty() && g.gauges.is_empty() {
+        if g.spans.is_empty() && hub().is_pristine() {
             g.epoch = Instant::now();
         }
     }
@@ -191,24 +194,20 @@ impl Registry {
         self.inner.lock().expect("obs registry poisoned").spans.clone()
     }
 
-    /// Snapshot of all counters, sorted by name.
+    /// Snapshot of all non-zero counters, sorted by name (zero-valued
+    /// counters are indistinguishable from never-touched hub slots).
     pub fn counters(&self) -> Vec<CounterSnapshot> {
-        let g = self.inner.lock().expect("obs registry poisoned");
-        g.counters
-            .iter()
-            .map(|(name, &value)| CounterSnapshot { name: name.clone(), value })
-            .collect()
+        hub().counters().into_iter().map(|(name, value)| CounterSnapshot { name, value }).collect()
     }
 
     /// Current value of one counter (0 when absent) — test convenience.
     pub fn counter_value(&self, name: &str) -> u64 {
-        self.inner.lock().expect("obs registry poisoned").counters.get(name).copied().unwrap_or(0)
+        hub().counter_value(name)
     }
 
-    /// Snapshot of all gauges, sorted by name.
+    /// Snapshot of all set gauges, sorted by name.
     pub fn gauges(&self) -> Vec<(String, f64)> {
-        let g = self.inner.lock().expect("obs registry poisoned");
-        g.gauges.iter().map(|(k, &v)| (k.clone(), v)).collect()
+        hub().gauges()
     }
 
     /// Render the hierarchical span report: one line per span with
@@ -243,25 +242,55 @@ impl Registry {
                 stack.push(c);
             }
         }
-        if !g.counters.is_empty() {
+        drop(g);
+        let counters = hub().counters();
+        if !counters.is_empty() {
             let _ = writeln!(out, "counters:");
-            for (k, v) in &g.counters {
+            for (k, v) in &counters {
                 let _ = writeln!(out, "  {k:<40} {v:>14}");
             }
         }
-        if !g.gauges.is_empty() {
+        let gauges = hub().gauges();
+        if !gauges.is_empty() {
             let _ = writeln!(out, "gauges:");
-            for (k, v) in &g.gauges {
+            for (k, v) in &gauges {
                 let _ = writeln!(out, "  {k:<40} {v:>14.3}");
+            }
+        }
+        let hists = hub().histograms();
+        if !hists.is_empty() {
+            let _ = writeln!(out, "histograms:");
+            for (k, snap) in &hists {
+                let p = |q: f64| snap.percentile_us(q).unwrap_or(f64::NAN);
+                let _ = writeln!(
+                    out,
+                    "  {k:<40} n={:<8} p50 {:>10.1} µs  p99 {:>10.1} µs  p99.9 {:>10.1} µs",
+                    snap.count(),
+                    p(50.0),
+                    p(99.0),
+                    p(99.9)
+                );
+            }
+        }
+        let slos = hub().slos();
+        if !slos.is_empty() {
+            let _ = writeln!(out, "slos:");
+            for (k, budget_us, total, burned) in &slos {
+                let _ = writeln!(
+                    out,
+                    "  {k:<40} budget {budget_us:>10.1} µs  {burned}/{total} burned ({:.2}%)",
+                    *burned as f64 / (*total).max(1) as f64 * 100.0
+                );
             }
         }
         out
     }
 
     /// Serialize every recorded event as JSON Lines (schema
-    /// `pfdbg-obs/1`, documented in the README). One object per line:
-    /// a `meta` header, then `span`, `counter`, `gauge`, and `message`
-    /// events.
+    /// `pfdbg-obs/2`, documented in the README). One object per line:
+    /// a `meta` header, then `span`, `counter`, `gauge`, `hist`, `slo`,
+    /// and `message` events. Readers skip kinds they do not know, so
+    /// `pfdbg-obs/1` consumers still digest the span/counter core.
     pub fn to_jsonl(&self) -> String {
         let g = self.inner.lock().expect("obs registry poisoned");
         let mut out = String::new();
@@ -269,7 +298,7 @@ impl Registry {
             g.spans.iter().filter(|s| s.parent.is_none()).filter_map(|s| s.dur).sum();
         out.push_str(&jsonl::write_object(&[
             ("type", jsonl::JsonValue::Str("meta".into())),
-            ("schema", jsonl::JsonValue::Str("pfdbg-obs/1".into())),
+            ("schema", jsonl::JsonValue::Str("pfdbg-obs/2".into())),
             ("total_us", jsonl::JsonValue::Num(total.as_secs_f64() * 1e6)),
         ]));
         out.push('\n');
@@ -294,23 +323,26 @@ impl Registry {
             out.push_str(&jsonl::write_object(&fields));
             out.push('\n');
         }
-        for (k, &v) in &g.counters {
+        let messages = g.messages.clone();
+        drop(g);
+        for (k, v) in hub().counters() {
             out.push_str(&jsonl::write_object(&[
                 ("type", jsonl::JsonValue::Str("counter".into())),
-                ("name", jsonl::JsonValue::Str(k.clone())),
+                ("name", jsonl::JsonValue::Str(k)),
                 ("value", jsonl::JsonValue::Num(v as f64)),
             ]));
             out.push('\n');
         }
-        for (k, &v) in &g.gauges {
+        for (k, v) in hub().gauges() {
             out.push_str(&jsonl::write_object(&[
                 ("type", jsonl::JsonValue::Str("gauge".into())),
-                ("name", jsonl::JsonValue::Str(k.clone())),
+                ("name", jsonl::JsonValue::Str(k)),
                 ("value", jsonl::JsonValue::Num(v)),
             ]));
             out.push('\n');
         }
-        for (at, msg) in &g.messages {
+        hub().append_jsonl(&mut out);
+        for (at, msg) in &messages {
             out.push_str(&jsonl::write_object(&[
                 ("type", jsonl::JsonValue::Str("message".into())),
                 ("at_us", jsonl::JsonValue::Num(at.as_secs_f64() * 1e6)),

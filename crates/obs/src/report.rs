@@ -19,6 +19,34 @@ pub struct StageSummary {
     pub fraction: f64,
 }
 
+/// One histogram line of a `pfdbg-obs/2` export.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistSummary {
+    /// Histogram name.
+    pub name: String,
+    /// Recorded samples.
+    pub count: u64,
+    /// Median in microseconds.
+    pub p50_us: f64,
+    /// 99th percentile in microseconds.
+    pub p99_us: f64,
+    /// 99.9th percentile in microseconds.
+    pub p999_us: f64,
+}
+
+/// One SLO line of a `pfdbg-obs/2` export.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSummary {
+    /// SLO name.
+    pub name: String,
+    /// Declared budget in microseconds.
+    pub budget_us: f64,
+    /// Observations recorded.
+    pub total: u64,
+    /// Observations over budget.
+    pub burned: u64,
+}
+
 /// The digest of one exported run.
 #[derive(Debug, Clone, Default)]
 pub struct RunSummary {
@@ -32,6 +60,13 @@ pub struct RunSummary {
     pub counters: Vec<(String, u64)>,
     /// Gauges, sorted by name.
     pub gauges: Vec<(String, f64)>,
+    /// Latency histograms (`hist` events), sorted by name.
+    pub hists: Vec<HistSummary>,
+    /// SLO burn lines (`slo` events), sorted by name.
+    pub slos: Vec<SloSummary>,
+    /// Flight-recorder events per kind (`flight` events), sorted by
+    /// kind name.
+    pub flight: Vec<(String, u64)>,
     /// Diagnostics captured during the run.
     pub messages: Vec<String>,
 }
@@ -72,14 +107,44 @@ pub fn summarize(events: &[Event]) -> RunSummary {
                     e.num("value").unwrap_or(0.0),
                 ));
             }
+            "hist" => {
+                summary.hists.push(HistSummary {
+                    name: e.str("name").unwrap_or("?").to_string(),
+                    count: e.num("count").unwrap_or(0.0) as u64,
+                    p50_us: e.num("p50_us").unwrap_or(f64::NAN),
+                    p99_us: e.num("p99_us").unwrap_or(f64::NAN),
+                    p999_us: e.num("p999_us").unwrap_or(f64::NAN),
+                });
+            }
+            "slo" => {
+                summary.slos.push(SloSummary {
+                    name: e.str("name").unwrap_or("?").to_string(),
+                    budget_us: e.num("budget_us").unwrap_or(f64::NAN),
+                    total: e.num("total").unwrap_or(0.0) as u64,
+                    burned: e.num("burned").unwrap_or(0.0) as u64,
+                });
+            }
+            "flight" => {
+                let kind = e.str("event").unwrap_or("?").to_string();
+                match summary.flight.iter_mut().find(|(k, _)| *k == kind) {
+                    Some((_, n)) => *n += 1,
+                    None => summary.flight.push((kind, 1)),
+                }
+            }
             "message" => {
                 summary.messages.push(e.str("text").unwrap_or("").to_string());
             }
+            // Unknown kinds (future dialects, per-session telemetry
+            // rows, ...) are skipped, never fatal: a report must digest
+            // any mix of pfdbg-obs dialects it is handed.
             _ => {}
         }
     }
     summary.counters.sort();
     summary.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+    summary.hists.sort_by(|a, b| a.name.cmp(&b.name));
+    summary.slos.sort_by(|a, b| a.name.cmp(&b.name));
+    summary.flight.sort();
     summary
 }
 
@@ -111,6 +176,36 @@ impl fmt::Display for RunSummary {
             writeln!(f, "gauges:")?;
             for (k, v) in &self.gauges {
                 writeln!(f, "  {k:<40} {v:>14.3}")?;
+            }
+        }
+        if !self.hists.is_empty() {
+            writeln!(f, "histograms:")?;
+            for h in &self.hists {
+                writeln!(
+                    f,
+                    "  {:<40} n={:<8} p50 {:>10.1} µs  p99 {:>10.1} µs  p99.9 {:>10.1} µs",
+                    h.name, h.count, h.p50_us, h.p99_us, h.p999_us
+                )?;
+            }
+        }
+        if !self.slos.is_empty() {
+            writeln!(f, "slos:")?;
+            for s in &self.slos {
+                writeln!(
+                    f,
+                    "  {:<40} budget {:>10.1} µs  {}/{} burned ({:.2}%)",
+                    s.name,
+                    s.budget_us,
+                    s.burned,
+                    s.total,
+                    s.burned as f64 / s.total.max(1) as f64 * 100.0
+                )?;
+            }
+        }
+        if !self.flight.is_empty() {
+            writeln!(f, "flight events:")?;
+            for (kind, n) in &self.flight {
+                writeln!(f, "  {kind:<40} {n:>14}")?;
             }
         }
         if !self.messages.is_empty() {
@@ -151,5 +246,41 @@ mod tests {
         let rendered = s.to_string();
         assert!(rendered.contains("offline"), "{rendered}");
         assert!(rendered.contains("60.0%"), "{rendered}");
+    }
+
+    #[test]
+    fn mixed_dialect_file_digests_without_losing_known_kinds() {
+        // A v1 span/counter core interleaved with v2 hist/slo/flight
+        // lines, per-session telemetry rows, and kinds from the future.
+        let text = "\
+{\"type\":\"meta\",\"schema\":\"pfdbg-obs/2\",\"total_us\":500}
+{\"type\":\"span\",\"id\":0,\"name\":\"serve\",\"depth\":0,\"start_us\":0,\"dur_us\":500}
+{\"type\":\"counter\",\"name\":\"serve.turns\",\"value\":42}
+{\"type\":\"hist\",\"name\":\"scg.specialize_us\",\"count\":42,\"p50_us\":11.5,\"p90_us\":30,\"p99_us\":44.0,\"p999_us\":47.0,\"buckets\":\"1000:10;2000:32\"}
+{\"type\":\"slo\",\"name\":\"scg.specialize_us\",\"budget_us\":50,\"total\":42,\"burned\":1,\"burn_pct\":2.38}
+{\"type\":\"flight\",\"seq\":0,\"at_us\":10,\"event\":\"turn_start\",\"turn\":0,\"value\":0}
+{\"type\":\"flight\",\"seq\":1,\"at_us\":20,\"event\":\"turn_commit\",\"turn\":0,\"value\":3}
+{\"type\":\"flight\",\"seq\":2,\"at_us\":30,\"event\":\"turn_commit\",\"turn\":1,\"value\":0}
+{\"type\":\"session\",\"name\":\"s1\",\"turns\":2,\"health\":\"clean\"}
+{\"type\":\"hologram\",\"name\":\"unknown-future-kind\",\"value\":1}
+{\"type\":\"gauge\",\"name\":\"serve.scrub_ms_last\",\"value\":0.5}
+";
+        let events = parse_jsonl(text).unwrap();
+        let s = summarize(&events);
+        assert_eq!(s.schema, "pfdbg-obs/2");
+        assert_eq!(s.stages.len(), 1);
+        assert_eq!(s.counters, vec![("serve.turns".to_string(), 42)]);
+        assert_eq!(s.hists.len(), 1);
+        assert_eq!(s.hists[0].name, "scg.specialize_us");
+        assert_eq!(s.hists[0].count, 42);
+        assert!((s.hists[0].p99_us - 44.0).abs() < 1e-9);
+        assert_eq!(s.slos.len(), 1);
+        assert_eq!((s.slos[0].total, s.slos[0].burned), (42, 1));
+        assert_eq!(s.flight, vec![("turn_commit".to_string(), 2), ("turn_start".to_string(), 1)]);
+        let rendered = s.to_string();
+        assert!(rendered.contains("histograms:"), "{rendered}");
+        assert!(rendered.contains("slos:"), "{rendered}");
+        assert!(rendered.contains("turn_commit"), "{rendered}");
+        assert!(!rendered.contains("hologram"), "{rendered}");
     }
 }

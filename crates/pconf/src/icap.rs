@@ -22,7 +22,21 @@
 //!   (commit) or the caller rolls back its session state.
 
 use pfdbg_arch::{bitfile, Bitstream, IcapModel};
+use pfdbg_obs::{LazyCounter, LazyHistogram};
 use std::time::Duration;
+
+// Always-on transport telemetry: these feed the serve `metrics` verb
+// and `pfdbg top` with zero registry locking after first touch, so
+// they stay live when profiling is off (unlike the gated span layer).
+static WRITE_ERRORS: LazyCounter = LazyCounter::new("icap.write_errors");
+static STALLS: LazyCounter = LazyCounter::new("icap.stalls");
+static CRC_MISMATCHES: LazyCounter = LazyCounter::new("icap.crc_mismatches");
+static RETRIES: LazyCounter = LazyCounter::new("icap.retries");
+static DEGRADATIONS: LazyCounter = LazyCounter::new("icap.degradations");
+static ESCALATIONS_REGION: LazyCounter = LazyCounter::new("icap.escalations_region");
+static ESCALATIONS_FULL: LazyCounter = LazyCounter::new("icap.escalations_full");
+/// Modeled on-device time (transfer + verify) per successful commit.
+static COMMIT_MODELED_US: LazyHistogram = LazyHistogram::new("icap.commit_modeled_us");
 
 /// A transport-level failure of one frame write.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -310,13 +324,13 @@ pub(crate) fn write_frame_verified(
         match channel.write_frame(frame, &words) {
             Err(IcapError::WriteFailed) => {
                 stats.write_errors += 1;
-                pfdbg_obs::counter_add("icap.write_errors", 1);
+                WRITE_ERRORS.add(1);
                 continue;
             }
             Err(IcapError::Stalled) => {
                 stats.stalls += 1;
                 stats.verify_time += policy.stall_penalty;
-                pfdbg_obs::counter_add("icap.stalls", 1);
+                STALLS.add(1);
                 continue;
             }
             Ok(()) => {}
@@ -330,7 +344,7 @@ pub(crate) fn write_frame_verified(
             return true;
         }
         stats.crc_mismatches += 1;
-        pfdbg_obs::counter_add("icap.crc_mismatches", 1);
+        CRC_MISMATCHES.add(1);
     }
     false
 }
@@ -375,11 +389,12 @@ pub fn commit_frames(
     for (level, set) in levels.iter().enumerate() {
         if level > 0 {
             stats.degradations += 1;
-            pfdbg_obs::counter_add("icap.degradations", 1);
-            pfdbg_obs::counter_add(
-                if level == 1 { "icap.escalations_region" } else { "icap.escalations_full" },
-                1,
-            );
+            DEGRADATIONS.add(1);
+            if level == 1 {
+                ESCALATIONS_REGION.add(1)
+            } else {
+                ESCALATIONS_FULL.add(1)
+            }
         }
         stats.transfer_time += icap.command_overhead;
         let mut ok = true;
@@ -392,9 +407,9 @@ pub fn commit_frames(
             }
         }
         if ok {
-            if pfdbg_obs::enabled() {
-                pfdbg_obs::counter_add("icap.retries", stats.retries as u64);
-            }
+            RETRIES.add(stats.retries as u64);
+            COMMIT_MODELED_US
+                .record_us((stats.transfer_time + stats.verify_time).as_secs_f64() * 1e6);
             return Ok(stats);
         }
     }

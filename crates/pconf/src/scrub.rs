@@ -29,9 +29,20 @@ use crate::icap::{
 };
 use crate::Scg;
 use pfdbg_arch::{Bitstream, IcapModel};
+use pfdbg_obs::{LazyCounter, LazyHistogram};
 use pfdbg_util::{BitVec, FxHashMap};
 use std::collections::BTreeSet;
 use std::time::Duration;
+
+// Always-on scrub telemetry for the serve `metrics` verb and the
+// `pfdbg top` dashboard — live whether or not profiling is enabled.
+static PASSES: LazyCounter = LazyCounter::new("scrub.passes");
+static UPSET_FRAMES: LazyCounter = LazyCounter::new("scrub.upset_frames");
+static UPSET_BITS: LazyCounter = LazyCounter::new("scrub.upset_bits");
+static REPAIRED_FRAMES: LazyCounter = LazyCounter::new("scrub.repaired_frames");
+static QUARANTINED_FRAMES: LazyCounter = LazyCounter::new("scrub.quarantined_frames");
+/// Modeled on-device time per scrub pass (readbacks + repair writes).
+static PASS_US: LazyHistogram = LazyHistogram::new("scrub.pass_us");
 
 /// When to give up on a frame and how hard to try repairing it.
 #[derive(Debug, Clone, Copy)]
@@ -215,7 +226,7 @@ impl Scrubber {
             if healed {
                 report.repaired_frames += 1;
                 self.fail_streak.remove(&frame);
-                pfdbg_obs::counter_add("scrub.repaired_frames", 1);
+                REPAIRED_FRAMES.add(1);
             } else {
                 report.failed_frames += 1;
                 let streak = self.fail_streak.entry(frame).or_insert(0);
@@ -223,7 +234,7 @@ impl Scrubber {
                 if *streak >= self.policy.max_repair_attempts {
                     self.quarantined.insert(frame);
                     report.quarantined_frames += 1;
-                    pfdbg_obs::counter_add("scrub.quarantined_frames", 1);
+                    QUARANTINED_FRAMES.add(1);
                 }
             }
         }
@@ -233,12 +244,11 @@ impl Scrubber {
         self.totals.repaired_frames += report.repaired_frames as u64;
         self.totals.failed_repairs += report.failed_frames as u64;
         self.totals.scrub_time += report.scrub_time;
-        if pfdbg_obs::enabled() {
-            pfdbg_obs::counter_add("scrub.passes", 1);
-            pfdbg_obs::counter_add("scrub.upset_frames", report.upset_frames as u64);
-            pfdbg_obs::counter_add("scrub.upset_bits", report.upset_bits as u64);
-            pfdbg_obs::gauge_set("scrub.pass_us_last", report.scrub_time.as_secs_f64() * 1e6);
-        }
+        PASSES.add(1);
+        UPSET_FRAMES.add(report.upset_frames as u64);
+        UPSET_BITS.add(report.upset_bits as u64);
+        PASS_US.record_us(report.scrub_time.as_secs_f64() * 1e6);
+        pfdbg_obs::gauge_set("scrub.pass_us_last", report.scrub_time.as_secs_f64() * 1e6);
         Ok(report)
     }
 

@@ -16,6 +16,7 @@ pub mod lru;
 pub mod protocol;
 pub mod server;
 pub mod session;
+mod telemetry;
 
 pub use protocol::{Reply, Request};
 pub use server::{Server, ServerConfig, ServerHandle};

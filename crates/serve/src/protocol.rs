@@ -16,6 +16,9 @@
 //! {"op":"scrub","session":"s1"}
 //! {"op":"close","session":"s1"}
 //! {"op":"stats"}
+//! {"op":"metrics"}
+//! {"op":"dump","session":"s1"}
+//! {"op":"dump"}
 //! {"op":"shutdown"}
 //! ```
 //!
@@ -23,6 +26,16 @@
 //! totals, quarantined frames as a comma-joined index list since the
 //! schema has no arrays); `scrub` runs one on-demand scrub pass against
 //! the PConf golden oracle and returns its report.
+//!
+//! `metrics` returns the full always-on telemetry registry — counter,
+//! gauge, `hist`, and `slo` lines plus one `session` row per open
+//! session — as a multi-line JSONL document embedded in the single
+//! `metrics` string field of the (still one-line) reply; the flat
+//! schema escapes the inner newlines. `dump` does the same with a
+//! session's flight-recorder ring (`flight` events, oldest first) in
+//! the `flight` field; with no `session` it returns the most recent
+//! *automatic* dump, captured when a turn rolled back or a scrub
+//! quarantined a frame.
 //!
 //! Every reply carries `ok` plus the echoed `op` and, when the request
 //! had one, its `id`. Failures are `{"ok":false,"error":...}` — a
@@ -71,6 +84,15 @@ pub enum Request {
     },
     /// Server statistics.
     Stats,
+    /// The full always-on telemetry registry plus per-session rows,
+    /// as embedded JSONL.
+    Metrics,
+    /// A flight-recorder dump: a session's live ring, or (with no
+    /// session) the last automatic post-mortem.
+    Dump {
+        /// Session name; `None` asks for the last automatic dump.
+        session: Option<String>,
+    },
     /// Stop the server (when the server allows it).
     Shutdown,
 }
@@ -127,6 +149,10 @@ pub fn parse_request(line: &str) -> (Result<Request, String>, RequestMeta) {
         "health" => session("session").map(|session| Request::Health { session }),
         "scrub" => session("session").map(|session| Request::Scrub { session }),
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
+        "dump" => Ok(Request::Dump {
+            session: ev.str("session").filter(|s| !s.is_empty()).map(str::to_string),
+        }),
         "shutdown" => Ok(Request::Shutdown),
         "select" => (|| {
             let session = session("session")?;
@@ -254,6 +280,13 @@ mod tests {
         assert_eq!(r.unwrap(), Request::Health { session: "s1".into() });
         let (r, _) = parse_request("{\"op\":\"scrub\",\"session\":\"s1\"}");
         assert_eq!(r.unwrap(), Request::Scrub { session: "s1".into() });
+        let (r, _) = parse_request("{\"op\":\"metrics\"}");
+        assert_eq!(r.unwrap(), Request::Metrics);
+        let (r, _) = parse_request("{\"op\":\"dump\",\"session\":\"s1\"}");
+        assert_eq!(r.unwrap(), Request::Dump { session: Some("s1".into()) });
+        // Session-less dump asks for the last automatic post-mortem.
+        let (r, _) = parse_request("{\"op\":\"dump\"}");
+        assert_eq!(r.unwrap(), Request::Dump { session: None });
         let (r, _) = parse_request("{\"op\":\"health\"}");
         assert!(r.unwrap_err().contains("session"));
     }

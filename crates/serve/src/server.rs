@@ -10,6 +10,7 @@
 
 use crate::protocol::{param_bits_string, parse_request, Reply, Request, RequestMeta};
 use crate::session::SessionManager;
+use crate::telemetry as tel;
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -78,6 +79,14 @@ impl Server {
             TcpListener::bind(&cfg.addr).map_err(|e| format!("cannot bind {}: {e}", cfg.addr))?;
         let local_addr = listener.local_addr().map_err(|e| format!("no local addr: {e}"))?;
         let workers = cfg.workers.max(1);
+        // Bind the declared SLO budgets to this server's actual
+        // configuration before the first observation lands.
+        tel::SLO_TURN.set_budget_us(cfg.default_deadline_ms * 1e3);
+        if cfg.scrub_interval_ms.is_finite() && cfg.scrub_interval_ms > 0.0 {
+            // A scrub walk that takes longer than twice its configured
+            // cadence (busy sessions, slow readback) burns the budget.
+            tel::SLO_SCRUB.set_budget_us(cfg.scrub_interval_ms * 2.0 * 1e3);
+        }
         let shared = Arc::new(Shared {
             sessions,
             cfg,
@@ -171,7 +180,7 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
         }
         match stream {
             Ok(s) => {
-                pfdbg_obs::counter_add("serve.connections", 1);
+                tel::CONNECTIONS.add(1);
                 let mut q = shared.queue.lock().expect("conn queue");
                 q.push_back(s);
                 shared.queue_cv.notify_one();
@@ -194,6 +203,7 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
 fn scrub_loop(shared: &Shared) {
     let interval = Duration::from_secs_f64(shared.cfg.scrub_interval_ms / 1e3);
     let step = interval.min(Duration::from_millis(50));
+    let mut last_walk: Option<Instant> = None;
     loop {
         let mut slept = Duration::ZERO;
         while slept < interval {
@@ -203,6 +213,12 @@ fn scrub_loop(shared: &Shared) {
             std::thread::sleep(step);
             slept += step;
         }
+        // The cadence SLO watches walk-to-walk spacing: on time when a
+        // walk starts within 2× the configured interval of the last.
+        if let Some(prev) = last_walk {
+            tel::SLO_SCRUB.observe_us(prev.elapsed().as_secs_f64() * 1e6);
+        }
+        last_walk = Some(Instant::now());
         for name in shared.sessions.session_names() {
             if shared.stop.load(Ordering::SeqCst) {
                 return;
@@ -293,23 +309,24 @@ enum LineOutcome {
 
 fn handle_line(line: &str, shared: &Shared) -> LineOutcome {
     let _s = pfdbg_obs::span("serve.request");
-    pfdbg_obs::counter_add("serve.requests", 1);
+    tel::REQUESTS.add(1);
     let started = Instant::now();
     let (req, meta) = parse_request(line);
-    let req = match req {
-        Ok(r) => r,
+    let outcome = match req {
+        Ok(r) => match handle_request(r, &meta, started, shared) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                tel::ERRORS.add(1);
+                LineOutcome::Reply(Reply::error(&meta, &e))
+            }
+        },
         Err(e) => {
-            pfdbg_obs::counter_add("serve.errors", 1);
-            return LineOutcome::Reply(Reply::error(&meta, &e));
-        }
-    };
-    match handle_request(req, &meta, started, shared) {
-        Ok(outcome) => outcome,
-        Err(e) => {
-            pfdbg_obs::counter_add("serve.errors", 1);
+            tel::ERRORS.add(1);
             LineOutcome::Reply(Reply::error(&meta, &e))
         }
-    }
+    };
+    tel::REQUEST_US.record_duration(started.elapsed());
+    outcome
 }
 
 fn handle_request(
@@ -348,6 +365,15 @@ fn handle_request(
                 .num("scrub_repairs", scrub.repairs as f64)
                 .num("scrub_quarantined", scrub.quarantined as f64)
                 .num("seu_bits_injected", scrub.seu_bits_injected as f64)
+                .num(
+                    "specialize_p50_us",
+                    tel::SPECIALIZE_US.get().percentile_us(50.0).unwrap_or(0.0),
+                )
+                .num(
+                    "specialize_p99_us",
+                    tel::SPECIALIZE_US.get().percentile_us(99.0).unwrap_or(0.0),
+                )
+                .num("turn_p99_us", tel::TURN_US.get().percentile_us(99.0).unwrap_or(0.0))
         }
         Request::Health { session } => {
             let h = sessions.health(&session)?;
@@ -365,6 +391,15 @@ fn handle_request(
                 )
                 .bool("needs_resync", h.needs_resync)
                 .num("turns", h.turns as f64)
+                // Fleet-wide SLO burn, so one health poll shows both
+                // this session's scrub state and whether the server as
+                // a whole is inside its declared budgets.
+                .num("slo_specialize_total", tel::SLO_SPECIALIZE.get().total() as f64)
+                .num("slo_specialize_burned", tel::SLO_SPECIALIZE.get().burned() as f64)
+                .num("slo_turn_total", tel::SLO_TURN.get().total() as f64)
+                .num("slo_turn_burned", tel::SLO_TURN.get().burned() as f64)
+                .num("slo_scrub_total", tel::SLO_SCRUB.get().total() as f64)
+                .num("slo_scrub_burned", tel::SLO_SCRUB.get().burned() as f64)
         }
         Request::Scrub { session } => {
             let r = sessions.scrub_session(&session)?;
@@ -378,6 +413,53 @@ fn handle_request(
                 .num("quarantined_frames", r.quarantined_frames as f64)
                 .num("scrub_us", r.scrub_time.as_secs_f64() * 1e6)
         }
+        Request::Metrics => {
+            use pfdbg_obs::jsonl::{write_object, JsonValue};
+            let hub = pfdbg_obs::hub();
+            let mut body = String::new();
+            for (name, value) in hub.counters() {
+                body.push_str(&write_object(&[
+                    ("type", JsonValue::Str("counter".into())),
+                    ("name", JsonValue::Str(name)),
+                    ("value", JsonValue::Num(value as f64)),
+                ]));
+                body.push('\n');
+            }
+            for (name, value) in hub.gauges() {
+                body.push_str(&write_object(&[
+                    ("type", JsonValue::Str("gauge".into())),
+                    ("name", JsonValue::Str(name)),
+                    ("value", JsonValue::Num(value)),
+                ]));
+                body.push('\n');
+            }
+            hub.append_jsonl(&mut body);
+            body.push_str(&sessions.sessions_metrics_jsonl());
+            Reply::ok(meta)
+                .num("sessions", sessions.n_sessions() as f64)
+                .num("lines", body.lines().count() as f64)
+                .str("metrics", body)
+        }
+        Request::Dump { session } => match session {
+            Some(s) => {
+                let flight = sessions.flight_dump(&s)?;
+                Reply::ok(meta)
+                    .str("session", s)
+                    .str("source", "live")
+                    .num("events", flight.lines().count() as f64)
+                    .str("flight", flight)
+            }
+            None => {
+                let (name, flight) = sessions
+                    .last_flight_dump()
+                    .ok_or("no automatic flight-recorder dump captured yet")?;
+                Reply::ok(meta)
+                    .str("session", name)
+                    .str("source", "auto")
+                    .num("events", flight.lines().count() as f64)
+                    .str("flight", flight)
+            }
+        },
         Request::Shutdown => {
             if !shared.cfg.allow_remote_shutdown {
                 return Err("remote shutdown is disabled".into());

@@ -32,9 +32,11 @@
 
 use crate::lru::LruCache;
 use crate::protocol::param_bits_string;
+use crate::telemetry as tel;
 use pfdbg_arch::{Bitstream, BitstreamLayout, IcapModel};
 use pfdbg_core::Instrumented;
 use pfdbg_emu::{FaultyIcap, IcapFaultConfig, SeuConfig, SeuIcap};
+use pfdbg_obs::{FlightKind, FlightRecorder};
 use pfdbg_pconf::icap::{commit_frames, readback_all, CommitPolicy, IcapChannel, MemoryIcap};
 use pfdbg_pconf::scrub::{ScrubHealth, ScrubPolicy, ScrubReport, Scrubber};
 use pfdbg_pconf::Scg;
@@ -84,7 +86,15 @@ struct SessionState {
     /// Per-session commit policy (the jitter seed is salted with the
     /// session name so concurrent sessions never retry in lockstep).
     policy: CommitPolicy,
+    /// Fixed-size ring of the session's recent structured events — the
+    /// post-mortem that survives to a `dump`.
+    flight: FlightRecorder,
 }
+
+/// Flight-recorder depth per session: enough to reconstruct the last
+/// few hundred turns' worth of commits, retries, scrubs, and strikes
+/// at O(1) per event and a few KB per session.
+const FLIGHT_CAP: usize = 256;
 
 /// The result of one specialization turn.
 #[derive(Debug, Clone)]
@@ -177,6 +187,11 @@ pub struct SessionManager {
     /// Frames containing at least one tunable bit — the escalation set
     /// of the full-frame-rewrite level, shared by every session.
     region_frames: Vec<usize>,
+    /// The most recent automatic flight-recorder dump, `(session,
+    /// JSONL)`: captured at the moment a turn rolls back or a scrub
+    /// quarantines a frame, served by the `dump` verb with no session
+    /// argument.
+    last_dump: Mutex<Option<(String, String)>>,
     icap_retries: AtomicU64,
     icap_degradations: AtomicU64,
     icap_rollbacks: AtomicU64,
@@ -242,6 +257,7 @@ impl SessionManager {
             policy,
             scrub_policy,
             region_frames,
+            last_dump: Mutex::new(None),
             icap_retries: AtomicU64::new(0),
             icap_degradations: AtomicU64::new(0),
             icap_rollbacks: AtomicU64::new(0),
@@ -342,6 +358,7 @@ impl SessionManager {
                 needs_resync: false,
                 scrubber: Scrubber::new(self.scrub_policy),
                 policy,
+                flight: FlightRecorder::new(FLIGHT_CAP),
             })),
         );
         pfdbg_obs::counter_add("serve.sessions_opened", 1);
@@ -473,9 +490,12 @@ impl SessionManager {
         // channel). Upsets in frames this turn does not write persist
         // until a scrub pass catches them.
         let flipped = state.channel.tick();
+        let turn_no = state.turns as u64;
         if flipped > 0 {
             self.seu_bits_injected.fetch_add(flipped as u64, Ordering::Relaxed);
+            state.flight.record(FlightKind::SeuStrike, turn_no, flipped as u64);
         }
+        state.flight.record(FlightKind::TurnStart, turn_no, flipped as u64);
 
         let key = param_bits_string(params);
         let cached = self.cache.lock().expect("cache").get(&key).cloned();
@@ -486,11 +506,19 @@ impl SessionManager {
                 // current state. Publication to the shared LRU waits
                 // until the commit verifies: an aborted turn must leave
                 // no trace.
+                let sp0 = Instant::now();
                 let bits = engine.scg.specialize_from(&state.params, &state.bits, params)?;
+                let sp_us = sp0.elapsed().as_secs_f64() * 1e6;
+                tel::SPECIALIZE_US.record_us(sp_us);
+                tel::SLO_SPECIALIZE.observe_us(sp_us);
                 (Arc::new(bits), false)
             }
         };
-        pfdbg_obs::counter_add(if cache_hit { "serve.cache_hit" } else { "serve.cache_miss" }, 1);
+        if cache_hit {
+            tel::CACHE_HITS.add(1);
+        } else {
+            tel::CACHE_MISSES.add(1);
+        }
 
         // Diff against the session's loaded configuration: only tunable
         // addresses can differ between two specializations.
@@ -508,7 +536,12 @@ impl SessionManager {
         // Deadline gate: all state mutation lies beyond this point.
         if let Some((started, budget)) = deadline {
             if started.elapsed() > budget {
-                pfdbg_obs::counter_add("serve.deadline_misses", 1);
+                tel::DEADLINE_MISSES.add(1);
+                state.flight.record(
+                    FlightKind::DeadlineMiss,
+                    turn_no,
+                    started.elapsed().as_micros() as u64,
+                );
                 return Err(format!(
                     "deadline exceeded: {:.1} ms spent, {:.1} ms allowed",
                     started.elapsed().as_secs_f64() * 1e3,
@@ -520,11 +553,9 @@ impl SessionManager {
 
         // A rolled-back turn left configuration memory untrusted: the
         // recovery commit rewrites every frame, not just the diff.
-        let write_set: Vec<usize> = if state.needs_resync {
-            (0..engine.layout.n_frames()).collect()
-        } else {
-            frames.clone()
-        };
+        let resyncing = state.needs_resync;
+        let write_set: Vec<usize> =
+            if resyncing { (0..engine.layout.n_frames()).collect() } else { frames.clone() };
         match commit_frames(
             state.channel.as_mut(),
             &engine.icap,
@@ -534,6 +565,20 @@ impl SessionManager {
             &state.policy,
         ) {
             Ok(commit) => {
+                if commit.retries > 0 {
+                    state.flight.record(FlightKind::Retry, turn_no, commit.retries as u64);
+                }
+                if commit.degradations > 0 {
+                    state.flight.record(
+                        FlightKind::Degradation,
+                        turn_no,
+                        commit.degradations as u64,
+                    );
+                }
+                if resyncing {
+                    state.flight.record(FlightKind::Resync, turn_no, write_set.len() as u64);
+                }
+                state.flight.record(FlightKind::TurnCommit, turn_no, bits_changed as u64);
                 state.bits = (*new_bits).clone();
                 state.params = params.clone();
                 state.needs_resync = false;
@@ -546,7 +591,12 @@ impl SessionManager {
                 self.icap_retries.fetch_add(commit.retries as u64, Ordering::Relaxed);
                 self.icap_degradations.fetch_add(commit.degradations as u64, Ordering::Relaxed);
                 *self.turns_total.lock().expect("turn counter") += 1;
-                pfdbg_obs::counter_add("serve.turns", 1);
+                tel::TURNS.add(1);
+                tel::RETRIES.add(commit.retries as u64);
+                tel::DEGRADATIONS.add(commit.degradations as u64);
+                let turn_us = t0.elapsed().as_secs_f64() * 1e6;
+                tel::TURN_US.record_us(turn_us);
+                tel::SLO_TURN.observe_us(turn_us);
                 Ok(TurnOutcome {
                     params: params.clone(),
                     bits_changed,
@@ -562,11 +612,18 @@ impl SessionManager {
             }
             Err((commit, msg)) => {
                 state.needs_resync = true;
+                state.flight.record(FlightKind::TurnRollback, turn_no, commit.retries as u64);
+                // A rollback is exactly the moment a post-mortem is
+                // wanted: snapshot the ring before anyone else turns.
+                let dump = state.flight.to_jsonl();
                 drop(guard);
+                *self.last_dump.lock().expect("flight dump") = Some((session.to_string(), dump));
                 self.icap_retries.fetch_add(commit.retries as u64, Ordering::Relaxed);
                 self.icap_degradations.fetch_add(commit.degradations as u64, Ordering::Relaxed);
                 self.icap_rollbacks.fetch_add(1, Ordering::Relaxed);
-                pfdbg_obs::counter_add("serve.rollbacks", 1);
+                tel::ROLLBACKS.add(1);
+                tel::RETRIES.add(commit.retries as u64);
+                tel::DEGRADATIONS.add(commit.degradations as u64);
                 Err(format!("reconfiguration rolled back: {msg}"))
             }
         }
@@ -580,7 +637,7 @@ impl SessionManager {
     pub fn scrub_session(&self, session: &str) -> Result<ScrubReport, String> {
         let arc = self.session_arc(session)?;
         let mut guard = arc.lock().expect("session");
-        self.scrub_locked(&mut guard)
+        self.scrub_locked(session, &mut guard)
     }
 
     /// Non-blocking [`SessionManager::scrub_session`]: `Ok(None)` when
@@ -589,7 +646,7 @@ impl SessionManager {
     pub fn try_scrub_session(&self, session: &str) -> Result<Option<ScrubReport>, String> {
         let arc = self.session_arc(session)?;
         let outcome = match arc.try_lock() {
-            Ok(mut guard) => Ok(Some(self.scrub_locked(&mut guard)?)),
+            Ok(mut guard) => Ok(Some(self.scrub_locked(session, &mut guard)?)),
             Err(TryLockError::WouldBlock) => {
                 pfdbg_obs::counter_add("scrub.skipped_busy", 1);
                 Ok(None)
@@ -599,21 +656,25 @@ impl SessionManager {
         outcome
     }
 
-    fn scrub_locked(&self, state: &mut SessionState) -> Result<ScrubReport, String> {
+    fn scrub_locked(&self, session: &str, state: &mut SessionState) -> Result<ScrubReport, String> {
         let _s = pfdbg_obs::span("serve.scrub");
         let t0 = Instant::now();
         let engine = &self.engine;
         // Destructure so the scrubber and the channel borrow disjoint
         // fields of the same guarded state.
-        let SessionState { scrubber, channel, params, needs_resync, .. } = state;
+        let SessionState { scrubber, channel, params, needs_resync, flight, turns, .. } = state;
+        let turn_no = *turns as u64;
         let report =
             scrubber.scrub_with_scg(channel.as_mut(), &engine.icap, &engine.scg, params)?;
+        flight.record(FlightKind::ScrubPass, turn_no, report.upset_frames as u64);
         if report.repaired_frames > 0 {
             // A repair rewrote device frames behind the cached
             // specialization's back: drop the entry for this vector so
             // the next select re-verifies through a fresh specialize
             // instead of trusting it.
             self.cache.lock().expect("cache").remove(&param_bits_string(params));
+            flight.record(FlightKind::ScrubRepair, turn_no, report.repaired_frames as u64);
+            tel::SCRUB_REPAIRS.add(report.repaired_frames as u64);
         }
         if report.quarantined_frames > 0 {
             // A frame refuses to heal: stop trusting the device. The
@@ -621,6 +682,12 @@ impl SessionManager {
             // a truly stuck frame — degraded, loudly, rather than
             // serving corrupt trace data).
             *needs_resync = true;
+            flight.record(FlightKind::Quarantine, turn_no, report.quarantined_frames as u64);
+            tel::SCRUB_QUARANTINES.add(report.quarantined_frames as u64);
+            // Quarantine is the fleet's "something is wrong here":
+            // capture the post-mortem automatically.
+            *self.last_dump.lock().expect("flight dump") =
+                Some((session.to_string(), flight.to_jsonl()));
         }
         self.scrub_passes.fetch_add(1, Ordering::Relaxed);
         self.scrub_upsets.fetch_add(report.upset_frames as u64, Ordering::Relaxed);
@@ -629,6 +696,62 @@ impl SessionManager {
         self.scrub_quarantined.fetch_add(report.quarantined_frames as u64, Ordering::Relaxed);
         pfdbg_obs::gauge_set("serve.scrub_ms_last", t0.elapsed().as_secs_f64() * 1e3);
         Ok(report)
+    }
+
+    /// A live dump of `session`'s flight-recorder ring as JSONL
+    /// (`flight` events, oldest first) — the `dump` verb's payload.
+    pub fn flight_dump(&self, session: &str) -> Result<String, String> {
+        let arc = self.session_arc(session)?;
+        let state = arc.lock().expect("session");
+        Ok(state.flight.to_jsonl())
+    }
+
+    /// The most recent automatic dump — `(session name, JSONL)` —
+    /// captured when a turn rolled back or a scrub quarantined a
+    /// frame. `None` until something went wrong.
+    pub fn last_flight_dump(&self) -> Option<(String, String)> {
+        self.last_dump.lock().expect("flight dump").clone()
+    }
+
+    /// Per-session telemetry rows for the `metrics` verb: one flat
+    /// JSONL object per session (`"type":"session"`). Sessions busy
+    /// with an in-flight select are reported as such rather than
+    /// blocked on — a dashboard poll must never queue behind a commit.
+    pub fn sessions_metrics_jsonl(&self) -> String {
+        use pfdbg_obs::jsonl::{write_object, JsonValue};
+        let mut names = self.session_names();
+        names.sort();
+        let mut out = String::new();
+        for name in names {
+            let Ok(arc) = self.session_arc(&name) else { continue };
+            let mut fields = vec![
+                ("type", JsonValue::Str("session".into())),
+                ("name", JsonValue::Str(name.clone())),
+            ];
+            match arc.try_lock() {
+                Ok(state) => {
+                    let totals = state.scrubber.totals();
+                    fields.extend([
+                        ("busy", JsonValue::Bool(false)),
+                        ("turns", JsonValue::Num(state.turns as f64)),
+                        ("health", JsonValue::Str(state.scrubber.health().as_str().to_string())),
+                        ("needs_resync", JsonValue::Bool(state.needs_resync)),
+                        ("scrubs", JsonValue::Num(totals.passes as f64)),
+                        ("quarantined", JsonValue::Num(state.scrubber.quarantined().len() as f64)),
+                        ("flight_events", JsonValue::Num(state.flight.total_recorded() as f64)),
+                    ]);
+                }
+                Err(TryLockError::WouldBlock) => {
+                    fields.push(("busy", JsonValue::Bool(true)));
+                }
+                Err(TryLockError::Poisoned(_)) => {
+                    fields.push(("busy", JsonValue::Bool(true)));
+                }
+            }
+            out.push_str(&write_object(&fields));
+            out.push('\n');
+        }
+        out
     }
 }
 

@@ -1,0 +1,56 @@
+//! Always-on fleet-telemetry handles for the serve layer.
+//!
+//! Every handle here is a `Lazy*` static from `pfdbg-obs`: after the
+//! first touch, an update is one relaxed atomic on a sharded cell — no
+//! registry mutex, no `enabled()` gate. These feed the `metrics`
+//! protocol verb and the `pfdbg top` dashboard, so they stay hot even
+//! when nobody asked for a profile (the profiling layer's spans and
+//! gated counters remain off by default and are unaffected).
+//!
+//! Naming: `serve.*` counters/histograms mirror the `stats` verb,
+//! `scg.specialize_us` is the paper's headline latency, and `slo.*`
+//! names the declared budgets (a distinct prefix — the hub keys
+//! metrics by name, so an SLO may not shadow its histogram).
+
+use pfdbg_obs::{LazyCounter, LazyHistogram, LazySlo};
+
+/// Requests handled (any verb, including errors).
+pub(crate) static REQUESTS: LazyCounter = LazyCounter::new("serve.requests");
+/// Requests answered with an error reply.
+pub(crate) static ERRORS: LazyCounter = LazyCounter::new("serve.errors");
+/// Connections accepted.
+pub(crate) static CONNECTIONS: LazyCounter = LazyCounter::new("serve.connections");
+/// Committed debugging turns.
+pub(crate) static TURNS: LazyCounter = LazyCounter::new("serve.turns");
+/// Specialization served from the shared LRU.
+pub(crate) static CACHE_HITS: LazyCounter = LazyCounter::new("serve.cache_hits");
+/// Specialization recomputed on miss.
+pub(crate) static CACHE_MISSES: LazyCounter = LazyCounter::new("serve.cache_misses");
+/// Turns rolled back after exhausting the escalation ladder.
+pub(crate) static ROLLBACKS: LazyCounter = LazyCounter::new("serve.rollbacks");
+/// Selects rejected at the deadline gate.
+pub(crate) static DEADLINE_MISSES: LazyCounter = LazyCounter::new("serve.deadline_misses");
+/// Frame-write retries across all sessions.
+pub(crate) static RETRIES: LazyCounter = LazyCounter::new("serve.retries");
+/// Commit escalations across all sessions.
+pub(crate) static DEGRADATIONS: LazyCounter = LazyCounter::new("serve.degradations");
+/// Frames scrub passes repaired back to golden.
+pub(crate) static SCRUB_REPAIRS: LazyCounter = LazyCounter::new("serve.scrub_repairs");
+/// Frames scrub passes quarantined as stuck.
+pub(crate) static SCRUB_QUARANTINES: LazyCounter = LazyCounter::new("serve.scrub_quarantines");
+
+/// Wall time per protocol request (parse to reply).
+pub(crate) static REQUEST_US: LazyHistogram = LazyHistogram::new("serve.request_us");
+/// Wall time per committed turn (lock to commit-verified).
+pub(crate) static TURN_US: LazyHistogram = LazyHistogram::new("serve.turn_us");
+/// Host-side SCG specialization time on cache misses — the paper's
+/// ≤ 50 µs claim.
+pub(crate) static SPECIALIZE_US: LazyHistogram = LazyHistogram::new("scg.specialize_us");
+
+/// Specialization budget: the paper's 50 µs bound.
+pub(crate) static SLO_SPECIALIZE: LazySlo = LazySlo::new("slo.specialize_us", 50.0);
+/// Turn budget; rebound to the server's default deadline at startup.
+pub(crate) static SLO_TURN: LazySlo = LazySlo::new("slo.turn_us", 1_000_000.0);
+/// Scrub cadence: actual walk-to-walk interval vs. 2× the configured
+/// one; rebound at startup, infinite (never burned) when disabled.
+pub(crate) static SLO_SCRUB: LazySlo = LazySlo::new("slo.scrub_interval_us", f64::INFINITY);

@@ -30,23 +30,32 @@ pub fn stddev(xs: &[f64]) -> Option<f64> {
     Some(var.sqrt())
 }
 
-/// `p`-th percentile (0..=100) by linear interpolation on the sorted data.
-/// Returns `None` on an empty slice, out-of-range `p`, or NaN input (a
-/// NaN has no rank, so no percentile is well defined).
+/// Nearest-rank `p`-th percentile (0..=100): the sample of rank
+/// `ceil(p/100 · N)` (1-based; `p = 0` selects the minimum) on the
+/// sorted data. Returns `None` on an empty slice, out-of-range `p`, or
+/// NaN input (a NaN has no rank, so no percentile is well defined).
+///
+/// Nearest-rank rather than linear interpolation, deliberately: a
+/// reported percentile is always an *observed* sample — a single
+/// element is its own percentile at every `p`, and duplicate-heavy
+/// inputs (say 99 equal latencies and one outlier) never yield a
+/// fabricated value between two modes. This is also the rank
+/// definition `pfdbg_obs::Histogram` uses, so the two percentile paths
+/// agree to within half a histogram bucket.
 pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
     if xs.is_empty() || !(0.0..=100.0).contains(&p) || xs.iter().any(|x| x.is_nan()) {
         return None;
     }
     let mut sorted = xs.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaNs rejected above"));
-    let rank = p / 100.0 * (sorted.len() - 1) as f64;
-    let lo = rank.floor() as usize;
-    let hi = rank.ceil() as usize;
-    let frac = rank - lo as f64;
-    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    // Clamp defensively: float rounding at p = 100 must not step past
+    // the last element.
+    let rank = ((p / 100.0 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    Some(sorted[rank - 1])
 }
 
-/// Median (50th percentile).
+/// Median (50th percentile, nearest-rank — the lower of the two middle
+/// samples on even-length input).
 pub fn median(xs: &[f64]) -> Option<f64> {
     percentile(xs, 50.0)
 }
@@ -128,12 +137,35 @@ mod tests {
     }
 
     #[test]
-    fn percentile_interpolates() {
+    fn percentile_is_nearest_rank() {
         let xs = [1.0, 2.0, 3.0, 4.0];
         assert_eq!(percentile(&xs, 0.0), Some(1.0));
         assert_eq!(percentile(&xs, 100.0), Some(4.0));
-        assert_eq!(median(&xs), Some(2.5));
+        assert_eq!(median(&xs), Some(2.0)); // lower middle sample
+        assert_eq!(median(&[1.0, 2.0, 3.0]), Some(2.0));
+        assert_eq!(percentile(&xs, 75.0), Some(3.0));
+        assert_eq!(percentile(&xs, 76.0), Some(4.0));
         assert_eq!(percentile(&xs, 101.0), None);
+    }
+
+    #[test]
+    fn percentile_single_element_and_duplicates() {
+        // A single element is its own percentile everywhere.
+        for p in [0.0, 50.0, 99.9, 100.0] {
+            assert_eq!(percentile(&[7.5], p), Some(7.5));
+        }
+        // Duplicate-heavy input never fabricates a between-modes value:
+        // every percentile is an observed sample.
+        let mut xs = vec![1.0; 99];
+        xs.push(1000.0);
+        assert_eq!(percentile(&xs, 50.0), Some(1.0));
+        assert_eq!(percentile(&xs, 99.0), Some(1.0));
+        assert_eq!(percentile(&xs, 99.5), Some(1000.0));
+        assert_eq!(percentile(&xs, 100.0), Some(1000.0));
+        for p in [0.0, 10.0, 37.3, 50.0, 90.0, 99.0, 99.9, 100.0] {
+            let v = percentile(&xs, p).unwrap();
+            assert!(xs.contains(&v), "p{p} -> {v} is not a sample");
+        }
     }
 
     #[test]
