@@ -42,7 +42,7 @@ echo "== serve smoke test =="
 # the background scrubber enabled — drive it with a small serve_load
 # run, and check for a clean shutdown plus a non-empty latency report
 # carrying the scrub counters.
-cargo build -q -p pfdbg-cli -p pfdbg-bench --bin pfdbg --bin serve_load
+cargo build -q -p pfdbg-cli -p pfdbg-bench --bin pfdbg --bin serve_load --bin diff_fuzz
 SMOKE_DIR=$(mktemp -d)
 trap 'rm -rf "$SMOKE_DIR"' EXIT
 ./target/debug/pfdbg serve @stereov. --store-dir "$SMOKE_DIR/store" \
@@ -123,5 +123,78 @@ echo "$DUMP" | grep -q 'scrub_pass' || { echo "flight dump lacks the scrub passe
 ./target/debug/pfdbg client "127.0.0.1:$QPORT" --shutdown >/dev/null || true
 wait "$QSERVE_PID" || true
 echo "quarantine smoke ok"
+
+echo "== record/replay round trip =="
+# A standalone recording under transport faults and SEUs must replay
+# bit-identically, at the recorded thread count and at 8 SCG threads.
+./target/debug/pfdbg record gen:7 --out "$SMOKE_DIR/rt.pfdj" --turns 6 --seed 1234 \
+    --scrub-every 3 --icap-fault-rate 0.05 --seu-rate 0.01 >/dev/null
+./target/debug/pfdbg replay "$SMOKE_DIR/rt.pfdj" \
+    | grep -q 'bit-identical' || { echo "record/replay round trip diverged"; exit 1; }
+./target/debug/pfdbg replay "$SMOKE_DIR/rt.pfdj" --at-threads 8 \
+    | grep -q 'bit-identical' || { echo "replay diverged at 8 threads"; exit 1; }
+echo "record/replay ok"
+
+echo "== journaled serve restart smoke =="
+# Crash-consistency end to end: a journaling server is killed (SIGKILL,
+# no clean close) mid-session; a restart over the same journal dir must
+# restore the session, report the restore in `stats`, and replay its
+# own journal to a bit-identical verdict via the `replay` verb.
+JDIR="$SMOKE_DIR/journal"
+start_jserve() {
+    rm -f "$SMOKE_DIR/jport"
+    ./target/debug/pfdbg serve @stereov. --store-dir "$SMOKE_DIR/store" \
+        --journal-dir "$JDIR" --seu-rate 0.01 \
+        --port-file "$SMOKE_DIR/jport" >>"$SMOKE_DIR/jserve.log" 2>&1 &
+    JSERVE_PID=$!
+    for _ in $(seq 100); do
+        [ -s "$SMOKE_DIR/jport" ] && break
+        sleep 0.1
+    done
+    [ -s "$SMOKE_DIR/jport" ] || { echo "journaled serve never published its port"; cat "$SMOKE_DIR/jserve.log"; exit 1; }
+    JPORT=$(cat "$SMOKE_DIR/jport")
+}
+start_jserve
+JOPEN=$(./target/debug/pfdbg client "127.0.0.1:$JPORT" --request '{"op":"open","session":"jsmoke"}')
+JN=$(echo "$JOPEN" | sed -n 's/.*"n_params":\([0-9]*\).*/\1/p')
+[ -n "$JN" ] || { echo "journaled open lacks n_params: $JOPEN"; exit 1; }
+JZEROS=$(printf "%0${JN}d" 0)
+JONES=$(echo "$JZEROS" | tr 0 1)
+./target/debug/pfdbg client "127.0.0.1:$JPORT" \
+    --request "{\"op\":\"select\",\"session\":\"jsmoke\",\"params\":\"$JZEROS\"}" >/dev/null
+./target/debug/pfdbg client "127.0.0.1:$JPORT" \
+    --request "{\"op\":\"select\",\"session\":\"jsmoke\",\"params\":\"$JONES\"}" >/dev/null
+kill -9 "$JSERVE_PID" 2>/dev/null
+wait "$JSERVE_PID" 2>/dev/null || true
+start_jserve
+REOPEN=$(./target/debug/pfdbg client "127.0.0.1:$JPORT" --request '{"op":"open","session":"jsmoke"}')
+echo "$REOPEN" | grep -q '"ok":true' || { echo "session restore failed: $REOPEN"; exit 1; }
+./target/debug/pfdbg client "127.0.0.1:$JPORT" --request '{"op":"stats"}' \
+    | grep -q '"restores":[1-9]' || { echo "stats shows no session restore"; exit 1; }
+JREC=$(./target/debug/pfdbg client "127.0.0.1:$JPORT" --request '{"op":"record","session":"jsmoke"}')
+JPATH=$(echo "$JREC" | sed -n 's/.*"path":"\([^"]*\)".*/\1/p')
+[ -n "$JPATH" ] || { echo "record verb returned no journal path: $JREC"; exit 1; }
+./target/debug/pfdbg client "127.0.0.1:$JPORT" \
+    --request "{\"op\":\"replay\",\"path\":\"$JPATH\"}" \
+    | grep -q '"identical":true' || { echo "server replay of its own journal diverged"; exit 1; }
+./target/debug/pfdbg client "127.0.0.1:$JPORT" --shutdown >/dev/null
+wait "$JSERVE_PID"
+echo "journaled restart smoke ok"
+
+echo "== differential fuzz (64 seeded cases) =="
+# Seeded random turn sequences through every emulator pair that must
+# agree bit-for-bit (faulty-vs-oracle, serial-vs-parallel SCG,
+# scrubbed-vs-unscrubbed at zero SEU). Divergences shrink to minimal
+# journals in the corpus dir and fail the gate.
+./target/debug/diff_fuzz --cases 64 --seed 4242 --corpus "$SMOKE_DIR/fuzz-corpus" \
+    --out BENCH_diff_fuzz.json >/dev/null
+grep -q '"divergences":0' BENCH_diff_fuzz.json || { echo "differential fuzz found divergences"; exit 1; }
+echo "diff_fuzz ok: $(cat BENCH_diff_fuzz.json)"
+
+echo "== committed corpus replay =="
+for j in tests/corpus/*.pfdj; do
+    ./target/debug/pfdbg replay "$j" >/dev/null || { echo "corpus journal $j diverged"; exit 1; }
+done
+echo "corpus ok"
 
 echo "all checks passed"

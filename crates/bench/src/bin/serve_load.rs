@@ -6,14 +6,17 @@
 //! ```text
 //! serve_load [--addr host:port] [--threads N] [--requests N] [--out f.json] [--shutdown]
 //!            [--icap-fault-rate R] [--icap-seed S]
-//!            [--seu-rate R] [--seu-seed S] [--scrub-interval-ms MS]
+//!            [--seu-rate R] [--seu-seed S] [--scrub-interval-ms MS] [--journal]
 //! ```
 //!
 //! Without `--addr` it spins up an in-process server over a generated
 //! design (worker pool sized to the thread count) and shuts it down at
 //! the end; with `--addr` it drives an external `pfdbg serve` instance,
 //! and `--shutdown` additionally stops that server once the run is done
-//! (the pattern `check.sh` uses for its smoke test).
+//! (the pattern `check.sh` uses for its smoke test). `--journal` turns
+//! on session journaling (in-process server, temp dir), measuring the
+//! record-path overhead; `journal_records`/`restores` land in the
+//! report either way.
 
 use pfdbg_core::{offline, prepare_instrumented, InstrumentConfig, OfflineConfig};
 use pfdbg_obs::jsonl::{write_object, JsonValue};
@@ -168,6 +171,10 @@ fn main() {
     let seu_rate = flag_f64(&rest, "--seu-rate", 0.0);
     let seu_seed = flag_usize(&rest, "--seu-seed", 0x5EED_05E0) as u64;
     let scrub_interval_ms = flag_f64(&rest, "--scrub-interval-ms", 0.0);
+    let journal = rest.iter().any(|a| a == "--journal");
+    let journal_dir = journal.then(|| {
+        std::env::temp_dir().join(format!("pfdbg-serve-load-journal-{}", std::process::id()))
+    });
 
     // Worker-per-connection: the pool must be at least as large as the
     // client thread count or connections queue behind busy workers.
@@ -181,7 +188,7 @@ fn main() {
         let seu = (seu_rate > 0.0)
             .then_some(pfdbg_emu::SeuConfig { rate: seu_rate, burst: 2, seed: seu_seed })
             .or_else(pfdbg_emu::SeuConfig::from_env);
-        let manager = SessionManager::with_chaos_scrub(
+        let mut manager = SessionManager::with_chaos_scrub(
             Arc::new(build_engine()),
             64,
             fault,
@@ -189,6 +196,12 @@ fn main() {
             seu,
             pfdbg_pconf::ScrubPolicy::default(),
         );
+        if let Some(dir) = &journal_dir {
+            std::fs::remove_dir_all(dir).ok();
+            std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("{}: {e}", dir.display()));
+            manager.set_journal_dir(dir.clone());
+            eprintln!("serve_load: journaling sessions to {}", dir.display());
+        }
         let cfg =
             ServerConfig { workers: threads.max(8), scrub_interval_ms, ..ServerConfig::default() };
         Some(Server::start(manager, cfg).expect("server start"))
@@ -242,6 +255,8 @@ fn main() {
     let specialize_p50_us = stat("specialize_p50_us");
     let specialize_p99_us = stat("specialize_p99_us");
     let turn_p99_us = stat("turn_p99_us");
+    let journal_records = stat("journal_records");
+    let restores = stat("restores");
 
     let mut latencies: Vec<f64> = Vec::new();
     let mut failures = 0usize;
@@ -303,6 +318,9 @@ fn main() {
         ("scrub_repairs", JsonValue::Num(scrub_repairs)),
         ("scrub_quarantined", JsonValue::Num(scrub_quarantined)),
         ("seu_bits_injected", JsonValue::Num(seu_bits_injected)),
+        ("journal", JsonValue::Bool(journal)),
+        ("journal_records", JsonValue::Num(journal_records)),
+        ("restores", JsonValue::Num(restores)),
         ("in_process", JsonValue::Bool(external.is_none())),
     ]);
     std::fs::write(&out, format!("{json}\n")).unwrap_or_else(|e| panic!("{out}: {e}"));
@@ -310,6 +328,9 @@ fn main() {
 
     if let Some(handle) = handle {
         handle.shutdown();
+        if let Some(dir) = &journal_dir {
+            std::fs::remove_dir_all(dir).ok();
+        }
     } else if send_shutdown {
         match Client::connect(&addr).and_then(|mut c| c.roundtrip("{\"op\":\"shutdown\"}")) {
             Ok(reply) if is_ok(&reply) => eprintln!("serve_load: server shutdown requested"),

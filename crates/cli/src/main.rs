@@ -133,6 +133,9 @@ fn run(args: &[String]) -> Result<(), String> {
         "serve" => cmd_serve(rest),
         "client" => cmd_client(rest),
         "top" => cmd_top(rest),
+        "record" => cmd_record(rest),
+        "replay" => cmd_replay(rest),
+        "fuzz" => cmd_fuzz(rest),
         "bench-list" => {
             for name in pfdbg_circuits::names() {
                 let row = pfdbg_circuits::paper_row(name).expect("known");
@@ -169,6 +172,11 @@ fn print_usage() {
          \x20 pfdbg serve      <design.blif|@bench> [--addr H:P|--port P] [--workers N] [--cache N] [--port-file f]\n\
          \x20                  [--icap-fault-rate R] [--icap-seed S] [--max-retries N]\n\
          \x20                  [--scrub-interval MS] [--seu-rate R] [--seu-seed S] [--seu-burst B]\n\
+         \x20                  [--journal-dir DIR] (record every session; restore on restart)\n\
+         \x20 pfdbg record     <design.blif|@bench|gen:SEED> --out <f.pfdj> [--turns N] [--seed S]\n\
+         \x20                  [--scrub-every N] [--session NAME] [chaos flags as for serve]\n\
+         \x20 pfdbg replay     <journal.pfdj> [--at-threads N] (exit 1 on divergence)\n\
+         \x20 pfdbg fuzz       [--cases N] [--seed S] [--corpus-dir DIR] (differential turn fuzzer)\n\
          \x20 pfdbg client     <host:port> [--request '<json>'] [--shutdown]\n\
          \x20 pfdbg top        <host:port> [--interval MS] [--iters N] [--no-clear]\n\
          \x20 pfdbg bench-list\n\
@@ -722,7 +730,7 @@ fn cmd_serve(rest: &[String]) -> Result<(), String> {
     let (fault, policy) = chaos_from_flags(rest)?;
     let seu = seu_from_flags(rest)?;
     let scrub_interval_ms = flag_f64(rest, "--scrub-interval", 0.0)?;
-    let manager = SessionManager::with_chaos_scrub(
+    let mut manager = SessionManager::with_chaos_scrub(
         Arc::new(Engine::new(inst, scg, layout, icap)),
         cache,
         fault,
@@ -730,6 +738,17 @@ fn cmd_serve(rest: &[String]) -> Result<(), String> {
         seu,
         pfdbg_pconf::ScrubPolicy { commit: policy, ..Default::default() },
     );
+    if let Some(dir) = flag(rest, "--journal-dir") {
+        std::fs::create_dir_all(&dir).map_err(|e| format!("{dir}: {e}"))?;
+        manager.set_journal_dir(dir.clone().into());
+        // Record the design's provenance so the journals are
+        // self-contained (replayable by `pfdbg replay` offline). A
+        // design loaded from a file stays replayable as long as the
+        // file does.
+        let arg = rest.first().expect("load_design checked the design arg");
+        manager.set_journal_design(design_spec_of(arg)?, icfg(rest)?.coverage, k);
+        println!("pfdbg serve: journaling sessions to {dir}");
+    }
     let handle = Server::start(
         manager,
         ServerConfig {
@@ -748,6 +767,150 @@ fn cmd_serve(rest: &[String]) -> Result<(), String> {
     }
     handle.wait();
     println!("pfdbg serve: stopped");
+    Ok(())
+}
+
+/// Map a design argument to a journal [`DesignSpec`]. `gen:SEED` is a
+/// canonical small synthetic design (record/replay only); `@name` is a
+/// suite benchmark; anything else is a netlist file path.
+fn design_spec_of(arg: &str) -> Result<pfdbg_replay::DesignSpec, String> {
+    use pfdbg_replay::DesignSpec;
+    if let Some(seed) = arg.strip_prefix("gen:") {
+        let seed: u64 =
+            seed.parse().map_err(|_| format!("gen: expects a numeric seed, got {seed:?}"))?;
+        return Ok(DesignSpec::Generated {
+            n_inputs: 6,
+            n_outputs: 4,
+            n_gates: 24,
+            depth: 4,
+            n_latches: 2,
+            seed,
+        });
+    }
+    if let Some(name) = arg.strip_prefix('@') {
+        return Ok(DesignSpec::Bench { name: name.to_string() });
+    }
+    Ok(DesignSpec::File { path: arg.to_string() })
+}
+
+/// splitmix64 step — the CLI's deterministic parameter-vector source,
+/// so `record --seed S` always journals the same session.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn cmd_record(rest: &[String]) -> Result<(), String> {
+    use pfdbg_replay::{ChaosSpec, Recorder, SessionMeta};
+
+    let arg = rest
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("expected a design file, @benchmark, or gen:SEED")?;
+    let out = flag(rest, "--out").ok_or("--out expects a journal path (.pfdj)")?;
+    let turns = flag_usize(rest, "--turns", 8)?;
+    let scrub_every = flag_usize(rest, "--scrub-every", 0)?;
+    let seed = flag_usize(rest, "--seed", 0x00C0_FFEE)? as u64;
+    let k = flag_usize(rest, "--k", PAPER_K)?;
+    let icfg = icfg(rest)?;
+    let (fault, policy) = chaos_from_flags(rest)?;
+    let seu = seu_from_flags(rest)?;
+    let scrub_policy = pfdbg_pconf::ScrubPolicy { commit: policy, ..Default::default() };
+    let meta = SessionMeta {
+        session: flag(rest, "--session").unwrap_or_else(|| "cli".into()),
+        derive_seeds: false,
+        design: design_spec_of(arg)?,
+        ports: icfg.n_ports,
+        coverage: icfg.coverage,
+        k,
+        n_params: 0, // the recorder fills this from the built design
+        chaos: ChaosSpec::from_parts(fault, seu, &policy, &scrub_policy),
+        threads: 0,
+        note: format!("pfdbg record {arg} --seed {seed}"),
+    };
+    let mut rec = Recorder::create(&meta, std::path::Path::new(&out))?;
+    let n = rec.n_params();
+    let mut state = seed;
+    for t in 0..turns {
+        if scrub_every > 0 && t % scrub_every == scrub_every - 1 {
+            let s = rec.scrub()?;
+            println!(
+                "scrub:   {} frames checked, {} upset, {} repaired",
+                s.frames_checked, s.upset_frames, s.repaired_frames
+            );
+        }
+        let mut params = pfdbg_util::BitVec::zeros(n);
+        for i in 0..n {
+            if splitmix64(&mut state) & 1 == 1 {
+                params.set(i, true);
+            }
+        }
+        let f = rec.select(&params)?;
+        println!(
+            "turn {t:3}: {:?} bits_changed={} frames_changed={} retries={} seu_flips={}",
+            f.outcome, f.bits_changed, f.frames_changed, f.retries, f.seu_flips
+        );
+    }
+    rec.finish()?;
+    println!("recorded {turns} turns ({n} params) to {out}");
+    Ok(())
+}
+
+fn cmd_replay(rest: &[String]) -> Result<(), String> {
+    let path =
+        rest.first().filter(|a| !a.starts_with("--")).ok_or("expected a journal path (.pfdj)")?;
+    let threads = match flag(rest, "--at-threads") {
+        None => None,
+        Some(v) => {
+            Some(v.parse().map_err(|_| format!("--at-threads expects a number, got {v:?}"))?)
+        }
+    };
+    let report = pfdbg_replay::verify_path(std::path::Path::new(path), threads)?;
+    let torn = if report.torn { " (torn tail skipped)" } else { "" };
+    println!(
+        "replay {path}: session {:?}, {} records, {} turns, {} scrubs{torn}",
+        report.session, report.records, report.turns, report.scrubs
+    );
+    match &report.divergence {
+        None => {
+            println!("bit-identical");
+            Ok(())
+        }
+        Some(d) => Err(format!("replay diverged: {d}")),
+    }
+}
+
+fn cmd_fuzz(rest: &[String]) -> Result<(), String> {
+    let cases = flag_usize(rest, "--cases", 64)?;
+    let seed = flag_usize(rest, "--seed", 0xD1FF)? as u64;
+    let corpus = flag(rest, "--corpus-dir");
+    if let Some(dir) = &corpus {
+        std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+    }
+    let pairs = pfdbg_replay::default_pairs();
+    let report = pfdbg_replay::run_suite(
+        cases,
+        seed,
+        &pairs,
+        corpus.as_deref().map(std::path::Path::new),
+        |c| match &c.divergence {
+            None => println!("case {:#06x} {:24} {} ops: ok", c.seed, c.pair, c.ops),
+            Some(d) => {
+                println!("case {:#06x} {:24} {} ops: DIVERGED at {}", c.seed, c.pair, c.ops, d);
+                if let Some(p) = &c.corpus_path {
+                    println!("  minimal journal: {}", p.display());
+                }
+            }
+        },
+    )?;
+    let diverged = report.divergences();
+    println!("fuzz: {} cases, {diverged} divergences", report.cases.len());
+    if diverged > 0 {
+        return Err(format!("{diverged} differential divergences (see corpus)"));
+    }
     Ok(())
 }
 

@@ -86,6 +86,38 @@ impl DebugSession {
         self.online.as_mut()
     }
 
+    /// Advance the device's between-turn clock by one step — where an
+    /// emulated fabric takes its single-event upsets. Returns the
+    /// number of configuration bits that flipped (0 without a device).
+    pub fn tick(&mut self) -> usize {
+        self.online.as_mut().map_or(0, |o| o.tick())
+    }
+
+    /// Apply a raw parameter assignment as one transactional turn,
+    /// without planning signals or emulating — the record/replay hook:
+    /// a journal re-drive pushes the recorded parameter vectors through
+    /// the exact same commit path [`DebugSession::observe`] uses, and
+    /// the session state (params, turn log) advances only when the
+    /// commit lands. On error the turn rolls back and nothing advances.
+    /// Returns the reconfiguration stats when a device is attached.
+    pub fn apply_params(&mut self, params: &BitVec) -> Result<Option<TurnStats>, String> {
+        if params.len() != self.inst.annotations.len() {
+            return Err(format!(
+                "parameter vector has {} bits, design has {}",
+                params.len(),
+                self.inst.annotations.len()
+            ));
+        }
+        let stats = match self.online.as_mut() {
+            Some(o) => Some(o.try_apply(params)?),
+            None => None,
+        };
+        self.params = params.clone();
+        self.turns.push(TurnRecord { turn: self.turns.len(), signals: Vec::new(), stats });
+        TURNS.add(1);
+        Ok(stats)
+    }
+
     /// Plan a selection: map each requested signal to a free port and
     /// compute the parameter assignment. Fails if a signal is not
     /// observable or more signals are requested than ports exist (that

@@ -9,10 +9,12 @@ pub mod emulator;
 pub mod fault;
 pub mod golden;
 pub mod icap;
+pub mod nondet;
 pub mod seu;
 
 pub use emulator::Emulator;
 pub use fault::{apply_static, injectable_nets, Fault};
 pub use golden::{golden_waveform, lockstep, LockstepReport};
 pub use icap::{FaultyIcap, IcapFaultConfig};
+pub use nondet::NondetIcap;
 pub use seu::{SeuConfig, SeuIcap};

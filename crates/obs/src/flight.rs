@@ -50,6 +50,12 @@ pub enum FlightKind {
     /// A recovery commit rewrote the whole device; `value` = frames
     /// written.
     Resync,
+    /// A journal replay stopped matching its recording; `value` = the
+    /// diverging record index. Emitted by restore/replay verification.
+    ReplayDivergence,
+    /// A session was rebuilt from its journal after a restart;
+    /// `value` = records re-driven.
+    SessionRestore,
 }
 
 impl FlightKind {
@@ -67,6 +73,8 @@ impl FlightKind {
             FlightKind::ScrubRepair => "scrub_repair",
             FlightKind::Quarantine => "quarantine",
             FlightKind::Resync => "resync",
+            FlightKind::ReplayDivergence => "replay_divergence",
+            FlightKind::SessionRestore => "session_restore",
         }
     }
 
@@ -84,6 +92,8 @@ impl FlightKind {
             "scrub_repair" => FlightKind::ScrubRepair,
             "quarantine" => FlightKind::Quarantine,
             "resync" => FlightKind::Resync,
+            "replay_divergence" => FlightKind::ReplayDivergence,
+            "session_restore" => FlightKind::SessionRestore,
             _ => return None,
         })
     }
@@ -221,6 +231,8 @@ mod tests {
             FlightKind::ScrubRepair,
             FlightKind::Quarantine,
             FlightKind::Resync,
+            FlightKind::ReplayDivergence,
+            FlightKind::SessionRestore,
         ] {
             assert_eq!(FlightKind::parse(kind.as_str()), Some(kind));
         }

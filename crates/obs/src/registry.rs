@@ -287,7 +287,7 @@ impl Registry {
     }
 
     /// Serialize every recorded event as JSON Lines (schema
-    /// `pfdbg-obs/2`, documented in the README). One object per line:
+    /// `pfdbg-obs/3`, documented in the README). One object per line:
     /// a `meta` header, then `span`, `counter`, `gauge`, `hist`, `slo`,
     /// and `message` events. Readers skip kinds they do not know, so
     /// `pfdbg-obs/1` consumers still digest the span/counter core.
@@ -298,7 +298,7 @@ impl Registry {
             g.spans.iter().filter(|s| s.parent.is_none()).filter_map(|s| s.dur).sum();
         out.push_str(&jsonl::write_object(&[
             ("type", jsonl::JsonValue::Str("meta".into())),
-            ("schema", jsonl::JsonValue::Str("pfdbg-obs/2".into())),
+            ("schema", jsonl::JsonValue::Str("pfdbg-obs/3".into())),
             ("total_us", jsonl::JsonValue::Num(total.as_secs_f64() * 1e6)),
         ]));
         out.push('\n');

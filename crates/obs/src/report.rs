@@ -19,7 +19,7 @@ pub struct StageSummary {
     pub fraction: f64,
 }
 
-/// One histogram line of a `pfdbg-obs/2` export.
+/// One histogram line of a `pfdbg-obs/3` export.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HistSummary {
     /// Histogram name.
@@ -34,7 +34,7 @@ pub struct HistSummary {
     pub p999_us: f64,
 }
 
-/// One SLO line of a `pfdbg-obs/2` export.
+/// One SLO line of a `pfdbg-obs/3` export.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SloSummary {
     /// SLO name.
@@ -251,9 +251,10 @@ mod tests {
     #[test]
     fn mixed_dialect_file_digests_without_losing_known_kinds() {
         // A v1 span/counter core interleaved with v2 hist/slo/flight
-        // lines, per-session telemetry rows, and kinds from the future.
+        // lines, v3 replay/restore flight kinds, per-session telemetry
+        // rows, and kinds from the future.
         let text = "\
-{\"type\":\"meta\",\"schema\":\"pfdbg-obs/2\",\"total_us\":500}
+{\"type\":\"meta\",\"schema\":\"pfdbg-obs/3\",\"total_us\":500}
 {\"type\":\"span\",\"id\":0,\"name\":\"serve\",\"depth\":0,\"start_us\":0,\"dur_us\":500}
 {\"type\":\"counter\",\"name\":\"serve.turns\",\"value\":42}
 {\"type\":\"hist\",\"name\":\"scg.specialize_us\",\"count\":42,\"p50_us\":11.5,\"p90_us\":30,\"p99_us\":44.0,\"p999_us\":47.0,\"buckets\":\"1000:10;2000:32\"}
@@ -261,13 +262,15 @@ mod tests {
 {\"type\":\"flight\",\"seq\":0,\"at_us\":10,\"event\":\"turn_start\",\"turn\":0,\"value\":0}
 {\"type\":\"flight\",\"seq\":1,\"at_us\":20,\"event\":\"turn_commit\",\"turn\":0,\"value\":3}
 {\"type\":\"flight\",\"seq\":2,\"at_us\":30,\"event\":\"turn_commit\",\"turn\":1,\"value\":0}
+{\"type\":\"flight\",\"seq\":3,\"at_us\":40,\"event\":\"session_restore\",\"turn\":2,\"value\":4}
+{\"type\":\"flight\",\"seq\":4,\"at_us\":50,\"event\":\"replay_divergence\",\"turn\":2,\"value\":3}
 {\"type\":\"session\",\"name\":\"s1\",\"turns\":2,\"health\":\"clean\"}
 {\"type\":\"hologram\",\"name\":\"unknown-future-kind\",\"value\":1}
 {\"type\":\"gauge\",\"name\":\"serve.scrub_ms_last\",\"value\":0.5}
 ";
         let events = parse_jsonl(text).unwrap();
         let s = summarize(&events);
-        assert_eq!(s.schema, "pfdbg-obs/2");
+        assert_eq!(s.schema, "pfdbg-obs/3");
         assert_eq!(s.stages.len(), 1);
         assert_eq!(s.counters, vec![("serve.turns".to_string(), 42)]);
         assert_eq!(s.hists.len(), 1);
@@ -276,7 +279,15 @@ mod tests {
         assert!((s.hists[0].p99_us - 44.0).abs() < 1e-9);
         assert_eq!(s.slos.len(), 1);
         assert_eq!((s.slos[0].total, s.slos[0].burned), (42, 1));
-        assert_eq!(s.flight, vec![("turn_commit".to_string(), 2), ("turn_start".to_string(), 1)]);
+        assert_eq!(
+            s.flight,
+            vec![
+                ("replay_divergence".to_string(), 1),
+                ("session_restore".to_string(), 1),
+                ("turn_commit".to_string(), 2),
+                ("turn_start".to_string(), 1),
+            ]
+        );
         let rendered = s.to_string();
         assert!(rendered.contains("histograms:"), "{rendered}");
         assert!(rendered.contains("slos:"), "{rendered}");

@@ -154,7 +154,7 @@ fn jsonl_export_round_trips_through_summary() {
         let events = parse_jsonl(&jsonl).expect("export parses");
         let summary = summarize(&events);
 
-        assert_eq!(summary.schema, "pfdbg-obs/2");
+        assert_eq!(summary.schema, "pfdbg-obs/3");
         assert_eq!(summary.stages.len(), 3);
         assert_eq!(summary.stages[0].name, "offline");
         assert!((summary.stages[0].fraction - 1.0).abs() < 1e-9, "single root owns the total");

@@ -92,6 +92,31 @@ pub trait IcapChannel: Send {
     }
 }
 
+// Boxed channels are channels too, so adapters generic over
+// `C: IcapChannel` (fault injectors, the replay fuzzer's test-only
+// nondeterminism hook) can wrap an already-erased `Box<dyn IcapChannel>`.
+impl IcapChannel for Box<dyn IcapChannel> {
+    fn frame_bits(&self) -> usize {
+        (**self).frame_bits()
+    }
+
+    fn n_bits(&self) -> usize {
+        (**self).n_bits()
+    }
+
+    fn write_frame(&mut self, frame: usize, data: &[u64]) -> Result<(), IcapError> {
+        (**self).write_frame(frame, data)
+    }
+
+    fn read_frame(&self, frame: usize) -> Vec<u64> {
+        (**self).read_frame(frame)
+    }
+
+    fn tick(&mut self) -> usize {
+        (**self).tick()
+    }
+}
+
 /// Number of bits frame `frame` holds in a device of `n_bits`.
 pub fn frame_len_bits(n_bits: usize, frame_bits: usize, frame: usize) -> usize {
     let base = frame * frame_bits;

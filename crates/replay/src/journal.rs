@@ -1,0 +1,77 @@
+//! Typed journal I/O: [`JournalRecord`]s over `pfdbg-store`'s
+//! append-only `PFDJ` framing.
+
+use crate::record::{JournalRecord, SessionMeta};
+use pfdbg_store::journal::JournalAppender;
+use std::path::Path;
+
+/// Append-side of a session journal. Created with the session's
+/// [`SessionMeta`] as the mandatory first record; every subsequent
+/// operation appends one record.
+pub struct JournalWriter {
+    appender: JournalAppender,
+}
+
+impl JournalWriter {
+    /// Create (truncate) a journal and write `meta` as its first record.
+    pub fn create(path: &Path, meta: &SessionMeta) -> Result<JournalWriter, String> {
+        let mut appender = JournalAppender::create(path)?;
+        appender.append_record(&JournalRecord::Meta(meta.clone()).encode())?;
+        Ok(JournalWriter { appender })
+    }
+
+    /// Reopen an existing journal for appending (crash-consistent: a
+    /// torn tail is truncated first). Returns the writer plus the
+    /// records already present and whether a torn tail was cut.
+    pub fn open_append(path: &Path) -> Result<(JournalWriter, Vec<JournalRecord>, bool), String> {
+        let (appender, scan) = JournalAppender::open_append(path)?;
+        let records = decode_payloads(&scan.records)?;
+        Ok((JournalWriter { appender }, records, scan.torn))
+    }
+
+    /// Append one record.
+    pub fn append(&mut self, record: &JournalRecord) -> Result<(), String> {
+        self.appender.append_record(&record.encode())
+    }
+
+    /// Durability barrier: flush appended records to stable storage.
+    pub fn sync(&mut self) -> Result<(), String> {
+        self.appender.sync()
+    }
+
+    /// Records appended through this writer.
+    pub fn records_written(&self) -> u64 {
+        self.appender.records_written()
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        self.appender.path()
+    }
+}
+
+/// Read a journal file into typed records. Returns the records and
+/// whether a torn tail was skipped. A record that passed its framing
+/// checksum but fails to decode is a hard error (format mismatch, not
+/// a crash artifact).
+pub fn read_records(path: &Path) -> Result<(Vec<JournalRecord>, bool), String> {
+    let scan = pfdbg_store::journal::read_journal(path)?;
+    Ok((decode_payloads(&scan.records)?, scan.torn))
+}
+
+fn decode_payloads(payloads: &[Vec<u8>]) -> Result<Vec<JournalRecord>, String> {
+    payloads
+        .iter()
+        .enumerate()
+        .map(|(i, p)| JournalRecord::decode(p).map_err(|e| format!("journal record {i}: {e}")))
+        .collect()
+}
+
+/// The journal's opening [`SessionMeta`], or why it is missing.
+pub fn meta_of(records: &[JournalRecord]) -> Result<&SessionMeta, String> {
+    match records.first() {
+        Some(JournalRecord::Meta(m)) => Ok(m),
+        Some(_) => Err("journal does not start with a meta record".into()),
+        None => Err("journal holds no records".into()),
+    }
+}

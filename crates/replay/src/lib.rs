@@ -1,0 +1,41 @@
+//! `pfdbg-replay` — session record/replay journals and differential
+//! turn-sequence fuzzing.
+//!
+//! The debug flow of this repository is deterministic by construction:
+//! seeded fault and SEU streams, sharded-but-ordered SCG evaluation,
+//! and transactional frame commits. This crate turns that property
+//! into three tools:
+//!
+//! 1. **Recording** ([`Recorder`], [`JournalWriter`]): every turn's
+//!    inputs and observable outputs are appended to a checksummed
+//!    `PFDJ` journal (framed by [`pfdbg_store::journal`]) that
+//!    tolerates torn tails from crashes.
+//! 2. **Replay verification** ([`verify_path`], [`verify_records`]):
+//!    a journal is re-driven against a freshly rebuilt session and
+//!    every reply is diffed bit-for-bit; the first divergent turn is
+//!    reported with a structured [`Divergence`]. The serve layer uses
+//!    the same machinery for crash-consistent session restore.
+//! 3. **Differential fuzzing** ([`fuzz::run_suite`]): seeded random
+//!    turn sequences drive pairs of sessions that must agree —
+//!    faulty-vs-golden-oracle, serial-vs-parallel SCG,
+//!    scrubbed-vs-unscrubbed at 0% SEU — and any divergence is shrunk
+//!    to a minimal journal for the regression corpus.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod fuzz;
+pub mod journal;
+pub mod record;
+pub mod verify;
+
+pub use driver::{bitstream_crc, build_design, session_seed, BuiltDesign, OnlineDriver, Recorder};
+pub use fuzz::{
+    default_pairs, run_case, run_suite, verify_corpus, CaseReport, FuzzOp, PairKind, SuiteReport,
+};
+pub use journal::{meta_of, read_records, JournalWriter};
+pub use record::{
+    ChaosSpec, DesignSpec, JournalRecord, ScrubFacts, SelectFacts, SelectOutcome, SessionMeta,
+};
+pub use verify::{verify_path, verify_records, verify_with_driver, Divergence, VerifyReport};

@@ -19,6 +19,8 @@
 //! {"op":"metrics"}
 //! {"op":"dump","session":"s1"}
 //! {"op":"dump"}
+//! {"op":"record","session":"s1"}
+//! {"op":"replay","path":"journals/s1.pfdj"}
 //! {"op":"shutdown"}
 //! ```
 //!
@@ -36,6 +38,12 @@
 //! the `flight` field; with no `session` it returns the most recent
 //! *automatic* dump, captured when a turn rolled back or a scrub
 //! quarantined a frame.
+//!
+//! `record` reports (and durably syncs) the journal behind a live
+//! session when the server runs with `--journal-dir`; `replay`
+//! re-drives a journal file and reports whether it matched
+//! bit-for-bit — self-contained journals rebuild their own engine,
+//! `External` ones verify against this server's.
 //!
 //! Every reply carries `ok` plus the echoed `op` and, when the request
 //! had one, its `id`. Failures are `{"ok":false,"error":...}` — a
@@ -92,6 +100,17 @@ pub enum Request {
     Dump {
         /// Session name; `None` asks for the last automatic dump.
         session: Option<String>,
+    },
+    /// The journal behind a live session: sync it and report its path
+    /// and record count (requires a server started with a journal dir).
+    Record {
+        /// Session name.
+        session: String,
+    },
+    /// Re-drive a journal file and verify it replays bit-for-bit.
+    Replay {
+        /// Journal file path (server-side).
+        path: String,
     },
     /// Stop the server (when the server allows it).
     Shutdown,
@@ -153,6 +172,11 @@ pub fn parse_request(line: &str) -> (Result<Request, String>, RequestMeta) {
         "dump" => Ok(Request::Dump {
             session: ev.str("session").filter(|s| !s.is_empty()).map(str::to_string),
         }),
+        "record" => session("session").map(|session| Request::Record { session }),
+        "replay" => match ev.str("path") {
+            Some(p) if !p.is_empty() => Ok(Request::Replay { path: p.to_string() }),
+            _ => Err("replay requires a non-empty \"path\"".into()),
+        },
         "shutdown" => Ok(Request::Shutdown),
         "select" => (|| {
             let session = session("session")?;
@@ -287,6 +311,14 @@ mod tests {
         // Session-less dump asks for the last automatic post-mortem.
         let (r, _) = parse_request("{\"op\":\"dump\"}");
         assert_eq!(r.unwrap(), Request::Dump { session: None });
+        let (r, _) = parse_request("{\"op\":\"record\",\"session\":\"s1\"}");
+        assert_eq!(r.unwrap(), Request::Record { session: "s1".into() });
+        let (r, _) = parse_request("{\"op\":\"replay\",\"path\":\"j/s1.pfdj\"}");
+        assert_eq!(r.unwrap(), Request::Replay { path: "j/s1.pfdj".into() });
+        let (r, _) = parse_request("{\"op\":\"replay\"}");
+        assert!(r.unwrap_err().contains("path"));
+        let (r, _) = parse_request("{\"op\":\"record\"}");
+        assert!(r.unwrap_err().contains("session"));
         let (r, _) = parse_request("{\"op\":\"health\"}");
         assert!(r.unwrap_err().contains("session"));
     }

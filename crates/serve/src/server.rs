@@ -350,6 +350,7 @@ fn handle_request(
             let (turns, hits, misses) = sessions.stats();
             let icap = sessions.icap_totals();
             let scrub = sessions.scrub_stats();
+            let (journal_records, restores) = sessions.journal_totals();
             Reply::ok(meta)
                 .num("sessions", sessions.n_sessions() as f64)
                 .num("turns", turns as f64)
@@ -365,6 +366,8 @@ fn handle_request(
                 .num("scrub_repairs", scrub.repairs as f64)
                 .num("scrub_quarantined", scrub.quarantined as f64)
                 .num("seu_bits_injected", scrub.seu_bits_injected as f64)
+                .num("journal_records", journal_records as f64)
+                .num("restores", restores as f64)
                 .num(
                     "specialize_p50_us",
                     tel::SPECIALIZE_US.get().percentile_us(50.0).unwrap_or(0.0),
@@ -460,6 +463,22 @@ fn handle_request(
                     .str("flight", flight)
             }
         },
+        Request::Record { session } => {
+            let (path, records) = sessions.journal_status(&session)?;
+            Reply::ok(meta).str("session", session).str("path", path).num("records", records as f64)
+        }
+        Request::Replay { path } => {
+            let (session, records, divergence) =
+                sessions.replay_journal(std::path::Path::new(&path))?;
+            let mut r = Reply::ok(meta)
+                .str("session", session)
+                .num("records", records as f64)
+                .bool("identical", divergence.is_none());
+            if let Some(d) = divergence {
+                r = r.str("divergence", d.to_string());
+            }
+            r
+        }
         Request::Shutdown => {
             if !shared.cfg.allow_remote_shutdown {
                 return Err("remote shutdown is disabled".into());

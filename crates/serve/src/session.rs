@@ -40,7 +40,14 @@ use pfdbg_obs::{FlightKind, FlightRecorder};
 use pfdbg_pconf::icap::{commit_frames, readback_all, CommitPolicy, IcapChannel, MemoryIcap};
 use pfdbg_pconf::scrub::{ScrubHealth, ScrubPolicy, ScrubReport, Scrubber};
 use pfdbg_pconf::Scg;
+use pfdbg_replay::driver::bitstream_crc;
+use pfdbg_replay::verify::{diff_scrub, diff_select, Divergence};
+use pfdbg_replay::{
+    ChaosSpec, DesignSpec, JournalRecord, JournalWriter, ScrubFacts, SelectFacts, SelectOutcome,
+    SessionMeta,
+};
 use pfdbg_util::{BitVec, FxHashMap};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, TryLockError};
 use std::time::{Duration, Instant};
@@ -89,6 +96,15 @@ struct SessionState {
     /// Fixed-size ring of the session's recent structured events — the
     /// post-mortem that survives to a `dump`.
     flight: FlightRecorder,
+    /// Session journal appender when the server records sessions
+    /// (`--journal-dir`); every turn's facts append here as they commit.
+    journal: Option<JournalWriter>,
+    /// When set, select/scrub store their replay facts in the
+    /// `last_*_facts` slots — the restore and replay paths compare
+    /// those against the recorded journal.
+    capture_facts: bool,
+    last_select_facts: Option<SelectFacts>,
+    last_scrub_facts: Option<ScrubFacts>,
 }
 
 /// Flight-recorder depth per session: enough to reconstruct the last
@@ -192,6 +208,21 @@ pub struct SessionManager {
     /// quarantines a frame, served by the `dump` verb with no session
     /// argument.
     last_dump: Mutex<Option<(String, String)>>,
+    /// When set, every session appends its turns to
+    /// `<journal_dir>/<session file>.pfdj` and `open` restores
+    /// crash-interrupted sessions by re-driving their journals.
+    journal_dir: Option<PathBuf>,
+    /// Design provenance written into journal metas. `External` (the
+    /// default) marks journals replayable only against an embedder
+    /// holding the same engine; a self-contained spec (set when the
+    /// design came from a generator or benchmark) makes them replayable
+    /// standalone.
+    journal_design: DesignSpec,
+    /// `(coverage, k)` of the engine build, recorded into journal metas
+    /// so self-contained journals rebuild the identical design.
+    journal_build: (usize, usize),
+    journal_records: AtomicU64,
+    restores: AtomicU64,
     icap_retries: AtomicU64,
     icap_degradations: AtomicU64,
     icap_rollbacks: AtomicU64,
@@ -258,6 +289,11 @@ impl SessionManager {
             scrub_policy,
             region_frames,
             last_dump: Mutex::new(None),
+            journal_dir: None,
+            journal_design: DesignSpec::External,
+            journal_build: (1, 4),
+            journal_records: AtomicU64::new(0),
+            restores: AtomicU64::new(0),
             icap_retries: AtomicU64::new(0),
             icap_degradations: AtomicU64::new(0),
             icap_rollbacks: AtomicU64::new(0),
@@ -315,14 +351,68 @@ impl SessionManager {
         }
     }
 
-    /// Create a session; starts at the base configuration (params = 0),
-    /// exactly like [`pfdbg_pconf::OnlineReconfigurator::new`].
-    pub fn open(&self, name: &str) -> Result<usize, String> {
-        let mut table = self.sessions.lock().expect("session table");
-        if table.contains_key(name) {
-            return Err(format!("session {name:?} already exists"));
+    /// Enable session journaling: every session opened afterwards
+    /// appends its turns to a `PFDJ` journal under `dir`, and `open`
+    /// restores crash-interrupted sessions from their journals. Call
+    /// before the manager starts serving.
+    pub fn set_journal_dir(&mut self, dir: PathBuf) {
+        self.journal_dir = Some(dir);
+    }
+
+    /// Record the design's provenance plus the `(coverage, k)` it was
+    /// instrumented with, making this server's journals self-contained
+    /// (replayable by `pfdbg replay` without the server). Without this,
+    /// journals carry [`DesignSpec::External`] and replay only through
+    /// the `replay` verb of a server holding the same engine.
+    pub fn set_journal_design(&mut self, design: DesignSpec, coverage: usize, k: usize) {
+        self.journal_design = design;
+        self.journal_build = (coverage, k);
+    }
+
+    /// `(journal records appended, sessions restored from journals)`.
+    pub fn journal_totals(&self) -> (u64, u64) {
+        (self.journal_records.load(Ordering::Relaxed), self.restores.load(Ordering::Relaxed))
+    }
+
+    /// The journal file backing `name`, when journaling is on. The file
+    /// name embeds a hash of the session name so any client-chosen name
+    /// maps to a filesystem-safe, restart-stable path.
+    fn journal_path(&self, name: &str) -> Option<PathBuf> {
+        let dir = self.journal_dir.as_ref()?;
+        let safe: String = name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+            .take(48)
+            .collect();
+        Some(dir.join(format!("{safe}-{:016x}.pfdj", session_seed(0x1757, name))))
+    }
+
+    /// The meta record for a fresh journal of session `name`.
+    fn journal_meta(&self, name: &str) -> SessionMeta {
+        let (coverage, k) = self.journal_build;
+        SessionMeta {
+            session: name.to_string(),
+            // Serve journals store the *configured* base seeds and
+            // re-derive the per-session ones from the name, exactly as
+            // `open` does.
+            derive_seeds: true,
+            design: self.journal_design.clone(),
+            ports: self.engine.inst.ports.len(),
+            coverage,
+            k,
+            n_params: self.engine.n_params(),
+            chaos: ChaosSpec::from_parts(self.fault, self.seu, &self.policy, &self.scrub_policy),
+            threads: self.engine.scg.effective_threads(),
+            note: "recorded by pfdbg-serve".into(),
         }
-        let n = self.engine.n_params();
+    }
+
+    /// A brand-new session's state — the base configuration (params =
+    /// 0) behind a freshly seeded chaos channel, exactly like
+    /// [`pfdbg_pconf::OnlineReconfigurator::new`]. Shared by `open`,
+    /// restore, and the detached `replay` verb so all three rebuild the
+    /// same session byte-for-byte.
+    fn fresh_state(&self, name: &str) -> SessionState {
         let base = self.engine.scg.generalized().base.clone();
         let mem = MemoryIcap::new(base.clone(), self.engine.layout.frame_bits);
         // SEUs strike the device model itself; transport faults wrap
@@ -348,27 +438,234 @@ impl SessionManager {
             jitter_seed: session_seed(self.policy.jitter_seed, name),
             ..self.policy
         };
-        table.insert(
-            name.to_string(),
-            Arc::new(Mutex::new(SessionState {
-                params: BitVec::zeros(n),
-                bits: base,
-                turns: 0,
-                channel,
-                needs_resync: false,
-                scrubber: Scrubber::new(self.scrub_policy),
-                policy,
-                flight: FlightRecorder::new(FLIGHT_CAP),
-            })),
-        );
+        SessionState {
+            params: BitVec::zeros(self.engine.n_params()),
+            bits: base,
+            turns: 0,
+            channel,
+            needs_resync: false,
+            scrubber: Scrubber::new(self.scrub_policy),
+            policy,
+            flight: FlightRecorder::new(FLIGHT_CAP),
+            journal: None,
+            capture_facts: false,
+            last_select_facts: None,
+            last_scrub_facts: None,
+        }
+    }
+
+    /// Create a session; starts at the base configuration (params = 0).
+    /// With journaling on, an existing journal for this name is
+    /// **restored**: the recorded turns are re-driven through the
+    /// normal select/scrub path and every fact is verified against the
+    /// recording before the session goes live — a crash between turns
+    /// loses nothing, and a divergence (wrong chaos flags, drifted
+    /// design) refuses the restore loudly instead of serving a session
+    /// in an unknown state.
+    pub fn open(&self, name: &str) -> Result<usize, String> {
+        let mut table = self.sessions.lock().expect("session table");
+        if table.contains_key(name) {
+            return Err(format!("session {name:?} already exists"));
+        }
+        let n = self.engine.n_params();
+        let mut state = self.fresh_state(name);
+        if let Some(path) = self.journal_path(name) {
+            if path.exists() {
+                self.restore_into(name, &mut state, &path)?;
+            } else {
+                state.journal = Some(JournalWriter::create(&path, &self.journal_meta(name))?);
+            }
+        }
+        table.insert(name.to_string(), Arc::new(Mutex::new(state)));
         pfdbg_obs::counter_add("serve.sessions_opened", 1);
         Ok(n)
     }
 
-    /// Drop a session.
+    /// Rebuild a session from its journal: re-drive every recorded
+    /// operation through the normal locked select/scrub path, verifying
+    /// each fact, then attach the journal in append mode (its torn tail,
+    /// if any, already truncated). A journal ending in `close` is spent
+    /// and is restarted fresh.
+    fn restore_into(
+        &self,
+        name: &str,
+        state: &mut SessionState,
+        path: &Path,
+    ) -> Result<(), String> {
+        let (writer, records, _torn) = JournalWriter::open_append(path)?;
+        let spent = matches!(records.last(), Some(JournalRecord::Close));
+        if records.len() <= 1 || spent {
+            // Nothing (or a cleanly closed session) to restore: start
+            // the journal over with a fresh meta for this server run.
+            drop(writer);
+            state.journal = Some(JournalWriter::create(path, &self.journal_meta(name))?);
+            return Ok(());
+        }
+        let meta = pfdbg_replay::meta_of(&records)?;
+        if meta.session != name {
+            return Err(format!(
+                "journal {} belongs to session {:?}, not {name:?}",
+                path.display(),
+                meta.session
+            ));
+        }
+        if meta.n_params != self.engine.n_params() {
+            return Err(format!(
+                "journal {} was recorded against a {}-parameter design; this engine has {}",
+                path.display(),
+                meta.n_params,
+                self.engine.n_params()
+            ));
+        }
+        state.capture_facts = true;
+        let replayed = self.replay_into(name, state, &records[1..]);
+        state.capture_facts = false;
+        match replayed? {
+            Some(div) => {
+                state.flight.record(
+                    FlightKind::ReplayDivergence,
+                    state.turns as u64,
+                    div.record as u64,
+                );
+                *self.last_dump.lock().expect("flight dump") =
+                    Some((name.to_string(), state.flight.to_jsonl()));
+                Err(format!("restore of session {name:?} diverged from its journal: {div}"))
+            }
+            None => {
+                state.flight.record(
+                    FlightKind::SessionRestore,
+                    state.turns as u64,
+                    (records.len() - 1) as u64,
+                );
+                self.restores.fetch_add(1, Ordering::Relaxed);
+                pfdbg_obs::counter_add("serve.session_restores", 1);
+                state.journal = Some(writer);
+                Ok(())
+            }
+        }
+    }
+
+    /// Re-drive decoded journal records (meta already stripped) through
+    /// `state`, diffing every fact against the recording. `Ok(None)` is
+    /// a bit-identical replay; `Ok(Some(_))` the first divergence.
+    fn replay_into(
+        &self,
+        name: &str,
+        state: &mut SessionState,
+        records: &[JournalRecord],
+    ) -> Result<Option<Divergence>, String> {
+        for (i, rec) in records.iter().enumerate() {
+            let idx = i + 1; // meta was record 0
+            let turn = state.turns as u64;
+            match rec {
+                JournalRecord::Meta(_) => {
+                    return Ok(Some(Divergence {
+                        record: idx,
+                        turn,
+                        field: "record".into(),
+                        expected: "select/scrub/close".into(),
+                        actual: "second meta record".into(),
+                    }))
+                }
+                JournalRecord::Select(expected) => {
+                    // A recorded deadline miss replays through the same
+                    // path with an already-expired budget: the
+                    // between-turn tick (and its SEUs) happens, no frame
+                    // is written — exactly what the original turn did.
+                    let deadline = match expected.outcome {
+                        SelectOutcome::DeadlineMiss => Some((Instant::now(), Duration::ZERO)),
+                        _ => None,
+                    };
+                    let _ = self.select_locked(name, state, &expected.params, deadline);
+                    let actual =
+                        state.last_select_facts.take().ok_or("replay captured no select facts")?;
+                    if let Some(d) = diff_select(idx, turn, expected, &actual) {
+                        return Ok(Some(d));
+                    }
+                }
+                JournalRecord::Scrub(expected) => {
+                    if let Err(e) = self.scrub_locked(name, state) {
+                        return Ok(Some(Divergence {
+                            record: idx,
+                            turn,
+                            field: "scrub".into(),
+                            expected: "a scrub report".into(),
+                            actual: format!("error: {e}"),
+                        }));
+                    }
+                    let actual =
+                        state.last_scrub_facts.take().ok_or("replay captured no scrub facts")?;
+                    if let Some(d) = diff_scrub(idx, turn, expected, &actual) {
+                        return Ok(Some(d));
+                    }
+                }
+                JournalRecord::Close => break,
+            }
+        }
+        Ok(None)
+    }
+
+    /// Verify a journal file against this server — the `replay` verb.
+    /// Self-contained journals (generated/benchmark designs) rebuild
+    /// their own engine via `pfdbg-replay`; `External` journals re-drive
+    /// against this server's engine on a detached session state that
+    /// never enters the table. Returns `(session, records, divergence)`.
+    pub fn replay_journal(
+        &self,
+        path: &Path,
+    ) -> Result<(String, usize, Option<Divergence>), String> {
+        let (records, _torn) = pfdbg_replay::read_records(path)?;
+        let meta = pfdbg_replay::meta_of(&records)?;
+        if !matches!(meta.design, DesignSpec::External) {
+            let report = pfdbg_replay::verify_path(path, None)?;
+            return Ok((report.session, report.records, report.divergence));
+        }
+        if meta.n_params != self.engine.n_params() {
+            return Err(format!(
+                "journal was recorded against a {}-parameter design; this engine has {} \
+                 (start the server over the recorded design)",
+                meta.n_params,
+                self.engine.n_params()
+            ));
+        }
+        let session = meta.session.clone();
+        let mut state = self.fresh_state(&session);
+        state.capture_facts = true;
+        let div = self.replay_into(&session, &mut state, &records[1..])?;
+        Ok((session, records.len(), div))
+    }
+
+    /// The journal behind a live session — the `record` verb. Syncs the
+    /// appender (a durability barrier the client can rely on) and
+    /// returns `(path, records appended this run)`.
+    pub fn journal_status(&self, session: &str) -> Result<(String, u64), String> {
+        let arc = self.session_arc(session)?;
+        let mut guard = arc.lock().expect("session");
+        match guard.journal.as_mut() {
+            Some(j) => {
+                j.sync()?;
+                Ok((j.path().display().to_string(), j.records_written()))
+            }
+            None => Err("journaling is disabled (start the server with --journal-dir)".into()),
+        }
+    }
+
+    /// Drop a session. With journaling on, its journal is closed with a
+    /// terminal record — a later `open` of the same name starts fresh
+    /// instead of restoring.
     pub fn close(&self, name: &str) -> Result<(), String> {
-        let mut table = self.sessions.lock().expect("session table");
-        table.remove(name).map(|_| ()).ok_or_else(|| format!("no such session {name:?}"))
+        let arc = {
+            let mut table = self.sessions.lock().expect("session table");
+            table.remove(name).ok_or_else(|| format!("no such session {name:?}"))?
+        };
+        let mut state = arc.lock().expect("session");
+        if let Some(journal) = state.journal.as_mut() {
+            if journal.append(&JournalRecord::Close).is_ok() {
+                self.journal_records.fetch_add(1, Ordering::Relaxed);
+            }
+            let _ = journal.sync();
+        }
+        Ok(())
     }
 
     /// The session's own lock, cloned out of the table so callers never
@@ -469,21 +766,35 @@ impl SessionManager {
         deadline: Option<(Instant, Duration)>,
     ) -> Result<TurnOutcome, String> {
         let _s = pfdbg_obs::span("serve.select");
-        let t0 = Instant::now();
-        let engine = &self.engine;
         let arc = self.session_arc(session)?;
-        if params.len() != engine.n_params() {
+        if params.len() != self.engine.n_params() {
             return Err(format!(
                 "parameter count mismatch: got {}, design has {}",
                 params.len(),
-                engine.n_params()
+                self.engine.n_params()
             ));
         }
         // The session's own lock serializes this turn against the
         // background scrubber and any concurrent client sharing the
         // session; other sessions proceed untouched.
         let mut guard = arc.lock().expect("session");
-        let state = &mut *guard;
+        self.select_locked(session, &mut guard, params, deadline)
+    }
+
+    /// The turn body, run under the session's lock. Factored out of
+    /// [`SessionManager::select_within`] so journal restore and the
+    /// `replay` verb re-drive recorded turns through the *same* code
+    /// path a live client exercises — replay fidelity by construction,
+    /// not by a parallel reimplementation.
+    fn select_locked(
+        &self,
+        session: &str,
+        state: &mut SessionState,
+        params: &BitVec,
+        deadline: Option<(Instant, Duration)>,
+    ) -> Result<TurnOutcome, String> {
+        let t0 = Instant::now();
+        let engine = &self.engine;
 
         // Between-turn time passes before the turn touches the device:
         // the emulated fabric takes its SEUs now (no-op on a reliable
@@ -542,6 +853,22 @@ impl SessionManager {
                     turn_no,
                     started.elapsed().as_micros() as u64,
                 );
+                if wants_facts(state) {
+                    // The miss left only the between-turn tick behind;
+                    // journal exactly that so a replay reproduces it.
+                    let facts = SelectFacts {
+                        params: params.clone(),
+                        outcome: SelectOutcome::DeadlineMiss,
+                        bits_changed: 0,
+                        frames_changed: 0,
+                        retries: 0,
+                        degradations: 0,
+                        cache_hit,
+                        seu_flips: flipped as u64,
+                        readback_crc: device_crc(state),
+                    };
+                    self.journal_select(state, facts);
+                }
                 return Err(format!(
                     "deadline exceeded: {:.1} ms spent, {:.1} ms allowed",
                     started.elapsed().as_secs_f64() * 1e3,
@@ -584,7 +911,22 @@ impl SessionManager {
                 state.needs_resync = false;
                 state.turns += 1;
                 let turn = state.turns - 1;
-                drop(guard);
+                if wants_facts(state) {
+                    let facts = SelectFacts {
+                        params: params.clone(),
+                        outcome: SelectOutcome::Committed,
+                        bits_changed: bits_changed as u64,
+                        frames_changed: frames.len() as u64,
+                        retries: commit.retries as u64,
+                        degradations: commit.degradations as u64,
+                        cache_hit,
+                        seu_flips: flipped as u64,
+                        readback_crc: device_crc(state),
+                    };
+                    self.journal_select(state, facts);
+                }
+                // Cache publication happens under the session lock —
+                // the session→cache order scrub repairs already use.
                 if !cache_hit {
                     self.cache.lock().expect("cache").put(key, new_bits.clone());
                 }
@@ -613,11 +955,28 @@ impl SessionManager {
             Err((commit, msg)) => {
                 state.needs_resync = true;
                 state.flight.record(FlightKind::TurnRollback, turn_no, commit.retries as u64);
+                if wants_facts(state) {
+                    // Retry counts of an aborted commit are not part of
+                    // the replay contract (see `pfdbg-replay`); the
+                    // journaled facts are the outcome, the tick's SEU
+                    // flips, and the post-rollback device digest.
+                    let facts = SelectFacts {
+                        params: params.clone(),
+                        outcome: SelectOutcome::RolledBack,
+                        bits_changed: 0,
+                        frames_changed: 0,
+                        retries: 0,
+                        degradations: 0,
+                        cache_hit,
+                        seu_flips: flipped as u64,
+                        readback_crc: device_crc(state),
+                    };
+                    self.journal_select(state, facts);
+                }
                 // A rollback is exactly the moment a post-mortem is
                 // wanted: snapshot the ring before anyone else turns.
-                let dump = state.flight.to_jsonl();
-                drop(guard);
-                *self.last_dump.lock().expect("flight dump") = Some((session.to_string(), dump));
+                *self.last_dump.lock().expect("flight dump") =
+                    Some((session.to_string(), state.flight.to_jsonl()));
                 self.icap_retries.fetch_add(commit.retries as u64, Ordering::Relaxed);
                 self.icap_degradations.fetch_add(commit.degradations as u64, Ordering::Relaxed);
                 self.icap_rollbacks.fetch_add(1, Ordering::Relaxed);
@@ -654,6 +1013,19 @@ impl SessionManager {
             Err(TryLockError::Poisoned(_)) => Err("session lock poisoned".into()),
         };
         outcome
+    }
+
+    /// Append one turn's facts to the session journal and/or the
+    /// capture slot the replay paths read back.
+    fn journal_select(&self, state: &mut SessionState, facts: SelectFacts) {
+        if let Some(journal) = state.journal.as_mut() {
+            if journal.append(&JournalRecord::Select(facts.clone())).is_ok() {
+                self.journal_records.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if state.capture_facts {
+            state.last_select_facts = Some(facts);
+        }
     }
 
     fn scrub_locked(&self, session: &str, state: &mut SessionState) -> Result<ScrubReport, String> {
@@ -694,6 +1066,25 @@ impl SessionManager {
         self.scrub_bits_upset.fetch_add(report.upset_bits as u64, Ordering::Relaxed);
         self.scrub_repairs.fetch_add(report.repaired_frames as u64, Ordering::Relaxed);
         self.scrub_quarantined.fetch_add(report.quarantined_frames as u64, Ordering::Relaxed);
+        if wants_facts(state) {
+            let facts = ScrubFacts {
+                frames_checked: report.frames_checked as u64,
+                upset_frames: report.upset_frames as u64,
+                upset_bits: report.upset_bits as u64,
+                repaired_frames: report.repaired_frames as u64,
+                failed_frames: report.failed_frames as u64,
+                quarantined_frames: report.quarantined_frames as u64,
+                readback_crc: device_crc(state),
+            };
+            if let Some(journal) = state.journal.as_mut() {
+                if journal.append(&JournalRecord::Scrub(facts)).is_ok() {
+                    self.journal_records.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            if state.capture_facts {
+                state.last_scrub_facts = Some(facts);
+            }
+        }
         pfdbg_obs::gauge_set("serve.scrub_ms_last", t0.elapsed().as_secs_f64() * 1e3);
         Ok(report)
     }
@@ -753,6 +1144,18 @@ impl SessionManager {
         }
         out
     }
+}
+
+/// Whether this session's turns must produce replay facts (it journals,
+/// or a restore/replay is comparing against a recording).
+fn wants_facts(state: &SessionState) -> bool {
+    state.journal.is_some() || state.capture_facts
+}
+
+/// The device-state digest journaled after every operation: a CRC of
+/// the full configuration readback through the session's channel.
+fn device_crc(state: &SessionState) -> u64 {
+    bitstream_crc(&readback_all(state.channel.as_ref()))
 }
 
 /// A session's private fault seed: deterministic in the configured

@@ -1,0 +1,254 @@
+//! Crash-consistent session restore over real TCP.
+//!
+//! A server started with a journal dir records every turn. Killing it
+//! mid-session and restarting over the same dir must restore the
+//! session by re-driving its journal — and the restored session's next
+//! select must be bit-identical to an uninterrupted golden run, at 1,
+//! 2, and 8 SCG evaluation threads. A restart under *different* chaos
+//! flags must refuse the restore loudly instead.
+
+use pfdbg_core::{prepare_instrumented, InstrumentConfig, OfflineConfig};
+use pfdbg_emu::{IcapFaultConfig, SeuConfig};
+use pfdbg_pconf::icap::CommitPolicy;
+use pfdbg_pconf::scrub::ScrubPolicy;
+use pfdbg_serve::server::{Server, ServerConfig, ServerHandle};
+use pfdbg_serve::session::{Engine, SessionManager};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn build_engine(threads: usize) -> Engine {
+    let design = pfdbg_circuits::generate(&pfdbg_circuits::GenParams {
+        n_inputs: 6,
+        n_outputs: 4,
+        n_gates: 24,
+        depth: 4,
+        n_latches: 2,
+        seed: 91,
+    });
+    let (_, _, inst) = prepare_instrumented(
+        &design,
+        &InstrumentConfig { n_ports: 2, max_signals: None, coverage: 1 },
+        4,
+    )
+    .unwrap();
+    let off =
+        pfdbg_core::offline(&inst, &OfflineConfig { k: 4, ..OfflineConfig::default() }).unwrap();
+    let mut scg = off.scg.unwrap();
+    scg.set_threads(threads);
+    Engine::new(inst, scg, off.layout.unwrap(), off.icap)
+}
+
+/// The chaos environment both runs share: flaky transport + SEUs, so
+/// the restore has to reproduce retries, escalations, and upsets — not
+/// just a clean bit diff.
+fn chaos_manager(threads: usize, journal: Option<PathBuf>, seu_rate: f64) -> SessionManager {
+    let mut manager = SessionManager::with_chaos_scrub(
+        Arc::new(build_engine(threads)),
+        16,
+        Some(IcapFaultConfig::uniform(0.04, 0xFA_417)),
+        CommitPolicy { jitter_seed: 0x117_7E4, ..CommitPolicy::default() },
+        Some(SeuConfig { rate: seu_rate, burst: 2, seed: 0x5E05_E5E0 }),
+        ScrubPolicy::default(),
+    );
+    if let Some(dir) = journal {
+        manager.set_journal_dir(dir);
+    }
+    manager
+}
+
+fn start(threads: usize, journal: Option<PathBuf>, seu_rate: f64) -> ServerHandle {
+    let manager = chaos_manager(threads, journal, seu_rate);
+    Server::start(manager, ServerConfig { workers: 2, ..ServerConfig::default() }).unwrap()
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream.set_nodelay(true).unwrap();
+        let writer = stream.try_clone().unwrap();
+        Client { reader: BufReader::new(stream), writer }
+    }
+
+    fn roundtrip(&mut self, line: &str) -> pfdbg_obs::jsonl::Event {
+        self.writer.write_all(format!("{line}\n").as_bytes()).unwrap();
+        self.writer.flush().unwrap();
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).unwrap();
+        let mut events = pfdbg_obs::jsonl::parse_jsonl(&reply).unwrap();
+        assert_eq!(events.len(), 1, "one reply per request: {reply:?}");
+        events.remove(0)
+    }
+}
+
+fn is_ok(ev: &pfdbg_obs::jsonl::Event) -> bool {
+    ev.fields.get("ok") == Some(&pfdbg_obs::jsonl::JsonValue::Bool(true))
+}
+
+/// Deterministic parameter string for turn `t` (LSB first).
+fn params_for(t: usize, n: usize) -> String {
+    (0..n).map(|i| if (t * 7 + i * 13).is_multiple_of(3) { '1' } else { '0' }).collect()
+}
+
+/// Drive `turns` interleaved select/scrub operations on session `s`.
+/// Returns each select reply so callers can compare runs.
+fn drive(client: &mut Client, n_params: usize, turns: usize) -> Vec<pfdbg_obs::jsonl::Event> {
+    let mut replies = Vec::new();
+    for t in 0..turns {
+        if t % 3 == 2 {
+            let ev = client.roundtrip("{\"op\":\"scrub\",\"session\":\"s\"}");
+            assert!(is_ok(&ev), "scrub failed: {ev:?}");
+        } else {
+            let ev = client.roundtrip(&format!(
+                "{{\"op\":\"select\",\"session\":\"s\",\"params\":\"{}\"}}",
+                params_for(t, n_params)
+            ));
+            // A rolled-back turn is a legitimate recorded outcome under
+            // a flaky transport; both runs must roll back identically,
+            // so keep the reply either way.
+            replies.push(ev);
+        }
+    }
+    replies
+}
+
+/// The reply fields that must be bit-identical between an uninterrupted
+/// run and a crash-restored one. Wall-clock times and cache hits are
+/// interleaving-dependent and excluded; the modeled transfer/verify
+/// times, retry ladder, and diff sizes are all deterministic.
+fn replay_fields(ev: &pfdbg_obs::jsonl::Event) -> Vec<(String, String)> {
+    ["ok", "params", "turn", "bits_changed", "frames_changed", "retries", "degradations", "error"]
+        .iter()
+        .filter_map(|k| ev.fields.get(*k).map(|v| (k.to_string(), format!("{v:?}"))))
+        .collect()
+}
+
+fn restore_matches_golden_at(threads: usize) {
+    let dir =
+        std::env::temp_dir().join(format!("pfdbg-serve-replay-{}-t{threads}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    const TURNS: usize = 7;
+
+    // Golden: one uninterrupted run, TURNS ops then one more select.
+    let golden_server = start(threads, None, 0.01);
+    let mut golden = Client::connect(golden_server.local_addr());
+    let open = golden.roundtrip("{\"op\":\"open\",\"session\":\"s\"}");
+    assert!(is_ok(&open), "{open:?}");
+    let n_params = open.num("n_params").unwrap() as usize;
+    drive(&mut golden, n_params, TURNS);
+    let golden_next = golden.roundtrip(&format!(
+        "{{\"op\":\"select\",\"session\":\"s\",\"params\":\"{}\"}}",
+        params_for(TURNS, n_params)
+    ));
+    golden_server.shutdown();
+
+    // Run A: same chaos, journaling on; killed after TURNS ops with no
+    // clean close — the journal ends mid-session.
+    let a = start(threads, Some(dir.clone()), 0.01);
+    let mut ca = Client::connect(a.local_addr());
+    assert!(is_ok(&ca.roundtrip("{\"op\":\"open\",\"session\":\"s\"}")));
+    drive(&mut ca, n_params, TURNS);
+    a.shutdown();
+
+    // Run B: a fresh server over the same journal dir. Opening the
+    // same session name restores it from the journal.
+    let b = start(threads, Some(dir.clone()), 0.01);
+    let mut cb = Client::connect(b.local_addr());
+    let reopened = cb.roundtrip("{\"op\":\"open\",\"session\":\"s\"}");
+    assert!(is_ok(&reopened), "restore failed: {reopened:?}");
+    let restored_next = cb.roundtrip(&format!(
+        "{{\"op\":\"select\",\"session\":\"s\",\"params\":\"{}\"}}",
+        params_for(TURNS, n_params)
+    ));
+    assert_eq!(
+        replay_fields(&golden_next),
+        replay_fields(&restored_next),
+        "threads={threads}: restored session diverged from the uninterrupted golden\n\
+         golden:   {golden_next:?}\nrestored: {restored_next:?}"
+    );
+    let stats = cb.roundtrip("{\"op\":\"stats\"}");
+    assert!(stats.num("restores").unwrap() >= 1.0, "{stats:?}");
+    assert!(stats.num("journal_records").unwrap() >= 1.0, "{stats:?}");
+    b.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn restored_session_matches_uninterrupted_golden_serial() {
+    restore_matches_golden_at(1);
+}
+
+#[test]
+fn restored_session_matches_uninterrupted_golden_2_threads() {
+    restore_matches_golden_at(2);
+}
+
+#[test]
+fn restored_session_matches_uninterrupted_golden_8_threads() {
+    restore_matches_golden_at(8);
+}
+
+/// Restarting with different chaos flags must refuse the restore with
+/// a divergence report, not silently serve a session whose journal it
+/// cannot reproduce.
+#[test]
+fn restore_under_different_chaos_is_refused() {
+    let dir =
+        std::env::temp_dir().join(format!("pfdbg-serve-replay-divergence-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let a = start(1, Some(dir.clone()), 0.02);
+    let mut ca = Client::connect(a.local_addr());
+    let open = ca.roundtrip("{\"op\":\"open\",\"session\":\"s\"}");
+    let n_params = open.num("n_params").unwrap() as usize;
+    drive(&mut ca, n_params, 6);
+    a.shutdown();
+
+    // Different SEU rate: the recorded flip counts can't reproduce.
+    let b = start(1, Some(dir.clone()), 0.3);
+    let mut cb = Client::connect(b.local_addr());
+    let reopened = cb.roundtrip("{\"op\":\"open\",\"session\":\"s\"}");
+    assert!(!is_ok(&reopened), "restore should have diverged: {reopened:?}");
+    let msg = reopened.str("error").unwrap_or("");
+    assert!(msg.contains("diverged"), "unexpected error: {msg}");
+    b.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The `record` and `replay` verbs: a live session reports its journal,
+/// and the server re-drives that journal to a bit-identical verdict.
+#[test]
+fn record_and_replay_verbs_round_trip() {
+    let dir = std::env::temp_dir().join(format!("pfdbg-serve-replay-verbs-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let server = start(2, Some(dir.clone()), 0.01);
+    let mut c = Client::connect(server.local_addr());
+    let open = c.roundtrip("{\"op\":\"open\",\"session\":\"s\"}");
+    let n_params = open.num("n_params").unwrap() as usize;
+    drive(&mut c, n_params, 5);
+
+    let rec = c.roundtrip("{\"op\":\"record\",\"session\":\"s\"}");
+    assert!(is_ok(&rec), "{rec:?}");
+    let path = rec.str("path").unwrap().to_string();
+    assert!(rec.num("records").unwrap() >= 1.0);
+
+    let rep = c.roundtrip(&format!("{{\"op\":\"replay\",\"path\":\"{path}\"}}"));
+    assert!(is_ok(&rep), "{rep:?}");
+    assert_eq!(
+        rep.fields.get("identical"),
+        Some(&pfdbg_obs::jsonl::JsonValue::Bool(true)),
+        "server replay diverged: {rep:?}"
+    );
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,275 @@
+//! Append-only session journal framing.
+//!
+//! While [`crate::store`] persists whole artifacts atomically
+//! (write-temp-then-rename), a *journal* grows one record at a time
+//! while a debug session is live, and must survive the process dying
+//! mid-write. The format keeps the store's conventions — magic,
+//! version, per-record checksum — but frames each record
+//! independently so that a torn final record (the classic
+//! crash-during-append) is skipped on read instead of poisoning the
+//! whole file:
+//!
+//! ```text
+//! header:      "PFDJ" (4 bytes) | version u32 LE
+//! per record:  payload_len u64 LE | checksum u64 LE | payload bytes
+//! ```
+//!
+//! The checksum is [`crate::bytes::checksum`] over the payload. The
+//! reader walks records sequentially and stops at the first frame
+//! that is short, oversized, or fails its checksum; everything after
+//! that point is reported as a torn tail. [`JournalAppender::open_append`]
+//! truncates such a tail before appending, so a crashed writer never
+//! strands valid records behind garbage.
+
+use crate::bytes::checksum;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Journal file magic: `PFDJ`.
+pub const JOURNAL_MAGIC: [u8; 4] = *b"PFDJ";
+/// Current journal framing version.
+pub const JOURNAL_VERSION: u32 = 1;
+/// Header length in bytes (magic + version).
+pub const JOURNAL_HEADER_LEN: u64 = 8;
+/// Per-record frame overhead in bytes (length + checksum).
+pub const RECORD_FRAME_LEN: u64 = 16;
+/// Upper bound on a single record payload; anything larger is treated
+/// as a torn/corrupt frame rather than an allocation request.
+pub const MAX_RECORD_LEN: u64 = 1 << 32;
+
+/// Result of scanning a journal: the records that decoded cleanly plus
+/// whether (and where) a torn tail was cut off.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalScan {
+    /// Payloads of every intact record, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// True when trailing bytes after the last intact record were
+    /// skipped (torn final record or trailing garbage).
+    pub torn: bool,
+    /// Byte offset of the end of the last intact record — the length
+    /// a writer should truncate to before appending.
+    pub valid_len: u64,
+}
+
+/// Decode a journal from bytes already in memory.
+///
+/// A bad header (wrong magic or unsupported version) is an error; a
+/// torn tail is not — the scan stops there and flags `torn`.
+pub fn scan_journal_bytes(bytes: &[u8]) -> Result<JournalScan, String> {
+    if bytes.len() < JOURNAL_HEADER_LEN as usize {
+        return Err(format!("journal too short for header: {} bytes", bytes.len()));
+    }
+    if bytes[..4] != JOURNAL_MAGIC {
+        return Err(format!(
+            "bad journal magic {:02x?} (want {:02x?})",
+            &bytes[..4],
+            JOURNAL_MAGIC
+        ));
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    if version != JOURNAL_VERSION {
+        return Err(format!("unsupported journal version {version} (want {JOURNAL_VERSION})"));
+    }
+    let mut records = Vec::new();
+    let mut pos = JOURNAL_HEADER_LEN as usize;
+    loop {
+        if pos == bytes.len() {
+            return Ok(JournalScan { records, torn: false, valid_len: pos as u64 });
+        }
+        if bytes.len() - pos < RECORD_FRAME_LEN as usize {
+            return Ok(JournalScan { records, torn: true, valid_len: pos as u64 });
+        }
+        let len = u64::from_le_bytes(bytes[pos..pos + 8].try_into().expect("8 bytes"));
+        let sum = u64::from_le_bytes(bytes[pos + 8..pos + 16].try_into().expect("8 bytes"));
+        let body = pos + RECORD_FRAME_LEN as usize;
+        if len > MAX_RECORD_LEN || bytes.len() - body < len as usize {
+            return Ok(JournalScan { records, torn: true, valid_len: pos as u64 });
+        }
+        let payload = &bytes[body..body + len as usize];
+        if checksum(payload) != sum {
+            return Ok(JournalScan { records, torn: true, valid_len: pos as u64 });
+        }
+        records.push(payload.to_vec());
+        pos = body + len as usize;
+    }
+}
+
+/// Read and scan a journal file.
+pub fn read_journal(path: &Path) -> Result<JournalScan, String> {
+    let mut bytes = Vec::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(|e| format!("read journal {}: {e}", path.display()))?;
+    scan_journal_bytes(&bytes)
+}
+
+/// Streaming append-side of a journal: open once, append records as
+/// the session progresses, `sync` at durability barriers.
+pub struct JournalAppender {
+    file: File,
+    path: PathBuf,
+    records: u64,
+}
+
+impl JournalAppender {
+    /// Create (or truncate) a journal at `path` and write the header.
+    pub fn create(path: &Path) -> Result<JournalAppender, String> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| format!("create journal dir {}: {e}", parent.display()))?;
+            }
+        }
+        let mut file =
+            File::create(path).map_err(|e| format!("create journal {}: {e}", path.display()))?;
+        file.write_all(&JOURNAL_MAGIC)
+            .and_then(|()| file.write_all(&JOURNAL_VERSION.to_le_bytes()))
+            .map_err(|e| format!("write journal header {}: {e}", path.display()))?;
+        Ok(JournalAppender { file, path: path.to_path_buf(), records: 0 })
+    }
+
+    /// Open an existing journal for appending. The file is scanned
+    /// first; a torn tail is truncated away so new records land
+    /// directly after the last intact one. Returns the appender and
+    /// the intact records already present.
+    pub fn open_append(path: &Path) -> Result<(JournalAppender, JournalScan), String> {
+        let scan = read_journal(path)?;
+        let file = OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| format!("open journal {}: {e}", path.display()))?;
+        file.set_len(scan.valid_len)
+            .map_err(|e| format!("truncate torn journal tail {}: {e}", path.display()))?;
+        let mut appender = JournalAppender { file, path: path.to_path_buf(), records: 0 };
+        appender
+            .file
+            .seek(SeekFrom::End(0))
+            .map_err(|e| format!("seek journal {}: {e}", appender.path.display()))?;
+        Ok((appender, scan))
+    }
+
+    /// Append one record (frame + payload) in a single write.
+    pub fn append_record(&mut self, payload: &[u8]) -> Result<(), String> {
+        if payload.len() as u64 > MAX_RECORD_LEN {
+            return Err(format!("journal record too large: {} bytes", payload.len()));
+        }
+        let mut frame = Vec::with_capacity(RECORD_FRAME_LEN as usize + payload.len());
+        frame.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        frame.extend_from_slice(&checksum(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.file
+            .write_all(&frame)
+            .map_err(|e| format!("append journal record {}: {e}", self.path.display()))?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Flush appended records to stable storage (durability barrier).
+    pub fn sync(&mut self) -> Result<(), String> {
+        self.file.sync_data().map_err(|e| format!("sync journal {}: {e}", self.path.display()))
+    }
+
+    /// Records appended through this handle (excludes records already
+    /// present when it was opened with [`JournalAppender::open_append`]).
+    pub fn records_written(&self) -> u64 {
+        self.records
+    }
+
+    /// Path of the journal file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pfdj-test-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("j.pfdj")
+    }
+
+    #[test]
+    fn round_trips_records_in_order() {
+        let path = tmp("roundtrip");
+        let mut w = JournalAppender::create(&path).unwrap();
+        for i in 0..5u8 {
+            w.append_record(&[i; 7]).unwrap();
+        }
+        w.sync().unwrap();
+        assert_eq!(w.records_written(), 5);
+        let scan = read_journal(&path).unwrap();
+        assert!(!scan.torn);
+        assert_eq!(scan.records.len(), 5);
+        assert_eq!(scan.records[3], vec![3u8; 7]);
+    }
+
+    #[test]
+    fn torn_final_record_is_skipped_not_fatal() {
+        let path = tmp("torn");
+        let mut w = JournalAppender::create(&path).unwrap();
+        w.append_record(b"first").unwrap();
+        w.append_record(b"second-record-payload").unwrap();
+        drop(w);
+        // Crash mid-append: cut the last record's payload short.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 9]).unwrap();
+        let scan = read_journal(&path).unwrap();
+        assert!(scan.torn);
+        assert_eq!(scan.records, vec![b"first".to_vec()]);
+        // A flipped byte inside the final record is equally non-fatal.
+        let mut corrupt = full.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0x40;
+        std::fs::write(&path, &corrupt).unwrap();
+        let scan = read_journal(&path).unwrap();
+        assert!(scan.torn);
+        assert_eq!(scan.records.len(), 1);
+    }
+
+    #[test]
+    fn open_append_truncates_torn_tail_then_extends() {
+        let path = tmp("append");
+        let mut w = JournalAppender::create(&path).unwrap();
+        w.append_record(b"alpha").unwrap();
+        w.append_record(b"beta").unwrap();
+        drop(w);
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 2]).unwrap();
+        let (mut w, scan) = JournalAppender::open_append(&path).unwrap();
+        assert!(scan.torn);
+        assert_eq!(scan.records, vec![b"alpha".to_vec()]);
+        w.append_record(b"gamma").unwrap();
+        drop(w);
+        let scan = read_journal(&path).unwrap();
+        assert!(!scan.torn);
+        assert_eq!(scan.records, vec![b"alpha".to_vec(), b"gamma".to_vec()]);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let path = tmp("header");
+        std::fs::write(&path, b"PFDBxxxx").unwrap();
+        assert!(read_journal(&path).unwrap_err().contains("magic"));
+        let mut bytes = JOURNAL_MAGIC.to_vec();
+        bytes.extend_from_slice(&99u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(read_journal(&path).unwrap_err().contains("version"));
+        std::fs::write(&path, b"PF").unwrap();
+        assert!(read_journal(&path).unwrap_err().contains("short"));
+    }
+
+    #[test]
+    fn empty_journal_scans_clean() {
+        let path = tmp("empty");
+        let w = JournalAppender::create(&path).unwrap();
+        drop(w);
+        let scan = read_journal(&path).unwrap();
+        assert!(!scan.torn);
+        assert!(scan.records.is_empty());
+        assert_eq!(scan.valid_len, JOURNAL_HEADER_LEN);
+    }
+}

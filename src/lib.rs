@@ -17,6 +17,7 @@ pub use pfdbg_map as map;
 pub use pfdbg_netlist as netlist;
 pub use pfdbg_pconf as pconf;
 pub use pfdbg_pr as pr;
+pub use pfdbg_replay as replay;
 pub use pfdbg_synth as synth;
 pub use pfdbg_trace as trace;
 pub use pfdbg_util as util;
