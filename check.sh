@@ -42,7 +42,7 @@ echo "== serve smoke test =="
 # the background scrubber enabled — drive it with a small serve_load
 # run, and check for a clean shutdown plus a non-empty latency report
 # carrying the scrub counters.
-cargo build -q -p pfdbg-cli -p pfdbg-bench --bin pfdbg --bin serve_load --bin diff_fuzz
+cargo build -q -p pfdbg-cli -p pfdbg-bench --bin pfdbg --bin serve_load --bin diff_fuzz --bin specialize
 SMOKE_DIR=$(mktemp -d)
 trap 'rm -rf "$SMOKE_DIR"' EXIT
 ./target/debug/pfdbg serve @stereov. --store-dir "$SMOKE_DIR/store" \
@@ -190,6 +190,23 @@ echo "== differential fuzz (64 seeded cases) =="
     --out BENCH_diff_fuzz.json >/dev/null
 grep -q '"divergences":0' BENCH_diff_fuzz.json || { echo "differential fuzz found divergences"; exit 1; }
 echo "diff_fuzz ok: $(cat BENCH_diff_fuzz.json)"
+
+echo "== specialize micro-bench (batch vs serial bit-identity) =="
+# The turn-path micro-bench at a reduced turn count: the gate is the
+# report shape and the batch-vs-serial bit-identity flags at both
+# tunable scales — never absolute latency, which depends on the host
+# (the committed BENCH_specialize.json carries release-build numbers).
+./target/debug/specialize --turns 256 --out "$SMOKE_DIR/BENCH_specialize.json" >/dev/null
+for field in t1k_serial_p50_us t1k_batch_p50_us t10k_serial_p50_us t10k_batch_p50_us \
+             t10k_serial_p99_us t10k_batch_p99_us host_threads turns; do
+    grep -q "\"$field\"" "$SMOKE_DIR/BENCH_specialize.json" \
+        || { echo "BENCH_specialize.json lacks $field"; exit 1; }
+done
+grep -q '"t1k_identical":1' "$SMOKE_DIR/BENCH_specialize.json" \
+    || { echo "batch evaluator diverged from serial at 1k tunables"; exit 1; }
+grep -q '"t10k_identical":1' "$SMOKE_DIR/BENCH_specialize.json" \
+    || { echo "batch evaluator diverged from serial at 10k tunables"; exit 1; }
+echo "specialize bench ok"
 
 echo "== committed corpus replay =="
 for j in tests/corpus/*.pfdj; do

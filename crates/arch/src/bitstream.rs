@@ -211,9 +211,21 @@ pub struct LayoutRaw {
 }
 
 /// A concrete configuration bitstream.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct Bitstream {
     bits: BitVec,
+}
+
+impl Clone for Bitstream {
+    fn clone(&self) -> Self {
+        Bitstream { bits: self.bits.clone() }
+    }
+
+    /// Reuses the existing bit buffer (no allocation for equal sizes) —
+    /// the online turn path stages candidate bitstreams this way.
+    fn clone_from(&mut self, other: &Self) {
+        self.bits.clone_from(&other.bits);
+    }
 }
 
 impl Bitstream {
@@ -284,6 +296,18 @@ impl Bitstream {
     /// Hamming distance to another bitstream.
     pub fn distance(&self, other: &Bitstream) -> usize {
         self.bits.hamming_distance(&other.bits)
+    }
+
+    /// Copy the `len`-bit field at `base` into `out` as LSB-first words
+    /// (word-level frame extraction; see [`BitVec::extract_words`]).
+    pub fn extract_words(&self, base: BitAddr, len: usize, out: &mut Vec<u64>) {
+        self.bits.extract_words(base, len, out);
+    }
+
+    /// Overwrite the `len`-bit field at `base` from LSB-first words;
+    /// bits beyond the bitstream length are dropped (tail frame).
+    pub fn splice_words(&mut self, base: BitAddr, len: usize, src: &[u64]) {
+        self.bits.splice_words(base, len, src);
     }
 }
 

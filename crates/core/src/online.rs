@@ -112,7 +112,7 @@ impl DebugSession {
             Some(o) => Some(o.try_apply(params)?),
             None => None,
         };
-        self.params = params.clone();
+        self.params.clone_from(params);
         self.turns.push(TurnRecord { turn: self.turns.len(), signals: Vec::new(), stats });
         TURNS.add(1);
         Ok(stats)

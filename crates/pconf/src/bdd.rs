@@ -265,6 +265,36 @@ impl BddManager {
         cur == Bdd::TRUE
     }
 
+    /// Evaluate **every** node in the table under one assignment in a
+    /// single linear sweep, writing node `i`'s value to `values[i]`.
+    ///
+    /// The node table is topological by construction (`mk` pushes a node
+    /// only after both children exist, and `from_exported` rejects
+    /// forward references), so one pass in index order visits children
+    /// before parents. For a fixed parameter vector this costs each
+    /// shared node exactly once, versus [`BddManager::eval`] re-walking
+    /// the DAG from every root — the memoized batch evaluator the
+    /// per-turn SCG hot path uses. After the sweep, any root's value is
+    /// `values.get(f.index())` (see [`BddManager::value_of`]).
+    pub fn eval_all_into(&self, assignment: &BitVec, values: &mut BitVec) {
+        values.reset_zeroed(self.nodes.len());
+        values.set(Bdd::TRUE.0 as usize, true);
+        for i in 2..self.nodes.len() {
+            let n = self.nodes[i];
+            let child = if assignment.get(n.var as usize) { n.hi } else { n.lo };
+            if values.get(child.0 as usize) {
+                values.set(i, true);
+            }
+        }
+    }
+
+    /// Look up a root's value in a scratch filled by
+    /// [`BddManager::eval_all_into`] for the same assignment.
+    #[inline]
+    pub fn value_of(&self, f: Bdd, values: &BitVec) -> bool {
+        values.get(f.0 as usize)
+    }
+
     /// Number of decision nodes reachable from `f` (size of the function).
     pub fn size(&self, f: Bdd) -> usize {
         let mut seen: std::collections::HashSet<Bdd> = Default::default();
@@ -455,6 +485,33 @@ mod tests {
         assert!(BddManager::from_exported(&[(0, 0, 1), (0, 0, 1)]).is_err());
         // Terminal sentinel as a variable.
         assert!(BddManager::from_exported(&[(u32::MAX, 0, 1)]).is_err());
+    }
+
+    #[test]
+    fn eval_all_matches_eval_exhaustively() {
+        // A manager holding a mix of shared functions over 4 variables;
+        // the batch sweep must agree with the root-to-terminal walk for
+        // every node (not just roots) under every assignment.
+        let mut m = BddManager::new();
+        let vars: Vec<Bdd> = (0..4).map(|v| m.var(v)).collect();
+        let ab = m.and(vars[0], vars[1]);
+        let cd = m.or(vars[2], vars[3]);
+        let x = m.xor(ab, cd);
+        let _ = m.ite(x, ab, cd);
+        let _ = m.minterm(&[0, 1, 2, 3], 11);
+        let mut values = BitVec::new();
+        for bits in 0..16u32 {
+            let asg = assignment(&[bits & 1 == 1, bits & 2 == 2, bits & 4 == 4, bits & 8 == 8]);
+            m.eval_all_into(&asg, &mut values);
+            for i in 0..m.n_nodes() as u32 {
+                let f = Bdd::from_index(i);
+                assert_eq!(
+                    m.value_of(f, &values),
+                    m.eval(f, &asg),
+                    "node {i} under bits={bits:04b}"
+                );
+            }
+        }
     }
 
     #[test]

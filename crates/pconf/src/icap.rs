@@ -82,6 +82,14 @@ pub trait IcapChannel: Send {
     fn write_frame(&mut self, frame: usize, data: &[u64]) -> Result<(), IcapError>;
     /// Read one frame back from configuration memory.
     fn read_frame(&self, frame: usize) -> Vec<u64>;
+    /// Read one frame into a caller-owned buffer (cleared first), so
+    /// hot loops (verify, scrub) reuse one allocation across frames.
+    /// The default delegates to [`IcapChannel::read_frame`]; devices
+    /// that can fill the buffer directly override it.
+    fn read_frame_into(&self, frame: usize, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend_from_slice(&self.read_frame(frame));
+    }
     /// Advance the device's between-turn clock by one step. On an ideal
     /// device configuration memory is inert between writes, so the
     /// default is a no-op; emulated fabrics override this to take their
@@ -112,6 +120,10 @@ impl IcapChannel for Box<dyn IcapChannel> {
         (**self).read_frame(frame)
     }
 
+    fn read_frame_into(&self, frame: usize, out: &mut Vec<u64>) {
+        (**self).read_frame_into(frame, out)
+    }
+
     fn tick(&mut self) -> usize {
         (**self).tick()
     }
@@ -123,16 +135,19 @@ pub fn frame_len_bits(n_bits: usize, frame_bits: usize, frame: usize) -> usize {
     frame_bits.min(n_bits.saturating_sub(base))
 }
 
-/// Extract frame `frame` of `bs` as LSB-first packed words.
-pub fn frame_words(bs: &Bitstream, frame_bits: usize, frame: usize) -> Vec<u64> {
+/// Extract frame `frame` of `bs` into `out` (cleared first) as
+/// LSB-first packed words — word-level shifts, not a bit loop, and no
+/// allocation once `out` has its working capacity.
+pub fn frame_words_into(bs: &Bitstream, frame_bits: usize, frame: usize, out: &mut Vec<u64>) {
     let base = frame * frame_bits;
     let len = frame_len_bits(bs.len(), frame_bits, frame);
-    let mut words = vec![0u64; len.div_ceil(64)];
-    for i in 0..len {
-        if bs.get(base + i) {
-            words[i / 64] |= 1u64 << (i % 64);
-        }
-    }
+    bs.extract_words(base, len, out);
+}
+
+/// Extract frame `frame` of `bs` as LSB-first packed words.
+pub fn frame_words(bs: &Bitstream, frame_bits: usize, frame: usize) -> Vec<u64> {
+    let mut words = Vec::new();
+    frame_words_into(bs, frame_bits, frame, &mut words);
     words
 }
 
@@ -182,15 +197,18 @@ impl IcapChannel for MemoryIcap {
         }
         let base = frame * self.frame_bits;
         let len = frame_len_bits(self.mem.len(), self.frame_bits, frame);
-        for i in 0..len {
-            let bit = data.get(i / 64).is_some_and(|w| (w >> (i % 64)) & 1 == 1);
-            self.mem.set(base + i, bit);
-        }
+        // Word-level splice; missing source words read as zero, exactly
+        // like the old per-bit loop.
+        self.mem.splice_words(base, len, data);
         Ok(())
     }
 
     fn read_frame(&self, frame: usize) -> Vec<u64> {
         frame_words(&self.mem, self.frame_bits, frame)
+    }
+
+    fn read_frame_into(&self, frame: usize, out: &mut Vec<u64>) {
+        frame_words_into(&self.mem, self.frame_bits, frame, out);
     }
 }
 
@@ -198,18 +216,15 @@ impl IcapChannel for MemoryIcap {
 /// ground truth the chaos suite compares against the fault-free golden
 /// specialization.
 pub fn readback_all(channel: &dyn IcapChannel) -> Bitstream {
-    let mut bits = pfdbg_util::BitVec::zeros(channel.n_bits());
+    let mut bs = Bitstream::from_bits(pfdbg_util::BitVec::zeros(channel.n_bits()));
+    let mut words = Vec::new();
     for frame in 0..channel.n_frames() {
         let base = frame * channel.frame_bits();
         let len = frame_len_bits(channel.n_bits(), channel.frame_bits(), frame);
-        let words = channel.read_frame(frame);
-        for i in 0..len {
-            if words.get(i / 64).is_some_and(|w| (w >> (i % 64)) & 1 == 1) {
-                bits.set(base + i, true);
-            }
-        }
+        channel.read_frame_into(frame, &mut words);
+        bs.splice_words(base, len, &words);
     }
-    Bitstream::from_bits(bits)
+    bs
 }
 
 /// Retry and escalation policy for one transactional commit.
@@ -321,9 +336,19 @@ pub struct CommitStats {
     pub verify_time: Duration,
 }
 
+/// Reusable frame-word buffers for one commit or scrub pass: the
+/// target frame's words and the readback, each filled in place so the
+/// per-frame/per-attempt allocations of the old path disappear.
+#[derive(Debug, Default)]
+pub(crate) struct FrameBuf {
+    pub(crate) words: Vec<u64>,
+    pub(crate) back: Vec<u64>,
+}
+
 /// Write one frame until it verifies or the per-level retry budget is
 /// spent. Returns whether the frame verified. Shared with the scrubber
 /// (`crate::scrub`), whose repairs are single-frame commits.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn write_frame_verified(
     channel: &mut dyn IcapChannel,
     icap: &IcapModel,
@@ -332,10 +357,11 @@ pub(crate) fn write_frame_verified(
     policy: &CommitPolicy,
     backoff: &mut Backoff,
     stats: &mut CommitStats,
+    buf: &mut FrameBuf,
 ) -> bool {
     let frame_bits = channel.frame_bits();
-    let words = frame_words(target, frame_bits, frame);
-    let crc = frame_crc(&words);
+    frame_words_into(target, frame_bits, frame, &mut buf.words);
+    let crc = frame_crc(&buf.words);
     let write_cost = icap.partial_reconfig(1, frame_bits) - icap.command_overhead;
     let readback_cost =
         icap.partial_reconfig(1, frame_bits) - icap.command_overhead - icap.per_frame_overhead;
@@ -346,7 +372,7 @@ pub(crate) fn write_frame_verified(
         }
         stats.writes_attempted += 1;
         stats.transfer_time += write_cost;
-        match channel.write_frame(frame, &words) {
+        match channel.write_frame(frame, &buf.words) {
             Err(IcapError::WriteFailed) => {
                 stats.write_errors += 1;
                 WRITE_ERRORS.add(1);
@@ -363,8 +389,8 @@ pub(crate) fn write_frame_verified(
         // Readback-verify: CRC first (what hardware streams back),
         // then the full bit compare that makes the model airtight.
         stats.verify_time += readback_cost;
-        let back = channel.read_frame(frame);
-        if frame_crc(&back) == crc && back == words {
+        channel.read_frame_into(frame, &mut buf.back);
+        if frame_crc(&buf.back) == crc && buf.back == buf.words {
             stats.frames_verified += 1;
             return true;
         }
@@ -401,17 +427,27 @@ pub fn commit_frames(
     if changed_frames.is_empty() {
         return Ok(stats);
     }
-    let full_frame_set: Vec<usize> = {
-        let mut v: Vec<usize> = changed_frames.iter().chain(region_frames).copied().collect();
-        v.sort_unstable();
-        v.dedup();
-        v
-    };
-    let all_frames: Vec<usize> = (0..channel.n_frames()).collect();
-    let levels: [&[usize]; 3] = [changed_frames, &full_frame_set, &all_frames];
+    // Escalation sets materialize lazily: the clean level-0 commit (the
+    // overwhelmingly common case) allocates no frame lists at all.
+    let mut escalation_set: Vec<usize> = Vec::new();
     let mut backoff = Backoff::new(policy, 0);
+    let mut buf = FrameBuf::default();
     let mut last_failed = 0usize;
-    for (level, set) in levels.iter().enumerate() {
+    for level in 0..3usize {
+        let set: &[usize] = match level {
+            0 => changed_frames,
+            1 => {
+                escalation_set = changed_frames.iter().chain(region_frames).copied().collect();
+                escalation_set.sort_unstable();
+                escalation_set.dedup();
+                &escalation_set
+            }
+            _ => {
+                escalation_set.clear();
+                escalation_set.extend(0..channel.n_frames());
+                &escalation_set
+            }
+        };
         if level > 0 {
             stats.degradations += 1;
             DEGRADATIONS.add(1);
@@ -424,9 +460,17 @@ pub fn commit_frames(
         stats.transfer_time += icap.command_overhead;
         let mut ok = true;
         last_failed = 0;
-        for &frame in *set {
-            if !write_frame_verified(channel, icap, target, frame, policy, &mut backoff, &mut stats)
-            {
+        for &frame in set {
+            if !write_frame_verified(
+                channel,
+                icap,
+                target,
+                frame,
+                policy,
+                &mut backoff,
+                &mut stats,
+                &mut buf,
+            ) {
                 ok = false;
                 last_failed += 1;
             }

@@ -16,5 +16,5 @@ pub mod scrub;
 pub use bdd::{Bdd, BddManager};
 pub use genbits::{Builder as GeneralizedBuilder, GeneralizedBitstream};
 pub use icap::{CommitPolicy, CommitStats, IcapChannel, IcapError, MemoryIcap};
-pub use scg::{OnlineReconfigurator, Scg, TurnStats};
+pub use scg::{OnlineReconfigurator, Scg, SpecializeScratch, SpecializeTiming, TurnStats};
 pub use scrub::{ScrubHealth, ScrubPolicy, ScrubReport, ScrubTotals, Scrubber};

@@ -24,8 +24,8 @@
 //!   that refuses to heal.
 
 use crate::icap::{
-    frame_len_bits, frame_words, write_frame_verified, Backoff, CommitPolicy, CommitStats,
-    IcapChannel,
+    frame_len_bits, frame_words, frame_words_into, write_frame_verified, Backoff, CommitPolicy,
+    CommitStats, FrameBuf, IcapChannel,
 };
 use crate::Scg;
 use pfdbg_arch::{Bitstream, IcapModel};
@@ -195,14 +195,19 @@ impl Scrubber {
         let readback_cost =
             icap.partial_reconfig(1, frame_bits) - icap.command_overhead - icap.per_frame_overhead;
         let mut report = ScrubReport::default();
+        // One set of frame-word buffers serves the whole pass: golden
+        // extraction, readback, and any repair writes all fill in place.
+        let mut want: Vec<u64> = Vec::new();
+        let mut got: Vec<u64> = Vec::new();
+        let mut buf = FrameBuf::default();
         for frame in 0..channel.n_frames() {
             if self.quarantined.contains(&frame) {
                 continue;
             }
             report.frames_checked += 1;
             report.scrub_time += readback_cost;
-            let want = frame_words(golden, frame_bits, frame);
-            let got = channel.read_frame(frame);
+            frame_words_into(golden, frame_bits, frame, &mut want);
+            channel.read_frame_into(frame, &mut got);
             if got == want {
                 self.fail_streak.remove(&frame);
                 continue;
@@ -221,6 +226,7 @@ impl Scrubber {
                 &self.policy.commit,
                 &mut backoff,
                 &mut cstats,
+                &mut buf,
             );
             report.scrub_time += cstats.transfer_time + cstats.verify_time;
             if healed {

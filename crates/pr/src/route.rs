@@ -382,6 +382,10 @@ pub fn route(
     // Occupancy snapshot for speculative routing: after the rip-up the
     // live occupancy is identically zero, so a zero vector stands in.
     let zero_occ = vec![0u16; n_nodes];
+    // Speculative-round scratch pool, reused across PathFinder
+    // iterations: each NetScratch is epoch-stamped, so a stale pool
+    // entry behaves identically to a fresh allocation.
+    let mut spec_pool: Vec<NetScratch> = Vec::new();
 
     let mut converged = false;
     let mut iterations = 0;
@@ -407,9 +411,10 @@ pub fn route(
         // Speculative round: every net routed against the clean
         // post-rip-up state, in parallel, with per-worker scratch.
         let speculative: Vec<Option<Result<NetAttempt, String>>> = if workers > 1 && n_nets > 1 {
-            pfdbg_util::par::map_init_in(
+            pfdbg_util::par::map_reuse_in(
                 workers,
                 &order,
+                &mut spec_pool,
                 || NetScratch::new(n_nodes),
                 |sc, &ni| {
                     Some(route_one_net(

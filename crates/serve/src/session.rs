@@ -39,7 +39,7 @@ use pfdbg_emu::{FaultyIcap, IcapFaultConfig, SeuConfig, SeuIcap};
 use pfdbg_obs::{FlightKind, FlightRecorder};
 use pfdbg_pconf::icap::{commit_frames, readback_all, CommitPolicy, IcapChannel, MemoryIcap};
 use pfdbg_pconf::scrub::{ScrubHealth, ScrubPolicy, ScrubReport, Scrubber};
-use pfdbg_pconf::Scg;
+use pfdbg_pconf::{Scg, SpecializeScratch};
 use pfdbg_replay::driver::bitstream_crc;
 use pfdbg_replay::verify::{diff_scrub, diff_select, Divergence};
 use pfdbg_replay::{
@@ -85,6 +85,12 @@ struct SessionState {
     bits: Bitstream,
     turns: usize,
     channel: Box<dyn IcapChannel>,
+    /// Memoized batch-evaluation scratch. **Per-session** — the shared
+    /// `Engine::scg` is immutable behind its `Arc`, and every mutable
+    /// evaluation buffer lives here, under this session's lock, so
+    /// concurrent sessions never observe each other's sweeps
+    /// (DESIGN.md §12).
+    scratch: SpecializeScratch,
     /// A previous turn rolled back (or a scrub quarantined a frame);
     /// the next commit rewrites every frame because configuration
     /// memory is untrusted.
@@ -443,6 +449,7 @@ impl SessionManager {
             bits: base,
             turns: 0,
             channel,
+            scratch: SpecializeScratch::new(),
             needs_resync: false,
             scrubber: Scrubber::new(self.scrub_policy),
             policy,
@@ -751,8 +758,9 @@ impl SessionManager {
 
     /// One debugging turn: specialize the session for `params`, commit
     /// the changed frames transactionally, and account the cost. The
-    /// hot path is incremental ([`Scg::specialize_from`]) and
-    /// cache-assisted.
+    /// hot path is the memoized batch evaluator
+    /// ([`Scg::specialize_from_batch`], one node-table sweep through
+    /// the per-session scratch) and cache-assisted.
     ///
     /// The deadline (when given as `(request start, budget)`) is
     /// checked *before* the commit: a missed deadline is a pure error —
@@ -813,12 +821,14 @@ impl SessionManager {
         let (new_bits, cache_hit) = match cached {
             Some(bits) => (bits, true),
             None => {
-                // Miss: incremental specialization from this session's
-                // current state. Publication to the shared LRU waits
-                // until the commit verifies: an aborted turn must leave
-                // no trace.
+                // Miss: memoized batch specialization from this
+                // session's current state (one node-table sweep via the
+                // per-session scratch). Publication to the shared LRU
+                // waits until the commit verifies: an aborted turn must
+                // leave no trace.
                 let sp0 = Instant::now();
-                let bits = engine.scg.specialize_from(&state.params, &state.bits, params)?;
+                let bits =
+                    engine.scg.specialize_from_batch(&state.bits, params, &mut state.scratch)?;
                 let sp_us = sp0.elapsed().as_secs_f64() * 1e6;
                 tel::SPECIALIZE_US.record_us(sp_us);
                 tel::SLO_SPECIALIZE.observe_us(sp_us);
@@ -831,18 +841,26 @@ impl SessionManager {
             tel::CACHE_MISSES.add(1);
         }
 
-        // Diff against the session's loaded configuration: only tunable
-        // addresses can differ between two specializations.
+        // Diff against the session's loaded configuration by XOR-ing
+        // whole words: only tunable addresses can differ between two
+        // specializations of the same generalized bitstream, so this
+        // counts exactly the bits the old per-tunable compare did.
+        // Ascending addresses mean nondecreasing frame indices, so an
+        // adjacent-duplicate check replaces the sort+dedup.
         let mut frames: Vec<usize> = Vec::new();
         let mut bits_changed = 0usize;
-        for &(addr, _) in &engine.scg.generalized().tunable {
-            if state.bits.get(addr) != new_bits.get(addr) {
+        for (wi, (&a, &b)) in state.bits.words().iter().zip(new_bits.words()).enumerate() {
+            let mut x = a ^ b;
+            while x != 0 {
+                let bit = x.trailing_zeros() as usize;
+                x &= x - 1;
                 bits_changed += 1;
-                frames.push(engine.layout.frame_of(addr));
+                let f = engine.layout.frame_of(wi * 64 + bit);
+                if frames.last() != Some(&f) {
+                    frames.push(f);
+                }
             }
         }
-        frames.sort_unstable();
-        frames.dedup();
 
         // Deadline gate: all state mutation lies beyond this point.
         if let Some((started, budget)) = deadline {

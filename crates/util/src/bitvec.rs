@@ -4,10 +4,23 @@
 //! and visited sets. Bits are stored LSB-first in `u64` words.
 
 /// A growable, compact vector of bits.
-#[derive(Clone, PartialEq, Eq, Hash, Default)]
+#[derive(PartialEq, Eq, Hash, Default)]
 pub struct BitVec {
     words: Vec<u64>,
     len: usize,
+}
+
+impl Clone for BitVec {
+    fn clone(&self) -> Self {
+        BitVec { words: self.words.clone(), len: self.len }
+    }
+
+    /// Reuses `self`'s word buffer — cloning into an equally-sized
+    /// vector allocates nothing, which the per-turn hot paths rely on.
+    fn clone_from(&mut self, other: &Self) {
+        self.words.clone_from(&other.words);
+        self.len = other.len;
+    }
 }
 
 impl BitVec {
@@ -175,6 +188,91 @@ impl BitVec {
         &self.words
     }
 
+    /// Resize to exactly `n` bits, all zero, reusing the word buffer.
+    /// Allocation-free once the buffer has grown to its working size.
+    pub fn reset_zeroed(&mut self, n: usize) {
+        self.words.clear();
+        self.words.resize(n.div_ceil(64), 0);
+        self.len = n;
+    }
+
+    /// Overwrite backing word `wi` wholesale. Bits beyond `len` in the
+    /// last word are masked off so the all-zero-tail invariant holds.
+    #[inline]
+    pub fn set_word(&mut self, wi: usize, w: u64) {
+        assert!(wi < self.words.len(), "word index {wi} out of bounds");
+        self.words[wi] = w;
+        if wi == self.words.len() - 1 {
+            self.mask_tail();
+        }
+    }
+
+    /// Copy the `len`-bit field starting at bit `base` into `out` as
+    /// LSB-first words (the inverse of [`BitVec::splice_words`]). The
+    /// tail of the last output word beyond `len` is zero. `out` is
+    /// cleared first so a caller can reuse one buffer across calls.
+    pub fn extract_words(&self, base: usize, len: usize, out: &mut Vec<u64>) {
+        out.clear();
+        if len == 0 {
+            return;
+        }
+        let n_words = len.div_ceil(64);
+        out.reserve(n_words);
+        let first = base / 64;
+        let off = base % 64;
+        for j in 0..n_words {
+            let w = if off == 0 {
+                self.words.get(first + j).copied().unwrap_or(0)
+            } else {
+                let lo = self.words.get(first + j).copied().unwrap_or(0) >> off;
+                let hi = self.words.get(first + j + 1).copied().unwrap_or(0) << (64 - off);
+                lo | hi
+            };
+            out.push(w);
+        }
+        let tail = len % 64;
+        if tail != 0 {
+            if let Some(last) = out.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Overwrite the `n`-bit field (`1..=64`) at bit `pos` with the low
+    /// `n` bits of `val`. The field may straddle a word boundary; bits
+    /// beyond `len` are dropped.
+    fn store_bits(&mut self, pos: usize, n: usize, val: u64) {
+        debug_assert!((1..=64).contains(&n));
+        let mask = if n == 64 { !0u64 } else { (1u64 << n) - 1 };
+        let val = val & mask;
+        let wi = pos / 64;
+        let off = pos % 64;
+        self.words[wi] = (self.words[wi] & !(mask << off)) | (val << off);
+        if off + n > 64 {
+            let spill = n - (64 - off);
+            let smask = (1u64 << spill) - 1;
+            if let Some(next) = self.words.get_mut(wi + 1) {
+                *next = (*next & !smask) | (val >> (64 - off));
+            }
+        }
+        self.mask_tail();
+    }
+
+    /// Overwrite the `len`-bit field starting at bit `base` from
+    /// LSB-first `src` words (the inverse of [`BitVec::extract_words`]).
+    /// Missing source words are read as zero; bits beyond the vector
+    /// length are dropped.
+    pub fn splice_words(&mut self, base: usize, len: usize, src: &[u64]) {
+        let len = len.min(self.len.saturating_sub(base));
+        let mut done = 0;
+        while done < len {
+            let n = (len - done).min(64);
+            let w = src.get(done / 64).copied().unwrap_or(0);
+            self.store_bits(base + done, n, w);
+            done += n;
+        }
+    }
+
     /// Zero any bits beyond `len` in the last word.
     fn mask_tail(&mut self) {
         let tail = self.len % 64;
@@ -260,6 +358,78 @@ mod tests {
         b.set(0, false);
         b.set(149, true);
         assert_eq!(a.hamming_distance(&b), 2);
+    }
+
+    #[test]
+    fn clone_from_reuses_buffer_and_matches() {
+        let a: BitVec = (0..130).map(|i| i % 3 == 0).collect();
+        let mut b = BitVec::zeros(130);
+        let cap_ptr = b.words().as_ptr();
+        b.clone_from(&a);
+        assert_eq!(a, b);
+        assert_eq!(b.words().as_ptr(), cap_ptr, "clone_from must not reallocate");
+    }
+
+    #[test]
+    fn reset_zeroed_resizes_and_clears() {
+        let mut v: BitVec = (0..100).map(|i| i % 2 == 0).collect();
+        v.reset_zeroed(200);
+        assert_eq!(v.len(), 200);
+        assert_eq!(v.count_ones(), 0);
+        v.reset_zeroed(3);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.count_ones(), 0);
+    }
+
+    #[test]
+    fn set_word_masks_tail() {
+        let mut v = BitVec::zeros(70);
+        v.set_word(1, !0u64);
+        assert_eq!(v.count_ones(), 6);
+        assert!(v.get(69));
+        v.set_word(0, 0b101);
+        assert!(v.get(0) && !v.get(1) && v.get(2));
+    }
+
+    /// Reference bit-loop extraction, for differential testing.
+    fn extract_ref(v: &BitVec, base: usize, len: usize) -> Vec<u64> {
+        let mut out = vec![0u64; len.div_ceil(64)];
+        for i in 0..len {
+            if base + i < v.len() && v.get(base + i) {
+                out[i / 64] |= 1 << (i % 64);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn extract_words_matches_bit_loop() {
+        let v: BitVec = (0..300).map(|i| (i * 7 + 3) % 5 < 2).collect();
+        let mut out = Vec::new();
+        for &(base, len) in &[(0, 64), (0, 300), (1, 64), (63, 65), (64, 130), (250, 80), (5, 0)] {
+            v.extract_words(base, len, &mut out);
+            assert_eq!(out, extract_ref(&v, base, len), "base={base} len={len}");
+        }
+    }
+
+    #[test]
+    fn splice_words_matches_bit_loop() {
+        let src = [0xDEAD_BEEF_CAFE_F00Du64, 0x0123_4567_89AB_CDEF];
+        for &(base, len) in &[(0usize, 64usize), (1, 64), (63, 65), (100, 128), (250, 80)] {
+            let mut a: BitVec = (0..300).map(|i| i % 3 == 0).collect();
+            let mut b = a.clone();
+            a.splice_words(base, len, &src);
+            for i in 0..len.min(300usize.saturating_sub(base)) {
+                let bit = (src.get(i / 64).copied().unwrap_or(0) >> (i % 64)) & 1 == 1;
+                b.set(base + i, bit);
+            }
+            assert_eq!(a, b, "base={base} len={len}");
+            // Round trip: extracting the spliced field gives the source back.
+            let mut out = Vec::new();
+            let eff = len.min(300usize.saturating_sub(base));
+            a.extract_words(base, eff, &mut out);
+            assert_eq!(out, extract_ref(&a, base, eff));
+        }
     }
 
     #[test]
