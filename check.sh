@@ -37,6 +37,17 @@ echo "== scrub pass (PFDBG_SEU_RATE=0.02) =="
 PFDBG_SEU_RATE=0.02 cargo test -q -p pfdbg-serve --test scrub
 PFDBG_SEU_RATE=0.02 PFDBG_ICAP_FAULT_RATE=0.02 cargo test -q --test chaos
 
+echo "== shard sweep (PFDBG_SHARDS=1/2/8) =="
+# The serve suites at three fleet shapes: session placement moves
+# between shard threads, but per-session operation order is
+# caller-serialized, so every chaos/replay/scrub assertion (all
+# bit-identity against golden oracles) must hold unchanged at any
+# shard count.
+for shards in 1 2 8; do
+    PFDBG_SHARDS=$shards cargo test -q -p pfdbg-serve \
+        --test chaos --test replay --test scrub --test backpressure --test fleet
+done
+
 echo "== serve smoke test =="
 # Start the debug service on an ephemeral port — with SEU injection and
 # the background scrubber enabled — drive it with a small serve_load
@@ -88,6 +99,21 @@ echo "$METRICS" | grep -qF '\"busy\":false' || { echo "metrics verb lacks per-se
 wait "$SERVE_PID"
 cp "$SMOKE_DIR/BENCH_serve.json" BENCH_serve.json
 echo "serve smoke ok: $(cat BENCH_serve.json)"
+
+echo "== sharded fleet smoke (512 sessions) =="
+# A scaled-down fleet soak against an in-process server: 512 sessions
+# multiplexed over 8 connections. Gates are the report's backpressure
+# ledger and field presence — shed/overload counters, the request-latency
+# histogram tail — never absolute latency, which depends on the host.
+./target/debug/serve_load --sessions 512 --threads 8 --requests 128 \
+    --out "$SMOKE_DIR/BENCH_fleet.json" >/dev/null
+grep -q '"failures":0' "$SMOKE_DIR/BENCH_fleet.json" || { echo "fleet smoke saw failed requests"; exit 1; }
+grep -q '"sessions":512' "$SMOKE_DIR/BENCH_fleet.json" || { echo "fleet smoke lost sessions"; exit 1; }
+for field in shed_total overloaded_replies hist_p99_ms inbox_wait_p99_us shards inbox_capacity; do
+    grep -q "\"$field\"" "$SMOKE_DIR/BENCH_fleet.json" \
+        || { echo "BENCH_fleet.json lacks $field"; exit 1; }
+done
+echo "fleet smoke ok"
 
 echo "== flight-recorder quarantine smoke =="
 # A server with a dead write path (every repair fails) under full SEU

@@ -9,7 +9,7 @@
 //! pfdbg rank       <design.blif|@benchmark> [--top N]
 //! pfdbg report     <trace.jsonl>
 //! pfdbg scrub      <design.blif|@benchmark> [--turns N] [--scrub-every N] [--seu-rate R]
-//! pfdbg serve      <design.blif|@benchmark> [--addr H:P|--port P] [--workers N] [--port-file f]
+//! pfdbg serve      <design.blif|@benchmark> [--addr H:P|--port P] [--workers N] [--shards N] [--port-file f]
 //! pfdbg client     <host:port> [--request '<json>'] [--shutdown]
 //! pfdbg bench-list
 //! ```
@@ -170,6 +170,7 @@ fn print_usage() {
          \x20 pfdbg scrub      <design.blif|@bench> [--turns N] [--scrub-every N]\n\
          \x20                  [--seu-rate R] [--seu-seed S] [--seu-burst B] [--icap-fault-rate R]\n\
          \x20 pfdbg serve      <design.blif|@bench> [--addr H:P|--port P] [--workers N] [--cache N] [--port-file f]\n\
+         \x20                  [--shards N] [--inbox-cap N] (session-owning shard threads; bounded inboxes)\n\
          \x20                  [--icap-fault-rate R] [--icap-seed S] [--max-retries N]\n\
          \x20                  [--scrub-interval MS] [--seu-rate R] [--seu-seed S] [--seu-burst B]\n\
          \x20                  [--journal-dir DIR] (record every session; restore on restart)\n\
@@ -695,7 +696,7 @@ fn cmd_scrub(rest: &[String]) -> Result<(), String> {
 
 fn cmd_serve(rest: &[String]) -> Result<(), String> {
     use pfdbg_serve::session::Engine;
-    use pfdbg_serve::{Server, ServerConfig, SessionManager};
+    use pfdbg_serve::{FleetOptions, Server, ServerConfig, SessionManager};
     use std::sync::Arc;
 
     let (name, nw) = load_design(rest)?;
@@ -730,13 +731,18 @@ fn cmd_serve(rest: &[String]) -> Result<(), String> {
     let (fault, policy) = chaos_from_flags(rest)?;
     let seu = seu_from_flags(rest)?;
     let scrub_interval_ms = flag_f64(rest, "--scrub-interval", 0.0)?;
-    let mut manager = SessionManager::with_chaos_scrub(
+    // Fleet shape: 0 defers to PFDBG_SHARDS / PFDBG_INBOX_CAP, then the
+    // built-in defaults (4 shards, 1024-job inboxes).
+    let shards = flag_usize(rest, "--shards", 0)?;
+    let inbox_cap = flag_usize(rest, "--inbox-cap", 0)?;
+    let mut manager = SessionManager::with_fleet(
         Arc::new(Engine::new(inst, scg, layout, icap)),
         cache,
         fault,
         policy,
         seu,
         pfdbg_pconf::ScrubPolicy { commit: policy, ..Default::default() },
+        FleetOptions { shards, inbox_capacity: inbox_cap },
     );
     if let Some(dir) = flag(rest, "--journal-dir") {
         std::fs::create_dir_all(&dir).map_err(|e| format!("{dir}: {e}"))?;
@@ -749,6 +755,8 @@ fn cmd_serve(rest: &[String]) -> Result<(), String> {
         manager.set_journal_design(design_spec_of(arg)?, icfg(rest)?.coverage, k);
         println!("pfdbg serve: journaling sessions to {dir}");
     }
+    let n_shards = manager.shard_count();
+    let inbox_capacity = manager.inbox_capacity();
     let handle = Server::start(
         manager,
         ServerConfig {
@@ -760,7 +768,10 @@ fn cmd_serve(rest: &[String]) -> Result<(), String> {
         },
     )?;
     let local = handle.local_addr();
-    println!("pfdbg serve: {name} ({n_params} params) on {local}, {workers} workers");
+    println!(
+        "pfdbg serve: {name} ({n_params} params) on {local}, {workers} io threads, \
+         {n_shards} shards (inbox {inbox_capacity})"
+    );
     println!("stop with: pfdbg client {local} --shutdown");
     if let Some(path) = flag(rest, "--port-file") {
         std::fs::write(&path, format!("{}\n", local.port())).map_err(|e| format!("{path}: {e}"))?;
@@ -1078,11 +1089,20 @@ fn render_top(
         p99("serve.turn_us"),
         p99("serve.request_us"),
     );
+    println!(
+        "load   shed {:>8}  overloaded {:>8}  panics {:>4}  inbox wait p99 {:9.1} µs",
+        counter("serve.shed_total"),
+        counter("serve.overloaded_replies"),
+        counter("serve.handler_panics"),
+        p99("serve.inbox_wait_us"),
+    );
     let (sb, st) = slo("slo.specialize_us");
     let (tb, tt) = slo("slo.turn_us");
     let (cb, ct) = slo("slo.scrub_interval_us");
+    let (ib, it) = slo("slo.inbox_wait_us");
     println!(
-        "slo    specialize {sb:.0}/{st:.0} burned  turn {tb:.0}/{tt:.0}  scrub {cb:.0}/{ct:.0}"
+        "slo    specialize {sb:.0}/{st:.0} burned  turn {tb:.0}/{tt:.0}  scrub {cb:.0}/{ct:.0}  \
+         inbox {ib:.0}/{it:.0}"
     );
     println!(
         "scrub  {} passes  {} frames repaired  {} quarantined",

@@ -45,7 +45,9 @@ mod report;
 pub use flight::{FlightEvent, FlightKind, FlightRecorder};
 pub use hist::{HistSnapshot, Histogram};
 pub use jsonl::{parse_jsonl, Event, JsonValue};
-pub use metrics::{hub, Counter, Gauge, LazyCounter, LazyHistogram, LazySlo, MetricsHub, Slo};
+pub use metrics::{
+    hub, Counter, Gauge, LazyCounter, LazyGauge, LazyHistogram, LazySlo, MetricsHub, Slo,
+};
 pub use registry::{
     counter_add, diag, enabled, gauge_set, registry, reset, set_enabled, span, CounterSnapshot,
     Registry, SpanGuard, SpanRecord,

@@ -468,6 +468,36 @@ impl LazyHistogram {
     }
 }
 
+/// A hot-path gauge handle — see [`LazyCounter`]. After the first
+/// `set` the call is a `OnceLock` load plus two relaxed stores.
+#[derive(Debug)]
+pub struct LazyGauge {
+    name: &'static str,
+    cell: OnceLock<&'static Gauge>,
+}
+
+impl LazyGauge {
+    /// A handle for `name` (registered in the hub on first use).
+    pub const fn new(name: &'static str) -> LazyGauge {
+        LazyGauge { name, cell: OnceLock::new() }
+    }
+
+    fn get(&self) -> &'static Gauge {
+        self.cell.get_or_init(|| hub().gauge(self.name))
+    }
+
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        self.get().set(value);
+    }
+
+    /// Current value, `None` if never set since the last reset.
+    pub fn value(&self) -> Option<f64> {
+        self.get().value()
+    }
+}
+
 /// A hot-path SLO handle — see [`LazyCounter`]. The budget declared
 /// here applies on first registration; call
 /// [`LazySlo::set_budget_us`] to re-declare from runtime config.

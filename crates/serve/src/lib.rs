@@ -2,12 +2,13 @@
 //!
 //! `pfdbg-serve` exposes a compiled design (a shared SCG plus layout
 //! and reconfiguration-port model) to many clients at once: a
-//! `std::net` TCP server with a fixed worker pool, a line-delimited
-//! JSON protocol (the flat JSONL schema from `pfdbg-obs`), a session
-//! manager running one [`pfdbg_core::DebugSession`]-style state per
-//! client session, and an LRU cache of specialized frame-sets keyed by
-//! parameter vector. Requests carry deadlines; failures become error
-//! replies, never server panics.
+//! `std::net` TCP server with a nonblocking IO loop, a line-delimited
+//! JSON protocol (the flat JSONL schema from `pfdbg-obs`), a sharded
+//! session fleet — sessions pin to owner threads by name hash, with
+//! bounded per-shard inboxes and `overloaded` shedding under pressure
+//! — and an LRU cache of specialized frame-sets keyed by parameter
+//! vector. Requests carry deadlines; failures become error replies,
+//! never server panics.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -16,8 +17,10 @@ pub mod lru;
 pub mod protocol;
 pub mod server;
 pub mod session;
+mod shard;
 mod telemetry;
 
 pub use protocol::{Reply, Request};
 pub use server::{Server, ServerConfig, ServerHandle};
-pub use session::{IcapTotals, SessionManager, TurnOutcome};
+pub use session::{FleetOptions, IcapTotals, SessionManager, TurnOutcome};
+pub use shard::ShardHold;

@@ -223,6 +223,17 @@ impl Reply {
         r
     }
 
+    /// The backpressure reply: the owning shard's inbox is full and the
+    /// request was shed before any work happened. Carries the shard
+    /// index and a retry hint so clients can back off instead of
+    /// hammering a saturated shard.
+    pub fn overloaded(meta: &RequestMeta, shard: usize, retry_after_ms: f64) -> Reply {
+        Reply::error(meta, "overloaded: shard inbox is full, retry later")
+            .str("kind", "overloaded")
+            .num("shard", shard as f64)
+            .num("retry_after_ms", retry_after_ms)
+    }
+
     /// An error reply echoing the request meta.
     pub fn error(meta: &RequestMeta, message: &str) -> Reply {
         let mut r = Reply {

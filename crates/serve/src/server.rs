@@ -1,21 +1,33 @@
-//! The TCP front end: acceptor, fixed worker pool, graceful shutdown.
+//! The TCP front end: acceptor, nonblocking IO threads, graceful
+//! shutdown.
 //!
-//! Pure `std::net` — no async runtime. The acceptor thread pushes
-//! connections onto a queue; each of the N pool workers owns one
-//! connection at a time and serves its line-delimited requests until
-//! the client disconnects. Reads carry a short timeout so workers
-//! notice a shutdown even mid-connection, and the shutdown path wakes
-//! the acceptor with a self-connect instead of relying on platform
-//! accept-interruption behavior.
+//! Pure `std::net` — no async runtime. The acceptor thread hands
+//! accepted connections round-robin to N IO threads; each IO thread
+//! runs a readiness loop over its connections (nonblocking sockets,
+//! buffered reads/writes, bounded request pipelining per connection).
+//! Parsed requests become shard jobs: the IO thread reserves a slot in
+//! the owning shard's bounded inbox — replying `overloaded` immediately
+//! when the shard is saturated — and the shard thread answers through a
+//! completion channel. Replies are re-sequenced per connection, so
+//! pipelined requests come back in request order even when their shards
+//! finish out of order.
+//!
+//! Every request owns a [`ReplySlot`] from parse to reply: exactly one
+//! reply per request, even if the handler panics (the slot's `Drop`
+//! sends an internal-error reply) — one bad connection or one bad
+//! request can't take down the fleet, and nothing here can poison a
+//! lock another thread needs (see [`crate::shard::relock`]).
 
 use crate::protocol::{param_bits_string, parse_request, Reply, Request, RequestMeta};
-use crate::session::SessionManager;
+use crate::session::{SessionManager, TurnOutcome};
+use crate::shard::{Job, SelectSpec, Shard};
 use crate::telemetry as tel;
-use std::collections::VecDeque;
-use std::io::{BufRead, BufReader, Write};
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 /// Server settings.
@@ -23,8 +35,10 @@ use std::time::{Duration, Instant};
 pub struct ServerConfig {
     /// Bind address; port 0 picks an ephemeral port.
     pub addr: String,
-    /// Worker thread count (each owns one connection at a time, so this
-    /// bounds concurrent clients).
+    /// IO thread count (connections are spread round-robin across
+    /// them; each thread multiplexes all of its connections, so this
+    /// does **not** bound concurrent clients — shard inboxes bound
+    /// concurrent work instead).
     pub workers: usize,
     /// Default per-request deadline when the request names none.
     pub default_deadline_ms: f64,
@@ -35,9 +49,13 @@ pub struct ServerConfig {
     pub cache_capacity: usize,
     /// Background scrub interval in milliseconds; `0` (or anything
     /// non-finite/non-positive) disables the scrubber thread. Each
-    /// interval the scrubber walks every session, skipping — never
-    /// blocking — any with a select in flight.
+    /// interval the scrubber kicks a walk on every shard whose previous
+    /// walk has finished; walks ride the shard inboxes, so a hot
+    /// session delays its scrub instead of losing it.
     pub scrub_interval_ms: f64,
+    /// Requests a single connection may have in flight before the IO
+    /// thread stops reading from it (per-connection pipelining bound).
+    pub pipeline_depth: usize,
 }
 
 impl Default for ServerConfig {
@@ -49,6 +67,7 @@ impl Default for ServerConfig {
             allow_remote_shutdown: true,
             cache_capacity: 64,
             scrub_interval_ms: 0.0,
+            pipeline_depth: 64,
         }
     }
 }
@@ -56,8 +75,6 @@ impl Default for ServerConfig {
 struct Shared {
     sessions: SessionManager,
     cfg: ServerConfig,
-    queue: Mutex<VecDeque<TcpStream>>,
-    queue_cv: Condvar,
     stop: AtomicBool,
 }
 
@@ -82,36 +99,34 @@ impl Server {
         // Bind the declared SLO budgets to this server's actual
         // configuration before the first observation lands.
         tel::SLO_TURN.set_budget_us(cfg.default_deadline_ms * 1e3);
+        tel::SLO_INBOX.set_budget_us(cfg.default_deadline_ms * 1e3 / 4.0);
         if cfg.scrub_interval_ms.is_finite() && cfg.scrub_interval_ms > 0.0 {
             // A scrub walk that takes longer than twice its configured
-            // cadence (busy sessions, slow readback) burns the budget.
+            // cadence (busy shards, slow readback) burns the budget.
             tel::SLO_SCRUB.set_budget_us(cfg.scrub_interval_ms * 2.0 * 1e3);
         }
-        let shared = Arc::new(Shared {
-            sessions,
-            cfg,
-            queue: Mutex::new(VecDeque::new()),
-            queue_cv: Condvar::new(),
-            stop: AtomicBool::new(false),
-        });
+        let shared = Arc::new(Shared { sessions, cfg, stop: AtomicBool::new(false) });
 
-        let mut threads = Vec::with_capacity(workers + 1);
+        let mut threads = Vec::with_capacity(workers + 2);
+        let mut conn_txs = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+            conn_txs.push(conn_tx);
+            let shared = shared.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("pfdbg-io-{i}"))
+                    .spawn(move || io_loop(&shared, &conn_rx))
+                    .map_err(|e| format!("cannot spawn io thread: {e}"))?,
+            );
+        }
         {
             let shared = shared.clone();
             threads.push(
                 std::thread::Builder::new()
                     .name("pfdbg-accept".into())
-                    .spawn(move || accept_loop(&listener, &shared))
+                    .spawn(move || accept_loop(&listener, &shared, &conn_txs))
                     .map_err(|e| format!("cannot spawn acceptor: {e}"))?,
-            );
-        }
-        for i in 0..workers {
-            let shared = shared.clone();
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("pfdbg-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .map_err(|e| format!("cannot spawn worker: {e}"))?,
             );
         }
         let interval = shared.cfg.scrub_interval_ms;
@@ -150,7 +165,6 @@ impl ServerHandle {
         self.shared.stop.store(true, Ordering::SeqCst);
         // Wake the acceptor: it blocks in accept(), so connect to it.
         let _ = TcpStream::connect(self.local_addr);
-        self.shared.queue_cv.notify_all();
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
@@ -166,14 +180,14 @@ impl ServerHandle {
         // Same wake-up dance as a local shutdown: the acceptor blocks in
         // accept() and must be poked loose with a connection.
         let _ = TcpStream::connect(self.local_addr);
-        self.shared.queue_cv.notify_all();
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
     }
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Shared) {
+fn accept_loop(listener: &TcpListener, shared: &Shared, conn_txs: &[mpsc::Sender<TcpStream>]) {
+    let mut next = 0usize;
     for stream in listener.incoming() {
         if shared.stop.load(Ordering::SeqCst) {
             break;
@@ -181,9 +195,10 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
         match stream {
             Ok(s) => {
                 tel::CONNECTIONS.add(1);
-                let mut q = shared.queue.lock().expect("conn queue");
-                q.push_back(s);
-                shared.queue_cv.notify_one();
+                // Round-robin across IO threads; a send can only fail
+                // once the target thread has exited during shutdown.
+                let _ = conn_txs[next % conn_txs.len()].send(s);
+                next = next.wrapping_add(1);
             }
             Err(_) => {
                 if shared.stop.load(Ordering::SeqCst) {
@@ -192,14 +207,14 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
             }
         }
     }
-    shared.queue_cv.notify_all();
 }
 
-/// The background scrubber: every `scrub_interval_ms` walk the session
-/// table and scrub each session that is not mid-select. Sleeps in short
-/// steps so shutdown is never delayed by a long interval, and uses the
-/// non-blocking scrub so an in-flight turn is skipped, not raced —
-/// the next interval catches up.
+/// The background scrubber: every `scrub_interval_ms`, kick one scrub
+/// walk per shard. The walk is a `ScrubAll` inbox job that the shard
+/// expands into per-session scrubs, so scrubs interleave with queued
+/// selects and a busy session is *delayed*, never skipped. A shard
+/// still finishing the previous walk is left alone (no pile-up); its
+/// cadence stretches, which the scrub SLO makes visible.
 fn scrub_loop(shared: &Shared) {
     let interval = Duration::from_secs_f64(shared.cfg.scrub_interval_ms / 1e3);
     let step = interval.min(Duration::from_millis(50));
@@ -219,301 +234,652 @@ fn scrub_loop(shared: &Shared) {
             tel::SLO_SCRUB.observe_us(prev.elapsed().as_secs_f64() * 1e6);
         }
         last_walk = Some(Instant::now());
-        for name in shared.sessions.session_names() {
-            if shared.stop.load(Ordering::SeqCst) {
-                return;
-            }
-            // A vanished session (closed since the snapshot) is a
-            // harmless error; a busy one returns Ok(None) and waits
-            // for the next interval.
-            let _ = shared.sessions.try_scrub_session(&name);
+        shared.sessions.scrub_walk();
+    }
+}
+
+/// `read`/`write` on a nonblocking or read-timeout socket reports "no
+/// data yet" as `WouldBlock` on most platforms but `TimedOut` on some
+/// (notably Windows timeouts); both mean "poll again later", and
+/// treating only one of them as such makes idle handling and shutdown
+/// latency differ by OS.
+fn is_poll_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
+}
+
+/// Bytes of unparsed request data buffered per connection before the
+/// IO thread stops reading it (flow control against line flooding).
+const READ_HIGH_WATER: usize = 256 * 1024;
+/// A single request line larger than this kills the connection: no
+/// legitimate request is megabytes long, and an unbounded line would
+/// otherwise grow the buffer forever.
+const MAX_LINE: usize = 4 * 1024 * 1024;
+
+/// One reply finished somewhere (a shard thread, or inline on the IO
+/// thread) and is ready to be sequenced onto its connection.
+struct Completion {
+    conn: u64,
+    seq: u64,
+    line: String,
+    shutdown: bool,
+}
+
+/// One client connection owned by an IO thread.
+struct Conn {
+    id: u64,
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Sequence number assigned to the next parsed request.
+    next_seq: u64,
+    /// Sequence number of the next reply to write — replies completing
+    /// out of order wait in `pending` until their turn.
+    write_seq: u64,
+    pending: BTreeMap<u64, String>,
+    inflight: usize,
+    eof: bool,
+    dead: bool,
+}
+
+impl Conn {
+    fn new(id: u64, stream: TcpStream) -> Conn {
+        Conn {
+            id,
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            next_seq: 0,
+            write_seq: 0,
+            pending: BTreeMap::new(),
+            inflight: 0,
+            eof: false,
+            dead: false,
         }
     }
-}
 
-fn worker_loop(shared: &Shared) {
-    loop {
-        let conn = {
-            let mut q = shared.queue.lock().expect("conn queue");
-            loop {
-                if shared.stop.load(Ordering::SeqCst) {
-                    return;
+    /// Move any now-in-order pending replies into the write buffer.
+    fn sequence_replies(&mut self) -> bool {
+        let mut progress = false;
+        while let Some(line) = self.pending.remove(&self.write_seq) {
+            self.wbuf.extend_from_slice(line.as_bytes());
+            self.wbuf.push(b'\n');
+            self.write_seq += 1;
+            progress = true;
+        }
+        progress
+    }
+
+    /// Write as much of the buffered output as the socket accepts.
+    fn flush(&mut self) -> bool {
+        let mut progress = false;
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    break;
                 }
-                if let Some(c) = q.pop_front() {
-                    break c;
+                Ok(n) => {
+                    self.wpos += n;
+                    progress = true;
                 }
-                let (guard, _) = shared
-                    .queue_cv
-                    .wait_timeout(q, Duration::from_millis(100))
-                    .expect("conn queue");
-                q = guard;
+                Err(e) if is_poll_timeout(&e) => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
             }
-        };
-        serve_connection(conn, shared);
+        }
+        if self.wpos == self.wbuf.len() {
+            self.wbuf.clear();
+            self.wpos = 0;
+        } else if self.wpos > 64 * 1024 {
+            self.wbuf.drain(..self.wpos);
+            self.wpos = 0;
+        }
+        progress
+    }
+
+    /// Read whatever the socket has, up to the high-water mark.
+    fn read_some(&mut self) -> bool {
+        let mut progress = false;
+        let mut buf = [0u8; 16 * 1024];
+        while self.rbuf.len() < READ_HIGH_WATER {
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    self.eof = true;
+                    return progress;
+                }
+                Ok(n) => {
+                    self.rbuf.extend_from_slice(&buf[..n]);
+                    progress = true;
+                }
+                Err(e) if is_poll_timeout(&e) => return progress,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    return progress;
+                }
+            }
+        }
+        progress
+    }
+
+    /// All replies written and nothing left to produce one?
+    fn drained(&self) -> bool {
+        self.inflight == 0 && self.pending.is_empty() && self.wpos == self.wbuf.len()
     }
 }
 
-fn serve_connection(stream: TcpStream, shared: &Shared) {
-    let _s = pfdbg_obs::span("serve.connection");
-    // Short read timeout: lets the worker poll the stop flag while the
-    // client is idle. No Nagle: replies are single small writes and
-    // coalescing them behind delayed ACKs costs tens of ms per turn.
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-    let _ = stream.set_nodelay(true);
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+fn io_loop(shared: &Arc<Shared>, conn_rx: &mpsc::Receiver<TcpStream>) {
+    let (done_tx, done_rx) = mpsc::channel::<Completion>();
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut next_id = 0u64;
+    let mut idle = 0u32;
     loop {
+        let mut progress = false;
+
+        while let Ok(stream) = conn_rx.try_recv() {
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            // No Nagle: replies are small writes and coalescing them
+            // behind delayed ACKs costs tens of ms per turn.
+            let _ = stream.set_nodelay(true);
+            conns.push(Conn::new(next_id, stream));
+            next_id += 1;
+            progress = true;
+        }
+
+        while let Ok(done) = done_rx.try_recv() {
+            progress = true;
+            if done.shutdown {
+                shared.stop.store(true, Ordering::SeqCst);
+            }
+            if let Some(conn) = conns.iter_mut().find(|c| c.id == done.conn) {
+                conn.pending.insert(done.seq, done.line);
+                conn.inflight -= 1;
+            }
+        }
+
+        for conn in &mut conns {
+            if conn.dead {
+                continue;
+            }
+            progress |= conn.sequence_replies();
+            progress |= conn.flush();
+            if !conn.eof {
+                progress |= conn.read_some();
+            }
+            progress |= parse_and_dispatch(conn, shared, &done_tx);
+        }
+        conns.retain(|c| !(c.dead || c.eof && c.drained()));
+
         if shared.stop.load(Ordering::SeqCst) {
+            drain_on_stop(&mut conns, &done_rx);
             return;
         }
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) => return, // client closed
-            Ok(_) => {}
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                continue
+
+        // Idle ladder: spin briefly for latency, then back off so an
+        // idle server costs ~nothing. The 2 ms ceiling bounds added
+        // wake-up latency for a connection that goes active again.
+        if progress {
+            idle = 0;
+        } else {
+            idle += 1;
+            if idle < 64 {
+                std::thread::yield_now();
+            } else if idle < 128 {
+                std::thread::sleep(Duration::from_micros(200));
+            } else {
+                std::thread::sleep(Duration::from_millis(2));
             }
-            Err(_) => return,
         }
+    }
+}
+
+/// Pull complete lines off the connection's read buffer and dispatch
+/// them, respecting the per-connection pipelining bound.
+fn parse_and_dispatch(
+    conn: &mut Conn,
+    shared: &Arc<Shared>,
+    done_tx: &mpsc::Sender<Completion>,
+) -> bool {
+    let mut progress = false;
+    while !conn.dead && conn.inflight < shared.cfg.pipeline_depth.max(1) {
+        let Some(pos) = conn.rbuf.iter().position(|&b| b == b'\n') else {
+            if conn.rbuf.len() > MAX_LINE {
+                conn.dead = true;
+            }
+            break;
+        };
+        let raw: Vec<u8> = conn.rbuf.drain(..=pos).collect();
+        let line = String::from_utf8_lossy(&raw[..raw.len() - 1]).into_owned();
         if line.trim().is_empty() {
             continue;
         }
-        let reply = handle_line(&line, shared);
-        let stop_after = matches!(reply, LineOutcome::Shutdown(_));
-        let mut rendered = match &reply {
-            LineOutcome::Reply(r) | LineOutcome::Shutdown(r) => r.render(),
-        };
-        rendered.push('\n');
-        if writer.write_all(rendered.as_bytes()).is_err() || writer.flush().is_err() {
+        progress = true;
+        conn.inflight += 1;
+        let slot = ReplySlot::new(done_tx.clone(), conn.id, conn.next_seq);
+        conn.next_seq += 1;
+        // A panicking handler must cost one request, not the thread:
+        // the slot unwinds with the panic and its Drop still sends a
+        // reply, so the client is answered and the loop keeps serving.
+        if catch_unwind(AssertUnwindSafe(|| dispatch_line(&line, shared, slot))).is_err() {
+            tel::HANDLER_PANICS.add(1);
+        }
+    }
+    progress
+}
+
+/// After a stop request: give in-flight shard jobs a moment to complete,
+/// sequence their replies, and flush what the sockets will take — then
+/// exit regardless. Best-effort by design; the bound keeps shutdown
+/// prompt even with a wedged client.
+fn drain_on_stop(conns: &mut [Conn], done_rx: &mpsc::Receiver<Completion>) {
+    let deadline = Instant::now() + Duration::from_millis(500);
+    loop {
+        while let Ok(done) = done_rx.try_recv() {
+            if let Some(conn) = conns.iter_mut().find(|c| c.id == done.conn) {
+                conn.pending.insert(done.seq, done.line);
+                conn.inflight -= 1;
+            }
+        }
+        let mut outstanding = false;
+        for conn in conns.iter_mut() {
+            if conn.dead {
+                continue;
+            }
+            conn.sequence_replies();
+            conn.flush();
+            outstanding |= !conn.drained();
+        }
+        if !outstanding || Instant::now() >= deadline {
             return;
         }
-        if stop_after {
-            shared.stop.store(true, Ordering::SeqCst);
-            shared.queue_cv.notify_all();
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// The obligation to answer exactly one request. Created at parse time,
+/// carried into whatever context produces the reply (inline handler or
+/// shard job), consumed by `send`. If it is dropped unconsumed — the
+/// handler panicked, or a shutdown dropped the job — `Drop` sends an
+/// internal-error reply instead, so the client never hangs on a request
+/// the server silently lost.
+struct ReplySlot {
+    tx: mpsc::Sender<Completion>,
+    conn: u64,
+    seq: u64,
+    meta: RequestMeta,
+    /// Request parse time — the zero point for both the request-latency
+    /// histogram and (for selects) the deadline, so time spent queued
+    /// in a shard inbox counts.
+    started: Instant,
+    sent: bool,
+}
+
+impl ReplySlot {
+    fn new(tx: mpsc::Sender<Completion>, conn: u64, seq: u64) -> ReplySlot {
+        ReplySlot {
+            tx,
+            conn,
+            seq,
+            meta: RequestMeta::default(),
+            started: Instant::now(),
+            sent: false,
+        }
+    }
+
+    fn meta(&self) -> RequestMeta {
+        self.meta.clone()
+    }
+
+    fn send(mut self, reply: Reply) {
+        self.dispatch(reply.render(), false);
+    }
+
+    fn send_shutdown(mut self, reply: Reply) {
+        self.dispatch(reply.render(), true);
+    }
+
+    fn dispatch(&mut self, line: String, shutdown: bool) {
+        if self.sent {
             return;
+        }
+        self.sent = true;
+        tel::REQUEST_US.record_duration(self.started.elapsed());
+        let _ = self.tx.send(Completion { conn: self.conn, seq: self.seq, line, shutdown });
+    }
+}
+
+impl Drop for ReplySlot {
+    fn drop(&mut self) {
+        if !self.sent {
+            tel::ERRORS.add(1);
+            let line = Reply::error(
+                &self.meta,
+                "internal error: the request produced no reply (handler panicked or \
+                 server stopped)",
+            )
+            .render();
+            self.dispatch(line, false);
         }
     }
 }
 
-enum LineOutcome {
-    Reply(Reply),
-    Shutdown(Reply),
+/// An error reply, counted.
+fn error_reply(meta: &RequestMeta, message: &str) -> Reply {
+    tel::ERRORS.add(1);
+    Reply::error(meta, message)
 }
 
-fn handle_line(line: &str, shared: &Shared) -> LineOutcome {
+/// The retry hint on an `overloaded` reply: scales with the saturated
+/// shard's queue depth so a deeper backlog pushes clients further out,
+/// clamped to something a human-scale retry loop can respect.
+fn retry_after_ms(shared: &Shared, idx: usize) -> f64 {
+    (shared.sessions.inbox_depth(idx) as f64 * 0.5).clamp(5.0, 500.0)
+}
+
+/// Reserve a client slot on `session`'s shard and hand `slot` plus the
+/// job builder over to it; shed with an `overloaded` reply when the
+/// inbox is full. The reservation happens *before* the job exists, so a
+/// shed request costs an allocation-free counter update and one reply.
+fn route_session(
+    shared: &Arc<Shared>,
+    slot: ReplySlot,
+    session: &str,
+    f: impl FnOnce(&mut Shard, RequestMeta) -> Reply + Send + 'static,
+) {
+    let idx = shared.sessions.shard_index(session);
+    if !shared.sessions.try_reserve_client(idx) {
+        shared.sessions.note_shed();
+        tel::ERRORS.add(1);
+        let meta = slot.meta();
+        slot.send(Reply::overloaded(&meta, idx, retry_after_ms(shared, idx)));
+        return;
+    }
+    let job = Job::Run(Box::new(move |sh| {
+        let meta = slot.meta();
+        slot.send(f(sh, meta));
+    }));
+    // A push only fails once the inbox is closed for shutdown; the
+    // dropped job's slot then answers with its internal-error reply.
+    let _ = shared.sessions.push_client(idx, job);
+}
+
+fn dispatch_line(line: &str, shared: &Arc<Shared>, mut slot: ReplySlot) {
     let _s = pfdbg_obs::span("serve.request");
     tel::REQUESTS.add(1);
-    let started = Instant::now();
     let (req, meta) = parse_request(line);
-    let outcome = match req {
-        Ok(r) => match handle_request(r, &meta, started, shared) {
-            Ok(outcome) => outcome,
-            Err(e) => {
-                tel::ERRORS.add(1);
-                LineOutcome::Reply(Reply::error(&meta, &e))
-            }
-        },
+    slot.meta = meta.clone();
+    let req = match req {
+        Ok(r) => r,
         Err(e) => {
-            tel::ERRORS.add(1);
-            LineOutcome::Reply(Reply::error(&meta, &e))
+            slot.send(error_reply(&meta, &e));
+            return;
         }
     };
-    tel::REQUEST_US.record_duration(started.elapsed());
-    outcome
-}
-
-fn handle_request(
-    req: Request,
-    meta: &RequestMeta,
-    started: Instant,
-    shared: &Shared,
-) -> Result<LineOutcome, String> {
-    let sessions = &shared.sessions;
-    let reply = match req {
-        Request::Ping => Reply::ok(meta),
-        Request::Open { session } => {
-            let n = sessions.open(&session)?;
-            Reply::ok(meta).str("session", session).num("n_params", n as f64)
-        }
-        Request::Close { session } => {
-            sessions.close(&session)?;
-            Reply::ok(meta).str("session", session)
-        }
-        Request::Stats => {
-            let (turns, hits, misses) = sessions.stats();
-            let icap = sessions.icap_totals();
-            let scrub = sessions.scrub_stats();
-            let (journal_records, restores) = sessions.journal_totals();
-            Reply::ok(meta)
-                .num("sessions", sessions.n_sessions() as f64)
-                .num("turns", turns as f64)
-                .num("cache_hits", hits as f64)
-                .num("cache_misses", misses as f64)
-                .num("specialize_threads", sessions.engine().scg.effective_threads() as f64)
-                .num("icap_retries", icap.retries as f64)
-                .num("icap_degradations", icap.degradations as f64)
-                .num("icap_rollbacks", icap.rollbacks as f64)
-                .num("scrub_passes", scrub.passes as f64)
-                .num("scrub_upsets_detected", scrub.upsets_detected as f64)
-                .num("scrub_bits_upset", scrub.bits_upset as f64)
-                .num("scrub_repairs", scrub.repairs as f64)
-                .num("scrub_quarantined", scrub.quarantined as f64)
-                .num("seu_bits_injected", scrub.seu_bits_injected as f64)
-                .num("journal_records", journal_records as f64)
-                .num("restores", restores as f64)
-                .num(
-                    "specialize_p50_us",
-                    tel::SPECIALIZE_US.get().percentile_us(50.0).unwrap_or(0.0),
-                )
-                .num(
-                    "specialize_p99_us",
-                    tel::SPECIALIZE_US.get().percentile_us(99.0).unwrap_or(0.0),
-                )
-                .num("turn_p99_us", tel::TURN_US.get().percentile_us(99.0).unwrap_or(0.0))
-        }
-        Request::Health { session } => {
-            let h = sessions.health(&session)?;
-            Reply::ok(meta)
-                .str("session", session)
-                .str("verdict", h.verdict.as_str())
-                .num("scrubs", h.scrubs as f64)
-                .num("upsets_detected", h.upsets_detected as f64)
-                .num("bits_upset", h.bits_upset as f64)
-                .num("frames_repaired", h.frames_repaired as f64)
-                .num("quarantined", h.quarantine.len() as f64)
-                .str(
-                    "quarantine",
-                    h.quarantine.iter().map(|f| f.to_string()).collect::<Vec<_>>().join(","),
-                )
-                .bool("needs_resync", h.needs_resync)
-                .num("turns", h.turns as f64)
-                // Fleet-wide SLO burn, so one health poll shows both
-                // this session's scrub state and whether the server as
-                // a whole is inside its declared budgets.
-                .num("slo_specialize_total", tel::SLO_SPECIALIZE.get().total() as f64)
-                .num("slo_specialize_burned", tel::SLO_SPECIALIZE.get().burned() as f64)
-                .num("slo_turn_total", tel::SLO_TURN.get().total() as f64)
-                .num("slo_turn_burned", tel::SLO_TURN.get().burned() as f64)
-                .num("slo_scrub_total", tel::SLO_SCRUB.get().total() as f64)
-                .num("slo_scrub_burned", tel::SLO_SCRUB.get().burned() as f64)
-        }
-        Request::Scrub { session } => {
-            let r = sessions.scrub_session(&session)?;
-            Reply::ok(meta)
-                .str("session", session)
-                .num("frames_checked", r.frames_checked as f64)
-                .num("upset_frames", r.upset_frames as f64)
-                .num("upset_bits", r.upset_bits as f64)
-                .num("repaired_frames", r.repaired_frames as f64)
-                .num("failed_frames", r.failed_frames as f64)
-                .num("quarantined_frames", r.quarantined_frames as f64)
-                .num("scrub_us", r.scrub_time.as_secs_f64() * 1e6)
-        }
-        Request::Metrics => {
-            use pfdbg_obs::jsonl::{write_object, JsonValue};
-            let hub = pfdbg_obs::hub();
-            let mut body = String::new();
-            for (name, value) in hub.counters() {
-                body.push_str(&write_object(&[
-                    ("type", JsonValue::Str("counter".into())),
-                    ("name", JsonValue::Str(name)),
-                    ("value", JsonValue::Num(value as f64)),
-                ]));
-                body.push('\n');
+    match req {
+        // Fleet verbs answer inline on the IO thread: they read atomics
+        // and telemetry snapshots, never a shard's session state.
+        Request::Ping => slot.send(Reply::ok(&meta)),
+        Request::Stats => slot.send(stats_reply(&meta, shared)),
+        Request::Shutdown => {
+            if shared.cfg.allow_remote_shutdown {
+                slot.send_shutdown(Reply::ok(&meta));
+            } else {
+                slot.send(error_reply(&meta, "remote shutdown is disabled"));
             }
-            for (name, value) in hub.gauges() {
-                body.push_str(&write_object(&[
-                    ("type", JsonValue::Str("gauge".into())),
-                    ("name", JsonValue::Str(name)),
-                    ("value", JsonValue::Num(value)),
-                ]));
-                body.push('\n');
-            }
-            hub.append_jsonl(&mut body);
-            body.push_str(&sessions.sessions_metrics_jsonl());
-            Reply::ok(meta)
-                .num("sessions", sessions.n_sessions() as f64)
-                .num("lines", body.lines().count() as f64)
-                .str("metrics", body)
         }
-        Request::Dump { session } => match session {
-            Some(s) => {
-                let flight = sessions.flight_dump(&s)?;
-                Reply::ok(meta)
-                    .str("session", s)
-                    .str("source", "live")
-                    .num("events", flight.lines().count() as f64)
-                    .str("flight", flight)
-            }
-            None => {
-                let (name, flight) = sessions
-                    .last_flight_dump()
-                    .ok_or("no automatic flight-recorder dump captured yet")?;
-                Reply::ok(meta)
+        Request::Dump { session: None } => {
+            let reply = match shared.sessions.last_flight_dump() {
+                Some((name, flight)) => Reply::ok(&meta)
                     .str("session", name)
                     .str("source", "auto")
                     .num("events", flight.lines().count() as f64)
-                    .str("flight", flight)
-            }
-        },
-        Request::Record { session } => {
-            let (path, records) = sessions.journal_status(&session)?;
-            Reply::ok(meta).str("session", session).str("path", path).num("records", records as f64)
+                    .str("flight", flight),
+                None => error_reply(&meta, "no automatic flight-recorder dump captured yet"),
+            };
+            slot.send(reply);
+        }
+        // `metrics` and `replay` block the IO thread (shard round-trips
+        // for the session rows; a full journal re-drive). Both are
+        // rare, operator-driven verbs; their cost lands on the caller's
+        // connection, and pipelined requests on *other* connections of
+        // this thread wait — the price of a poll loop with no inner
+        // scheduler, documented here rather than hidden.
+        Request::Metrics => {
+            let reply = metrics_reply(&meta, shared);
+            slot.send(reply);
         }
         Request::Replay { path } => {
-            let (session, records, divergence) =
-                sessions.replay_journal(std::path::Path::new(&path))?;
-            let mut r = Reply::ok(meta)
-                .str("session", session)
-                .num("records", records as f64)
-                .bool("identical", divergence.is_none());
-            if let Some(d) = divergence {
-                r = r.str("divergence", d.to_string());
-            }
-            r
+            let reply = match shared.sessions.replay_journal(std::path::Path::new(&path)) {
+                Ok((session, records, divergence)) => {
+                    let mut r = Reply::ok(&meta)
+                        .str("session", session)
+                        .num("records", records as f64)
+                        .bool("identical", divergence.is_none());
+                    if let Some(d) = divergence {
+                        r = r.str("divergence", d.to_string());
+                    }
+                    r
+                }
+                Err(e) => error_reply(&meta, &e),
+            };
+            slot.send(reply);
         }
-        Request::Shutdown => {
-            if !shared.cfg.allow_remote_shutdown {
-                return Err("remote shutdown is disabled".into());
-            }
-            return Ok(LineOutcome::Shutdown(Reply::ok(meta)));
+        // Session verbs route to the owning shard.
+        Request::Open { session } => {
+            let name = session.clone();
+            route_session(shared, slot, &session, move |sh, meta| match sh.open(&name) {
+                Ok(n) => Reply::ok(&meta).str("session", name).num("n_params", n as f64),
+                Err(e) => error_reply(&meta, &e),
+            });
+        }
+        Request::Close { session } => {
+            let name = session.clone();
+            route_session(shared, slot, &session, move |sh, meta| match sh.close(&name) {
+                Ok(()) => Reply::ok(&meta).str("session", name),
+                Err(e) => error_reply(&meta, &e),
+            });
+        }
+        Request::Health { session } => {
+            let name = session.clone();
+            route_session(shared, slot, &session, move |sh, meta| match sh.health(&name) {
+                Ok(h) => Reply::ok(&meta)
+                    .str("session", name)
+                    .str("verdict", h.verdict.as_str())
+                    .num("scrubs", h.scrubs as f64)
+                    .num("upsets_detected", h.upsets_detected as f64)
+                    .num("bits_upset", h.bits_upset as f64)
+                    .num("frames_repaired", h.frames_repaired as f64)
+                    .num("quarantined", h.quarantine.len() as f64)
+                    .str(
+                        "quarantine",
+                        h.quarantine.iter().map(|f| f.to_string()).collect::<Vec<_>>().join(","),
+                    )
+                    .bool("needs_resync", h.needs_resync)
+                    .num("turns", h.turns as f64)
+                    // Fleet-wide SLO burn, so one health poll shows both
+                    // this session's scrub state and whether the server
+                    // as a whole is inside its declared budgets.
+                    .num("slo_specialize_total", tel::SLO_SPECIALIZE.get().total() as f64)
+                    .num("slo_specialize_burned", tel::SLO_SPECIALIZE.get().burned() as f64)
+                    .num("slo_turn_total", tel::SLO_TURN.get().total() as f64)
+                    .num("slo_turn_burned", tel::SLO_TURN.get().burned() as f64)
+                    .num("slo_scrub_total", tel::SLO_SCRUB.get().total() as f64)
+                    .num("slo_scrub_burned", tel::SLO_SCRUB.get().burned() as f64),
+                Err(e) => error_reply(&meta, &e),
+            });
+        }
+        Request::Scrub { session } => {
+            let name = session.clone();
+            route_session(shared, slot, &session, move |sh, meta| match sh.scrub(&name) {
+                Ok(r) => Reply::ok(&meta)
+                    .str("session", name)
+                    .num("frames_checked", r.frames_checked as f64)
+                    .num("upset_frames", r.upset_frames as f64)
+                    .num("upset_bits", r.upset_bits as f64)
+                    .num("repaired_frames", r.repaired_frames as f64)
+                    .num("failed_frames", r.failed_frames as f64)
+                    .num("quarantined_frames", r.quarantined_frames as f64)
+                    .num("scrub_us", r.scrub_time.as_secs_f64() * 1e6),
+                Err(e) => error_reply(&meta, &e),
+            });
+        }
+        Request::Dump { session: Some(session) } => {
+            let name = session.clone();
+            route_session(shared, slot, &session, move |sh, meta| match sh.flight_dump(&name) {
+                Ok(flight) => Reply::ok(&meta)
+                    .str("session", name)
+                    .str("source", "live")
+                    .num("events", flight.lines().count() as f64)
+                    .str("flight", flight),
+                Err(e) => error_reply(&meta, &e),
+            });
+        }
+        Request::Record { session } => {
+            let name = session.clone();
+            route_session(shared, slot, &session, move |sh, meta| match sh.journal_status(&name) {
+                Ok((path, records)) => Reply::ok(&meta)
+                    .str("session", name)
+                    .str("path", path)
+                    .num("records", records as f64),
+                Err(e) => error_reply(&meta, &e),
+            });
         }
         Request::Select { session, params, signals, deadline_ms } => {
             // `try_from_secs_f64`, not `from_secs_f64`: the parser
             // rejects NaN and negatives, but a huge finite value (say
-            // 1e300 ms) would still panic the worker in the infallible
-            // constructor. Out-of-range budgets are protocol errors.
+            // 1e300 ms) would still panic in the infallible
+            // constructor. Out-of-range budgets are protocol errors —
+            // checked before any inbox slot is reserved, so they can
+            // never leak a reservation.
             let ms = deadline_ms.unwrap_or(shared.cfg.default_deadline_ms);
-            let deadline = Duration::try_from_secs_f64(ms / 1e3)
-                .map_err(|_| format!("deadline_ms out of range: {ms}"))?;
-            let params = match params {
-                Some(p) => p,
-                None => sessions.plan(&session, &signals)?,
+            let budget = match Duration::try_from_secs_f64(ms / 1e3) {
+                Ok(d) => d,
+                Err(_) => {
+                    slot.send(error_reply(&meta, &format!("deadline_ms out of range: {ms}")));
+                    return;
+                }
             };
-            // The deadline is enforced inside the transactional select,
-            // *before* the commit: a missed deadline never leaves a
-            // half-applied turn behind.
-            let outcome = sessions.select_within(&session, &params, Some((started, deadline)))?;
-            Reply::ok(meta)
-                .str("session", session)
-                .str("params", param_bits_string(&outcome.params))
-                .num("turn", outcome.turn as f64)
-                .num("bits_changed", outcome.bits_changed as f64)
-                .num("frames_changed", outcome.frames_changed as f64)
-                .num("eval_us", outcome.eval_us)
-                .num("transfer_us", outcome.transfer_us)
-                .num("verify_us", outcome.verify_us)
-                .num("retries", outcome.retries as f64)
-                .num("degradations", outcome.degradations as f64)
-                .str("cache", if outcome.cache_hit { "hit" } else { "miss" })
+            let idx = shared.sessions.shard_index(&session);
+            if !shared.sessions.try_reserve_client(idx) {
+                shared.sessions.note_shed();
+                tel::ERRORS.add(1);
+                slot.send(Reply::overloaded(&meta, idx, retry_after_ms(shared, idx)));
+                return;
+            }
+            let spec = match params {
+                Some(p) => SelectSpec::Params(p),
+                None => SelectSpec::Signals(signals),
+            };
+            let deadline = Some((slot.started, budget));
+            let name = session.clone();
+            let respond = Box::new(move |result: Result<TurnOutcome, String>| {
+                let meta = slot.meta();
+                let reply = match result {
+                    Ok(o) => Reply::ok(&meta)
+                        .str("session", name)
+                        .str("params", param_bits_string(&o.params))
+                        .num("turn", o.turn as f64)
+                        .num("bits_changed", o.bits_changed as f64)
+                        .num("frames_changed", o.frames_changed as f64)
+                        .num("eval_us", o.eval_us)
+                        .num("transfer_us", o.transfer_us)
+                        .num("verify_us", o.verify_us)
+                        .num("retries", o.retries as f64)
+                        .num("degradations", o.degradations as f64)
+                        .str("cache", if o.cache_hit { "hit" } else { "miss" }),
+                    Err(e) => error_reply(&meta, &e),
+                };
+                slot.send(reply);
+            });
+            let _ =
+                shared.sessions.push_client(idx, Job::Select { session, spec, deadline, respond });
         }
-    };
-    Ok(LineOutcome::Reply(reply))
+    }
+}
+
+fn stats_reply(meta: &RequestMeta, shared: &Shared) -> Reply {
+    let sessions = &shared.sessions;
+    let (turns, hits, misses) = sessions.stats();
+    let icap = sessions.icap_totals();
+    let scrub = sessions.scrub_stats();
+    let (journal_records, restores) = sessions.journal_totals();
+    let (shed_total, overloaded_replies) = sessions.shed_totals();
+    Reply::ok(meta)
+        .num("sessions", sessions.n_sessions() as f64)
+        .num("turns", turns as f64)
+        .num("cache_hits", hits as f64)
+        .num("cache_misses", misses as f64)
+        .num("specialize_threads", sessions.engine().scg.effective_threads() as f64)
+        .num("shards", sessions.shard_count() as f64)
+        .num("inbox_capacity", sessions.inbox_capacity() as f64)
+        .num("shed_total", shed_total as f64)
+        .num("overloaded_replies", overloaded_replies as f64)
+        .num("handler_panics", tel::HANDLER_PANICS.value() as f64)
+        .num("icap_retries", icap.retries as f64)
+        .num("icap_degradations", icap.degradations as f64)
+        .num("icap_rollbacks", icap.rollbacks as f64)
+        .num("scrub_passes", scrub.passes as f64)
+        .num("scrub_upsets_detected", scrub.upsets_detected as f64)
+        .num("scrub_bits_upset", scrub.bits_upset as f64)
+        .num("scrub_repairs", scrub.repairs as f64)
+        .num("scrub_quarantined", scrub.quarantined as f64)
+        .num("seu_bits_injected", scrub.seu_bits_injected as f64)
+        .num("journal_records", journal_records as f64)
+        .num("restores", restores as f64)
+        .num("specialize_p50_us", tel::SPECIALIZE_US.get().percentile_us(50.0).unwrap_or(0.0))
+        .num("specialize_p99_us", tel::SPECIALIZE_US.get().percentile_us(99.0).unwrap_or(0.0))
+        .num("turn_p99_us", tel::TURN_US.get().percentile_us(99.0).unwrap_or(0.0))
+        .num("inbox_wait_p99_us", tel::INBOX_WAIT_US.get().percentile_us(99.0).unwrap_or(0.0))
+}
+
+fn metrics_reply(meta: &RequestMeta, shared: &Shared) -> Reply {
+    use pfdbg_obs::jsonl::{write_object, JsonValue};
+    let sessions = &shared.sessions;
+    let hub = pfdbg_obs::hub();
+    let mut body = String::new();
+    for (name, value) in hub.counters() {
+        body.push_str(&write_object(&[
+            ("type", JsonValue::Str("counter".into())),
+            ("name", JsonValue::Str(name)),
+            ("value", JsonValue::Num(value as f64)),
+        ]));
+        body.push('\n');
+    }
+    for (name, value) in hub.gauges() {
+        body.push_str(&write_object(&[
+            ("type", JsonValue::Str("gauge".into())),
+            ("name", JsonValue::Str(name)),
+            ("value", JsonValue::Num(value)),
+        ]));
+        body.push('\n');
+    }
+    hub.append_jsonl(&mut body);
+    body.push_str(&sessions.sessions_metrics_jsonl());
+    Reply::ok(meta)
+        .num("sessions", sessions.n_sessions() as f64)
+        .num("lines", body.lines().count() as f64)
+        .str("metrics", body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::is_poll_timeout;
+    use std::io::ErrorKind;
+
+    #[test]
+    fn poll_timeout_covers_both_platform_errorkinds() {
+        // `read_timeout` expiry surfaces as WouldBlock on Unix and
+        // TimedOut on Windows; the loop must treat both as "poll again".
+        assert!(is_poll_timeout(&std::io::Error::from(ErrorKind::WouldBlock)));
+        assert!(is_poll_timeout(&std::io::Error::from(ErrorKind::TimedOut)));
+        assert!(!is_poll_timeout(&std::io::Error::from(ErrorKind::ConnectionReset)));
+        assert!(!is_poll_timeout(&std::io::Error::from(ErrorKind::Interrupted)));
+    }
 }

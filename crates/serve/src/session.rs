@@ -18,20 +18,32 @@
 //! commit rewrite every frame because configuration memory is no
 //! longer trusted.
 //!
-//! Each session is guarded by its **own** mutex (the table only maps
-//! names to `Arc<Mutex<SessionState>>`), so a long commit in one
-//! session never blocks another — and the background scrubber can
-//! `try_lock` a session and *skip* it when a select is in flight
-//! instead of racing the commit (see [`SessionManager::try_scrub_session`]).
+//! Sessions are **sharded, not locked**: a session pins to one of N
+//! shard threads by a hash of its name, and that shard owns its state
+//! outright (see [`crate::shard`]). Every operation — client select,
+//! background scrub, journal restore — rides the shard's inbox and
+//! executes in arrival order, so a long commit in one session never
+//! blocks another shard, and the scrubber can never be starved off a
+//! hot session (there is no lock to lose; its scrub job simply queues
+//! behind the selects and runs).
 //!
 //! Between turns a session's device is not assumed bit-perfect: every
 //! select first ticks the channel (where an emulated fabric takes its
 //! SEUs), and scrub passes diff readback against the PConf golden
 //! oracle, repairing or quarantining divergent frames
 //! ([`SessionManager::scrub_session`], surfaced by the `health` verb).
+//!
+//! This module keeps three layers apart: [`ManagerCore`] (the shared
+//! engine, cache, chaos config, and fleet-wide atomics — everything a
+//! shard thread needs), the shard-side session operations
+//! (`impl Shard` here, so `SessionState` stays private to the crate),
+//! and the [`SessionManager`] facade, which routes each call to the
+//! owning shard and blocks for the answer — the embedding API is
+//! unchanged from the mutex era.
 
 use crate::lru::LruCache;
 use crate::protocol::param_bits_string;
+use crate::shard::{relock, Job, SelectSpec, Shard, ShardHandle, ShardHold};
 use crate::telemetry as tel;
 use pfdbg_arch::{Bitstream, BitstreamLayout, IcapModel};
 use pfdbg_core::Instrumented;
@@ -49,7 +61,7 @@ use pfdbg_replay::{
 use pfdbg_util::{BitVec, FxHashMap};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, TryLockError};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// The shared compiled design a server instance runs against.
@@ -79,15 +91,15 @@ impl Engine {
 /// One client session: the parameters it last selected, the
 /// configuration currently loaded on its (modeled) device, the channel
 /// those frames travel over, and the scrubber that keeps the device
-/// honest between turns.
-struct SessionState {
+/// honest between turns. Owned by exactly one shard thread — no lock.
+pub(crate) struct SessionState {
     params: BitVec,
     bits: Bitstream,
     turns: usize,
     channel: Box<dyn IcapChannel>,
     /// Memoized batch-evaluation scratch. **Per-session** — the shared
     /// `Engine::scg` is immutable behind its `Arc`, and every mutable
-    /// evaluation buffer lives here, under this session's lock, so
+    /// evaluation buffer lives here, on the owning shard's thread, so
     /// concurrent sessions never observe each other's sweeps
     /// (DESIGN.md §12).
     scratch: SpecializeScratch,
@@ -196,12 +208,31 @@ pub struct HealthReport {
     pub turns: usize,
 }
 
-/// Manages the session table and the shared specialization cache.
-pub struct SessionManager {
+/// Journal configuration, settable until serving starts (behind a
+/// mutex because shards hold the core behind an `Arc` from birth).
+struct JournalCfg {
+    /// When set, every session appends its turns to
+    /// `<dir>/<session file>.pfdj` and `open` restores
+    /// crash-interrupted sessions by re-driving their journals.
+    dir: Option<PathBuf>,
+    /// Design provenance written into journal metas. `External` (the
+    /// default) marks journals replayable only against an embedder
+    /// holding the same engine; a self-contained spec (set when the
+    /// design came from a generator or benchmark) makes them replayable
+    /// standalone.
+    design: DesignSpec,
+    /// `(coverage, k)` of the engine build, recorded into journal metas
+    /// so self-contained journals rebuild the identical design.
+    build: (usize, usize),
+}
+
+/// Everything the shard threads share: the engine, the specialization
+/// LRU, the chaos configuration sessions are born with, and the
+/// fleet-wide running totals (all atomics — the `stats` verb never
+/// blocks on a shard).
+pub(crate) struct ManagerCore {
     engine: Arc<Engine>,
-    sessions: Mutex<FxHashMap<String, Arc<Mutex<SessionState>>>>,
     cache: Mutex<LruCache<String, Arc<Bitstream>>>,
-    turns_total: Mutex<u64>,
     fault: Option<IcapFaultConfig>,
     seu: Option<SeuConfig>,
     policy: CommitPolicy,
@@ -214,19 +245,13 @@ pub struct SessionManager {
     /// quarantines a frame, served by the `dump` verb with no session
     /// argument.
     last_dump: Mutex<Option<(String, String)>>,
-    /// When set, every session appends its turns to
-    /// `<journal_dir>/<session file>.pfdj` and `open` restores
-    /// crash-interrupted sessions by re-driving their journals.
-    journal_dir: Option<PathBuf>,
-    /// Design provenance written into journal metas. `External` (the
-    /// default) marks journals replayable only against an embedder
-    /// holding the same engine; a self-contained spec (set when the
-    /// design came from a generator or benchmark) makes them replayable
-    /// standalone.
-    journal_design: DesignSpec,
-    /// `(coverage, k)` of the engine build, recorded into journal metas
-    /// so self-contained journals rebuild the identical design.
-    journal_build: (usize, usize),
+    journal: Mutex<JournalCfg>,
+    turns_total: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    session_count: AtomicU64,
+    shed_total: AtomicU64,
+    overloaded_replies: AtomicU64,
     journal_records: AtomicU64,
     restores: AtomicU64,
     icap_retries: AtomicU64,
@@ -240,151 +265,18 @@ pub struct SessionManager {
     seu_bits_injected: AtomicU64,
 }
 
-impl SessionManager {
-    /// A manager over `engine` with an LRU of `cache_capacity`
-    /// specialized bitstreams and a reliable transport.
-    pub fn new(engine: Arc<Engine>, cache_capacity: usize) -> SessionManager {
-        Self::with_chaos(engine, cache_capacity, None, CommitPolicy::default())
-    }
-
-    /// Like [`SessionManager::new`], but each session's channel injects
-    /// faults per `fault` (None = reliable) and commits retry per
-    /// `policy`. Every session derives its own deterministic fault
-    /// seed from `fault.seed` and the session name.
-    pub fn with_chaos(
-        engine: Arc<Engine>,
-        cache_capacity: usize,
-        fault: Option<IcapFaultConfig>,
-        policy: CommitPolicy,
-    ) -> SessionManager {
-        Self::with_chaos_scrub(engine, cache_capacity, fault, policy, None, ScrubPolicy::default())
-    }
-
-    /// The full chaos constructor: transport faults on the write path
-    /// (`fault`), single-event upsets striking each session's
-    /// configuration memory between turns (`seu`), and the scrub
-    /// policy sessions repair themselves under. SEU injection is never
-    /// read from the environment here — callers (CLI, bench, tests)
-    /// decide, so a stray `PFDBG_SEU_RATE` cannot silently corrupt a
-    /// manager built for reliable devices.
-    pub fn with_chaos_scrub(
-        engine: Arc<Engine>,
-        cache_capacity: usize,
-        fault: Option<IcapFaultConfig>,
-        policy: CommitPolicy,
-        seu: Option<SeuConfig>,
-        scrub_policy: ScrubPolicy,
-    ) -> SessionManager {
-        let mut region_frames: Vec<usize> = engine
-            .scg
-            .generalized()
-            .tunable
-            .iter()
-            .map(|&(addr, _)| engine.layout.frame_of(addr))
-            .collect();
-        region_frames.sort_unstable();
-        region_frames.dedup();
-        SessionManager {
-            engine,
-            sessions: Mutex::new(FxHashMap::default()),
-            cache: Mutex::new(LruCache::new(cache_capacity)),
-            turns_total: Mutex::new(0),
-            fault,
-            seu,
-            policy,
-            scrub_policy,
-            region_frames,
-            last_dump: Mutex::new(None),
-            journal_dir: None,
-            journal_design: DesignSpec::External,
-            journal_build: (1, 4),
-            journal_records: AtomicU64::new(0),
-            restores: AtomicU64::new(0),
-            icap_retries: AtomicU64::new(0),
-            icap_degradations: AtomicU64::new(0),
-            icap_rollbacks: AtomicU64::new(0),
-            scrub_passes: AtomicU64::new(0),
-            scrub_upsets: AtomicU64::new(0),
-            scrub_bits_upset: AtomicU64::new(0),
-            scrub_repairs: AtomicU64::new(0),
-            scrub_quarantined: AtomicU64::new(0),
-            seu_bits_injected: AtomicU64::new(0),
-        }
-    }
-
-    /// The shared engine.
-    pub fn engine(&self) -> &Engine {
-        &self.engine
-    }
-
-    /// Active session count.
-    pub fn n_sessions(&self) -> usize {
-        self.sessions.lock().expect("session table").len()
-    }
-
-    /// Names of the active sessions — the background scrubber's work
-    /// list. A snapshot: sessions may open or close afterwards, and
-    /// scrubbing a vanished name is a harmless error.
-    pub fn session_names(&self) -> Vec<String> {
-        self.sessions.lock().expect("session table").keys().cloned().collect()
-    }
-
-    /// Total turns served plus the cache's `(hits, misses)`.
-    pub fn stats(&self) -> (u64, u64, u64) {
-        let turns = *self.turns_total.lock().expect("turn counter");
-        let (h, m) = self.cache.lock().expect("cache").stats();
-        (turns, h, m)
-    }
-
-    /// Running retry/degradation/rollback totals.
-    pub fn icap_totals(&self) -> IcapTotals {
-        IcapTotals {
-            retries: self.icap_retries.load(Ordering::Relaxed),
-            degradations: self.icap_degradations.load(Ordering::Relaxed),
-            rollbacks: self.icap_rollbacks.load(Ordering::Relaxed),
-        }
-    }
-
-    /// Running scrub/SEU totals across all sessions.
-    pub fn scrub_stats(&self) -> ScrubStats {
-        ScrubStats {
-            passes: self.scrub_passes.load(Ordering::Relaxed),
-            upsets_detected: self.scrub_upsets.load(Ordering::Relaxed),
-            bits_upset: self.scrub_bits_upset.load(Ordering::Relaxed),
-            repairs: self.scrub_repairs.load(Ordering::Relaxed),
-            quarantined: self.scrub_quarantined.load(Ordering::Relaxed),
-            seu_bits_injected: self.seu_bits_injected.load(Ordering::Relaxed),
-        }
-    }
-
-    /// Enable session journaling: every session opened afterwards
-    /// appends its turns to a `PFDJ` journal under `dir`, and `open`
-    /// restores crash-interrupted sessions from their journals. Call
-    /// before the manager starts serving.
-    pub fn set_journal_dir(&mut self, dir: PathBuf) {
-        self.journal_dir = Some(dir);
-    }
-
-    /// Record the design's provenance plus the `(coverage, k)` it was
-    /// instrumented with, making this server's journals self-contained
-    /// (replayable by `pfdbg replay` without the server). Without this,
-    /// journals carry [`DesignSpec::External`] and replay only through
-    /// the `replay` verb of a server holding the same engine.
-    pub fn set_journal_design(&mut self, design: DesignSpec, coverage: usize, k: usize) {
-        self.journal_design = design;
-        self.journal_build = (coverage, k);
-    }
-
-    /// `(journal records appended, sessions restored from journals)`.
-    pub fn journal_totals(&self) -> (u64, u64) {
-        (self.journal_records.load(Ordering::Relaxed), self.restores.load(Ordering::Relaxed))
+impl ManagerCore {
+    /// The shared specialization LRU (the shard loop prefetches batches
+    /// from it under a single lock acquisition).
+    pub(crate) fn cache(&self) -> &Mutex<LruCache<String, Arc<Bitstream>>> {
+        &self.cache
     }
 
     /// The journal file backing `name`, when journaling is on. The file
     /// name embeds a hash of the session name so any client-chosen name
     /// maps to a filesystem-safe, restart-stable path.
     fn journal_path(&self, name: &str) -> Option<PathBuf> {
-        let dir = self.journal_dir.as_ref()?;
+        let dir = relock(&self.journal).dir.clone()?;
         let safe: String = name
             .chars()
             .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
@@ -395,14 +287,17 @@ impl SessionManager {
 
     /// The meta record for a fresh journal of session `name`.
     fn journal_meta(&self, name: &str) -> SessionMeta {
-        let (coverage, k) = self.journal_build;
+        let (design, (coverage, k)) = {
+            let cfg = relock(&self.journal);
+            (cfg.design.clone(), cfg.build)
+        };
         SessionMeta {
             session: name.to_string(),
             // Serve journals store the *configured* base seeds and
             // re-derive the per-session ones from the name, exactly as
             // `open` does.
             derive_seeds: true,
-            design: self.journal_design.clone(),
+            design,
             ports: self.engine.inst.ports.len(),
             coverage,
             k,
@@ -461,37 +356,10 @@ impl SessionManager {
         }
     }
 
-    /// Create a session; starts at the base configuration (params = 0).
-    /// With journaling on, an existing journal for this name is
-    /// **restored**: the recorded turns are re-driven through the
-    /// normal select/scrub path and every fact is verified against the
-    /// recording before the session goes live — a crash between turns
-    /// loses nothing, and a divergence (wrong chaos flags, drifted
-    /// design) refuses the restore loudly instead of serving a session
-    /// in an unknown state.
-    pub fn open(&self, name: &str) -> Result<usize, String> {
-        let mut table = self.sessions.lock().expect("session table");
-        if table.contains_key(name) {
-            return Err(format!("session {name:?} already exists"));
-        }
-        let n = self.engine.n_params();
-        let mut state = self.fresh_state(name);
-        if let Some(path) = self.journal_path(name) {
-            if path.exists() {
-                self.restore_into(name, &mut state, &path)?;
-            } else {
-                state.journal = Some(JournalWriter::create(&path, &self.journal_meta(name))?);
-            }
-        }
-        table.insert(name.to_string(), Arc::new(Mutex::new(state)));
-        pfdbg_obs::counter_add("serve.sessions_opened", 1);
-        Ok(n)
-    }
-
     /// Rebuild a session from its journal: re-drive every recorded
-    /// operation through the normal locked select/scrub path, verifying
-    /// each fact, then attach the journal in append mode (its torn tail,
-    /// if any, already truncated). A journal ending in `close` is spent
+    /// operation through the normal select/scrub path, verifying each
+    /// fact, then attach the journal in append mode (its torn tail, if
+    /// any, already truncated). A journal ending in `close` is spent
     /// and is restarted fresh.
     fn restore_into(
         &self,
@@ -534,8 +402,7 @@ impl SessionManager {
                     state.turns as u64,
                     div.record as u64,
                 );
-                *self.last_dump.lock().expect("flight dump") =
-                    Some((name.to_string(), state.flight.to_jsonl()));
+                *relock(&self.last_dump) = Some((name.to_string(), state.flight.to_jsonl()));
                 Err(format!("restore of session {name:?} diverged from its journal: {div}"))
             }
             None => {
@@ -583,7 +450,7 @@ impl SessionManager {
                         SelectOutcome::DeadlineMiss => Some((Instant::now(), Duration::ZERO)),
                         _ => None,
                     };
-                    let _ = self.select_locked(name, state, &expected.params, deadline);
+                    let _ = self.select_on(name, state, &expected.params, deadline, None);
                     let actual =
                         state.last_select_facts.take().ok_or("replay captured no select facts")?;
                     if let Some(d) = diff_select(idx, turn, expected, &actual) {
@@ -591,7 +458,7 @@ impl SessionManager {
                     }
                 }
                 JournalRecord::Scrub(expected) => {
-                    if let Err(e) = self.scrub_locked(name, state) {
+                    if let Err(e) = self.scrub_on(name, state, None) {
                         return Ok(Some(Divergence {
                             record: idx,
                             turn,
@@ -616,8 +483,9 @@ impl SessionManager {
     /// Self-contained journals (generated/benchmark designs) rebuild
     /// their own engine via `pfdbg-replay`; `External` journals re-drive
     /// against this server's engine on a detached session state that
-    /// never enters the table. Returns `(session, records, divergence)`.
-    pub fn replay_journal(
+    /// never enters any shard's table. Returns `(session, records,
+    /// divergence)`.
+    pub(crate) fn replay_journal(
         &self,
         path: &Path,
     ) -> Result<(String, usize, Option<Divergence>), String> {
@@ -642,89 +510,13 @@ impl SessionManager {
         Ok((session, records.len(), div))
     }
 
-    /// The journal behind a live session — the `record` verb. Syncs the
-    /// appender (a durability barrier the client can rely on) and
-    /// returns `(path, records appended this run)`.
-    pub fn journal_status(&self, session: &str) -> Result<(String, u64), String> {
-        let arc = self.session_arc(session)?;
-        let mut guard = arc.lock().expect("session");
-        match guard.journal.as_mut() {
-            Some(j) => {
-                j.sync()?;
-                Ok((j.path().display().to_string(), j.records_written()))
-            }
-            None => Err("journaling is disabled (start the server with --journal-dir)".into()),
-        }
-    }
-
-    /// Drop a session. With journaling on, its journal is closed with a
-    /// terminal record — a later `open` of the same name starts fresh
-    /// instead of restoring.
-    pub fn close(&self, name: &str) -> Result<(), String> {
-        let arc = {
-            let mut table = self.sessions.lock().expect("session table");
-            table.remove(name).ok_or_else(|| format!("no such session {name:?}"))?
-        };
-        let mut state = arc.lock().expect("session");
-        if let Some(journal) = state.journal.as_mut() {
-            if journal.append(&JournalRecord::Close).is_ok() {
-                self.journal_records.fetch_add(1, Ordering::Relaxed);
-            }
-            let _ = journal.sync();
-        }
-        Ok(())
-    }
-
-    /// The session's own lock, cloned out of the table so callers never
-    /// hold the table lock while working on one session.
-    fn session_arc(&self, name: &str) -> Result<Arc<Mutex<SessionState>>, String> {
-        self.sessions
-            .lock()
-            .expect("session table")
-            .get(name)
-            .cloned()
-            .ok_or_else(|| format!("no such session {name:?}"))
-    }
-
-    /// Read a session's device configuration memory back through its
-    /// channel — the ground truth the committed state must match.
-    pub fn readback(&self, session: &str) -> Result<Bitstream, String> {
-        let arc = self.session_arc(session)?;
-        let state = arc.lock().expect("session");
-        Ok(readback_all(state.channel.as_ref()))
-    }
-
-    /// A session's `(params, turns, needs_resync)` — the state the
-    /// transactional-turn tests pin down.
-    pub fn session_state(&self, session: &str) -> Result<(BitVec, usize, bool), String> {
-        let arc = self.session_arc(session)?;
-        let state = arc.lock().expect("session");
-        Ok((state.params.clone(), state.turns, state.needs_resync))
-    }
-
-    /// A session's scrub status — the `health` verb's payload.
-    pub fn health(&self, session: &str) -> Result<HealthReport, String> {
-        let arc = self.session_arc(session)?;
-        let state = arc.lock().expect("session");
-        let totals = state.scrubber.totals();
-        Ok(HealthReport {
-            verdict: state.scrubber.health(),
-            scrubs: totals.passes,
-            upsets_detected: totals.upset_frames,
-            bits_upset: totals.upset_bits,
-            frames_repaired: totals.repaired_frames,
-            quarantine: state.scrubber.quarantined().iter().copied().collect(),
-            needs_resync: state.needs_resync,
-            turns: state.turns,
-        })
-    }
-
-    /// Map a signal selection to a parameter vector against the current
-    /// session parameters (each selected signal claims one free trace
-    /// port; unrelated ports keep their previous selection).
-    pub fn plan(&self, session: &str, signals: &[String]) -> Result<BitVec, String> {
-        let arc = self.session_arc(session)?;
-        let mut params = arc.lock().expect("session").params.clone();
+    /// Map a signal selection to a parameter vector against `current`
+    /// (each selected signal claims one free trace port; unrelated
+    /// ports keep their previous selection). Pure — the shard calls it
+    /// with the session's live parameters, making plan + select one
+    /// atomic inbox job.
+    fn plan_for(&self, current: &BitVec, signals: &[String]) -> Result<BitVec, String> {
+        let mut params = current.clone();
         let inst = &self.engine.inst;
         let mut used = vec![false; inst.ports.len()];
         for sig in signals {
@@ -750,31 +542,80 @@ impl SessionManager {
         Ok(params)
     }
 
-    /// One debugging turn with no deadline — see
-    /// [`SessionManager::select_within`].
-    pub fn select(&self, session: &str, params: &BitVec) -> Result<TurnOutcome, String> {
-        self.select_within(session, params, None)
+    /// Append one turn's facts to the session journal and/or the
+    /// capture slot the replay paths read back.
+    fn journal_select(&self, state: &mut SessionState, facts: SelectFacts) {
+        if let Some(journal) = state.journal.as_mut() {
+            if journal.append(&JournalRecord::Select(facts.clone())).is_ok() {
+                self.journal_records.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if state.capture_facts {
+            state.last_select_facts = Some(facts);
+        }
     }
 
-    /// One debugging turn: specialize the session for `params`, commit
-    /// the changed frames transactionally, and account the cost. The
-    /// hot path is the memoized batch evaluator
-    /// ([`Scg::specialize_from_batch`], one node-table sweep through
-    /// the per-session scratch) and cache-assisted.
+    /// Record a shed request (shard inbox full, `overloaded` sent).
+    pub(crate) fn note_shed(&self) {
+        self.shed_total.fetch_add(1, Ordering::Relaxed);
+        self.overloaded_replies.fetch_add(1, Ordering::Relaxed);
+        tel::SHED.add(1);
+        tel::OVERLOADED.add(1);
+    }
+}
+
+/// A session's private fault seed: deterministic in the configured
+/// seed and the session name (FNV-1a), so chaos runs reproduce while
+/// sessions still see independent fault patterns. Doubles as the
+/// shard-placement hash (with its own base), so placement is stable
+/// across restarts and shard counts only regroup — never reorder — a
+/// session's operations.
+pub(crate) fn session_seed(base: u64, name: &str) -> u64 {
+    name.bytes()
+        .fold(base ^ 0xcbf2_9ce4_8422_2325, |h, b| (h ^ b as u64).wrapping_mul(0x0100_0000_01b3))
+}
+
+/// Whether this session's turns must produce replay facts (it journals,
+/// or a restore/replay is comparing against a recording).
+fn wants_facts(state: &SessionState) -> bool {
+    state.journal.is_some() || state.capture_facts
+}
+
+/// The device-state digest journaled after every operation: a CRC of
+/// the full configuration readback through the session's channel.
+fn device_crc(state: &SessionState) -> u64 {
+    bitstream_crc(&readback_all(state.channel.as_ref()))
+}
+
+impl ManagerCore {
+    /// The turn body, run with exclusive access to the session's state
+    /// (the owning shard thread's, or a detached state during journal
+    /// restore/replay — all three drive the *same* code path a live
+    /// client exercises: replay fidelity by construction, not by a
+    /// parallel reimplementation).
+    ///
+    /// `batch` is the shard's per-poll LRU prefetch: `Some` means the
+    /// lookup reads the prefetched map (no cache lock on the hot path)
+    /// and publications mirror into it; `None` takes the cache lock
+    /// directly. Cached bitstreams are a pure function of the parameter
+    /// key, so a prefetched entry can never be *wrong*, only absent.
     ///
     /// The deadline (when given as `(request start, budget)`) is
     /// checked *before* the commit: a missed deadline is a pure error —
     /// no turn counter advances, no cache entry is published, no frame
-    /// is written. Likewise an exhausted retry budget rolls the turn
-    /// back, leaving only `needs_resync` behind.
-    pub fn select_within(
+    /// is written. The start is the request's parse time, so time spent
+    /// queued in a saturated inbox counts against the budget. Likewise
+    /// an exhausted retry budget rolls the turn back, leaving only
+    /// `needs_resync` behind.
+    pub(crate) fn select_on(
         &self,
         session: &str,
+        state: &mut SessionState,
         params: &BitVec,
         deadline: Option<(Instant, Duration)>,
+        batch: Option<&mut FxHashMap<String, Arc<Bitstream>>>,
     ) -> Result<TurnOutcome, String> {
         let _s = pfdbg_obs::span("serve.select");
-        let arc = self.session_arc(session)?;
         if params.len() != self.engine.n_params() {
             return Err(format!(
                 "parameter count mismatch: got {}, design has {}",
@@ -782,25 +623,6 @@ impl SessionManager {
                 self.engine.n_params()
             ));
         }
-        // The session's own lock serializes this turn against the
-        // background scrubber and any concurrent client sharing the
-        // session; other sessions proceed untouched.
-        let mut guard = arc.lock().expect("session");
-        self.select_locked(session, &mut guard, params, deadline)
-    }
-
-    /// The turn body, run under the session's lock. Factored out of
-    /// [`SessionManager::select_within`] so journal restore and the
-    /// `replay` verb re-drive recorded turns through the *same* code
-    /// path a live client exercises — replay fidelity by construction,
-    /// not by a parallel reimplementation.
-    fn select_locked(
-        &self,
-        session: &str,
-        state: &mut SessionState,
-        params: &BitVec,
-        deadline: Option<(Instant, Duration)>,
-    ) -> Result<TurnOutcome, String> {
         let t0 = Instant::now();
         let engine = &self.engine;
 
@@ -817,7 +639,15 @@ impl SessionManager {
         state.flight.record(FlightKind::TurnStart, turn_no, flipped as u64);
 
         let key = param_bits_string(params);
-        let cached = self.cache.lock().expect("cache").get(&key).cloned();
+        // The batch map is an optimization, not the source of truth: it
+        // only holds keys the prefetch saw in `Select` jobs, so a select
+        // arriving as a `Run` job (facade round-trips, replays) must
+        // still fall through to the shared LRU before specializing.
+        let cached = match batch.as_deref() {
+            Some(map) => map.get(&key).cloned(),
+            None => None,
+        }
+        .or_else(|| relock(&self.cache).get(&key).cloned());
         let (new_bits, cache_hit) = match cached {
             Some(bits) => (bits, true),
             None => {
@@ -836,8 +666,10 @@ impl SessionManager {
             }
         };
         if cache_hit {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
             tel::CACHE_HITS.add(1);
         } else {
+            self.cache_misses.fetch_add(1, Ordering::Relaxed);
             tel::CACHE_MISSES.add(1);
         }
 
@@ -943,14 +775,19 @@ impl SessionManager {
                     };
                     self.journal_select(state, facts);
                 }
-                // Cache publication happens under the session lock —
-                // the session→cache order scrub repairs already use.
+                // Cache publication happens from the owning shard — the
+                // session→cache order scrub repairs already use. Mirror
+                // into the live prefetch map so later selects in the
+                // same batch see it too.
                 if !cache_hit {
-                    self.cache.lock().expect("cache").put(key, new_bits.clone());
+                    relock(&self.cache).put(key.clone(), new_bits.clone());
+                    if let Some(map) = batch {
+                        map.insert(key, new_bits.clone());
+                    }
                 }
                 self.icap_retries.fetch_add(commit.retries as u64, Ordering::Relaxed);
                 self.icap_degradations.fetch_add(commit.degradations as u64, Ordering::Relaxed);
-                *self.turns_total.lock().expect("turn counter") += 1;
+                self.turns_total.fetch_add(1, Ordering::Relaxed);
                 tel::TURNS.add(1);
                 tel::RETRIES.add(commit.retries as u64);
                 tel::DEGRADATIONS.add(commit.degradations as u64);
@@ -993,8 +830,7 @@ impl SessionManager {
                 }
                 // A rollback is exactly the moment a post-mortem is
                 // wanted: snapshot the ring before anyone else turns.
-                *self.last_dump.lock().expect("flight dump") =
-                    Some((session.to_string(), state.flight.to_jsonl()));
+                *relock(&self.last_dump) = Some((session.to_string(), state.flight.to_jsonl()));
                 self.icap_retries.fetch_add(commit.retries as u64, Ordering::Relaxed);
                 self.icap_degradations.fetch_add(commit.degradations as u64, Ordering::Relaxed);
                 self.icap_rollbacks.fetch_add(1, Ordering::Relaxed);
@@ -1006,52 +842,22 @@ impl SessionManager {
         }
     }
 
-    /// One scrub pass for `session` against the PConf-evaluated golden
-    /// frames for its current parameter vector. Blocks until the
-    /// session is free (its lock serializes scrubs against selects);
-    /// the background thread uses [`SessionManager::try_scrub_session`]
-    /// instead so it pauses rather than queueing behind a busy session.
-    pub fn scrub_session(&self, session: &str) -> Result<ScrubReport, String> {
-        let arc = self.session_arc(session)?;
-        let mut guard = arc.lock().expect("session");
-        self.scrub_locked(session, &mut guard)
-    }
-
-    /// Non-blocking [`SessionManager::scrub_session`]: `Ok(None)` when
-    /// the session is busy with an in-flight select — the scrub is
-    /// skipped, never raced. The next interval catches up.
-    pub fn try_scrub_session(&self, session: &str) -> Result<Option<ScrubReport>, String> {
-        let arc = self.session_arc(session)?;
-        let outcome = match arc.try_lock() {
-            Ok(mut guard) => Ok(Some(self.scrub_locked(session, &mut guard)?)),
-            Err(TryLockError::WouldBlock) => {
-                pfdbg_obs::counter_add("scrub.skipped_busy", 1);
-                Ok(None)
-            }
-            Err(TryLockError::Poisoned(_)) => Err("session lock poisoned".into()),
-        };
-        outcome
-    }
-
-    /// Append one turn's facts to the session journal and/or the
-    /// capture slot the replay paths read back.
-    fn journal_select(&self, state: &mut SessionState, facts: SelectFacts) {
-        if let Some(journal) = state.journal.as_mut() {
-            if journal.append(&JournalRecord::Select(facts.clone())).is_ok() {
-                self.journal_records.fetch_add(1, Ordering::Relaxed);
-            }
-        }
-        if state.capture_facts {
-            state.last_select_facts = Some(facts);
-        }
-    }
-
-    fn scrub_locked(&self, session: &str, state: &mut SessionState) -> Result<ScrubReport, String> {
+    /// One scrub pass against the PConf-evaluated golden frames for the
+    /// session's current parameter vector. Like [`ManagerCore::select_on`],
+    /// runs with exclusive state access on the owning shard (or a
+    /// detached replay state); a repair invalidates the stale LRU entry
+    /// and its mirror in the shard's prefetch map.
+    pub(crate) fn scrub_on(
+        &self,
+        session: &str,
+        state: &mut SessionState,
+        batch: Option<&mut FxHashMap<String, Arc<Bitstream>>>,
+    ) -> Result<ScrubReport, String> {
         let _s = pfdbg_obs::span("serve.scrub");
         let t0 = Instant::now();
         let engine = &self.engine;
         // Destructure so the scrubber and the channel borrow disjoint
-        // fields of the same guarded state.
+        // fields of the same state.
         let SessionState { scrubber, channel, params, needs_resync, flight, turns, .. } = state;
         let turn_no = *turns as u64;
         let report =
@@ -1062,7 +868,11 @@ impl SessionManager {
             // specialization's back: drop the entry for this vector so
             // the next select re-verifies through a fresh specialize
             // instead of trusting it.
-            self.cache.lock().expect("cache").remove(&param_bits_string(params));
+            let key = param_bits_string(params);
+            relock(&self.cache).remove(&key);
+            if let Some(map) = batch {
+                map.remove(&key);
+            }
             flight.record(FlightKind::ScrubRepair, turn_no, report.repaired_frames as u64);
             tel::SCRUB_REPAIRS.add(report.repaired_frames as u64);
         }
@@ -1076,8 +886,7 @@ impl SessionManager {
             tel::SCRUB_QUARANTINES.add(report.quarantined_frames as u64);
             // Quarantine is the fleet's "something is wrong here":
             // capture the post-mortem automatically.
-            *self.last_dump.lock().expect("flight dump") =
-                Some((session.to_string(), flight.to_jsonl()));
+            *relock(&self.last_dump) = Some((session.to_string(), flight.to_jsonl()));
         }
         self.scrub_passes.fetch_add(1, Ordering::Relaxed);
         self.scrub_upsets.fetch_add(report.upset_frames as u64, Ordering::Relaxed);
@@ -1106,80 +915,670 @@ impl SessionManager {
         pfdbg_obs::gauge_set("serve.scrub_ms_last", t0.elapsed().as_secs_f64() * 1e3);
         Ok(report)
     }
+}
+
+/// The session operations a shard thread runs against the sessions it
+/// owns. Implemented here (not in [`crate::shard`]) so `SessionState`
+/// and the `ManagerCore` internals stay private to this module — the
+/// shard loop only sees jobs and these methods.
+impl Shard {
+    /// Create a session; starts at the base configuration (params = 0).
+    /// With journaling on, an existing journal for this name is
+    /// **restored**: the recorded turns are re-driven through the
+    /// normal select/scrub path and every fact is verified against the
+    /// recording before the session goes live — a crash between turns
+    /// loses nothing, and a divergence (wrong chaos flags, drifted
+    /// design) refuses the restore loudly instead of serving a session
+    /// in an unknown state.
+    pub(crate) fn open(&mut self, name: &str) -> Result<usize, String> {
+        if self.sessions.contains_key(name) {
+            return Err(format!("session {name:?} already exists"));
+        }
+        let core = self.core.clone();
+        let mut state = core.fresh_state(name);
+        if let Some(path) = core.journal_path(name) {
+            if path.exists() {
+                core.restore_into(name, &mut state, &path)?;
+            } else {
+                state.journal = Some(JournalWriter::create(&path, &core.journal_meta(name))?);
+            }
+        }
+        self.sessions.insert(name.to_string(), state);
+        let open = core.session_count.fetch_add(1, Ordering::Relaxed) + 1;
+        tel::OPEN_SESSIONS.set(open as f64);
+        pfdbg_obs::counter_add("serve.sessions_opened", 1);
+        Ok(core.engine.n_params())
+    }
+
+    /// Drop a session. With journaling on, its journal is closed with a
+    /// terminal record — a later `open` of the same name starts fresh
+    /// instead of restoring.
+    pub(crate) fn close(&mut self, name: &str) -> Result<(), String> {
+        let mut state =
+            self.sessions.remove(name).ok_or_else(|| format!("no such session {name:?}"))?;
+        if let Some(journal) = state.journal.as_mut() {
+            if journal.append(&JournalRecord::Close).is_ok() {
+                self.core.journal_records.fetch_add(1, Ordering::Relaxed);
+            }
+            let _ = journal.sync();
+        }
+        let open = self.core.session_count.fetch_sub(1, Ordering::Relaxed) - 1;
+        tel::OPEN_SESSIONS.set(open as f64);
+        Ok(())
+    }
+
+    /// Remove a session whose handler panicked mid-operation: its state
+    /// is suspect (the panic unwound out of an arbitrary point), so it
+    /// is discarded without touching its journal — a journaled session
+    /// restores from the last durably appended fact on the next `open`.
+    pub(crate) fn drop_session_after_panic(&mut self, name: &str) {
+        if self.sessions.remove(name).is_some() {
+            let open = self.core.session_count.fetch_sub(1, Ordering::Relaxed) - 1;
+            tel::OPEN_SESSIONS.set(open as f64);
+        }
+    }
+
+    /// One debugging turn on an owned session. Signal selections plan
+    /// against the session's live parameters here, on the shard thread,
+    /// so plan + select are a single atomic job (the old pool resolved
+    /// signals on one lock acquisition and selected on another).
+    pub(crate) fn select(
+        &mut self,
+        session: &str,
+        spec: SelectSpec,
+        deadline: Option<(Instant, Duration)>,
+    ) -> Result<TurnOutcome, String> {
+        let core = self.core.clone();
+        let state =
+            self.sessions.get_mut(session).ok_or_else(|| format!("no such session {session:?}"))?;
+        // Failure injection for the panic-containment regression test:
+        // with `PFDBG_TEST_PANIC=1` (latched at first use), a select on
+        // an open session whose name starts with "panic" unwinds out of
+        // the handler mid-turn, with the session state borrowed. Off by
+        // default; the latch keeps the hot path to one bool load.
+        static PANIC_INJECT: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        if *PANIC_INJECT.get_or_init(|| std::env::var("PFDBG_TEST_PANIC").as_deref() == Ok("1"))
+            && session.starts_with("panic")
+        {
+            panic!("injected handler panic (PFDBG_TEST_PANIC)");
+        }
+        match spec {
+            SelectSpec::Params(params) => {
+                core.select_on(session, state, &params, deadline, Some(&mut self.batch))
+            }
+            SelectSpec::Signals(signals) => {
+                // Planned keys are not in the batch prefetch (only
+                // literal `params` requests are scanned), so this path
+                // looks the LRU up directly.
+                let params = core.plan_for(&state.params, &signals)?;
+                core.select_on(session, state, &params, deadline, None)
+            }
+        }
+    }
+
+    /// One on-demand scrub pass on an owned session.
+    pub(crate) fn scrub(&mut self, session: &str) -> Result<ScrubReport, String> {
+        let core = self.core.clone();
+        let state =
+            self.sessions.get_mut(session).ok_or_else(|| format!("no such session {session:?}"))?;
+        core.scrub_on(session, state, Some(&mut self.batch))
+    }
+
+    /// A session's scrub status — the `health` verb's payload.
+    pub(crate) fn health(&self, session: &str) -> Result<HealthReport, String> {
+        let state =
+            self.sessions.get(session).ok_or_else(|| format!("no such session {session:?}"))?;
+        let totals = state.scrubber.totals();
+        Ok(HealthReport {
+            verdict: state.scrubber.health(),
+            scrubs: totals.passes,
+            upsets_detected: totals.upset_frames,
+            bits_upset: totals.upset_bits,
+            frames_repaired: totals.repaired_frames,
+            quarantine: state.scrubber.quarantined().iter().copied().collect(),
+            needs_resync: state.needs_resync,
+            turns: state.turns,
+        })
+    }
+
+    /// A session's `(params, turns, needs_resync)` — the state the
+    /// transactional-turn tests pin down.
+    pub(crate) fn state_tuple(&self, session: &str) -> Result<(BitVec, usize, bool), String> {
+        let state =
+            self.sessions.get(session).ok_or_else(|| format!("no such session {session:?}"))?;
+        Ok((state.params.clone(), state.turns, state.needs_resync))
+    }
+
+    /// Read a session's device configuration memory back through its
+    /// channel — the ground truth the committed state must match.
+    pub(crate) fn readback(&self, session: &str) -> Result<Bitstream, String> {
+        let state =
+            self.sessions.get(session).ok_or_else(|| format!("no such session {session:?}"))?;
+        Ok(readback_all(state.channel.as_ref()))
+    }
+
+    /// Map a signal selection to a parameter vector against the current
+    /// session parameters, without running the turn.
+    pub(crate) fn plan(&self, session: &str, signals: &[String]) -> Result<BitVec, String> {
+        let state =
+            self.sessions.get(session).ok_or_else(|| format!("no such session {session:?}"))?;
+        self.core.plan_for(&state.params, signals)
+    }
+
+    /// A live dump of a session's flight-recorder ring as JSONL
+    /// (`flight` events, oldest first) — the `dump` verb's payload.
+    pub(crate) fn flight_dump(&self, session: &str) -> Result<String, String> {
+        let state =
+            self.sessions.get(session).ok_or_else(|| format!("no such session {session:?}"))?;
+        Ok(state.flight.to_jsonl())
+    }
+
+    /// The journal behind a live session — the `record` verb. Syncs the
+    /// appender (a durability barrier the client can rely on) and
+    /// returns `(path, records appended this run)`.
+    pub(crate) fn journal_status(&mut self, session: &str) -> Result<(String, u64), String> {
+        let state =
+            self.sessions.get_mut(session).ok_or_else(|| format!("no such session {session:?}"))?;
+        match state.journal.as_mut() {
+            Some(j) => {
+                j.sync()?;
+                Ok((j.path().display().to_string(), j.records_written()))
+            }
+            None => Err("journaling is disabled (start the server with --journal-dir)".into()),
+        }
+    }
+
+    /// Names of the sessions this shard owns.
+    pub(crate) fn session_names(&self) -> Vec<String> {
+        self.sessions.keys().cloned().collect()
+    }
+
+    /// Per-session telemetry rows for the `metrics` verb, `(name, flat
+    /// JSONL object)`. `busy` is always `false` now: the row is built by
+    /// the owning shard between jobs, never while a select is mid-turn
+    /// (the field survives for wire compatibility with mutex-era
+    /// dashboards).
+    pub(crate) fn metrics_rows(&self) -> Vec<(String, String)> {
+        use pfdbg_obs::jsonl::{write_object, JsonValue};
+        self.sessions
+            .iter()
+            .map(|(name, state)| {
+                let totals = state.scrubber.totals();
+                let fields = vec![
+                    ("type", JsonValue::Str("session".into())),
+                    ("name", JsonValue::Str(name.clone())),
+                    ("busy", JsonValue::Bool(false)),
+                    ("turns", JsonValue::Num(state.turns as f64)),
+                    ("health", JsonValue::Str(state.scrubber.health().as_str().to_string())),
+                    ("needs_resync", JsonValue::Bool(state.needs_resync)),
+                    ("scrubs", JsonValue::Num(totals.passes as f64)),
+                    ("quarantined", JsonValue::Num(state.scrubber.quarantined().len() as f64)),
+                    ("flight_events", JsonValue::Num(state.flight.total_recorded() as f64)),
+                ];
+                (name.clone(), write_object(&fields))
+            })
+            .collect()
+    }
+}
+
+/// Fleet shape: how many shards own the session space and how much
+/// client work each shard's inbox admits before shedding. The derived
+/// default (both zero) defers to the environment, then the built-ins.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FleetOptions {
+    /// Shard (owner thread) count; `0` reads `PFDBG_SHARDS`, default 4.
+    pub shards: usize,
+    /// Client jobs a shard queues before replying `overloaded`;
+    /// `0` reads `PFDBG_INBOX_CAP`, default 1024.
+    pub inbox_capacity: usize,
+}
+
+impl FleetOptions {
+    fn resolve(self) -> (usize, usize) {
+        let env_usize = |key: &str| {
+            std::env::var(key).ok().and_then(|s| s.parse::<usize>().ok()).filter(|&n| n > 0)
+        };
+        let shards =
+            if self.shards > 0 { self.shards } else { env_usize("PFDBG_SHARDS").unwrap_or(4) };
+        let capacity = if self.inbox_capacity > 0 {
+            self.inbox_capacity
+        } else {
+            env_usize("PFDBG_INBOX_CAP").unwrap_or(1024)
+        };
+        (shards, capacity)
+    }
+}
+
+/// The session fleet: N shard threads owning disjoint slices of the
+/// session space, plus the shared [`ManagerCore`]. Every method routes
+/// to the owning shard's inbox and blocks for the answer, so embedders
+/// (tests, the bench harness) keep the mutex-era call surface while the
+/// server talks to the inboxes directly (nonblocking, with shedding).
+pub struct SessionManager {
+    core: Arc<ManagerCore>,
+    shards: Vec<ShardHandle>,
+}
+
+impl SessionManager {
+    /// A manager over `engine` with an LRU of `cache_capacity`
+    /// specialized bitstreams and a reliable transport.
+    pub fn new(engine: Arc<Engine>, cache_capacity: usize) -> SessionManager {
+        Self::with_chaos(engine, cache_capacity, None, CommitPolicy::default())
+    }
+
+    /// Like [`SessionManager::new`], but each session's channel injects
+    /// faults per `fault` (None = reliable) and commits retry per
+    /// `policy`. Every session derives its own deterministic fault
+    /// seed from `fault.seed` and the session name.
+    pub fn with_chaos(
+        engine: Arc<Engine>,
+        cache_capacity: usize,
+        fault: Option<IcapFaultConfig>,
+        policy: CommitPolicy,
+    ) -> SessionManager {
+        Self::with_chaos_scrub(engine, cache_capacity, fault, policy, None, ScrubPolicy::default())
+    }
+
+    /// The full chaos constructor: transport faults on the write path
+    /// (`fault`), single-event upsets striking each session's
+    /// configuration memory between turns (`seu`), and the scrub
+    /// policy sessions repair themselves under. SEU injection is never
+    /// read from the environment here — callers (CLI, bench, tests)
+    /// decide, so a stray `PFDBG_SEU_RATE` cannot silently corrupt a
+    /// manager built for reliable devices. Fleet shape comes from
+    /// [`FleetOptions::default`] (env-overridable); use
+    /// [`SessionManager::with_fleet`] to pin it.
+    pub fn with_chaos_scrub(
+        engine: Arc<Engine>,
+        cache_capacity: usize,
+        fault: Option<IcapFaultConfig>,
+        policy: CommitPolicy,
+        seu: Option<SeuConfig>,
+        scrub_policy: ScrubPolicy,
+    ) -> SessionManager {
+        Self::with_fleet(
+            engine,
+            cache_capacity,
+            fault,
+            policy,
+            seu,
+            scrub_policy,
+            FleetOptions::default(),
+        )
+    }
+
+    /// [`SessionManager::with_chaos_scrub`] with an explicit fleet
+    /// shape (shard count, per-shard inbox capacity).
+    pub fn with_fleet(
+        engine: Arc<Engine>,
+        cache_capacity: usize,
+        fault: Option<IcapFaultConfig>,
+        policy: CommitPolicy,
+        seu: Option<SeuConfig>,
+        scrub_policy: ScrubPolicy,
+        fleet: FleetOptions,
+    ) -> SessionManager {
+        let mut region_frames: Vec<usize> = engine
+            .scg
+            .generalized()
+            .tunable
+            .iter()
+            .map(|&(addr, _)| engine.layout.frame_of(addr))
+            .collect();
+        region_frames.sort_unstable();
+        region_frames.dedup();
+        let core = Arc::new(ManagerCore {
+            engine,
+            cache: Mutex::new(LruCache::new(cache_capacity)),
+            fault,
+            seu,
+            policy,
+            scrub_policy,
+            region_frames,
+            last_dump: Mutex::new(None),
+            journal: Mutex::new(JournalCfg {
+                dir: None,
+                design: DesignSpec::External,
+                build: (1, 4),
+            }),
+            turns_total: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            session_count: AtomicU64::new(0),
+            shed_total: AtomicU64::new(0),
+            overloaded_replies: AtomicU64::new(0),
+            journal_records: AtomicU64::new(0),
+            restores: AtomicU64::new(0),
+            icap_retries: AtomicU64::new(0),
+            icap_degradations: AtomicU64::new(0),
+            icap_rollbacks: AtomicU64::new(0),
+            scrub_passes: AtomicU64::new(0),
+            scrub_upsets: AtomicU64::new(0),
+            scrub_bits_upset: AtomicU64::new(0),
+            scrub_repairs: AtomicU64::new(0),
+            scrub_quarantined: AtomicU64::new(0),
+            seu_bits_injected: AtomicU64::new(0),
+        });
+        let (n_shards, capacity) = fleet.resolve();
+        let shards = (0..n_shards)
+            .map(|id| ShardHandle::spawn(id, core.clone(), capacity).expect("spawn shard thread"))
+            .collect();
+        SessionManager { core, shards }
+    }
+
+    /// The shared engine.
+    pub fn engine(&self) -> &Engine {
+        &self.core.engine
+    }
+
+    /// Shard (owner thread) count.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard that owns session `name`: a stable hash of the name.
+    /// Deterministic in the name alone, so clients and tests can
+    /// predict placement, and per-session operation order is identical
+    /// at any shard count.
+    pub fn shard_index(&self, name: &str) -> usize {
+        (session_seed(0x5AD5, name) % self.shards.len() as u64) as usize
+    }
+
+    /// Per-shard client-inbox capacity (identical across shards).
+    pub fn inbox_capacity(&self) -> usize {
+        self.shards[0].inbox.capacity()
+    }
+
+    /// Active session count.
+    pub fn n_sessions(&self) -> usize {
+        self.core.session_count.load(Ordering::Relaxed) as usize
+    }
+
+    /// Names of the active sessions, gathered shard by shard. A
+    /// snapshot: sessions may open or close afterwards.
+    pub fn session_names(&self) -> Vec<String> {
+        let mut names = Vec::new();
+        for idx in 0..self.shards.len() {
+            if let Ok(part) = self.on_shard(idx, |sh| sh.session_names()) {
+                names.extend(part);
+            }
+        }
+        names
+    }
+
+    /// Total turns served plus the fleet's cache `(hits, misses)` —
+    /// all atomics, so `stats` never queues behind a shard.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (
+            self.core.turns_total.load(Ordering::Relaxed),
+            self.core.cache_hits.load(Ordering::Relaxed),
+            self.core.cache_misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// `(requests shed at full inboxes, overloaded replies sent)`.
+    pub fn shed_totals(&self) -> (u64, u64) {
+        (
+            self.core.shed_total.load(Ordering::Relaxed),
+            self.core.overloaded_replies.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Running retry/degradation/rollback totals.
+    pub fn icap_totals(&self) -> IcapTotals {
+        IcapTotals {
+            retries: self.core.icap_retries.load(Ordering::Relaxed),
+            degradations: self.core.icap_degradations.load(Ordering::Relaxed),
+            rollbacks: self.core.icap_rollbacks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Running scrub/SEU totals across all sessions.
+    pub fn scrub_stats(&self) -> ScrubStats {
+        ScrubStats {
+            passes: self.core.scrub_passes.load(Ordering::Relaxed),
+            upsets_detected: self.core.scrub_upsets.load(Ordering::Relaxed),
+            bits_upset: self.core.scrub_bits_upset.load(Ordering::Relaxed),
+            repairs: self.core.scrub_repairs.load(Ordering::Relaxed),
+            quarantined: self.core.scrub_quarantined.load(Ordering::Relaxed),
+            seu_bits_injected: self.core.seu_bits_injected.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Enable session journaling: every session opened afterwards
+    /// appends its turns to a `PFDJ` journal under `dir`, and `open`
+    /// restores crash-interrupted sessions from their journals. Call
+    /// before the manager starts serving.
+    pub fn set_journal_dir(&mut self, dir: PathBuf) {
+        relock(&self.core.journal).dir = Some(dir);
+    }
+
+    /// Record the design's provenance plus the `(coverage, k)` it was
+    /// instrumented with, making this server's journals self-contained
+    /// (replayable by `pfdbg replay` without the server). Without this,
+    /// journals carry [`DesignSpec::External`] and replay only through
+    /// the `replay` verb of a server holding the same engine.
+    pub fn set_journal_design(&mut self, design: DesignSpec, coverage: usize, k: usize) {
+        let mut cfg = relock(&self.core.journal);
+        cfg.design = design;
+        cfg.build = (coverage, k);
+    }
+
+    /// `(journal records appended, sessions restored from journals)`.
+    pub fn journal_totals(&self) -> (u64, u64) {
+        (
+            self.core.journal_records.load(Ordering::Relaxed),
+            self.core.restores.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Run `f` on the shard thread owning index `idx` and wait for its
+    /// result. Internal lane — never sheds, so the embedding API can't
+    /// spuriously fail under client load.
+    fn on_shard<T: Send + 'static>(
+        &self,
+        idx: usize,
+        f: impl FnOnce(&mut Shard) -> T + Send + 'static,
+    ) -> Result<T, String> {
+        let (tx, rx) = mpsc::sync_channel(1);
+        let job = Job::Run(Box::new(move |sh| {
+            let _ = tx.send(f(sh));
+        }));
+        if !self.shards[idx].inbox.push_internal(job) {
+            return Err("server is shutting down".into());
+        }
+        rx.recv().map_err(|_| "shard request failed (handler panicked)".into())
+    }
+
+    /// Create a session — see [`Shard::open`].
+    pub fn open(&self, name: &str) -> Result<usize, String> {
+        let owned = name.to_string();
+        self.on_shard(self.shard_index(name), move |sh| sh.open(&owned))?
+    }
+
+    /// Drop a session — see [`Shard::close`].
+    pub fn close(&self, name: &str) -> Result<(), String> {
+        let owned = name.to_string();
+        self.on_shard(self.shard_index(name), move |sh| sh.close(&owned))?
+    }
+
+    /// Read a session's device configuration memory back through its
+    /// channel — the ground truth the committed state must match.
+    pub fn readback(&self, session: &str) -> Result<Bitstream, String> {
+        let owned = session.to_string();
+        self.on_shard(self.shard_index(session), move |sh| sh.readback(&owned))?
+    }
+
+    /// A session's `(params, turns, needs_resync)` — the state the
+    /// transactional-turn tests pin down.
+    pub fn session_state(&self, session: &str) -> Result<(BitVec, usize, bool), String> {
+        let owned = session.to_string();
+        self.on_shard(self.shard_index(session), move |sh| sh.state_tuple(&owned))?
+    }
+
+    /// A session's scrub status — the `health` verb's payload.
+    pub fn health(&self, session: &str) -> Result<HealthReport, String> {
+        let owned = session.to_string();
+        self.on_shard(self.shard_index(session), move |sh| sh.health(&owned))?
+    }
+
+    /// Map a signal selection to a parameter vector against the current
+    /// session parameters (each selected signal claims one free trace
+    /// port; unrelated ports keep their previous selection).
+    pub fn plan(&self, session: &str, signals: &[String]) -> Result<BitVec, String> {
+        let owned = session.to_string();
+        let sigs = signals.to_vec();
+        self.on_shard(self.shard_index(session), move |sh| sh.plan(&owned, &sigs))?
+    }
+
+    /// One debugging turn with no deadline — see
+    /// [`SessionManager::select_within`].
+    pub fn select(&self, session: &str, params: &BitVec) -> Result<TurnOutcome, String> {
+        self.select_within(session, params, None)
+    }
+
+    /// One debugging turn: specialize the session for `params`, commit
+    /// the changed frames transactionally, and account the cost, on the
+    /// owning shard's thread. The hot path is the memoized batch
+    /// evaluator ([`Scg::specialize_from_batch`], one node-table sweep
+    /// through the session's shard-local scratch) and cache-assisted.
+    /// See [`ManagerCore::select_on`] for deadline semantics.
+    pub fn select_within(
+        &self,
+        session: &str,
+        params: &BitVec,
+        deadline: Option<(Instant, Duration)>,
+    ) -> Result<TurnOutcome, String> {
+        let owned = session.to_string();
+        let spec = SelectSpec::Params(params.clone());
+        self.on_shard(self.shard_index(session), move |sh| sh.select(&owned, spec, deadline))?
+    }
+
+    /// One scrub pass for `session` against the PConf-evaluated golden
+    /// frames for its current parameter vector, run by the owning
+    /// shard. Queues behind in-flight selects instead of racing (or
+    /// skipping) them — there is no lock to contend.
+    pub fn scrub_session(&self, session: &str) -> Result<ScrubReport, String> {
+        let owned = session.to_string();
+        self.on_shard(self.shard_index(session), move |sh| sh.scrub(&owned))?
+    }
+
+    /// Kick one background scrub walk: each shard whose previous walk
+    /// has finished gets a `ScrubAll`, which it expands into one scrub
+    /// job per owned session (interleaving with queued selects). A
+    /// shard still working through the previous walk is left alone —
+    /// armed walks always finish, so no session is ever starved; the
+    /// cadence just stretches on an overloaded shard instead of piling
+    /// up.
+    pub fn scrub_walk(&self) {
+        use std::sync::atomic::Ordering as O;
+        for handle in &self.shards {
+            let armed = &handle.inbox.scrub_armed;
+            if armed.compare_exchange(false, true, O::AcqRel, O::Acquire).is_ok()
+                && !handle.inbox.push_internal(Job::ScrubAll)
+            {
+                armed.store(false, O::Release);
+            }
+        }
+    }
+
+    /// The journal behind a live session — the `record` verb.
+    pub fn journal_status(&self, session: &str) -> Result<(String, u64), String> {
+        let owned = session.to_string();
+        self.on_shard(self.shard_index(session), move |sh| sh.journal_status(&owned))?
+    }
+
+    /// Verify a journal file against this server — the `replay` verb.
+    /// Runs on a detached session state that never enters any shard.
+    pub fn replay_journal(
+        &self,
+        path: &Path,
+    ) -> Result<(String, usize, Option<Divergence>), String> {
+        self.core.replay_journal(path)
+    }
 
     /// A live dump of `session`'s flight-recorder ring as JSONL
     /// (`flight` events, oldest first) — the `dump` verb's payload.
     pub fn flight_dump(&self, session: &str) -> Result<String, String> {
-        let arc = self.session_arc(session)?;
-        let state = arc.lock().expect("session");
-        Ok(state.flight.to_jsonl())
+        let owned = session.to_string();
+        self.on_shard(self.shard_index(session), move |sh| sh.flight_dump(&owned))?
     }
 
     /// The most recent automatic dump — `(session name, JSONL)` —
     /// captured when a turn rolled back or a scrub quarantined a
     /// frame. `None` until something went wrong.
     pub fn last_flight_dump(&self) -> Option<(String, String)> {
-        self.last_dump.lock().expect("flight dump").clone()
+        relock(&self.core.last_dump).clone()
     }
 
     /// Per-session telemetry rows for the `metrics` verb: one flat
-    /// JSONL object per session (`"type":"session"`). Sessions busy
-    /// with an in-flight select are reported as such rather than
-    /// blocked on — a dashboard poll must never queue behind a commit.
+    /// JSONL object per session (`"type":"session"`), gathered from
+    /// every shard and sorted by name. Each shard builds its rows
+    /// between jobs, so a dashboard poll waits for queued work to drain
+    /// rather than silently reporting sessions as `busy`.
     pub fn sessions_metrics_jsonl(&self) -> String {
-        use pfdbg_obs::jsonl::{write_object, JsonValue};
-        let mut names = self.session_names();
-        names.sort();
-        let mut out = String::new();
-        for name in names {
-            let Ok(arc) = self.session_arc(&name) else { continue };
-            let mut fields = vec![
-                ("type", JsonValue::Str("session".into())),
-                ("name", JsonValue::Str(name.clone())),
-            ];
-            match arc.try_lock() {
-                Ok(state) => {
-                    let totals = state.scrubber.totals();
-                    fields.extend([
-                        ("busy", JsonValue::Bool(false)),
-                        ("turns", JsonValue::Num(state.turns as f64)),
-                        ("health", JsonValue::Str(state.scrubber.health().as_str().to_string())),
-                        ("needs_resync", JsonValue::Bool(state.needs_resync)),
-                        ("scrubs", JsonValue::Num(totals.passes as f64)),
-                        ("quarantined", JsonValue::Num(state.scrubber.quarantined().len() as f64)),
-                        ("flight_events", JsonValue::Num(state.flight.total_recorded() as f64)),
-                    ]);
-                }
-                Err(TryLockError::WouldBlock) => {
-                    fields.push(("busy", JsonValue::Bool(true)));
-                }
-                Err(TryLockError::Poisoned(_)) => {
-                    fields.push(("busy", JsonValue::Bool(true)));
-                }
+        let mut rows: Vec<(String, String)> = Vec::new();
+        for idx in 0..self.shards.len() {
+            if let Ok(part) = self.on_shard(idx, |sh| sh.metrics_rows()) {
+                rows.extend(part);
             }
-            out.push_str(&write_object(&fields));
+        }
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut out = String::new();
+        for (_, row) in rows {
+            out.push_str(&row);
             out.push('\n');
         }
         out
     }
+
+    /// Park shard `idx` until the returned hold drops (test hook).
+    /// Blocks until the shard has actually parked, so everything
+    /// pushed afterwards verifiably queues.
+    pub fn hold_shard(&self, idx: usize) -> ShardHold {
+        let (entered_tx, entered_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel();
+        let pushed = self.shards[idx]
+            .inbox
+            .push_internal(Job::Hold { entered: entered_tx, release: release_rx });
+        if pushed {
+            let _ = entered_rx.recv();
+        }
+        ShardHold { _release: release_tx }
+    }
+
+    /// Reserve a client-inbox slot on shard `idx`; `false` means the
+    /// request must be shed with an `overloaded` reply.
+    pub(crate) fn try_reserve_client(&self, idx: usize) -> bool {
+        self.shards[idx].inbox.try_reserve_client()
+    }
+
+    /// Enqueue a client job under a successful reservation.
+    pub(crate) fn push_client(&self, idx: usize, job: Job) -> bool {
+        self.shards[idx].inbox.push_client(job)
+    }
+
+    /// Queued jobs on shard `idx` right now.
+    pub fn inbox_depth(&self, idx: usize) -> usize {
+        self.shards[idx].inbox.depth()
+    }
+
+    /// Record a shed request in the fleet totals and telemetry.
+    pub(crate) fn note_shed(&self) {
+        self.core.note_shed();
+    }
 }
 
-/// Whether this session's turns must produce replay facts (it journals,
-/// or a restore/replay is comparing against a recording).
-fn wants_facts(state: &SessionState) -> bool {
-    state.journal.is_some() || state.capture_facts
-}
-
-/// The device-state digest journaled after every operation: a CRC of
-/// the full configuration readback through the session's channel.
-fn device_crc(state: &SessionState) -> u64 {
-    bitstream_crc(&readback_all(state.channel.as_ref()))
-}
-
-/// A session's private fault seed: deterministic in the configured
-/// seed and the session name (FNV-1a), so chaos runs reproduce while
-/// sessions still see independent fault patterns.
-fn session_seed(base: u64, name: &str) -> u64 {
-    name.bytes()
-        .fold(base ^ 0xcbf2_9ce4_8422_2325, |h, b| (h ^ b as u64).wrapping_mul(0x0100_0000_01b3))
+impl Drop for SessionManager {
+    fn drop(&mut self) {
+        // Close every inbox first (so no shard can route work to
+        // another mid-teardown), then join: shards drain what is
+        // already queued before exiting.
+        for handle in &self.shards {
+            handle.close();
+        }
+        for handle in &mut self.shards {
+            handle.join();
+        }
+    }
 }

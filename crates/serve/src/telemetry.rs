@@ -12,7 +12,7 @@
 //! names the declared budgets (a distinct prefix — the hub keys
 //! metrics by name, so an SLO may not shadow its histogram).
 
-use pfdbg_obs::{LazyCounter, LazyHistogram, LazySlo};
+use pfdbg_obs::{LazyCounter, LazyGauge, LazyHistogram, LazySlo};
 
 /// Requests handled (any verb, including errors).
 pub(crate) static REQUESTS: LazyCounter = LazyCounter::new("serve.requests");
@@ -38,6 +38,16 @@ pub(crate) static DEGRADATIONS: LazyCounter = LazyCounter::new("serve.degradatio
 pub(crate) static SCRUB_REPAIRS: LazyCounter = LazyCounter::new("serve.scrub_repairs");
 /// Frames scrub passes quarantined as stuck.
 pub(crate) static SCRUB_QUARANTINES: LazyCounter = LazyCounter::new("serve.scrub_quarantines");
+/// Client requests shed at a full shard inbox.
+pub(crate) static SHED: LazyCounter = LazyCounter::new("serve.shed_total");
+/// `overloaded` replies sent (one per shed request).
+pub(crate) static OVERLOADED: LazyCounter = LazyCounter::new("serve.overloaded_replies");
+/// Handlers that panicked and were contained (session dropped, shard
+/// kept serving).
+pub(crate) static HANDLER_PANICS: LazyCounter = LazyCounter::new("serve.handler_panics");
+
+/// Sessions currently open across all shards.
+pub(crate) static OPEN_SESSIONS: LazyGauge = LazyGauge::new("serve.open_sessions");
 
 /// Wall time per protocol request (parse to reply).
 pub(crate) static REQUEST_US: LazyHistogram = LazyHistogram::new("serve.request_us");
@@ -46,6 +56,8 @@ pub(crate) static TURN_US: LazyHistogram = LazyHistogram::new("serve.turn_us");
 /// Host-side SCG specialization time on cache misses — the paper's
 /// ≤ 50 µs claim.
 pub(crate) static SPECIALIZE_US: LazyHistogram = LazyHistogram::new("scg.specialize_us");
+/// Time client jobs spend queued in a shard inbox before execution.
+pub(crate) static INBOX_WAIT_US: LazyHistogram = LazyHistogram::new("serve.inbox_wait_us");
 
 /// Specialization budget: the paper's 50 µs bound.
 pub(crate) static SLO_SPECIALIZE: LazySlo = LazySlo::new("slo.specialize_us", 50.0);
@@ -54,3 +66,6 @@ pub(crate) static SLO_TURN: LazySlo = LazySlo::new("slo.turn_us", 1_000_000.0);
 /// Scrub cadence: actual walk-to-walk interval vs. 2× the configured
 /// one; rebound at startup, infinite (never burned) when disabled.
 pub(crate) static SLO_SCRUB: LazySlo = LazySlo::new("slo.scrub_interval_us", f64::INFINITY);
+/// Inbox-wait budget: a client job should start executing within a
+/// quarter of the default turn deadline; rebound at startup.
+pub(crate) static SLO_INBOX: LazySlo = LazySlo::new("slo.inbox_wait_us", 250_000.0);
