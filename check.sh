@@ -45,7 +45,7 @@ echo "== shard sweep (PFDBG_SHARDS=1/2/8) =="
 # shard count.
 for shards in 1 2 8; do
     PFDBG_SHARDS=$shards cargo test -q -p pfdbg-serve \
-        --test chaos --test replay --test scrub --test backpressure --test fleet
+        --test chaos --test replay --test scrub --test backpressure --test fleet --test devices
 done
 
 echo "== serve smoke test =="
@@ -78,6 +78,12 @@ grep -q '"scrub_passes"' "$SMOKE_DIR/BENCH_serve.json" || { echo "scrub counters
 grep -q '"hist_p999_ms"' "$SMOKE_DIR/BENCH_serve.json" || { echo "latency histogram p999 missing"; exit 1; }
 grep -q '"hist_buckets":"[0-9]' "$SMOKE_DIR/BENCH_serve.json" || { echo "latency histogram buckets missing"; exit 1; }
 grep -q '"specialize_p99_us"' "$SMOKE_DIR/BENCH_serve.json" || { echo "server specialize p99 missing"; exit 1; }
+# Device-fleet supervision fields (an unsupervised server reports a
+# single-device fleet; the counters must still be present numbers).
+for field in devices migrations watchdog_trips device_failures sessions_migrated sessions_lost; do
+    grep -q "\"$field\"" "$SMOKE_DIR/BENCH_serve.json" \
+        || { echo "BENCH_serve.json lacks fleet field $field"; exit 1; }
+done
 
 # Fleet telemetry verbs against the live server: the metrics registry
 # must expose the specialize histogram and SLO burn, a session's flight
@@ -114,6 +120,28 @@ for field in shed_total overloaded_replies hist_p99_ms inbox_wait_p99_us shards 
         || { echo "BENCH_fleet.json lacks $field"; exit 1; }
 done
 echo "fleet smoke ok"
+
+echo "== device failover chaos smoke (1/2/8 shards) =="
+# An in-process server over a supervised device fleet (2 primaries + 2
+# spares, journaling on); device 0 is armed to die after 25 frame
+# writes, mid-run. The gates: the ledger balances with zero hard
+# failures (migration-window refusals are their own bucket), at least
+# one failover ran, and no journaled session was lost — at 1, 2, and 8
+# session shards.
+for shards in 1 2 8; do
+    ./target/debug/serve_load --sessions 16 --threads 4 --requests 64 \
+        --shards "$shards" --devices 2 --spares 2 --journal --kill-device-at 25 \
+        --out "$SMOKE_DIR/BENCH_devices_$shards.json" >/dev/null
+    grep -q '"failures":0' "$SMOKE_DIR/BENCH_devices_$shards.json" \
+        || { echo "device chaos smoke (shards=$shards) saw hard failures"; exit 1; }
+    grep -q '"devices":4' "$SMOKE_DIR/BENCH_devices_$shards.json" \
+        || { echo "device chaos smoke (shards=$shards) lost the fleet shape"; exit 1; }
+    grep -q '"migrations":[1-9]' "$SMOKE_DIR/BENCH_devices_$shards.json" \
+        || { echo "device chaos smoke (shards=$shards) never failed over"; exit 1; }
+    grep -q '"sessions_lost":0' "$SMOKE_DIR/BENCH_devices_$shards.json" \
+        || { echo "device chaos smoke (shards=$shards) dropped journaled sessions"; exit 1; }
+done
+echo "device failover smoke ok"
 
 echo "== flight-recorder quarantine smoke =="
 # A server with a dead write path (every repair fails) under full SEU
@@ -198,8 +226,10 @@ echo "$REOPEN" | grep -q '"ok":true' || { echo "session restore failed: $REOPEN"
 ./target/debug/pfdbg client "127.0.0.1:$JPORT" --request '{"op":"stats"}' \
     | grep -q '"restores":[1-9]' || { echo "stats shows no session restore"; exit 1; }
 JREC=$(./target/debug/pfdbg client "127.0.0.1:$JPORT" --request '{"op":"record","session":"jsmoke"}')
-JPATH=$(echo "$JREC" | sed -n 's/.*"path":"\([^"]*\)".*/\1/p')
-[ -n "$JPATH" ] || { echo "record verb returned no journal path: $JREC"; exit 1; }
+# The replay verb is confined to --journal-dir: it takes the relative
+# `file` name from the record reply, never an absolute path.
+JPATH=$(echo "$JREC" | sed -n 's/.*"file":"\([^"]*\)".*/\1/p')
+[ -n "$JPATH" ] || { echo "record verb returned no journal file: $JREC"; exit 1; }
 ./target/debug/pfdbg client "127.0.0.1:$JPORT" \
     --request "{\"op\":\"replay\",\"path\":\"$JPATH\"}" \
     | grep -q '"identical":true' || { echo "server replay of its own journal diverged"; exit 1; }

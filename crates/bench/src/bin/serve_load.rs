@@ -10,6 +10,7 @@
 //!            [--shards N] [--inbox-cap N]
 //!            [--icap-fault-rate R] [--icap-seed S]
 //!            [--seu-rate R] [--seu-seed S] [--scrub-interval-ms MS] [--journal]
+//!            [--devices N] [--spares N] [--kill-device-at K]
 //! ```
 //!
 //! Without `--addr` it spins up an in-process server over a generated
@@ -24,11 +25,17 @@
 //! queue-wait tail latency become visible instead of being absorbed by
 //! client back-off. `--journal` turns on session journaling
 //! (in-process server, temp dir), measuring the record-path overhead.
+//! `--devices N` runs the in-process server over a supervised device
+//! fleet (N primaries plus `--spares` spares, default 1), and
+//! `--kill-device-at K` arms device 0 to die after K frame writes —
+//! the failover chaos smoke: sessions migrate to a spare by journal
+//! re-drive (pass `--journal`, or they are dropped as `sessions_lost`)
+//! while the client-side ledger counts the migration-window replies.
 
 use pfdbg_core::{offline, prepare_instrumented, InstrumentConfig, OfflineConfig};
 use pfdbg_obs::jsonl::{write_object, JsonValue};
 use pfdbg_obs::Histogram;
-use pfdbg_serve::session::{Engine, FleetOptions};
+use pfdbg_serve::session::{DeviceOptions, Engine, FleetOptions};
 use pfdbg_serve::{Server, ServerConfig, SessionManager};
 use pfdbg_util::stats::percentile;
 use std::io::{BufRead, BufReader, Write};
@@ -94,6 +101,23 @@ impl Client {
         self.reader.read_line(&mut reply)?;
         Ok(reply)
     }
+
+    /// `roundtrip` with the documented client retry contract for
+    /// requests *outside* the measured ledger (open/close setup and
+    /// teardown): shed and migration-window refusals are transient by
+    /// design, so back off and retry until the fleet settles.
+    fn roundtrip_settled(&mut self, line: &str) -> std::io::Result<String> {
+        for _ in 0..400 {
+            let reply = self.roundtrip(line)?;
+            match classify(&reply) {
+                ReplyKind::Overloaded | ReplyKind::Migrating => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                _ => return Ok(reply),
+            }
+        }
+        self.roundtrip(line)
+    }
 }
 
 fn parse_reply(reply: &str) -> Option<pfdbg_obs::jsonl::Event> {
@@ -109,6 +133,11 @@ enum ReplyKind {
     /// Shed at a full shard inbox: not a failure — the backpressure
     /// contract working as designed — but not a completed turn either.
     Overloaded,
+    /// Refused because the session's device died or is mid-failover:
+    /// the supervision contract working as designed (a real client
+    /// retries after the journal re-drive), counted separately so a
+    /// chaos run's ledger still balances without masking real errors.
+    Migrating,
     Failed,
 }
 
@@ -116,6 +145,9 @@ fn classify(reply: &str) -> ReplyKind {
     match parse_reply(reply) {
         Some(ev) if ev.fields.get("ok") == Some(&JsonValue::Bool(true)) => ReplyKind::Ok,
         Some(ev) if ev.str("kind") == Some("overloaded") => ReplyKind::Overloaded,
+        Some(ev) if ev.str("error").is_some_and(|e| e.contains("migrating")) => {
+            ReplyKind::Migrating
+        }
         _ => ReplyKind::Failed,
     }
 }
@@ -126,6 +158,7 @@ struct ThreadStats {
     latencies_ms: Vec<f64>,
     issued: usize,
     overloaded: usize,
+    migrating: usize,
     failures: usize,
 }
 
@@ -146,7 +179,7 @@ fn open_sessions(
     let mut live = Vec::with_capacity(names.len());
     let mut n_params = 0usize;
     for name in names {
-        match c.roundtrip(&format!("{{\"op\":\"open\",\"session\":\"{name}\"}}")) {
+        match c.roundtrip_settled(&format!("{{\"op\":\"open\",\"session\":\"{name}\"}}")) {
             Ok(reply) if is_ok(&reply) => {
                 if n_params == 0 {
                     n_params = parse_reply(&reply)
@@ -204,6 +237,7 @@ fn drive_closed(
                     stats.latencies_ms.push(dt.as_secs_f64() * 1e3);
                 }
                 ReplyKind::Overloaded => stats.overloaded += 1,
+                ReplyKind::Migrating => stats.migrating += 1,
                 ReplyKind::Failed => {
                     eprintln!("thread {thread_id} turn {turn}: error reply: {}", reply.trim());
                     stats.failures += 1;
@@ -216,7 +250,9 @@ fn drive_closed(
         }
     }
     for session in &live {
-        if let Ok(reply) = c.roundtrip(&format!("{{\"op\":\"close\",\"session\":\"{session}\"}}")) {
+        if let Ok(reply) =
+            c.roundtrip_settled(&format!("{{\"op\":\"close\",\"session\":\"{session}\"}}"))
+        {
             if !is_ok(&reply) {
                 stats.failures += 1;
             }
@@ -289,6 +325,7 @@ fn drive_open(
                         recv_stats.latencies_ms.push(lat_s * 1e3);
                     }
                     ReplyKind::Overloaded => recv_stats.overloaded += 1,
+                    ReplyKind::Migrating => recv_stats.migrating += 1,
                     ReplyKind::Failed => recv_stats.failures += 1,
                 }
             }
@@ -319,6 +356,7 @@ fn drive_open(
     stats.failures += stats.issued.saturating_sub(got);
     stats.failures += recv_stats.failures;
     stats.overloaded += recv_stats.overloaded;
+    stats.migrating += recv_stats.migrating;
     stats.latencies_ms.extend(recv_stats.latencies_ms);
     stats
 }
@@ -341,6 +379,9 @@ fn main() {
     let seu_rate = flag_f64(&rest, "--seu-rate", 0.0);
     let seu_seed = flag_usize(&rest, "--seu-seed", 0x5EED_05E0) as u64;
     let scrub_interval_ms = flag_f64(&rest, "--scrub-interval-ms", 0.0);
+    let devices = flag_usize(&rest, "--devices", 0);
+    let spares = flag_usize(&rest, "--spares", 1);
+    let kill_device_at = flag_usize(&rest, "--kill-device-at", 0);
     let journal = rest.iter().any(|a| a == "--journal");
     let journal_dir = journal.then(|| {
         std::env::temp_dir().join(format!("pfdbg-serve-load-journal-{}", std::process::id()))
@@ -356,15 +397,29 @@ fn main() {
         let seu = (seu_rate > 0.0)
             .then_some(pfdbg_emu::SeuConfig { rate: seu_rate, burst: 2, seed: seu_seed })
             .or_else(pfdbg_emu::SeuConfig::from_env);
-        let mut manager = SessionManager::with_fleet(
-            Arc::new(build_engine()),
-            64,
-            fault,
-            pfdbg_pconf::CommitPolicy::default(),
-            seu,
-            pfdbg_pconf::ScrubPolicy::default(),
-            FleetOptions { shards, inbox_capacity: inbox_cap },
-        );
+        let fleet = FleetOptions { shards, inbox_capacity: inbox_cap };
+        let mut manager = if devices > 0 {
+            SessionManager::with_devices(
+                Arc::new(build_engine()),
+                64,
+                fault,
+                pfdbg_pconf::CommitPolicy::default(),
+                seu,
+                pfdbg_pconf::ScrubPolicy::default(),
+                fleet,
+                DeviceOptions { devices, spares, ..DeviceOptions::default() },
+            )
+        } else {
+            SessionManager::with_fleet(
+                Arc::new(build_engine()),
+                64,
+                fault,
+                pfdbg_pconf::CommitPolicy::default(),
+                seu,
+                pfdbg_pconf::ScrubPolicy::default(),
+                fleet,
+            )
+        };
         if let Some(dir) = &journal_dir {
             std::fs::remove_dir_all(dir).ok();
             std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("{}: {e}", dir.display()));
@@ -380,6 +435,20 @@ fn main() {
     } else {
         None
     };
+    // Arm the chaos kill before any load: device 0 dies after its
+    // K-th frame write, so the failover lands mid-run regardless of
+    // how fast the clients go.
+    if kill_device_at > 0 {
+        match handle.as_ref().and_then(|h| h.sessions().device_control(0)) {
+            Some(control) => {
+                control.kill_after_writes(kill_device_at as u64);
+                eprintln!("serve_load: device 0 armed to die after {kill_device_at} frame writes");
+            }
+            None => eprintln!(
+                "serve_load: --kill-device-at ignored (needs the in-process server and --devices)"
+            ),
+        }
+    }
     let addr = external
         .clone()
         .unwrap_or_else(|| handle.as_ref().expect("in-process").local_addr().to_string());
@@ -450,23 +519,31 @@ fn main() {
     let turn_p99_us = stat("turn_p99_us");
     let journal_records = stat("journal_records");
     let restores = stat("restores");
+    let srv_devices = stat("devices");
+    let migrations = stat("migrations");
+    let watchdog_trips = stat("watchdog_trips");
+    let device_failures = stat("device_failures");
+    let sessions_migrated = stat("sessions_migrated");
+    let sessions_lost = stat("sessions_lost");
 
     let mut latencies: Vec<f64> = Vec::new();
-    let (mut issued, mut overloaded, mut failures) = (0usize, 0usize, 0usize);
+    let (mut issued, mut overloaded, mut migrating, mut failures) =
+        (0usize, 0usize, 0usize, 0usize);
     for r in &results {
         latencies.extend_from_slice(&r.latencies_ms);
         issued += r.issued;
         overloaded += r.overloaded;
+        migrating += r.migrating;
         failures += r.failures;
     }
     let total = latencies.len();
     // The accounting invariant: every issued request is completed, shed,
-    // or failed — nothing vanishes.
+    // refused by a migration window, or failed — nothing vanishes.
     assert_eq!(
         issued,
-        total + overloaded + failures,
+        total + overloaded + migrating + failures,
         "request ledger does not balance: {issued} issued vs {total} ok + \
-         {overloaded} overloaded + {failures} failed"
+         {overloaded} overloaded + {migrating} migrating + {failures} failed"
     );
     let throughput = total as f64 / elapsed.as_secs_f64().max(1e-9);
     let p50 = percentile(&latencies, 50.0).unwrap_or(f64::NAN);
@@ -483,6 +560,7 @@ fn main() {
     println!("issued:       {issued}");
     println!("requests ok:  {total}");
     println!("overloaded:   {overloaded}");
+    println!("migrating:    {migrating}");
     println!("failures:     {failures}");
     println!("elapsed:      {elapsed:.2?}");
     println!("throughput:   {throughput:.0} req/s");
@@ -501,6 +579,7 @@ fn main() {
         ("requests_issued", JsonValue::Num(issued as f64)),
         ("requests_ok", JsonValue::Num(total as f64)),
         ("overloaded_replies", JsonValue::Num(overloaded as f64)),
+        ("migrating_replies", JsonValue::Num(migrating as f64)),
         ("failures", JsonValue::Num(failures as f64)),
         ("shed_total", JsonValue::Num(shed_total)),
         ("server_overloaded_replies", JsonValue::Num(srv_overloaded)),
@@ -508,7 +587,9 @@ fn main() {
         ("inbox_capacity", JsonValue::Num(srv_inbox_capacity)),
         ("inbox_wait_p99_us", JsonValue::Num(inbox_wait_p99_us)),
         ("open_loop", JsonValue::Bool(open_loop)),
-        ("target_rps", JsonValue::Num(if open_loop { target_rps } else { f64::NAN })),
+        // Closed-loop runs have no pacing target: that is `null`, not
+        // NaN — a bare NaN is not JSON and breaks strict parsers.
+        ("target_rps", if open_loop { JsonValue::Num(target_rps) } else { JsonValue::Null }),
         ("elapsed_s", JsonValue::Num(elapsed.as_secs_f64())),
         ("throughput_rps", JsonValue::Num(throughput)),
         ("p50_ms", JsonValue::Num(p50)),
@@ -536,6 +617,12 @@ fn main() {
         ("journal", JsonValue::Bool(journal)),
         ("journal_records", JsonValue::Num(journal_records)),
         ("restores", JsonValue::Num(restores)),
+        ("devices", JsonValue::Num(srv_devices)),
+        ("migrations", JsonValue::Num(migrations)),
+        ("watchdog_trips", JsonValue::Num(watchdog_trips)),
+        ("device_failures", JsonValue::Num(device_failures)),
+        ("sessions_migrated", JsonValue::Num(sessions_migrated)),
+        ("sessions_lost", JsonValue::Num(sessions_lost)),
         ("in_process", JsonValue::Bool(external.is_none())),
     ]);
     std::fs::write(&out, format!("{json}\n")).unwrap_or_else(|e| panic!("{out}: {e}"));

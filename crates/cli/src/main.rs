@@ -9,7 +9,7 @@
 //! pfdbg rank       <design.blif|@benchmark> [--top N]
 //! pfdbg report     <trace.jsonl>
 //! pfdbg scrub      <design.blif|@benchmark> [--turns N] [--scrub-every N] [--seu-rate R]
-//! pfdbg serve      <design.blif|@benchmark> [--addr H:P|--port P] [--workers N] [--shards N] [--port-file f]
+//! pfdbg serve      <design.blif|@benchmark> [--addr H:P|--port P] [--workers N] [--shards N] [--devices N] [--spares N] [--port-file f]
 //! pfdbg client     <host:port> [--request '<json>'] [--shutdown]
 //! pfdbg bench-list
 //! ```
@@ -174,6 +174,7 @@ fn print_usage() {
          \x20                  [--icap-fault-rate R] [--icap-seed S] [--max-retries N]\n\
          \x20                  [--scrub-interval MS] [--seu-rate R] [--seu-seed S] [--seu-burst B]\n\
          \x20                  [--journal-dir DIR] (record every session; restore on restart)\n\
+         \x20                  [--devices N] [--spares N] (supervised device fleet with failover)\n\
          \x20 pfdbg record     <design.blif|@bench|gen:SEED> --out <f.pfdj> [--turns N] [--seed S]\n\
          \x20                  [--scrub-every N] [--session NAME] [chaos flags as for serve]\n\
          \x20 pfdbg replay     <journal.pfdj> [--at-threads N] (exit 1 on divergence)\n\
@@ -735,15 +736,28 @@ fn cmd_serve(rest: &[String]) -> Result<(), String> {
     // built-in defaults (4 shards, 1024-job inboxes).
     let shards = flag_usize(rest, "--shards", 0)?;
     let inbox_cap = flag_usize(rest, "--inbox-cap", 0)?;
-    let mut manager = SessionManager::with_fleet(
-        Arc::new(Engine::new(inst, scg, layout, icap)),
-        cache,
-        fault,
-        policy,
-        seu,
-        pfdbg_pconf::ScrubPolicy { commit: policy, ..Default::default() },
-        FleetOptions { shards, inbox_capacity: inbox_cap },
-    );
+    // Device fleet: `--devices N` serves over N supervised primaries
+    // plus `--spares` hot spares (health ladders, watchdogs, and
+    // journal-backed failover); without it, one unsupervised device.
+    let devices = flag_usize(rest, "--devices", 0)?;
+    let spares = flag_usize(rest, "--spares", 1)?;
+    let engine = Arc::new(Engine::new(inst, scg, layout, icap));
+    let scrub_policy = pfdbg_pconf::ScrubPolicy { commit: policy, ..Default::default() };
+    let fleet = FleetOptions { shards, inbox_capacity: inbox_cap };
+    let mut manager = if devices > 0 {
+        SessionManager::with_devices(
+            engine,
+            cache,
+            fault,
+            policy,
+            seu,
+            scrub_policy,
+            fleet,
+            pfdbg_serve::DeviceOptions { devices, spares, ..Default::default() },
+        )
+    } else {
+        SessionManager::with_fleet(engine, cache, fault, policy, seu, scrub_policy, fleet)
+    };
     if let Some(dir) = flag(rest, "--journal-dir") {
         std::fs::create_dir_all(&dir).map_err(|e| format!("{dir}: {e}"))?;
         manager.set_journal_dir(dir.clone().into());
@@ -768,9 +782,15 @@ fn cmd_serve(rest: &[String]) -> Result<(), String> {
         },
     )?;
     let local = handle.local_addr();
+    let (n_devices, n_primaries) = handle.sessions().device_counts();
+    let fleet_note = if n_devices > 1 {
+        format!(", {n_primaries} devices + {} spares", n_devices - n_primaries)
+    } else {
+        String::new()
+    };
     println!(
         "pfdbg serve: {name} ({n_params} params) on {local}, {workers} io threads, \
-         {n_shards} shards (inbox {inbox_capacity})"
+         {n_shards} shards (inbox {inbox_capacity}){fleet_note}"
     );
     println!("stop with: pfdbg client {local} --shutdown");
     if let Some(path) = flag(rest, "--port-file") {
@@ -1110,6 +1130,42 @@ fn render_top(
         counter("scrub.repaired_frames"),
         counter("scrub.quarantined_frames"),
     );
+    let devices: Vec<_> = registry.iter().filter(|e| e.kind() == "device").collect();
+    if !devices.is_empty() {
+        println!(
+            "devs   migrations {:.0} ({:.1} ms p99)  watchdog trips {:.0}  failed {:.0}  \
+             sessions migrated {:.0} / lost {:.0}",
+            counter("serve.migrations"),
+            // MIGRATION_MS records milliseconds, so the registry's
+            // "p99_us" field is already in ms here.
+            p99("serve.migration_ms"),
+            counter("serve.watchdog_trips"),
+            counter("serve.device_failures"),
+            counter("serve.sessions_migrated"),
+            counter("serve.sessions_lost"),
+        );
+        println!();
+        println!(
+            "{:<8} {:<8} {:<8} {:<12} {:>8} {:>10} {:>6}",
+            "DEVICE", "ROLE", "MODE", "HEALTH", "SESSIONS", "WRITES", "DRAIN"
+        );
+        for d in &devices {
+            println!(
+                "{:<8} {:<8} {:<8} {:<12} {:>8} {:>10} {:>6}",
+                d.str("name").unwrap_or("?"),
+                d.str("role").unwrap_or("?"),
+                d.str("mode").unwrap_or("?"),
+                d.str("health").unwrap_or("?"),
+                d.num("sessions").unwrap_or(0.0),
+                d.num("writes").unwrap_or(0.0),
+                if d.fields.get("draining") == Some(&pfdbg_obs::jsonl::JsonValue::Bool(true)) {
+                    "yes"
+                } else {
+                    "no"
+                },
+            );
+        }
+    }
     println!();
     println!(
         "{:<16} {:>8} {:>8} {:<10} {:>6} {:>7} {:>6} {:>7}",

@@ -5,6 +5,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod device;
 pub mod emulator;
 pub mod fault;
 pub mod golden;
@@ -12,6 +13,7 @@ pub mod icap;
 pub mod nondet;
 pub mod seu;
 
+pub use device::{Device, DeviceControl, DeviceIcap, DeviceMode, DeviceRegistry};
 pub use emulator::Emulator;
 pub use fault::{apply_static, injectable_nets, Fault};
 pub use golden::{golden_waveform, lockstep, LockstepReport};

@@ -56,6 +56,18 @@ pub enum FlightKind {
     /// A session was rebuilt from its journal after a restart;
     /// `value` = records re-driven.
     SessionRestore,
+    /// A commit or scrub pass blew through its watchdog deadline;
+    /// `value` = elapsed µs (compare against the scaled allowance).
+    WatchdogTrip,
+    /// The session's device was declared failed and drained;
+    /// `value` = the device id.
+    DeviceFailed,
+    /// Migration off a drained device began; `value` = the target
+    /// (spare) device id.
+    MigrationStart,
+    /// The session finished migrating — its journal re-drove cleanly
+    /// on the spare; `value` = records re-driven.
+    MigrationDone,
 }
 
 impl FlightKind {
@@ -75,6 +87,10 @@ impl FlightKind {
             FlightKind::Resync => "resync",
             FlightKind::ReplayDivergence => "replay_divergence",
             FlightKind::SessionRestore => "session_restore",
+            FlightKind::WatchdogTrip => "watchdog_trip",
+            FlightKind::DeviceFailed => "device_failed",
+            FlightKind::MigrationStart => "migration_start",
+            FlightKind::MigrationDone => "migration_done",
         }
     }
 
@@ -94,6 +110,10 @@ impl FlightKind {
             "resync" => FlightKind::Resync,
             "replay_divergence" => FlightKind::ReplayDivergence,
             "session_restore" => FlightKind::SessionRestore,
+            "watchdog_trip" => FlightKind::WatchdogTrip,
+            "device_failed" => FlightKind::DeviceFailed,
+            "migration_start" => FlightKind::MigrationStart,
+            "migration_done" => FlightKind::MigrationDone,
             _ => return None,
         })
     }
@@ -233,6 +253,10 @@ mod tests {
             FlightKind::Resync,
             FlightKind::ReplayDivergence,
             FlightKind::SessionRestore,
+            FlightKind::WatchdogTrip,
+            FlightKind::DeviceFailed,
+            FlightKind::MigrationStart,
+            FlightKind::MigrationDone,
         ] {
             assert_eq!(FlightKind::parse(kind.as_str()), Some(kind));
         }

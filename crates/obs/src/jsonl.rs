@@ -64,7 +64,12 @@ pub fn write_object(fields: &[(&str, JsonValue)]) -> String {
         match v {
             JsonValue::Str(s) => write_string(&mut out, s),
             JsonValue::Num(n) => {
-                if n.fract() == 0.0 && n.abs() < 9e15 {
+                if !n.is_finite() {
+                    // JSON has no NaN/Infinity; a non-finite number
+                    // (e.g. a percentile of an empty histogram) must
+                    // not poison the whole line for strict parsers.
+                    out.push_str("null");
+                } else if n.fract() == 0.0 && n.abs() < 9e15 {
                     let _ = write!(out, "{}", *n as i64);
                 } else {
                     let _ = write!(out, "{n}");
@@ -277,6 +282,19 @@ mod tests {
         assert_eq!(parse_jsonl(ok).unwrap().len(), 2);
         let err = parse_jsonl("{\"type\":\"meta\"}\n{broken\n").unwrap_err();
         assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn non_finite_numbers_render_as_null() {
+        let line = write_object(&[
+            ("nan", JsonValue::Num(f64::NAN)),
+            ("inf", JsonValue::Num(f64::INFINITY)),
+            ("ok", JsonValue::Num(1.5)),
+        ]);
+        let back = parse_jsonl(&line).expect("strict parser accepts the guarded output");
+        assert_eq!(back[0].fields.get("nan"), Some(&JsonValue::Null));
+        assert_eq!(back[0].fields.get("inf"), Some(&JsonValue::Null));
+        assert_eq!(back[0].num("ok"), Some(1.5));
     }
 
     #[test]

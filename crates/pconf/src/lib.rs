@@ -9,12 +9,17 @@
 
 pub mod bdd;
 pub mod genbits;
+pub mod health;
 pub mod icap;
 pub mod scg;
 pub mod scrub;
 
 pub use bdd::{Bdd, BddManager};
 pub use genbits::{Builder as GeneralizedBuilder, GeneralizedBitstream};
+pub use health::{
+    DeviceHealth, HealthEvent, HealthLadder, HealthPolicy, HealthTransition, WatchdogPolicy,
+    WatchdogVerdict,
+};
 pub use icap::{CommitPolicy, CommitStats, IcapChannel, IcapError, MemoryIcap};
 pub use scg::{OnlineReconfigurator, Scg, SpecializeScratch, SpecializeTiming, TurnStats};
 pub use scrub::{ScrubHealth, ScrubPolicy, ScrubReport, ScrubTotals, Scrubber};

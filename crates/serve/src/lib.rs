@@ -22,5 +22,8 @@ mod telemetry;
 
 pub use protocol::{Reply, Request};
 pub use server::{Server, ServerConfig, ServerHandle};
-pub use session::{FleetOptions, IcapTotals, SessionManager, TurnOutcome};
+pub use session::{
+    primary_device_of, DeviceOptions, DeviceTotals, FleetOptions, IcapTotals, SessionManager,
+    TurnOutcome,
+};
 pub use shard::ShardHold;

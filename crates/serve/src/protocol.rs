@@ -20,7 +20,10 @@
 //! {"op":"dump","session":"s1"}
 //! {"op":"dump"}
 //! {"op":"record","session":"s1"}
-//! {"op":"replay","path":"journals/s1.pfdj"}
+//! {"op":"replay","path":"s1-0123456789abcdef.pfdj"}
+//! {"op":"devices"}
+//! {"op":"drain","device":1}
+//! {"op":"fail","device":0}
 //! {"op":"shutdown"}
 //! ```
 //!
@@ -43,7 +46,15 @@
 //! session when the server runs with `--journal-dir`; `replay`
 //! re-drives a journal file and reports whether it matched
 //! bit-for-bit — self-contained journals rebuild their own engine,
-//! `External` ones verify against this server's.
+//! `External` ones verify against this server's. The replay path is
+//! resolved inside the server's `--journal-dir` (use the `file` field
+//! the `record` verb returns); absolute paths and `..` are rejected.
+//!
+//! `devices` reports the supervised device fleet — counts plus one
+//! `device` JSONL row per device (mode, health rung, session count) —
+//! on servers started with `--devices`; `drain` migrates a device's
+//! sessions to a spare while it keeps serving, and `fail` kills the
+//! device first, exercising journal-backed failover.
 //!
 //! Every reply carries `ok` plus the echoed `op` and, when the request
 //! had one, its `id`. Failures are `{"ok":false,"error":...}` — a
@@ -109,8 +120,23 @@ pub enum Request {
     },
     /// Re-drive a journal file and verify it replays bit-for-bit.
     Replay {
-        /// Journal file path (server-side).
+        /// Journal path, **relative to the server's `--journal-dir`**
+        /// (absolute paths and `..` components are rejected — the verb
+        /// cannot read arbitrary server-side files).
         path: String,
+    },
+    /// The device fleet: counts, per-device rows.
+    Devices,
+    /// Gracefully drain a device: migrate its sessions to a spare while
+    /// it keeps serving, then quarantine it.
+    Drain {
+        /// Device id.
+        device: usize,
+    },
+    /// Kill a device and fail its sessions over to a spare.
+    Fail {
+        /// Device id.
+        device: usize,
     },
     /// Stop the server (when the server allows it).
     Shutdown,
@@ -177,6 +203,20 @@ pub fn parse_request(line: &str) -> (Result<Request, String>, RequestMeta) {
             Some(p) if !p.is_empty() => Ok(Request::Replay { path: p.to_string() }),
             _ => Err("replay requires a non-empty \"path\"".into()),
         },
+        "devices" => Ok(Request::Devices),
+        "drain" | "fail" => {
+            let device = ev
+                .num("device")
+                .filter(|d| d.is_finite() && *d >= 0.0 && d.fract() == 0.0)
+                .map(|d| d as usize)
+                .ok_or_else(|| format!("{} requires a non-negative integer \"device\"", meta.op));
+            match (meta.op.as_str(), device) {
+                ("drain", Ok(device)) => Ok(Request::Drain { device }),
+                ("fail", Ok(device)) => Ok(Request::Fail { device }),
+                (_, Err(e)) => Err(e),
+                _ => unreachable!("guarded by the outer match arm"),
+            }
+        }
         "shutdown" => Ok(Request::Shutdown),
         "select" => (|| {
             let session = session("session")?;
@@ -328,6 +368,18 @@ mod tests {
         assert_eq!(r.unwrap(), Request::Replay { path: "j/s1.pfdj".into() });
         let (r, _) = parse_request("{\"op\":\"replay\"}");
         assert!(r.unwrap_err().contains("path"));
+        let (r, _) = parse_request("{\"op\":\"devices\"}");
+        assert_eq!(r.unwrap(), Request::Devices);
+        let (r, _) = parse_request("{\"op\":\"drain\",\"device\":1}");
+        assert_eq!(r.unwrap(), Request::Drain { device: 1 });
+        let (r, _) = parse_request("{\"op\":\"fail\",\"device\":0}");
+        assert_eq!(r.unwrap(), Request::Fail { device: 0 });
+        let (r, _) = parse_request("{\"op\":\"drain\"}");
+        assert!(r.unwrap_err().contains("device"));
+        let (r, _) = parse_request("{\"op\":\"fail\",\"device\":-2}");
+        assert!(r.unwrap_err().contains("device"));
+        let (r, _) = parse_request("{\"op\":\"fail\",\"device\":1.5}");
+        assert!(r.unwrap_err().contains("device"));
         let (r, _) = parse_request("{\"op\":\"record\"}");
         assert!(r.unwrap_err().contains("session"));
         let (r, _) = parse_request("{\"op\":\"health\"}");

@@ -576,6 +576,28 @@ fn error_reply(meta: &RequestMeta, message: &str) -> Reply {
     Reply::error(meta, message)
 }
 
+/// Resolve a `replay` verb argument inside the server's journal
+/// directory. The verb re-drives whatever file the client names, so the
+/// name is confined: relative only, no `..` components, resolved
+/// against `--journal-dir` — a client can replay the server's own
+/// journals (the `file` field the `record` verb returns) and nothing
+/// else on the host filesystem.
+fn resolve_replay_path(shared: &Shared, path: &str) -> Result<std::path::PathBuf, String> {
+    use std::path::Component;
+    let dir = shared
+        .sessions
+        .journal_dir()
+        .ok_or("replay requires a server started with --journal-dir")?;
+    let rel = std::path::Path::new(path);
+    if rel.is_absolute() {
+        return Err("replay paths must be relative to the server's journal directory".into());
+    }
+    if rel.components().any(|c| !matches!(c, Component::Normal(_) | Component::CurDir)) {
+        return Err("replay paths may not contain \"..\" (or drive/root prefixes)".into());
+    }
+    Ok(dir.join(rel))
+}
+
 /// The retry hint on an `overloaded` reply: scales with the saturated
 /// shard's queue depth so a deeper backlog pushes clients further out,
 /// clamped to something a human-scale retry loop can respect.
@@ -594,6 +616,17 @@ fn route_session(
     f: impl FnOnce(&mut Shard, RequestMeta) -> Reply + Send + 'static,
 ) {
     let idx = shared.sessions.shard_index(session);
+    // A session whose device is mid-failover answers `overloaded`
+    // instead of queueing behind the journal re-drive: the client backs
+    // off and retries once the spare has caught up, rather than holding
+    // a pipelined slot open across the whole migration.
+    if shared.sessions.session_migrating(session) {
+        shared.sessions.note_shed();
+        tel::ERRORS.add(1);
+        let meta = slot.meta();
+        slot.send(Reply::overloaded(&meta, idx, retry_after_ms(shared, idx)));
+        return;
+    }
     if !shared.sessions.try_reserve_client(idx) {
         shared.sessions.note_shed();
         tel::ERRORS.add(1);
@@ -656,7 +689,9 @@ fn dispatch_line(line: &str, shared: &Arc<Shared>, mut slot: ReplySlot) {
             slot.send(reply);
         }
         Request::Replay { path } => {
-            let reply = match shared.sessions.replay_journal(std::path::Path::new(&path)) {
+            let reply = match resolve_replay_path(shared, &path)
+                .and_then(|p| shared.sessions.replay_journal(&p))
+            {
                 Ok((session, records, divergence)) => {
                     let mut r = Reply::ok(&meta)
                         .str("session", session)
@@ -667,6 +702,42 @@ fn dispatch_line(line: &str, shared: &Arc<Shared>, mut slot: ReplySlot) {
                     }
                     r
                 }
+                Err(e) => error_reply(&meta, &e),
+            };
+            slot.send(reply);
+        }
+        // Fleet-supervision verbs. `devices` does shard round-trips for
+        // the live per-device session counts; `drain`/`fail` flip
+        // atomics and enqueue internal migration jobs — all fine on the
+        // IO thread (the re-drives themselves run on the shards).
+        Request::Devices => {
+            let (devices, primaries) = shared.sessions.device_counts();
+            let totals = shared.sessions.device_totals();
+            let rows = shared.sessions.devices_metrics_jsonl();
+            slot.send(
+                Reply::ok(&meta)
+                    .num("devices", devices as f64)
+                    .num("primaries", primaries as f64)
+                    .num("spares", (devices - primaries) as f64)
+                    .num("migrations", totals.migrations as f64)
+                    .num("watchdog_trips", totals.watchdog_trips as f64)
+                    .num("device_failures", totals.device_failures as f64)
+                    .num("sessions_migrated", totals.sessions_migrated as f64)
+                    .num("sessions_lost", totals.sessions_lost as f64)
+                    .num("lines", rows.lines().count() as f64)
+                    .str("table", rows),
+            );
+        }
+        Request::Drain { device } => {
+            let reply = match shared.sessions.drain_device(device) {
+                Ok(()) => Reply::ok(&meta).num("device", device as f64).str("action", "drain"),
+                Err(e) => error_reply(&meta, &e),
+            };
+            slot.send(reply);
+        }
+        Request::Fail { device } => {
+            let reply = match shared.sessions.fail_device(device) {
+                Ok(()) => Reply::ok(&meta).num("device", device as f64).str("action", "fail"),
                 Err(e) => error_reply(&meta, &e),
             };
             slot.send(reply);
@@ -744,9 +815,10 @@ fn dispatch_line(line: &str, shared: &Arc<Shared>, mut slot: ReplySlot) {
         Request::Record { session } => {
             let name = session.clone();
             route_session(shared, slot, &session, move |sh, meta| match sh.journal_status(&name) {
-                Ok((path, records)) => Reply::ok(&meta)
+                Ok((path, file, records)) => Reply::ok(&meta)
                     .str("session", name)
                     .str("path", path)
+                    .str("file", file)
                     .num("records", records as f64),
                 Err(e) => error_reply(&meta, &e),
             });
@@ -767,6 +839,13 @@ fn dispatch_line(line: &str, shared: &Arc<Shared>, mut slot: ReplySlot) {
                 }
             };
             let idx = shared.sessions.shard_index(&session);
+            // Same migration shedding as `route_session`.
+            if shared.sessions.session_migrating(&session) {
+                shared.sessions.note_shed();
+                tel::ERRORS.add(1);
+                slot.send(Reply::overloaded(&meta, idx, retry_after_ms(shared, idx)));
+                return;
+            }
             if !shared.sessions.try_reserve_client(idx) {
                 shared.sessions.note_shed();
                 tel::ERRORS.add(1);
@@ -811,6 +890,7 @@ fn stats_reply(meta: &RequestMeta, shared: &Shared) -> Reply {
     let scrub = sessions.scrub_stats();
     let (journal_records, restores) = sessions.journal_totals();
     let (shed_total, overloaded_replies) = sessions.shed_totals();
+    let fleet = sessions.device_totals();
     Reply::ok(meta)
         .num("sessions", sessions.n_sessions() as f64)
         .num("turns", turns as f64)
@@ -833,6 +913,13 @@ fn stats_reply(meta: &RequestMeta, shared: &Shared) -> Reply {
         .num("seu_bits_injected", scrub.seu_bits_injected as f64)
         .num("journal_records", journal_records as f64)
         .num("restores", restores as f64)
+        .num("devices", fleet.devices as f64)
+        .num("device_primaries", fleet.primaries as f64)
+        .num("migrations", fleet.migrations as f64)
+        .num("watchdog_trips", fleet.watchdog_trips as f64)
+        .num("device_failures", fleet.device_failures as f64)
+        .num("sessions_migrated", fleet.sessions_migrated as f64)
+        .num("sessions_lost", fleet.sessions_lost as f64)
         .num("specialize_p50_us", tel::SPECIALIZE_US.get().percentile_us(50.0).unwrap_or(0.0))
         .num("specialize_p99_us", tel::SPECIALIZE_US.get().percentile_us(99.0).unwrap_or(0.0))
         .num("turn_p99_us", tel::TURN_US.get().percentile_us(99.0).unwrap_or(0.0))
@@ -862,6 +949,7 @@ fn metrics_reply(meta: &RequestMeta, shared: &Shared) -> Reply {
     }
     hub.append_jsonl(&mut body);
     body.push_str(&sessions.sessions_metrics_jsonl());
+    body.push_str(&sessions.devices_metrics_jsonl());
     Reply::ok(meta)
         .num("sessions", sessions.n_sessions() as f64)
         .num("lines", body.lines().count() as f64)

@@ -43,12 +43,15 @@
 
 use crate::lru::LruCache;
 use crate::protocol::param_bits_string;
-use crate::shard::{relock, Job, SelectSpec, Shard, ShardHandle, ShardHold};
+use crate::shard::{relock, Inbox, Job, SelectSpec, Shard, ShardHandle, ShardHold};
 use crate::telemetry as tel;
 use pfdbg_arch::{Bitstream, BitstreamLayout, IcapModel};
 use pfdbg_core::Instrumented;
-use pfdbg_emu::{FaultyIcap, IcapFaultConfig, SeuConfig, SeuIcap};
+use pfdbg_emu::{
+    DeviceControl, DeviceMode, DeviceRegistry, FaultyIcap, IcapFaultConfig, SeuConfig, SeuIcap,
+};
 use pfdbg_obs::{FlightKind, FlightRecorder};
+use pfdbg_pconf::health::{DeviceHealth, HealthEvent, HealthLadder, HealthPolicy, WatchdogPolicy};
 use pfdbg_pconf::icap::{commit_frames, readback_all, CommitPolicy, IcapChannel, MemoryIcap};
 use pfdbg_pconf::scrub::{ScrubHealth, ScrubPolicy, ScrubReport, Scrubber};
 use pfdbg_pconf::{Scg, SpecializeScratch};
@@ -60,8 +63,8 @@ use pfdbg_replay::{
 };
 use pfdbg_util::{BitVec, FxHashMap};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// The shared compiled design a server instance runs against.
@@ -123,6 +126,11 @@ pub(crate) struct SessionState {
     capture_facts: bool,
     last_select_facts: Option<SelectFacts>,
     last_scrub_facts: Option<ScrubFacts>,
+    /// The fleet device this session's channel routes through (`0`
+    /// always, when no device fleet is configured). Every turn consults
+    /// the device's mode; a session whose device drains is rebuilt on a
+    /// spare by re-driving its journal.
+    device: usize,
 }
 
 /// Flight-recorder depth per session: enough to reconstruct the last
@@ -208,6 +216,157 @@ pub struct HealthReport {
     pub turns: usize,
 }
 
+/// Device-fleet shape and supervision thresholds. Passing this to
+/// [`SessionManager::with_devices`] opts the manager into fleet
+/// supervision: sessions hash across `devices` primaries, every commit
+/// and scrub pass feeds the owning device's health ladder and deadline
+/// watchdog, and a quarantined or failed device drains onto a spare by
+/// re-driving its sessions' `.pfdj` journals through the restore path.
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceOptions {
+    /// Primary device count: sessions hash across these.
+    pub devices: usize,
+    /// Spare devices kept idle to absorb a drained primary's sessions.
+    pub spares: usize,
+    /// Commit/scrub deadline budgets (scaled by the retry ladder).
+    pub watchdog: WatchdogPolicy,
+    /// Health-ladder thresholds.
+    pub health: HealthPolicy,
+}
+
+impl Default for DeviceOptions {
+    fn default() -> Self {
+        DeviceOptions {
+            devices: 1,
+            spares: 0,
+            watchdog: WatchdogPolicy::default(),
+            health: HealthPolicy::default(),
+        }
+    }
+}
+
+/// Fleet-wide device totals, served by the `stats`/`devices` verbs and
+/// `BENCH_serve.json`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeviceTotals {
+    /// Devices in the fleet (primaries + spares); 1 when unsupervised.
+    pub devices: u64,
+    /// Primaries taking hashed session assignment.
+    pub primaries: u64,
+    /// Migrations started (operator drains and failovers).
+    pub migrations: u64,
+    /// Commit/scrub watchdog trips.
+    pub watchdog_trips: u64,
+    /// Devices declared failed.
+    pub device_failures: u64,
+    /// Sessions successfully re-driven onto a spare.
+    pub sessions_migrated: u64,
+    /// Sessions dropped by a migration (no journal to re-drive, or the
+    /// re-drive diverged).
+    pub sessions_lost: u64,
+}
+
+/// Device-flight ring depth: device events are rare (trips, failures,
+/// migrations), so a small ring holds the fleet's recent history.
+const DEVICE_FLIGHT_CAP: usize = 128;
+
+/// The supervised device fleet: the registry plus per-device health
+/// ladders, the primary→actual redirect table, and the spare pool.
+/// Lives in [`ManagerCore`] so shard threads feed ladders directly.
+pub(crate) struct DeviceFleet {
+    registry: DeviceRegistry,
+    primaries: usize,
+    ladders: Vec<Mutex<HealthLadder>>,
+    /// `redirect[p]` = the device primary `p`'s sessions actually live
+    /// on right now: identity until a failover retargets it to a spare.
+    redirect: Vec<AtomicUsize>,
+    /// Per-device drain latch — one failover per device, ever.
+    draining: Vec<AtomicU64>,
+    /// Per-primary migration-in-flight flag; the server sheds new work
+    /// for a migrating primary's sessions with `overloaded`.
+    migrating: Vec<AtomicU64>,
+    /// Next spare to claim (index into the registry, ≥ `primaries`).
+    next_spare: AtomicUsize,
+    watchdog: WatchdogPolicy,
+    /// Device-level flight ring. Events here use `turn` = device id and
+    /// `value` = the event's payload (target device, elapsed µs, rung).
+    flight: Mutex<FlightRecorder>,
+    migrations: AtomicU64,
+    watchdog_trips: AtomicU64,
+    device_failures: AtomicU64,
+    sessions_migrated: AtomicU64,
+    sessions_lost: AtomicU64,
+}
+
+impl DeviceFleet {
+    fn new(opts: DeviceOptions) -> DeviceFleet {
+        let primaries = opts.devices.max(1);
+        let total = primaries + opts.spares;
+        let fleet = DeviceFleet {
+            registry: DeviceRegistry::new(total),
+            primaries,
+            ladders: (0..total).map(|_| Mutex::new(HealthLadder::new(opts.health))).collect(),
+            redirect: (0..primaries).map(AtomicUsize::new).collect(),
+            draining: (0..total).map(|_| AtomicU64::new(0)).collect(),
+            migrating: (0..primaries).map(|_| AtomicU64::new(0)).collect(),
+            next_spare: AtomicUsize::new(primaries),
+            watchdog: opts.watchdog,
+            flight: Mutex::new(FlightRecorder::new(DEVICE_FLIGHT_CAP)),
+            migrations: AtomicU64::new(0),
+            watchdog_trips: AtomicU64::new(0),
+            device_failures: AtomicU64::new(0),
+            sessions_migrated: AtomicU64::new(0),
+            sessions_lost: AtomicU64::new(0),
+        };
+        for id in 0..total {
+            fleet.publish_health_gauge(id, DeviceHealth::Healthy);
+        }
+        fleet
+    }
+
+    fn device_mode(&self, id: usize) -> DeviceMode {
+        self.registry.get(id).map(|d| d.mode()).unwrap_or(DeviceMode::Killed)
+    }
+
+    fn health_of(&self, id: usize) -> DeviceHealth {
+        relock(&self.ladders[id]).health()
+    }
+
+    fn publish_health_gauge(&self, id: usize, health: DeviceHealth) {
+        pfdbg_obs::gauge_set(&format!("serve.device{id}.health"), health.score() as f64);
+    }
+
+    /// Feed one event to a device's ladder; publishes the health gauge
+    /// and returns the new rung when the event moved it.
+    fn observe(&self, id: usize, event: HealthEvent) -> Option<DeviceHealth> {
+        let transition = relock(&self.ladders[id]).observe(event)?;
+        self.publish_health_gauge(id, transition.to);
+        Some(transition.to)
+    }
+
+    /// Record a watchdog trip: session ring, device ring, counters.
+    fn note_trip(
+        &self,
+        device: usize,
+        session_flight: &mut FlightRecorder,
+        turn_no: u64,
+        elapsed_us: u64,
+    ) {
+        session_flight.record(FlightKind::WatchdogTrip, turn_no, elapsed_us);
+        relock(&self.flight).record(FlightKind::WatchdogTrip, device as u64, elapsed_us);
+        self.watchdog_trips.fetch_add(1, Ordering::Relaxed);
+        tel::WATCHDOG_TRIPS.add(1);
+    }
+}
+
+/// The primary device a session name hashes to: a pure function of the
+/// name and the primary count (the same FNV fold as shard placement,
+/// under its own base), so assignment is stable across restarts and
+/// independent of shard count.
+pub fn primary_device_of(name: &str, primaries: usize) -> usize {
+    (session_seed(0xDE1C, name) % primaries.max(1) as u64) as usize
+}
+
 /// Journal configuration, settable until serving starts (behind a
 /// mutex because shards hold the core behind an `Arc` from birth).
 struct JournalCfg {
@@ -240,6 +399,14 @@ pub(crate) struct ManagerCore {
     /// Frames containing at least one tunable bit — the escalation set
     /// of the full-frame-rewrite level, shared by every session.
     region_frames: Vec<usize>,
+    /// The supervised device fleet; `None` (the default) routes every
+    /// session through an implicit always-healthy device — no ladders,
+    /// no watchdog, no migration, bit-identical to the pre-fleet layer.
+    fleet: Option<DeviceFleet>,
+    /// Every shard's inbox, set once right after the shards spawn: a
+    /// failover fans its migration jobs out through these (the internal
+    /// lane, so drains cannot be shed).
+    inboxes: OnceLock<Vec<Arc<Inbox>>>,
     /// The most recent automatic flight-recorder dump, `(session,
     /// JSONL)`: captured at the moment a turn rolls back or a scrub
     /// quarantines a frame, served by the `dump` verb with no session
@@ -332,6 +499,21 @@ impl ManagerCore {
             )),
             (None, None) => Box::new(mem),
         };
+        // With a fleet configured, the session's device wraps the whole
+        // chaos stack: kill/stall/wedge verdicts apply at the outermost
+        // write, and a dead device stops ticking (it takes no upsets).
+        // The wrapper is inert while the device stays `Ok`, so fleet
+        // and non-fleet sessions replay bit-identically.
+        let device = self.device_of(name);
+        let channel: Box<dyn IcapChannel> = match &self.fleet {
+            Some(f) => Box::new(
+                f.registry
+                    .get(device)
+                    .expect("redirect targets a registered device")
+                    .attach(channel),
+            ),
+            None => channel,
+        };
         // Decorrelate the retry jitter per session too — the whole
         // point of the jittered backoff is that concurrent sessions do
         // not hammer a stalling port in lockstep.
@@ -353,6 +535,7 @@ impl ManagerCore {
             capture_facts: false,
             last_select_facts: None,
             last_scrub_facts: None,
+            device,
         }
     }
 
@@ -562,6 +745,118 @@ impl ManagerCore {
         tel::SHED.add(1);
         tel::OVERLOADED.add(1);
     }
+
+    /// The device session `name`'s channel routes through right now:
+    /// the primary-hash assignment pushed through the redirect table.
+    /// `0` when no fleet is configured (the implicit single device).
+    fn device_of(&self, name: &str) -> usize {
+        match &self.fleet {
+            Some(f) => f.redirect[primary_device_of(name, f.primaries)].load(Ordering::Acquire),
+            None => 0,
+        }
+    }
+
+    /// Drain device `dead` and retarget its primaries onto a spare,
+    /// migrating every affected session by re-driving its journal
+    /// there. Idempotent per device (a drain latch), and safe to call
+    /// from shard threads: migration jobs ride the unbounded internal
+    /// lane of every inbox, so a select already queued behind the
+    /// failover runs after its session has moved. `target` is the rung
+    /// the drain is recorded at — `Failed` for kills and watchdog
+    /// verdicts, `Quarantined` for operator drains.
+    fn begin_failover(&self, dead: usize, target: DeviceHealth) {
+        let Some(f) = &self.fleet else { return };
+        if dead >= f.registry.len() || f.draining[dead].swap(1, Ordering::AcqRel) == 1 {
+            return;
+        }
+        {
+            let mut ladder = relock(&f.ladders[dead]);
+            ladder.force(target);
+            f.publish_health_gauge(dead, ladder.health());
+        }
+        if target == DeviceHealth::Failed {
+            f.device_failures.fetch_add(1, Ordering::Relaxed);
+            tel::DEVICE_FAILURES.add(1);
+        }
+        relock(&f.flight).record(FlightKind::DeviceFailed, dead as u64, target.score());
+        pfdbg_obs::counter_add("serve.device_drains", 1);
+
+        // Claim the next healthy spare. The cursor only moves forward:
+        // a spare is consumed even if it died while idle (skipped).
+        let spare = loop {
+            let i = f.next_spare.fetch_add(1, Ordering::AcqRel);
+            if i >= f.registry.len() {
+                break None;
+            }
+            if f.draining[i].load(Ordering::Acquire) == 0 && f.device_mode(i) == DeviceMode::Ok {
+                break Some(i);
+            }
+        };
+        let Some(spare) = spare else {
+            // Spare pool exhausted: the redirect stays, and sessions on
+            // the dead device answer every turn with a device error
+            // until an operator intervenes — loud, not silent.
+            pfdbg_obs::counter_add("serve.failover_no_spare", 1);
+            return;
+        };
+
+        // Retarget every primary currently mapped to the dead device
+        // and flag it migrating; the server sheds new work for those
+        // primaries' sessions with `overloaded` + `retry_after_ms`
+        // until the journals have re-driven.
+        let mut moved: Vec<usize> = Vec::new();
+        for p in 0..f.primaries {
+            if f.redirect[p].load(Ordering::Acquire) == dead {
+                f.redirect[p].store(spare, Ordering::Release);
+                f.migrating[p].store(1, Ordering::Release);
+                moved.push(p);
+            }
+        }
+        f.migrations.fetch_add(1, Ordering::Relaxed);
+        tel::MIGRATIONS.add(1);
+        relock(&f.flight).record(FlightKind::MigrationStart, dead as u64, spare as u64);
+
+        // One migration job per shard, on the internal lane: each shard
+        // rebuilds its own sessions of the dead device on the spare.
+        // The last shard to finish closes the migration out (timing,
+        // flags). A push can only fail during shutdown; decrementing
+        // `pending` keeps the close-out correct for whoever did run.
+        let inboxes = self.inboxes.get().cloned().unwrap_or_default();
+        let started = Instant::now();
+        let pending = Arc::new(AtomicUsize::new(inboxes.len()));
+        let moved = Arc::new(moved);
+        for inbox in &inboxes {
+            let pending_c = pending.clone();
+            let moved_c = moved.clone();
+            if !inbox.push_internal(Job::Run(Box::new(move |sh| {
+                sh.migrate_device(dead, spare, started, &pending_c, &moved_c);
+            }))) {
+                pending.fetch_sub(1, Ordering::AcqRel);
+            }
+        }
+        if inboxes.is_empty() {
+            self.finish_migration(spare, started, &moved);
+        }
+    }
+
+    /// Close a migration out: clear the migrating flags (new work for
+    /// the moved primaries flows again), stamp the wall time into the
+    /// `serve.migration_ms` histogram and its SLO, and record the
+    /// device-flight event. Called by the last shard to finish.
+    fn finish_migration(&self, spare: usize, started: Instant, moved: &[usize]) {
+        let Some(f) = &self.fleet else { return };
+        for &p in moved {
+            f.migrating[p].store(0, Ordering::Release);
+        }
+        let elapsed = started.elapsed();
+        tel::MIGRATION_MS.record_us(elapsed.as_secs_f64() * 1e3);
+        tel::SLO_MIGRATION.observe_us(elapsed.as_secs_f64() * 1e3);
+        relock(&f.flight).record(
+            FlightKind::MigrationDone,
+            spare as u64,
+            elapsed.as_micros() as u64,
+        );
+    }
 }
 
 /// A session's private fault seed: deterministic in the configured
@@ -622,6 +917,28 @@ impl ManagerCore {
                 params.len(),
                 self.engine.n_params()
             ));
+        }
+        // Fleet gate: a session whose device is no longer serving never
+        // ticks, commits, or journals — device-level failure is not
+        // seed-reproducible, so the turn must leave no trace for the
+        // journal re-drive on the spare to diverge over. The failover
+        // (idempotent) starts here in case the mode flipped without a
+        // commit observing it.
+        if let Some(f) = &self.fleet {
+            let mode = f.device_mode(state.device);
+            if mode != DeviceMode::Ok {
+                state.flight.record(
+                    FlightKind::DeviceFailed,
+                    state.turns as u64,
+                    state.device as u64,
+                );
+                self.begin_failover(state.device, DeviceHealth::Failed);
+                return Err(format!(
+                    "device dev{} is {} — session is migrating to a spare; retry shortly",
+                    state.device,
+                    mode.as_str()
+                ));
+            }
         }
         let t0 = Instant::now();
         let engine = &self.engine;
@@ -733,6 +1050,7 @@ impl ManagerCore {
         let resyncing = state.needs_resync;
         let write_set: Vec<usize> =
             if resyncing { (0..engine.layout.n_frames()).collect() } else { frames.clone() };
+        let t_commit = Instant::now();
         match commit_frames(
             state.channel.as_mut(),
             &engine.icap,
@@ -794,6 +1112,31 @@ impl ManagerCore {
                 let turn_us = t0.elapsed().as_secs_f64() * 1e6;
                 tel::TURN_US.record_us(turn_us);
                 tel::SLO_TURN.observe_us(turn_us);
+                // Feed the device's health ladder: a commit that blew
+                // its retry-scaled watchdog allowance counts as a trip
+                // even though it verified — a wedged-but-alive port
+                // must not hide behind eventual success.
+                if let Some(f) = &self.fleet {
+                    let verdict = f.watchdog.assess_commit(&commit, t_commit.elapsed());
+                    let event = if verdict.tripped {
+                        f.note_trip(
+                            state.device,
+                            &mut state.flight,
+                            turn_no,
+                            verdict.elapsed.as_micros() as u64,
+                        );
+                        HealthEvent::WatchdogTrip
+                    } else if commit.degradations > 0 {
+                        HealthEvent::Escalation(commit.degradations)
+                    } else {
+                        HealthEvent::CleanCommit
+                    };
+                    if let Some(to) = f.observe(state.device, event) {
+                        if to.needs_drain() {
+                            self.begin_failover(state.device, to);
+                        }
+                    }
+                }
                 Ok(TurnOutcome {
                     params: params.clone(),
                     bits_changed,
@@ -808,6 +1151,47 @@ impl ManagerCore {
                 })
             }
             Err((commit, msg)) => {
+                // A device-mode failure mid-commit (killed, stalled, or
+                // wedged under this very turn) is not the session's
+                // rollback: it is never journaled — the re-drive on the
+                // spare could not reproduce it, and an unjournaled tick
+                // would desync the chaos streams — and it starts the
+                // failover directly. The client retries the turn on the
+                // spare, which replays every journaled turn first.
+                if let Some(f) = &self.fleet {
+                    let mode = f.device_mode(state.device);
+                    if mode != DeviceMode::Ok {
+                        state.needs_resync = true;
+                        state.flight.record(FlightKind::DeviceFailed, turn_no, state.device as u64);
+                        self.begin_failover(state.device, DeviceHealth::Failed);
+                        return Err(format!(
+                            "device dev{} went {} mid-commit — session is migrating; retry shortly",
+                            state.device,
+                            mode.as_str()
+                        ));
+                    }
+                    // An honest rollback under seeded chaos: journaled
+                    // below and fed to the ladder (with the watchdog's
+                    // verdict taking precedence over the plain
+                    // rollback).
+                    let verdict = f.watchdog.assess_commit(&commit, t_commit.elapsed());
+                    let event = if verdict.tripped {
+                        f.note_trip(
+                            state.device,
+                            &mut state.flight,
+                            turn_no,
+                            verdict.elapsed.as_micros() as u64,
+                        );
+                        HealthEvent::WatchdogTrip
+                    } else {
+                        HealthEvent::Rollback
+                    };
+                    if let Some(to) = f.observe(state.device, event) {
+                        if to.needs_drain() {
+                            self.begin_failover(state.device, to);
+                        }
+                    }
+                }
                 state.needs_resync = true;
                 state.flight.record(FlightKind::TurnRollback, turn_no, commit.retries as u64);
                 if wants_facts(state) {
@@ -856,6 +1240,19 @@ impl ManagerCore {
         let _s = pfdbg_obs::span("serve.scrub");
         let t0 = Instant::now();
         let engine = &self.engine;
+        // Fleet gate — same contract as `select_on`: a scrub never
+        // touches (or journals against) a dead device.
+        let device = state.device;
+        if let Some(f) = &self.fleet {
+            let mode = f.device_mode(device);
+            if mode != DeviceMode::Ok {
+                self.begin_failover(device, DeviceHealth::Failed);
+                return Err(format!(
+                    "device dev{device} is {} — session is migrating to a spare; retry shortly",
+                    mode.as_str()
+                ));
+            }
+        }
         // Destructure so the scrubber and the channel borrow disjoint
         // fields of the same state.
         let SessionState { scrubber, channel, params, needs_resync, flight, turns, .. } = state;
@@ -887,6 +1284,25 @@ impl ManagerCore {
             // Quarantine is the fleet's "something is wrong here":
             // capture the post-mortem automatically.
             *relock(&self.last_dump) = Some((session.to_string(), flight.to_jsonl()));
+        }
+        // Feed the device ladder: quarantined frames climb it, a clean
+        // pass builds the recovery streak, and a pass that blew its
+        // repair-scaled watchdog allowance trips regardless of outcome.
+        if let Some(f) = &self.fleet {
+            let verdict = f.watchdog.assess_scrub(&report, t0.elapsed());
+            let event = if verdict.tripped {
+                f.note_trip(device, flight, turn_no, verdict.elapsed.as_micros() as u64);
+                HealthEvent::WatchdogTrip
+            } else if report.quarantined_frames > 0 {
+                HealthEvent::ScrubQuarantine(report.quarantined_frames)
+            } else {
+                HealthEvent::ScrubClean
+            };
+            if let Some(to) = f.observe(device, event) {
+                if to.needs_drain() {
+                    self.begin_failover(device, to);
+                }
+            }
         }
         self.scrub_passes.fetch_add(1, Ordering::Relaxed);
         self.scrub_upsets.fetch_add(report.upset_frames as u64, Ordering::Relaxed);
@@ -1075,17 +1491,104 @@ impl Shard {
 
     /// The journal behind a live session — the `record` verb. Syncs the
     /// appender (a durability barrier the client can rely on) and
-    /// returns `(path, records appended this run)`.
-    pub(crate) fn journal_status(&mut self, session: &str) -> Result<(String, u64), String> {
+    /// returns `(path, file name, records appended this run)`. The bare
+    /// file name is what the `replay` verb accepts: replays are
+    /// confined to the server's own `--journal-dir`.
+    pub(crate) fn journal_status(
+        &mut self,
+        session: &str,
+    ) -> Result<(String, String, u64), String> {
         let state =
             self.sessions.get_mut(session).ok_or_else(|| format!("no such session {session:?}"))?;
         match state.journal.as_mut() {
             Some(j) => {
                 j.sync()?;
-                Ok((j.path().display().to_string(), j.records_written()))
+                let file = j
+                    .path()
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_default();
+                Ok((j.path().display().to_string(), file, j.records_written()))
             }
             None => Err("journaling is disabled (start the server with --journal-dir)".into()),
         }
+    }
+
+    /// Rebuild every session this shard owns on dead device `dead` by
+    /// re-driving its journal on `spare` — the failover's workhorse.
+    /// The dead-device state is dropped first; its journal appender
+    /// releases the file *without* a terminal record, so the restore
+    /// resumes exactly where the last durably appended fact left off.
+    /// Sessions without a journal to re-drive (journaling off, or a
+    /// re-drive that diverges) are dropped and counted lost — loudly,
+    /// never served from an unknown device state. The last shard to
+    /// finish closes the migration out.
+    pub(crate) fn migrate_device(
+        &mut self,
+        dead: usize,
+        spare: usize,
+        started: Instant,
+        pending: &AtomicUsize,
+        moved_primaries: &[usize],
+    ) {
+        let core = self.core.clone();
+        let names: Vec<String> = self
+            .sessions
+            .iter()
+            .filter(|(_, s)| s.device == dead)
+            .map(|(n, _)| n.clone())
+            .collect();
+        for name in names {
+            drop(self.sessions.remove(&name));
+            let result = core
+                .journal_path(&name)
+                .filter(|p| p.exists())
+                .ok_or_else(|| "no journal to re-drive (journaling disabled)".to_string())
+                .and_then(|path| {
+                    // `fresh_state` reads the redirect table, which
+                    // already points at the spare — the rebuilt channel
+                    // routes there and the journal re-drives through
+                    // the exact same select/scrub path `open` uses.
+                    let mut state = core.fresh_state(&name);
+                    core.restore_into(&name, &mut state, &path)?;
+                    state.flight.record(
+                        FlightKind::MigrationDone,
+                        state.turns as u64,
+                        spare as u64,
+                    );
+                    self.sessions.insert(name.clone(), state);
+                    Ok(())
+                });
+            let fleet = core.fleet.as_ref().expect("migrate_device only runs with a fleet");
+            match result {
+                Ok(()) => {
+                    fleet.sessions_migrated.fetch_add(1, Ordering::Relaxed);
+                    tel::SESSIONS_MIGRATED.add(1);
+                }
+                Err(e) => {
+                    fleet.sessions_lost.fetch_add(1, Ordering::Relaxed);
+                    tel::SESSIONS_LOST.add(1);
+                    pfdbg_obs::counter_add("serve.sessions_lost", 1);
+                    let open = core.session_count.fetch_sub(1, Ordering::Relaxed) - 1;
+                    tel::OPEN_SESSIONS.set(open as f64);
+                    let _ = e;
+                }
+            }
+        }
+        if pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.core.finish_migration(spare, started, moved_primaries);
+        }
+    }
+
+    /// Sessions this shard owns per device id (`len` = fleet size).
+    pub(crate) fn device_session_counts(&self, n_devices: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; n_devices];
+        for state in self.sessions.values() {
+            if let Some(c) = counts.get_mut(state.device) {
+                *c += 1;
+            }
+        }
+        counts
     }
 
     /// Names of the sessions this shard owns.
@@ -1218,6 +1721,42 @@ impl SessionManager {
         scrub_policy: ScrubPolicy,
         fleet: FleetOptions,
     ) -> SessionManager {
+        Self::build(engine, cache_capacity, fault, policy, seu, scrub_policy, fleet, None)
+    }
+
+    /// The everything constructor: [`SessionManager::with_fleet`] plus
+    /// a supervised device fleet. Sessions hash across
+    /// `devices.devices` primary devices, commits and scrubs feed each
+    /// device's health ladder and deadline watchdog, and a device that
+    /// is killed, quarantined, or failed drains its sessions onto the
+    /// spare pool by re-driving their journals. Without this
+    /// constructor no fleet exists and the manager behaves exactly as
+    /// before — one implicit, unsupervised device.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_devices(
+        engine: Arc<Engine>,
+        cache_capacity: usize,
+        fault: Option<IcapFaultConfig>,
+        policy: CommitPolicy,
+        seu: Option<SeuConfig>,
+        scrub_policy: ScrubPolicy,
+        fleet: FleetOptions,
+        devices: DeviceOptions,
+    ) -> SessionManager {
+        Self::build(engine, cache_capacity, fault, policy, seu, scrub_policy, fleet, Some(devices))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        engine: Arc<Engine>,
+        cache_capacity: usize,
+        fault: Option<IcapFaultConfig>,
+        policy: CommitPolicy,
+        seu: Option<SeuConfig>,
+        scrub_policy: ScrubPolicy,
+        fleet: FleetOptions,
+        devices: Option<DeviceOptions>,
+    ) -> SessionManager {
         let mut region_frames: Vec<usize> = engine
             .scg
             .generalized()
@@ -1235,6 +1774,8 @@ impl SessionManager {
             policy,
             scrub_policy,
             region_frames,
+            fleet: devices.map(DeviceFleet::new),
+            inboxes: OnceLock::new(),
             last_dump: Mutex::new(None),
             journal: Mutex::new(JournalCfg {
                 dir: None,
@@ -1260,9 +1801,12 @@ impl SessionManager {
             seu_bits_injected: AtomicU64::new(0),
         });
         let (n_shards, capacity) = fleet.resolve();
-        let shards = (0..n_shards)
+        let shards: Vec<ShardHandle> = (0..n_shards)
             .map(|id| ShardHandle::spawn(id, core.clone(), capacity).expect("spawn shard thread"))
             .collect();
+        // Failovers fan migration jobs out through every inbox; the
+        // core learns them once, right after the shards exist.
+        let _ = core.inboxes.set(shards.iter().map(|h| h.inbox.clone()).collect());
         SessionManager { core, shards }
     }
 
@@ -1482,10 +2026,152 @@ impl SessionManager {
         }
     }
 
-    /// The journal behind a live session — the `record` verb.
-    pub fn journal_status(&self, session: &str) -> Result<(String, u64), String> {
+    /// The journal behind a live session — the `record` verb. Returns
+    /// `(path, file name, records appended this run)`.
+    pub fn journal_status(&self, session: &str) -> Result<(String, String, u64), String> {
         let owned = session.to_string();
         self.on_shard(self.shard_index(session), move |sh| sh.journal_status(&owned))?
+    }
+
+    /// The configured journal directory, if journaling is on. The
+    /// `replay` verb resolves its (relative) argument against this.
+    pub fn journal_dir(&self) -> Option<PathBuf> {
+        relock(&self.core.journal).dir.clone()
+    }
+
+    /// `(total devices, primaries)` — `(1, 1)` when no fleet is
+    /// configured (the implicit single device).
+    pub fn device_counts(&self) -> (usize, usize) {
+        match &self.core.fleet {
+            Some(f) => (f.registry.len(), f.primaries),
+            None => (1, 1),
+        }
+    }
+
+    /// The device session `name` routes to right now: its primary-hash
+    /// assignment pushed through the failover redirect table.
+    pub fn device_of(&self, name: &str) -> usize {
+        self.core.device_of(name)
+    }
+
+    /// The chaos control block of device `id` — kill, stall, or wedge
+    /// it (tests, the bench harness's `--kill-device-at`).
+    pub fn device_control(&self, id: usize) -> Option<Arc<DeviceControl>> {
+        self.core.fleet.as_ref().and_then(|f| f.registry.get(id)).map(|d| d.control().clone())
+    }
+
+    /// `(mode, health)` of device `id`, or `None` if it does not exist.
+    pub fn device_status(&self, id: usize) -> Option<(DeviceMode, DeviceHealth)> {
+        let f = self.core.fleet.as_ref()?;
+        f.registry.get(id)?;
+        Some((f.device_mode(id), f.health_of(id)))
+    }
+
+    /// Kill device `id` and fail its sessions over to a spare — the
+    /// `fail` protocol verb. The device stops serving immediately
+    /// (in-flight commits on it abort); sessions migrate by journal
+    /// re-drive.
+    pub fn fail_device(&self, id: usize) -> Result<(), String> {
+        let f = self
+            .core
+            .fleet
+            .as_ref()
+            .ok_or("no device fleet configured (start with --devices N)")?;
+        let device = f.registry.get(id).ok_or_else(|| format!("no such device {id}"))?;
+        device.control().kill();
+        self.core.begin_failover(id, DeviceHealth::Failed);
+        Ok(())
+    }
+
+    /// Gracefully drain device `id` — the `drain` protocol verb. The
+    /// device keeps serving (mode stays `ok`) while its sessions
+    /// migrate off by journal re-drive; it is quarantined and never
+    /// reassigned. Sessions without a journal cannot move and are
+    /// dropped, so drain wants `--journal-dir` on.
+    pub fn drain_device(&self, id: usize) -> Result<(), String> {
+        let f = self
+            .core
+            .fleet
+            .as_ref()
+            .ok_or("no device fleet configured (start with --devices N)")?;
+        f.registry.get(id).ok_or_else(|| format!("no such device {id}"))?;
+        self.core.begin_failover(id, DeviceHealth::Quarantined);
+        Ok(())
+    }
+
+    /// `true` while session `name`'s primary is mid-migration; the
+    /// server sheds its new work with `overloaded` + `retry_after_ms`
+    /// instead of queueing behind the journal re-drive.
+    pub fn session_migrating(&self, name: &str) -> bool {
+        match &self.core.fleet {
+            Some(f) => {
+                f.migrating[primary_device_of(name, f.primaries)].load(Ordering::Acquire) == 1
+            }
+            None => false,
+        }
+    }
+
+    /// Fleet-wide device totals — the `stats`/`devices` verbs.
+    pub fn device_totals(&self) -> DeviceTotals {
+        match &self.core.fleet {
+            Some(f) => DeviceTotals {
+                devices: f.registry.len() as u64,
+                primaries: f.primaries as u64,
+                migrations: f.migrations.load(Ordering::Relaxed),
+                watchdog_trips: f.watchdog_trips.load(Ordering::Relaxed),
+                device_failures: f.device_failures.load(Ordering::Relaxed),
+                sessions_migrated: f.sessions_migrated.load(Ordering::Relaxed),
+                sessions_lost: f.sessions_lost.load(Ordering::Relaxed),
+            },
+            None => DeviceTotals { devices: 1, primaries: 1, ..DeviceTotals::default() },
+        }
+    }
+
+    /// Per-device rows for the `devices` and `metrics` verbs: one flat
+    /// JSONL object per device (`"type":"device"`), with live session
+    /// counts gathered shard by shard. Empty without a fleet.
+    pub fn devices_metrics_jsonl(&self) -> String {
+        use pfdbg_obs::jsonl::{write_object, JsonValue};
+        let Some(f) = &self.core.fleet else { return String::new() };
+        let n = f.registry.len();
+        let mut counts = vec![0usize; n];
+        for idx in 0..self.shards.len() {
+            if let Ok(part) = self.on_shard(idx, move |sh| sh.device_session_counts(n)) {
+                for (total, part) in counts.iter_mut().zip(part) {
+                    *total += part;
+                }
+            }
+        }
+        let mut out = String::new();
+        for device in f.registry.iter() {
+            let id = device.id;
+            let redirect =
+                if id < f.primaries { f.redirect[id].load(Ordering::Acquire) } else { id };
+            out.push_str(&write_object(&[
+                ("type", JsonValue::Str("device".into())),
+                ("id", JsonValue::Num(id as f64)),
+                ("name", JsonValue::Str(device.name.clone())),
+                ("role", JsonValue::Str(if id < f.primaries { "primary" } else { "spare" }.into())),
+                ("mode", JsonValue::Str(f.device_mode(id).as_str().into())),
+                ("health", JsonValue::Str(f.health_of(id).as_str().into())),
+                ("sessions", JsonValue::Num(counts[id] as f64)),
+                ("redirect", JsonValue::Num(redirect as f64)),
+                ("writes", JsonValue::Num(device.control().writes() as f64)),
+                ("draining", JsonValue::Bool(f.draining[id].load(Ordering::Acquire) == 1)),
+            ]));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The device-level flight ring (watchdog trips, failures,
+    /// migrations) as JSONL. Events use `turn` = device id. Empty
+    /// without a fleet.
+    pub fn device_flight_jsonl(&self) -> String {
+        match &self.core.fleet {
+            Some(f) => relock(&f.flight).to_jsonl(),
+            None => String::new(),
+        }
     }
 
     /// Verify a journal file against this server — the `replay` verb.

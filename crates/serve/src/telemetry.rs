@@ -45,6 +45,17 @@ pub(crate) static OVERLOADED: LazyCounter = LazyCounter::new("serve.overloaded_r
 /// Handlers that panicked and were contained (session dropped, shard
 /// kept serving).
 pub(crate) static HANDLER_PANICS: LazyCounter = LazyCounter::new("serve.handler_panics");
+/// Commit/scrub watchdog trips across the device fleet.
+pub(crate) static WATCHDOG_TRIPS: LazyCounter = LazyCounter::new("serve.watchdog_trips");
+/// Devices declared failed (killed, or walked off the health ladder).
+pub(crate) static DEVICE_FAILURES: LazyCounter = LazyCounter::new("serve.device_failures");
+/// Device migrations started (operator drains and failovers).
+pub(crate) static MIGRATIONS: LazyCounter = LazyCounter::new("serve.migrations");
+/// Sessions re-driven onto a spare device from their journals.
+pub(crate) static SESSIONS_MIGRATED: LazyCounter = LazyCounter::new("serve.sessions_migrated");
+/// Sessions dropped by a migration (no journal, or a diverged
+/// re-drive).
+pub(crate) static SESSIONS_LOST: LazyCounter = LazyCounter::new("serve.sessions_lost");
 
 /// Sessions currently open across all shards.
 pub(crate) static OPEN_SESSIONS: LazyGauge = LazyGauge::new("serve.open_sessions");
@@ -58,6 +69,10 @@ pub(crate) static TURN_US: LazyHistogram = LazyHistogram::new("serve.turn_us");
 pub(crate) static SPECIALIZE_US: LazyHistogram = LazyHistogram::new("scg.specialize_us");
 /// Time client jobs spend queued in a shard inbox before execution.
 pub(crate) static INBOX_WAIT_US: LazyHistogram = LazyHistogram::new("serve.inbox_wait_us");
+/// Wall time per device migration, failover start to last shard
+/// finishing its journal re-drives — in milliseconds (re-drives span
+/// whole session histories, so µs buckets would saturate).
+pub(crate) static MIGRATION_MS: LazyHistogram = LazyHistogram::new("serve.migration_ms");
 
 /// Specialization budget: the paper's 50 µs bound.
 pub(crate) static SLO_SPECIALIZE: LazySlo = LazySlo::new("slo.specialize_us", 50.0);
@@ -69,3 +84,6 @@ pub(crate) static SLO_SCRUB: LazySlo = LazySlo::new("slo.scrub_interval_us", f64
 /// Inbox-wait budget: a client job should start executing within a
 /// quarter of the default turn deadline; rebound at startup.
 pub(crate) static SLO_INBOX: LazySlo = LazySlo::new("slo.inbox_wait_us", 250_000.0);
+/// Migration budget: a failover (journal re-drives included) should
+/// finish within five seconds — observed in milliseconds.
+pub(crate) static SLO_MIGRATION: LazySlo = LazySlo::new("slo.migration_ms", 5_000.0);

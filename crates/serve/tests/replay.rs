@@ -240,15 +240,29 @@ fn record_and_replay_verbs_round_trip() {
     let rec = c.roundtrip("{\"op\":\"record\",\"session\":\"s\"}");
     assert!(is_ok(&rec), "{rec:?}");
     let path = rec.str("path").unwrap().to_string();
+    let file = rec.str("file").unwrap().to_string();
     assert!(rec.num("records").unwrap() >= 1.0);
+    assert!(path.ends_with(&file), "file {file:?} should be the basename of {path:?}");
 
-    let rep = c.roundtrip(&format!("{{\"op\":\"replay\",\"path\":\"{path}\"}}"));
+    // Replay takes the journal-dir-relative name `record` returned.
+    let rep = c.roundtrip(&format!("{{\"op\":\"replay\",\"path\":\"{file}\"}}"));
     assert!(is_ok(&rep), "{rep:?}");
     assert_eq!(
         rep.fields.get("identical"),
         Some(&pfdbg_obs::jsonl::JsonValue::Bool(true)),
         "server replay diverged: {rep:?}"
     );
+
+    // The verb is confined to the journal directory: absolute paths
+    // (even correct ones) and traversal out of the directory are
+    // rejected before any file IO happens.
+    let abs = c.roundtrip(&format!("{{\"op\":\"replay\",\"path\":\"{path}\"}}"));
+    assert!(!is_ok(&abs), "absolute replay path should be refused: {abs:?}");
+    assert!(abs.str("error").unwrap_or("").contains("relative"), "{abs:?}");
+    let traversal = c.roundtrip(&format!("{{\"op\":\"replay\",\"path\":\"../{file}\"}}"));
+    assert!(!is_ok(&traversal), "traversal replay path should be refused: {traversal:?}");
+    assert!(traversal.str("error").unwrap_or("").contains(".."), "{traversal:?}");
+
     server.shutdown();
     std::fs::remove_dir_all(&dir).ok();
 }
